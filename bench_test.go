@@ -1,0 +1,431 @@
+// Benchmarks that regenerate the paper's evaluation (one per table and
+// figure, per DESIGN.md's experiment index) plus the ablation studies.
+// Simulated clock cycles are reported as custom metrics alongside Go's
+// wall-clock numbers; `go run ./cmd/liquid-bench -all` prints the same
+// data as tables.
+package liquidarch
+
+import (
+	"fmt"
+	"testing"
+
+	"liquidarch/internal/ahbadapter"
+	"liquidarch/internal/amba"
+	"liquidarch/internal/asm"
+	"liquidarch/internal/bench"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/client"
+	"liquidarch/internal/core"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/server"
+	"liquidarch/internal/synth"
+)
+
+// BenchmarkFig8CacheSweep regenerates Fig. 8/9 (E1/E2): the Fig. 7
+// array-access program's cycle count under each data-cache size.
+func BenchmarkFig8CacheSweep(b *testing.B) {
+	asmText, err := lcc.Compile(bench.Fig7Source, lcc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := link.Build(asmText, link.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range bench.Fig8Sizes {
+		b.Run(fmt.Sprintf("dcache=%dKB", size>>10), func(b *testing.B) {
+			cfg := leon.DefaultConfig()
+			cfg.DCache = cache.Config{SizeBytes: size, LineBytes: 32, Assoc: 1}
+			var cycles, misses uint64
+			for i := 0; i < b.N; i++ {
+				soc, err := leon.New(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl := leon.NewController(soc)
+				if err := ctrl.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+					b.Fatal(err)
+				}
+				soc.DCache.ResetStats()
+				res, err := ctrl.Execute(img.Entry, 0)
+				if err != nil || res.Faulted {
+					b.Fatalf("run: %v %+v", err, res)
+				}
+				cycles = res.Cycles
+				misses = soc.DCache.Stats().Misses
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+			b.ReportMetric(float64(misses), "dmisses")
+		})
+	}
+}
+
+// BenchmarkFig10Utilization regenerates Fig. 10 (E3): the synthesis
+// model's device-utilization report for the base system.
+func BenchmarkFig10Utilization(b *testing.B) {
+	var u synth.Utilization
+	for i := 0; i < b.N; i++ {
+		u = synth.Estimate(leon.DefaultConfig())
+	}
+	b.ReportMetric(float64(u.Slices), "slices")
+	b.ReportMetric(float64(u.BlockRAMs), "brams")
+	b.ReportMetric(float64(u.IOBs), "iobs")
+	b.ReportMetric(u.FMaxMHz, "MHz")
+}
+
+// BenchmarkBootHandoff measures the §3.1 boot + poll handoff (E4).
+func BenchmarkBootHandoff(b *testing.B) {
+	var bootCycles uint64
+	for i := 0; i < b.N; i++ {
+		soc, err := leon.New(leon.DefaultConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl := leon.NewController(soc)
+		if err := ctrl.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		bootCycles = soc.Cycles()
+	}
+	b.ReportMetric(float64(bootCycles), "boot-cycles")
+}
+
+// newAdapter builds a fresh §3.2 adapter over an SDRAM controller.
+func newAdapter(b *testing.B) *ahbadapter.Adapter {
+	b.Helper()
+	ctrl := mem.NewController(mem.NewSDRAM(1 << 20))
+	port, err := ctrl.Port("leon")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ahbadapter.New(port)
+}
+
+// BenchmarkAdapterReadBurst measures the §3.2 claim (E5): a 4-word
+// fill through one declared burst beats four single reads.
+func BenchmarkAdapterReadBurst(b *testing.B) {
+	b.Run("burst4", func(b *testing.B) {
+		a := newAdapter(b)
+		words := make([]uint32, 4)
+		cycles := 0
+		for i := 0; i < b.N; i++ {
+			c, err := a.ReadBurst(0, words)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+		b.ReportMetric(float64(cycles), "bus-cycles")
+	})
+	b.Run("singles4", func(b *testing.B) {
+		a := newAdapter(b)
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total = 0
+			for w := uint32(0); w < 4; w++ {
+				_, c, err := a.Read(w*4, amba.SizeWord)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += c
+			}
+		}
+		b.ReportMetric(float64(total), "bus-cycles")
+	})
+}
+
+// BenchmarkAdapterWriteRMW measures the read-modify-write penalty of
+// 32-bit stores through the 64-bit controller (E5).
+func BenchmarkAdapterWriteRMW(b *testing.B) {
+	b.Run("write32", func(b *testing.B) {
+		a := newAdapter(b)
+		cycles := 0
+		for i := 0; i < b.N; i++ {
+			c, err := a.Write(0, uint32(i), amba.SizeWord)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+		b.ReportMetric(float64(cycles), "bus-cycles")
+	})
+	b.Run("read32", func(b *testing.B) {
+		a := newAdapter(b)
+		cycles := 0
+		for i := 0; i < b.N; i++ {
+			_, c, err := a.Read(0, amba.SizeWord)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = c
+		}
+		b.ReportMetric(float64(cycles), "bus-cycles")
+	})
+}
+
+// BenchmarkReconfigCache measures E6: swapping to a pre-generated
+// image (cache hit) versus paying the modelled synthesis run.
+func BenchmarkReconfigCache(b *testing.B) {
+	small := synth.Options{BitstreamBytes: 4096}
+	// Default path: cache-only swaps use partial reconfiguration.
+	b.Run("hit-partial", func(b *testing.B) {
+		sys, err := core.New(leon.DefaultConfig(), core.Options{Synth: small})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alt := leon.DefaultConfig()
+		alt.DCache.SizeBytes = 8 << 10
+		if _, err := sys.Reconfigure(alt); err != nil {
+			b.Fatal(err) // pre-generate both points
+		}
+		cfgs := [2]leon.Config{leon.DefaultConfig(), alt}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hit, err := sys.Reconfigure(cfgs[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit {
+				b.Fatal("expected a cache hit")
+			}
+		}
+		b.ReportMetric(0, "synth-hours")
+	})
+	b.Run("hit-full", func(b *testing.B) {
+		// Ablation: same swap with the partial path disabled — pays
+		// the full rebuild + board-memory copy every time.
+		sys, err := core.New(leon.DefaultConfig(), core.Options{Synth: small, DisablePartial: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alt := leon.DefaultConfig()
+		alt.DCache.SizeBytes = 8 << 10
+		if _, err := sys.Reconfigure(alt); err != nil {
+			b.Fatal(err)
+		}
+		cfgs := [2]leon.Config{leon.DefaultConfig(), alt}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Reconfigure(cfgs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if sys.PartialReconfigurations() != 0 {
+			b.Fatal("partial path used")
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		sys, err := core.New(leon.DefaultConfig(), core.Options{Synth: small, CacheCapacity: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hours float64
+		for i := 0; i < b.N; i++ {
+			cfg := leon.DefaultConfig()
+			// A new point every iteration: always a synthesis run.
+			cfg.CPU.NWindows = 2 + i%31
+			if cfg.CPU.NWindows < 2 {
+				cfg.CPU.NWindows = 2
+			}
+			cfg.DCache.SizeBytes = 1 << (10 + uint(i%5))
+			if _, err := sys.Reconfigure(cfg); err != nil {
+				b.Fatal(err)
+			}
+			hours = sys.ActiveImage().SynthTime.Hours()
+		}
+		b.ReportMetric(hours, "synth-hours")
+	})
+}
+
+// BenchmarkProtocolLoad measures E7: the full networked load+start+
+// readmem session over loopback UDP, including multi-packet chunking.
+func BenchmarkProtocolLoad(b *testing.B) {
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	platform := fpx.New(ctrl, [4]byte{10, 0, 0, 2}, 5001)
+	srv, err := server.New(platform, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := asm.AssembleAt(`
+_start:
+	set result, %g1
+	mov 7, %g2
+	st %g2, [%g1]
+	set 0x1000, %g7
+	jmp %g7
+	nop
+result:	.word 0
+	.space 3000
+`, leon.DefaultLoadAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(obj.Code)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, data, err := c.RunProgram(obj.Origin, obj.Code, obj.Origin, mustSym(b, obj, "result"), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Cycles == 0 || len(data) != 4 || data[3] != 7 {
+			b.Fatalf("bad session: %+v % x", rep, data)
+		}
+	}
+}
+
+func mustSym(b *testing.B, obj *asm.Object, name string) uint32 {
+	b.Helper()
+	v, ok := obj.Symbol(name)
+	if !ok {
+		b.Fatalf("no symbol %s", name)
+	}
+	return v
+}
+
+// BenchmarkAblationBurstLen sweeps the adapter's read chunk (§6).
+func BenchmarkAblationBurstLen(b *testing.B) {
+	var rows []bench.BurstAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.BurstAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-bw%d", r.BurstWords))
+	}
+}
+
+// BenchmarkAblationWritePolicy compares write-through and write-back.
+func BenchmarkAblationWritePolicy(b *testing.B) {
+	var rows []bench.WritePolicyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.WritePolicyExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), r.Policy+"-cycles")
+	}
+}
+
+// BenchmarkAblationAssoc sweeps data-cache associativity at 2 KB.
+func BenchmarkAblationAssoc(b *testing.B) {
+	var rows []bench.AssocRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AssocExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-%dway", r.Assoc))
+	}
+}
+
+// BenchmarkMACExtension measures the liquid ISA extension on the
+// dot-product kernel.
+func BenchmarkMACExtension(b *testing.B) {
+	var plain, mac leon.RunResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		plain, mac, err = bench.MACExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(plain.Cycles), "base-cycles")
+	b.ReportMetric(float64(mac.Cycles), "mac-cycles")
+	b.ReportMetric(float64(plain.Cycles)/float64(mac.Cycles), "speedup")
+}
+
+// BenchmarkToolchain measures the compile+assemble+link pipeline.
+func BenchmarkToolchain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		asmText, err := lcc.Compile(bench.Fig7Source, lcc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := link.Build(asmText, link.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationICache sweeps the instruction-cache size on a
+// code-footprint-heavy kernel (the paper's other cache axis).
+func BenchmarkAblationICache(b *testing.B) {
+	var rows []bench.ICacheRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.ICacheSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-i%dB", r.ICacheBytes))
+	}
+}
+
+// BenchmarkAblationPlacement compares data in SRAM vs SDRAM behind the
+// §3.2 adapter.
+func BenchmarkAblationPlacement(b *testing.B) {
+	var rows []bench.PlacementRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.PlacementExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := "sram-cycles"
+		if r.Memory != "SRAM" {
+			name = "sdram-cycles"
+		}
+		b.ReportMetric(float64(r.Cycles), name)
+	}
+}
+
+// BenchmarkAblationPipeline sweeps pipeline depth: deeper = more
+// branch-penalty cycles, higher synthesized clock.
+func BenchmarkAblationPipeline(b *testing.B) {
+	var rows []bench.PipelineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.PipelineExperiment()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Millis, fmt.Sprintf("ms-depth%d", r.Depth))
+	}
+}

@@ -1,0 +1,49 @@
+// liquid-asm assembles SPARC V8 source into a flat binary image — the
+// "Assemble w/ GAS" and "Convert to bin w/ OBJCOPY" steps of Fig. 4.
+//
+// Usage:
+//
+//	liquid-asm [-origin 0x40001000] [-o prog.bin] [-symbols] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/leon"
+)
+
+func main() {
+	origin := flag.Uint("origin", leon.DefaultLoadAddr, "load origin")
+	out := flag.String("o", "-", "output binary ('-' = stdout)")
+	symbols := flag.Bool("symbols", false, "print the symbol table to stderr")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		cliutil.Fatalf("liquid-asm: one source file at most")
+	}
+	src, err := cliutil.ReadInput(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatalf("liquid-asm: %v", err)
+	}
+	obj, err := asm.AssembleAt(string(src), uint32(*origin))
+	if err != nil {
+		cliutil.Fatalf("liquid-asm: %v", err)
+	}
+	if err := cliutil.WriteOutput(*out, obj.Code); err != nil {
+		cliutil.Fatalf("liquid-asm: %v", err)
+	}
+	if *symbols {
+		names := make([]string, 0, len(obj.Symbols))
+		for n := range obj.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return obj.Symbols[names[i]] < obj.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "%08x %s\n", obj.Symbols[n], n)
+		}
+	}
+}

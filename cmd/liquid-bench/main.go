@@ -1,0 +1,256 @@
+// liquid-bench regenerates every table and figure of the paper's
+// evaluation (§4) plus the DESIGN.md ablations, printing the same rows
+// the paper reports.
+//
+// Usage:
+//
+//	liquid-bench -fig 8        # Fig. 8 table (cycles vs D$ size)
+//	liquid-bench -fig 9        # Fig. 9 series as CSV for plotting
+//	liquid-bench -fig 10       # Fig. 10 device utilization
+//	liquid-bench -exp adapter  # §3.2 adapter behaviour (E5)
+//	liquid-bench -exp reconfig # reconfiguration cache economics (E6)
+//	liquid-bench -exp mac      # liquid ISA extension ablation
+//	liquid-bench -exp burst    # adapter burst-length ablation
+//	liquid-bench -exp writepolicy | -exp assoc
+//	liquid-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liquidarch/internal/bench"
+	"liquidarch/internal/cliutil"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate figure 8, 9 or 10")
+	exp := flag.String("exp", "", "experiment: adapter, reconfig, mac, burst, writepolicy, assoc")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	ran := false
+	run := func(name string, f func() error) {
+		ran = true
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			cliutil.Fatalf("liquid-bench: %s: %v", name, err)
+		}
+		fmt.Println()
+	}
+
+	if *fig == 8 || *all {
+		run("Figure 8: array-access running time vs data cache size", fig8)
+	}
+	if *fig == 9 || *all {
+		run("Figure 9: same series as CSV (cycles vs cache size)", fig9)
+	}
+	if *fig == 10 || *all {
+		run("Figure 10: Liquid Processor System device utilization", fig10)
+	}
+	if *exp == "adapter" || *all {
+		run("E5: AHB↔SDRAM adapter behaviour (§3.2)", adapter)
+	}
+	if *exp == "reconfig" || *all {
+		run("E6: reconfiguration cache economics", reconfigExp)
+	}
+	if *exp == "mac" || *all {
+		run("Ablation: liquid MAC instruction", macExp)
+	}
+	if *exp == "burst" || *all {
+		run("Ablation: adapter read-burst length", burst)
+	}
+	if *exp == "writepolicy" || *all {
+		run("Ablation: data-cache write policy", writePolicy)
+	}
+	if *exp == "assoc" || *all {
+		run("Ablation: data-cache associativity at 2 KB", assoc)
+	}
+	if *exp == "icache" || *all {
+		run("Ablation: instruction-cache size (code-footprint kernel)", icacheExp)
+	}
+	if *exp == "placement" || *all {
+		run("Ablation: data placement, SRAM vs SDRAM via the §3.2 adapter", placement)
+	}
+	if *exp == "pipeline" || *all {
+		run("Ablation: pipeline depth (cycles vs synthesized clock)", pipeline)
+	}
+	if !ran {
+		cliutil.Fatalf("liquid-bench: nothing selected; use -fig, -exp or -all")
+	}
+}
+
+func fig8() error {
+	rows, err := bench.Fig8Sweep()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"Data Cache Size", "Number of clock cycles", "D$ misses", "miss ratio", "ms @ fMax"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%dKB", r.DCacheBytes>>10),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%d", r.Misses),
+			fmt.Sprintf("%.4f", r.MissRatio),
+			fmt.Sprintf("%.3f", r.Millis),
+		})
+	}
+	cliutil.Table(os.Stdout, table)
+	fmt.Println("\nshape check: no cache misses (beyond the cold fill) once the cache reaches 4KB —")
+	fmt.Printf("miss counts: 1KB=%d 2KB=%d 4KB=%d 8KB=%d 16KB=%d\n",
+		rows[0].Misses, rows[1].Misses, rows[2].Misses, rows[3].Misses, rows[4].Misses)
+	return nil
+}
+
+func fig9() error {
+	rows, err := bench.Fig8Sweep()
+	if err != nil {
+		return err
+	}
+	fmt.Println("dcache_bytes,cycles,misses")
+	for _, r := range rows {
+		fmt.Printf("%d,%d,%d\n", r.DCacheBytes, r.Cycles, r.Misses)
+	}
+	return nil
+}
+
+func fig10() error {
+	u, dev := bench.Fig10Report()
+	sp, bp, ip := u.Percent(dev)
+	cliutil.Table(os.Stdout, [][]string{
+		{"Resources", "Device Utilization", "Utilization %"},
+		{"Logic Slices", fmt.Sprintf("%d of %d", u.Slices, dev.Slices), fmt.Sprintf("%.0f%%", sp)},
+		{"BlockRAMs", fmt.Sprintf("%d of %d", u.BlockRAMs, dev.BlockRAMs), fmt.Sprintf("%.0f%%", bp)},
+		{"External IOBs", fmt.Sprintf("%d of %d", u.IOBs, dev.IOBs), fmt.Sprintf("%.0f%%", ip)},
+		{"Frequency", fmt.Sprintf("%.0f MHz", u.FMaxMHz), "NA"},
+	})
+	return nil
+}
+
+func adapter() error {
+	rows, err := bench.AdapterExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"access pattern", "words", "cycles", "handshakes"}}
+	for _, r := range rows {
+		table = append(table, []string{r.Pattern, fmt.Sprintf("%d", r.Words),
+			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Handshakes)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func reconfigExp() error {
+	rows, stats, err := bench.ReconfigExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"step", "cache hit", "cost"}}
+	for _, r := range rows {
+		table = append(table, []string{r.Step, fmt.Sprintf("%v", r.CacheHit), r.SynthTime})
+	}
+	cliutil.Table(os.Stdout, table)
+	fmt.Printf("\ncache: %d hits, %d misses; tool time spent %v, avoided %v\n",
+		stats.Hits, stats.Misses, stats.SynthTime, stats.SavedTime)
+	return nil
+}
+
+func macExp() error {
+	plain, mac, err := bench.MACExperiment()
+	if err != nil {
+		return err
+	}
+	cliutil.Table(os.Stdout, [][]string{
+		{"configuration", "cycles", "instructions"},
+		{"base ISA (mul+add)", fmt.Sprintf("%d", plain.Cycles), fmt.Sprintf("%d", plain.Instructions)},
+		{"MAC unit (lqmac)", fmt.Sprintf("%d", mac.Cycles), fmt.Sprintf("%d", mac.Instructions)},
+	})
+	fmt.Printf("\nspeedup from the liquid ISA extension: %.2fx\n",
+		float64(plain.Cycles)/float64(mac.Cycles))
+	return nil
+}
+
+func burst() error {
+	rows, err := bench.BurstAblation()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"burst words", "fill cycles", "handshakes"}}
+	for _, r := range rows {
+		table = append(table, []string{fmt.Sprintf("%d", r.BurstWords),
+			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Handshakes)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func writePolicy() error {
+	rows, err := bench.WritePolicyExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"policy", "cycles"}}
+	for _, r := range rows {
+		table = append(table, []string{r.Policy, fmt.Sprintf("%d", r.Cycles)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func icacheExp() error {
+	rows, err := bench.ICacheSweep()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"I$ size", "cycles", "I$ misses"}}
+	for _, r := range rows {
+		table = append(table, []string{fmt.Sprintf("%dB", r.ICacheBytes),
+			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Misses)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func placement() error {
+	rows, err := bench.PlacementExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"data memory", "cycles"}}
+	for _, r := range rows {
+		table = append(table, []string{r.Memory, fmt.Sprintf("%d", r.Cycles)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func pipeline() error {
+	rows, err := bench.PipelineExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"depth", "cycles", "fMax", "ms"}}
+	for _, r := range rows {
+		table = append(table, []string{fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%.1f MHz", r.FMaxMHz),
+			fmt.Sprintf("%.3f", r.Millis)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}
+
+func assoc() error {
+	rows, err := bench.AssocExperiment()
+	if err != nil {
+		return err
+	}
+	table := [][]string{{"ways @ 2KB", "cycles", "D$ misses"}}
+	for _, r := range rows {
+		table = append(table, []string{fmt.Sprintf("%d", r.Assoc),
+			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Misses)})
+	}
+	cliutil.Table(os.Stdout, table)
+	return nil
+}

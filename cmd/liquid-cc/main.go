@@ -1,0 +1,52 @@
+// liquid-cc compiles Liquid-C to SPARC V8 assembly or a linked binary
+// image — the "Compile w/ GCC" step of Fig. 4, standing in for the
+// LECCS cross-compiler.
+//
+// Usage:
+//
+//	liquid-cc [-S] [-mac] [-o out] prog.c
+//
+// With -S the output is assembly text; otherwise it is the linked flat
+// binary (crt0 + program) ready for "liquidctl load".
+package main
+
+import (
+	"flag"
+
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit assembly instead of a binary")
+	mac := flag.Bool("mac", false, "allow the __mac builtin")
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	origin := flag.Uint("origin", leon.DefaultLoadAddr, "link origin for binary output")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		cliutil.Fatalf("liquid-cc: one source file at most")
+	}
+	src, err := cliutil.ReadInput(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatalf("liquid-cc: %v", err)
+	}
+	asmText, err := lcc.Compile(string(src), lcc.Options{MAC: *mac})
+	if err != nil {
+		cliutil.Fatalf("liquid-cc: %v", err)
+	}
+	if *emitAsm {
+		if err := cliutil.WriteOutput(*out, []byte(asmText)); err != nil {
+			cliutil.Fatalf("liquid-cc: %v", err)
+		}
+		return
+	}
+	img, err := link.Build(asmText, link.Options{Origin: uint32(*origin)})
+	if err != nil {
+		cliutil.Fatalf("liquid-cc: %v", err)
+	}
+	if err := cliutil.WriteOutput(*out, img.Code); err != nil {
+		cliutil.Fatalf("liquid-cc: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+// liquid-dis disassembles a flat binary image back to SPARC V8
+// assembly — the inspection counterpart of liquid-asm, useful for
+// checking what was loaded into the FPX over the network
+// ("liquidctl readmem ... -out dump.bin && liquid-dis dump.bin").
+//
+// Usage:
+//
+//	liquid-dis [-origin 0x40001000] [-n COUNT] prog.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/isa"
+	"liquidarch/internal/leon"
+)
+
+func main() {
+	origin := flag.Uint("origin", leon.DefaultLoadAddr, "address of the first word")
+	count := flag.Int("n", 0, "stop after N instructions (0 = whole input)")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		cliutil.Fatalf("liquid-dis: one input file at most")
+	}
+	data, err := cliutil.ReadInput(flag.Arg(0))
+	if err != nil {
+		cliutil.Fatalf("liquid-dis: %v", err)
+	}
+	n := len(data) / 4
+	if *count > 0 && *count < n {
+		n = *count
+	}
+	for i := 0; i < n; i++ {
+		pc := uint32(*origin) + uint32(i)*4
+		w := binary.BigEndian.Uint32(data[i*4:])
+		fmt.Printf("%08x:  %08x  %s\n", pc, w, isa.Disassemble(w, pc))
+	}
+}

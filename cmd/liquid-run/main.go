@@ -1,0 +1,111 @@
+// liquid-run executes a program on a locally instantiated Liquid
+// processor system — the standalone counterpart to the networked flow,
+// with the processor configuration on the command line.
+//
+// Usage:
+//
+//	liquid-run -c prog.c  [-dcache 4096 -icache 1024 ...] [-stats] [-hot 5]
+//	liquid-run -s prog.s  ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/core"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/link"
+	"liquidarch/internal/synth"
+)
+
+func main() {
+	fs := flag.NewFlagSet("liquid-run", flag.ExitOnError)
+	cSrc := fs.String("c", "", "C source file")
+	sSrc := fs.String("s", "", "assembly source file")
+	mac := fs.Bool("allowmac", false, "allow the __mac builtin when compiling")
+	budget := fs.Uint64("budget", 0, "cycle budget (0 = default)")
+	stats := fs.Bool("stats", false, "print cache and CPU statistics")
+	hot := fs.Int("hot", 0, "print the N hottest program counters")
+	vhdl := fs.Bool("vhdl", false, "print the configuration's VHDL-like description and exit")
+	buildCfg := cliutil.ConfigFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	cfg, err := buildCfg()
+	if err != nil {
+		cliutil.Fatalf("liquid-run: %v", err)
+	}
+	if *vhdl {
+		fmt.Print(synth.VHDL(cfg))
+		return
+	}
+	sys, err := core.New(cfg, core.Options{
+		UARTOut: os.Stdout,
+		Synth:   synth.Options{BitstreamBytes: 4096},
+	})
+	if err != nil {
+		cliutil.Fatalf("liquid-run: %v", err)
+	}
+
+	var img *link.Image
+	switch {
+	case *cSrc != "":
+		src, err := cliutil.ReadInput(*cSrc)
+		if err != nil {
+			cliutil.Fatalf("liquid-run: %v", err)
+		}
+		img, err = sys.CompileC(string(src), lcc.Options{MAC: *mac})
+		if err != nil {
+			cliutil.Fatalf("liquid-run: %v", err)
+		}
+	case *sSrc != "":
+		src, err := cliutil.ReadInput(*sSrc)
+		if err != nil {
+			cliutil.Fatalf("liquid-run: %v", err)
+		}
+		img, err = sys.BuildASM(string(src))
+		if err != nil {
+			cliutil.Fatalf("liquid-run: %v", err)
+		}
+	default:
+		cliutil.Fatalf("liquid-run: need -c or -s")
+	}
+
+	res, rec, err := sys.RunWithTrace(img, *budget)
+	if err != nil {
+		cliutil.Fatalf("liquid-run: %v", err)
+	}
+	if res.Faulted {
+		cliutil.Fatalf("liquid-run: FAULT tt=%#02x at pc=%#08x after %d cycles", res.TT, res.FaultPC, res.Cycles)
+	}
+	util := sys.ActiveImage().Util
+	fmt.Printf("cycles:        %d (%.3f ms at %.1f MHz)\n",
+		res.Cycles, float64(res.Cycles)/(util.FMaxMHz*1e3), util.FMaxMHz)
+	fmt.Printf("instructions:  %d (CPI %.2f)\n",
+		res.Instructions, float64(res.Cycles)/float64(res.Instructions))
+	if v, err := sys.ExitValue(img); err == nil {
+		fmt.Printf("exit value:    %d (%#x)\n", v, v)
+	}
+
+	if *stats {
+		soc := sys.SoC()
+		ic, dc := soc.ICache.Stats(), soc.DCache.Stats()
+		fmt.Printf("icache:        %d hits, %d misses (%.2f%% miss)\n",
+			ic.Hits, ic.Misses, 100*ic.MissRatio())
+		fmt.Printf("dcache:        %d hits, %d misses (%.2f%% miss), %d write hits, %d write misses\n",
+			dc.Hits, dc.Misses, 100*dc.MissRatio(), dc.WriteHits, dc.WriteMiss)
+		cs := soc.CPU.Stats()
+		fmt.Printf("cpu:           %d loads, %d stores, %d branches (%d taken), %d traps\n",
+			cs.Loads, cs.Stores, cs.Branches, cs.Taken, cs.Traps)
+		fmt.Printf("image:         %d slices, %d BlockRAMs on %s\n",
+			util.Slices, util.BlockRAMs, sys.ActiveImage().Device)
+	}
+	if *hot > 0 {
+		rows := [][]string{{"pc", "count"}}
+		for _, h := range rec.HotSpots(*hot) {
+			rows = append(rows, []string{fmt.Sprintf("%#08x", h.PC), fmt.Sprintf("%d", h.Count)})
+		}
+		cliutil.Table(os.Stdout, rows)
+	}
+}

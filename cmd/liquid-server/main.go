@@ -1,0 +1,69 @@
+// liquid-server is the Reconfiguration Server daemon of Fig. 1: it
+// instantiates a liquid-architecture FPX node and serves the §2.6
+// control protocol (status / load / start / read memory, plus the
+// liquid reconfigure/get-config extensions) over UDP.
+//
+// Usage:
+//
+//	liquid-server -listen 127.0.0.1:5001 [-dcache 4096 ...] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/core"
+	"liquidarch/internal/server"
+	"liquidarch/internal/synth"
+)
+
+func main() {
+	fs := flag.NewFlagSet("liquid-server", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:5001", "UDP address to serve")
+	verbose := fs.Bool("v", false, "log each handled request")
+	uart := fs.Bool("uart", true, "print the processor's UART output to stdout")
+	cacheDir := fs.String("cachedir", "", "persist the reconfiguration cache here")
+	buildCfg := cliutil.ConfigFlags(fs)
+	fs.Parse(os.Args[1:])
+
+	cfg, err := buildCfg()
+	if err != nil {
+		cliutil.Fatalf("liquid-server: %v", err)
+	}
+	opts := core.Options{Synth: synth.Options{BitstreamBytes: 65536}}
+	if *uart {
+		opts.UARTOut = os.Stdout
+	}
+	sys, err := core.New(cfg, opts)
+	if err != nil {
+		cliutil.Fatalf("liquid-server: %v", err)
+	}
+	if *cacheDir != "" {
+		if err := sys.Manager().Cache().Load(*cacheDir); err != nil {
+			log.Printf("liquid-server: cache load: %v", err)
+		}
+		defer func() {
+			if err := sys.Manager().Cache().Save(*cacheDir); err != nil {
+				log.Printf("liquid-server: cache save: %v", err)
+			}
+		}()
+	}
+
+	srv, err := server.New(sys.Platform(), *listen)
+	if err != nil {
+		cliutil.Fatalf("liquid-server: %v", err)
+	}
+	if *verbose {
+		srv.Log = log.Printf
+	}
+	util := sys.ActiveImage().Util
+	fmt.Printf("liquid-server: %s on %s\n", synth.ConfigKey(cfg), srv.Addr())
+	fmt.Printf("liquid-server: image %d slices, %d BlockRAMs, %.1f MHz\n",
+		util.Slices, util.BlockRAMs, util.FMaxMHz)
+	if err := srv.Serve(); err != nil {
+		cliutil.Fatalf("liquid-server: %v", err)
+	}
+}

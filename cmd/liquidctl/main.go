@@ -1,0 +1,229 @@
+// liquidctl is the control client of Fig. 4: it talks the §2.6 UDP
+// protocol to a liquid-server (or directly to an FPX node).
+//
+// Usage:
+//
+//	liquidctl -server HOST:PORT status
+//	liquidctl -server HOST:PORT load   -file prog.bin [-addr 0x40001000]
+//	liquidctl -server HOST:PORT start  [-entry 0x40001000] [-budget N]
+//	liquidctl -server HOST:PORT readmem -addr 0x40001000 -len 64 [-out f]
+//	liquidctl -server HOST:PORT writemem -addr 0x40002000 -file data.bin
+//	liquidctl -server HOST:PORT run    -c prog.c | -s prog.s  [-mac]
+//	liquidctl -server HOST:PORT reconfigure -spec '{"dcache_bytes":8192}'
+//	liquidctl -server HOST:PORT getconfig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"liquidarch/internal/client"
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+	"liquidarch/internal/netproto"
+)
+
+func main() {
+	fs := flag.NewFlagSet("liquidctl", flag.ExitOnError)
+	serverAddr := fs.String("server", "127.0.0.1:5001", "liquid-server address")
+	addr := fs.String("addr", "", "memory address (hex or decimal)")
+	length := fs.Int("len", 4, "byte count for readmem")
+	file := fs.String("file", "", "input file")
+	out := fs.String("out", "", "output file (default stdout)")
+	entry := fs.String("entry", "0", "entry address (0 = last load)")
+	budget := fs.Uint64("budget", 0, "cycle budget (0 = default)")
+	cSrc := fs.String("c", "", "C source to compile and run")
+	sSrc := fs.String("s", "", "assembly source to build and run")
+	mac := fs.Bool("mac", false, "allow the __mac builtin when compiling")
+	spec := fs.String("spec", "", "JSON configuration spec for reconfigure")
+
+	if len(os.Args) < 2 {
+		cliutil.Fatalf("liquidctl: no command; see source header for usage")
+	}
+	// Accept flags before or after the verb. Only known command words
+	// are taken as the verb, so flag values are never mistaken for it.
+	verbs := map[string]bool{
+		"status": true, "load": true, "start": true, "readmem": true,
+		"writemem": true, "run": true, "reconfigure": true,
+		"getconfig": true, "trace": true,
+	}
+	args := os.Args[1:]
+	verb := ""
+	var rest []string
+	for _, a := range args {
+		if verb == "" && verbs[a] {
+			verb = a
+			continue
+		}
+		rest = append(rest, a)
+	}
+	fs.Parse(rest)
+	if verb == "" {
+		cliutil.Fatalf("liquidctl: no command given")
+	}
+
+	c, err := client.Dial(*serverAddr)
+	if err != nil {
+		cliutil.Fatalf("liquidctl: %v", err)
+	}
+	defer c.Close()
+
+	switch verb {
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Printf("state: %v\n", leon.State(st.State))
+		fmt.Printf("boot ok: %v\n", st.BootOK)
+		if st.LoadedAddr != 0 {
+			fmt.Printf("loaded at: %#x\n", st.LoadedAddr)
+		}
+		if st.Last.Cycles > 0 || st.Last.Status != netproto.StatusOK {
+			fmt.Print("last ")
+			printReport(st.Last)
+		}
+
+	case "load":
+		data, err := cliutil.ReadInput(*file)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		a := parseAddrOr(*addr, leon.DefaultLoadAddr)
+		if err := c.LoadProgram(a, data); err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Printf("loaded %d bytes at %#x\n", len(data), a)
+
+	case "start":
+		e := parseAddrOr(*entry, 0)
+		rep, err := c.Start(e, *budget)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		printReport(rep)
+
+	case "readmem":
+		a := parseAddrOr(*addr, 0)
+		data, err := c.ReadMemory(a, *length)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		if *out != "" {
+			if err := cliutil.WriteOutput(*out, data); err != nil {
+				cliutil.Fatalf("liquidctl: %v", err)
+			}
+			return
+		}
+		for i := 0; i < len(data); i += 16 {
+			j := i + 16
+			if j > len(data) {
+				j = len(data)
+			}
+			fmt.Printf("%08x  % x\n", a+uint32(i), data[i:j])
+		}
+
+	case "writemem":
+		data, err := cliutil.ReadInput(*file)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		a := parseAddrOr(*addr, 0)
+		if err := c.WriteMemory(a, data); err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Printf("wrote %d bytes at %#x\n", len(data), a)
+
+	case "run":
+		img := buildImage(*cSrc, *sSrc, *mac)
+		rep, data, err := c.RunProgram(img.Origin, img.Code, img.Entry, img.ExitValueAddr(), 4)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		printReport(rep)
+		if len(data) == 4 {
+			v := uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3])
+			fmt.Printf("exit value: %d (%#x)\n", v, v)
+		}
+
+	case "reconfigure":
+		if *spec == "" {
+			cliutil.Fatalf("liquidctl: reconfigure needs -spec")
+		}
+		if err := c.Reconfigure([]byte(*spec)); err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Println("reconfigured")
+
+	case "getconfig":
+		blob, err := c.GetConfig()
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Println(string(blob))
+
+	case "trace":
+		blob, err := c.TraceReport()
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Println(string(blob))
+
+	default:
+		cliutil.Fatalf("liquidctl: unknown command %q", verb)
+	}
+}
+
+func buildImage(cSrc, sSrc string, mac bool) *link.Image {
+	var asmText string
+	switch {
+	case cSrc != "":
+		src, err := cliutil.ReadInput(cSrc)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		asmText, err = lcc.Compile(string(src), lcc.Options{MAC: mac})
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+	case sSrc != "":
+		src, err := cliutil.ReadInput(sSrc)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		asmText = string(src)
+	default:
+		cliutil.Fatalf("liquidctl: run needs -c or -s")
+	}
+	img, err := link.Build(asmText, link.Options{})
+	if err != nil {
+		cliutil.Fatalf("liquidctl: %v", err)
+	}
+	return img
+}
+
+func printReport(rep netproto.RunReport) {
+	switch rep.Status {
+	case netproto.StatusOK:
+		fmt.Printf("run: ok, %d cycles, %d instructions\n", rep.Cycles, rep.Instructions)
+	case netproto.StatusFault:
+		fmt.Printf("run: FAULT tt=%#02x at pc=%#08x after %d cycles\n", rep.TT, rep.FaultPC, rep.Cycles)
+	default:
+		fmt.Printf("run: status %d\n", rep.Status)
+	}
+}
+
+func parseAddrOr(s string, def uint32) uint32 {
+	if s == "" || s == "0" {
+		return def
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		cliutil.Fatalf("liquidctl: bad address %q: %v", s, err)
+	}
+	return uint32(v)
+}

@@ -1,0 +1,33 @@
+// Package liquidarch is a full reproduction, in Go, of "Liquid
+// Architecture" (Jones, Padmanabhan, Rymarz, Maschmeyer, Schuehler,
+// Lockwood, Cytron; IPPS/RAW 2004): the LEON SPARC-compatible soft
+// core integrated into the FPX platform so that the processor's
+// microarchitecture — cache geometry, pipeline depth, register
+// windows, custom instructions — is liquid: reconfigurable at runtime
+// from a cache of pre-synthesized images, and driven over the network.
+//
+// The physical FPGA is replaced by a cycle-accounting simulation of
+// every hardware component (see DESIGN.md for the substitution table);
+// the control software, network protocol, compiler toolchain, trace
+// analyzer, architecture generator and reconfiguration cache are real
+// implementations.
+//
+// The subsystems live under internal/:
+//
+//	isa, cpu              SPARC V8 instruction set and LEON integer unit
+//	cache, amba, mem      caches, AMBA AHB/APB, SRAM/SDRAM + FPX controller
+//	ahbadapter            the §3.2 AHB↔SDRAM bridge
+//	periph, leon          APB peripherals and the SoC + leon_ctrl circuitry
+//	asm, lcc, link        assembler, Liquid-C compiler, image builder
+//	netproto, fpx         IPv4/UDP wrappers, CPP, packet generator
+//	server, client        reconfiguration server and control client (real UDP)
+//	trace, synth          trace analyzer and calibrated synthesis model
+//	reconfig, archgen     reconfiguration cache and design-space explorer
+//	core                  the liquid-architecture System façade
+//
+// Executables are under cmd/ (liquid-server, liquidctl, liquid-run,
+// liquid-asm, liquid-cc, liquid-bench) and runnable walkthroughs under
+// examples/. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation; EXPERIMENTS.md records the
+// comparison.
+package liquidarch

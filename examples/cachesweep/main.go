@@ -1,0 +1,51 @@
+// Cachesweep reproduces the paper's evaluation (§4, Figures 7-9) end
+// to end: the Fig. 7 array-access program is compiled once and run
+// under data-cache sizes from 1 KB to 16 KB at a constant 32-byte line
+// and 1 KB instruction cache, with the hardware cycle counter and the
+// data-cache miss counters reported for each point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquidarch/internal/bench"
+	"liquidarch/internal/cliutil"
+)
+
+func main() {
+	fmt.Println("Fig. 7 kernel: for (i = 0; i < 1048576; i += 32) x += count[i % 1024];")
+	fmt.Println("sweeping data cache 1-16 KB (32 B lines, 1 KB I$) ...")
+	fmt.Println()
+
+	rows, err := bench.Fig8Sweep()
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := [][]string{{"Data Cache Size", "Number of clock cycles", "D$ misses", "ms @ fMax"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			fmt.Sprintf("%dKB", r.DCacheBytes>>10),
+			fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%d", r.Misses),
+			fmt.Sprintf("%.3f", r.Millis),
+		})
+	}
+	cliutil.Table(os.Stdout, table)
+
+	fmt.Println()
+	fmt.Println("The stride-32 index pattern touches 32 lines spread over 4 KB:")
+	fmt.Println("below 4 KB they conflict on every access; at 4 KB and above only")
+	fmt.Println("the cold fill misses remain — the shape of the paper's Figure 9.")
+	base, best := rows[0], rows[0]
+	for _, r := range rows[1:] {
+		if r.Millis < best.Millis {
+			best = r
+		}
+	}
+	fmt.Printf("\nbest wall-clock point: %dKB (%.3f ms, %.2fx over 1KB)\n",
+		best.DCacheBytes>>10, best.Millis, base.Millis/best.Millis)
+	fmt.Println("note: 8/16 KB lower the synthesized clock, so 4 KB wins overall —")
+	fmt.Println("the trade-off the liquid architecture exists to navigate.")
+}

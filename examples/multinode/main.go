@@ -1,0 +1,109 @@
+// Multinode puts two Liquid processor nodes behind the FPX's four-port
+// NID switch (Fig. 2) and runs the same binary on both, each node
+// instantiated with a different microarchitecture — the "many points
+// in a configuration space" picture of §1 made physical: one chassis,
+// several liquid processors, frames routed by destination IP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/synth"
+)
+
+const program = `
+int count[1024];
+int result;
+int main() {
+    int i;
+    int address;
+    int x = 0;
+    for (i = 0; i < 262144; i = i + 32) {
+        address = i % 1024;
+        x = x + count[address];
+    }
+    result = x;
+    return x;
+}`
+
+var hostIP = [4]byte{10, 0, 0, 1}
+
+func main() {
+	sw := fpx.NewSwitch()
+
+	// Node A: small data cache. Node B: the tuned 8 KB point.
+	nodes := map[string][4]byte{}
+	for _, n := range []struct {
+		name   string
+		ip     [4]byte
+		dcache int
+	}{
+		{"node-a (1KB D$)", [4]byte{10, 0, 0, 2}, 1 << 10},
+		{"node-b (8KB D$)", [4]byte{10, 0, 0, 3}, 8 << 10},
+	} {
+		cfg := leon.DefaultConfig()
+		cfg.DCache.SizeBytes = n.dcache
+		sys, err := core.New(cfg, core.Options{
+			IP:    n.ip,
+			Synth: synth.Options{BitstreamBytes: 4096},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sw.Attach(sys.Platform()); err != nil {
+			log.Fatal(err)
+		}
+		nodes[n.name] = n.ip
+		fmt.Printf("attached %s at %d.%d.%d.%d\n", n.name, n.ip[0], n.ip[1], n.ip[2], n.ip[3])
+	}
+
+	// Build the program once; upload and run it on each node by
+	// addressing frames through the switch.
+	asmText, err := lcc.Compile(program, lcc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := link.Build(asmText, link.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	send := func(dst [4]byte, pkt netproto.Packet) netproto.Packet {
+		frame := netproto.BuildFrame(hostIP, dst, 40000, 5001, pkt.Marshal())
+		resps, forwarded, err := sw.Route(frame)
+		if err != nil || forwarded || len(resps) != 1 {
+			log.Fatalf("route: %v forwarded=%v n=%d", err, forwarded, len(resps))
+		}
+		f, err := netproto.ParseFrame(resps[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := netproto.ParsePacket(f.Payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	fmt.Println()
+	for name, ip := range nodes {
+		for _, ch := range netproto.ChunkImage(img.Origin, img.Code) {
+			send(ip, netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
+		}
+		resp := send(ip, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
+		rep, err := netproto.ParseRunReport(resp.Body)
+		if err != nil || rep.Status != netproto.StatusOK {
+			log.Fatalf("%s: %v %+v", name, err, rep)
+		}
+		fmt.Printf("%-16s %10d cycles\n", name, rep.Cycles)
+	}
+	st := sw.Stats()
+	fmt.Printf("\nswitch: %d frames delivered, %d forwarded\n", st.Delivered, st.Forwarded)
+}

@@ -1,0 +1,70 @@
+// Quickstart: instantiate a Liquid processor system, compile a C
+// program, run it on the simulated FPX node and read the result back —
+// the whole §2.6 flow in one file, without the network.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/synth"
+)
+
+const program = `
+// Sum the first 100 integers and print a marker on the UART.
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 1; i <= 100; i++)
+        sum += i;
+    *(unsigned*)0x80000070 = 'O';   // UART data register
+    *(unsigned*)0x80000070 = 'K';
+    *(unsigned*)0x80000070 = '\n';
+    return sum;
+}`
+
+func main() {
+	// 1. Instantiate the base Liquid processor system (LEON2-like,
+	//    1 KB I$, 4 KB D$, Fig. 10's 30 MHz image).
+	sys, err := core.New(leon.DefaultConfig(), core.Options{
+		UARTOut: os.Stdout,
+		Synth:   synth.Options{BitstreamBytes: 4096},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	util := sys.ActiveImage().Util
+	fmt.Printf("instantiated: %d slices, %d BlockRAMs, %.0f MHz on %s\n",
+		util.Slices, util.BlockRAMs, util.FMaxMHz, sys.ActiveImage().Device)
+
+	// 2. Compile and link (gcc → GAS → LD → OBJCOPY of Fig. 4).
+	img, err := sys.CompileC(program, lcc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d bytes at %#x\n", len(img.Code), img.Origin)
+
+	// 3. Load through leon_ctrl, execute, count cycles (§3.1).
+	res, err := sys.Run(img, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Faulted {
+		log.Fatalf("program faulted: tt=%#x at %#x", res.TT, res.FaultPC)
+	}
+	fmt.Printf("ran: %d cycles, %d instructions (%.3f ms at %.0f MHz)\n",
+		res.Cycles, res.Instructions,
+		float64(res.Cycles)/(util.FMaxMHz*1e3), util.FMaxMHz)
+
+	// 4. Read the result from memory, like the paper's Read Memory
+	//    command.
+	sum, err := sys.ExitValue(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("result: sum(1..100) = %d\n", sum)
+}

@@ -1,0 +1,38 @@
+package liquidarch
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end via `go run` and
+// checks for its landmark output line — the walkthroughs in examples/
+// must never rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "sum(1..100) = 5050"},
+		{"./examples/cachesweep", "best wall-clock point"},
+		{"./examples/remote", "faster)"},
+		{"./examples/autotune", "speedup:"},
+		{"./examples/multinode", "frames delivered"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

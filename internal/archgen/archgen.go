@@ -1,0 +1,212 @@
+// Package archgen implements the Architecture Generator of Fig. 1:
+// "the applications developer explores reconfigurability options". It
+// enumerates a configuration space around a base Liquid processor
+// system, predicts each point's performance from a recorded execution
+// trace (via the trace analyzer's cache replay) and its cost from the
+// synthesis model, and ranks the candidates so the reconfiguration
+// cache can be pre-populated with the most promising images.
+package archgen
+
+import (
+	"fmt"
+	"sort"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/reconfig"
+	"liquidarch/internal/synth"
+	"liquidarch/internal/trace"
+)
+
+// Space is a parameter space around a base configuration. Empty axes
+// keep the base value.
+type Space struct {
+	Base leon.Config
+
+	DCacheSizes    []int
+	DCacheAssocs   []int
+	DCacheLines    []int
+	ICacheSizes    []int
+	MAC            []bool
+	BurstWords     []int
+	PipelineDepths []int
+}
+
+// PaperSpace is the sweep the paper's evaluation runs: data cache size
+// 1-16 KB at a constant 32 B line and 1 KB instruction cache (§4).
+func PaperSpace(base leon.Config) Space {
+	return Space{
+		Base:        base,
+		DCacheSizes: []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+	}
+}
+
+func orInts(vals []int, base int) []int {
+	if len(vals) == 0 {
+		return []int{base}
+	}
+	return vals
+}
+
+func orBools(vals []bool, base bool) []bool {
+	if len(vals) == 0 {
+		return []bool{base}
+	}
+	return vals
+}
+
+// Enumerate expands the space into concrete, valid configurations.
+func (s Space) Enumerate() []leon.Config {
+	var out []leon.Config
+	for _, dsz := range orInts(s.DCacheSizes, s.Base.DCache.SizeBytes) {
+		for _, dassoc := range orInts(s.DCacheAssocs, s.Base.DCache.Assoc) {
+			for _, dline := range orInts(s.DCacheLines, s.Base.DCache.LineBytes) {
+				for _, isz := range orInts(s.ICacheSizes, s.Base.ICache.SizeBytes) {
+					for _, mac := range orBools(s.MAC, s.Base.CPU.MAC) {
+						for _, bw := range orInts(s.BurstWords, s.Base.BurstWords) {
+							for _, pd := range orInts(s.PipelineDepths, s.Base.CPU.Depth()) {
+								cfg := s.Base
+								cfg.DCache.SizeBytes = dsz
+								cfg.DCache.Assoc = dassoc
+								cfg.DCache.LineBytes = dline
+								cfg.ICache.SizeBytes = isz
+								cfg.CPU.MAC = mac
+								cfg.CPU.PipelineDepth = pd
+								cfg.CPU.Timing = cpu.TimingForDepth(pd)
+								cfg.BurstWords = bw
+								if cfg.Validate() == nil {
+									out = append(out, cfg)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Candidate is one evaluated configuration point.
+type Candidate struct {
+	Config leon.Config
+	Util   synth.Utilization
+	// Cache behaviour predicted by trace replay.
+	CacheStats cache.Stats
+	MissRatio  float64
+	// PredictedCycles models program cycles on this configuration.
+	PredictedCycles float64
+	// PredictedSeconds folds in the synthesized clock (bigger caches
+	// run at lower fMax — the liquid trade-off).
+	PredictedSeconds float64
+	Fits             bool
+}
+
+// Options tunes exploration.
+type Options struct {
+	// Device bounds candidates (default synth.XCV2000E).
+	Device synth.Device
+	// FillPenalty is the modelled cycles per cache line fill (default
+	// derived from the SRAM/adapter timing).
+	FillPenalty float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device.Slices == 0 {
+		o.Device = synth.XCV2000E
+	}
+	if o.FillPenalty == 0 {
+		o.FillPenalty = 12
+	}
+	return o
+}
+
+// Explore evaluates every point of the space against the recorded
+// trace and returns candidates ranked best-first (lowest predicted
+// wall-clock time; ties by area). Points that do not fit the device
+// are included with Fits=false and rank last.
+func Explore(rec *trace.Recorder, space Space, opts Options) ([]Candidate, error) {
+	opts = opts.withDefaults()
+	cfgs := space.Enumerate()
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("archgen: empty configuration space")
+	}
+	events := rec.MemEvents()
+	insts := float64(rec.Instructions())
+	out := make([]Candidate, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		util := synth.Estimate(cfg)
+		c := Candidate{Config: cfg, Util: util}
+		c.Fits = util.Slices <= opts.Device.Slices &&
+			util.BlockRAMs <= opts.Device.BlockRAMs &&
+			util.IOBs <= opts.Device.IOBs
+		st, err := trace.Replay(events, cfg.DCache)
+		if err != nil {
+			return nil, fmt.Errorf("archgen: %w", err)
+		}
+		c.CacheStats = st
+		c.MissRatio = st.MissRatio()
+		fill := opts.FillPenalty * float64(cfg.DCache.LineBytes) / 32
+		accesses := float64(st.Hits + st.Misses + st.WriteHits + st.WriteMiss)
+		fills := float64(st.Fills) // read misses plus write-allocates
+		writeTraffic := 0.0
+		if cfg.DCache.Write == cache.WriteThrough {
+			writeTraffic = 2 * float64(st.WriteHits+st.WriteMiss)
+		} else {
+			writeTraffic = fill * float64(st.WriteBacks)
+		}
+		branchExtra := float64(cfg.CPU.Depth()-5) * 0.15 * insts
+		if branchExtra < 0 {
+			branchExtra = 0
+		}
+		c.PredictedCycles = insts + accesses + fills*fill + writeTraffic + branchExtra
+		c.PredictedSeconds = c.PredictedCycles / (util.FMaxMHz * 1e6)
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Fits != out[j].Fits {
+			return out[i].Fits
+		}
+		if out[i].PredictedSeconds != out[j].PredictedSeconds {
+			return out[i].PredictedSeconds < out[j].PredictedSeconds
+		}
+		return out[i].Util.Slices < out[j].Util.Slices
+	})
+	return out, nil
+}
+
+// Pregenerate synthesizes the top n fitting candidates into the
+// reconfiguration cache, returning the images' keys.
+func Pregenerate(m *reconfig.Manager, candidates []Candidate, n int) ([]string, error) {
+	keys := make([]string, 0, n)
+	for _, c := range candidates {
+		if len(keys) >= n {
+			break
+		}
+		if !c.Fits {
+			continue
+		}
+		img, _, err := m.GetOrSynthesize(c.Config)
+		if err != nil {
+			return keys, fmt.Errorf("archgen: pregenerate: %w", err)
+		}
+		keys = append(keys, img.Key)
+	}
+	return keys, nil
+}
+
+// WideSpace extends the paper's sweep with the other §1 axes: data
+// cache associativity and line size, the MAC unit and the pipeline
+// depth — the "many points in a configuration space" the environment
+// pre-generates images for.
+func WideSpace(base leon.Config) Space {
+	return Space{
+		Base:           base,
+		DCacheSizes:    []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		DCacheAssocs:   []int{1, 2},
+		DCacheLines:    []int{16, 32},
+		MAC:            []bool{false, true},
+		PipelineDepths: []int{5, 6},
+	}
+}

@@ -1,0 +1,194 @@
+package archgen
+
+import (
+	"testing"
+
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+	"liquidarch/internal/reconfig"
+	"liquidarch/internal/synth"
+	"liquidarch/internal/trace"
+)
+
+// fig7Trace records the paper's kernel on a small-cache system so the
+// generator has something to improve.
+func fig7Trace(t *testing.T) *trace.Recorder {
+	t.Helper()
+	src := `
+int count[1024];
+int main() {
+    int i;
+    int address;
+    int x = 0;
+    for (i = 0; i < 65536; i = i + 32) {
+        address = i % 1024;
+        x = x + count[address];
+    }
+    return x;
+}`
+	asmSrc, err := lcc.Compile(src, lcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Build(asmSrc, link.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := leon.DefaultConfig()
+	cfg.DCache.SizeBytes = 1 << 10
+	soc, err := leon.New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.Attach(soc.CPU)
+	defer rec.Detach()
+	if res, err := ctrl.Execute(img.Entry, 0); err != nil || res.Faulted {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	return rec
+}
+
+func TestEnumeratePaperSpace(t *testing.T) {
+	space := PaperSpace(leon.DefaultConfig())
+	cfgs := space.Enumerate()
+	if len(cfgs) != 5 {
+		t.Fatalf("%d configs, want 5", len(cfgs))
+	}
+	sizes := map[int]bool{}
+	for _, cfg := range cfgs {
+		sizes[cfg.DCache.SizeBytes] = true
+		// Untouched axes stay at base values.
+		if cfg.ICache != leon.DefaultConfig().ICache {
+			t.Error("icache drifted")
+		}
+	}
+	for _, s := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		if !sizes[s] {
+			t.Errorf("size %d missing", s)
+		}
+	}
+}
+
+func TestEnumerateCrossProductAndValidation(t *testing.T) {
+	space := Space{
+		Base:           leon.DefaultConfig(),
+		DCacheSizes:    []int{1 << 10, 4 << 10},
+		DCacheAssocs:   []int{1, 2},
+		MAC:            []bool{false, true},
+		PipelineDepths: []int{5, 7},
+	}
+	cfgs := space.Enumerate()
+	if len(cfgs) != 16 {
+		t.Fatalf("%d configs, want 16", len(cfgs))
+	}
+	// Depth axis must adjust the timing table.
+	for _, cfg := range cfgs {
+		if cfg.CPU.Depth() == 7 && cfg.CPU.Timing.Branch != 2 {
+			t.Errorf("depth 7 branch penalty = %d", cfg.CPU.Timing.Branch)
+		}
+	}
+	// Invalid combinations are dropped.
+	bad := Space{Base: leon.DefaultConfig(), DCacheSizes: []int{3000}}
+	if got := bad.Enumerate(); len(got) != 0 {
+		t.Errorf("invalid size produced %d configs", len(got))
+	}
+}
+
+func TestExploreRanksBiggerCacheFirst(t *testing.T) {
+	rec := fig7Trace(t)
+	space := PaperSpace(leon.DefaultConfig())
+	cands, err := Explore(rec, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 5 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	best := cands[0]
+	// The Fig. 7 kernel conflicts below 4 KB: the winner must be ≥4KB.
+	if best.Config.DCache.SizeBytes < 4<<10 {
+		t.Errorf("best candidate D$ = %d bytes", best.Config.DCache.SizeBytes)
+	}
+	// And must not be 16 KB: it costs fMax without cutting misses, so
+	// 4 or 8 KB wins on predicted wall-clock.
+	if best.Config.DCache.SizeBytes > 8<<10 {
+		t.Errorf("best candidate overshoots to %d bytes", best.Config.DCache.SizeBytes)
+	}
+	// Ranking is by predicted seconds among fitting candidates.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Fits && cands[i].Fits &&
+			cands[i-1].PredictedSeconds > cands[i].PredictedSeconds {
+			t.Error("candidates not sorted by predicted time")
+		}
+	}
+	// The 1 KB point predicts far more misses than the winner.
+	var oneKB Candidate
+	for _, c := range cands {
+		if c.Config.DCache.SizeBytes == 1<<10 {
+			oneKB = c
+		}
+	}
+	if oneKB.MissRatio < 5*best.MissRatio {
+		t.Errorf("1KB miss ratio %.4f vs best %.4f", oneKB.MissRatio, best.MissRatio)
+	}
+}
+
+func TestExploreMarksUnfittable(t *testing.T) {
+	rec := fig7Trace(t)
+	space := Space{
+		Base:        leon.DefaultConfig(),
+		DCacheSizes: []int{4 << 10, 256 << 10}, // second cannot fit
+	}
+	cands, err := Explore(rec, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	if !cands[0].Fits || cands[1].Fits {
+		t.Errorf("fit flags: %v %v", cands[0].Fits, cands[1].Fits)
+	}
+	if cands[1].Config.DCache.SizeBytes != 256<<10 {
+		t.Error("unfittable candidate not ranked last")
+	}
+}
+
+func TestExploreEmptySpace(t *testing.T) {
+	rec := trace.NewRecorder()
+	if _, err := Explore(rec, Space{Base: leon.Config{}}, Options{}); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestPregenerateTopCandidates(t *testing.T) {
+	rec := fig7Trace(t)
+	cands, err := Explore(rec, PaperSpace(leon.DefaultConfig()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := reconfig.NewManager(reconfig.NewCache(0), synth.Options{BitstreamBytes: 128})
+	keys, err := Pregenerate(m, cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("pregenerated %d", len(keys))
+	}
+	if m.Cache().Len() != 3 {
+		t.Errorf("cache holds %d", m.Cache().Len())
+	}
+	// The best candidate's image must now hit.
+	if _, hit, err := m.GetOrSynthesize(cands[0].Config); err != nil || !hit {
+		t.Errorf("best candidate missed after pregeneration (%v)", err)
+	}
+}

@@ -1,0 +1,39 @@
+package archgen
+
+import (
+	"testing"
+
+	"liquidarch/internal/leon"
+)
+
+func TestWideSpaceExplore(t *testing.T) {
+	rec := fig7Trace(t)
+	space := WideSpace(leon.DefaultConfig())
+	cfgs := space.Enumerate()
+	if len(cfgs) != 5*2*2*2*2 {
+		t.Fatalf("%d configs, want 80", len(cfgs))
+	}
+	cands, err := Explore(rec, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != len(cfgs) {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	best := cands[0]
+	if !best.Fits {
+		t.Error("best candidate does not fit")
+	}
+	// The winner must clear the conflict cliff (≥4 KB or 2-way helps
+	// only if capacity suffices; for the Fig. 7 stride it needs size).
+	if best.Config.DCache.SizeBytes < 4<<10 && best.Config.DCache.Assoc == 1 {
+		t.Errorf("best = %v", best.Config.DCache)
+	}
+	// All fitting candidates are sorted by predicted wall-clock.
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].Fits && cands[i].Fits &&
+			cands[i-1].PredictedSeconds > cands[i].PredictedSeconds+1e-12 {
+			t.Fatal("ranking broken")
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package asm implements a two-pass SPARC V8 assembler for the Liquid
+// Architecture toolchain. It replaces the binutils GAS step of the
+// paper's flow (§5: "Compile w/ GCC, Assemble w/ GAS, Link w/ LD…") and
+// is used both by the mini-C compiler back end and to build the
+// modified LEON boot ROM of Fig. 5.
+//
+// Supported syntax (GAS-flavoured):
+//
+//	label:  add %o0, 4, %o1      ! comment
+//	        set 0x40000000, %g1
+//	        ld [%g1 + 8], %o0
+//	        bne,a loop
+//	        .word 1, 2, 3
+//	        .org 0x1000
+//
+// Synthetic instructions: mov, set, cmp, tst, clr, inc, dec, not, neg,
+// jmp, call (register form), ret, retl, nop, b<cond>[,a], t<cond>,
+// rd/wr of %psr %wim %tbr %y, and %hi()/%lo() operand expressions.
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is an assembly diagnostic tied to a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Object is the output of assembly: a flat big-endian image starting at
+// Origin, plus the symbol table.
+type Object struct {
+	Origin  uint32
+	Code    []byte
+	Symbols map[string]uint32
+}
+
+// Symbol returns the address of a defined symbol.
+func (o *Object) Symbol(name string) (uint32, bool) {
+	v, ok := o.Symbols[name]
+	return v, ok
+}
+
+// Size returns the image size in bytes.
+func (o *Object) Size() int { return len(o.Code) }
+
+// Assemble assembles src with origin 0.
+func Assemble(src string) (*Object, error) { return AssembleAt(src, 0) }
+
+// AssembleAt assembles src with the given load origin. All label
+// addresses are absolute.
+func AssembleAt(src string, origin uint32) (*Object, error) {
+	a := &assembler{origin: origin, symbols: make(map[string]uint32)}
+	lines := splitLines(src)
+	// Pass 1: sizes and label addresses.
+	a.pass = 1
+	a.loc = origin
+	for i, ln := range lines {
+		if err := a.line(i+1, ln); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: encoding.
+	a.pass = 2
+	a.loc = origin
+	a.out = make([]byte, 0, a.maxLoc-origin)
+	for i, ln := range lines {
+		if err := a.line(i+1, ln); err != nil {
+			return nil, err
+		}
+	}
+	return &Object{Origin: origin, Code: a.out, Symbols: a.symbols}, nil
+}
+
+type assembler struct {
+	origin  uint32
+	pass    int
+	loc     uint32
+	maxLoc  uint32
+	out     []byte
+	symbols map[string]uint32
+}
+
+// splitLines splits source into logical lines, stripping comments.
+func splitLines(src string) []string {
+	raw := strings.Split(src, "\n")
+	out := make([]string, len(raw))
+	for i, ln := range raw {
+		if j := strings.IndexAny(ln, "!"); j >= 0 {
+			ln = ln[:j]
+		}
+		if j := strings.Index(ln, "//"); j >= 0 {
+			ln = ln[:j]
+		}
+		out[i] = strings.TrimSpace(ln)
+	}
+	return out
+}
+
+func (a *assembler) errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// advance moves the location counter and, in pass 2, emits bytes.
+func (a *assembler) emit(words ...uint32) {
+	if a.pass == 2 {
+		for _, w := range words {
+			a.out = append(a.out, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		}
+	}
+	a.loc += uint32(len(words)) * 4
+	if a.loc > a.maxLoc {
+		a.maxLoc = a.loc
+	}
+}
+
+func (a *assembler) emitBytes(b ...byte) {
+	if a.pass == 2 {
+		a.out = append(a.out, b...)
+	}
+	a.loc += uint32(len(b))
+	if a.loc > a.maxLoc {
+		a.maxLoc = a.loc
+	}
+}
+
+// line assembles one logical line.
+func (a *assembler) line(n int, ln string) error {
+	// Labels (possibly several) prefix the statement.
+	for {
+		j := strings.Index(ln, ":")
+		if j < 0 {
+			break
+		}
+		name := strings.TrimSpace(ln[:j])
+		if !isIdent(name) {
+			break // ':' inside something else
+		}
+		if a.pass == 1 {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf(n, "duplicate label %q", name)
+			}
+			a.symbols[name] = a.loc
+		}
+		ln = strings.TrimSpace(ln[j+1:])
+	}
+	if ln == "" {
+		return nil
+	}
+	// name = value assignment.
+	if j := strings.Index(ln, "="); j > 0 && isIdent(strings.TrimSpace(ln[:j])) {
+		name := strings.TrimSpace(ln[:j])
+		if a.pass == 1 {
+			v, err := a.expr(n, strings.TrimSpace(ln[j+1:]))
+			if err != nil {
+				return err
+			}
+			a.symbols[name] = v
+		}
+		return nil
+	}
+	mnem, rest, _ := strings.Cut(ln, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(mnem, ".") {
+		return a.directive(n, mnem, rest)
+	}
+	return a.instruction(n, mnem, rest)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// directive handles assembler directives.
+func (a *assembler) directive(n int, name, rest string) error {
+	switch name {
+	case ".org":
+		v, err := a.exprStrict(n, rest)
+		if err != nil {
+			return err
+		}
+		if v < a.loc {
+			return a.errf(n, ".org %#x is behind location counter %#x", v, a.loc)
+		}
+		a.emitBytes(make([]byte, v-a.loc)...)
+		return nil
+	case ".align":
+		v, err := a.exprStrict(n, rest)
+		if err != nil {
+			return err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return a.errf(n, ".align %d is not a power of two", v)
+		}
+		pad := (v - a.loc%v) % v
+		a.emitBytes(make([]byte, pad)...)
+		return nil
+	case ".word", ".half", ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.expr(n, f)
+			if err != nil {
+				return err
+			}
+			switch name {
+			case ".word":
+				a.emit(v)
+			case ".half":
+				a.emitBytes(byte(v>>8), byte(v))
+			default:
+				a.emitBytes(byte(v))
+			}
+		}
+		return nil
+	case ".ascii", ".asciz":
+		s, err := unquote(rest)
+		if err != nil {
+			return a.errf(n, "%v", err)
+		}
+		a.emitBytes([]byte(s)...)
+		if name == ".asciz" {
+			a.emitBytes(0)
+		}
+		return nil
+	case ".space", ".skip":
+		v, err := a.exprStrict(n, rest)
+		if err != nil {
+			return err
+		}
+		a.emitBytes(make([]byte, v)...)
+		return nil
+	case ".global", ".globl", ".text", ".data", ".section", ".type", ".size", ".proc":
+		return nil // accepted and ignored (single flat section)
+	case ".equ", ".set":
+		parts := splitOperands(rest)
+		if len(parts) != 2 || !isIdent(parts[0]) {
+			return a.errf(n, "%s wants \"name, value\"", name)
+		}
+		if a.pass == 1 {
+			v, err := a.expr(n, parts[1])
+			if err != nil {
+				return err
+			}
+			a.symbols[parts[0]] = v
+		}
+		return nil
+	default:
+		return a.errf(n, "unknown directive %s", name)
+	}
+}
+
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			case '\\', '"':
+				b.WriteByte(body[i])
+			default:
+				return "", fmt.Errorf("unknown escape \\%c", body[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String(), nil
+}
+
+// splitOperands splits on commas that are not inside brackets or
+// parentheses.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

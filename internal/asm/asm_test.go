@@ -1,0 +1,328 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Object {
+	t.Helper()
+	o, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\nsource:\n%s", err, src)
+	}
+	return o
+}
+
+func words(o *Object) []uint32 {
+	out := make([]uint32, len(o.Code)/4)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(o.Code[i*4:])
+	}
+	return out
+}
+
+func TestBasicEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want isa.Inst
+	}{
+		{"add %o0, %o1, %o2", isa.Inst{Op: isa.OpADD, Rd: 10, Rs1: 8, Rs2: 9}},
+		{"add %o0, 4, %o2", isa.Inst{Op: isa.OpADD, Rd: 10, Rs1: 8, UseImm: true, Imm: 4}},
+		{"sub %sp, -96, %sp", isa.Inst{Op: isa.OpSUB, Rd: isa.SP, Rs1: isa.SP, UseImm: true, Imm: -96}},
+		{"mov 7, %o0", isa.Inst{Op: isa.OpOR, Rd: 8, Rs1: 0, UseImm: true, Imm: 7}},
+		{"mov %o1, %o0", isa.Inst{Op: isa.OpOR, Rd: 8, Rs1: 0, Rs2: 9}},
+		{"cmp %o0, 3", isa.Inst{Op: isa.OpSUBcc, Rd: 0, Rs1: 8, UseImm: true, Imm: 3}},
+		{"tst %o0", isa.Inst{Op: isa.OpORcc, Rd: 0, Rs1: 8, Rs2: 0}},
+		{"clr %o0", isa.Inst{Op: isa.OpOR, Rd: 8, Rs1: 0, Rs2: 0}},
+		{"inc %o0", isa.Inst{Op: isa.OpADD, Rd: 8, Rs1: 8, UseImm: true, Imm: 1}},
+		{"dec 4, %o0", isa.Inst{Op: isa.OpSUB, Rd: 8, Rs1: 8, UseImm: true, Imm: 4}},
+		{"not %o0", isa.Inst{Op: isa.OpXNOR, Rd: 8, Rs1: 8, Rs2: 0}},
+		{"neg %o1, %o0", isa.Inst{Op: isa.OpSUB, Rd: 8, Rs1: 0, Rs2: 9}},
+		{"ld [%sp + 64], %o0", isa.Inst{Op: isa.OpLD, Rd: 8, Rs1: isa.SP, UseImm: true, Imm: 64}},
+		{"ld [%g1], %o0", isa.Inst{Op: isa.OpLD, Rd: 8, Rs1: 1, UseImm: true, Imm: 0}},
+		{"ld [%g1 + %g2], %o0", isa.Inst{Op: isa.OpLD, Rd: 8, Rs1: 1, Rs2: 2}},
+		{"ld [%fp - 8], %o0", isa.Inst{Op: isa.OpLD, Rd: 8, Rs1: isa.FP, UseImm: true, Imm: -8}},
+		{"st %o0, [%sp]", isa.Inst{Op: isa.OpST, Rd: 8, Rs1: isa.SP, UseImm: true, Imm: 0}},
+		{"std %i0, [%sp + 56]", isa.Inst{Op: isa.OpSTD, Rd: 24, Rs1: isa.SP, UseImm: true, Imm: 56}},
+		{"swap [%g1], %o0", isa.Inst{Op: isa.OpSWAP, Rd: 8, Rs1: 1, UseImm: true, Imm: 0}},
+		{"jmp %l1", isa.Inst{Op: isa.OpJMPL, Rd: 0, Rs1: 17, UseImm: true, Imm: 0}},
+		{"jmpl %o7 + 8, %g0", isa.Inst{Op: isa.OpJMPL, Rd: 0, Rs1: 15, UseImm: true, Imm: 8}},
+		{"call %g1", isa.Inst{Op: isa.OpJMPL, Rd: 15, Rs1: 1, UseImm: true, Imm: 0}},
+		{"ret", isa.Inst{Op: isa.OpJMPL, Rd: 0, Rs1: 31, UseImm: true, Imm: 8}},
+		{"retl", isa.Inst{Op: isa.OpJMPL, Rd: 0, Rs1: 15, UseImm: true, Imm: 8}},
+		{"rett %l2 + 4", isa.Inst{Op: isa.OpRETT, Rd: 0, Rs1: 18, UseImm: true, Imm: 4}},
+		{"save %sp, -96, %sp", isa.Inst{Op: isa.OpSAVE, Rd: isa.SP, Rs1: isa.SP, UseImm: true, Imm: -96}},
+		{"restore", isa.Inst{Op: isa.OpRESTORE}},
+		{"rd %psr, %l0", isa.Inst{Op: isa.OpRDPSR, Rd: 16}},
+		{"wr %l0, %wim", isa.Inst{Op: isa.OpWRWIM, Rs1: 16, UseImm: true, Imm: 0}},
+		{"wr %l0, 4, %psr", isa.Inst{Op: isa.OpWRPSR, Rs1: 16, UseImm: true, Imm: 4}},
+		{"mov %psr, %l0", isa.Inst{Op: isa.OpRDPSR, Rd: 16}},
+		{"mov 2, %wim", isa.Inst{Op: isa.OpWRWIM, Rs1: 0, UseImm: true, Imm: 2}},
+		{"ta 3", isa.Inst{Op: isa.OpTicc, Cond: isa.CondA, Rs1: 0, UseImm: true, Imm: 3}},
+		{"flush %g1", isa.Inst{Op: isa.OpFLUSH, Rd: 0, Rs1: 1, UseImm: true, Imm: 0}},
+		{"umul %o0, %o1, %o2", isa.Inst{Op: isa.OpUMUL, Rd: 10, Rs1: 8, Rs2: 9}},
+		{"sll %o0, 2, %o0", isa.Inst{Op: isa.OpSLL, Rd: 8, Rs1: 8, UseImm: true, Imm: 2}},
+		{"lqmac %o1, %o2, %o0", isa.Inst{Op: isa.OpLQMAC, Rd: 8, Rs1: 9, Rs2: 10}},
+		{"btst 1, %o0", isa.Inst{Op: isa.OpANDcc, Rd: 0, Rs1: 8, UseImm: true, Imm: 1}},
+		{"unimp", isa.Inst{Op: isa.OpUNIMP, Imm: 0}},
+	}
+	for _, c := range cases {
+		o := mustAssemble(t, c.src)
+		if len(o.Code) != 4 {
+			t.Errorf("%q assembled to %d bytes", c.src, len(o.Code))
+			continue
+		}
+		want, err := isa.Encode(c.want)
+		if err != nil {
+			t.Fatalf("encode want for %q: %v", c.src, err)
+		}
+		got := binary.BigEndian.Uint32(o.Code)
+		if got != want {
+			t.Errorf("%q = %#08x (%s), want %#08x (%s)", c.src,
+				got, isa.Disassemble(got, 0), want, isa.Disassemble(want, 0))
+		}
+	}
+}
+
+func TestNopEncoding(t *testing.T) {
+	o := mustAssemble(t, "nop")
+	if got := binary.BigEndian.Uint32(o.Code); got != isa.NOP {
+		t.Errorf("nop = %#08x", got)
+	}
+}
+
+func TestSetExpandsToTwoWords(t *testing.T) {
+	o := mustAssemble(t, "set 0x40000000, %g1")
+	w := words(o)
+	if len(w) != 2 {
+		t.Fatalf("set produced %d words", len(w))
+	}
+	in0, _ := isa.Decode(w[0])
+	in1, _ := isa.Decode(w[1])
+	if in0.Op != isa.OpSETHI || uint32(in0.Imm)<<10 != 0x40000000 {
+		t.Errorf("first word %v", in0)
+	}
+	if in1.Op != isa.OpOR || in1.Imm != 0 {
+		t.Errorf("second word %v", in1)
+	}
+}
+
+func TestBranchDisplacement(t *testing.T) {
+	src := `
+loop:	nop
+	nop
+	bne loop
+	nop
+	be,a done
+	nop
+done:	nop
+`
+	o := mustAssemble(t, src)
+	w := words(o)
+	// bne at offset 8 → disp (0-8)/4 = -2.
+	in, _ := isa.Decode(w[2])
+	if in.Op != isa.OpBicc || in.Cond != isa.CondNE || in.Imm != -2 || in.Annul {
+		t.Errorf("bne = %+v", in)
+	}
+	// be,a at offset 16 → disp (24-16)/4 = 2, annul set.
+	in, _ = isa.Decode(w[4])
+	if in.Cond != isa.CondE || in.Imm != 2 || !in.Annul {
+		t.Errorf("be,a = %+v", in)
+	}
+}
+
+func TestCallDisplacementAndSymbols(t *testing.T) {
+	src := `
+start:	call func
+	nop
+	nop
+func:	retl
+	nop
+`
+	o, err := AssembleAt(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := words(o)
+	in, _ := isa.Decode(w[0])
+	if in.Op != isa.OpCALL || in.Imm != 3 {
+		t.Errorf("call = %+v, want disp 3", in)
+	}
+	if v, ok := o.Symbol("func"); !ok || v != 0x100C {
+		t.Errorf("func = %#x, %v", v, ok)
+	}
+	if v, ok := o.Symbol("start"); !ok || v != 0x1000 {
+		t.Errorf("start = %#x, %v", v, ok)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	src := `
+	.word 0x11223344, 5
+	.half 0xAABB
+	.byte 1, 2
+	.align 4
+	.ascii "hi"
+	.asciz "x"
+	.space 3
+	.byte 0xFF
+`
+	o := mustAssemble(t, src)
+	want := []byte{
+		0x11, 0x22, 0x33, 0x44,
+		0, 0, 0, 5,
+		0xAA, 0xBB,
+		1, 2,
+		'h', 'i',
+		'x', 0,
+		0, 0, 0,
+		0xFF,
+	}
+	if len(o.Code) != len(want) {
+		t.Fatalf("size = %d, want %d (% x)", len(o.Code), len(want), o.Code)
+	}
+	for i := range want {
+		if o.Code[i] != want[i] {
+			t.Errorf("byte %d = %#x, want %#x", i, o.Code[i], want[i])
+		}
+	}
+}
+
+func TestOrgPadding(t *testing.T) {
+	o := mustAssemble(t, ".word 1\n.org 0x10\n.word 2\n")
+	if len(o.Code) != 0x14 {
+		t.Fatalf("size = %d", len(o.Code))
+	}
+	if got := binary.BigEndian.Uint32(o.Code[0x10:]); got != 2 {
+		t.Errorf("word at 0x10 = %d", got)
+	}
+}
+
+func TestHiLoOperators(t *testing.T) {
+	src := `
+	sethi %hi(0xDEADBEEF), %g1
+	or %g1, %lo(0xDEADBEEF), %g1
+`
+	o := mustAssemble(t, src)
+	w := words(o)
+	in0, _ := isa.Decode(w[0])
+	in1, _ := isa.Decode(w[1])
+	if uint32(in0.Imm) != 0xDEADBEEF>>10 {
+		t.Errorf("%%hi = %#x", in0.Imm)
+	}
+	if uint32(in1.Imm) != 0xDEADBEEF&0x3FF {
+		t.Errorf("%%lo = %#x", in1.Imm)
+	}
+}
+
+func TestEquAndAssignment(t *testing.T) {
+	src := `
+POLL = 0x40000000
+	.equ OFFSET, 16
+	set POLL + OFFSET, %g1
+`
+	o := mustAssemble(t, src)
+	w := words(o)
+	in0, _ := isa.Decode(w[0])
+	in1, _ := isa.Decode(w[1])
+	v := uint32(in0.Imm)<<10 | uint32(in1.Imm)
+	if v != 0x40000010 {
+		t.Errorf("set value = %#x", v)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	src := `
+	ba end
+	nop
+	.word end
+end:	nop
+`
+	o := mustAssemble(t, src)
+	w := words(o)
+	in, _ := isa.Decode(w[0])
+	if in.Imm != 3 {
+		t.Errorf("forward branch disp = %d, want 3", in.Imm)
+	}
+	if w[2] != 12 {
+		t.Errorf(".word end = %d, want 12", w[2])
+	}
+}
+
+func TestDotSymbol(t *testing.T) {
+	o := mustAssemble(t, "nop\nhere: ba .\nnop\n")
+	w := words(o)
+	in, _ := isa.Decode(w[1])
+	if in.Imm != 0 {
+		t.Errorf("ba . disp = %d, want 0", in.Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus %o0", "unknown instruction"},
+		{".bogus 1", "unknown directive"},
+		{"add %o0, %o1", "3 operands"},
+		{"add %q0, %o1, %o2", "bad rs1"},
+		{"ld %o0, %o1", ""}, // bad but must error somehow
+		{"mov 99999999, %o0", "simm13"},
+		{"ba nowhere", "undefined symbol"},
+		{"x: nop\nx: nop", "duplicate label"},
+		{".org 8\n.org 4", "behind"},
+		{".align 3", "power of two"},
+		{".ascii hi", "quoted"},
+		{"set 1", "set wants"},
+		{".word 0x1FFFFFFFF", "32 bits"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q assembled without error", c.src)
+			continue
+		}
+		if c.frag != "" && !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var ae *Error
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q lacks line number", err)
+	}
+	_ = ae
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+	! full line comment
+	nop ! trailing
+	// slash comment
+	nop // another
+`
+	o := mustAssemble(t, src)
+	if len(o.Code) != 8 {
+		t.Errorf("size = %d, want 8", len(o.Code))
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	o := mustAssemble(t, "a: b: nop\n")
+	va, _ := o.Symbol("a")
+	vb, ok := o.Symbol("b")
+	if !ok || va != vb {
+		t.Errorf("a=%#x b=%#x ok=%v", va, vb, ok)
+	}
+}

@@ -1,0 +1,24 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"liquidarch/internal/asm"
+)
+
+// ExampleAssembleAt assembles a two-instruction routine at a load
+// address and inspects the symbol table.
+func ExampleAssembleAt() {
+	obj, err := asm.AssembleAt(`
+entry:	mov 7, %o0
+	retl
+	nop
+`, 0x40001000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, _ := obj.Symbol("entry")
+	fmt.Printf("entry at %#x, %d bytes\n", addr, obj.Size())
+	// Output: entry at 0x40001000, 12 bytes
+}

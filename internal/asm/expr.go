@@ -1,0 +1,210 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// expr evaluates an operand expression: numbers (decimal, 0x hex, 0b
+// binary, 'c' chars), symbols, %hi()/%lo(), unary minus/complement and
+// binary +, -, |, <<. Undefined symbols evaluate to 0 in pass 1 (they
+// may be defined later) and are an error in pass 2.
+func (a *assembler) expr(n int, s string) (uint32, error) {
+	p := &exprParser{a: a, line: n, s: s}
+	v, err := p.sum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return 0, a.errf(n, "trailing junk %q in expression %q", p.s[p.i:], s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	a    *assembler
+	line int
+	s    string
+	i    int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.i < len(p.s) {
+		return p.s[p.i]
+	}
+	return 0
+}
+
+// sum = term (('+'|'-'|'|'|'<<'|'>>') term)*
+func (p *exprParser) sum() (uint32, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch {
+		case p.peek() == '+':
+			p.i++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case p.peek() == '-':
+			p.i++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		case p.peek() == '|':
+			p.i++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v |= t
+		case strings.HasPrefix(p.s[p.i:], "<<"):
+			p.i += 2
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v <<= t & 31
+		case strings.HasPrefix(p.s[p.i:], ">>"):
+			p.i += 2
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v >>= t & 31
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) term() (uint32, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '-':
+		p.i++
+		v, err := p.term()
+		return -v, err
+	case p.peek() == '~':
+		p.i++
+		v, err := p.term()
+		return ^v, err
+	case p.peek() == '(':
+		p.i++
+		v, err := p.sum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, p.a.errf(p.line, "missing ')' in %q", p.s)
+		}
+		p.i++
+		return v, nil
+	case p.peek() == '\'':
+		if p.i+2 < len(p.s) && p.s[p.i+2] == '\'' {
+			v := uint32(p.s[p.i+1])
+			p.i += 3
+			return v, nil
+		}
+		return 0, p.a.errf(p.line, "bad character literal in %q", p.s)
+	case p.peek() == '%':
+		// %hi(expr) / %lo(expr)
+		rest := p.s[p.i:]
+		var fn string
+		switch {
+		case strings.HasPrefix(rest, "%hi(") || strings.HasPrefix(rest, "%HI("):
+			fn = "hi"
+			p.i += 4
+		case strings.HasPrefix(rest, "%lo(") || strings.HasPrefix(rest, "%LO("):
+			fn = "lo"
+			p.i += 4
+		default:
+			return 0, p.a.errf(p.line, "unknown %% operator in %q", p.s)
+		}
+		v, err := p.sum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, p.a.errf(p.line, "missing ')' after %%%s", fn)
+		}
+		p.i++
+		if fn == "hi" {
+			return v >> 10, nil
+		}
+		return v & 0x3FF, nil
+	case p.peek() >= '0' && p.peek() <= '9':
+		start := p.i
+		for p.i < len(p.s) && isNumChar(p.s[p.i]) {
+			p.i++
+		}
+		lit := p.s[start:p.i]
+		v, err := strconv.ParseUint(lit, 0, 64)
+		if err != nil {
+			return 0, p.a.errf(p.line, "bad number %q", lit)
+		}
+		if v > 0xFFFFFFFF {
+			return 0, p.a.errf(p.line, "number %q exceeds 32 bits", lit)
+		}
+		return uint32(v), nil
+	default:
+		start := p.i
+		for p.i < len(p.s) && isIdentChar(p.s[p.i]) {
+			p.i++
+		}
+		name := p.s[start:p.i]
+		if name == "" {
+			return 0, p.a.errf(p.line, "expected operand in %q", p.s)
+		}
+		if name == "." {
+			return p.a.loc, nil
+		}
+		if v, ok := p.a.symbols[name]; ok {
+			return v, nil
+		}
+		if p.a.pass == 1 {
+			return 0, nil // may be defined later
+		}
+		return 0, p.a.errf(p.line, "undefined symbol %q", name)
+	}
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' ||
+		c >= 'A' && c <= 'F' || c == 'x' || c == 'X' || c == 'b' || c == 'B'
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.'
+}
+
+// exprStrict evaluates an expression that must not forward-reference
+// (layout directives: .org/.align/.space).
+func (a *assembler) exprStrict(n int, s string) (uint32, error) {
+	savedPass := a.pass
+	a.pass = 2 // force undefined-symbol errors
+	v, err := a.expr(n, s)
+	a.pass = savedPass
+	if err != nil && savedPass == 1 {
+		return 0, fmt.Errorf("%w (layout directives cannot forward-reference)", err)
+	}
+	return v, err
+}

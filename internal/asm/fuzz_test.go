@@ -1,0 +1,56 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAssemblerNeverPanics feeds the assembler random garbage built
+// from its own token vocabulary: every input must either assemble or
+// return an error — never panic or hang.
+func TestAssemblerNeverPanics(t *testing.T) {
+	vocab := []string{
+		"add", "ld", "st", "set", "mov", "ba", "call", "save", ".word",
+		".org", ".align", ".ascii", "%o0", "%g1", "%sp", "[", "]", ",",
+		"+", "-", "0x10", "42", "label:", "label", "%hi(", ")", "%lo(",
+		"\"str\"", "!", "\n", "\t", " ", "=", ".equ", "nop", "wr", "%psr",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		n := rng.Intn(30)
+		for j := 0; j < n; j++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked on %q: %v", src, r)
+				}
+			}()
+			Assemble(src) //nolint:errcheck — error or success both fine
+		}()
+	}
+}
+
+// TestAssemblerRandomBytes: raw binary garbage, same guarantee.
+func TestAssemblerRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, rng.Intn(200))
+		rng.Read(raw)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("assembler panicked on random bytes: %v", r)
+				}
+			}()
+			Assemble(string(raw)) //nolint:errcheck
+		}()
+	}
+}

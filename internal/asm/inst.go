@@ -1,0 +1,617 @@
+package asm
+
+import (
+	"strings"
+
+	"liquidarch/internal/isa"
+)
+
+// regNames maps operand spellings to register numbers.
+var regNames = func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg, 40)
+	groups := []struct {
+		prefix string
+		base   isa.Reg
+	}{{"g", 0}, {"o", 8}, {"l", 16}, {"i", 24}}
+	for _, g := range groups {
+		for i := 0; i < 8; i++ {
+			m["%"+g.prefix+string(rune('0'+i))] = g.base + isa.Reg(i)
+		}
+	}
+	m["%sp"] = isa.SP
+	m["%fp"] = isa.FP
+	for i := 0; i < 32; i++ {
+		m["%r"+itoa(i)] = isa.Reg(i)
+	}
+	return m
+}()
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func parseReg(tok string) (isa.Reg, bool) {
+	r, ok := regNames[strings.ToLower(strings.TrimSpace(tok))]
+	return r, ok
+}
+
+// condTable maps branch/trap condition suffixes to codes. "" and "a"
+// both mean always (plain "b" / "t").
+var condTable = map[string]isa.Cond{
+	"": isa.CondA, "a": isa.CondA, "n": isa.CondN,
+	"e": isa.CondE, "z": isa.CondE, "ne": isa.CondNE, "nz": isa.CondNE,
+	"le": isa.CondLE, "l": isa.CondL, "ge": isa.CondGE, "g": isa.CondG,
+	"leu": isa.CondLEU, "gu": isa.CondGU, "cs": isa.CondCS, "cc": isa.CondCC,
+	"lu": isa.CondCS, "geu": isa.CondCC,
+	"neg": isa.CondNEG, "pos": isa.CondPOS, "vs": isa.CondVS, "vc": isa.CondVC,
+}
+
+// aluMnemonics maps 3-operand ALU mnemonics to ops.
+var aluMnemonics = map[string]isa.Op{
+	"add": isa.OpADD, "addcc": isa.OpADDcc, "addx": isa.OpADDX, "addxcc": isa.OpADDXcc,
+	"sub": isa.OpSUB, "subcc": isa.OpSUBcc, "subx": isa.OpSUBX, "subxcc": isa.OpSUBXcc,
+	"and": isa.OpAND, "andcc": isa.OpANDcc, "andn": isa.OpANDN, "andncc": isa.OpANDNcc,
+	"or": isa.OpOR, "orcc": isa.OpORcc, "orn": isa.OpORN, "orncc": isa.OpORNcc,
+	"xor": isa.OpXOR, "xorcc": isa.OpXORcc, "xnor": isa.OpXNOR, "xnorcc": isa.OpXNORcc,
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"umul": isa.OpUMUL, "umulcc": isa.OpUMULcc, "smul": isa.OpSMUL, "smulcc": isa.OpSMULcc,
+	"udiv": isa.OpUDIV, "udivcc": isa.OpUDIVcc, "sdiv": isa.OpSDIV, "sdivcc": isa.OpSDIVcc,
+	"mulscc": isa.OpMULScc, "lqmac": isa.OpLQMAC,
+}
+
+var loadMnemonics = map[string]isa.Op{
+	"ld": isa.OpLD, "ldub": isa.OpLDUB, "lduh": isa.OpLDUH,
+	"ldsb": isa.OpLDSB, "ldsh": isa.OpLDSH, "ldd": isa.OpLDD,
+	"swap": isa.OpSWAP, "ldstub": isa.OpLDSTUB,
+}
+
+var storeMnemonics = map[string]isa.Op{
+	"st": isa.OpST, "stb": isa.OpSTB, "sth": isa.OpSTH, "std": isa.OpSTD,
+}
+
+// op2 is a parsed second operand: register or immediate expression.
+type op2 struct {
+	reg    isa.Reg
+	imm    int32
+	useImm bool
+}
+
+func (a *assembler) parseOp2(n int, tok string) (op2, error) {
+	if r, ok := parseReg(tok); ok {
+		return op2{reg: r}, nil
+	}
+	v, err := a.expr(n, tok)
+	if err != nil {
+		return op2{}, err
+	}
+	return op2{imm: int32(v), useImm: true}, nil
+}
+
+// parseAddr parses an address expression "rs1", "rs1+rs2", "rs1+imm",
+// "rs1-imm" or "imm" (with or without surrounding brackets).
+func (a *assembler) parseAddr(n int, tok string) (isa.Reg, op2, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "[") && strings.HasSuffix(tok, "]") {
+		tok = strings.TrimSpace(tok[1 : len(tok)-1])
+	}
+	// Split on top-level + or - (but keep %hi(...)/(...) intact and
+	// allow a leading sign on the immediate form).
+	depth := 0
+	for i := 0; i < len(tok); i++ {
+		switch tok[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case '+', '-':
+			if depth != 0 || i == 0 {
+				continue
+			}
+			left := strings.TrimSpace(tok[:i])
+			r, ok := parseReg(left)
+			if !ok {
+				continue // pure expression like "sym-4"
+			}
+			rest := strings.TrimSpace(tok[i:])
+			if r2, ok := parseReg(strings.TrimPrefix(rest, "+")); ok {
+				if tok[i] == '-' {
+					return 0, op2{}, a.errf(n, "cannot subtract a register in address %q", tok)
+				}
+				return r, op2{reg: r2}, nil
+			}
+			// Keep a leading '-' (negative offset); drop a leading '+'.
+			v, err := a.expr(n, strings.TrimSpace(strings.TrimPrefix(rest, "+")))
+			if err != nil {
+				return 0, op2{}, err
+			}
+			return r, op2{imm: int32(v), useImm: true}, nil
+		}
+	}
+	if r, ok := parseReg(tok); ok {
+		return r, op2{useImm: true}, nil
+	}
+	v, err := a.expr(n, tok)
+	if err != nil {
+		return 0, op2{}, err
+	}
+	return isa.G0, op2{imm: int32(v), useImm: true}, nil
+}
+
+// encodeEmit encodes in (mapping range errors to diagnostics) and
+// emits the word.
+func (a *assembler) encodeEmit(n int, in isa.Inst) error {
+	if a.pass == 1 {
+		// Sizes are fixed; skip encoding so unresolved forward
+		// references don't produce spurious range errors.
+		a.emit(0)
+		return nil
+	}
+	w, err := isa.Encode(in)
+	if err != nil {
+		return a.errf(n, "%v", err)
+	}
+	a.emit(w)
+	return nil
+}
+
+func f3(op isa.Op, rd, rs1 isa.Reg, o op2) isa.Inst {
+	return isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: o.reg, Imm: o.imm, UseImm: o.useImm}
+}
+
+// instruction assembles one machine or synthetic instruction.
+func (a *assembler) instruction(n int, mnem, rest string) error {
+	ops := splitOperands(rest)
+	base, flag, _ := strings.Cut(mnem, ",")
+	annul := flag == "a"
+
+	// 3-operand ALU group.
+	if op, ok := aluMnemonics[base]; ok && flag == "" {
+		if len(ops) != 3 {
+			return a.errf(n, "%s wants 3 operands, got %d", base, len(ops))
+		}
+		rs1, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(n, "%s: bad rs1 %q", base, ops[0])
+		}
+		o2, err := a.parseOp2(n, ops[1])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[2])
+		if !ok {
+			return a.errf(n, "%s: bad rd %q", base, ops[2])
+		}
+		return a.encodeEmit(n, f3(op, rd, rs1, o2))
+	}
+
+	if op, ok := loadMnemonics[base]; ok && flag == "" {
+		if len(ops) != 2 || !strings.HasPrefix(strings.TrimSpace(ops[0]), "[") {
+			return a.errf(n, "%s wants \"[addr], rd\"", base)
+		}
+		rs1, o2, err := a.parseAddr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "%s: bad rd %q", base, ops[1])
+		}
+		return a.encodeEmit(n, f3(op, rd, rs1, o2))
+	}
+
+	if op, ok := storeMnemonics[base]; ok && flag == "" {
+		if len(ops) != 2 || !strings.HasPrefix(strings.TrimSpace(ops[1]), "[") {
+			return a.errf(n, "%s wants \"rd, [addr]\"", base)
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(n, "%s: bad source %q", base, ops[0])
+		}
+		rs1, o2, err := a.parseAddr(n, ops[1])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(op, rd, rs1, o2))
+	}
+
+	// Branches: b<cond>[,a] target.
+	if strings.HasPrefix(base, "b") && len(base) <= 4 {
+		if cond, ok := condTable[base[1:]]; ok {
+			if len(ops) != 1 {
+				return a.errf(n, "%s wants a target", mnem)
+			}
+			target, err := a.expr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			disp := int32(target-a.loc) / 4
+			return a.encodeEmit(n, isa.Inst{Op: isa.OpBicc, Cond: cond, Annul: annul, Imm: disp})
+		}
+	}
+
+	// Traps: t<cond> number.
+	if strings.HasPrefix(base, "t") && flag == "" {
+		if cond, ok := condTable[base[1:]]; ok && base != "tst" {
+			if len(ops) != 1 {
+				return a.errf(n, "%s wants a trap number", base)
+			}
+			rs1, o2, err := a.parseAddr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			return a.encodeEmit(n, isa.Inst{Op: isa.OpTicc, Cond: cond, Rs1: rs1, Rs2: o2.reg, Imm: o2.imm, UseImm: o2.useImm})
+		}
+	}
+
+	switch base {
+	case "nop":
+		a.emit(isa.NOP)
+		return nil
+
+	case "sethi":
+		if len(ops) != 2 {
+			return a.errf(n, "sethi wants \"imm22, rd\"")
+		}
+		v, err := a.expr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "sethi: bad rd %q", ops[1])
+		}
+		return a.encodeEmit(n, isa.Inst{Op: isa.OpSETHI, Rd: rd, Imm: int32(v & 0x3FFFFF)})
+
+	case "set":
+		// Always two words (sethi+or) so sizes are pass-stable.
+		if len(ops) != 2 {
+			return a.errf(n, "set wants \"value, rd\"")
+		}
+		v, err := a.expr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "set: bad rd %q", ops[1])
+		}
+		if err := a.encodeEmit(n, isa.Inst{Op: isa.OpSETHI, Rd: rd, Imm: int32(v >> 10)}); err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpOR, rd, rd, op2{imm: int32(v & 0x3FF), useImm: true}))
+
+	case "mov":
+		if len(ops) != 2 {
+			return a.errf(n, "mov wants 2 operands")
+		}
+		// mov to/from special registers.
+		if dst, ok := specialReg(ops[1]); ok {
+			o2, err := a.parseOp2(n, ops[0])
+			if err != nil {
+				return err
+			}
+			return a.encodeEmit(n, f3(dst, 0, isa.G0, o2))
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "mov: bad destination %q", ops[1])
+		}
+		if src, ok := specialRegRead(ops[0]); ok {
+			return a.encodeEmit(n, isa.Inst{Op: src, Rd: rd})
+		}
+		o2, err := a.parseOp2(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpOR, rd, isa.G0, o2))
+
+	case "rd":
+		if len(ops) != 2 {
+			return a.errf(n, "rd wants \"%%spec, rd\"")
+		}
+		src, ok := specialRegRead(ops[0])
+		if !ok {
+			return a.errf(n, "rd: bad special register %q", ops[0])
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "rd: bad rd %q", ops[1])
+		}
+		return a.encodeEmit(n, isa.Inst{Op: src, Rd: rd})
+
+	case "wr":
+		var rs1 isa.Reg
+		var o2v op2
+		var dst string
+		switch len(ops) {
+		case 2: // wr rs/imm, %spec
+			o, err := a.parseOp2(n, ops[0])
+			if err != nil {
+				return err
+			}
+			if !o.useImm {
+				rs1, o2v = o.reg, op2{useImm: true}
+			} else {
+				rs1, o2v = isa.G0, o
+			}
+			dst = ops[1]
+		case 3: // wr rs1, rs2/imm, %spec
+			r, ok := parseReg(ops[0])
+			if !ok {
+				return a.errf(n, "wr: bad rs1 %q", ops[0])
+			}
+			o, err := a.parseOp2(n, ops[1])
+			if err != nil {
+				return err
+			}
+			rs1, o2v, dst = r, o, ops[2]
+		default:
+			return a.errf(n, "wr wants 2 or 3 operands")
+		}
+		op, ok := specialReg(dst)
+		if !ok {
+			return a.errf(n, "wr: bad special register %q", dst)
+		}
+		return a.encodeEmit(n, f3(op, 0, rs1, o2v))
+
+	case "cmp":
+		if len(ops) != 2 {
+			return a.errf(n, "cmp wants 2 operands")
+		}
+		rs1, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(n, "cmp: bad rs1 %q", ops[0])
+		}
+		o2, err := a.parseOp2(n, ops[1])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpSUBcc, isa.G0, rs1, o2))
+
+	case "tst":
+		if len(ops) != 1 {
+			return a.errf(n, "tst wants 1 operand")
+		}
+		rs, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(n, "tst: bad register %q", ops[0])
+		}
+		return a.encodeEmit(n, f3(isa.OpORcc, isa.G0, rs, op2{reg: isa.G0}))
+
+	case "btst":
+		if len(ops) != 2 {
+			return a.errf(n, "btst wants \"mask, reg\"")
+		}
+		rs1, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "btst: bad register %q", ops[1])
+		}
+		o2, err := a.parseOp2(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpANDcc, isa.G0, rs1, o2))
+
+	case "clr":
+		if len(ops) != 1 {
+			return a.errf(n, "clr wants 1 operand")
+		}
+		if strings.HasPrefix(strings.TrimSpace(ops[0]), "[") {
+			rs1, o2, err := a.parseAddr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			return a.encodeEmit(n, f3(isa.OpST, isa.G0, rs1, o2))
+		}
+		rd, ok := parseReg(ops[0])
+		if !ok {
+			return a.errf(n, "clr: bad register %q", ops[0])
+		}
+		return a.encodeEmit(n, f3(isa.OpOR, rd, isa.G0, op2{reg: isa.G0}))
+
+	case "inc", "dec":
+		var rd isa.Reg
+		amt := int32(1)
+		switch len(ops) {
+		case 1:
+			r, ok := parseReg(ops[0])
+			if !ok {
+				return a.errf(n, "%s: bad register %q", base, ops[0])
+			}
+			rd = r
+		case 2:
+			v, err := a.expr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			r, ok := parseReg(ops[1])
+			if !ok {
+				return a.errf(n, "%s: bad register %q", base, ops[1])
+			}
+			rd, amt = r, int32(v)
+		default:
+			return a.errf(n, "%s wants 1 or 2 operands", base)
+		}
+		op := isa.OpADD
+		if base == "dec" {
+			op = isa.OpSUB
+		}
+		return a.encodeEmit(n, f3(op, rd, rd, op2{imm: amt, useImm: true}))
+
+	case "not":
+		rs, rd, err := a.oneOrTwoRegs(n, base, ops)
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpXNOR, rd, rs, op2{reg: isa.G0}))
+
+	case "neg":
+		rs, rd, err := a.oneOrTwoRegs(n, base, ops)
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpSUB, rd, isa.G0, op2{reg: rs}))
+
+	case "jmp":
+		if len(ops) != 1 {
+			return a.errf(n, "jmp wants an address")
+		}
+		rs1, o2, err := a.parseAddr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpJMPL, isa.G0, rs1, o2))
+
+	case "jmpl":
+		if len(ops) != 2 {
+			return a.errf(n, "jmpl wants \"addr, rd\"")
+		}
+		rs1, o2, err := a.parseAddr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rd, ok := parseReg(ops[1])
+		if !ok {
+			return a.errf(n, "jmpl: bad rd %q", ops[1])
+		}
+		return a.encodeEmit(n, f3(isa.OpJMPL, rd, rs1, o2))
+
+	case "call":
+		if len(ops) != 1 {
+			return a.errf(n, "call wants a target")
+		}
+		// Register or register+offset targets use the jmpl form.
+		if strings.Contains(ops[0], "%") {
+			rs1, o2, err := a.parseAddr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			return a.encodeEmit(n, f3(isa.OpJMPL, isa.O7, rs1, o2))
+		}
+		target, err := a.expr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, isa.Inst{Op: isa.OpCALL, Imm: int32(target-a.loc) / 4})
+
+	case "ret":
+		return a.encodeEmit(n, f3(isa.OpJMPL, isa.G0, isa.I7, op2{imm: 8, useImm: true}))
+	case "retl":
+		return a.encodeEmit(n, f3(isa.OpJMPL, isa.G0, isa.O7, op2{imm: 8, useImm: true}))
+
+	case "rett":
+		if len(ops) != 1 {
+			return a.errf(n, "rett wants an address")
+		}
+		rs1, o2, err := a.parseAddr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpRETT, isa.G0, rs1, o2))
+
+	case "save", "restore":
+		op := isa.OpSAVE
+		if base == "restore" {
+			op = isa.OpRESTORE
+		}
+		switch len(ops) {
+		case 0:
+			return a.encodeEmit(n, isa.Inst{Op: op})
+		case 3:
+			rs1, ok := parseReg(ops[0])
+			if !ok {
+				return a.errf(n, "%s: bad rs1 %q", base, ops[0])
+			}
+			o2, err := a.parseOp2(n, ops[1])
+			if err != nil {
+				return err
+			}
+			rd, ok := parseReg(ops[2])
+			if !ok {
+				return a.errf(n, "%s: bad rd %q", base, ops[2])
+			}
+			return a.encodeEmit(n, f3(op, rd, rs1, o2))
+		default:
+			return a.errf(n, "%s wants 0 or 3 operands", base)
+		}
+
+	case "flush":
+		if len(ops) != 1 {
+			return a.errf(n, "flush wants an address")
+		}
+		rs1, o2, err := a.parseAddr(n, ops[0])
+		if err != nil {
+			return err
+		}
+		return a.encodeEmit(n, f3(isa.OpFLUSH, isa.G0, rs1, o2))
+
+	case "unimp":
+		v := uint32(0)
+		if len(ops) == 1 {
+			x, err := a.expr(n, ops[0])
+			if err != nil {
+				return err
+			}
+			v = x
+		}
+		return a.encodeEmit(n, isa.Inst{Op: isa.OpUNIMP, Imm: int32(v & 0x3FFFFF)})
+	}
+
+	return a.errf(n, "unknown instruction %q", mnem)
+}
+
+func (a *assembler) oneOrTwoRegs(n int, base string, ops []string) (rs, rd isa.Reg, err error) {
+	switch len(ops) {
+	case 1:
+		r, ok := parseReg(ops[0])
+		if !ok {
+			return 0, 0, a.errf(n, "%s: bad register %q", base, ops[0])
+		}
+		return r, r, nil
+	case 2:
+		r1, ok := parseReg(ops[0])
+		if !ok {
+			return 0, 0, a.errf(n, "%s: bad register %q", base, ops[0])
+		}
+		r2, ok := parseReg(ops[1])
+		if !ok {
+			return 0, 0, a.errf(n, "%s: bad register %q", base, ops[1])
+		}
+		return r1, r2, nil
+	default:
+		return 0, 0, a.errf(n, "%s wants 1 or 2 operands", base)
+	}
+}
+
+// specialReg maps a writable special register name to its WR op.
+func specialReg(tok string) (isa.Op, bool) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "%y":
+		return isa.OpWRY, true
+	case "%psr":
+		return isa.OpWRPSR, true
+	case "%wim":
+		return isa.OpWRWIM, true
+	case "%tbr":
+		return isa.OpWRTBR, true
+	}
+	return 0, false
+}
+
+// specialRegRead maps a readable special register name to its RD op.
+func specialRegRead(tok string) (isa.Op, bool) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "%y":
+		return isa.OpRDY, true
+	case "%psr":
+		return isa.OpRDPSR, true
+	case "%wim":
+		return isa.OpRDWIM, true
+	case "%tbr":
+		return isa.OpRDTBR, true
+	}
+	return 0, false
+}

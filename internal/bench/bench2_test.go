@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+func TestICacheSweepShowsCodeFootprint(t *testing.T) {
+	rows, err := ICacheSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The loop body exceeds 512 B and 1 KB: those sizes must miss far
+	// more and run slower than 4 KB.
+	small, big := rows[0], rows[len(rows)-1]
+	if small.Misses < 20*big.Misses {
+		t.Errorf("512B I$ misses %d not ≫ 4KB %d", small.Misses, big.Misses)
+	}
+	if small.Cycles <= big.Cycles*11/10 {
+		t.Errorf("512B I$ (%d cycles) not clearly slower than 4KB (%d)", small.Cycles, big.Cycles)
+	}
+	// Monotone non-increasing cycles.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles > rows[i-1].Cycles {
+			t.Errorf("cycles not monotone: %+v", rows)
+		}
+	}
+}
+
+func TestPlacementSDRAMCostsMore(t *testing.T) {
+	rows, err := PlacementExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	sram, sdram := rows[0], rows[1]
+	if sdram.Cycles <= sram.Cycles {
+		t.Errorf("SDRAM (%d cycles) not slower than SRAM (%d)", sdram.Cycles, sram.Cycles)
+	}
+}
+
+func TestPipelineExperimentTradeoff(t *testing.T) {
+	rows, err := PipelineExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		// Deeper pipelines: never fewer cycles, always a faster clock.
+		if rows[i].Cycles < rows[i-1].Cycles {
+			t.Errorf("depth %d fewer cycles than depth %d", rows[i].Depth, rows[i-1].Depth)
+		}
+		if rows[i].FMaxMHz <= rows[i-1].FMaxMHz {
+			t.Errorf("depth %d fMax not above depth %d", rows[i].Depth, rows[i-1].Depth)
+		}
+	}
+	// Depths above 5 must actually pay branch-penalty cycles.
+	if rows[3].Cycles <= rows[1].Cycles {
+		t.Errorf("depth 7 (%d cycles) not above depth 5 (%d)", rows[3].Cycles, rows[1].Cycles)
+	}
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"testing"
+
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+)
+
+// TestFig8ShapeHolds asserts the paper's central claim over the full
+// benchmark-size run: higher cycles below 4 KB, flat at and above.
+func TestFig8ShapeHolds(t *testing.T) {
+	rows, err := Fig8Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byKB := map[int]Fig8Row{}
+	for _, r := range rows {
+		byKB[r.DCacheBytes>>10] = r
+	}
+	// Cycles monotone non-increasing with size.
+	if !(byKB[1].Cycles >= byKB[2].Cycles && byKB[2].Cycles > byKB[4].Cycles &&
+		byKB[4].Cycles >= byKB[8].Cycles && byKB[8].Cycles >= byKB[16].Cycles) {
+		t.Errorf("cycle curve not monotone: %+v", rows)
+	}
+	// The cliff: 1/2 KB miss on nearly every iteration, ≥4 KB do not.
+	if byKB[1].Misses < 30000 || byKB[2].Misses < 30000 {
+		t.Errorf("small caches miss too little: %+v", rows)
+	}
+	if byKB[4].Misses > byKB[1].Misses/10 {
+		t.Errorf("4KB misses %d not ≪ 1KB %d", byKB[4].Misses, byKB[1].Misses)
+	}
+	// Flat at and above 4 KB (within a few percent).
+	if byKB[4].Cycles != byKB[8].Cycles {
+		diff := int64(byKB[4].Cycles) - int64(byKB[8].Cycles)
+		if diff < 0 {
+			diff = -diff
+		}
+		if uint64(diff) > byKB[4].Cycles/20 {
+			t.Errorf("4KB (%d) and 8KB (%d) not flat", byKB[4].Cycles, byKB[8].Cycles)
+		}
+	}
+}
+
+func TestFig10ReportMatchesPaper(t *testing.T) {
+	u, dev := Fig10Report()
+	if u.Slices != 7900 || u.BlockRAMs != 86 || u.IOBs != 309 || u.FMaxMHz != 30 {
+		t.Errorf("utilization = %+v", u)
+	}
+	if dev.Name != "XCV2000E" {
+		t.Errorf("device = %s", dev.Name)
+	}
+}
+
+func TestAdapterExperimentClaims(t *testing.T) {
+	rows, err := AdapterExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPattern := map[string]AdapterRow{}
+	for _, r := range rows {
+		byPattern[r.Pattern] = r
+	}
+	burst := byPattern["read 4 words, one burst"]
+	singles := byPattern["read 4 words, singles"]
+	if burst.Cycles*2 >= singles.Cycles {
+		t.Errorf("burst (%d) not ≪ singles (%d)", burst.Cycles, singles.Cycles)
+	}
+	if burst.Handshakes != 1 || singles.Handshakes != 4 {
+		t.Errorf("handshakes: burst %d singles %d", burst.Handshakes, singles.Handshakes)
+	}
+	w := byPattern["write 32-bit (RMW)"]
+	r1 := byPattern["read 32-bit single"]
+	if w.Handshakes != 2 || w.Cycles != 2*r1.Cycles {
+		t.Errorf("RMW write: %+v vs read %+v", w, r1)
+	}
+	if byPattern["read 8 words, bursts of 4"].Handshakes != 2 {
+		t.Errorf("8-word burst handshakes = %d", byPattern["read 8 words, bursts of 4"].Handshakes)
+	}
+}
+
+func TestReconfigExperimentEconomics(t *testing.T) {
+	rows, stats, err := ReconfigExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d steps", len(rows))
+	}
+	// First three visits miss, the revisits hit.
+	for i, r := range rows {
+		wantHit := i >= 3
+		if r.CacheHit != wantHit {
+			t.Errorf("step %d (%s): hit=%v want %v", i, r.Step, r.CacheHit, wantHit)
+		}
+	}
+	if stats.Hits != 4 || stats.SavedTime == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBurstAblationMonotone(t *testing.T) {
+	rows, err := BurstAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cycles >= rows[i-1].Cycles {
+			t.Errorf("burst %d (%d cycles) not cheaper than %d (%d)",
+				rows[i].BurstWords, rows[i].Cycles, rows[i-1].BurstWords, rows[i-1].Cycles)
+		}
+		if rows[i].Handshakes >= rows[i-1].Handshakes {
+			t.Error("handshakes not decreasing")
+		}
+	}
+}
+
+func TestWritePolicyExperiment(t *testing.T) {
+	rows, err := WritePolicyExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Write-back must win on this store-heavy, cache-resident kernel.
+	if rows[1].Cycles >= rows[0].Cycles {
+		t.Errorf("write-back (%d) not faster than write-through (%d)", rows[1].Cycles, rows[0].Cycles)
+	}
+}
+
+func TestAssocExperimentRuns(t *testing.T) {
+	rows, err := AssocExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// More ways never hurt at fixed size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Misses > rows[i-1].Misses {
+			t.Errorf("misses increased with ways: %+v", rows)
+		}
+	}
+}
+
+func TestMACExperimentFasterWithUnit(t *testing.T) {
+	plain, mac, err := MACExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mac.Cycles >= plain.Cycles {
+		t.Errorf("MAC (%d) not faster than base (%d)", mac.Cycles, plain.Cycles)
+	}
+}
+
+func TestRunOnceExitValue(t *testing.T) {
+	res, exit, err := RunOnce(leon.DefaultConfig(), "int main() { return 31; }", lcc.Options{})
+	if err != nil || res.Faulted {
+		t.Fatalf("%v %+v", err, res)
+	}
+	if exit != 31 {
+		t.Errorf("exit = %d", exit)
+	}
+}

@@ -1,0 +1,351 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"liquidarch/internal/amba"
+	"liquidarch/internal/mem"
+)
+
+// testBus builds an AHB with 64 KB of SRAM at 0.
+func testBus(t *testing.T) (*amba.AHB, *mem.SRAM) {
+	t.Helper()
+	bus := amba.NewAHB()
+	ram := mem.NewSRAM(64 << 10)
+	if err := bus.Map("sram", 0, 64<<10, ram); err != nil {
+		t.Fatal(err)
+	}
+	return bus, ram
+}
+
+func leonDCache() Config {
+	return Config{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 4},
+		{SizeBytes: 4 << 10, LineBytes: 16, Assoc: 2, Replacement: RoundRobin, Write: WriteBack},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 3000, LineBytes: 32, Assoc: 1},
+		{SizeBytes: 1 << 10, LineBytes: 2, Assoc: 1},
+		{SizeBytes: 1 << 10, LineBytes: 24, Assoc: 1},
+		{SizeBytes: 1 << 10, LineBytes: 2 << 10, Assoc: 1},
+		{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) succeeded, want error", c)
+		}
+	}
+	c := Config{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 2}
+	if c.Lines() != 64 || c.Sets() != 32 {
+		t.Errorf("Lines=%d Sets=%d", c.Lines(), c.Sets())
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	bus, ram := testBus(t)
+	ram.Poke32(0x100, 0xCAFEBABE)
+	c, err := New(leonDCache(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, missCycles, err := c.Read(0x100, amba.SizeWord)
+	if err != nil || v != 0xCAFEBABE {
+		t.Fatalf("miss read = %#x, %v", v, err)
+	}
+	v, hitCycles, err := c.Read(0x100, amba.SizeWord)
+	if err != nil || v != 0xCAFEBABE {
+		t.Fatalf("hit read = %#x, %v", v, err)
+	}
+	if hitCycles != 1 {
+		t.Errorf("hit cost = %d cycles, want 1", hitCycles)
+	}
+	if missCycles <= hitCycles {
+		t.Errorf("miss (%d) not slower than hit (%d)", missCycles, hitCycles)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Fills != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Whole line resident: neighbours hit.
+	if !c.Contains(0x110) {
+		t.Error("line neighbour not resident after fill")
+	}
+}
+
+func TestSubWordReads(t *testing.T) {
+	bus, ram := testBus(t)
+	ram.Poke32(0, 0xA1B2C3D4)
+	c, _ := New(leonDCache(), bus)
+	if v, _, _ := c.Read(0, amba.SizeByte); v != 0xA1 {
+		t.Errorf("byte 0 = %#x", v)
+	}
+	if v, _, _ := c.Read(3, amba.SizeByte); v != 0xD4 {
+		t.Errorf("byte 3 = %#x", v)
+	}
+	if v, _, _ := c.Read(2, amba.SizeHalf); v != 0xC3D4 {
+		t.Errorf("half 2 = %#x", v)
+	}
+}
+
+func TestWriteThroughNoAllocate(t *testing.T) {
+	bus, ram := testBus(t)
+	c, _ := New(leonDCache(), bus)
+	// Write miss: memory updated, line NOT allocated.
+	if _, err := c.Write(0x200, 0x1234, amba.SizeWord); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(0x200) {
+		t.Error("write-through no-allocate cache allocated on write miss")
+	}
+	if v, _ := ram.Peek32(0x200); v != 0x1234 {
+		t.Errorf("memory = %#x after write-through", v)
+	}
+	// Bring the line in, then write hit: both cache and memory updated.
+	c.Read(0x200, amba.SizeWord)
+	if _, err := c.Write(0x200, 0x5678, amba.SizeWord); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ram.Peek32(0x200); v != 0x5678 {
+		t.Errorf("memory = %#x after write hit", v)
+	}
+	if v, _, _ := c.Read(0x200, amba.SizeWord); v != 0x5678 {
+		t.Errorf("cache = %#x after write hit", v)
+	}
+	st := c.Stats()
+	if st.WriteMiss != 1 || st.WriteHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteBackAllocatesAndDefersMemory(t *testing.T) {
+	bus, ram := testBus(t)
+	cfg := leonDCache()
+	cfg.Write = WriteBack
+	c, _ := New(cfg, bus)
+	if _, err := c.Write(0x300, 0xFEED, amba.SizeWord); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(0x300) {
+		t.Error("write-back cache did not allocate on write miss")
+	}
+	if v, _ := ram.Peek32(0x300); v != 0 {
+		t.Errorf("memory = %#x before eviction, want 0 (deferred)", v)
+	}
+	// Evict by touching the conflicting line (same set, different tag).
+	conflict := uint32(0x300 + cfg.SizeBytes)
+	c.Read(conflict, amba.SizeWord)
+	if v, _ := ram.Peek32(0x300); v != 0xFEED {
+		t.Errorf("memory = %#x after eviction, want 0xFEED", v)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Errorf("WriteBacks = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestFlushWritesBackDirtyLines(t *testing.T) {
+	bus, ram := testBus(t)
+	cfg := leonDCache()
+	cfg.Write = WriteBack
+	c, _ := New(cfg, bus)
+	c.Write(0x400, 0xAB, amba.SizeWord)
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ram.Peek32(0x400); v != 0xAB {
+		t.Errorf("memory = %#x after flush", v)
+	}
+	if c.Contains(0x400) {
+		t.Error("line still resident after flush")
+	}
+	if c.Stats().Flushes != 1 {
+		t.Errorf("Flushes = %d", c.Stats().Flushes)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	bus, _ := testBus(t)
+	cfg := Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 1}
+	c, _ := New(cfg, bus)
+	a, b := uint32(0), uint32(1<<10) // same set, different tags
+	c.Read(a, amba.SizeWord)
+	c.Read(b, amba.SizeWord)
+	if c.Contains(a) {
+		t.Error("direct-mapped cache kept both conflicting lines")
+	}
+	if !c.Contains(b) {
+		t.Error("most recent line evicted")
+	}
+}
+
+func TestTwoWayLRUKeepsBoth(t *testing.T) {
+	bus, _ := testBus(t)
+	cfg := Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 2, Replacement: LRU}
+	c, _ := New(cfg, bus)
+	a, b, d := uint32(0), uint32(512), uint32(1024) // all map to set 0
+	c.Read(a, amba.SizeWord)
+	c.Read(b, amba.SizeWord)
+	if !c.Contains(a) || !c.Contains(b) {
+		t.Fatal("2-way cache did not keep two conflicting lines")
+	}
+	// Touch a, then load d: b (LRU) must be evicted.
+	c.Read(a, amba.SizeWord)
+	c.Read(d, amba.SizeWord)
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Errorf("LRU eviction wrong: a=%v b=%v d=%v",
+			c.Contains(a), c.Contains(b), c.Contains(d))
+	}
+}
+
+func TestRoundRobinAndRandomReplace(t *testing.T) {
+	bus, _ := testBus(t)
+	for _, pol := range []Replacement{RoundRobin, Random} {
+		cfg := Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 2, Replacement: pol}
+		c, _ := New(cfg, bus)
+		// Fill both ways and force an eviction; exactly one of a,b
+		// survives alongside d.
+		a, b, d := uint32(0), uint32(512), uint32(1024)
+		c.Read(a, amba.SizeWord)
+		c.Read(b, amba.SizeWord)
+		c.Read(d, amba.SizeWord)
+		if !c.Contains(d) {
+			t.Errorf("%v: new line not resident", pol)
+		}
+		if c.Contains(a) == c.Contains(b) {
+			t.Errorf("%v: expected exactly one victim among a,b", pol)
+		}
+	}
+}
+
+func TestDisabledCacheBypasses(t *testing.T) {
+	bus, ram := testBus(t)
+	c, _ := New(leonDCache(), bus)
+	c.SetEnabled(false)
+	if c.Enabled() {
+		t.Fatal("Enabled() after SetEnabled(false)")
+	}
+	ram.Poke32(0x500, 7)
+	if v, _, _ := c.Read(0x500, amba.SizeWord); v != 7 {
+		t.Error("disabled cache returned wrong data")
+	}
+	if c.Contains(0x500) {
+		t.Error("disabled cache allocated a line")
+	}
+	if st := c.Stats(); st.Hits+st.Misses != 0 {
+		t.Errorf("disabled cache recorded stats %+v", st)
+	}
+}
+
+// TestFig8WorkingSetCliff reproduces the shape of the paper's Figure 8
+// in miniature at the cache level: a working set of 4 KB misses on
+// every revisit in a 1 KB or 2 KB cache but, after the cold fill, never
+// misses in a 4 KB+ cache.
+func TestFig8WorkingSetCliff(t *testing.T) {
+	const workingSet = 4 << 10
+	missRatios := map[int]float64{}
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		bus, _ := testBus(t)
+		c, _ := New(Config{SizeBytes: size, LineBytes: 32, Assoc: 1}, bus)
+		// Two full passes; the second pass is what the steady-state
+		// loop of Fig. 7 sees.
+		for pass := 0; pass < 2; pass++ {
+			c.ResetStats()
+			for addr := uint32(0); addr < workingSet; addr += 32 {
+				if _, _, err := c.Read(addr, amba.SizeWord); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		missRatios[size] = c.Stats().MissRatio()
+	}
+	for _, small := range []int{1 << 10, 2 << 10} {
+		if missRatios[small] != 1.0 {
+			t.Errorf("%d B cache: steady-state miss ratio %.2f, want 1.0", small, missRatios[small])
+		}
+	}
+	for _, big := range []int{4 << 10, 8 << 10, 16 << 10} {
+		if missRatios[big] != 0.0 {
+			t.Errorf("%d B cache: steady-state miss ratio %.2f, want 0.0", big, missRatios[big])
+		}
+	}
+}
+
+// Property: a cached read always returns what an uncached read of the
+// same address returns, across random interleavings of reads/writes.
+func TestCoherenceWithMemoryProperty(t *testing.T) {
+	for _, wp := range []WritePolicy{WriteThrough, WriteBack} {
+		bus, _ := testBus(t)
+		shadowBus, shadowRAM := testBus(t)
+		_ = shadowRAM
+		cfg := Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 2, Write: wp}
+		c, _ := New(cfg, bus)
+		f := func(ops []struct {
+			Addr  uint16
+			Val   uint32
+			Write bool
+		}) bool {
+			for _, op := range ops {
+				addr := uint32(op.Addr) &^ 3 % (64 << 10)
+				if op.Write {
+					if _, err := c.Write(addr, op.Val, amba.SizeWord); err != nil {
+						return false
+					}
+					if _, err := shadowBus.Write(addr, op.Val, amba.SizeWord); err != nil {
+						return false
+					}
+				} else {
+					v, _, err := c.Read(addr, amba.SizeWord)
+					if err != nil {
+						return false
+					}
+					want, _, err := shadowBus.Read(addr, amba.SizeWord)
+					if err != nil || v != want {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", wp, err)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	c := Config{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 2, Replacement: RoundRobin, Write: WriteBack}
+	if got := c.String(); got != "4096B/32B-line/2-way/rr/write-back" {
+		t.Errorf("Config.String() = %q", got)
+	}
+	if LRU.String() != "lru" || Random.String() != "rnd" || Replacement(9).String() == "" {
+		t.Error("Replacement.String() broken")
+	}
+	if WriteThrough.String() != "write-through" || WriteBack.String() != "write-back" {
+		t.Error("WritePolicy.String() broken")
+	}
+}
+
+func TestMissRatioEmpty(t *testing.T) {
+	if (Stats{}).MissRatio() != 0 {
+		t.Error("MissRatio of empty stats not 0")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bus, _ := testBus(t)
+	if _, err := New(Config{SizeBytes: 100, LineBytes: 32, Assoc: 1}, bus); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}

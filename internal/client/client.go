@@ -1,0 +1,223 @@
+// Package client is the control-software side of Fig. 4: it compiles
+// requests into UDP control packets, sends them to the reconfiguration
+// server (or directly to an FPX), and interprets the responses. It
+// plays the role of the paper's Java servlet UDP client, with
+// timeouts and retransmission since UDP guarantees neither delivery
+// nor order.
+package client
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"liquidarch/internal/netproto"
+)
+
+// Client is a UDP control client bound to one server.
+type Client struct {
+	conn *net.UDPConn
+
+	// Timeout bounds each request/response exchange.
+	Timeout time.Duration
+	// Retries is how many times a timed-out request is retransmitted.
+	Retries int
+}
+
+// Dial connects to the server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &Client{conn: conn, Timeout: 2 * time.Second, Retries: 3}, nil
+}
+
+// Close releases the socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends pkt and waits for a response to the same command,
+// retransmitting on timeout. A CmdError response becomes an error.
+func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
+	want := pkt.Command | netproto.RespFlag
+	raw := pkt.Marshal()
+	buf := make([]byte, 64<<10)
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if _, err := c.conn.Write(raw); err != nil {
+			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
+		}
+		deadline := time.Now().Add(c.Timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return netproto.Packet{}, err
+			}
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				lastErr = err
+				break // timeout: retransmit
+			}
+			resp, err := netproto.ParsePacket(buf[:n])
+			if err != nil {
+				continue // stray datagram
+			}
+			if resp.Command == netproto.CmdError {
+				er, perr := netproto.ParseErrorResp(resp.Body)
+				if perr != nil {
+					return netproto.Packet{}, fmt.Errorf("client: malformed error response: %w", perr)
+				}
+				if er.Code != pkt.Command {
+					continue // stale error for an earlier request
+				}
+				return netproto.Packet{}, fmt.Errorf("client: server error: %s", er.Msg)
+			}
+			if resp.Command != want {
+				continue // stale response from a retransmitted earlier request
+			}
+			body := make([]byte, len(resp.Body))
+			copy(body, resp.Body)
+			resp.Body = body
+			return resp, nil
+		}
+	}
+	return netproto.Packet{}, fmt.Errorf("client: no response after %d attempts: %w", c.Retries+1, lastErr)
+}
+
+// Status queries the controller state ("to check if LEON has started
+// up").
+func (c *Client) Status() (netproto.StatusResp, error) {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStatus})
+	if err != nil {
+		return netproto.StatusResp{}, err
+	}
+	return netproto.ParseStatusResp(resp.Body)
+}
+
+// LoadProgram uploads an image to the given SRAM address, splitting it
+// into sequence-numbered chunks and confirming each one.
+func (c *Client) LoadProgram(addr uint32, image []byte) error {
+	chunks := netproto.ChunkImage(addr, image)
+	for _, ch := range chunks {
+		resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
+		if err != nil {
+			return fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)
+		}
+		rep, err := netproto.ParseRunReport(resp.Body)
+		if err != nil {
+			return fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)
+		}
+		if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
+			return fmt.Errorf("client: load chunk %d/%d: status %d", ch.Seq+1, ch.Total, rep.Status)
+		}
+	}
+	return nil
+}
+
+// Start executes the loaded program (entry 0 = last load address) and
+// returns the cycle-counter report.
+func (c *Client) Start(entry uint32, maxCycles uint64) (netproto.RunReport, error) {
+	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartLEON, Body: req.Marshal()})
+	if err != nil {
+		return netproto.RunReport{}, err
+	}
+	return netproto.ParseRunReport(resp.Body)
+}
+
+// ReadMemory reads n bytes from addr, issuing as many requests as the
+// per-response cap requires.
+func (c *Client) ReadMemory(addr uint32, n int) ([]byte, error) {
+	const chunk = 32 << 10
+	out := make([]byte, 0, n)
+	for n > 0 {
+		ask := n
+		if ask > chunk {
+			ask = chunk
+		}
+		req := netproto.MemReq{Addr: addr, Length: uint32(ask)}
+		resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdReadMemory, Body: req.Marshal()})
+		if err != nil {
+			return nil, err
+		}
+		mr, err := netproto.ParseMemResp(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(mr.Data) != ask {
+			return nil, fmt.Errorf("client: short read: %d of %d bytes", len(mr.Data), ask)
+		}
+		out = append(out, mr.Data...)
+		addr += uint32(ask)
+		n -= ask
+	}
+	return out, nil
+}
+
+// WriteMemory stores bytes at addr.
+func (c *Client) WriteMemory(addr uint32, data []byte) error {
+	req := netproto.MemReq{Addr: addr, Data: data}
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdWriteMemory, Body: req.Marshal()})
+	if err != nil {
+		return err
+	}
+	_, err = netproto.ParseMemResp(resp.Body)
+	return err
+}
+
+// Reconfigure asks the platform to swap in a different architecture
+// configuration (the liquid step). spec is the platform-defined
+// configuration description.
+func (c *Client) Reconfigure(spec []byte) error {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdReconfigure, Body: spec})
+	if err != nil {
+		return err
+	}
+	rep, err := netproto.ParseRunReport(resp.Body)
+	if err != nil {
+		return err
+	}
+	if rep.Status != netproto.StatusOK {
+		return fmt.Errorf("client: reconfigure status %d", rep.Status)
+	}
+	return nil
+}
+
+// GetConfig fetches the platform's active configuration description.
+func (c *Client) GetConfig() ([]byte, error) {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdGetConfig})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// TraceReport pulls the instrumented-trace summary of the last run
+// (JSON; see core.TraceReport for the schema).
+func (c *Client) TraceReport() ([]byte, error) {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdTraceReport})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// RunProgram is the whole §2.6 flow in one call: load, start, and read
+// back resultLen bytes from resultAddr (skipped when resultLen is 0).
+func (c *Client) RunProgram(addr uint32, image []byte, entry uint32, resultAddr uint32, resultLen int) (netproto.RunReport, []byte, error) {
+	if err := c.LoadProgram(addr, image); err != nil {
+		return netproto.RunReport{}, nil, err
+	}
+	rep, err := c.Start(entry, 0)
+	if err != nil {
+		return rep, nil, err
+	}
+	if resultLen <= 0 {
+		return rep, nil, nil
+	}
+	data, err := c.ReadMemory(resultAddr, resultLen)
+	return rep, data, err
+}

@@ -1,0 +1,127 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/cache"
+)
+
+func TestConfigFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := ConfigFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DCache.SizeBytes != 4096 || cfg.ICache.SizeBytes != 1024 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.CPU.NWindows != 8 || !cfg.CPU.MulDiv || cfg.CPU.MAC {
+		t.Errorf("cpu defaults: %+v", cfg.CPU)
+	}
+}
+
+func TestConfigFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := ConfigFlags(fs)
+	args := []string{"-dcache", "8192", "-dassoc", "2", "-dwriteback",
+		"-mac", "-windows", "16", "-depth", "7", "-burst", "8"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DCache.SizeBytes != 8192 || cfg.DCache.Assoc != 2 || cfg.DCache.Write != cache.WriteBack {
+		t.Errorf("dcache: %+v", cfg.DCache)
+	}
+	if !cfg.CPU.MAC || cfg.CPU.NWindows != 16 || cfg.CPU.Depth() != 7 || cfg.BurstWords != 8 {
+		t.Errorf("cfg: %+v", cfg)
+	}
+	// Depth must flow into the timing table.
+	if cfg.CPU.Timing.Branch != 2 {
+		t.Errorf("branch penalty = %d", cfg.CPU.Timing.Branch)
+	}
+}
+
+func TestConfigFlagsValidation(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	build := ConfigFlags(fs)
+	if err := fs.Parse([]string{"-dcache", "3000"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build(); err == nil {
+		t.Error("invalid cache size accepted")
+	}
+}
+
+func TestReadWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	if err := WriteOutput(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadInput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q", got)
+	}
+	if _, err := ReadInput(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file read")
+	}
+	if err := WriteOutput(filepath.Join(dir, "no", "such", "dir", "f"), nil); err == nil {
+		t.Error("write into missing dir succeeded")
+	}
+}
+
+func TestReadInputStdin(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.Write([]byte("from stdin"))
+		w.Close()
+	}()
+	got, err := ReadInput("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from stdin" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, [][]string{
+		{"name", "value"},
+		{"alpha", "1"},
+		{"b", "22"},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "----") {
+		t.Errorf("header/underline wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "alpha") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,475 @@
+// Package core is the Liquid Architecture system — the paper's primary
+// contribution assembled from its substrates. A System owns one FPX
+// node whose processor microarchitecture is liquid: it can be
+// instantiated at any point of the configuration space, loaded with
+// programs (compiled from C or assembled), executed with a hardware
+// cycle counter, traced, and reconfigured at runtime from the
+// reconfiguration cache of pre-synthesized images, locally or over the
+// network (Fig. 1).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"liquidarch/internal/archgen"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+	"liquidarch/internal/reconfig"
+	"liquidarch/internal/synth"
+	"liquidarch/internal/trace"
+)
+
+// Options configures a System beyond the processor configuration.
+type Options struct {
+	// UARTOut receives the processor's serial output (nil discards).
+	UARTOut io.Writer
+	// Synth tunes the synthesis model.
+	Synth synth.Options
+	// CacheCapacity bounds the reconfiguration cache (0 = unbounded).
+	CacheCapacity int
+	// DisablePartial forces every reconfiguration through a full
+	// image load even when only the cache modules changed (ablation
+	// of the partial-runtime-reconfiguration path of [2]).
+	DisablePartial bool
+	// IP and Port identify the FPX node on the network (defaults
+	// 10.0.0.2:5001).
+	IP   [4]byte
+	Port uint16
+}
+
+func (o Options) withDefaults() Options {
+	if o.IP == ([4]byte{}) {
+		o.IP = [4]byte{10, 0, 0, 2}
+	}
+	if o.Port == 0 {
+		o.Port = 5001
+	}
+	return o
+}
+
+// System is one liquid-architecture FPX node.
+type System struct {
+	mu   sync.Mutex
+	opts Options
+
+	cfg      leon.Config
+	soc      *leon.SoC
+	ctrl     *leon.Controller
+	platform *fpx.Platform
+	manager  *reconfig.Manager
+
+	active      *synth.Image
+	reconfigs   uint64
+	partials    uint64
+	lastHit     bool
+	lastPartial bool
+	loadedProg  *link.Image
+	lastTrace   *trace.Recorder
+}
+
+// New synthesizes (or loads from a fresh cache) the initial
+// configuration, instantiates the processor system and boots it.
+func New(cfg leon.Config, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	s := &System{
+		opts:    opts,
+		manager: reconfig.NewManager(reconfig.NewCache(opts.CacheCapacity), opts.Synth),
+	}
+	img, _, err := s.manager.GetOrSynthesize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.instantiate(cfg, img, nil, nil); err != nil {
+		return nil, err
+	}
+	s.platform = fpx.New(tracedControl{s}, opts.IP, opts.Port)
+	s.platform.ReconfigureFn = s.reconfigureFromSpec
+	s.platform.ConfigFn = func() []byte {
+		blob, _ := json.Marshal(SpecFromConfig(s.Config()))
+		return blob
+	}
+	s.platform.TraceFn = s.traceReportJSON
+	return s, nil
+}
+
+// instantiate builds and boots a SoC for cfg, optionally restoring
+// board-memory contents (which survive FPGA reconfiguration).
+func (s *System) instantiate(cfg leon.Config, img *synth.Image, sram, sdram []byte) error {
+	soc, err := leon.New(cfg, s.opts.UARTOut)
+	if err != nil {
+		return err
+	}
+	if sram != nil {
+		copy(soc.SRAM.Raw(), sram)
+	}
+	if sdram != nil {
+		copy(soc.SDRAM.Raw(), sdram)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		return err
+	}
+	s.cfg, s.soc, s.ctrl, s.active = cfg, soc, ctrl, img
+	return nil
+}
+
+// Config returns the active configuration.
+func (s *System) Config() leon.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// ActiveImage returns the loaded FPGA image.
+func (s *System) ActiveImage() *synth.Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Platform returns the FPX platform (mount it on a server to go
+// remote).
+func (s *System) Platform() *fpx.Platform { return s.platform }
+
+// Controller returns the leon_ctrl state machine.
+func (s *System) Controller() *leon.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl
+}
+
+// SoC returns the current processor system.
+func (s *System) SoC() *leon.SoC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.soc
+}
+
+// Manager returns the reconfiguration cache manager.
+func (s *System) Manager() *reconfig.Manager { return s.manager }
+
+// Reconfigurations returns how many image swaps have happened.
+func (s *System) Reconfigurations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconfigs
+}
+
+// LastReconfigureHit reports whether the most recent reconfiguration
+// was served from the cache.
+func (s *System) LastReconfigureHit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastHit
+}
+
+// Reconfigure swaps the node to cfg: the image comes from the
+// reconfiguration cache when pre-generated (milliseconds) or a fresh
+// synthesis run (≈1 modelled hour). Board memories — and therefore the
+// loaded program and its data — survive the swap, exactly as the FPX's
+// external SRAM/SDRAM survive FPGA reprogramming.
+//
+// When only the cache modules differ from the active configuration,
+// the swap is performed as a partial runtime reconfiguration in the
+// style of the paper's reference [2]: the cache plugins are replaced
+// under the live processor, without a reset or memory copy (disable
+// with Options.DisablePartial).
+func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
+	img, hit, err := s.manager.GetOrSynthesize(cfg)
+	if err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.opts.DisablePartial && onlyCachesDiffer(s.cfg, cfg) {
+		if err := s.soc.SwapCaches(cfg.ICache, cfg.DCache); err != nil {
+			return hit, err
+		}
+		s.cfg, s.active = cfg, img
+		s.reconfigs++
+		s.partials++
+		s.lastHit, s.lastPartial = hit, true
+		return hit, nil
+	}
+	sram := append([]byte(nil), s.soc.SRAM.Raw()...)
+	sdram := append([]byte(nil), s.soc.SDRAM.Raw()...)
+	if err := s.instantiate(cfg, img, sram, sdram); err != nil {
+		return hit, err
+	}
+	if s.platform != nil {
+		s.platform.SetControl(tracedControl{s})
+	}
+	s.reconfigs++
+	s.lastHit, s.lastPartial = hit, false
+	return hit, nil
+}
+
+// onlyCachesDiffer reports whether a↦b changes nothing outside the
+// cache modules (the partial-reconfiguration region).
+func onlyCachesDiffer(a, b leon.Config) bool {
+	a.ICache, b.ICache = cache.Config{}, cache.Config{}
+	a.DCache, b.DCache = cache.Config{}, cache.Config{}
+	return a == b
+}
+
+// PartialReconfigurations returns how many swaps took the partial
+// (cache-plugin) path.
+func (s *System) PartialReconfigurations() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partials
+}
+
+// LastReconfigureWasPartial reports whether the most recent swap used
+// the partial path.
+func (s *System) LastReconfigureWasPartial() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastPartial
+}
+
+// reconfigureFromSpec handles the network CmdReconfigure payload.
+func (s *System) reconfigureFromSpec(blob []byte) error {
+	var spec Spec
+	if err := json.Unmarshal(blob, &spec); err != nil {
+		return fmt.Errorf("core: bad reconfigure spec: %w", err)
+	}
+	cfg, err := spec.ToConfig(s.Config())
+	if err != nil {
+		return err
+	}
+	_, err = s.Reconfigure(cfg)
+	return err
+}
+
+// CompileC compiles Liquid-C source and links it into a loadable
+// image (the gcc → GAS → LD → OBJCOPY pipeline of Fig. 4).
+func (s *System) CompileC(src string, copts lcc.Options) (*link.Image, error) {
+	asmSrc, err := lcc.Compile(src, copts)
+	if err != nil {
+		return nil, err
+	}
+	return link.Build(asmSrc, link.Options{
+		StackTop: leon.SRAMBase + uint32(s.Config().SRAMSize),
+	})
+}
+
+// BuildASM links hand-written assembly (with crt0; define main).
+func (s *System) BuildASM(src string) (*link.Image, error) {
+	return link.Build(src, link.Options{
+		StackTop: leon.SRAMBase + uint32(s.Config().SRAMSize),
+	})
+}
+
+// Load places an image in SRAM through the leon_ctrl user port.
+func (s *System) Load(img *link.Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+		return err
+	}
+	s.loadedProg = img
+	return nil
+}
+
+// Run executes a loaded image and returns the cycle-counter report.
+// budget 0 means the controller default.
+func (s *System) Run(img *link.Image, budget uint64) (leon.RunResult, error) {
+	if err := s.Load(img); err != nil {
+		return leon.RunResult{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Execute(img.Entry, budget)
+}
+
+// RunWithTrace executes a loaded image with the trace analyzer
+// attached, returning the recording for the Fig. 1 feedback loop.
+func (s *System) RunWithTrace(img *link.Image, budget uint64) (leon.RunResult, *trace.Recorder, error) {
+	if err := s.Load(img); err != nil {
+		return leon.RunResult{}, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := trace.NewRecorder()
+	rec.Attach(s.soc.CPU)
+	defer rec.Detach()
+	res, err := s.ctrl.Execute(img.Entry, budget)
+	return res, rec, err
+}
+
+// ExitValue reads the word where crt0 stored main's return value.
+func (s *System) ExitValue(img *link.Image) (uint32, error) {
+	addr := img.ExitValueAddr()
+	if addr == 0 {
+		return 0, fmt.Errorf("core: image has no __exit_value (standalone?)")
+	}
+	b, err := s.ReadMemory(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// ReadMemory reads through the user-side memory ports.
+func (s *System) ReadMemory(addr uint32, n int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.ReadMemory(addr, n)
+}
+
+// TuneReport is the outcome of one AutoTune pass: the Fig. 1 loop of
+// trace → analyze → generate → reconfigure → re-measure.
+type TuneReport struct {
+	Baseline    leon.RunResult
+	BaselineCfg leon.Config
+	Tuned       leon.RunResult
+	TunedCfg    leon.Config
+	Best        archgen.Candidate
+	Candidates  []archgen.Candidate
+	CacheHit    bool
+	// Speedup is baseline cycles / tuned cycles.
+	Speedup float64
+	// WallSpeedup folds in the synthesized clock frequencies.
+	WallSpeedup float64
+}
+
+// AutoTune runs img on the current configuration under the trace
+// analyzer, explores the space, reconfigures to the best candidate and
+// re-runs — the complete application reconfigurability environment of
+// Fig. 1 in one call.
+func (s *System) AutoTune(img *link.Image, space archgen.Space, budget uint64) (*TuneReport, error) {
+	baseCfg := s.Config()
+	baseFMax := synth.Estimate(baseCfg).FMaxMHz
+	baseline, rec, err := s.RunWithTrace(img, budget)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.Faulted {
+		return nil, fmt.Errorf("core: baseline run faulted (tt=%#x)", baseline.TT)
+	}
+	space.Base = baseCfg
+	candidates, err := archgen.Explore(rec, space, archgen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	best := candidates[0]
+	hit, err := s.Reconfigure(best.Config)
+	if err != nil {
+		return nil, err
+	}
+	tuned, err := s.Run(img, budget)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TuneReport{
+		Baseline:    baseline,
+		BaselineCfg: baseCfg,
+		Tuned:       tuned,
+		TunedCfg:    best.Config,
+		Best:        best,
+		Candidates:  candidates,
+		CacheHit:    hit,
+	}
+	if tuned.Cycles > 0 {
+		rep.Speedup = float64(baseline.Cycles) / float64(tuned.Cycles)
+		tunedFMax := synth.Estimate(best.Config).FMaxMHz
+		rep.WallSpeedup = (float64(baseline.Cycles) / (baseFMax * 1e6)) /
+			(float64(tuned.Cycles) / (tunedFMax * 1e6))
+	}
+	return rep, nil
+}
+
+// Spec is the flat, JSON-friendly wire form of a configuration, used
+// by the CmdReconfigure/CmdGetConfig network commands and the CLI.
+type Spec struct {
+	NWindows      int   `json:"nwindows,omitempty"`
+	MulDiv        *bool `json:"muldiv,omitempty"`
+	MAC           *bool `json:"mac,omitempty"`
+	PipelineDepth int   `json:"pipeline_depth,omitempty"`
+	ICacheBytes   int   `json:"icache_bytes,omitempty"`
+	ICacheLine    int   `json:"icache_line,omitempty"`
+	ICacheAssoc   int   `json:"icache_assoc,omitempty"`
+	DCacheBytes   int   `json:"dcache_bytes,omitempty"`
+	DCacheLine    int   `json:"dcache_line,omitempty"`
+	DCacheAssoc   int   `json:"dcache_assoc,omitempty"`
+	DCacheWB      *bool `json:"dcache_writeback,omitempty"`
+	BurstWords    int   `json:"burst_words,omitempty"`
+}
+
+// SpecFromConfig flattens a configuration.
+func SpecFromConfig(cfg leon.Config) Spec {
+	md, mac, wb := cfg.CPU.MulDiv, cfg.CPU.MAC, cfg.DCache.Write == cache.WriteBack
+	return Spec{
+		NWindows:      cfg.CPU.NWindows,
+		MulDiv:        &md,
+		MAC:           &mac,
+		PipelineDepth: cfg.CPU.Depth(),
+		ICacheBytes:   cfg.ICache.SizeBytes,
+		ICacheLine:    cfg.ICache.LineBytes,
+		ICacheAssoc:   cfg.ICache.Assoc,
+		DCacheBytes:   cfg.DCache.SizeBytes,
+		DCacheLine:    cfg.DCache.LineBytes,
+		DCacheAssoc:   cfg.DCache.Assoc,
+		DCacheWB:      &wb,
+		BurstWords:    cfg.BurstWords,
+	}
+}
+
+// ToConfig applies the spec's set fields over a base configuration and
+// validates the result.
+func (sp Spec) ToConfig(base leon.Config) (leon.Config, error) {
+	cfg := base
+	if sp.NWindows != 0 {
+		cfg.CPU.NWindows = sp.NWindows
+	}
+	if sp.MulDiv != nil {
+		cfg.CPU.MulDiv = *sp.MulDiv
+	}
+	if sp.MAC != nil {
+		cfg.CPU.MAC = *sp.MAC
+	}
+	if sp.PipelineDepth != 0 {
+		cfg.CPU.PipelineDepth = sp.PipelineDepth
+		cfg.CPU.Timing = cpu.TimingForDepth(sp.PipelineDepth)
+	}
+	if sp.ICacheBytes != 0 {
+		cfg.ICache.SizeBytes = sp.ICacheBytes
+	}
+	if sp.ICacheLine != 0 {
+		cfg.ICache.LineBytes = sp.ICacheLine
+	}
+	if sp.ICacheAssoc != 0 {
+		cfg.ICache.Assoc = sp.ICacheAssoc
+	}
+	if sp.DCacheBytes != 0 {
+		cfg.DCache.SizeBytes = sp.DCacheBytes
+	}
+	if sp.DCacheLine != 0 {
+		cfg.DCache.LineBytes = sp.DCacheLine
+	}
+	if sp.DCacheAssoc != 0 {
+		cfg.DCache.Assoc = sp.DCacheAssoc
+	}
+	if sp.DCacheWB != nil {
+		if *sp.DCacheWB {
+			cfg.DCache.Write = cache.WriteBack
+		} else {
+			cfg.DCache.Write = cache.WriteThrough
+		}
+	}
+	if sp.BurstWords != 0 {
+		cfg.BurstWords = sp.BurstWords
+	}
+	if err := cfg.Validate(); err != nil {
+		return leon.Config{}, fmt.Errorf("core: invalid spec: %w", err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/trace"
+)
+
+// tracedControl is the LEON control interface the FPX platform sees:
+// it delegates to the System's current controller (so reconfiguration
+// is transparent) and records an instrumented trace around every
+// networked execution — the paper's "streaming of instrumented traces
+// to the Trace Analyzer" made pullable via CmdTraceReport.
+type tracedControl struct {
+	sys *System
+}
+
+func (t tracedControl) State() leon.State          { return t.sys.Controller().State() }
+func (t tracedControl) LastResult() leon.RunResult { return t.sys.Controller().LastResult() }
+
+func (t tracedControl) LoadProgram(addr uint32, image []byte) error {
+	return t.sys.Controller().LoadProgram(addr, image)
+}
+
+func (t tracedControl) ReadMemory(addr uint32, n int) ([]byte, error) {
+	return t.sys.ReadMemory(addr, n)
+}
+
+func (t tracedControl) WriteMemory(addr uint32, p []byte) error {
+	return t.sys.Controller().WriteMemory(addr, p)
+}
+
+func (t tracedControl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	s := t.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := trace.NewRecorder()
+	rec.MaxEvents = 1 << 20
+	rec.Attach(s.soc.CPU)
+	defer rec.Detach()
+	res, err := s.ctrl.Execute(entry, maxCycles)
+	s.lastTrace = rec
+	return res, err
+}
+
+// LastTrace returns the recorder from the most recent networked run
+// (nil before any).
+func (s *System) LastTrace() *trace.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
+}
+
+// TraceReport is the JSON summary served by CmdTraceReport.
+type TraceReport struct {
+	Instructions    uint64          `json:"instructions"`
+	MemEvents       int             `json:"mem_events"`
+	MemReads        int             `json:"mem_reads"`
+	MemWrites       int             `json:"mem_writes"`
+	Dropped         uint64          `json:"dropped"`
+	WorkingSetLines int             `json:"working_set_lines"`
+	WorkingSetBytes int             `json:"working_set_bytes"`
+	HotSpots        []trace.HotSpot `json:"hot_spots"`
+}
+
+// traceReportJSON summarizes the last networked run's trace.
+func (s *System) traceReportJSON() ([]byte, error) {
+	rec := s.LastTrace()
+	if rec == nil {
+		return nil, fmt.Errorf("core: no traced run yet")
+	}
+	lines, bytes := rec.WorkingSet(32)
+	rep := TraceReport{
+		Instructions:    rec.Instructions(),
+		MemEvents:       len(rec.MemEvents()),
+		Dropped:         rec.Dropped(),
+		WorkingSetLines: lines,
+		WorkingSetBytes: bytes,
+		HotSpots:        rec.HotSpots(10),
+	}
+	for _, e := range rec.MemEvents() {
+		if e.Write {
+			rep.MemWrites++
+		} else {
+			rep.MemReads++
+		}
+	}
+	return json.Marshal(rep)
+}

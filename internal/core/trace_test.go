@@ -1,0 +1,67 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"liquidarch/internal/lcc"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+// TestNetworkTraceReport: programs run through the platform are traced
+// and the summary is pullable via CmdTraceReport.
+func TestNetworkTraceReport(t *testing.T) {
+	s := newSystem(t, leon.DefaultConfig())
+	p := s.Platform()
+
+	// Before any run: a clean error.
+	resps := p.HandlePayload(netproto.Packet{Command: netproto.CmdTraceReport}.Marshal())
+	if resps[0].Command != netproto.CmdError {
+		t.Fatal("trace before any run did not error")
+	}
+
+	// Load and start through the platform (as a remote client would).
+	img, err := s.CompileC(`
+int buf[64];
+int main() {
+    int i;
+    int x = 0;
+    for (i = 0; i < 64; i++) x += buf[i];
+    return x;
+}`, lcc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range netproto.ChunkImage(img.Origin, img.Code) {
+		p.HandlePayload(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()}.Marshal())
+	}
+	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()}.Marshal())
+	rep, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil || rep.Status != netproto.StatusOK {
+		t.Fatalf("start: %v %+v", err, rep)
+	}
+
+	// Pull the trace summary.
+	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdTraceReport}.Marshal())
+	if resps[0].Command != netproto.CmdTraceReport|netproto.RespFlag {
+		t.Fatalf("trace response command %#x", resps[0].Command)
+	}
+	var tr TraceReport
+	if err := json.Unmarshal(resps[0].Body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Instructions == 0 || tr.MemEvents == 0 || len(tr.HotSpots) == 0 {
+		t.Errorf("empty trace report: %+v", tr)
+	}
+	if tr.MemReads+tr.MemWrites != tr.MemEvents {
+		t.Errorf("read/write split %d+%d != %d", tr.MemReads, tr.MemWrites, tr.MemEvents)
+	}
+	// The 64-int array plus locals: working set is a couple dozen lines.
+	if tr.WorkingSetLines < 8 || tr.WorkingSetLines > 64 {
+		t.Errorf("working set = %d lines", tr.WorkingSetLines)
+	}
+	if s.LastTrace() == nil {
+		t.Error("LastTrace nil after networked run")
+	}
+}

@@ -1,0 +1,620 @@
+// Package cpu models the LEON2 integer unit: a SPARC V8 processor with
+// register windows, the full integer instruction set, traps and
+// interrupts, and LEON-like per-instruction cycle accounting. It is the
+// "LEON SPARC-compatible Processor" block of Fig. 3 in the paper.
+//
+// The model is a functional instruction-set simulator with a timing
+// overlay rather than an RTL pipeline: each instruction charges its
+// LEON2 base cost plus whatever the memory hierarchy reports for
+// instruction fetch and data access. The experiments in the paper
+// measure whole-program clock-cycle counts, which this accounting
+// reproduces.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"liquidarch/internal/amba"
+	"liquidarch/internal/isa"
+)
+
+// PSR bit positions and fields (SPARC V8 §4.2).
+const (
+	PSRCarry    = 1 << 20
+	PSROverflow = 1 << 21
+	PSRZero     = 1 << 22
+	PSRNegative = 1 << 23
+	PSRET       = 1 << 5 // enable traps
+	PSRPS       = 1 << 6 // previous supervisor
+	PSRS        = 1 << 7 // supervisor
+	psrPILShift = 8
+	psrPILMask  = 0xF << psrPILShift
+	psrCWPMask  = 0x1F
+	// impl/ver identify the core; LEON2 reports impl=0xF, ver=3.
+	psrImplVer = 0xF3 << 24
+)
+
+// Trap types (SPARC V8 table 7-1 subset).
+const (
+	TrapReset           = 0x00
+	TrapIAccess         = 0x01
+	TrapIllegalInst     = 0x02
+	TrapPrivilegedInst  = 0x03
+	TrapWindowOverflow  = 0x05
+	TrapWindowUnderflow = 0x06
+	TrapAlignment       = 0x07
+	TrapDAccess         = 0x09
+	TrapDivZero         = 0x2A
+	TrapInterruptBase   = 0x10 // + interrupt level 1-15
+	TrapSoftwareBase    = 0x80 // + Ticc number 0-127
+)
+
+// Memory is the CPU-facing interface of the instruction and data paths
+// (normally the two caches). Cycle counts include the access itself.
+type Memory interface {
+	Read(addr uint32, size amba.Size) (val uint32, cycles int, err error)
+	Write(addr uint32, val uint32, size amba.Size) (cycles int, err error)
+}
+
+// IRQSource provides external interrupt requests (the APB interrupt
+// controller).
+type IRQSource interface {
+	// Pending returns the highest pending unmasked interrupt level
+	// (1-15), or 0.
+	Pending() int
+	// Ack acknowledges the interrupt when the CPU takes it.
+	Ack(level int)
+}
+
+// Timing is the per-class cycle cost table (LEON2-like defaults). The
+// memory hierarchy adds its own cycles on top.
+type Timing struct {
+	Load   int // extra cycles for a load beyond fetch+access
+	Store  int // extra cycles for a store beyond fetch+access
+	Mul    int // extra cycles for UMUL/SMUL/MULScc/LQMAC without MAC
+	Div    int // extra cycles for UDIV/SDIV
+	Jmpl   int // extra cycles for JMPL/RETT
+	Branch int // extra taken-branch penalty (grows with pipeline depth)
+	Trap   int // pipeline flush cost of taking a trap
+}
+
+// DefaultTiming returns the LEON2 base timing.
+func DefaultTiming() Timing {
+	return Timing{Load: 1, Store: 2, Mul: 4, Div: 34, Jmpl: 1, Branch: 0, Trap: 3}
+}
+
+// Config selects the liquid (reconfigurable) aspects of the integer
+// unit: window count, hardware multiply/divide, the custom MAC
+// instruction, and the timing table derived from the pipeline depth.
+type Config struct {
+	// NWindows is the register window count (2-32, LEON2 default 8).
+	NWindows int
+	// MulDiv enables the hardware multiplier/divider. Without it,
+	// UMUL/SMUL/UDIV/SDIV trap as illegal instructions (software
+	// emulation, as on a minimal LEON build).
+	MulDiv bool
+	// MAC enables the Liquid custom multiply-accumulate instruction
+	// (OpLQMAC); when false the encoding traps as illegal.
+	MAC bool
+	// PipelineDepth is the integer-unit pipeline depth (3-8; 0 means
+	// the LEON2 default of 5). Deeper pipelines raise the synthesized
+	// clock (see the synth package) at the cost of a larger
+	// taken-branch penalty; use TimingForDepth to derive Timing.
+	PipelineDepth int
+	// Timing is the cycle cost table.
+	Timing Timing
+}
+
+// Depth returns the effective pipeline depth (default 5).
+func (c Config) Depth() int {
+	if c.PipelineDepth == 0 {
+		return 5
+	}
+	return c.PipelineDepth
+}
+
+// TimingForDepth derives the cycle-cost table for a given pipeline
+// depth: each stage beyond the 5-stage LEON2 baseline adds one cycle
+// of taken-branch penalty and one of trap-flush cost.
+func TimingForDepth(depth int) Timing {
+	t := DefaultTiming()
+	if depth > 5 {
+		t.Branch = depth - 5
+		t.Trap += depth - 5
+	}
+	return t
+}
+
+// DefaultConfig returns the LEON2 base configuration.
+func DefaultConfig() Config {
+	return Config{NWindows: 8, MulDiv: true, Timing: DefaultTiming()}
+}
+
+// Validate reports whether the configuration is realizable.
+func (c Config) Validate() error {
+	if c.NWindows < 2 || c.NWindows > 32 {
+		return fmt.Errorf("cpu: NWindows %d outside SPARC's 2-32", c.NWindows)
+	}
+	if d := c.Depth(); d < 3 || d > 8 {
+		return fmt.Errorf("cpu: pipeline depth %d outside 3-8", d)
+	}
+	return nil
+}
+
+// ErrorMode is returned by Step when a synchronous trap occurs while
+// traps are disabled (ET=0): the SPARC error mode, which on the FPX
+// would freeze the processor until reset.
+type ErrorMode struct {
+	TT uint8  // trap type that caused it
+	PC uint32 // faulting instruction
+}
+
+func (e *ErrorMode) Error() string {
+	return fmt.Sprintf("cpu: error mode: trap %#02x at pc %#08x with ET=0", e.TT, e.PC)
+}
+
+// Stats counts instruction mix and trap activity.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Taken        uint64
+	Annulled     uint64
+	Traps        uint64
+	Interrupts   uint64
+	WindowSpills uint64 // window overflow traps
+	WindowFills  uint64 // window underflow traps
+}
+
+// CPU is one LEON integer unit.
+type CPU struct {
+	cfg  Config
+	imem Memory
+	dmem Memory
+	irq  IRQSource
+
+	// FlushFn, when non-nil, is invoked by the FLUSH instruction
+	// (wired to both caches by the SoC); it returns bus cycles spent.
+	FlushFn func() (int, error)
+
+	// Architected state.
+	globals [8]uint32
+	windows []uint32 // NWindows × 16 (8 outs + 8 locals per window)
+	psr     uint32
+	wim     uint32
+	tbr     uint32
+	y       uint32
+	pc, npc uint32
+	annul   bool
+
+	// Cycles is the running clock-cycle count (the hardware cycle
+	// counter the paper's state machine implements reads this).
+	Cycles uint64
+
+	stats Stats
+
+	// Trace hooks; nil hooks cost nothing.
+	OnExec func(pc uint32, in isa.Inst)
+	OnMem  func(addr uint32, size amba.Size, write bool)
+	OnTrap func(tt uint8, pc uint32)
+}
+
+// New builds a CPU over the given instruction and data paths.
+func New(cfg Config, imem, dmem Memory, irq IRQSource) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CPU{cfg: cfg, imem: imem, dmem: dmem, irq: irq}
+	c.windows = make([]uint32, cfg.NWindows*16)
+	c.Reset()
+	return c, nil
+}
+
+// Config returns the configuration the CPU was built with.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the instruction-mix counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Reset puts the processor in its power-on state: supervisor mode,
+// traps disabled, window 0, executing from address 0 (the boot PROM).
+func (c *CPU) Reset() {
+	for i := range c.globals {
+		c.globals[i] = 0
+	}
+	for i := range c.windows {
+		c.windows[i] = 0
+	}
+	c.psr = psrImplVer | PSRS
+	c.wim, c.tbr, c.y = 0, 0, 0
+	c.pc, c.npc = 0, 4
+	c.annul = false
+}
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// NPC returns the next program counter (delay-slot machine).
+func (c *CPU) NPC() uint32 { return c.npc }
+
+// SetPC redirects execution (reset vectoring by the SoC).
+func (c *CPU) SetPC(pc uint32) {
+	c.pc, c.npc, c.annul = pc, pc+4, false
+}
+
+// PSR returns the processor state register.
+func (c *CPU) PSR() uint32 { return c.psr }
+
+// WIM returns the window invalid mask.
+func (c *CPU) WIM() uint32 { return c.wim }
+
+// TBR returns the trap base register.
+func (c *CPU) TBR() uint32 { return c.tbr }
+
+// Y returns the Y register.
+func (c *CPU) Y() uint32 { return c.y }
+
+// cwp returns the current window pointer.
+func (c *CPU) cwp() int { return int(c.psr & psrCWPMask) }
+
+// CWP returns the current window pointer (exported for tests/tracing).
+func (c *CPU) CWP() int { return c.cwp() }
+
+func (c *CPU) pil() int { return int(c.psr & psrPILMask >> psrPILShift) }
+
+// Reg reads register r in the current window.
+func (c *CPU) Reg(r isa.Reg) uint32 {
+	if r == 0 {
+		return 0
+	}
+	if r < 8 {
+		return c.globals[r]
+	}
+	return c.windows[c.windowIndex(r)]
+}
+
+// SetReg writes register r in the current window (writes to %g0 are
+// discarded).
+func (c *CPU) SetReg(r isa.Reg, v uint32) {
+	if r == 0 {
+		return
+	}
+	if r < 8 {
+		c.globals[r] = v
+		return
+	}
+	c.windows[c.windowIndex(r)] = v
+}
+
+// windowIndex maps windowed register r (8-31) to the backing slice.
+// Each window owns 16 registers (outs then locals); the ins of window w
+// are the outs of window (w+1) mod NWindows.
+func (c *CPU) windowIndex(r isa.Reg) int {
+	w := c.cwp()
+	switch {
+	case r < 16: // outs
+		return w*16 + int(r-8)
+	case r < 24: // locals
+		return w*16 + 8 + int(r-16)
+	default: // ins = outs of next window
+		return ((w+1)%c.cfg.NWindows)*16 + int(r-24)
+	}
+}
+
+func (c *CPU) setICC(n, z, v, cy bool) {
+	c.psr &^= PSRNegative | PSRZero | PSROverflow | PSRCarry
+	if n {
+		c.psr |= PSRNegative
+	}
+	if z {
+		c.psr |= PSRZero
+	}
+	if v {
+		c.psr |= PSROverflow
+	}
+	if cy {
+		c.psr |= PSRCarry
+	}
+}
+
+// condTrue evaluates a Bicc/Ticc condition against the icc flags.
+func (c *CPU) condTrue(cond isa.Cond) bool {
+	n := c.psr&PSRNegative != 0
+	z := c.psr&PSRZero != 0
+	v := c.psr&PSROverflow != 0
+	cy := c.psr&PSRCarry != 0
+	switch cond {
+	case isa.CondA:
+		return true
+	case isa.CondN:
+		return false
+	case isa.CondE:
+		return z
+	case isa.CondNE:
+		return !z
+	case isa.CondL:
+		return n != v
+	case isa.CondGE:
+		return n == v
+	case isa.CondLE:
+		return z || n != v
+	case isa.CondG:
+		return !z && n == v
+	case isa.CondCS:
+		return cy
+	case isa.CondCC:
+		return !cy
+	case isa.CondLEU:
+		return cy || z
+	case isa.CondGU:
+		return !cy && !z
+	case isa.CondNEG:
+		return n
+	case isa.CondPOS:
+		return !n
+	case isa.CondVS:
+		return v
+	case isa.CondVC:
+		return !v
+	}
+	return false
+}
+
+// trap enters a trap: decrement CWP without a WIM check, stash PC/nPC
+// in the new window's %l1/%l2, disable traps and vector through TBR.
+// With ET already 0 the processor enters error mode.
+func (c *CPU) trap(tt uint8) error {
+	c.stats.Traps++
+	if c.OnTrap != nil {
+		c.OnTrap(tt, c.pc)
+	}
+	if c.psr&PSRET == 0 {
+		return &ErrorMode{TT: tt, PC: c.pc}
+	}
+	switch tt {
+	case TrapWindowOverflow:
+		c.stats.WindowSpills++
+	case TrapWindowUnderflow:
+		c.stats.WindowFills++
+	}
+	// PS ← S, S ← 1, ET ← 0, CWP ← CWP-1 (mod NWindows).
+	c.psr &^= PSRPS
+	if c.psr&PSRS != 0 {
+		c.psr |= PSRPS
+	}
+	c.psr |= PSRS
+	c.psr &^= PSRET
+	newCWP := (c.cwp() + c.cfg.NWindows - 1) % c.cfg.NWindows
+	c.psr = c.psr&^psrCWPMask | uint32(newCWP)
+	c.SetReg(isa.L1, c.pc)
+	c.SetReg(isa.L2, c.npc)
+	c.tbr = c.tbr&0xFFFFF000 | uint32(tt)<<4
+	c.pc = c.tbr
+	c.npc = c.pc + 4
+	c.annul = false
+	c.Cycles += uint64(c.cfg.Timing.Trap)
+	return nil
+}
+
+var errTrapped = errors.New("cpu: instruction trapped")
+
+// Step executes one instruction (or takes one pending interrupt) and
+// advances the cycle counter. It returns nil normally and an *ErrorMode
+// when the processor would freeze.
+func (c *CPU) Step() error {
+	// External interrupts are sampled between instructions.
+	if c.irq != nil && c.psr&PSRET != 0 {
+		if lvl := c.irq.Pending(); lvl == 15 || (lvl > 0 && lvl > c.pil()) {
+			c.irq.Ack(lvl)
+			c.stats.Interrupts++
+			return c.trap(uint8(TrapInterruptBase + lvl))
+		}
+	}
+
+	// Annulled delay slot: fetch is skipped, one dead cycle.
+	if c.annul {
+		c.annul = false
+		c.stats.Annulled++
+		c.pc, c.npc = c.npc, c.npc+4
+		c.Cycles++
+		return nil
+	}
+
+	if c.pc&3 != 0 {
+		return c.trap(TrapAlignment)
+	}
+	word, fetchCycles, err := c.imem.Read(c.pc, amba.SizeWord)
+	c.Cycles += uint64(fetchCycles)
+	if err != nil {
+		return c.trap(TrapIAccess)
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		return c.trap(TrapIllegalInst)
+	}
+	if c.OnExec != nil {
+		c.OnExec(c.pc, in)
+	}
+	c.stats.Instructions++
+
+	nextPC, nextNPC := c.npc, c.npc+4
+	err = c.execute(in, &nextPC, &nextNPC)
+	if err != nil {
+		if errors.Is(err, errTrapped) {
+			return nil // trap already vectored
+		}
+		return err
+	}
+	c.pc, c.npc = nextPC, nextNPC
+	return nil
+}
+
+// execute runs one decoded instruction. Control transfers update
+// *nextPC/*nextNPC (the delayed-branch machine). A returned errTrapped
+// means the instruction vectored through trap() and PC is already set.
+func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
+	op2 := func() uint32 {
+		if in.UseImm {
+			return uint32(in.Imm)
+		}
+		return c.Reg(in.Rs2)
+	}
+	t := &c.cfg.Timing
+
+	switch in.Op {
+	case isa.OpCALL:
+		c.SetReg(isa.O7, c.pc)
+		*nextNPC = c.pc + uint32(in.Imm)*4
+		c.Cycles += uint64(t.Jmpl)
+		return nil
+
+	case isa.OpSETHI:
+		c.SetReg(in.Rd, uint32(in.Imm)<<10)
+		return nil
+
+	case isa.OpUNIMP:
+		return c.takeTrap(TrapIllegalInst)
+
+	case isa.OpBicc:
+		c.stats.Branches++
+		taken := c.condTrue(in.Cond)
+		if taken {
+			c.stats.Taken++
+			*nextNPC = c.pc + uint32(in.Imm)*4
+			c.Cycles += uint64(t.Branch)
+			// BA,a annuls its delay slot even though taken.
+			if in.Cond == isa.CondA && in.Annul {
+				c.annul = true
+			}
+		} else if in.Annul {
+			c.annul = true
+		}
+		return nil
+
+	case isa.OpJMPL:
+		target := c.Reg(in.Rs1) + op2()
+		if target&3 != 0 {
+			return c.takeTrap(TrapAlignment)
+		}
+		c.SetReg(in.Rd, c.pc)
+		*nextNPC = target
+		c.Cycles += uint64(t.Jmpl)
+		return nil
+
+	case isa.OpRETT:
+		return c.rett(c.Reg(in.Rs1)+op2(), nextPC, nextNPC)
+
+	case isa.OpTicc:
+		if c.condTrue(in.Cond) {
+			n := (c.Reg(in.Rs1) + op2()) & 0x7F
+			return c.takeTrap(uint8(TrapSoftwareBase + n))
+		}
+		return nil
+
+	case isa.OpSAVE:
+		newCWP := (c.cwp() + c.cfg.NWindows - 1) % c.cfg.NWindows
+		if c.wim&(1<<uint(newCWP)) != 0 {
+			return c.takeTrap(TrapWindowOverflow)
+		}
+		res := c.Reg(in.Rs1) + op2() // computed in the old window
+		c.psr = c.psr&^psrCWPMask | uint32(newCWP)
+		c.SetReg(in.Rd, res) // written in the new window
+		return nil
+
+	case isa.OpRESTORE:
+		newCWP := (c.cwp() + 1) % c.cfg.NWindows
+		if c.wim&(1<<uint(newCWP)) != 0 {
+			return c.takeTrap(TrapWindowUnderflow)
+		}
+		res := c.Reg(in.Rs1) + op2()
+		c.psr = c.psr&^psrCWPMask | uint32(newCWP)
+		c.SetReg(in.Rd, res)
+		return nil
+
+	case isa.OpFLUSH:
+		if c.FlushFn != nil {
+			cycles, err := c.FlushFn()
+			c.Cycles += uint64(cycles)
+			if err != nil {
+				return c.takeTrap(TrapDAccess)
+			}
+		}
+		return nil
+
+	case isa.OpRDY:
+		c.SetReg(in.Rd, c.y)
+		return nil
+	case isa.OpRDPSR:
+		c.SetReg(in.Rd, c.psr)
+		return nil
+	case isa.OpRDWIM:
+		c.SetReg(in.Rd, c.wim&(1<<uint(c.cfg.NWindows)-1))
+		return nil
+	case isa.OpRDTBR:
+		c.SetReg(in.Rd, c.tbr)
+		return nil
+	case isa.OpWRY:
+		c.y = c.Reg(in.Rs1) ^ op2()
+		return nil
+	case isa.OpWRPSR:
+		v := c.Reg(in.Rs1) ^ op2()
+		if int(v&psrCWPMask) >= c.cfg.NWindows {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		c.psr = psrImplVer | v&^uint32(psrImplVer)
+		return nil
+	case isa.OpWRWIM:
+		c.wim = (c.Reg(in.Rs1) ^ op2()) & (1<<uint(c.cfg.NWindows) - 1)
+		return nil
+	case isa.OpWRTBR:
+		c.tbr = (c.Reg(in.Rs1) ^ op2()) & 0xFFFFF000
+		return nil
+
+	case isa.OpLQMAC:
+		if !c.cfg.MAC {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		c.SetReg(in.Rd, c.Reg(in.Rd)+c.Reg(in.Rs1)*op2())
+		return nil
+	}
+
+	if in.Op.IsLoad() || in.Op.IsStore() {
+		return c.memOp(in, op2())
+	}
+	return c.alu(in, op2())
+}
+
+// takeTrap vectors through trap() and signals the Step loop.
+func (c *CPU) takeTrap(tt uint8) error {
+	if err := c.trap(tt); err != nil {
+		return err
+	}
+	return errTrapped
+}
+
+// rett returns from a trap: increment CWP (underflow here is fatal:
+// ET=0), restore S from PS, re-enable traps, jump.
+func (c *CPU) rett(target uint32, nextPC, nextNPC *uint32) error {
+	if c.psr&PSRET != 0 {
+		return c.takeTrap(TrapIllegalInst)
+	}
+	if target&3 != 0 {
+		return &ErrorMode{TT: TrapAlignment, PC: c.pc}
+	}
+	newCWP := (c.cwp() + 1) % c.cfg.NWindows
+	if c.wim&(1<<uint(newCWP)) != 0 {
+		return &ErrorMode{TT: TrapWindowUnderflow, PC: c.pc}
+	}
+	c.psr = c.psr&^psrCWPMask | uint32(newCWP)
+	if c.psr&PSRPS != 0 {
+		c.psr |= PSRS
+	} else {
+		c.psr &^= PSRS
+	}
+	c.psr |= PSRET
+	*nextNPC = target
+	c.Cycles += uint64(c.cfg.Timing.Jmpl)
+	return nil
+}

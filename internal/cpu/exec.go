@@ -1,0 +1,321 @@
+package cpu
+
+import (
+	"liquidarch/internal/amba"
+	"liquidarch/internal/isa"
+)
+
+// alu executes the arithmetic/logical/shift/multiply/divide group.
+func (c *CPU) alu(in isa.Inst, b uint32) error {
+	a := c.Reg(in.Rs1)
+	t := &c.cfg.Timing
+
+	switch in.Op {
+	case isa.OpADD, isa.OpADDcc:
+		r := a + b
+		if in.Op == isa.OpADDcc {
+			c.setAddICC(a, b, r, false)
+		}
+		c.SetReg(in.Rd, r)
+
+	case isa.OpADDX, isa.OpADDXcc:
+		carry := uint32(0)
+		if c.psr&PSRCarry != 0 {
+			carry = 1
+		}
+		r := a + b + carry
+		if in.Op == isa.OpADDXcc {
+			c.setAddICC(a, b, r, carry != 0)
+		}
+		c.SetReg(in.Rd, r)
+
+	case isa.OpSUB, isa.OpSUBcc:
+		r := a - b
+		if in.Op == isa.OpSUBcc {
+			c.setSubICC(a, b, r)
+		}
+		c.SetReg(in.Rd, r)
+
+	case isa.OpSUBX, isa.OpSUBXcc:
+		borrow := uint32(0)
+		if c.psr&PSRCarry != 0 {
+			borrow = 1
+		}
+		r := a - b - borrow
+		if in.Op == isa.OpSUBXcc {
+			c.setSubICCBorrow(a, b, borrow, r)
+		}
+		c.SetReg(in.Rd, r)
+
+	case isa.OpAND, isa.OpANDcc:
+		r := a & b
+		c.logicResult(in, r)
+	case isa.OpANDN, isa.OpANDNcc:
+		c.logicResult(in, a&^b)
+	case isa.OpOR, isa.OpORcc:
+		c.logicResult(in, a|b)
+	case isa.OpORN, isa.OpORNcc:
+		c.logicResult(in, a|^b)
+	case isa.OpXOR, isa.OpXORcc:
+		c.logicResult(in, a^b)
+	case isa.OpXNOR, isa.OpXNORcc:
+		c.logicResult(in, ^(a ^ b))
+
+	case isa.OpSLL:
+		c.SetReg(in.Rd, a<<(b&31))
+	case isa.OpSRL:
+		c.SetReg(in.Rd, a>>(b&31))
+	case isa.OpSRA:
+		c.SetReg(in.Rd, uint32(int32(a)>>(b&31)))
+
+	case isa.OpUMUL, isa.OpUMULcc:
+		if !c.cfg.MulDiv {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		p := uint64(a) * uint64(b)
+		c.y = uint32(p >> 32)
+		r := uint32(p)
+		if in.Op == isa.OpUMULcc {
+			c.setICC(int32(r) < 0, r == 0, false, false)
+		}
+		c.SetReg(in.Rd, r)
+		c.Cycles += uint64(t.Mul)
+
+	case isa.OpSMUL, isa.OpSMULcc:
+		if !c.cfg.MulDiv {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		p := int64(int32(a)) * int64(int32(b))
+		c.y = uint32(uint64(p) >> 32)
+		r := uint32(p)
+		if in.Op == isa.OpSMULcc {
+			c.setICC(int32(r) < 0, r == 0, false, false)
+		}
+		c.SetReg(in.Rd, r)
+		c.Cycles += uint64(t.Mul)
+
+	case isa.OpMULScc:
+		// One multiply step (SPARC V8 §B.17).
+		nxv := (c.psr&PSRNegative != 0) != (c.psr&PSROverflow != 0)
+		op1 := a >> 1
+		if nxv {
+			op1 |= 1 << 31
+		}
+		addend := uint32(0)
+		if c.y&1 != 0 {
+			addend = b
+		}
+		r := op1 + addend
+		c.setAddICC(op1, addend, r, false)
+		c.y = c.y>>1 | a<<31
+		c.SetReg(in.Rd, r)
+
+	case isa.OpUDIV, isa.OpUDIVcc:
+		if !c.cfg.MulDiv {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		if b == 0 {
+			return c.takeTrap(TrapDivZero)
+		}
+		dividend := uint64(c.y)<<32 | uint64(a)
+		q := dividend / uint64(b)
+		over := q > 0xFFFFFFFF
+		if over {
+			q = 0xFFFFFFFF
+		}
+		r := uint32(q)
+		if in.Op == isa.OpUDIVcc {
+			c.setICC(int32(r) < 0, r == 0, over, false)
+		}
+		c.SetReg(in.Rd, r)
+		c.Cycles += uint64(t.Div)
+
+	case isa.OpSDIV, isa.OpSDIVcc:
+		if !c.cfg.MulDiv {
+			return c.takeTrap(TrapIllegalInst)
+		}
+		if b == 0 {
+			return c.takeTrap(TrapDivZero)
+		}
+		dividend := int64(uint64(c.y)<<32 | uint64(a))
+		q := dividend / int64(int32(b))
+		over := q > 0x7FFFFFFF || q < -0x80000000
+		if over {
+			if q > 0 {
+				q = 0x7FFFFFFF
+			} else {
+				q = -0x80000000
+			}
+		}
+		r := uint32(q)
+		if in.Op == isa.OpSDIVcc {
+			c.setICC(int32(r) < 0, r == 0, over, false)
+		}
+		c.SetReg(in.Rd, r)
+		c.Cycles += uint64(t.Div)
+
+	default:
+		return c.takeTrap(TrapIllegalInst)
+	}
+	return nil
+}
+
+func (c *CPU) logicResult(in isa.Inst, r uint32) {
+	switch in.Op {
+	case isa.OpANDcc, isa.OpANDNcc, isa.OpORcc, isa.OpORNcc, isa.OpXORcc, isa.OpXNORcc:
+		c.setICC(int32(r) < 0, r == 0, false, false)
+	}
+	c.SetReg(in.Rd, r)
+}
+
+// setAddICC sets the icc flags for r = a + b (+carryIn). The signed
+// overflow formula is exact with carry-in because r already includes
+// it; the carry flag is computed in 64 bits.
+func (c *CPU) setAddICC(a, b, r uint32, carryIn bool) {
+	v := (^(a ^ b) & (a ^ r) >> 31) != 0
+	cin := uint64(0)
+	if carryIn {
+		cin = 1
+	}
+	cy := uint64(a)+uint64(b)+cin > 0xFFFFFFFF
+	c.setICC(int32(r) < 0, r == 0, v, cy)
+}
+
+// setSubICC sets the icc flags for r = a - b.
+func (c *CPU) setSubICC(a, b, r uint32) {
+	c.setSubICCBorrow(a, b, 0, r)
+}
+
+// setSubICCBorrow sets the icc flags for r = a - b - borrowIn.
+func (c *CPU) setSubICCBorrow(a, b, borrowIn, r uint32) {
+	v := ((a ^ b) & (a ^ r) >> 31) != 0
+	cy := uint64(a) < uint64(b)+uint64(borrowIn) // borrow out
+	c.setICC(int32(r) < 0, r == 0, v, cy)
+}
+
+// memOp executes loads and stores, including the doubleword and atomic
+// forms. addrOff is the second address operand (register or immediate).
+func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
+	addr := c.Reg(in.Rs1) + addrOff
+	t := &c.cfg.Timing
+
+	var size amba.Size
+	switch in.Op {
+	case isa.OpLD, isa.OpST, isa.OpSWAP:
+		size = amba.SizeWord
+	case isa.OpLDUH, isa.OpLDSH, isa.OpSTH:
+		size = amba.SizeHalf
+	case isa.OpLDD, isa.OpSTD:
+		size = amba.SizeWord
+		if addr&7 != 0 {
+			return c.takeTrap(TrapAlignment)
+		}
+		if in.Rd&1 != 0 {
+			return c.takeTrap(TrapIllegalInst)
+		}
+	default:
+		size = amba.SizeByte
+	}
+	if addr%uint32(size) != 0 {
+		return c.takeTrap(TrapAlignment)
+	}
+	if c.OnMem != nil {
+		c.OnMem(addr, size, in.Op.IsStore())
+	}
+
+	switch in.Op {
+	case isa.OpLD, isa.OpLDUB, isa.OpLDUH:
+		v, cycles, err := c.dmem.Read(addr, size)
+		c.Cycles += uint64(cycles + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads++
+		c.SetReg(in.Rd, v)
+
+	case isa.OpLDSB:
+		v, cycles, err := c.dmem.Read(addr, size)
+		c.Cycles += uint64(cycles + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads++
+		c.SetReg(in.Rd, uint32(int32(v<<24)>>24))
+
+	case isa.OpLDSH:
+		v, cycles, err := c.dmem.Read(addr, size)
+		c.Cycles += uint64(cycles + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads++
+		c.SetReg(in.Rd, uint32(int32(v<<16)>>16))
+
+	case isa.OpLDD:
+		lo, cy1, err := c.dmem.Read(addr, amba.SizeWord)
+		c.Cycles += uint64(cy1 + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		hi, cy2, err := c.dmem.Read(addr+4, amba.SizeWord)
+		c.Cycles += uint64(cy2)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads += 2
+		c.SetReg(in.Rd, lo)
+		c.SetReg(in.Rd+1, hi)
+
+	case isa.OpST, isa.OpSTB, isa.OpSTH:
+		cycles, err := c.dmem.Write(addr, c.Reg(in.Rd), size)
+		c.Cycles += uint64(cycles + t.Store)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Stores++
+
+	case isa.OpSTD:
+		cy1, err := c.dmem.Write(addr, c.Reg(in.Rd), amba.SizeWord)
+		c.Cycles += uint64(cy1 + t.Store)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		cy2, err := c.dmem.Write(addr+4, c.Reg(in.Rd+1), amba.SizeWord)
+		c.Cycles += uint64(cy2)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Stores += 2
+
+	case isa.OpSWAP:
+		v, cy1, err := c.dmem.Read(addr, amba.SizeWord)
+		c.Cycles += uint64(cy1 + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		cy2, err := c.dmem.Write(addr, c.Reg(in.Rd), amba.SizeWord)
+		c.Cycles += uint64(cy2)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads++
+		c.stats.Stores++
+		c.SetReg(in.Rd, v)
+
+	case isa.OpLDSTUB:
+		v, cy1, err := c.dmem.Read(addr, amba.SizeByte)
+		c.Cycles += uint64(cy1 + t.Load)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		cy2, err := c.dmem.Write(addr, 0xFF, amba.SizeByte)
+		c.Cycles += uint64(cy2)
+		if err != nil {
+			return c.takeTrap(TrapDAccess)
+		}
+		c.stats.Loads++
+		c.stats.Stores++
+		c.SetReg(in.Rd, v)
+	}
+	return nil
+}

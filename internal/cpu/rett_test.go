@@ -1,0 +1,153 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"liquidarch/internal/isa"
+)
+
+// TestRettWithTrapsEnabledIsIllegal: executing RETT outside a trap
+// handler (ET=1) traps as an illegal instruction.
+func TestRettWithTrapsEnabledIsIllegal(t *testing.T) {
+	trapped := uint8(0)
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, isa.Inst{Op: isa.OpRETT, Rs1: isa.L2, UseImm: true}),
+	)
+	c.OnTrap = func(tt uint8, pc uint32) { trapped = tt }
+	run(t, c, 1)
+	if trapped != TrapIllegalInst {
+		t.Errorf("trap = %#x, want illegal instruction", trapped)
+	}
+}
+
+// TestRettUnalignedTargetIsErrorMode: a misaligned RETT target inside
+// a handler (ET=0) freezes the processor.
+func TestRettUnalignedTargetIsErrorMode(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(isa.L2, 0x801)), // bogus (odd) return address base
+		enc(t, isa.Inst{Op: isa.OpSLL, Rd: isa.L2, Rs1: isa.L2, UseImm: true, Imm: 1}), // 0x1002
+		enc(t, isa.Inst{Op: isa.OpRETT, Rs1: isa.L2, UseImm: true}),
+	)
+	c.psr &^= PSRET // pretend we are in a handler
+	run(t, c, 2)
+	err := c.Step()
+	var em *ErrorMode
+	if !errors.As(err, &em) || em.TT != TrapAlignment {
+		t.Fatalf("err = %v, want alignment error mode", err)
+	}
+}
+
+// TestRettIntoInvalidWindowIsErrorMode: RETT that would rotate into a
+// WIM-invalid window cannot trap (ET=0) and freezes.
+func TestRettIntoInvalidWindowIsErrorMode(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, isa.Inst{Op: isa.OpWRWIM, Rs1: isa.G0, UseImm: true, Imm: 1 << 1}),
+		enc(t, movImm(isa.L2, 0x100)),
+		enc(t, isa.Inst{Op: isa.OpSLL, Rd: isa.L2, Rs1: isa.L2, UseImm: true, Imm: 4}), // 0x1000
+		enc(t, isa.Inst{Op: isa.OpRETT, Rs1: isa.L2, UseImm: true}),
+	)
+	c.psr &^= PSRET
+	run(t, c, 3) // wrwim, mov, sll (no traps needed)
+	err := c.Step()
+	var em *ErrorMode
+	if !errors.As(err, &em) || em.TT != TrapWindowUnderflow {
+		t.Fatalf("err = %v, want window-underflow error mode", err)
+	}
+}
+
+// TestRettRestoresPreviousSupervisor: PS flows back into S.
+func TestRettRestoresPreviousSupervisor(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(isa.L2, 0x101)),
+		enc(t, isa.Inst{Op: isa.OpSLL, Rd: isa.L2, Rs1: isa.L2, UseImm: true, Imm: 4}), // 0x1010
+		enc(t, isa.Inst{Op: isa.OpJMPL, Rd: isa.G0, Rs1: isa.L2, UseImm: true}),
+		enc(t, isa.Inst{Op: isa.OpRETT, Rs1: isa.L2, UseImm: true, Imm: 4}),
+	)
+	// Simulate trap context with PS=0 (came from user mode).
+	c.psr &^= PSRET | PSRPS
+	run(t, c, 4)
+	if c.PSR()&PSRS != 0 {
+		t.Error("S not restored from PS=0")
+	}
+	if c.PSR()&PSRET == 0 {
+		t.Error("ET not set by rett")
+	}
+}
+
+// TestAnnulledSlotOfTakenConditional: a taken conditional branch with
+// the annul bit set still executes its delay slot (only untaken
+// conditionals annul).
+func TestAnnulledSlotOfTakenConditional(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, isa.Inst{Op: isa.OpSUBcc, Rd: isa.G0, Rs1: isa.G0, UseImm: true, Imm: 0}), // Z=1
+		enc(t, isa.Inst{Op: isa.OpBicc, Cond: isa.CondE, Annul: true, Imm: 3}),
+		enc(t, movImm(isa.O0, 1)),   // delay slot: executes (taken)
+		enc(t, movImm(isa.O0+1, 9)), // skipped
+		enc(t, movImm(isa.O0+2, 2)), // target
+	)
+	run(t, c, 4)
+	if c.Reg(isa.O0) != 1 {
+		t.Error("delay slot of taken be,a annulled")
+	}
+	if c.Reg(isa.O0+1) != 0 {
+		t.Error("branch-skipped instruction executed")
+	}
+	if c.Reg(isa.O0+2) != 2 {
+		t.Error("target not reached")
+	}
+}
+
+// TestBranchInDelaySlotOfJmpl: the classic DCTI couple — a branch
+// sitting in a jmpl's delay slot retargets the second transfer.
+func TestBranchInDelaySlotOfJmpl(t *testing.T) {
+	// 0x1000: build target 0x1018 in %g1
+	// 0x1008: jmpl %g1 (delayed)
+	// 0x100C: ba +4 (delay slot, retargets after one instruction)
+	// 0x1018: mov 5 (executes: jmpl target)
+	// then ba target = 0x100C+16 = 0x101C: mov 6
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(isa.G1, 0x101)),
+		enc(t, isa.Inst{Op: isa.OpSLL, Rd: isa.G1, Rs1: isa.G1, UseImm: true, Imm: 4}),  // 0x1010
+		enc(t, isa.Inst{Op: isa.OpJMPL, Rd: isa.G0, Rs1: isa.G1, UseImm: true, Imm: 8}), // → 0x1018
+		enc(t, isa.Inst{Op: isa.OpBicc, Cond: isa.CondA, Imm: 4}),                       // at 0x100C → 0x101C
+		isa.NOP,
+		isa.NOP,
+		enc(t, movImm(isa.O0, 5)),   // 0x1018
+		enc(t, movImm(isa.O0+1, 6)), // 0x101C
+	)
+	run(t, c, 6)
+	if c.Reg(isa.O0) != 5 || c.Reg(isa.O0+1) != 6 {
+		t.Errorf("DCTI couple: o0=%d o1=%d, want 5,6", c.Reg(isa.O0), c.Reg(isa.O0+1))
+	}
+}
+
+// TestYRegisterWrite: wr %y with register xor-immediate semantics.
+func TestYRegisterWrite(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(isa.O0, 0xF0)),
+		enc(t, isa.Inst{Op: isa.OpWRY, Rs1: isa.O0, UseImm: true, Imm: 0x0F}), // y = o0 ^ 0x0F
+		enc(t, isa.Inst{Op: isa.OpRDY, Rd: isa.O0 + 1}),
+	)
+	run(t, c, 3)
+	if got := c.Reg(isa.O0 + 1); got != 0xFF {
+		t.Errorf("y = %#x, want 0xFF (rs1 xor imm)", got)
+	}
+}
+
+// TestUDivOverflowClamps: a 64-bit dividend whose quotient exceeds 32
+// bits clamps to the maximum (SPARC divide overflow semantics).
+func TestUDivOverflowClamps(t *testing.T) {
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, isa.Inst{Op: isa.OpWRY, Rs1: isa.G0, UseImm: true, Imm: 2}), // Y=2: dividend ≈ 2^33
+		enc(t, movImm(isa.O0, 0)),
+		enc(t, isa.Inst{Op: isa.OpUDIVcc, Rd: isa.O0 + 1, Rs1: isa.O0, UseImm: true, Imm: 2}),
+	)
+	run(t, c, 3)
+	if got := c.Reg(isa.O0 + 1); got != 0xFFFFFFFF {
+		t.Errorf("overflowing udiv = %#x, want clamp", got)
+	}
+	if c.PSR()&PSROverflow == 0 {
+		t.Error("V not set on divide overflow")
+	}
+}

@@ -1,0 +1,93 @@
+package fpx
+
+import (
+	"fmt"
+
+	"liquidarch/internal/leon"
+)
+
+// Emulator stands in for the FPX hardware, playing the role of the
+// paper's "Java Emulator of the H/W (for debugging)" (Fig. 4): it
+// accepts loads, pretends to execute programs in a fixed number of
+// cycles, and serves memory from a plain byte array. Control-software
+// tests run against it without building a processor.
+type Emulator struct {
+	mem        map[uint32]byte
+	state      leon.State
+	last       leon.RunResult
+	loaded     uint32
+	loadedSize int
+
+	// CyclesPerByte sets the pretend execution cost (default 10).
+	CyclesPerByte uint64
+}
+
+// NewEmulator returns a booted emulator.
+func NewEmulator() *Emulator {
+	return &Emulator{mem: make(map[uint32]byte), state: leon.StateIdle, CyclesPerByte: 10}
+}
+
+// State implements LEONControl.
+func (e *Emulator) State() leon.State { return e.state }
+
+// LastResult implements LEONControl.
+func (e *Emulator) LastResult() leon.RunResult { return e.last }
+
+// LoadProgram implements LEONControl.
+func (e *Emulator) LoadProgram(addr uint32, image []byte) error {
+	if addr < leon.MailboxEnd {
+		return fmt.Errorf("fpx: emulator: load address %#x overlaps the mailbox", addr)
+	}
+	for i, b := range image {
+		e.mem[addr+uint32(i)] = b
+	}
+	e.loaded = addr
+	e.loadedSize = len(image)
+	return nil
+}
+
+// Execute implements LEONControl: the emulator "runs" the program by
+// charging a deterministic cycle count proportional to its size.
+func (e *Emulator) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	if e.loaded == 0 {
+		return leon.RunResult{}, fmt.Errorf("fpx: emulator: nothing loaded")
+	}
+	if entry < e.loaded || entry >= e.loaded+uint32(e.loadedSize) {
+		return leon.RunResult{}, fmt.Errorf("fpx: emulator: entry %#x outside loaded image", entry)
+	}
+	res := leon.RunResult{
+		Cycles:       uint64(e.loadedSize) * e.CyclesPerByte,
+		Instructions: uint64(e.loadedSize / 4),
+	}
+	if maxCycles != 0 && res.Cycles > maxCycles {
+		res.Faulted = true
+		res.Cycles = maxCycles
+	}
+	e.last = res
+	if res.Faulted {
+		e.state = leon.StateFault
+	} else {
+		e.state = leon.StateDone
+	}
+	return res, nil
+}
+
+// ReadMemory implements LEONControl.
+func (e *Emulator) ReadMemory(addr uint32, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fpx: emulator: negative length")
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = e.mem[addr+uint32(i)]
+	}
+	return out, nil
+}
+
+// WriteMemory implements LEONControl.
+func (e *Emulator) WriteMemory(addr uint32, p []byte) error {
+	for i, b := range p {
+		e.mem[addr+uint32(i)] = b
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package fpx models the FPX side of Fig. 3: the layered Internet
+// protocol wrappers that parse and format raw IPv4/UDP frames, the
+// Control Packet Processor (CPP) that routes LEON command packets to
+// the LEON controller, and the packet generator that transmits
+// response frames. It also provides the hardware Emulator the paper's
+// control software used for debugging before the bitfile existed.
+package fpx
+
+import (
+	"fmt"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+// LEONControl is what the CPP needs from the LEON controller; it is
+// satisfied by *leon.Controller and by the Emulator.
+type LEONControl interface {
+	State() leon.State
+	LoadProgram(addr uint32, image []byte) error
+	Execute(entry uint32, maxCycles uint64) (leon.RunResult, error)
+	ReadMemory(addr uint32, n int) ([]byte, error)
+	WriteMemory(addr uint32, p []byte) error
+	LastResult() leon.RunResult
+}
+
+// MaxReadLength caps a single Read Memory response.
+const MaxReadLength = 64 << 10
+
+// Stats counts platform activity.
+type Stats struct {
+	FramesIn        uint64
+	FramesOut       uint64
+	BadFrames       uint64
+	PassedThrough   uint64 // non-Liquid traffic the CPP ignored
+	ChunksReceived  uint64
+	LoadsCompleted  uint64
+	CommandsHandled uint64
+}
+
+// Platform is one FPX node hosting the Liquid processor.
+type Platform struct {
+	ctrl LEONControl
+
+	// IP and Port identify the node; the packet generator swaps them
+	// into response frames.
+	IP   [4]byte
+	Port uint16
+
+	// ReconfigureFn, when set, implements CmdReconfigure (wired up by
+	// the core liquid system, which can rebuild the SoC).
+	ReconfigureFn func(spec []byte) error
+	// ConfigFn, when set, implements CmdGetConfig.
+	ConfigFn func() []byte
+	// TraceFn, when set, implements CmdTraceReport — the paper's
+	// "streaming of instrumented traces to the Trace Analyzer" over
+	// the network, summarized.
+	TraceFn func() ([]byte, error)
+
+	load       *loadState
+	loadedAddr uint32
+	stats      Stats
+}
+
+type loadState struct {
+	addr     uint32
+	total    uint16
+	buf      []byte
+	received []bool
+	count    int
+}
+
+// New builds a platform around a LEON controller.
+func New(ctrl LEONControl, ip [4]byte, port uint16) *Platform {
+	return &Platform{ctrl: ctrl, IP: ip, Port: port}
+}
+
+// SetControl swaps the LEON controller behind the platform — the
+// moment after a new bitfile is loaded into the RAD and the rebuilt
+// processor comes out of reset.
+func (p *Platform) SetControl(ctrl LEONControl) {
+	p.ctrl = ctrl
+	p.load = nil
+	p.loadedAddr = 0
+}
+
+// Stats returns a snapshot of the activity counters.
+func (p *Platform) Stats() Stats { return p.stats }
+
+// LoadedAddr returns the address of the last fully reassembled load.
+func (p *Platform) LoadedAddr() uint32 { return p.loadedAddr }
+
+// HandleFrame is the full hardware path: the protocol wrappers parse
+// the raw IPv4/UDP frame, the CPP routes Liquid control packets, and
+// the packet generator formats zero or more response frames addressed
+// back to the sender. Non-Liquid or wrong-port traffic produces no
+// responses (it would pass through to the switch fabric).
+func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
+	p.stats.FramesIn++
+	f, err := netproto.ParseFrame(frame)
+	if err != nil {
+		p.stats.BadFrames++
+		return nil, fmt.Errorf("fpx: wrappers rejected frame: %w", err)
+	}
+	if f.UDP.DstPort != p.Port || !netproto.IsLiquidPacket(f.Payload) {
+		p.stats.PassedThrough++
+		return nil, nil
+	}
+	resps := p.HandlePayload(f.Payload)
+	frames := make([][]byte, len(resps))
+	for i, r := range resps {
+		frames[i] = netproto.BuildFrame(p.IP, f.IP.Src, p.Port, f.UDP.SrcPort, r.Marshal())
+		p.stats.FramesOut++
+	}
+	return frames, nil
+}
+
+// HandlePayload runs the CPP dispatch on one control-packet payload
+// and returns the response packets. This is the entry point for the
+// OS-socket server, which receives payloads with the IP/UDP headers
+// already stripped by the kernel.
+func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
+	pkt, err := netproto.ParsePacket(payload)
+	if err != nil {
+		return []netproto.Packet{errResp(netproto.CmdStatus, err)}
+	}
+	p.stats.CommandsHandled++
+	switch pkt.Command {
+	case netproto.CmdStatus:
+		return []netproto.Packet{p.status()}
+	case netproto.CmdLoadProgram:
+		return []netproto.Packet{p.loadChunk(pkt.Body)}
+	case netproto.CmdStartLEON:
+		return []netproto.Packet{p.start(pkt.Body)}
+	case netproto.CmdReadMemory:
+		return []netproto.Packet{p.readMem(pkt.Body)}
+	case netproto.CmdWriteMemory:
+		return []netproto.Packet{p.writeMem(pkt.Body)}
+	case netproto.CmdReconfigure:
+		return []netproto.Packet{p.reconfigure(pkt.Body)}
+	case netproto.CmdGetConfig:
+		return []netproto.Packet{p.getConfig()}
+	case netproto.CmdTraceReport:
+		return []netproto.Packet{p.traceReport()}
+	default:
+		return []netproto.Packet{errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
+	}
+}
+
+func errResp(cmd uint8, err error) netproto.Packet {
+	return netproto.Packet{
+		Command: netproto.CmdError,
+		Body:    netproto.ErrorResp{Code: cmd, Msg: err.Error()}.Marshal(),
+	}
+}
+
+func (p *Platform) status() netproto.Packet {
+	last := p.ctrl.LastResult()
+	st := netproto.StatusResp{
+		State:      uint8(p.ctrl.State()),
+		BootOK:     p.ctrl.State() != leon.StateReset,
+		LoadedAddr: p.loadedAddr,
+		Last:       runReport(last),
+	}
+	return netproto.Packet{Command: netproto.CmdStatus | netproto.RespFlag, Body: st.Marshal()}
+}
+
+func runReport(r leon.RunResult) netproto.RunReport {
+	rep := netproto.RunReport{
+		Status:       netproto.StatusOK,
+		Cycles:       r.Cycles,
+		Instructions: r.Instructions,
+		TT:           r.TT,
+		FaultPC:      r.FaultPC,
+	}
+	if r.Faulted {
+		rep.Status = netproto.StatusFault
+	}
+	return rep
+}
+
+// loadChunk reassembles multi-packet program loads. UDP does not
+// guarantee order, so chunks carry sequence numbers (§2.6); duplicates
+// are idempotent, and a chunk for a different image restarts the
+// reassembly.
+func (p *Platform) loadChunk(body []byte) netproto.Packet {
+	c, err := netproto.ParseLoadChunk(body)
+	if err != nil {
+		return errResp(netproto.CmdLoadProgram, err)
+	}
+	p.stats.ChunksReceived++
+	if p.load == nil || p.load.addr != c.Addr || p.load.total != c.Total || len(p.load.buf) != int(c.TotalLen) {
+		p.load = &loadState{
+			addr:     c.Addr,
+			total:    c.Total,
+			buf:      make([]byte, c.TotalLen),
+			received: make([]bool, c.Total),
+		}
+	}
+	ls := p.load
+	copy(ls.buf[c.Offset:], c.Data)
+	if !ls.received[c.Seq] {
+		ls.received[c.Seq] = true
+		ls.count++
+	}
+	if ls.count < int(ls.total) {
+		return netproto.Packet{
+			Command: netproto.CmdLoadProgram | netproto.RespFlag,
+			Body:    netproto.RunReport{Status: netproto.StatusPending}.Marshal(),
+		}
+	}
+	// Complete: hand to the LEON controller.
+	if err := p.ctrl.LoadProgram(ls.addr, ls.buf); err != nil {
+		p.load = nil
+		return errResp(netproto.CmdLoadProgram, err)
+	}
+	p.loadedAddr = ls.addr
+	p.load = nil
+	p.stats.LoadsCompleted++
+	return netproto.Packet{
+		Command: netproto.CmdLoadProgram | netproto.RespFlag,
+		Body:    netproto.RunReport{Status: netproto.StatusOK}.Marshal(),
+	}
+}
+
+func (p *Platform) start(body []byte) netproto.Packet {
+	req, err := netproto.ParseStartReq(body)
+	if err != nil {
+		return errResp(netproto.CmdStartLEON, err)
+	}
+	entry := req.Entry
+	if entry == 0 {
+		entry = p.loadedAddr
+	}
+	if entry == 0 {
+		return errResp(netproto.CmdStartLEON, fmt.Errorf("no program loaded"))
+	}
+	res, err := p.ctrl.Execute(entry, req.MaxCycles)
+	rep := runReport(res)
+	if err != nil && !res.Faulted {
+		return errResp(netproto.CmdStartLEON, err)
+	}
+	if err != nil {
+		rep.Status = netproto.StatusFault
+	}
+	return netproto.Packet{Command: netproto.CmdStartLEON | netproto.RespFlag, Body: rep.Marshal()}
+}
+
+func (p *Platform) readMem(body []byte) netproto.Packet {
+	req, err := netproto.ParseMemReq(body)
+	if err != nil {
+		return errResp(netproto.CmdReadMemory, err)
+	}
+	if req.Length > MaxReadLength {
+		return errResp(netproto.CmdReadMemory, fmt.Errorf("read length %d exceeds %d", req.Length, MaxReadLength))
+	}
+	data, err := p.ctrl.ReadMemory(req.Addr, int(req.Length))
+	if err != nil {
+		return errResp(netproto.CmdReadMemory, err)
+	}
+	resp := netproto.MemResp{Status: netproto.StatusOK, Addr: req.Addr, Data: data}
+	return netproto.Packet{Command: netproto.CmdReadMemory | netproto.RespFlag, Body: resp.Marshal()}
+}
+
+func (p *Platform) writeMem(body []byte) netproto.Packet {
+	req, err := netproto.ParseMemReq(body)
+	if err != nil {
+		return errResp(netproto.CmdWriteMemory, err)
+	}
+	if err := p.ctrl.WriteMemory(req.Addr, req.Data); err != nil {
+		return errResp(netproto.CmdWriteMemory, err)
+	}
+	resp := netproto.MemResp{Status: netproto.StatusOK, Addr: req.Addr}
+	return netproto.Packet{Command: netproto.CmdWriteMemory | netproto.RespFlag, Body: resp.Marshal()}
+}
+
+func (p *Platform) reconfigure(body []byte) netproto.Packet {
+	if p.ReconfigureFn == nil {
+		return errResp(netproto.CmdReconfigure, fmt.Errorf("reconfiguration not wired on this platform"))
+	}
+	if err := p.ReconfigureFn(body); err != nil {
+		return errResp(netproto.CmdReconfigure, err)
+	}
+	p.loadedAddr = 0 // a new bitfile clears loaded state
+	return netproto.Packet{
+		Command: netproto.CmdReconfigure | netproto.RespFlag,
+		Body:    netproto.RunReport{Status: netproto.StatusOK}.Marshal(),
+	}
+}
+
+func (p *Platform) getConfig() netproto.Packet {
+	if p.ConfigFn == nil {
+		return errResp(netproto.CmdGetConfig, fmt.Errorf("configuration reporting not wired"))
+	}
+	return netproto.Packet{Command: netproto.CmdGetConfig | netproto.RespFlag, Body: p.ConfigFn()}
+}
+
+func (p *Platform) traceReport() netproto.Packet {
+	if p.TraceFn == nil {
+		return errResp(netproto.CmdTraceReport, fmt.Errorf("trace streaming not wired on this platform"))
+	}
+	body, err := p.TraceFn()
+	if err != nil {
+		return errResp(netproto.CmdTraceReport, err)
+	}
+	return netproto.Packet{Command: netproto.CmdTraceReport | netproto.RespFlag, Body: body}
+}

@@ -1,0 +1,106 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the instruction word at pc as SPARC assembly text.
+// Branch and call targets are shown as absolute addresses computed from
+// pc. Unrecognised words disassemble as ".word 0x…".
+func Disassemble(w uint32, pc uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", w)
+	}
+	return in.String(pc)
+}
+
+// String renders the decoded instruction; pc is used to resolve
+// pc-relative displacements (pass 0 to show raw offsets).
+func (in Inst) String(pc uint32) string {
+	switch in.Op {
+	case OpCALL:
+		return fmt.Sprintf("call 0x%x", pc+uint32(in.Imm)*4)
+	case OpSETHI:
+		if in.Raw == NOP {
+			return "nop"
+		}
+		return fmt.Sprintf("sethi %%hi(0x%x), %s", uint32(in.Imm)<<10, in.Rd.Name())
+	case OpBicc:
+		annul := ""
+		if in.Annul {
+			annul = ",a"
+		}
+		return fmt.Sprintf("b%s%s 0x%x", in.Cond.Name(), annul, pc+uint32(in.Imm)*4)
+	case OpUNIMP:
+		return fmt.Sprintf("unimp 0x%x", uint32(in.Imm))
+	case OpRDY:
+		return fmt.Sprintf("rd %%y, %s", in.Rd.Name())
+	case OpRDPSR:
+		return fmt.Sprintf("rd %%psr, %s", in.Rd.Name())
+	case OpRDWIM:
+		return fmt.Sprintf("rd %%wim, %s", in.Rd.Name())
+	case OpRDTBR:
+		return fmt.Sprintf("rd %%tbr, %s", in.Rd.Name())
+	case OpWRY, OpWRPSR, OpWRWIM, OpWRTBR:
+		dst := map[Op]string{OpWRY: "%y", OpWRPSR: "%psr", OpWRWIM: "%wim", OpWRTBR: "%tbr"}[in.Op]
+		return fmt.Sprintf("wr %s, %s, %s", in.Rs1.Name(), in.src2(), dst)
+	case OpTicc:
+		return fmt.Sprintf("t%s %s", in.Cond.Name(), in.addrExpr())
+	case OpJMPL:
+		if in.Rd == G0 {
+			return fmt.Sprintf("jmp %s", in.addrExpr())
+		}
+		if in.Rd == O7 {
+			return fmt.Sprintf("call %s", in.addrExpr())
+		}
+		return fmt.Sprintf("jmpl %s, %s", in.addrExpr(), in.Rd.Name())
+	case OpRETT:
+		return fmt.Sprintf("rett %s", in.addrExpr())
+	case OpFLUSH:
+		return fmt.Sprintf("flush %s", in.addrExpr())
+	case OpSAVE, OpRESTORE:
+		if in.Op == OpRESTORE && in.Rd == G0 && in.Rs1 == G0 && !in.UseImm && in.Rs2 == G0 {
+			return "restore"
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), in.Rs1.Name(), in.src2(), in.Rd.Name())
+	}
+	switch in.Op.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("%s [%s], %s", in.Op.Name(), in.addrExpr(), in.Rd.Name())
+	case ClassStore:
+		return fmt.Sprintf("%s %s, [%s]", in.Op.Name(), in.Rd.Name(), in.addrExpr())
+	default: // ALU
+		if in.Op == OpOR && in.Rs1 == G0 {
+			return fmt.Sprintf("mov %s, %s", in.src2(), in.Rd.Name())
+		}
+		if in.Op == OpSUBcc && in.Rd == G0 {
+			return fmt.Sprintf("cmp %s, %s", in.Rs1.Name(), in.src2())
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op.Name(), in.Rs1.Name(), in.src2(), in.Rd.Name())
+	}
+}
+
+// src2 renders the second source operand (register or immediate).
+func (in Inst) src2() string {
+	if in.UseImm {
+		return fmt.Sprintf("%d", in.Imm)
+	}
+	return in.Rs2.Name()
+}
+
+// addrExpr renders an rs1+rs2/simm13 address expression.
+func (in Inst) addrExpr() string {
+	var b strings.Builder
+	b.WriteString(in.Rs1.Name())
+	switch {
+	case in.UseImm && in.Imm > 0:
+		fmt.Fprintf(&b, " + %d", in.Imm)
+	case in.UseImm && in.Imm < 0:
+		fmt.Fprintf(&b, " - %d", -in.Imm)
+	case !in.UseImm && in.Rs2 != G0:
+		fmt.Fprintf(&b, " + %s", in.Rs2.Name())
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		G0: "%g0", G1: "%g1", O0: "%o0", SP: "%sp", O7: "%o7",
+		L0: "%l0", I0: "%i0", FP: "%fp", I7: "%i7", Reg(40): "%r40",
+	}
+	for r, want := range cases {
+		if got := r.Name(); got != want {
+			t.Errorf("Reg(%d).Name() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: OpADD, Rd: O0, Rs1: O1(), Rs2: L0},
+		{Op: OpADD, Rd: O0, Rs1: O1(), UseImm: true, Imm: 42},
+		{Op: OpSUBcc, Rd: G0, Rs1: O0, UseImm: true, Imm: -1},
+		{Op: OpSETHI, Rd: G1, Imm: 0x3FFFF},
+		{Op: OpBicc, Cond: CondNE, Annul: true, Imm: -12},
+		{Op: OpCALL, Imm: 0x100},
+		{Op: OpLD, Rd: O0, Rs1: SP, UseImm: true, Imm: 64},
+		{Op: OpST, Rd: O0, Rs1: FP, UseImm: true, Imm: -8},
+		{Op: OpLDD, Rd: L0, Rs1: SP, UseImm: true, Imm: 0},
+		{Op: OpSTD, Rd: I0, Rs1: SP, UseImm: true, Imm: 56},
+		{Op: OpJMPL, Rd: G0, Rs1: L1, UseImm: true, Imm: 0},
+		{Op: OpRETT, Rs1: L2, UseImm: true, Imm: 0},
+		{Op: OpSAVE, Rd: SP, Rs1: SP, UseImm: true, Imm: -96},
+		{Op: OpRESTORE},
+		{Op: OpWRWIM, Rs1: L0, Rs2: G0},
+		{Op: OpRDPSR, Rd: L0},
+		{Op: OpTicc, Cond: CondA, Rs1: G0, UseImm: true, Imm: 3},
+		{Op: OpUMUL, Rd: O0, Rs1: O0, Rs2: O1()},
+		{Op: OpSDIV, Rd: O0, Rs1: O0, UseImm: true, Imm: 7},
+		{Op: OpSLL, Rd: O0, Rs1: O0, UseImm: true, Imm: 2},
+		{Op: OpLQMAC, Rd: O0, Rs1: O1(), Rs2: O2()},
+		{Op: OpSWAP, Rd: O0, Rs1: O1()},
+		{Op: OpLDSTUB, Rd: O0, Rs1: O1(), UseImm: true, Imm: 1},
+	}
+	for _, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%+v)) = %#08x: %v", in, w, err)
+		}
+		in.Raw = w
+		if got != in {
+			t.Errorf("round trip mismatch:\n in  %+v\n got %+v", in, got)
+		}
+	}
+}
+
+// O1, O2 avoid exporting more named constants than the package needs.
+func O1() Reg { return O0 + 1 }
+func O2() Reg { return O0 + 2 }
+
+func TestEncodeRangeChecks(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADD, Rd: O0, Rs1: O0, UseImm: true, Imm: 5000},
+		{Op: OpADD, Rd: O0, Rs1: O0, UseImm: true, Imm: -5000},
+		{Op: OpSETHI, Rd: O0, Imm: 1 << 22},
+		{Op: OpSETHI, Rd: O0, Imm: -1},
+		{Op: OpBicc, Cond: CondA, Imm: 1 << 21},
+		{Op: OpCALL, Imm: 1 << 29},
+		{Op: OpInvalid},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want range error", in)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	// op=0 op2=3 is unused; op=2 op3=0x2D is unused.
+	for _, w := range []uint32{0x00C00000, 0x81680000} {
+		in, err := Decode(w)
+		if err == nil {
+			t.Errorf("Decode(%#08x) succeeded as %v, want error", w, in)
+		}
+		if in.Op != OpInvalid {
+			t.Errorf("Decode(%#08x).Op = %v, want OpInvalid", w, in.Op)
+		}
+	}
+}
+
+func TestNOPDecodesAsSethiZero(t *testing.T) {
+	in, err := Decode(NOP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != OpSETHI || in.Rd != G0 || in.Imm != 0 {
+		t.Errorf("NOP decoded as %+v", in)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		pc   uint32
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: O0, Rs1: O0, UseImm: true, Imm: 4}, 0, "add %o0, 4, %o0"},
+		{Inst{Op: OpOR, Rd: O0, Rs1: G0, UseImm: true, Imm: 7}, 0, "mov 7, %o0"},
+		{Inst{Op: OpSUBcc, Rd: G0, Rs1: O0, Rs2: O0 + 1}, 0, "cmp %o0, %o1"},
+		{Inst{Op: OpBicc, Cond: CondE, Imm: 4}, 0x1000, "be 0x1010"},
+		{Inst{Op: OpBicc, Cond: CondA, Annul: true, Imm: -1}, 0x1000, "ba,a 0xffc"},
+		{Inst{Op: OpCALL, Imm: 2}, 0x2000, "call 0x2008"},
+		{Inst{Op: OpLD, Rd: O0, Rs1: SP, UseImm: true, Imm: 64}, 0, "ld [%sp + 64], %o0"},
+		{Inst{Op: OpST, Rd: O0, Rs1: FP, UseImm: true, Imm: -8}, 0, "st %o0, [%fp - 8]"},
+		{Inst{Op: OpJMPL, Rd: G0, Rs1: L1, UseImm: true}, 0, "jmp %l1"},
+		{Inst{Op: OpJMPL, Rd: O7, Rs1: L1, UseImm: true}, 0, "call %l1"},
+		{Inst{Op: OpRETT, Rs1: L2, UseImm: true}, 0, "rett %l2"},
+		{Inst{Op: OpRESTORE}, 0, "restore"},
+		{Inst{Op: OpSAVE, Rd: SP, Rs1: SP, UseImm: true, Imm: -96}, 0, "save %sp, -96, %sp"},
+		{Inst{Op: OpSETHI, Rd: G1, Imm: 0x1000}, 0, "sethi %hi(0x400000), %g1"},
+		{Inst{Op: OpRDPSR, Rd: L0}, 0, "rd %psr, %l0"},
+		{Inst{Op: OpWRWIM, Rs1: L0}, 0, "wr %l0, %g0, %wim"},
+		{Inst{Op: OpTicc, Cond: CondA, Rs1: G0, UseImm: true, Imm: 3}, 0, "ta %g0 + 3"},
+	}
+	for _, c := range cases {
+		w, err := Encode(c.in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", c.in, err)
+		}
+		if got := Disassemble(w, c.pc); got != c.want {
+			t.Errorf("Disassemble(%#08x) = %q, want %q", w, got, c.want)
+		}
+	}
+	if got := Disassemble(NOP, 0); got != "nop" {
+		t.Errorf("Disassemble(NOP) = %q, want \"nop\"", got)
+	}
+	if got := Disassemble(0x00C00000, 0); got != ".word 0x00c00000" {
+		t.Errorf("Disassemble(invalid) = %q", got)
+	}
+}
+
+// TestDecodeEncodeProperty: any word that decodes successfully must
+// re-encode to the identical word (decode is a right inverse of encode).
+func TestDecodeEncodeProperty(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // undecodable words are out of scope
+		}
+		// The asi field (bits 12:5 with i=0) is not modelled; mask it
+		// out of the comparison for register-register format 3.
+		got, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		mask := uint32(0xFFFFFFFF)
+		if w>>30 >= 2 && w&(1<<13) == 0 {
+			mask = ^uint32(0xFF << 5)
+		}
+		// UNIMP keeps only const22; Ticc ignores reserved bit 29.
+		if in.Op == OpUNIMP {
+			mask = 0x3FFFFF
+		}
+		if in.Op == OpTicc {
+			mask &^= 1 << 29
+		}
+		// RD-group source fields are ignored and canonicalized to 0;
+		// WR-group rd fields likewise.
+		switch in.Op {
+		case OpRDY, OpRDPSR, OpRDWIM, OpRDTBR:
+			mask &^= 0x7FFFF // rs1, i, asi/simm13, rs2
+		case OpWRY, OpWRPSR, OpWRWIM, OpWRTBR, OpRETT, OpFLUSH:
+			mask &^= 0x1F << 25 // rd
+		}
+		return got&mask == w&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtend(t *testing.T) {
+	cases := []struct {
+		v    uint32
+		n    uint
+		want int32
+	}{
+		{0x1FFF, 13, -1},
+		{0x1000, 13, -4096},
+		{0x0FFF, 13, 4095},
+		{0x3FFFFF, 22, -1},
+		{0x200000, 22, -(1 << 21)},
+		{0, 13, 0},
+	}
+	for _, c := range cases {
+		if got := signExtend(c.v, c.n); got != c.want {
+			t.Errorf("signExtend(%#x, %d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+}

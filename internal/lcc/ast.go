@@ -1,0 +1,296 @@
+package lcc
+
+import "fmt"
+
+// TypeKind enumerates the type system.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeUnsigned
+	TypeChar
+	TypePtr
+	TypeArray
+)
+
+// Type is a C type. Elem is set for pointers and arrays.
+type Type struct {
+	Kind     TypeKind
+	Elem     *Type
+	ArrayLen int
+}
+
+var (
+	tyVoid     = &Type{Kind: TypeVoid}
+	tyInt      = &Type{Kind: TypeInt}
+	tyUnsigned = &Type{Kind: TypeUnsigned}
+	tyChar     = &Type{Kind: TypeChar}
+)
+
+// Size returns the storage size in bytes.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt, TypeUnsigned, TypePtr:
+		return 4
+	case TypeChar:
+		return 1
+	case TypeArray:
+		return t.ArrayLen * t.Elem.Size()
+	default:
+		return 0
+	}
+}
+
+// IsInteger reports whether t is an arithmetic integer type.
+func (t *Type) IsInteger() bool {
+	return t.Kind == TypeInt || t.Kind == TypeUnsigned || t.Kind == TypeChar
+}
+
+// IsPointerish reports whether t is a pointer or decays to one.
+func (t *Type) IsPointerish() bool {
+	return t.Kind == TypePtr || t.Kind == TypeArray
+}
+
+// Pointee returns the element type of a pointer or array.
+func (t *Type) Pointee() *Type { return t.Elem }
+
+// IsUnsignedCmp reports whether comparisons on t use unsigned
+// condition codes.
+func (t *Type) IsUnsignedCmp() bool {
+	return t.Kind == TypeUnsigned || t.Kind == TypeChar || t.IsPointerish()
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeUnsigned:
+		return "unsigned"
+	case TypeChar:
+		return "char"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	default:
+		return "?"
+	}
+}
+
+func typesCompatible(a, b *Type) bool {
+	if a.IsInteger() && b.IsInteger() {
+		return true
+	}
+	if a.IsPointerish() && b.IsPointerish() {
+		return true
+	}
+	// Integer constants flow into pointers (device addresses).
+	if a.IsPointerish() && b.IsInteger() || a.IsInteger() && b.IsPointerish() {
+		return true
+	}
+	return false
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type (
+	// NumLit is an integer literal.
+	NumLit struct {
+		Val  int64
+		Line int
+	}
+	// StrLit is a string literal (char* to read-only data).
+	StrLit struct {
+		Val  string
+		Line int
+	}
+	// VarRef names a local, parameter or global.
+	VarRef struct {
+		Name string
+		Line int
+	}
+	// Unary is -x !x ~x *x &x ++x --x.
+	Unary struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// Postfix is x++ x--.
+	Postfix struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// Binary is a two-operand arithmetic/logic/comparison expression.
+	Binary struct {
+		Op   string
+		L, R Expr
+		Line int
+	}
+	// Assign is lhs op= rhs (Op "" for plain =).
+	Assign struct {
+		Op   string
+		L, R Expr
+		Line int
+	}
+	// CondExpr is c ? t : f.
+	CondExpr struct {
+		C, T, F Expr
+		Line    int
+	}
+	// Call invokes a named function or builtin.
+	Call struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+	// Index is base[idx].
+	Index struct {
+		Base, Idx Expr
+		Line      int
+	}
+	// Cast is (type)x.
+	Cast struct {
+		Ty   *Type
+		X    Expr
+		Line int
+	}
+	// SizeofType is sizeof(type) or sizeof expr (resolved at parse).
+	SizeofType struct {
+		Ty   *Type
+		X    Expr // nil when Ty is set
+		Line int
+	}
+)
+
+func (e *NumLit) exprLine() int     { return e.Line }
+func (e *StrLit) exprLine() int     { return e.Line }
+func (e *VarRef) exprLine() int     { return e.Line }
+func (e *Unary) exprLine() int      { return e.Line }
+func (e *Postfix) exprLine() int    { return e.Line }
+func (e *Binary) exprLine() int     { return e.Line }
+func (e *Assign) exprLine() int     { return e.Line }
+func (e *CondExpr) exprLine() int   { return e.Line }
+func (e *Call) exprLine() int       { return e.Line }
+func (e *Index) exprLine() int      { return e.Line }
+func (e *Cast) exprLine() int       { return e.Line }
+func (e *SizeofType) exprLine() int { return e.Line }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+type (
+	// DeclStmt declares a local variable. Scalars use Init; arrays use
+	// InitList (constant element values).
+	DeclStmt struct {
+		Name     string
+		Ty       *Type
+		Init     Expr // may be nil
+		InitList []int64
+		HasList  bool
+		Line     int
+	}
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct {
+		X    Expr
+		Line int
+	}
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond       Expr
+		Then, Else Stmt // Else may be nil
+		Line       int
+	}
+	// WhileStmt is while or do/while.
+	WhileStmt struct {
+		Cond    Expr
+		Body    Stmt
+		DoWhile bool
+		Line    int
+	}
+	// ForStmt is for(init; cond; post).
+	ForStmt struct {
+		Init Stmt // may be nil
+		Cond Expr // may be nil (infinite)
+		Post Expr // may be nil
+		Body Stmt
+		Line int
+	}
+	// ReturnStmt returns (X may be nil).
+	ReturnStmt struct {
+		X    Expr
+		Line int
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt advances the innermost loop.
+	ContinueStmt struct{ Line int }
+	// Block is { stmts }.
+	Block struct {
+		Stmts []Stmt
+		Line  int
+	}
+	// SwitchStmt is switch(tag) { case k: ... default: ... } with
+	// C fall-through semantics.
+	SwitchStmt struct {
+		Tag        Expr
+		Cases      []SwitchCase
+		HasDefault bool
+		DefaultIdx int
+		Line       int
+	}
+)
+
+// SwitchCase is one labelled arm of a switch.
+type SwitchCase struct {
+	Val       int64
+	IsDefault bool
+	Body      []Stmt
+	Line      int
+}
+
+func (s *DeclStmt) stmtLine() int     { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *Block) stmtLine() int        { return s.Line }
+func (s *SwitchStmt) stmtLine() int   { return s.Line }
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+	Line   int
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name string
+	Ty   *Type
+	// Init holds scalar or array initializer values (empty → zero).
+	Init []int64
+	Line int
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Globals []*GlobalDecl
+}

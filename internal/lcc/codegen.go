@@ -1,0 +1,689 @@
+package lcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options tunes code generation.
+type Options struct {
+	// MAC permits the __mac builtin (requires the MAC-configured
+	// liquid CPU; without it the instruction traps as illegal).
+	MAC bool
+	// Comments interleaves source line markers in the output.
+	Comments bool
+}
+
+// Compile translates a Liquid-C translation unit to SPARC V8 assembly
+// accepted by the asm package. The output defines one label per
+// function and global; it contains no entry stub (the linker's crt0
+// provides _start).
+func Compile(src string, opts Options) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	prog, err := parseProgram(toks)
+	if err != nil {
+		return "", err
+	}
+	g := &gen{
+		opts:    opts,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*GlobalDecl),
+		strs:    make(map[string]string),
+		called:  make(map[string]int),
+	}
+	for _, fn := range prog.Funcs {
+		prev := g.funcs[fn.Name]
+		switch {
+		case prev == nil:
+			g.funcs[fn.Name] = fn
+		case prev.Body != nil && fn.Body != nil:
+			return "", errf(fn.Line, "function %s redefined", fn.Name)
+		default:
+			// Prototype + definition (either order): check signatures.
+			if len(prev.Params) != len(fn.Params) || prev.Ret.Kind != fn.Ret.Kind {
+				return "", errf(fn.Line, "declaration of %s does not match its prototype", fn.Name)
+			}
+			if fn.Body != nil {
+				g.funcs[fn.Name] = fn
+			}
+		}
+	}
+	for _, gv := range prog.Globals {
+		if g.globals[gv.Name] != nil || g.funcs[gv.Name] != nil {
+			return "", errf(gv.Line, "%s redefined", gv.Name)
+		}
+		g.globals[gv.Name] = gv
+	}
+	if g.funcs["main"] == nil {
+		return "", errf(1, "no main function")
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil || g.funcs[fn.Name] != fn {
+			continue // prototypes and superseded declarations
+		}
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	// Every called function must have a definition somewhere.
+	for name, line := range g.called {
+		if g.funcs[name].Body == nil {
+			return "", errf(line, "function %s is declared but never defined", name)
+		}
+	}
+	g.emitData(prog)
+	return g.out.String(), nil
+}
+
+// localVar is a local variable or parameter. Register-resident
+// scalars (reg != "") never touch the frame; everything else lives at
+// [%fp - off].
+type localVar struct {
+	ty  *Type
+	off int    // positive byte offset below %fp (memory locals)
+	reg string // "%l4".."%l7" or "%i0".."%i5" when register-resident
+}
+
+type gen struct {
+	opts    Options
+	out     strings.Builder
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalDecl
+	strs    map[string]string // literal → label
+	strOrd  []string
+	labelN  int
+	called  map[string]int // function name → first call site line
+
+	// per-function state
+	fn        *FuncDecl
+	body      strings.Builder
+	scopes    []map[string]*localVar
+	frameOff  int // local bytes allocated
+	depth     int // value-stack depth
+	spillOffs map[int]int
+	retLabel  string
+	breakLbls []string
+	contLbls  []string
+	addrTaken map[string]bool // names whose address is taken anywhere
+	localRegs map[string]bool // %l4-%l7 currently in use
+}
+
+func (g *gen) emitf(format string, args ...any) {
+	fmt.Fprintf(&g.body, "\t"+format+"\n", args...)
+}
+
+func (g *gen) label(l string) {
+	fmt.Fprintf(&g.body, "%s:\n", l)
+}
+
+func (g *gen) newLabel(hint string) string {
+	g.labelN++
+	return fmt.Sprintf(".L%s%d", hint, g.labelN)
+}
+
+// ---- value stack ----
+//
+// Expression values live on a virtual stack: depths 0-7 map to %l0-%l7
+// (preserved across calls by the register window), deeper entries
+// spill to frame slots.
+
+// Depths 0-3 map to %l0-%l3; %l4-%l7 are reserved for the register
+// allocator (scalar locals), and %i0-%i5 hold register-resident
+// parameters.
+const regStackSize = 4
+
+// slotOff returns (allocating on demand) the frame offset of spill
+// slot i.
+func (g *gen) slotOff(i int) int {
+	if off, ok := g.spillOffs[i]; ok {
+		return off
+	}
+	g.frameOff += 4
+	off := g.frameOff
+	g.spillOffs[i] = off
+	return off
+}
+
+// isReg reports whether stack index i is register-resident.
+func isReg(i int) bool { return i < regStackSize }
+
+func regName(i int) string { return fmt.Sprintf("%%l%d", i) }
+
+// pushFrom records src (a register) as the new stack top.
+func (g *gen) pushFrom(src string) {
+	i := g.depth
+	g.depth++
+	if isReg(i) {
+		if src != regName(i) {
+			g.emitf("mov %s, %s", src, regName(i))
+		}
+		return
+	}
+	g.emitf("st %s, [%%fp - %d]", src, g.slotOff(i))
+}
+
+// pushTarget returns the register an expression should compute into
+// for the next push, and a commit function to call afterwards.
+func (g *gen) pushTarget(scratch string) (string, func()) {
+	i := g.depth
+	g.depth++
+	if isReg(i) {
+		return regName(i), func() {}
+	}
+	off := g.slotOff(i)
+	return scratch, func() { g.emitf("st %s, [%%fp - %d]", scratch, off) }
+}
+
+// popTo moves the stack top into dst (a register).
+func (g *gen) popTo(dst string) {
+	g.depth--
+	i := g.depth
+	if isReg(i) {
+		if dst != regName(i) {
+			g.emitf("mov %s, %s", regName(i), dst)
+		}
+		return
+	}
+	g.emitf("ld [%%fp - %d], %s", g.slotOff(i), dst)
+}
+
+// operand returns a register holding stack index i, loading spilled
+// values into scratch.
+func (g *gen) operand(i int, scratch string) string {
+	if isReg(i) {
+		return regName(i)
+	}
+	g.emitf("ld [%%fp - %d], %s", g.slotOff(i), scratch)
+	return scratch
+}
+
+// pushConst pushes an integer constant.
+func (g *gen) pushConst(v int64) {
+	t, commit := g.pushTarget("%o5")
+	if v >= -4096 && v <= 4095 {
+		g.emitf("mov %d, %s", v, t)
+	} else {
+		g.emitf("set 0x%X, %s", uint32(v), t)
+	}
+	commit()
+}
+
+// ---- symbols ----
+
+func (g *gen) lookup(name string) (*localVar, *GlobalDecl) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if lv, ok := g.scopes[i][name]; ok {
+			return lv, nil
+		}
+	}
+	return nil, g.globals[name]
+}
+
+func (g *gen) declareLocal(line int, name string, ty *Type) (*localVar, error) {
+	scope := g.scopes[len(g.scopes)-1]
+	if _, dup := scope[name]; dup {
+		return nil, errf(line, "variable %s redeclared in this scope", name)
+	}
+	// Word-sized scalars whose address is never taken live in a
+	// callee-window register when one is free.
+	if ty.Size() == 4 && ty.Kind != TypeArray && !g.addrTaken[name] {
+		for _, r := range []string{"%l4", "%l5", "%l6", "%l7"} {
+			if !g.localRegs[r] {
+				g.localRegs[r] = true
+				lv := &localVar{ty: ty, reg: r}
+				scope[name] = lv
+				return lv, nil
+			}
+		}
+	}
+	size := ty.Size()
+	if size < 4 {
+		size = 4
+	}
+	// Align word-and-larger objects.
+	g.frameOff = (g.frameOff + size + 3) &^ 3
+	lv := &localVar{ty: ty, off: g.frameOff}
+	scope[name] = lv
+	return lv, nil
+}
+
+// declareParam places parameter i: non-address-taken word scalars stay
+// in their incoming %i register; the rest spill to the frame.
+func (g *gen) declareParam(line int, i int, prm Param) error {
+	scope := g.scopes[len(g.scopes)-1]
+	if _, dup := scope[prm.Name]; dup {
+		return errf(line, "parameter %s duplicated", prm.Name)
+	}
+	if prm.Ty.Size() == 4 && prm.Ty.Kind != TypeArray && !g.addrTaken[prm.Name] {
+		scope[prm.Name] = &localVar{ty: prm.Ty, reg: fmt.Sprintf("%%i%d", i)}
+		return nil
+	}
+	lv, err := g.declareLocal(line, prm.Name, prm.Ty)
+	if err != nil {
+		return err
+	}
+	if lv.reg != "" {
+		// declareLocal may hand out an %l register; copy into it.
+		g.emitf("mov %%i%d, %s", i, lv.reg)
+		return nil
+	}
+	if prm.Ty.Kind == TypeChar {
+		g.emitf("stb %%i%d, [%%fp - %d]", i, lv.off)
+	} else {
+		g.emitf("st %%i%d, [%%fp - %d]", i, lv.off)
+	}
+	return nil
+}
+
+// collectAddrTaken records every name whose address is taken (&x) in
+// the function body; those must be frame-resident. The analysis is by
+// name, conservatively covering shadowed declarations too.
+func collectAddrTaken(s Stmt, out map[string]bool) {
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Unary:
+			if x.Op == "&" {
+				if v, ok := x.X.(*VarRef); ok {
+					out[v.Name] = true
+				}
+			}
+			walkExpr(x.X)
+		case *Postfix:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Assign:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *CondExpr:
+			walkExpr(x.C)
+			walkExpr(x.T)
+			walkExpr(x.F)
+		case *Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *Index:
+			walkExpr(x.Base)
+			walkExpr(x.Idx)
+		case *Cast:
+			walkExpr(x.X)
+		case *SizeofType:
+			if x.X != nil {
+				walkExpr(x.X)
+			}
+		}
+	}
+	var walk func(st Stmt)
+	walk = func(st Stmt) {
+		switch x := st.(type) {
+		case *Block:
+			for _, inner := range x.Stmts {
+				walk(inner)
+			}
+		case *DeclStmt:
+			if x.Init != nil {
+				walkExpr(x.Init)
+			}
+		case *ExprStmt:
+			walkExpr(x.X)
+		case *IfStmt:
+			walkExpr(x.Cond)
+			walk(x.Then)
+			if x.Else != nil {
+				walk(x.Else)
+			}
+		case *WhileStmt:
+			walkExpr(x.Cond)
+			walk(x.Body)
+		case *ForStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			if x.Cond != nil {
+				walkExpr(x.Cond)
+			}
+			if x.Post != nil {
+				walkExpr(x.Post)
+			}
+			walk(x.Body)
+		case *ReturnStmt:
+			if x.X != nil {
+				walkExpr(x.X)
+			}
+		case *SwitchStmt:
+			walkExpr(x.Tag)
+			for _, c := range x.Cases {
+				for _, inner := range c.Body {
+					walk(inner)
+				}
+			}
+		}
+	}
+	walk(s)
+}
+
+// ---- functions ----
+
+func (g *gen) genFunc(fn *FuncDecl) error {
+	g.fn = fn
+	g.body.Reset()
+	g.scopes = []map[string]*localVar{make(map[string]*localVar)}
+	g.frameOff = 0
+	g.depth = 0
+	g.spillOffs = make(map[int]int)
+	g.retLabel = g.newLabel("ret_" + fn.Name)
+	g.addrTaken = make(map[string]bool)
+	g.localRegs = make(map[string]bool)
+	collectAddrTaken(fn.Body, g.addrTaken)
+
+	// Parameters: non-address-taken scalars stay in %i registers;
+	// the rest spill to frame slots so & works.
+	for i, prm := range fn.Params {
+		if err := g.declareParam(fn.Line, i, prm); err != nil {
+			return err
+		}
+	}
+
+	if err := g.genStmt(fn.Body); err != nil {
+		return err
+	}
+	if g.depth != 0 {
+		return errf(fn.Line, "internal: value stack depth %d at end of %s", g.depth, fn.Name)
+	}
+
+	// Prologue with the final frame size, then the buffered body.
+	frame := (96 + g.frameOff + 7) &^ 7
+	fmt.Fprintf(&g.out, "\n! function %s\n", fn.Name)
+	fmt.Fprintf(&g.out, "%s:\n", fn.Name)
+	fmt.Fprintf(&g.out, "\tsave %%sp, -%d, %%sp\n", frame)
+	g.out.WriteString(g.body.String())
+	fmt.Fprintf(&g.out, "%s:\n", g.retLabel)
+	g.out.WriteString("\tret\n\trestore\n")
+	return nil
+}
+
+// charSlotAddr: locals and params always occupy ≥4-byte slots; chars
+// live at the low (highest-address) byte of the word in big-endian, so
+// plain word offsets work when loaded with ld and the value was stored
+// with st. To keep the model simple, scalar char locals are accessed
+// with full-word ld/st; only char arrays and pointers use byte
+// accesses.
+
+// ---- statements ----
+
+func (g *gen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		g.scopes = append(g.scopes, make(map[string]*localVar))
+		for _, inner := range st.Stmts {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+		// Release the dying scope's %l registers for siblings.
+		for _, lv := range g.scopes[len(g.scopes)-1] {
+			if strings.HasPrefix(lv.reg, "%l") {
+				delete(g.localRegs, lv.reg)
+			}
+		}
+		g.scopes = g.scopes[:len(g.scopes)-1]
+		return nil
+
+	case *DeclStmt:
+		lv, err := g.declareLocal(st.Line, st.Name, st.Ty)
+		if err != nil {
+			return err
+		}
+		if st.HasList {
+			// Local arrays are auto storage: initialize every element
+			// (unlisted ones to zero) on each entry.
+			elem := st.Ty.Elem
+			for k := 0; k < st.Ty.ArrayLen; k++ {
+				var v int64
+				if k < len(st.InitList) {
+					v = st.InitList[k]
+				}
+				if v >= -4096 && v <= 4095 {
+					g.emitf("mov %d, %%o5", v)
+				} else {
+					g.emitf("set 0x%X, %%o5", uint32(v))
+				}
+				off := lv.off - k*elem.Size()
+				g.storeScalar("%o5", fmt.Sprintf("%%fp - %d", off), elem)
+			}
+			return nil
+		}
+		if st.Init != nil {
+			if st.Ty.Kind == TypeArray {
+				return errf(st.Line, "array initializers use braces")
+			}
+			ty, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if !typesCompatible(st.Ty, ty) {
+				return errf(st.Line, "cannot initialize %s with %s", st.Ty, ty)
+			}
+			if lv.reg != "" {
+				g.popTo(lv.reg)
+				return nil
+			}
+			g.popTo("%o5")
+			g.storeScalar("%o5", fmt.Sprintf("%%fp - %d", lv.off), st.Ty)
+		}
+		return nil
+
+	case *ExprStmt:
+		ty, err := g.genExpr(st.X)
+		if err != nil {
+			return err
+		}
+		_ = ty
+		g.popTo("%g0") // discard
+		return nil
+
+	case *IfStmt:
+		lThen := g.newLabel("then")
+		lElse := g.newLabel("else")
+		lEnd := g.newLabel("endif")
+		if err := g.genCond(st.Cond, lThen, lElse); err != nil {
+			return err
+		}
+		g.label(lThen)
+		if err := g.genStmt(st.Then); err != nil {
+			return err
+		}
+		g.emitf("ba %s", lEnd)
+		g.emitf("nop")
+		g.label(lElse)
+		if st.Else != nil {
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+		}
+		g.label(lEnd)
+		return nil
+
+	case *WhileStmt:
+		lTop := g.newLabel("loop")
+		lBody := g.newLabel("body")
+		lEnd := g.newLabel("endloop")
+		g.breakLbls = append(g.breakLbls, lEnd)
+		g.contLbls = append(g.contLbls, lTop)
+		if st.DoWhile {
+			g.label(lBody)
+			if err := g.genStmt(st.Body); err != nil {
+				return err
+			}
+			g.label(lTop)
+			if err := g.genCond(st.Cond, lBody, lEnd); err != nil {
+				return err
+			}
+		} else {
+			g.label(lTop)
+			if err := g.genCond(st.Cond, lBody, lEnd); err != nil {
+				return err
+			}
+			g.label(lBody)
+			if err := g.genStmt(st.Body); err != nil {
+				return err
+			}
+			g.emitf("ba %s", lTop)
+			g.emitf("nop")
+		}
+		g.label(lEnd)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+
+	case *ForStmt:
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		lTop := g.newLabel("for")
+		lBody := g.newLabel("forbody")
+		lPost := g.newLabel("forpost")
+		lEnd := g.newLabel("endfor")
+		g.breakLbls = append(g.breakLbls, lEnd)
+		g.contLbls = append(g.contLbls, lPost)
+		g.label(lTop)
+		if st.Cond != nil {
+			if err := g.genCond(st.Cond, lBody, lEnd); err != nil {
+				return err
+			}
+		}
+		g.label(lBody)
+		if err := g.genStmt(st.Body); err != nil {
+			return err
+		}
+		g.label(lPost)
+		if st.Post != nil {
+			if _, err := g.genExpr(st.Post); err != nil {
+				return err
+			}
+			g.popTo("%g0")
+		}
+		g.emitf("ba %s", lTop)
+		g.emitf("nop")
+		g.label(lEnd)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+
+	case *ReturnStmt:
+		if st.X != nil {
+			if _, err := g.genExpr(st.X); err != nil {
+				return err
+			}
+			g.popTo("%i0")
+		}
+		g.emitf("ba %s", g.retLabel)
+		g.emitf("nop")
+		return nil
+
+	case *BreakStmt:
+		if len(g.breakLbls) == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		g.emitf("ba %s", g.breakLbls[len(g.breakLbls)-1])
+		g.emitf("nop")
+		return nil
+
+	case *ContinueStmt:
+		if len(g.contLbls) == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		g.emitf("ba %s", g.contLbls[len(g.contLbls)-1])
+		g.emitf("nop")
+		return nil
+
+	case *SwitchStmt:
+		return g.genSwitch(st)
+
+	default:
+		return errf(s.stmtLine(), "internal: unknown statement %T", s)
+	}
+}
+
+// genSwitch lowers switch with C fall-through: a compare-and-branch
+// dispatch header, then the case bodies in order.
+func (g *gen) genSwitch(st *SwitchStmt) error {
+	ty, err := g.genExpr(st.Tag)
+	if err != nil {
+		return err
+	}
+	if !ty.IsInteger() {
+		return errf(st.Line, "switch tag must be an integer, got %s", ty)
+	}
+	g.popTo("%o3")
+	lEnd := g.newLabel("endswitch")
+	labels := make([]string, len(st.Cases))
+	for i := range st.Cases {
+		labels[i] = g.newLabel("case")
+	}
+	for i, c := range st.Cases {
+		if c.IsDefault {
+			continue
+		}
+		if c.Val >= -4096 && c.Val <= 4095 {
+			g.emitf("cmp %%o3, %d", c.Val)
+		} else {
+			g.emitf("set 0x%X, %%o5", uint32(c.Val))
+			g.emitf("cmp %%o3, %%o5")
+		}
+		g.emitf("be %s", labels[i])
+		g.emitf("nop")
+	}
+	if st.HasDefault {
+		g.emitf("ba %s", labels[st.DefaultIdx])
+	} else {
+		g.emitf("ba %s", lEnd)
+	}
+	g.emitf("nop")
+
+	g.breakLbls = append(g.breakLbls, lEnd)
+	g.scopes = append(g.scopes, make(map[string]*localVar))
+	for i, c := range st.Cases {
+		g.label(labels[i])
+		for _, inner := range c.Body {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+	}
+	for _, lv := range g.scopes[len(g.scopes)-1] {
+		if strings.HasPrefix(lv.reg, "%l") {
+			delete(g.localRegs, lv.reg)
+		}
+	}
+	g.scopes = g.scopes[:len(g.scopes)-1]
+	g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+	g.label(lEnd)
+	return nil
+}
+
+// storeScalar stores src to [addrExpr] with the width of ty.
+func (g *gen) storeScalar(src, addrExpr string, ty *Type) {
+	if ty.Kind == TypeChar {
+		g.emitf("stb %s, [%s]", src, addrExpr)
+		return
+	}
+	g.emitf("st %s, [%s]", src, addrExpr)
+}
+
+// loadScalar loads [addrExpr] into dst with the width of ty.
+func (g *gen) loadScalar(dst, addrExpr string, ty *Type) {
+	if ty.Kind == TypeChar {
+		g.emitf("ldub [%s], %s", addrExpr, dst)
+		return
+	}
+	g.emitf("ld [%s], %s", addrExpr, dst)
+}

@@ -1,0 +1,294 @@
+package lcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential testing: random C expression trees are evaluated both
+// by a reference evaluator (C semantics on int32) and by compiling and
+// running them on the simulated LEON. Any divergence is a code
+// generation bug.
+
+// exprNode is a generated expression with its reference value.
+type exprNode struct {
+	src string
+	val int32
+}
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars map[string]int32 // available variables and their values
+}
+
+func (g *exprGen) lit() exprNode {
+	// Mix of small and large constants; keep them non-negative
+	// literals (unary minus is applied as an operator).
+	choices := []int32{0, 1, 2, 3, 5, 7, 10, 31, 32, 100, 1023, 1024, 4096, 65535, 1 << 20}
+	v := choices[g.rng.Intn(len(choices))]
+	return exprNode{src: fmt.Sprintf("%d", v), val: v}
+}
+
+func (g *exprGen) variable() exprNode {
+	names := make([]string, 0, len(g.vars))
+	for n := range g.vars {
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return g.lit()
+	}
+	// Map iteration order is random; use the rng for determinism.
+	name := names[0]
+	idx := g.rng.Intn(len(names))
+	// Sort-free deterministic pick: find the idx-th smallest name.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	name = names[idx]
+	return exprNode{src: name, val: g.vars[name]}
+}
+
+// gen builds a random expression of the given depth.
+func (g *exprGen) gen(depth int) exprNode {
+	if depth <= 0 {
+		if g.rng.Intn(3) == 0 {
+			return g.variable()
+		}
+		return g.lit()
+	}
+	switch g.rng.Intn(14) {
+	case 0: // addition
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " + " + b.src + ")", val: a.val + b.val}
+	case 1:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " - " + b.src + ")", val: a.val - b.val}
+	case 2:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " * " + b.src + ")", val: a.val * b.val}
+	case 3: // division by a safe positive constant
+		a := g.gen(depth - 1)
+		d := []int32{1, 2, 3, 4, 7, 8, 16, 100, 1024}[g.rng.Intn(9)]
+		return exprNode{src: "(" + a.src + fmt.Sprintf(" / %d)", d), val: a.val / d}
+	case 4:
+		a := g.gen(depth - 1)
+		d := []int32{1, 2, 3, 4, 7, 8, 16, 100, 1024}[g.rng.Intn(9)]
+		return exprNode{src: "(" + a.src + fmt.Sprintf(" %% %d)", d), val: a.val % d}
+	case 5:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " & " + b.src + ")", val: a.val & b.val}
+	case 6:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " | " + b.src + ")", val: a.val | b.val}
+	case 7:
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		return exprNode{src: "(" + a.src + " ^ " + b.src + ")", val: a.val ^ b.val}
+	case 8: // shift by a bounded constant
+		a := g.gen(depth - 1)
+		s := int32(g.rng.Intn(31))
+		if g.rng.Intn(2) == 0 {
+			return exprNode{src: "(" + a.src + fmt.Sprintf(" << %d)", s), val: a.val << uint(s)}
+		}
+		return exprNode{src: "(" + a.src + fmt.Sprintf(" >> %d)", s), val: a.val >> uint(s)}
+	case 9: // unary
+		a := g.gen(depth - 1)
+		switch g.rng.Intn(3) {
+		case 0:
+			return exprNode{src: "(-" + a.src + ")", val: -a.val}
+		case 1:
+			return exprNode{src: "(~" + a.src + ")", val: ^a.val}
+		default:
+			v := int32(0)
+			if a.val == 0 {
+				v = 1
+			}
+			return exprNode{src: "(!" + a.src + ")", val: v}
+		}
+	case 10: // comparison
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		ops := []struct {
+			s string
+			f func(x, y int32) bool
+		}{
+			{"==", func(x, y int32) bool { return x == y }},
+			{"!=", func(x, y int32) bool { return x != y }},
+			{"<", func(x, y int32) bool { return x < y }},
+			{"<=", func(x, y int32) bool { return x <= y }},
+			{">", func(x, y int32) bool { return x > y }},
+			{">=", func(x, y int32) bool { return x >= y }},
+		}
+		op := ops[g.rng.Intn(len(ops))]
+		v := int32(0)
+		if op.f(a.val, b.val) {
+			v = 1
+		}
+		return exprNode{src: "(" + a.src + " " + op.s + " " + b.src + ")", val: v}
+	case 11: // logical
+		a, b := g.gen(depth-1), g.gen(depth-1)
+		if g.rng.Intn(2) == 0 {
+			v := int32(0)
+			if a.val != 0 && b.val != 0 {
+				v = 1
+			}
+			return exprNode{src: "(" + a.src + " && " + b.src + ")", val: v}
+		}
+		v := int32(0)
+		if a.val != 0 || b.val != 0 {
+			v = 1
+		}
+		return exprNode{src: "(" + a.src + " || " + b.src + ")", val: v}
+	case 12: // ternary
+		c, a, b := g.gen(depth-1), g.gen(depth-1), g.gen(depth-1)
+		v := b.val
+		if c.val != 0 {
+			v = a.val
+		}
+		return exprNode{src: "(" + c.src + " ? " + a.src + " : " + b.src + ")", val: v}
+	default: // variable or literal
+		if g.rng.Intn(2) == 0 {
+			return g.variable()
+		}
+		return g.lit()
+	}
+}
+
+// TestDifferentialExpressions compiles batches of random expressions
+// and compares the simulated results against the reference evaluator.
+func TestDifferentialExpressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing skipped in -short mode")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := &exprGen{rng: rng, vars: map[string]int32{
+				"va": int32(rng.Uint32()),
+				"vb": int32(rng.Uint32() % 1000),
+				"vc": -7,
+				"vd": 0,
+			}}
+			// One program per seed evaluates several expressions and
+			// folds them into a checksum; a mismatched checksum is
+			// then bisected by evaluating each expression alone.
+			const per = 12
+			exprs := make([]exprNode, per)
+			for i := range exprs {
+				exprs[i] = g.gen(4)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "int main() {\n")
+			for name, v := range map[string]int32{
+				"va": g.vars["va"], "vb": g.vars["vb"], "vc": g.vars["vc"], "vd": g.vars["vd"],
+			} {
+				fmt.Fprintf(&b, "    int %s = %d;\n", name, v)
+			}
+			var want int32
+			fmt.Fprintf(&b, "    int sum = 0;\n")
+			for i, e := range exprs {
+				fmt.Fprintf(&b, "    sum ^= (%s) + %d;\n", e.src, i)
+				want ^= e.val + int32(i)
+			}
+			fmt.Fprintf(&b, "    return sum;\n}\n")
+
+			got := runC(t, b.String())
+			if got != uint32(want) {
+				// Bisect: run each expression in isolation.
+				for i, e := range exprs {
+					single := fmt.Sprintf(`int main() {
+    int va = %d; int vb = %d; int vc = %d; int vd = %d;
+    return %s;
+}`, g.vars["va"], g.vars["vb"], g.vars["vc"], g.vars["vd"], e.src)
+					if sv := runC(t, single); sv != uint32(e.val) {
+						t.Fatalf("expression %d diverges:\n  %s\n  simulated %d (%#x), reference %d (%#x)",
+							i, e.src, int32(sv), sv, e.val, uint32(e.val))
+					}
+				}
+				t.Fatalf("checksum diverges (%#x vs %#x) but no single expression does — interaction bug", got, uint32(want))
+			}
+		})
+	}
+}
+
+// TestDifferentialStatements does the same for small random statement
+// sequences (assignments, loops with bounded trip counts, ifs).
+func TestDifferentialStatements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzzing skipped in -short mode")
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			// Reference state machine over three variables.
+			x, y, z := int32(rng.Intn(100)), int32(rng.Intn(100)), int32(0)
+			var body strings.Builder
+			x0, y0 := x, y
+			for i := 0; i < 10; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					k := int32(rng.Intn(50) + 1)
+					fmt.Fprintf(&body, "    x = x + %d;\n", k)
+					x += k
+				case 1:
+					k := int32(rng.Intn(7) + 1)
+					fmt.Fprintf(&body, "    y = y * %d;\n", k)
+					y *= k
+				case 2:
+					fmt.Fprintf(&body, "    if (x > y) z = z + x; else z = z - y;\n")
+					if x > y {
+						z += x
+					} else {
+						z -= y
+					}
+				case 3:
+					n := int32(rng.Intn(8) + 1)
+					fmt.Fprintf(&body, "    { int i; for (i = 0; i < %d; i++) z += i * x; }\n", n)
+					for i := int32(0); i < n; i++ {
+						z += i * x
+					}
+				case 4:
+					k := int32(rng.Intn(15) + 1)
+					fmt.Fprintf(&body, "    x ^= y >> %d;\n", k%8)
+					x ^= y >> uint(k%8)
+				case 5:
+					// A switch with fall-through on the low bits of x.
+					fmt.Fprintf(&body, `    switch (x & 3) {
+    case 0: z += 1;
+    case 1: z += 10; break;
+    case 2: z -= 5; break;
+    default: z += 1000; break;
+    }
+`)
+					switch x & 3 {
+					case 0:
+						z += 1
+						z += 10
+					case 1:
+						z += 10
+					case 2:
+						z -= 5
+					default:
+						z += 1000
+					}
+				}
+			}
+			want := x ^ y ^ z
+			src := fmt.Sprintf(`int main() {
+    int x = %d;
+    int y = %d;
+    int z = 0;
+%s    return x ^ y ^ z;
+}`, x0, y0, body.String())
+			if got := runC(t, src); got != uint32(want) {
+				t.Fatalf("statement sequence diverges: %d vs %d\n%s", int32(got), want, src)
+			}
+		})
+	}
+}

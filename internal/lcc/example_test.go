@@ -1,0 +1,23 @@
+package lcc_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"liquidarch/internal/lcc"
+)
+
+// ExampleCompile translates a C function to SPARC V8 assembly.
+func ExampleCompile() {
+	asmText, err := lcc.Compile("int main() { return 1 + 2; }", lcc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The constant folder reduces 1+2 at compile time.
+	fmt.Println(strings.Contains(asmText, "mov 3,"))
+	fmt.Println(strings.Contains(asmText, "main:"))
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,1009 @@
+package lcc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// genExpr evaluates e onto the value stack and returns its type.
+// Arrays decay to element pointers.
+func (g *gen) genExpr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		g.pushConst(x.Val)
+		return tyInt, nil
+
+	case *StrLit:
+		lbl := g.strLabel(x.Val)
+		t, commit := g.pushTarget("%o5")
+		g.emitf("set %s, %s", lbl, t)
+		commit()
+		return &Type{Kind: TypePtr, Elem: tyChar}, nil
+
+	case *VarRef:
+		lv, gv := g.lookup(x.Name)
+		switch {
+		case lv != nil && lv.reg != "":
+			g.pushFrom(lv.reg)
+			return lv.ty, nil
+		case lv != nil && lv.ty.Kind == TypeArray:
+			t, commit := g.pushTarget("%o5")
+			g.emitf("sub %%fp, %d, %s", lv.off, t)
+			commit()
+			return &Type{Kind: TypePtr, Elem: lv.ty.Elem}, nil
+		case lv != nil:
+			t, commit := g.pushTarget("%o5")
+			g.loadScalar(t, fmt.Sprintf("%%fp - %d", lv.off), lv.ty)
+			commit()
+			return lv.ty, nil
+		case gv != nil && gv.Ty.Kind == TypeArray:
+			t, commit := g.pushTarget("%o5")
+			g.emitf("set %s, %s", x.Name, t)
+			commit()
+			return &Type{Kind: TypePtr, Elem: gv.Ty.Elem}, nil
+		case gv != nil:
+			t, commit := g.pushTarget("%o5")
+			g.emitf("set %s, %s", x.Name, t)
+			g.loadScalar(t, t, gv.Ty)
+			commit()
+			return gv.Ty, nil
+		default:
+			return nil, errf(x.Line, "undefined variable %s", x.Name)
+		}
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Postfix:
+		if v, ok := x.X.(*VarRef); ok {
+			if lv, _ := g.lookup(v.Name); lv != nil && lv.reg != "" {
+				return g.regIncDec(lv, x.Op, true), nil
+			}
+		}
+		// x++ / x--: leave the old value, store the new one.
+		ty, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsInteger() && ty.Kind != TypePtr {
+			return nil, errf(x.Line, "%s cannot be incremented", ty)
+		}
+		step := 1
+		if ty.Kind == TypePtr {
+			step = ty.Elem.Size()
+		}
+		i := g.depth - 1
+		addr := g.operand(i, "%o4")
+		g.loadScalar("%o5", addr, ty)
+		op := "add"
+		if x.Op == "--" {
+			op = "sub"
+		}
+		g.emitf("%s %%o5, %d, %%o3", op, step)
+		g.storeScalar("%o3", addr, ty)
+		// Replace the address with the old value.
+		g.depth = i
+		g.pushFrom("%o5")
+		return ty, nil
+
+	case *Binary:
+		if v, ok := foldConst(e); ok {
+			g.pushConst(int64(v))
+			return tyInt, nil
+		}
+		switch x.Op {
+		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+			return g.condValue(e)
+		}
+		if ty, ok, err := g.strengthReduce(x); ok || err != nil {
+			return ty, err
+		}
+		tl, err := g.genExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := g.genExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return g.arith(x.Op, tl, tr, x.Line)
+
+	case *Assign:
+		return g.genAssign(x)
+
+	case *CondExpr:
+		lT := g.newLabel("ct")
+		lF := g.newLabel("cf")
+		lEnd := g.newLabel("cend")
+		if err := g.genCond(x.C, lT, lF); err != nil {
+			return nil, err
+		}
+		g.label(lT)
+		tt, err := g.genExpr(x.T)
+		if err != nil {
+			return nil, err
+		}
+		g.popTo("%o5")
+		g.emitf("ba %s", lEnd)
+		g.emitf("nop")
+		g.label(lF)
+		tf, err := g.genExpr(x.F)
+		if err != nil {
+			return nil, err
+		}
+		g.popTo("%o5")
+		g.label(lEnd)
+		g.pushFrom("%o5")
+		if tt.IsPointerish() {
+			return tt, nil
+		}
+		return tf, nil
+
+	case *Call:
+		return g.genCall(x)
+
+	case *Index:
+		ty, err := g.genAddr(x)
+		if err != nil {
+			return nil, err
+		}
+		i := g.depth - 1
+		addr := g.operand(i, "%o4")
+		if isReg(i) {
+			g.loadScalar(regName(i), addr, ty)
+		} else {
+			g.loadScalar("%o5", addr, ty)
+			g.emitf("st %%o5, [%%fp - %d]", g.slotOff(i))
+		}
+		return ty, nil
+
+	case *Cast:
+		if _, err := g.genExpr(x.X); err != nil {
+			return nil, err
+		}
+		if x.Ty.Kind == TypeChar {
+			g.inPlace(func(src, dst string) {
+				g.emitf("and %s, 0xFF, %s", src, dst)
+			})
+		}
+		return x.Ty, nil
+
+	case *SizeofType:
+		ty := x.Ty
+		if ty == nil {
+			var err error
+			ty, err = g.typeOf(x.X)
+			if err != nil {
+				return nil, err
+			}
+		}
+		g.pushConst(int64(ty.Size()))
+		return tyUnsigned, nil
+
+	default:
+		return nil, errf(e.exprLine(), "internal: unknown expression %T", e)
+	}
+}
+
+// inPlace rewrites the stack top through f(src, dst).
+func (g *gen) inPlace(f func(src, dst string)) {
+	i := g.depth - 1
+	if isReg(i) {
+		f(regName(i), regName(i))
+		return
+	}
+	off := g.slotOff(i)
+	g.emitf("ld [%%fp - %d], %%o5", off)
+	f("%o5", "%o5")
+	g.emitf("st %%o5, [%%fp - %d]", off)
+}
+
+func (g *gen) genUnary(x *Unary) (*Type, error) {
+	switch x.Op {
+	case "-":
+		ty, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		g.inPlace(func(src, dst string) { g.emitf("sub %%g0, %s, %s", src, dst) })
+		return ty, nil
+	case "~":
+		ty, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		g.inPlace(func(src, dst string) { g.emitf("xnor %s, %%g0, %s", src, dst) })
+		return ty, nil
+	case "!":
+		return g.condValue(x)
+	case "*":
+		ty, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsPointerish() {
+			return nil, errf(x.Line, "cannot dereference %s", ty)
+		}
+		elem := ty.Pointee()
+		i := g.depth - 1
+		addr := g.operand(i, "%o4")
+		if isReg(i) {
+			g.loadScalar(regName(i), addr, elem)
+		} else {
+			g.loadScalar("%o5", addr, elem)
+			g.emitf("st %%o5, [%%fp - %d]", g.slotOff(i))
+		}
+		return elem, nil
+	case "&":
+		ty, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Type{Kind: TypePtr, Elem: ty}, nil
+	case "++", "--":
+		if v, ok := x.X.(*VarRef); ok {
+			if lv, _ := g.lookup(v.Name); lv != nil && lv.reg != "" {
+				return g.regIncDec(lv, x.Op, false), nil
+			}
+		}
+		ty, err := g.genAddr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		step := 1
+		if ty.Kind == TypePtr {
+			step = ty.Elem.Size()
+		}
+		i := g.depth - 1
+		addr := g.operand(i, "%o4")
+		g.loadScalar("%o5", addr, ty)
+		op := "add"
+		if x.Op == "--" {
+			op = "sub"
+		}
+		g.emitf("%s %%o5, %d, %%o5", op, step)
+		g.storeScalar("%o5", addr, ty)
+		g.depth = i
+		g.pushFrom("%o5")
+		return ty, nil
+	default:
+		return nil, errf(x.Line, "internal: unary %q", x.Op)
+	}
+}
+
+// arith consumes the top two stack entries (l below r) and pushes
+// l op r, handling pointer scaling.
+func (g *gen) arith(op string, tl, tr *Type, line int) (*Type, error) {
+	// Pointer arithmetic scaling.
+	resTy := tyInt
+	switch {
+	case tl.IsPointerish() && tr.IsInteger() && (op == "+" || op == "-"):
+		g.scaleTop(tl.Pointee().Size())
+		resTy = &Type{Kind: TypePtr, Elem: tl.Pointee()}
+	case tl.IsInteger() && tr.IsPointerish() && op == "+":
+		g.scaleBelowTop(tr.Pointee().Size())
+		resTy = &Type{Kind: TypePtr, Elem: tr.Pointee()}
+	case tl.IsPointerish() && tr.IsPointerish() && op == "-":
+		resTy = tyInt // divided by size below
+	case tl.IsPointerish() || tr.IsPointerish():
+		return nil, errf(line, "invalid pointer arithmetic %s %s %s", tl, op, tr)
+	default:
+		if tl.Kind == TypeUnsigned || tr.Kind == TypeUnsigned {
+			resTy = tyUnsigned
+		}
+	}
+
+	i, j := g.depth-2, g.depth-1
+	lop := g.operand(i, "%o4")
+	rop := g.operand(j, "%o5")
+	dst := "%o4"
+	if isReg(i) {
+		dst = regName(i)
+	}
+	unsigned := resTy.Kind == TypeUnsigned || tl.IsUnsignedCmp()
+
+	switch op {
+	case "+":
+		g.emitf("add %s, %s, %s", lop, rop, dst)
+	case "-":
+		g.emitf("sub %s, %s, %s", lop, rop, dst)
+	case "&":
+		g.emitf("and %s, %s, %s", lop, rop, dst)
+	case "|":
+		g.emitf("or %s, %s, %s", lop, rop, dst)
+	case "^":
+		g.emitf("xor %s, %s, %s", lop, rop, dst)
+	case "<<":
+		g.emitf("sll %s, %s, %s", lop, rop, dst)
+	case ">>":
+		if unsigned {
+			g.emitf("srl %s, %s, %s", lop, rop, dst)
+		} else {
+			g.emitf("sra %s, %s, %s", lop, rop, dst)
+		}
+	case "*":
+		g.emitf("smul %s, %s, %s", lop, rop, dst)
+	case "/":
+		g.emitDiv(unsigned, lop, rop, dst)
+	case "%":
+		g.emitDiv(unsigned, lop, rop, "%o3")
+		g.emitf("smul %%o3, %s, %%o3", rop)
+		g.emitf("sub %s, %%o3, %s", lop, dst)
+	default:
+		return nil, errf(line, "internal: binary %q", op)
+	}
+
+	if tl.IsPointerish() && tr.IsPointerish() && op == "-" {
+		size := tl.Pointee().Size()
+		if size > 1 {
+			g.emitf("sra %s, %d, %s", dst, bits.TrailingZeros(uint(size)), dst)
+		}
+	}
+	if !isReg(i) {
+		g.emitf("st %%o4, [%%fp - %d]", g.slotOff(i))
+	}
+	g.depth = i + 1
+	return resTy, nil
+}
+
+// foldConst evaluates constant integer expressions at compile time
+// with C-on-int32 semantics. It returns ok=false for anything that
+// must be computed at runtime (variables, division by zero, oversized
+// shifts — the latter two keep their runtime trap/UB behaviour).
+func foldConst(e Expr) (int32, bool) {
+	switch x := e.(type) {
+	case *NumLit:
+		return int32(x.Val), true
+	case *Unary:
+		v, ok := foldConst(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *Binary:
+		a, ok := foldConst(x.L)
+		if !ok {
+			return 0, false
+		}
+		b, ok := foldConst(x.R)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return a + b, true
+		case "-":
+			return a - b, true
+		case "*":
+			return a * b, true
+		case "/":
+			if b == 0 || (a == -1<<31 && b == -1) {
+				return 0, false
+			}
+			return a / b, true
+		case "%":
+			if b == 0 || (a == -1<<31 && b == -1) {
+				return 0, false
+			}
+			return a % b, true
+		case "&":
+			return a & b, true
+		case "|":
+			return a | b, true
+		case "^":
+			return a ^ b, true
+		case "<<":
+			if b < 0 || b > 31 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case ">>":
+			if b < 0 || b > 31 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case "&&":
+			return boolInt(a != 0 && b != 0), true
+		case "||":
+			return boolInt(a != 0 || b != 0), true
+		case "==":
+			return boolInt(a == b), true
+		case "!=":
+			return boolInt(a != b), true
+		case "<":
+			return boolInt(a < b), true
+		case "<=":
+			return boolInt(a <= b), true
+		case ">":
+			return boolInt(a > b), true
+		case ">=":
+			return boolInt(a >= b), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func boolInt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// strengthReduce rewrites * / % by positive power-of-two constants
+// into shifts and masks (the SPARC divider costs ≈35 cycles; gcc does
+// the same reduction). Signed division and modulo use the standard
+// branchless bias sequence so negative operands round toward zero.
+func (g *gen) strengthReduce(x *Binary) (*Type, bool, error) {
+	rlit, ok := x.R.(*NumLit)
+	if !ok || rlit.Val <= 0 || rlit.Val&(rlit.Val-1) != 0 {
+		return nil, false, nil
+	}
+	// Type check statically before any code is generated, so falling
+	// back to the generic path leaves the value stack untouched.
+	st, err := g.typeOf(x.L)
+	if err != nil || !st.IsInteger() {
+		return nil, false, nil
+	}
+	k := bits.TrailingZeros64(uint64(rlit.Val))
+	switch x.Op {
+	case "*":
+		tl, err := g.genExpr(x.L)
+		if err != nil {
+			return nil, true, err
+		}
+		if k > 0 {
+			g.inPlace(func(src, dst string) { g.emitf("sll %s, %d, %s", src, k, dst) })
+		}
+		return tl, true, nil
+	case "/", "%":
+		if k > 12 {
+			return nil, false, nil // mask exceeds simm13; generic path
+		}
+		tl, err := g.genExpr(x.L)
+		if err != nil {
+			return nil, true, err
+		}
+		unsigned := tl.IsUnsignedCmp()
+		mask := int64(1)<<k - 1
+		g.inPlace(func(src, dst string) {
+			switch {
+			case x.Op == "/" && unsigned:
+				g.emitf("srl %s, %d, %s", src, k, dst)
+			case x.Op == "%" && unsigned:
+				g.emitf("and %s, %d, %s", src, mask, dst)
+			case x.Op == "/":
+				// bias = (src >> 31) >>> (32-k): 2^k-1 for negatives.
+				g.emitf("sra %s, 31, %%o3", src)
+				if k > 0 {
+					g.emitf("srl %%o3, %d, %%o3", 32-k)
+				} else {
+					g.emitf("mov 0, %%o3")
+				}
+				g.emitf("add %s, %%o3, %s", src, dst)
+				g.emitf("sra %s, %d, %s", dst, k, dst)
+			default: // signed %
+				g.emitf("sra %s, 31, %%o3", src)
+				if k > 0 {
+					g.emitf("srl %%o3, %d, %%o3", 32-k)
+				} else {
+					g.emitf("mov 0, %%o3")
+				}
+				g.emitf("add %s, %%o3, %%o4", src)
+				g.emitf("and %%o4, %d, %%o4", mask)
+				g.emitf("sub %%o4, %%o3, %s", dst)
+			}
+		})
+		return tl, true, nil
+	}
+	return nil, false, nil
+}
+
+// emitDiv emits a division setting up the Y register for the 64-bit
+// dividend the SPARC divider expects.
+func (g *gen) emitDiv(unsigned bool, lop, rop, dst string) {
+	if unsigned {
+		g.emitf("mov 0, %%y")
+		g.emitf("udiv %s, %s, %s", lop, rop, dst)
+		return
+	}
+	g.emitf("sra %s, 31, %%o3", lop)
+	g.emitf("mov %%o3, %%y")
+	g.emitf("sdiv %s, %s, %s", lop, rop, dst)
+}
+
+// scaleTop multiplies the stack top by size (index scaling).
+func (g *gen) scaleTop(size int) {
+	if size <= 1 {
+		return
+	}
+	if size&(size-1) == 0 {
+		sh := bits.TrailingZeros(uint(size))
+		g.inPlace(func(src, dst string) { g.emitf("sll %s, %d, %s", src, sh, dst) })
+		return
+	}
+	g.inPlace(func(src, dst string) {
+		g.emitf("set %d, %%o3", size)
+		g.emitf("smul %s, %%o3, %s", src, dst)
+	})
+}
+
+// scaleBelowTop multiplies the entry below the top by size.
+func (g *gen) scaleBelowTop(size int) {
+	if size <= 1 {
+		return
+	}
+	i := g.depth - 2
+	src := g.operand(i, "%o4")
+	dst := src
+	if size&(size-1) == 0 {
+		g.emitf("sll %s, %d, %s", src, bits.TrailingZeros(uint(size)), dst)
+	} else {
+		g.emitf("set %d, %%o3", size)
+		g.emitf("smul %s, %%o3, %s", src, dst)
+	}
+	if !isReg(i) {
+		g.emitf("st %s, [%%fp - %d]", dst, g.slotOff(i))
+	}
+}
+
+// genAddr pushes the address of an lvalue and returns the type of the
+// object it designates.
+func (g *gen) genAddr(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *VarRef:
+		lv, gv := g.lookup(x.Name)
+		switch {
+		case lv != nil && lv.reg != "":
+			// Unreachable: address-taken names are frame-resident.
+			return nil, errf(x.Line, "internal: address of register variable %s", x.Name)
+		case lv != nil:
+			t, commit := g.pushTarget("%o5")
+			g.emitf("sub %%fp, %d, %s", lv.off, t)
+			commit()
+			return lv.ty, nil
+		case gv != nil:
+			t, commit := g.pushTarget("%o5")
+			g.emitf("set %s, %s", x.Name, t)
+			commit()
+			return gv.Ty, nil
+		default:
+			return nil, errf(x.Line, "undefined variable %s", x.Name)
+		}
+	case *Unary:
+		if x.Op != "*" {
+			return nil, errf(x.Line, "expression is not an lvalue")
+		}
+		ty, err := g.genExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.IsPointerish() {
+			return nil, errf(x.Line, "cannot dereference %s", ty)
+		}
+		return ty.Pointee(), nil
+	case *Index:
+		tb, err := g.genExpr(x.Base) // arrays decay to pointers here
+		if err != nil {
+			return nil, err
+		}
+		if !tb.IsPointerish() {
+			return nil, errf(x.Line, "%s is not indexable", tb)
+		}
+		ti, err := g.genExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !ti.IsInteger() {
+			return nil, errf(x.Line, "index must be an integer, got %s", ti)
+		}
+		if _, err := g.arith("+", tb, ti, x.Line); err != nil {
+			return nil, err
+		}
+		return tb.Pointee(), nil
+	default:
+		return nil, errf(e.exprLine(), "expression is not an lvalue")
+	}
+}
+
+func (g *gen) genAssign(x *Assign) (*Type, error) {
+	// Register-resident scalar destinations skip the address path.
+	if v, ok := x.L.(*VarRef); ok {
+		if lv, _ := g.lookup(v.Name); lv != nil && lv.reg != "" {
+			return g.genAssignReg(x, lv)
+		}
+	}
+	tl, err := g.genAddr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	if tl.Kind == TypeArray {
+		return nil, errf(x.Line, "cannot assign to an array")
+	}
+	if x.Op == "" {
+		tr, err := g.genExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !typesCompatible(tl, tr) {
+			return nil, errf(x.Line, "cannot assign %s to %s", tr, tl)
+		}
+		j, i := g.depth-1, g.depth-2
+		val := g.operand(j, "%o5")
+		addr := g.operand(i, "%o4")
+		g.storeScalar(val, addr, tl)
+		g.depth = i
+		g.pushFrom(val)
+		return tl, nil
+	}
+	// Compound: load current value, apply, store.
+	i := g.depth - 1
+	addr := g.operand(i, "%o4")
+	g.loadScalar("%o5", addr, tl)
+	g.pushFrom("%o5")
+	tr, err := g.genExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.arith(x.Op, tl, tr, x.Line); err != nil {
+		return nil, err
+	}
+	j := g.depth - 1 // result; the address sits just below it at i
+	val := g.operand(j, "%o5")
+	addr = g.operand(i, "%o4")
+	g.storeScalar(val, addr, tl)
+	g.depth = i
+	g.pushFrom(val)
+	return tl, nil
+}
+
+// genAssignReg assigns to a register-resident local; the result value
+// stays on the stack.
+func (g *gen) genAssignReg(x *Assign, lv *localVar) (*Type, error) {
+	if x.Op == "" {
+		tr, err := g.genExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		if !typesCompatible(lv.ty, tr) {
+			return nil, errf(x.Line, "cannot assign %s to %s", tr, lv.ty)
+		}
+		val := g.operand(g.depth-1, "%o5")
+		g.emitf("mov %s, %s", val, lv.reg)
+		return lv.ty, nil
+	}
+	// Compound: current value, rhs, arith, write back.
+	g.pushFrom(lv.reg)
+	tr, err := g.genExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.arith(x.Op, lv.ty, tr, x.Line); err != nil {
+		return nil, err
+	}
+	val := g.operand(g.depth-1, "%o5")
+	g.emitf("mov %s, %s", val, lv.reg)
+	return lv.ty, nil
+}
+
+// regIncDec handles ++/-- on a register-resident local. post selects
+// whether the old (x++) or new (++x) value is pushed.
+func (g *gen) regIncDec(lv *localVar, op string, post bool) *Type {
+	step := 1
+	if lv.ty.Kind == TypePtr {
+		step = lv.ty.Elem.Size()
+	}
+	insn := "add"
+	if op == "--" {
+		insn = "sub"
+	}
+	if post {
+		g.pushFrom(lv.reg)
+		g.emitf("%s %s, %d, %s", insn, lv.reg, step, lv.reg)
+		return lv.ty
+	}
+	g.emitf("%s %s, %d, %s", insn, lv.reg, step, lv.reg)
+	g.pushFrom(lv.reg)
+	return lv.ty
+}
+
+func (g *gen) genCall(x *Call) (*Type, error) {
+	if x.Name == "__mac" {
+		if len(x.Args) != 3 {
+			return nil, errf(x.Line, "__mac wants (acc, a, b)")
+		}
+		if !g.opts.MAC {
+			return nil, errf(x.Line, "__mac requires the MAC-configured liquid CPU (Options.MAC)")
+		}
+		for _, a := range x.Args {
+			ty, err := g.genExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !ty.IsInteger() {
+				return nil, errf(x.Line, "__mac arguments must be integers")
+			}
+		}
+		g.popTo("%o5") // b
+		g.popTo("%o4") // a
+		i := g.depth - 1
+		if isReg(i) {
+			g.emitf("lqmac %%o4, %%o5, %s", regName(i))
+		} else {
+			g.emitf("ld [%%fp - %d], %%o3", g.slotOff(i))
+			g.emitf("lqmac %%o4, %%o5, %%o3")
+			g.emitf("st %%o3, [%%fp - %d]", g.slotOff(i))
+		}
+		return tyInt, nil
+	}
+
+	fn := g.funcs[x.Name]
+	if fn == nil {
+		return nil, errf(x.Line, "call to undefined function %s", x.Name)
+	}
+	if _, seen := g.called[x.Name]; !seen {
+		g.called[x.Name] = x.Line
+	}
+	if len(x.Args) != len(fn.Params) {
+		return nil, errf(x.Line, "%s wants %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	for k, a := range x.Args {
+		ty, err := g.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if !typesCompatible(fn.Params[k].Ty, ty) {
+			return nil, errf(x.Line, "argument %d of %s: cannot pass %s as %s", k+1, x.Name, ty, fn.Params[k].Ty)
+		}
+	}
+	for k := len(x.Args) - 1; k >= 0; k-- {
+		g.popTo(fmt.Sprintf("%%o%d", k))
+	}
+	g.emitf("call %s", x.Name)
+	g.emitf("nop")
+	g.pushFrom("%o0")
+	if fn.Ret.Kind == TypeVoid {
+		return tyInt, nil // value is garbage; ExprStmt discards it
+	}
+	return fn.Ret, nil
+}
+
+// genCond evaluates e as a branch to lTrue or lFalse.
+func (g *gen) genCond(e Expr, lTrue, lFalse string) error {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := g.newLabel("and")
+			if err := g.genCond(x.L, mid, lFalse); err != nil {
+				return err
+			}
+			g.label(mid)
+			return g.genCond(x.R, lTrue, lFalse)
+		case "||":
+			mid := g.newLabel("or")
+			if err := g.genCond(x.L, lTrue, mid); err != nil {
+				return err
+			}
+			g.label(mid)
+			return g.genCond(x.R, lTrue, lFalse)
+		case "==", "!=", "<", "<=", ">", ">=":
+			tl, err := g.genExpr(x.L)
+			if err != nil {
+				return err
+			}
+			tr, err := g.genExpr(x.R)
+			if err != nil {
+				return err
+			}
+			g.popTo("%o5")
+			g.popTo("%o4")
+			unsigned := tl.IsUnsignedCmp() || tr.IsUnsignedCmp()
+			g.emitf("cmp %%o4, %%o5")
+			g.emitf("b%s %s", condSuffix(x.Op, unsigned), lTrue)
+			g.emitf("nop")
+			g.emitf("ba %s", lFalse)
+			g.emitf("nop")
+			return nil
+		}
+	case *Unary:
+		if x.Op == "!" {
+			return g.genCond(x.X, lFalse, lTrue)
+		}
+	case *NumLit:
+		if x.Val != 0 {
+			g.emitf("ba %s", lTrue)
+		} else {
+			g.emitf("ba %s", lFalse)
+		}
+		g.emitf("nop")
+		return nil
+	}
+	if _, err := g.genExpr(e); err != nil {
+		return err
+	}
+	g.popTo("%o5")
+	g.emitf("cmp %%o5, 0")
+	g.emitf("bne %s", lTrue)
+	g.emitf("nop")
+	g.emitf("ba %s", lFalse)
+	g.emitf("nop")
+	return nil
+}
+
+func condSuffix(op string, unsigned bool) string {
+	if unsigned {
+		switch op {
+		case "<":
+			return "lu"
+		case "<=":
+			return "leu"
+		case ">":
+			return "gu"
+		case ">=":
+			return "geu"
+		}
+	}
+	switch op {
+	case "==":
+		return "e"
+	case "!=":
+		return "ne"
+	case "<":
+		return "l"
+	case "<=":
+		return "le"
+	case ">":
+		return "g"
+	case ">=":
+		return "ge"
+	}
+	return "a"
+}
+
+// condValue materializes a boolean expression as 0/1.
+func (g *gen) condValue(e Expr) (*Type, error) {
+	lT := g.newLabel("bt")
+	lF := g.newLabel("bf")
+	lEnd := g.newLabel("bend")
+	if err := g.genCond(e, lT, lF); err != nil {
+		return nil, err
+	}
+	g.label(lT)
+	g.emitf("mov 1, %%o5")
+	g.emitf("ba %s", lEnd)
+	g.emitf("nop")
+	g.label(lF)
+	g.emitf("mov 0, %%o5")
+	g.label(lEnd)
+	g.pushFrom("%o5")
+	return tyInt, nil
+}
+
+// typeOf statically types an expression (for sizeof).
+func (g *gen) typeOf(e Expr) (*Type, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		return tyInt, nil
+	case *StrLit:
+		return &Type{Kind: TypePtr, Elem: tyChar}, nil
+	case *VarRef:
+		lv, gv := g.lookup(x.Name)
+		if lv != nil {
+			return lv.ty, nil
+		}
+		if gv != nil {
+			return gv.Ty, nil
+		}
+		return nil, errf(x.Line, "undefined variable %s", x.Name)
+	case *Unary:
+		switch x.Op {
+		case "*":
+			t, err := g.typeOf(x.X)
+			if err != nil {
+				return nil, err
+			}
+			if !t.IsPointerish() {
+				return nil, errf(x.Line, "cannot dereference %s", t)
+			}
+			return t.Pointee(), nil
+		case "&":
+			t, err := g.typeOf(x.X)
+			if err != nil {
+				return nil, err
+			}
+			return &Type{Kind: TypePtr, Elem: t}, nil
+		default:
+			return g.typeOf(x.X)
+		}
+	case *Index:
+		t, err := g.typeOf(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsPointerish() {
+			return nil, errf(x.Line, "%s is not indexable", t)
+		}
+		return t.Pointee(), nil
+	case *Cast:
+		return x.Ty, nil
+	case *Call:
+		if fn := g.funcs[x.Name]; fn != nil {
+			return fn.Ret, nil
+		}
+		return tyInt, nil
+	case *Binary:
+		return g.typeOf(x.L)
+	case *Assign:
+		return g.typeOf(x.L)
+	case *CondExpr:
+		return g.typeOf(x.T)
+	default:
+		return tyInt, nil
+	}
+}
+
+// strLabel interns a string literal.
+func (g *gen) strLabel(s string) string {
+	if lbl, ok := g.strs[s]; ok {
+		return lbl
+	}
+	lbl := fmt.Sprintf(".LC%d", len(g.strOrd))
+	g.strs[s] = lbl
+	g.strOrd = append(g.strOrd, s)
+	return lbl
+}
+
+// emitData appends the data section: globals and string literals.
+func (g *gen) emitData(prog *Program) {
+	if len(prog.Globals)+len(g.strOrd) > 0 {
+		g.out.WriteString("\n! data\n\t.align 8\n")
+	}
+	for _, gv := range prog.Globals {
+		fmt.Fprintf(&g.out, "\t.align 4\n%s:\n", gv.Name)
+		switch gv.Ty.Kind {
+		case TypeArray:
+			elem := gv.Ty.Elem
+			for _, v := range gv.Init {
+				if elem.Kind == TypeChar {
+					fmt.Fprintf(&g.out, "\t.byte %d\n", uint8(v))
+				} else {
+					fmt.Fprintf(&g.out, "\t.word 0x%X\n", uint32(v))
+				}
+			}
+			rest := gv.Ty.Size() - len(gv.Init)*elem.Size()
+			if rest > 0 {
+				fmt.Fprintf(&g.out, "\t.space %d\n", rest)
+			}
+		case TypeChar:
+			v := int64(0)
+			if len(gv.Init) > 0 {
+				v = gv.Init[0]
+			}
+			fmt.Fprintf(&g.out, "\t.byte %d\n", uint8(v))
+		default:
+			v := int64(0)
+			if len(gv.Init) > 0 {
+				v = gv.Init[0]
+			}
+			fmt.Fprintf(&g.out, "\t.word 0x%X\n", uint32(v))
+		}
+	}
+	for i, s := range g.strOrd {
+		fmt.Fprintf(&g.out, "\t.align 4\n.LC%d:\n", i)
+		fmt.Fprintf(&g.out, "\t.asciz %q\n", s)
+	}
+}

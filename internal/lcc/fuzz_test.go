@@ -1,0 +1,37 @@
+package lcc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompilerNeverPanics: random token soup must produce an error or
+// a compile, never a panic.
+func TestCompilerNeverPanics(t *testing.T) {
+	vocab := []string{
+		"int", "char", "unsigned", "void", "main", "x", "y", "(", ")",
+		"{", "}", "[", "]", ";", ",", "=", "+", "-", "*", "/", "%",
+		"if", "else", "while", "for", "return", "break", "0", "1", "42",
+		"0x10", "'c'", "\"s\"", "&&", "||", "<", ">", "==", "++", "--",
+		"&", "|", "^", "~", "!", "?", ":", "sizeof", "volatile",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		var b strings.Builder
+		n := rng.Intn(40)
+		for j := 0; j < n; j++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("compiler panicked on %q: %v", src, r)
+				}
+			}()
+			Compile(src, Options{}) //nolint:errcheck
+		}()
+	}
+}

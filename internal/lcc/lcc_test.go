@@ -1,0 +1,483 @@
+package lcc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/link"
+)
+
+// runC compiles, links, loads and executes a C program on a default
+// LEON system, returning main's exit value.
+func runC(t *testing.T, src string) uint32 {
+	t.Helper()
+	v, _, _ := runCConfig(t, src, leon.DefaultConfig(), Options{})
+	return v
+}
+
+func runCConfig(t *testing.T, src string, cfg leon.Config, opts Options) (uint32, leon.RunResult, *leon.Controller) {
+	t.Helper()
+	var uart bytes.Buffer
+	asmSrc, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img, err := link.Build(asmSrc, link.Options{})
+	if err != nil {
+		t.Fatalf("link: %v\nassembly:\n%s", err, asmSrc)
+	}
+	soc, err := leon.New(cfg, &uart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Execute(img.Entry, 200_000_000)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if res.Faulted {
+		t.Fatalf("program faulted: tt=%#x pc=%#x\nassembly:\n%s", res.TT, res.FaultPC, asmSrc)
+	}
+	out, err := ctrl.ReadMemory(img.ExitValueAddr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := uint32(out[0])<<24 | uint32(out[1])<<16 | uint32(out[2])<<8 | uint32(out[3])
+	return val, res, ctrl
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := runC(t, "int main() { return 42; }"); got != 42 {
+		t.Errorf("main returned %d", got)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	cases := map[string]uint32{
+		"2 + 3 * 4":         14,
+		"(2 + 3) * 4":       20,
+		"100 / 7":           14,
+		"100 % 7":           2,
+		"-10 / 3":           uint32(0xFFFFFFFD), // -3
+		"-10 % 3":           uint32(0xFFFFFFFF), // -1
+		"1 << 10":           1024,
+		"1024 >> 3":         128,
+		"-8 >> 1":           uint32(0xFFFFFFFC), // arithmetic shift
+		"0xF0 & 0x3C":       0x30,
+		"0xF0 | 0x0F":       0xFF,
+		"0xFF ^ 0x0F":       0xF0,
+		"~0":                0xFFFFFFFF,
+		"-(3 - 5)":          2,
+		"7 == 7":            1,
+		"7 != 7":            0,
+		"3 < 4":             1,
+		"4 <= 3":            0,
+		"5 > 2 && 1 < 2":    1,
+		"0 || 3 > 9":        0,
+		"!0":                1,
+		"!7":                0,
+		"1 ? 11 : 22":       11,
+		"0 ? 11 : 22":       22,
+		"(3 < 4) + (5 < 4)": 1,
+		"10 - 2 - 3":        5, // left associativity
+		"2 * 3 + 4 * 5":     26,
+		"255 & 15 | 16":     31,
+		"sizeof(int)":       4,
+		"sizeof(char)":      1,
+		"sizeof(int*)":      4,
+	}
+	for expr, want := range cases {
+		src := "int main() { return " + expr + "; }"
+		if got := runC(t, src); got != want {
+			t.Errorf("%s = %d (%#x), want %d", expr, got, got, want)
+		}
+	}
+}
+
+func TestUnsignedComparisonAndDivision(t *testing.T) {
+	// 0xFFFFFFFF unsigned is huge, signed is -1.
+	src := `
+int main() {
+    unsigned big = 0xFFFFFFFF;
+    int neg = -1;
+    int a = big > 10u;       // unsigned: true
+    int b = neg > 10;        // signed: false
+    unsigned q = big / 16u;  // 0x0FFFFFFF
+    return a * 100 + b * 10 + (q == 0x0FFFFFFF);
+}`
+	if got := runC(t, src); got != 101 {
+		t.Errorf("got %d, want 101", got)
+	}
+}
+
+func TestLocalsAndAssignments(t *testing.T) {
+	src := `
+int main() {
+    int x = 5;
+    int y;
+    y = x + 3;
+    x += y;    // 13
+    x -= 1;    // 12
+    x *= 2;    // 24
+    x /= 3;    // 8
+    x %= 5;    // 3
+    x <<= 4;   // 48
+    x >>= 2;   // 12
+    x |= 1;    // 13
+    x &= 0xE;  // 12
+    x ^= 5;    // 9
+    return x;
+}`
+	if got := runC(t, src); got != 9 {
+		t.Errorf("got %d, want 9", got)
+	}
+}
+
+func TestIncDec(t *testing.T) {
+	src := `
+int main() {
+    int i = 10;
+    int a = i++;  // a=10, i=11
+    int b = ++i;  // b=12, i=12
+    int c = i--;  // c=12, i=11
+    int d = --i;  // d=10, i=10
+    return a * 1000 + b * 100 + c * 10 + d / 10 + i;
+}`
+	// 10*1000 + 12*100 + 12*10 + 1 + 10 = 10000+1200+120+11 = 11331
+	if got := runC(t, src); got != 11331 {
+		t.Errorf("got %d, want 11331", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 8) break;
+        sum += i;
+    }
+    // 0+1+2+4+5+6+7 = 25
+    int j = 0;
+    while (j < 5) j++;
+    sum += j;         // 30
+    do { sum += 2; } while (sum < 34);
+    // 32, 34 → stops at 34
+    return sum;
+}`
+	if got := runC(t, src); got != 34 {
+		t.Errorf("got %d, want 34", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+int counter = 7;
+int table[8] = {1, 2, 3};
+char bytes[4] = {10, 20};
+
+int main() {
+    counter = counter + table[0] + table[1] + table[2] + table[3];
+    counter += bytes[0] + bytes[1] + bytes[2];
+    int local[4];
+    local[0] = 100;
+    local[3] = 1;
+    return counter + local[0] + local[3];
+}`
+	// 7+1+2+3+0 = 13; +10+20+0 = 43; +100+1 = 144
+	if got := runC(t, src); got != 144 {
+		t.Errorf("got %d, want 144", got)
+	}
+}
+
+func TestFig7Kernel(t *testing.T) {
+	// The paper's Figure 7 array-access kernel, scaled down.
+	src := `
+int count[1024];
+
+int main() {
+    int i;
+    int address;
+    int x = 0;
+    for (i = 0; i < 65536; i = i + 32) {
+        address = i % 1024;
+        x = x + count[address];
+    }
+    return x;
+}`
+	if got := runC(t, src); got != 0 {
+		t.Errorf("got %d (zero-initialized array)", got)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }`
+	got, _, ctrl := runCConfig(t, src, leon.DefaultConfig(), Options{})
+	if got != 144 {
+		t.Errorf("fib(12) = %d, want 144", got)
+	}
+	// Deep enough to exercise window spills from compiled code.
+	if ctrl.SoC().CPU.Stats().WindowSpills == 0 {
+		t.Error("no window spills during recursive fib")
+	}
+}
+
+func TestPointers(t *testing.T) {
+	src := `
+void swap(int *a, int *b) {
+    int t = *a;
+    *a = *b;
+    *b = t;
+}
+int main() {
+    int x = 3;
+    int y = 9;
+    swap(&x, &y);
+    int arr[5] = {10, 20, 30, 40, 50};
+    int *p = arr;
+    p = p + 2;
+    int mid = *p;          // 30
+    int diff = p - arr;    // 2
+    p++;
+    return x * 1000 + y * 100 + mid + diff + *p;
+}`
+	// 9*1000 + 3*100 + 30 + 2 + 40 = 9372
+	if got := runC(t, src); got != 9372 {
+		t.Errorf("got %d, want 9372", got)
+	}
+}
+
+func TestCharAndStrings(t *testing.T) {
+	src := `
+int strlen_(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+int main() {
+    char *msg = "liquid";
+    char c = msg[0];
+    return strlen_(msg) * 100 + c;   // 600 + 'l'(108)
+}`
+	if got := runC(t, src); got != 708 {
+		t.Errorf("got %d, want 708", got)
+	}
+}
+
+func TestDeviceAccessViaCast(t *testing.T) {
+	// Write to the UART data register through a casted literal
+	// address — the idiom the paper's control programs rely on.
+	src := `
+int main() {
+    *(unsigned*)0x80000070 = 'H';
+    *(unsigned*)0x80000070 = 'i';
+    return 0;
+}`
+	var uart bytes.Buffer
+	asmSrc, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := link.Build(asmSrc, link.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := leon.New(leon.DefaultConfig(), &uart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Execute(img.Entry, 0)
+	if err != nil || res.Faulted {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	if uart.String() != "Hi" {
+		t.Errorf("uart = %q", uart.String())
+	}
+}
+
+func TestMACBuiltin(t *testing.T) {
+	src := `
+int main() {
+    int acc = 100;
+    acc = __mac(acc, 6, 7);
+    return acc;
+}`
+	cfg := leon.DefaultConfig()
+	cfg.CPU.MAC = true
+	got, _, _ := runCConfig(t, src, cfg, Options{MAC: true})
+	if got != 142 {
+		t.Errorf("__mac = %d, want 142", got)
+	}
+	// Without Options.MAC the builtin is rejected at compile time.
+	if _, err := Compile(src, Options{}); err == nil {
+		t.Error("__mac accepted without MAC option")
+	}
+}
+
+func TestTernaryAndLogicalShortCircuit(t *testing.T) {
+	src := `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+    int a = 0 && bump();   // bump not called
+    int b = 1 || bump();   // bump not called
+    int c = 1 && bump();   // called once
+    return calls * 100 + a * 10 + b + c;
+}`
+	if got := runC(t, src); got != 102 {
+		t.Errorf("got %d, want 102", got)
+	}
+}
+
+func TestNestedCallsAndSixArgs(t *testing.T) {
+	src := `
+int sum6(int a, int b, int c, int d, int e, int f) {
+    return a + b + c + d + e + f;
+}
+int twice(int x) { return x + x; }
+int main() {
+    return sum6(1, twice(2), 3, twice(4), 5, twice(sum6(1,1,1,1,1,1)));
+}`
+	// 1+4+3+8+5+12 = 33
+	if got := runC(t, src); got != 33 {
+		t.Errorf("got %d, want 33", got)
+	}
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Force value-stack depth beyond the 8 %l registers.
+	src := `
+int main() {
+    int r = 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12))))))))));
+    return r;
+}`
+	if got := runC(t, src); got != 78 {
+		t.Errorf("got %d, want 78", got)
+	}
+}
+
+func TestGlobalPointerChase(t *testing.T) {
+	src := `
+int data[4] = {5, 6, 7, 8};
+int *cursor = 0;
+int main() {
+    cursor = &data[1];
+    cursor[1] = 99;     // data[2] = 99
+    return data[2] + *cursor;
+}`
+	if got := runC(t, src); got != 105 {
+		t.Errorf("got %d, want 105", got)
+	}
+}
+
+func TestVolatileAcceptedAndIgnored(t *testing.T) {
+	src := `
+volatile int flag = 3;
+int main() {
+    volatile int x = flag;
+    return x;
+}`
+	if got := runC(t, src); got != 3 {
+		t.Errorf("got %d, want 3", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"int main() { return x; }", "undefined variable"},
+		{"int main() { foo(); }", "undefined function"},
+		{"int f(int a) { return a; } int main() { return f(); }", "wants 1 arguments"},
+		{"int main() { 5 = 3; }", "not an lvalue"},
+		{"int main() { int x; int x; }", "redeclared"},
+		{"int f() { return 0; } int f() { return 1; } int main() { return 0; }", "redefined"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"#include <stdio.h>\nint main() { return 0; }", "preprocessor"},
+		{"int g() { return 0; }", "no main"},
+		{"int main() { int a[3] = 5; }", "array initializers"},
+		{"int main(int a, int b, int c, int d, int e, int f, int g) { return 0; }", "at most 6"},
+		{"int main() { return *5; }", "cannot dereference"},
+		{"int main() { int a[2]; int b[2]; a = b; }", "assign to an array"},
+		{"int main() { return 1 +; }", "unexpected"},
+		{"int main() { return 0 }", "expected"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, Options{})
+		if err == nil {
+			t.Errorf("compiled without error:\n%s", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error %q does not mention %q", err, c.frag)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex(`int x = 0x1F; // comment
+/* block
+   comment */ char c = 'a'; char *s = "hi\n";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[3].kind != tokNumber || toks[3].num != 0x1F {
+		t.Errorf("hex literal = %+v", toks[3])
+	}
+	_ = kinds
+	// Unterminated constructs.
+	if _, err := lex(`"abc`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("/* abc"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+	if _, err := lex("'a"); err == nil {
+		t.Error("unterminated char accepted")
+	}
+	if _, err := lex("int @ x;"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	arr := &Type{Kind: TypeArray, Elem: tyInt, ArrayLen: 4}
+	ptr := &Type{Kind: TypePtr, Elem: tyChar}
+	if arr.String() != "int[4]" || arr.Size() != 16 {
+		t.Errorf("array type: %s size %d", arr, arr.Size())
+	}
+	if ptr.String() != "char*" || ptr.Size() != 4 {
+		t.Errorf("pointer type: %s size %d", ptr, ptr.Size())
+	}
+	if tyVoid.Size() != 0 {
+		t.Error("void size")
+	}
+}

@@ -1,0 +1,252 @@
+// Package lcc is the Liquid C compiler: a small C compiler targeting
+// SPARC V8 assembly, standing in for the paper's LECCS (gcc 2.95)
+// cross-compiler in the flow of Fig. 4 ("Compile w/ GCC → Assemble →
+// Link → Convert to bin"). It supports the integer subset the paper's
+// benchmark programs need — notably the Fig. 7 array-access kernel —
+// plus pointers, arrays, and the __mac() builtin for the Liquid ISA
+// extension.
+//
+// Supported language:
+//
+//	types:   int, unsigned, char (unsigned), void, T*, 1-D arrays;
+//	         volatile/const are accepted and ignored
+//	decls:   globals (with scalar/array initializers), functions with
+//	         up to 6 int-class parameters, prototypes, locals
+//	stmts:   if/else, while, do/while, for, switch (fall-through),
+//	         return, break, continue, blocks, expression statements
+//	exprs:   ?:, || && | ^ & == != < <= > >= << >> + - * / %, unary
+//	         - ! ~ * & ++ --, casts, calls, indexing, sizeof,
+//	         assignment ops, int/char/string literals
+//	builtin: __mac(acc, a, b) → lqmac (single-cycle multiply-
+//	         accumulate when the MAC unit is configured)
+//
+// The back end performs constant folding, power-of-two strength
+// reduction for * / %, and register allocation: non-address-taken
+// scalar locals live in %l4-%l7 and parameters stay in their incoming
+// %i registers, with the expression stack in %l0-%l3.
+package lcc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "unsigned": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"switch": true, "case": true, "default": true,
+	"volatile": true, "const": true,
+}
+
+// token is one lexical token with its source line.
+type token struct {
+	kind tokKind
+	text string
+	num  int64 // value for tokNumber/tokChar
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// CompileError is a diagnostic tied to a source line.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("lcc: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &CompileError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, errf(line, "unterminated block comment")
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '#':
+			// Preprocessor lines (e.g. #define) are not supported;
+			// skip them with a clear error to avoid silent surprises.
+			return nil, errf(line, "preprocessor directives are not supported")
+		case isDigit(c):
+			start := i
+			base := 10
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				i += 2
+			}
+			for i < len(src) && isHexDigit(src[i]) {
+				i++
+			}
+			lit := src[start:i]
+			var v int64
+			var err error
+			if base == 16 {
+				_, err = fmt.Sscanf(lit, "0x%x", &v)
+				if err != nil {
+					_, err = fmt.Sscanf(lit, "0X%x", &v)
+				}
+			} else {
+				_, err = fmt.Sscanf(lit, "%d", &v)
+			}
+			if err != nil {
+				return nil, errf(line, "bad number %q", lit)
+			}
+			// Integer suffixes u/U/l/L are accepted and ignored.
+			for i < len(src) && (src[i] == 'u' || src[i] == 'U' || src[i] == 'l' || src[i] == 'L') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: lit, num: v, line: line})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentCont(src[i]) {
+				i++
+			}
+			name := src[start:i]
+			k := tokIdent
+			if keywords[name] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: name, line: line})
+		case c == '"':
+			i++
+			var sb strings.Builder
+			for i < len(src) && src[i] != '"' {
+				ch, n, err := unescapeAt(src, i, line)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteByte(ch)
+				i += n
+			}
+			if i >= len(src) {
+				return nil, errf(line, "unterminated string literal")
+			}
+			i++
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+		case c == '\'':
+			i++
+			if i >= len(src) {
+				return nil, errf(line, "unterminated character literal")
+			}
+			ch, n, err := unescapeAt(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			i += n
+			if i >= len(src) || src[i] != '\'' {
+				return nil, errf(line, "unterminated character literal")
+			}
+			i++
+			toks = append(toks, token{kind: tokChar, num: int64(ch), line: line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// unescapeAt decodes one (possibly escaped) character at src[i].
+func unescapeAt(src string, i, line int) (byte, int, error) {
+	if src[i] != '\\' {
+		return src[i], 1, nil
+	}
+	if i+1 >= len(src) {
+		return 0, 0, errf(line, "dangling backslash")
+	}
+	switch src[i+1] {
+	case 'n':
+		return '\n', 2, nil
+	case 't':
+		return '\t', 2, nil
+	case 'r':
+		return '\r', 2, nil
+	case '0':
+		return 0, 2, nil
+	case '\\':
+		return '\\', 2, nil
+	case '\'':
+		return '\'', 2, nil
+	case '"':
+		return '"', 2, nil
+	default:
+		return 0, 0, errf(line, "unknown escape \\%c", src[i+1])
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }

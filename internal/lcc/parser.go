@@ -1,0 +1,762 @@
+package lcc
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.cur().line }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if p.accept(s) {
+		return nil
+	}
+	return errf(p.line(), "expected %q, got %s", s, p.cur())
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "int", "unsigned", "char", "void", "volatile", "const":
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Type, error) {
+	for p.accept("volatile") || p.accept("const") {
+	}
+	var base *Type
+	switch {
+	case p.accept("int"):
+		base = tyInt
+	case p.accept("unsigned"):
+		if p.accept("char") { // "unsigned char" (char is unsigned here)
+			base = tyChar
+		} else {
+			p.accept("int") // "unsigned int"
+			base = tyUnsigned
+		}
+	case p.accept("char"):
+		base = tyChar
+	case p.accept("void"):
+		base = tyVoid
+	default:
+		return nil, errf(p.line(), "expected type, got %s", p.cur())
+	}
+	for p.accept("volatile") || p.accept("const") {
+	}
+	for p.accept("*") {
+		base = &Type{Kind: TypePtr, Elem: base}
+		for p.accept("volatile") || p.accept("const") {
+		}
+	}
+	return base, nil
+}
+
+// parseProgram parses a translation unit.
+func parseProgram(toks []token) (*Program, error) {
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.cur().kind != tokEOF {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, errf(nameTok.line, "expected name, got %s", nameTok)
+		}
+		if p.isPunct("(") {
+			fn, err := p.parseFunc(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobal(ty, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal(ty *Type, nameTok token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: nameTok.text, Ty: ty, Line: nameTok.line}
+	if p.accept("[") {
+		n := p.next()
+		if n.kind != tokNumber || n.num <= 0 {
+			return nil, errf(n.line, "array length must be a positive constant")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		g.Ty = &Type{Kind: TypeArray, Elem: ty, ArrayLen: int(n.num)}
+	}
+	if p.accept("=") {
+		if p.accept("{") {
+			for !p.isPunct("}") {
+				v, err := p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			if g.Ty.Kind != TypeArray {
+				return nil, errf(g.Line, "brace initializer on non-array %s", g.Name)
+			}
+			if len(g.Init) > g.Ty.ArrayLen {
+				return nil, errf(g.Line, "too many initializers for %s", g.Name)
+			}
+		} else {
+			v, err := p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		}
+	}
+	return g, p.expect(";")
+}
+
+// constExpr evaluates a constant initializer: literals with optional
+// unary minus.
+func (p *parser) constExpr() (int64, error) {
+	neg := false
+	for p.accept("-") {
+		neg = !neg
+	}
+	t := p.next()
+	if t.kind != tokNumber && t.kind != tokChar {
+		return 0, errf(t.line, "expected constant, got %s", t)
+	}
+	v := t.num
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseFunc(ret *Type, nameTok token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: nameTok.text, Ret: ret, Line: nameTok.line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.isKeyword("void") && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == ")" {
+			p.next() // void parameter list
+		} else {
+			for {
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pn := p.next()
+				if pn.kind != tokIdent {
+					return nil, errf(pn.line, "expected parameter name, got %s", pn)
+				}
+				fn.Params = append(fn.Params, Param{Name: pn.text, Ty: ty})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if len(fn.Params) > 6 {
+		return nil, errf(fn.Line, "function %s has %d parameters; at most 6 (register-passed) are supported", fn.Name, len(fn.Params))
+	}
+	if p.accept(";") {
+		return fn, nil // prototype: Body stays nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	line := p.line()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{Line: line}
+	for !p.isPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, errf(line, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+
+	case p.isTypeStart():
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, errf(nameTok.line, "expected variable name, got %s", nameTok)
+		}
+		d := &DeclStmt{Name: nameTok.text, Ty: ty, Line: line}
+		if p.accept("[") {
+			n := p.next()
+			if n.kind != tokNumber || n.num <= 0 {
+				return nil, errf(n.line, "array length must be a positive constant")
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			d.Ty = &Type{Kind: TypeArray, Elem: ty, ArrayLen: int(n.num)}
+		}
+		if p.accept("=") {
+			if p.accept("{") {
+				d.HasList = true
+				for !p.isPunct("}") {
+					v, err := p.constExpr()
+					if err != nil {
+						return nil, err
+					}
+					d.InitList = append(d.InitList, v)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+				if d.Ty.Kind != TypeArray {
+					return nil, errf(d.Line, "brace initializer on non-array %s", d.Name)
+				}
+				if len(d.InitList) > d.Ty.ArrayLen {
+					return nil, errf(d.Line, "too many initializers for %s", d.Name)
+				}
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = e
+			}
+		}
+		return d, p.expect(";")
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case p.accept("do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true, Line: line}, nil
+
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: line}
+		if !p.accept(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.isPunct(")") {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.accept("switch"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		tag, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		st := &SwitchStmt{Tag: tag, Line: line}
+		for !p.isPunct("}") {
+			if p.cur().kind == tokEOF {
+				return nil, errf(line, "unterminated switch")
+			}
+			switch {
+			case p.accept("case"):
+				v, err := p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				st.Cases = append(st.Cases, SwitchCase{Val: v, Line: p.line()})
+			case p.accept("default"):
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				if st.HasDefault {
+					return nil, errf(p.line(), "duplicate default")
+				}
+				st.HasDefault = true
+				st.DefaultIdx = len(st.Cases)
+				st.Cases = append(st.Cases, SwitchCase{IsDefault: true, Line: p.line()})
+			default:
+				if len(st.Cases) == 0 {
+					return nil, errf(p.line(), "statement before first case label")
+				}
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				c := &st.Cases[len(st.Cases)-1]
+				c.Body = append(c.Body, inner)
+			}
+		}
+		p.next()
+		return st, nil
+
+	case p.accept("return"):
+		st := &ReturnStmt{Line: line}
+		if !p.isPunct(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		return st, p.expect(";")
+
+	case p.accept("break"):
+		return &BreakStmt{Line: line}, p.expect(";")
+	case p.accept("continue"):
+		return &ContinueStmt{Line: line}, p.expect(";")
+	case p.accept(";"):
+		return &Block{Line: line}, nil
+
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e, Line: line}, p.expect(";")
+	}
+}
+
+// parseSimpleStmt is a declaration or expression without the trailing
+// semicolon (for-loop initializer).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	line := p.line()
+	if p.isTypeStart() {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, errf(nameTok.line, "expected variable name")
+		}
+		d := &DeclStmt{Name: nameTok.text, Ty: ty, Line: line}
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Line: line}, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	l, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		if op, ok := assignOps[t.text]; ok {
+			line := t.line
+			p.next()
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: op, L: l, R: r, Line: line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("?") {
+		line := p.line()
+		p.next()
+		t, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{C: c, T: t, F: f, Line: line}, nil
+	}
+	return c, nil
+}
+
+// binary precedence levels, low to high.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	l, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.isPunct(op) {
+				line := p.line()
+				p.next()
+				r, err := p.parseBinary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{Op: op, L: l, R: r, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	line := p.line()
+	switch {
+	case p.accept("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Line: line}, nil
+	case p.accept("!"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x, Line: line}, nil
+	case p.accept("~"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "~", X: x, Line: line}, nil
+	case p.accept("*"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "*", X: x, Line: line}, nil
+	case p.accept("&"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "&", X: x, Line: line}, nil
+	case p.accept("++"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "++", X: x, Line: line}, nil
+	case p.accept("--"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "--", X: x, Line: line}, nil
+	case p.accept("sizeof"):
+		if p.isPunct("(") && p.toks[p.pos+1].kind == tokKeyword {
+			p.next()
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofType{Ty: ty, Line: line}, nil
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofType{X: x, Line: line}, nil
+	case p.isPunct("(") && p.toks[p.pos+1].kind == tokKeyword && isTypeKeyword(p.toks[p.pos+1].text):
+		p.next()
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{Ty: ty, X: x, Line: line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func isTypeKeyword(s string) bool {
+	switch s {
+	case "int", "unsigned", "char", "void", "volatile", "const":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.line()
+		switch {
+		case p.accept("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Base: e, Idx: idx, Line: line}
+		case p.accept("++"):
+			e = &Postfix{Op: "++", X: e, Line: line}
+		case p.accept("--"):
+			e = &Postfix{Op: "--", X: e, Line: line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber, tokChar:
+		return &NumLit{Val: t.num, Line: t.line}, nil
+	case tokString:
+		return &StrLit{Val: t.text, Line: t.line}, nil
+	case tokIdent:
+		if p.accept("(") {
+			call := &Call{Name: t.text, Line: t.line}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, errf(t.line, "unexpected %s in expression", t)
+}

@@ -1,0 +1,146 @@
+package lcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSwitchBasics(t *testing.T) {
+	src := `
+int classify(int n) {
+    switch (n) {
+    case 0:
+        return 100;
+    case 1:
+    case 2:
+        return 200;        // shared label via fall-through
+    case 1000:
+        return 300;
+    default:
+        return 400;
+    }
+}
+int main() {
+    return classify(0) + classify(1) + classify(2) + classify(1000) + classify(7);
+}`
+	if got := runC(t, src); got != 100+200+200+300+400 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSwitchFallThroughAndBreak(t *testing.T) {
+	src := `
+int main() {
+    int x = 0;
+    switch (2) {
+    case 1:
+        x += 1;
+    case 2:
+        x += 10;           // entry point
+    case 3:
+        x += 100;          // falls through
+        break;
+    case 4:
+        x += 1000;         // not reached
+    }
+    return x;
+}`
+	if got := runC(t, src); got != 110 {
+		t.Errorf("got %d, want 110 (fall-through then break)", got)
+	}
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	src := `
+int main() {
+    int sum = 0;
+    int i;
+    for (i = 0; i < 6; i++) {
+        switch (i % 3) {
+        case 0: sum += 1; break;
+        case 1: sum += 10; break;
+        default: sum += 100; break;
+        }
+        if (i == 4) continue;   // continue still binds to the loop
+        sum += 1000;
+    }
+    return sum;
+}`
+	// i: 0,1,2,3,4,5 → case adds 1,10,100,1,10,100 = 222; +1000 for
+	// every i except 4 → +5000.
+	if got := runC(t, src); got != 5222 {
+		t.Errorf("got %d, want 5222", got)
+	}
+}
+
+func TestSwitchLargeCaseValues(t *testing.T) {
+	src := `
+int main() {
+    switch (0x12345) {
+    case 0x12345:
+        return 7;
+    }
+    return 9;
+}`
+	if got := runC(t, src); got != 7 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	src := `
+int main() {
+    int x = 5;
+    switch (x) {
+    case 1: return 1;
+    }
+    return 42;
+}`
+	if got := runC(t, src); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestPrototypesAndMutualRecursion(t *testing.T) {
+	src := `
+int isOdd(int n);
+int isEven(int n) {
+    if (n == 0) return 1;
+    return isOdd(n - 1);
+}
+int isOdd(int n) {
+    if (n == 0) return 0;
+    return isEven(n - 1);
+}
+int main() { return isEven(30) * 10 + isOdd(17); }`
+	if got := runC(t, src); got != 11 {
+		t.Errorf("mutual recursion = %d, want 11", got)
+	}
+}
+
+func TestPrototypeErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"int f(int a);\nint main() { return f(1); }", "never defined"},
+		{"int f(int a);\nint f(int a, int b) { return a; }\nint main() { return 0; }", "prototype"},
+		{"int main() { switch (1) { x = 3; } }", "before first case"},
+		{"int main() { switch (1) { default: return 1; default: return 2; } }", "duplicate default"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: err = %v, want mention of %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestUnsignedChar(t *testing.T) {
+	src := `
+unsigned char table[4] = {200, 201, 202, 203};
+int main() {
+    unsigned char c = table[2];
+    return c;
+}`
+	if got := runC(t, src); got != 202 {
+		t.Errorf("got %d", got)
+	}
+}

@@ -1,0 +1,153 @@
+package leon
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BootROMSource generates the boot PROM assembly for a system with the
+// given register-window count and initial stack top. The layout is:
+//
+//	0x0000  SPARC trap table: 256 entries × 4 instructions
+//	0x1000  CheckReady — the modified poll loop of Fig. 5
+//	....    window spill/fill handlers, IRQ stub, bad_trap, boot_start
+//
+// The original LEON boot code waited for a UART event; the modified
+// code polls main-memory location 0x40000000 until the external
+// circuitry stores a non-zero start address there, flushes the caches,
+// and jumps to the user program (Fig. 5, right column).
+func BootROMSource(nwindows int, stackTop uint32) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "! Liquid Architecture boot PROM (generated; NWINDOWS=%d)\n", nwindows)
+	fmt.Fprintf(&b, "PROG_ADDR = 0x%08X\n", MailboxProgAddr)
+	fmt.Fprintf(&b, "FAULT_TT  = 0x%08X\n", MailboxFaultTT)
+	fmt.Fprintf(&b, "FAULT_PC  = 0x%08X\n", MailboxFaultPC)
+	fmt.Fprintf(&b, "IRQ_COUNT = 0x%08X\n", MailboxIRQCount)
+	fmt.Fprintf(&b, "STACK_TOP = 0x%08X\n", stackTop)
+
+	// Trap table: one 4-instruction entry per trap type.
+	b.WriteString("\n! ---- trap table ----\n")
+	for tt := 0; tt < 256; tt++ {
+		target := "bad_trap"
+		switch {
+		case tt == 0x00:
+			target = "boot_start"
+		case tt == 0x05:
+			target = "win_ovf"
+		case tt == 0x06:
+			target = "win_unf"
+		case tt >= 0x11 && tt <= 0x1F:
+			target = "irq_stub"
+		}
+		fmt.Fprintf(&b, "\tb %s\n\tnop\n\tnop\n\tnop\n", target)
+	}
+
+	// The poll routine sits at the fixed, well-known address the
+	// external circuitry watches for (ROMPollAddr).
+	fmt.Fprintf(&b, `
+! ---- CheckReady: modified boot code of Fig. 5 ----
+	.org 0x%04X
+CheckReady:
+	set PROG_ADDR, %%g1
+poll:
+	ld [%%g1], %%g2
+	tst %%g2
+	be poll
+	nop
+	flush %%g0		! invalidate stale cache lines before the new program
+	jmp %%g2
+	nop
+
+! ---- window overflow: spill the oldest window to its stack ----
+win_ovf:
+	mov %%wim, %%l3
+	srl %%l3, 1, %%l4
+	sll %%l3, %d, %%l5
+	or %%l4, %%l5, %%l3	! l3 = WIM rotated right
+	mov 0, %%wim		! clear WIM so the spill save cannot re-trap
+	nop
+	nop
+	nop
+	save			! enter the window to be spilled
+	std %%l0, [%%sp + 0]
+	std %%l2, [%%sp + 8]
+	std %%l4, [%%sp + 16]
+	std %%l6, [%%sp + 24]
+	std %%i0, [%%sp + 32]
+	std %%i2, [%%sp + 40]
+	std %%i4, [%%sp + 48]
+	std %%i6, [%%sp + 56]
+	restore
+	mov %%l3, %%wim
+	nop
+	nop
+	nop
+	jmp %%l1		! re-execute the trapped save
+	rett %%l2
+
+! ---- window underflow: fill the needed window from its stack ----
+win_unf:
+	mov %%wim, %%l3
+	sll %%l3, 1, %%l4
+	srl %%l3, %d, %%l5
+	or %%l4, %%l5, %%l3	! l3 = WIM rotated left
+	mov 0, %%wim
+	nop
+	nop
+	nop
+	restore
+	restore			! enter the window to be filled
+	ldd [%%sp + 0], %%l0
+	ldd [%%sp + 8], %%l2
+	ldd [%%sp + 16], %%l4
+	ldd [%%sp + 24], %%l6
+	ldd [%%sp + 32], %%i0
+	ldd [%%sp + 40], %%i2
+	ldd [%%sp + 48], %%i4
+	ldd [%%sp + 56], %%i6
+	save
+	save
+	mov %%l3, %%wim
+	nop
+	nop
+	nop
+	jmp %%l1		! re-execute the trapped restore
+	rett %%l2
+
+! ---- external interrupt: count it in the mailbox and resume ----
+irq_stub:
+	set IRQ_COUNT, %%l3
+	ld [%%l3], %%l4
+	inc %%l4
+	st %%l4, [%%l3]
+	jmp %%l1
+	rett %%l2
+
+! ---- unexpected trap: record an error state for leon_ctrl (§4.1) ----
+bad_trap:
+	mov %%tbr, %%l3
+	srl %%l3, 4, %%l3
+	and %%l3, 0xff, %%l3
+	set FAULT_TT, %%l4
+	st %%l3, [%%l4]
+	set FAULT_PC, %%l4
+	st %%l1, [%%l4]
+	set CheckReady, %%l4
+	jmp %%l4
+	rett %%l4 + 4
+
+! ---- reset entry ----
+boot_start:
+	wr %%g0, 0, %%tbr
+	wr %%g0, 2, %%wim	! window 1 is the invalid (buffer) window
+	wr %%g0, 0xA0, %%psr	! S=1, ET=1, CWP=0, PIL=0
+	nop
+	nop
+	nop
+	set STACK_TOP - 64, %%sp
+	set STACK_TOP - 64, %%fp
+	ba CheckReady
+	nop
+`, ROMPollAddr-ROMBase, nwindows-1, nwindows-1)
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package leon
+
+import (
+	"errors"
+	"fmt"
+
+	"liquidarch/internal/cpu"
+)
+
+// State is the leon_ctrl state machine's externally visible state
+// (§3.1: the external circuitry sequences load → execute → return).
+type State uint8
+
+// Controller states.
+const (
+	StateReset   State = iota // before Boot
+	StateIdle                 // CPU parked in the poll loop, memory disconnected
+	StateRunning              // user program executing
+	StateDone                 // last program returned normally
+	StateFault                // last program hit an unexpected trap
+)
+
+func (s State) String() string {
+	switch s {
+	case StateReset:
+		return "reset"
+	case StateIdle:
+		return "idle"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// ErrBudget reports that a run exceeded its cycle budget.
+var ErrBudget = errors.New("leon: cycle budget exhausted")
+
+// RunResult is what the hardware cycle counter and fault mailbox report
+// after a program run.
+type RunResult struct {
+	// Cycles is the clock-cycle count from program entry to its
+	// return to the poll loop — the number the paper's Figure 8
+	// reports.
+	Cycles uint64
+	// Instructions executed by the program.
+	Instructions uint64
+	// Faulted is set when the program ended via bad_trap.
+	Faulted bool
+	// TT and FaultPC identify the fault when Faulted.
+	TT      uint8
+	FaultPC uint32
+}
+
+// Controller is the leon_ctrl entity plus the external disconnect
+// circuitry of Fig. 6: it monitors the LEON's address bus (here: its
+// PC), connects and disconnects main memory, loads programs through
+// the user port, and counts execution cycles.
+type Controller struct {
+	soc   *SoC
+	state State
+	last  RunResult
+}
+
+// NewController wraps a freshly built SoC.
+func NewController(soc *SoC) *Controller {
+	return &Controller{soc: soc}
+}
+
+// SoC returns the underlying processor system.
+func (c *Controller) SoC() *SoC { return c.soc }
+
+// State returns the current controller state.
+func (c *Controller) State() State { return c.state }
+
+// LastResult returns the result of the most recent run.
+func (c *Controller) LastResult() RunResult { return c.last }
+
+// Boot lets the CPU run the boot ROM until it parks in the poll loop
+// with main memory disconnected. Call once after New.
+func (c *Controller) Boot() error {
+	if c.state != StateReset {
+		return fmt.Errorf("leon: Boot in state %v", c.state)
+	}
+	c.soc.sramSwitch.connected = false
+	c.soc.CPU.Reset()
+	const budget = 1 << 16
+	for i := 0; i < budget; i++ {
+		if c.soc.CPU.PC() == ROMPollAddr {
+			c.state = StateIdle
+			return nil
+		}
+		if err := c.soc.Step(); err != nil {
+			return fmt.Errorf("leon: boot failed: %w", err)
+		}
+	}
+	return fmt.Errorf("leon: boot did not reach the poll loop: %w", ErrBudget)
+}
+
+// LoadProgram writes a program image into SRAM through the user-side
+// port while the CPU is disconnected (the paper's load path: "programs
+// are sent to the FPX via UDP packets, then written directly to main
+// memory").
+func (c *Controller) LoadProgram(addr uint32, image []byte) error {
+	if c.state == StateRunning || c.state == StateReset {
+		return fmt.Errorf("leon: cannot load in state %v", c.state)
+	}
+	if addr < MailboxEnd {
+		return fmt.Errorf("leon: load address %#x overlaps the mailbox page", addr)
+	}
+	if addr < SRAMBase || uint64(addr)+uint64(len(image)) > uint64(SRAMBase)+uint64(c.soc.Config.SRAMSize) {
+		return fmt.Errorf("leon: load [%#x,+%d) outside SRAM", addr, len(image))
+	}
+	return c.soc.SRAM.Poke(addr-SRAMBase, image)
+}
+
+// Execute starts the program at entry and runs it to completion: it
+// stores the start address in the poll word, reconnects main memory,
+// lets the CPU jump in, and watches the address bus for the return to
+// the poll routine, at which point it disconnects memory again and
+// reports the cycle count. maxCycles bounds the run (0 means a large
+// default).
+func (c *Controller) Execute(entry uint32, maxCycles uint64) (RunResult, error) {
+	if c.state != StateIdle && c.state != StateDone && c.state != StateFault {
+		return RunResult{}, fmt.Errorf("leon: cannot execute in state %v", c.state)
+	}
+	if entry < MailboxEnd || entry >= SRAMBase+uint32(c.soc.Config.SRAMSize) {
+		return RunResult{}, fmt.Errorf("leon: entry %#x outside user SRAM", entry)
+	}
+	if maxCycles == 0 {
+		maxCycles = 1 << 32
+	}
+	// Clear the fault mailbox, publish the start address, reconnect.
+	sram := c.soc.SRAM
+	for _, off := range []uint32{MailboxFaultTT, MailboxFaultPC} {
+		if err := sram.Poke32(off-SRAMBase, 0); err != nil {
+			return RunResult{}, err
+		}
+	}
+	if err := sram.Poke32(MailboxProgAddr-SRAMBase, entry); err != nil {
+		return RunResult{}, err
+	}
+	c.soc.sramSwitch.connected = true
+	c.state = StateRunning
+
+	finish := func(res RunResult) (RunResult, error) {
+		c.soc.sramSwitch.connected = false
+		// Zero the poll word so a reconnect without a new program
+		// does not re-run the old one.
+		if err := sram.Poke32(MailboxProgAddr-SRAMBase, 0); err != nil {
+			return res, err
+		}
+		c.last = res
+		if res.Faulted {
+			c.state = StateFault
+		} else {
+			c.state = StateDone
+		}
+		return res, nil
+	}
+
+	limit := c.soc.CPU.Cycles + maxCycles
+	// Phase 1: wait for the poll loop to pick up the address and jump
+	// into the program.
+	for c.soc.CPU.PC() != entry {
+		if c.soc.CPU.Cycles > limit {
+			c.state = StateIdle
+			c.soc.sramSwitch.connected = false
+			return RunResult{}, fmt.Errorf("leon: program never entered: %w", ErrBudget)
+		}
+		if err := c.soc.Step(); err != nil {
+			return c.errorMode(err)
+		}
+	}
+	startCycles := c.soc.CPU.Cycles
+	startInsts := c.soc.CPU.Stats().Instructions
+
+	// Phase 2: run until the CPU returns to the poll routine.
+	for c.soc.CPU.PC() != ROMPollAddr {
+		if c.soc.CPU.Cycles > limit {
+			res, _ := finish(RunResult{
+				Cycles:       c.soc.CPU.Cycles - startCycles,
+				Instructions: c.soc.CPU.Stats().Instructions - startInsts,
+				Faulted:      true,
+			})
+			return res, fmt.Errorf("leon: %w after %d cycles", ErrBudget, res.Cycles)
+		}
+		if err := c.soc.Step(); err != nil {
+			return c.errorMode(err)
+		}
+	}
+	res := RunResult{
+		Cycles:       c.soc.CPU.Cycles - startCycles,
+		Instructions: c.soc.CPU.Stats().Instructions - startInsts,
+	}
+	// A bad_trap during the run lands back at the poll loop with the
+	// fault mailbox filled in.
+	if tt, err := sram.Peek32(MailboxFaultTT - SRAMBase); err == nil && tt != 0 {
+		res.Faulted = true
+		res.TT = uint8(tt)
+		pc, _ := sram.Peek32(MailboxFaultPC - SRAMBase)
+		res.FaultPC = pc
+	}
+	return finish(res)
+}
+
+// errorMode handles a CPU error-mode freeze: record it as a fault and
+// re-boot the processor (the FPX would reload the bitfile).
+func (c *Controller) errorMode(err error) (RunResult, error) {
+	res := RunResult{Faulted: true}
+	var em *cpu.ErrorMode
+	if errors.As(err, &em) {
+		res.TT = em.TT
+		res.FaultPC = em.PC
+	}
+	c.last = res
+	c.state = StateReset
+	if berr := c.Boot(); berr != nil {
+		return res, fmt.Errorf("leon: error mode (%v) and reboot failed: %w", err, berr)
+	}
+	c.state = StateFault
+	return res, err
+}
+
+// ReadMemory reads n bytes at addr through the user-side ports: SRAM
+// via the leon_ctrl port, SDRAM via the controller's network module
+// port (the FPX SDRAM controller arbitrates both, §2.4).
+func (c *Controller) ReadMemory(addr uint32, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("leon: negative read length %d", n)
+	}
+	out := make([]byte, n)
+	switch {
+	case addr >= SRAMBase && uint64(addr)+uint64(n) <= uint64(SRAMBase)+uint64(c.soc.Config.SRAMSize):
+		if err := c.soc.SRAM.Peek(addr-SRAMBase, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case addr >= SDRAMBase && uint64(addr)+uint64(n) <= uint64(SDRAMBase)+uint64(c.soc.Config.SDRAMSize):
+		return c.readSDRAM(addr-SDRAMBase, n)
+	default:
+		return nil, fmt.Errorf("leon: read [%#x,+%d) outside user memory", addr, n)
+	}
+}
+
+// WriteMemory writes bytes at addr through the user-side SRAM port.
+func (c *Controller) WriteMemory(addr uint32, p []byte) error {
+	if c.state == StateRunning {
+		return fmt.Errorf("leon: cannot write memory while running")
+	}
+	if addr < SRAMBase || uint64(addr)+uint64(len(p)) > uint64(SRAMBase)+uint64(c.soc.Config.SRAMSize) {
+		return fmt.Errorf("leon: write [%#x,+%d) outside SRAM", addr, len(p))
+	}
+	return c.soc.SRAM.Poke(addr-SRAMBase, p)
+}
+
+// readSDRAM reads via the network-side controller port in 64-bit
+// bursts.
+func (c *Controller) readSDRAM(off uint32, n int) ([]byte, error) {
+	start := off &^ 7
+	end := (off + uint32(n) + 7) &^ 7
+	words := make([]uint64, (end-start)/8)
+	const chunk = 64 // controller burst limit
+	for i := 0; i < len(words); i += chunk {
+		j := i + chunk
+		if j > len(words) {
+			j = len(words)
+		}
+		if _, err := c.soc.NetPort.ReadBurst(start+uint32(i)*8, words[i:j]); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(w >> ((7 - b) * 8))
+		}
+	}
+	return buf[off-start : off-start+uint32(n)], nil
+}
+
+// IRQCount returns the mailbox interrupt counter maintained by the ROM
+// interrupt stub.
+func (c *Controller) IRQCount() uint32 {
+	v, _ := c.soc.SRAM.Peek32(MailboxIRQCount - SRAMBase)
+	return v
+}

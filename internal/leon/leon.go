@@ -1,0 +1,474 @@
+// Package leon assembles the Liquid processor system of Fig. 3: the
+// LEON SPARC-compatible CPU with its instruction and data caches, the
+// AMBA AHB backbone, the boot PROM, the FPX SRAM holding user code, the
+// SDRAM behind the §3.2 adapter, the APB peripherals, and the leon_ctrl
+// external circuitry of §3.1 that disconnects the processor from main
+// memory, hands off user programs and counts their clock cycles.
+package leon
+
+import (
+	"fmt"
+	"io"
+
+	"liquidarch/internal/ahbadapter"
+	"liquidarch/internal/amba"
+	"liquidarch/internal/asm"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/mem"
+	"liquidarch/internal/periph"
+)
+
+// Memory map (LEON2-like, §2.3).
+const (
+	ROMBase   = 0x00000000
+	ROMSize   = 64 << 10
+	SRAMBase  = 0x40000000
+	SDRAMBase = 0x60000000
+	APBBase   = 0x80000000
+	APBSize   = 0x10000
+
+	// APB device offsets.
+	APBCacheCtrl = 0x10
+	APBTimer     = 0x40
+	APBPrescaler = 0x60
+	APBUART      = 0x70
+	APBIRQCtrl   = 0x90
+	APBGPIO      = 0xA0
+
+	// Interrupt lines.
+	IRQTimer = 8
+	IRQUART  = 3
+
+	// Mailbox words at the bottom of SRAM (§3.1): the poll word the
+	// modified boot ROM watches, plus fault and interrupt counters
+	// maintained by the ROM trap handlers. The mailbox page is
+	// uncacheable so the poll loop observes leon_ctrl's writes.
+	MailboxProgAddr = SRAMBase + 0x00 // start address of the loaded program
+	MailboxFaultTT  = SRAMBase + 0x04 // trap type recorded by bad_trap
+	MailboxFaultPC  = SRAMBase + 0x08 // faulting PC recorded by bad_trap
+	MailboxIRQCount = SRAMBase + 0x0C // incremented by the ROM IRQ stub
+	MailboxEnd      = SRAMBase + 0x100
+
+	// DefaultLoadAddr is where user programs are placed by default.
+	DefaultLoadAddr = SRAMBase + 0x1000
+
+	// ROMPollAddr is the fixed address of the CheckReady poll routine
+	// in the boot ROM (Fig. 5); user programs return by jumping here,
+	// and leon_ctrl detects that return by watching the address bus.
+	ROMPollAddr = ROMBase + 0x1000
+)
+
+// Config describes one point in the liquid-architecture configuration
+// space of the whole processor system.
+type Config struct {
+	CPU    cpu.Config
+	ICache cache.Config
+	DCache cache.Config
+
+	// SRAMSize and SDRAMSize are the memory capacities in bytes.
+	SRAMSize  int
+	SDRAMSize int
+
+	// BurstWords is the adapter's read chunk (§3.2; the paper uses 4).
+	BurstWords int
+
+	// ClockMHz is the synthesized system clock (Fig. 10: 30 MHz).
+	ClockMHz float64
+}
+
+// DefaultConfig is the base Liquid processor system: LEON2 defaults
+// with the paper's constant 1 KB instruction cache and a 4 KB data
+// cache, both with 32-byte lines.
+func DefaultConfig() Config {
+	return Config{
+		CPU:        cpu.DefaultConfig(),
+		ICache:     cache.Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 1},
+		DCache:     cache.Config{SizeBytes: 4 << 10, LineBytes: 32, Assoc: 1},
+		SRAMSize:   2 << 20,
+		SDRAMSize:  8 << 20,
+		BurstWords: 4,
+		ClockMHz:   30,
+	}
+}
+
+// Validate checks the whole configuration.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.ICache.Validate(); err != nil {
+		return fmt.Errorf("icache: %w", err)
+	}
+	if err := c.DCache.Validate(); err != nil {
+		return fmt.Errorf("dcache: %w", err)
+	}
+	if c.SRAMSize < int(MailboxEnd-SRAMBase)+4096 {
+		return fmt.Errorf("leon: SRAM size %d too small", c.SRAMSize)
+	}
+	if c.SDRAMSize < 4096 {
+		return fmt.Errorf("leon: SDRAM size %d too small", c.SDRAMSize)
+	}
+	if c.BurstWords < 1 {
+		return fmt.Errorf("leon: burst words %d invalid", c.BurstWords)
+	}
+	if c.ClockMHz <= 0 {
+		return fmt.Errorf("leon: clock %v MHz invalid", c.ClockMHz)
+	}
+	return nil
+}
+
+// SoC is one instantiated Liquid processor system.
+type SoC struct {
+	Config Config
+
+	CPU    *cpu.CPU
+	Bus    *amba.AHB
+	ICache *cache.Cache
+	DCache *cache.Cache
+
+	SRAM      *mem.SRAM
+	SDRAM     *mem.SDRAM
+	SDRAMCtrl *mem.Controller
+	Adapter   *ahbadapter.Adapter
+	NetPort   *mem.Port // second SDRAM controller port (network side)
+
+	APB       *amba.APB
+	IRQCtrl   *periph.IRQCtrl
+	Timer     *periph.Timer
+	Prescaler *periph.Prescaler
+	UART      *periph.UART
+	GPIO      *periph.GPIO
+
+	ROM     *ROM
+	BootMap map[string]uint32 // boot ROM symbol table
+
+	sramSwitch *sramSwitch
+	imem, dmem *splitMem
+}
+
+// New builds and boots a Liquid processor system. UART transmit output
+// goes to uartOut (nil discards it). On return the CPU is parked in the
+// boot ROM's poll loop with main memory disconnected, exactly the §3.1
+// idle state.
+func New(cfg Config, uartOut io.Writer) (*SoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SoC{Config: cfg}
+
+	// Peripherals.
+	s.IRQCtrl = &periph.IRQCtrl{}
+	s.Timer = periph.NewTimer(s.IRQCtrl, IRQTimer)
+	s.Prescaler = periph.NewPrescaler(s.Timer)
+	s.UART = periph.NewUART(uartOut, s.IRQCtrl, IRQUART)
+	s.GPIO = &periph.GPIO{}
+
+	s.APB = amba.NewAPB()
+	for _, d := range []struct {
+		name string
+		base uint32
+		size uint32
+		dev  amba.Device
+	}{
+		{"timer", APBTimer, 0x10, s.Timer},
+		{"prescaler", APBPrescaler, 0x10, s.Prescaler},
+		{"uart", APBUART, 0x10, s.UART},
+		{"irqctrl", APBIRQCtrl, 0x10, s.IRQCtrl},
+		{"gpio", APBGPIO, 0x10, s.GPIO},
+	} {
+		if err := s.APB.Map(d.name, d.base, d.size, d.dev); err != nil {
+			return nil, err
+		}
+	}
+
+	// Memories.
+	s.SRAM = mem.NewSRAM(cfg.SRAMSize)
+	s.sramSwitch = &sramSwitch{inner: s.SRAM}
+	s.SDRAM = mem.NewSDRAM(cfg.SDRAMSize)
+	s.SDRAMCtrl = mem.NewController(s.SDRAM)
+	leonPort, err := s.SDRAMCtrl.Port("leon")
+	if err != nil {
+		return nil, err
+	}
+	s.NetPort, err = s.SDRAMCtrl.Port("network")
+	if err != nil {
+		return nil, err
+	}
+	s.Adapter = ahbadapter.New(leonPort)
+	s.Adapter.BurstWords = cfg.BurstWords
+
+	// Boot ROM.
+	roms, err := BuildBootROM(cfg.CPU.NWindows, SRAMBase+uint32(cfg.SRAMSize))
+	if err != nil {
+		return nil, fmt.Errorf("leon: boot ROM: %w", err)
+	}
+	s.ROM = roms
+	s.BootMap = roms.Symbols
+
+	// Bus.
+	s.Bus = amba.NewAHB()
+	for _, m := range []struct {
+		name string
+		base uint32
+		size uint32
+		sl   amba.Slave
+	}{
+		{"prom", ROMBase, ROMSize, s.ROM},
+		{"sram", SRAMBase, uint32(cfg.SRAMSize), s.sramSwitch},
+		{"sdram", SDRAMBase, uint32(cfg.SDRAMSize), s.Adapter},
+		{"apb", APBBase, APBSize, s.APB},
+	} {
+		if err := s.Bus.Map(m.name, m.base, m.size, m.sl); err != nil {
+			return nil, err
+		}
+	}
+
+	// Caches and the cacheability mux. Both memory paths go through
+	// swappable muxes so partial reconfiguration (SwapCaches) can
+	// replace the cache modules under a live CPU.
+	s.ICache, err = cache.New(cfg.ICache, s.Bus)
+	if err != nil {
+		return nil, fmt.Errorf("icache: %w", err)
+	}
+	s.DCache, err = cache.New(cfg.DCache, s.Bus)
+	if err != nil {
+		return nil, fmt.Errorf("dcache: %w", err)
+	}
+	s.imem = &splitMem{cached: s.ICache, bus: s.Bus, alwaysCached: true}
+	s.dmem = &splitMem{cached: s.DCache, bus: s.Bus}
+
+	s.CPU, err = cpu.New(cfg.CPU, s.imem, s.dmem, s.IRQCtrl)
+	if err != nil {
+		return nil, err
+	}
+	// Cache control register (LEON2's CCR): software enable/disable
+	// and flush of both caches. Mapped late so it can reach the live
+	// cache instances even across partial reconfigurations.
+	if err := s.APB.Map("ccr", APBCacheCtrl, 0x10, &cacheCtrl{soc: s}); err != nil {
+		return nil, err
+	}
+	s.CPU.FlushFn = func() (int, error) {
+		n1, err := s.ICache.Flush()
+		if err != nil {
+			return n1, err
+		}
+		n2, err := s.DCache.Flush()
+		return n1 + n2, err
+	}
+	return s, nil
+}
+
+// Step executes one CPU instruction and ticks the peripheral clock by
+// the cycles it consumed.
+func (s *SoC) Step() error {
+	before := s.CPU.Cycles
+	err := s.CPU.Step()
+	s.Prescaler.Tick(s.CPU.Cycles - before)
+	return err
+}
+
+// Cycles returns the hardware cycle counter.
+func (s *SoC) Cycles() uint64 { return s.CPU.Cycles }
+
+// Seconds converts a cycle count to wall-clock seconds at the
+// synthesized frequency.
+func (s *SoC) Seconds(cycles uint64) float64 {
+	return float64(cycles) / (s.Config.ClockMHz * 1e6)
+}
+
+// SwapCaches performs a partial runtime reconfiguration in the sense
+// of the paper's reference [2] (Dynamic Hardware Plugins): the cache
+// modules are replaced with newly parameterized instances while the
+// rest of the fabric — CPU state, memories, peripherals — stays live.
+// Dirty write-back lines are flushed to memory before the old data
+// cache is discarded.
+func (s *SoC) SwapCaches(icfg, dcfg cache.Config) error {
+	newI, err := cache.New(icfg, s.Bus)
+	if err != nil {
+		return fmt.Errorf("leon: swap icache: %w", err)
+	}
+	newD, err := cache.New(dcfg, s.Bus)
+	if err != nil {
+		return fmt.Errorf("leon: swap dcache: %w", err)
+	}
+	if _, err := s.DCache.Flush(); err != nil {
+		return fmt.Errorf("leon: flush before swap: %w", err)
+	}
+	s.ICache, s.DCache = newI, newD
+	s.imem.cached = newI
+	s.dmem.cached = newD
+	s.Config.ICache = icfg
+	s.Config.DCache = dcfg
+	return nil
+}
+
+// Cache control register bits (LEON2-like CCR subset).
+const (
+	CCREnableICache = 1 << 0
+	CCREnableDCache = 1 << 1
+	CCRFlush        = 1 << 2 // write-only: flush both caches
+)
+
+// cacheCtrl is the CCR APB device. It always addresses the SoC's
+// current cache instances, so it stays correct across SwapCaches.
+type cacheCtrl struct {
+	soc *SoC
+}
+
+// ReadReg implements amba.Device.
+func (c *cacheCtrl) ReadReg(off uint32) (uint32, error) {
+	if off != 0 {
+		return 0, fmt.Errorf("leon: ccr has no register at %#x", off)
+	}
+	var v uint32
+	if c.soc.ICache.Enabled() {
+		v |= CCREnableICache
+	}
+	if c.soc.DCache.Enabled() {
+		v |= CCREnableDCache
+	}
+	return v, nil
+}
+
+// WriteReg implements amba.Device.
+func (c *cacheCtrl) WriteReg(off uint32, v uint32) error {
+	if off != 0 {
+		return fmt.Errorf("leon: ccr has no register at %#x", off)
+	}
+	c.soc.ICache.SetEnabled(v&CCREnableICache != 0)
+	c.soc.DCache.SetEnabled(v&CCREnableDCache != 0)
+	if v&CCRFlush != 0 {
+		if _, err := c.soc.ICache.Flush(); err != nil {
+			return err
+		}
+		if _, err := c.soc.DCache.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitMem routes data accesses either through the data cache or, for
+// the uncacheable areas (the SRAM mailbox page and the APB peripheral
+// space), directly to the bus. LEON marks I/O regions uncacheable; the
+// mailbox page must also bypass the cache so the poll loop of Fig. 5
+// observes values written by the external circuitry.
+type splitMem struct {
+	cached       cpu.Memory
+	bus          *amba.AHB
+	alwaysCached bool // instruction path: no uncacheable windows
+}
+
+func uncacheable(addr uint32) bool {
+	return addr >= APBBase && addr < APBBase+APBSize ||
+		addr >= MailboxProgAddr && addr < MailboxEnd
+}
+
+func (m *splitMem) Read(addr uint32, size amba.Size) (uint32, int, error) {
+	if !m.alwaysCached && uncacheable(addr) {
+		return m.bus.Read(addr, size)
+	}
+	return m.cached.Read(addr, size)
+}
+
+func (m *splitMem) Write(addr uint32, val uint32, size amba.Size) (int, error) {
+	if uncacheable(addr) {
+		return m.bus.Write(addr, val, size)
+	}
+	return m.cached.Write(addr, val, size)
+}
+
+// ROM is the boot PROM: read-only storage assembled from the modified
+// LEON boot code of Fig. 5.
+type ROM struct {
+	data    []byte
+	Symbols map[string]uint32
+	// WaitStates per access (PROMs are slow; LEON default timing).
+	WaitStates int
+}
+
+// BuildBootROM assembles the boot PROM image for a system with the
+// given window count and initial stack top.
+func BuildBootROM(nwindows int, stackTop uint32) (*ROM, error) {
+	src := BootROMSource(nwindows, stackTop)
+	obj, err := asm.AssembleAt(src, ROMBase)
+	if err != nil {
+		return nil, err
+	}
+	if obj.Size() > ROMSize {
+		return nil, fmt.Errorf("boot ROM %d bytes exceeds %d", obj.Size(), ROMSize)
+	}
+	data := make([]byte, ROMSize)
+	copy(data, obj.Code)
+	return &ROM{data: data, Symbols: obj.Symbols, WaitStates: 2}, nil
+}
+
+// Read implements amba.Slave.
+func (r *ROM) Read(addr uint32, size amba.Size) (uint32, int, error) {
+	if int(addr)+int(size) > len(r.data) {
+		return 0, 0, &amba.BusError{Addr: addr}
+	}
+	var v uint32
+	switch size {
+	case amba.SizeWord:
+		v = uint32(r.data[addr])<<24 | uint32(r.data[addr+1])<<16 |
+			uint32(r.data[addr+2])<<8 | uint32(r.data[addr+3])
+	case amba.SizeHalf:
+		v = uint32(r.data[addr])<<8 | uint32(r.data[addr+1])
+	default:
+		v = uint32(r.data[addr])
+	}
+	return v, r.WaitStates, nil
+}
+
+// Write implements amba.Slave; PROM writes are bus errors.
+func (r *ROM) Write(addr uint32, val uint32, size amba.Size) (int, error) {
+	return 0, &amba.BusError{Addr: addr, Write: true}
+}
+
+// ReadBurst implements amba.Slave.
+func (r *ROM) ReadBurst(addr uint32, words []uint32) (int, error) {
+	if int(addr)+len(words)*4 > len(r.data) {
+		return 0, &amba.BusError{Addr: addr}
+	}
+	for i := range words {
+		off := addr + uint32(i)*4
+		words[i] = uint32(r.data[off])<<24 | uint32(r.data[off+1])<<16 |
+			uint32(r.data[off+2])<<8 | uint32(r.data[off+3])
+	}
+	return r.WaitStates + len(words), nil
+}
+
+// sramSwitch is the external circuitry of Fig. 6 between the LEON and
+// main memory: while disconnected it drives zeros on the processor's
+// data bus and ignores writes, so the boot ROM's poll loop keeps
+// reading zero. The user-side port (SRAM.Poke/Peek) is unaffected.
+type sramSwitch struct {
+	inner     *mem.SRAM
+	connected bool
+}
+
+func (s *sramSwitch) Read(addr uint32, size amba.Size) (uint32, int, error) {
+	if !s.connected {
+		return 0, s.inner.WaitStates, nil
+	}
+	return s.inner.Read(addr, size)
+}
+
+func (s *sramSwitch) Write(addr uint32, val uint32, size amba.Size) (int, error) {
+	if !s.connected {
+		return s.inner.WaitStates, nil
+	}
+	return s.inner.Write(addr, val, size)
+}
+
+func (s *sramSwitch) ReadBurst(addr uint32, words []uint32) (int, error) {
+	if !s.connected {
+		for i := range words {
+			words[i] = 0
+		}
+		return s.inner.WaitStates + len(words), nil
+	}
+	return s.inner.ReadBurst(addr, words)
+}

@@ -1,0 +1,113 @@
+// Package link builds loadable memory images for the Liquid processor:
+// the LD + OBJCOPY steps of the paper's flow (Fig. 4). It prepends the
+// C runtime stub (_start), assembles everything at the load origin,
+// and produces the flat binary that goes into UDP load packets.
+//
+// The runtime convention matches §3.1: the image's first instruction
+// is the entry point; on return from main the stub stores main's
+// return value at the exported __exit_value word and jumps back to the
+// boot ROM's poll routine, which the leon_ctrl circuitry detects.
+package link
+
+import (
+	"fmt"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/leon"
+)
+
+// Options configures image building.
+type Options struct {
+	// Origin is the SRAM load address (default leon.DefaultLoadAddr).
+	Origin uint32
+	// StackTop resets the stack at program entry (default: top of the
+	// default 2 MB SRAM).
+	StackTop uint32
+	// Standalone omits the crt0 stub: the source provides its own
+	// _start and return-to-poll sequence.
+	Standalone bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Origin == 0 {
+		o.Origin = leon.DefaultLoadAddr
+	}
+	if o.StackTop == 0 {
+		o.StackTop = leon.SRAMBase + 2<<20
+	}
+	return o
+}
+
+// Image is a linked, loadable program.
+type Image struct {
+	// Entry is the address to start execution at.
+	Entry uint32
+	// Origin is the load address of Code.
+	Origin uint32
+	// Code is the flat big-endian image.
+	Code []byte
+	// Symbols maps labels (including __exit_value) to addresses.
+	Symbols map[string]uint32
+}
+
+// Symbol returns a label's address.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	v, ok := im.Symbols[name]
+	return v, ok
+}
+
+// ExitValueAddr returns the address where crt0 stores main's return
+// value (0 for standalone images without the symbol).
+func (im *Image) ExitValueAddr() uint32 {
+	v := im.Symbols["__exit_value"]
+	return v
+}
+
+// crt0 is the C runtime stub. It resets the stack (programs are loaded
+// repeatedly into a live system), calls main, publishes the exit value
+// and jumps to the boot ROM poll routine.
+func crt0(stackTop uint32) string {
+	return fmt.Sprintf(`
+! crt0: Liquid C runtime entry
+_start:
+	set 0x%08X, %%sp
+	mov %%sp, %%fp
+	call main
+	nop
+	set __exit_value, %%g1
+	st %%o0, [%%g1]
+	flush %%g0		! write back dirty lines before leon_ctrl
+	set 0x%08X, %%g1	! disconnects main memory (write-back configs)
+	jmp %%g1
+	nop
+	.align 4
+__exit_value:
+	.word 0
+
+`, stackTop-64, leon.ROMPollAddr)
+}
+
+// Build assembles program assembly (e.g. lcc output) into an image.
+func Build(asmSrc string, opts Options) (*Image, error) {
+	opts = opts.withDefaults()
+	src := asmSrc
+	if !opts.Standalone {
+		src = crt0(opts.StackTop) + asmSrc
+	}
+	obj, err := asm.AssembleAt(src, opts.Origin)
+	if err != nil {
+		return nil, fmt.Errorf("link: %w", err)
+	}
+	entry := opts.Origin
+	if opts.Standalone {
+		if s, ok := obj.Symbol("_start"); ok {
+			entry = s
+		}
+	}
+	return &Image{
+		Entry:   entry,
+		Origin:  opts.Origin,
+		Code:    obj.Code,
+		Symbols: obj.Symbols,
+	}, nil
+}

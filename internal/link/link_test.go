@@ -1,0 +1,95 @@
+package link
+
+import (
+	"testing"
+
+	"liquidarch/internal/leon"
+)
+
+const trivialMain = `
+main:
+	retl
+	mov 7, %o0
+`
+
+func TestBuildDefaults(t *testing.T) {
+	img, err := Build(trivialMain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Origin != leon.DefaultLoadAddr || img.Entry != img.Origin {
+		t.Errorf("origin=%#x entry=%#x", img.Origin, img.Entry)
+	}
+	if img.ExitValueAddr() == 0 {
+		t.Error("no __exit_value symbol")
+	}
+	if _, ok := img.Symbol("_start"); !ok {
+		t.Error("no _start symbol")
+	}
+	if len(img.Code)%4 != 0 || len(img.Code) == 0 {
+		t.Errorf("image size %d", len(img.Code))
+	}
+}
+
+func TestBuildRunsOnLEON(t *testing.T) {
+	img, err := Build(trivialMain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Execute(img.Entry, 0)
+	if err != nil || res.Faulted {
+		t.Fatalf("run: %v %+v", err, res)
+	}
+	out, err := ctrl.ReadMemory(img.ExitValueAddr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint32(out[0])<<24 | uint32(out[1])<<16 | uint32(out[2])<<8 | uint32(out[3]); got != 7 {
+		t.Errorf("exit value = %d, want 7", got)
+	}
+}
+
+func TestStandalone(t *testing.T) {
+	src := `
+	nop
+_start:
+	set 0x1000, %g1
+	jmp %g1
+	nop
+`
+	img, err := Build(src, Options{Standalone: true, Origin: leon.DefaultLoadAddr + 0x100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != leon.DefaultLoadAddr+0x104 {
+		t.Errorf("entry = %#x, want _start", img.Entry)
+	}
+	if img.ExitValueAddr() != 0 {
+		t.Error("standalone image grew an exit value")
+	}
+}
+
+func TestBuildErrorPropagates(t *testing.T) {
+	if _, err := Build("bogus instruction", Options{}); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}
+
+func TestCustomStackTop(t *testing.T) {
+	img, err := Build(trivialMain, Options{StackTop: leon.SRAMBase + 0x10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = img // the stack value is baked into crt0; execution covered above
+}

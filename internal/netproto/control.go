@@ -1,0 +1,333 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Command codes (§2.6). The paper defines status/load/start/read; the
+// liquid extensions add write-memory and reconfigure.
+const (
+	CmdStatus      uint8 = 0x01 // "to check if LEON has started up"
+	CmdLoadProgram uint8 = 0x02 // "to load a program into LEON"
+	CmdStartLEON   uint8 = 0x03 // "to instruct LEON to execute the program"
+	CmdReadMemory  uint8 = 0x04 // "to read the result"
+	CmdWriteMemory uint8 = 0x05
+	CmdReconfigure uint8 = 0x06 // swap in a pre-generated architecture image
+	CmdGetConfig   uint8 = 0x07 // report the active configuration
+	CmdTraceReport uint8 = 0x08 // pull the last run's instrumented trace summary
+
+	// RespFlag marks a response to the command in the low bits.
+	RespFlag uint8 = 0x80
+
+	// CmdError is the response command for failures; the body is an
+	// ErrorResp whose Code holds the original command.
+	CmdError uint8 = 0xFF
+)
+
+// Response status codes.
+const (
+	StatusOK      uint8 = 0
+	StatusError   uint8 = 1
+	StatusFault   uint8 = 2 // program ended via a trap
+	StatusPending uint8 = 3 // more load chunks expected
+)
+
+// Magic and version identify Liquid control packets so the CPP can
+// route them (other traffic passes through the wrappers untouched).
+var Magic = [2]byte{'L', 'Q'}
+
+// Version is the control protocol version.
+const Version uint8 = 1
+
+// headerLen is magic(2) + version(1) + command(1).
+const headerLen = 4
+
+// Packet is one control packet: a command code plus its body.
+type Packet struct {
+	Command uint8
+	Body    []byte
+}
+
+// Marshal produces the UDP payload for the packet.
+func (p Packet) Marshal() []byte {
+	out := make([]byte, headerLen+len(p.Body))
+	out[0], out[1] = Magic[0], Magic[1]
+	out[2] = Version
+	out[3] = p.Command
+	copy(out[headerLen:], p.Body)
+	return out
+}
+
+// ParsePacket validates the header and returns the command and body.
+func ParsePacket(b []byte) (Packet, error) {
+	if len(b) < headerLen {
+		return Packet{}, fmt.Errorf("netproto: control packet truncated (%d bytes)", len(b))
+	}
+	if b[0] != Magic[0] || b[1] != Magic[1] {
+		return Packet{}, fmt.Errorf("netproto: bad magic %#02x%02x", b[0], b[1])
+	}
+	if b[2] != Version {
+		return Packet{}, fmt.Errorf("netproto: unsupported version %d", b[2])
+	}
+	return Packet{Command: b[3], Body: b[headerLen:]}, nil
+}
+
+// IsLiquidPacket reports whether a UDP payload carries the control
+// magic — the test the Control Packet Processor uses to route traffic
+// to the LEON controller versus passing it through.
+func IsLiquidPacket(b []byte) bool {
+	return len(b) >= headerLen && b[0] == Magic[0] && b[1] == Magic[1]
+}
+
+// LoadChunk is one piece of a (possibly multi-packet) program load.
+// The paper's payload carries a packet sequence number, the memory
+// address where the program is loaded, and the data; UDP does not
+// guarantee order, so the receiver reassembles by sequence number.
+type LoadChunk struct {
+	Seq      uint16 // 0-based chunk index
+	Total    uint16 // number of chunks in this load
+	Addr     uint32 // load address of the WHOLE image
+	TotalLen uint32 // total image length in bytes
+	Offset   uint32 // byte offset of this chunk within the image
+	Data     []byte
+}
+
+// loadChunkHeaderLen is the fixed part of a LoadChunk body.
+const loadChunkHeaderLen = 2 + 2 + 4 + 4 + 4
+
+// MaxChunkData is the largest chunk payload; frames stay under typical
+// MTUs.
+const MaxChunkData = 1024
+
+// Marshal encodes the chunk body.
+func (c LoadChunk) Marshal() []byte {
+	b := make([]byte, loadChunkHeaderLen+len(c.Data))
+	binary.BigEndian.PutUint16(b[0:], c.Seq)
+	binary.BigEndian.PutUint16(b[2:], c.Total)
+	binary.BigEndian.PutUint32(b[4:], c.Addr)
+	binary.BigEndian.PutUint32(b[8:], c.TotalLen)
+	binary.BigEndian.PutUint32(b[12:], c.Offset)
+	copy(b[loadChunkHeaderLen:], c.Data)
+	return b
+}
+
+// ParseLoadChunk decodes a chunk body.
+func ParseLoadChunk(b []byte) (LoadChunk, error) {
+	var c LoadChunk
+	if len(b) < loadChunkHeaderLen {
+		return c, fmt.Errorf("netproto: load chunk truncated (%d bytes)", len(b))
+	}
+	c.Seq = binary.BigEndian.Uint16(b[0:])
+	c.Total = binary.BigEndian.Uint16(b[2:])
+	c.Addr = binary.BigEndian.Uint32(b[4:])
+	c.TotalLen = binary.BigEndian.Uint32(b[8:])
+	c.Offset = binary.BigEndian.Uint32(b[12:])
+	c.Data = b[loadChunkHeaderLen:]
+	if c.Total == 0 {
+		return c, fmt.Errorf("netproto: load chunk with zero total")
+	}
+	if c.Seq >= c.Total {
+		return c, fmt.Errorf("netproto: chunk seq %d out of range (total %d)", c.Seq, c.Total)
+	}
+	if uint64(c.Offset)+uint64(len(c.Data)) > uint64(c.TotalLen) {
+		return c, fmt.Errorf("netproto: chunk [%d,+%d) exceeds image length %d", c.Offset, len(c.Data), c.TotalLen)
+	}
+	return c, nil
+}
+
+// ChunkImage splits an image into load chunks of at most MaxChunkData
+// bytes each.
+func ChunkImage(addr uint32, image []byte) []LoadChunk {
+	n := (len(image) + MaxChunkData - 1) / MaxChunkData
+	if n == 0 {
+		n = 1
+	}
+	chunks := make([]LoadChunk, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * MaxChunkData
+		hi := lo + MaxChunkData
+		if hi > len(image) {
+			hi = len(image)
+		}
+		chunks = append(chunks, LoadChunk{
+			Seq:      uint16(i),
+			Total:    uint16(n),
+			Addr:     addr,
+			TotalLen: uint32(len(image)),
+			Offset:   uint32(lo),
+			Data:     image[lo:hi],
+		})
+	}
+	return chunks
+}
+
+// StartReq asks the LEON controller to execute the loaded program.
+type StartReq struct {
+	Entry     uint32 // 0 means "address of the last load"
+	MaxCycles uint64 // 0 means the controller default
+}
+
+// Marshal encodes the request body.
+func (r StartReq) Marshal() []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b[0:], r.Entry)
+	binary.BigEndian.PutUint64(b[4:], r.MaxCycles)
+	return b
+}
+
+// ParseStartReq decodes the body.
+func ParseStartReq(b []byte) (StartReq, error) {
+	if len(b) < 12 {
+		return StartReq{}, fmt.Errorf("netproto: start request truncated")
+	}
+	return StartReq{
+		Entry:     binary.BigEndian.Uint32(b[0:]),
+		MaxCycles: binary.BigEndian.Uint64(b[4:]),
+	}, nil
+}
+
+// RunReport carries the cycle counter and fault mailbox after a run —
+// the response to StartLEON and part of Status.
+type RunReport struct {
+	Status       uint8
+	Cycles       uint64
+	Instructions uint64
+	TT           uint8
+	FaultPC      uint32
+}
+
+// Marshal encodes the report.
+func (r RunReport) Marshal() []byte {
+	b := make([]byte, 22)
+	b[0] = r.Status
+	binary.BigEndian.PutUint64(b[1:], r.Cycles)
+	binary.BigEndian.PutUint64(b[9:], r.Instructions)
+	b[17] = r.TT
+	binary.BigEndian.PutUint32(b[18:], r.FaultPC)
+	return b
+}
+
+// ParseRunReport decodes the report.
+func ParseRunReport(b []byte) (RunReport, error) {
+	if len(b) < 22 {
+		return RunReport{}, fmt.Errorf("netproto: run report truncated")
+	}
+	return RunReport{
+		Status:       b[0],
+		Cycles:       binary.BigEndian.Uint64(b[1:]),
+		Instructions: binary.BigEndian.Uint64(b[9:]),
+		TT:           b[17],
+		FaultPC:      binary.BigEndian.Uint32(b[18:]),
+	}, nil
+}
+
+// MemReq addresses a memory read or write ("Memory address (4B) where
+// the result is expected").
+type MemReq struct {
+	Addr   uint32
+	Length uint32 // reads only
+	Data   []byte // writes only
+}
+
+// Marshal encodes the request body.
+func (r MemReq) Marshal() []byte {
+	b := make([]byte, 8+len(r.Data))
+	binary.BigEndian.PutUint32(b[0:], r.Addr)
+	binary.BigEndian.PutUint32(b[4:], r.Length)
+	copy(b[8:], r.Data)
+	return b
+}
+
+// ParseMemReq decodes the body.
+func ParseMemReq(b []byte) (MemReq, error) {
+	if len(b) < 8 {
+		return MemReq{}, fmt.Errorf("netproto: memory request truncated")
+	}
+	return MemReq{
+		Addr:   binary.BigEndian.Uint32(b[0:]),
+		Length: binary.BigEndian.Uint32(b[4:]),
+		Data:   b[8:],
+	}, nil
+}
+
+// MemResp carries read-back memory.
+type MemResp struct {
+	Status uint8
+	Addr   uint32
+	Data   []byte
+}
+
+// Marshal encodes the response body.
+func (r MemResp) Marshal() []byte {
+	b := make([]byte, 5+len(r.Data))
+	b[0] = r.Status
+	binary.BigEndian.PutUint32(b[1:], r.Addr)
+	copy(b[5:], r.Data)
+	return b
+}
+
+// ParseMemResp decodes the body.
+func ParseMemResp(b []byte) (MemResp, error) {
+	if len(b) < 5 {
+		return MemResp{}, fmt.Errorf("netproto: memory response truncated")
+	}
+	return MemResp{Status: b[0], Addr: binary.BigEndian.Uint32(b[1:]), Data: b[5:]}, nil
+}
+
+// StatusResp answers CmdStatus: controller state plus the last run.
+type StatusResp struct {
+	State      uint8 // leon.State
+	BootOK     bool
+	LoadedAddr uint32 // address of the last completed load (0 if none)
+	Last       RunReport
+}
+
+// Marshal encodes the response body.
+func (r StatusResp) Marshal() []byte {
+	b := make([]byte, 6)
+	b[0] = r.State
+	if r.BootOK {
+		b[1] = 1
+	}
+	binary.BigEndian.PutUint32(b[2:], r.LoadedAddr)
+	return append(b, r.Last.Marshal()...)
+}
+
+// ParseStatusResp decodes the body.
+func ParseStatusResp(b []byte) (StatusResp, error) {
+	if len(b) < 6+22 {
+		return StatusResp{}, fmt.Errorf("netproto: status response truncated")
+	}
+	last, err := ParseRunReport(b[6:])
+	if err != nil {
+		return StatusResp{}, err
+	}
+	return StatusResp{
+		State:      b[0],
+		BootOK:     b[1] != 0,
+		LoadedAddr: binary.BigEndian.Uint32(b[2:]),
+		Last:       last,
+	}, nil
+}
+
+// ErrorResp reports a failure with a human-readable message (the
+// paper's hardware transmits "an output IP packet containing an error
+// message", §4.1).
+type ErrorResp struct {
+	Code uint8
+	Msg  string
+}
+
+// Marshal encodes the response body.
+func (r ErrorResp) Marshal() []byte {
+	return append([]byte{r.Code}, r.Msg...)
+}
+
+// ParseErrorResp decodes the body.
+func ParseErrorResp(b []byte) (ErrorResp, error) {
+	if len(b) < 1 {
+		return ErrorResp{}, fmt.Errorf("netproto: error response truncated")
+	}
+	return ErrorResp{Code: b[0], Msg: string(b[1:])}, nil
+}

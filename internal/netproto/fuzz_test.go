@@ -1,0 +1,38 @@
+package netproto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParsersNeverPanic: frame and packet parsers must reject garbage
+// gracefully at every length.
+func TestParsersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		raw := make([]byte, rng.Intn(100))
+		rng.Read(raw)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on % x: %v", raw, r)
+				}
+			}()
+			ParseFrame(raw)      //nolint:errcheck
+			ParsePacket(raw)     //nolint:errcheck
+			ParseLoadChunk(raw)  //nolint:errcheck
+			ParseStartReq(raw)   //nolint:errcheck
+			ParseRunReport(raw)  //nolint:errcheck
+			ParseMemReq(raw)     //nolint:errcheck
+			ParseMemResp(raw)    //nolint:errcheck
+			ParseStatusResp(raw) //nolint:errcheck
+			ParseErrorResp(raw)  //nolint:errcheck
+			IsLiquidPacket(raw)
+		}()
+	}
+	// Truncations of a VALID frame must also be handled.
+	frame := BuildFrame([4]byte{1, 2, 3, 4}, [4]byte{5, 6, 7, 8}, 9, 10, []byte("payload"))
+	for n := 0; n <= len(frame); n++ {
+		ParseFrame(frame[:n]) //nolint:errcheck
+	}
+}

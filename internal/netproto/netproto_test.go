@@ -1,0 +1,230 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcIP = [4]byte{192, 168, 1, 10}
+	dstIP = [4]byte{192, 168, 1, 20}
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello liquid")
+	frame := BuildFrame(srcIP, dstIP, 4000, 5000, payload)
+	f, err := ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IP.Src != srcIP || f.IP.Dst != dstIP {
+		t.Errorf("addresses: %v → %v", f.IP.Src, f.IP.Dst)
+	}
+	if f.UDP.SrcPort != 4000 || f.UDP.DstPort != 5000 {
+		t.Errorf("ports: %d → %d", f.UDP.SrcPort, f.UDP.DstPort)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Errorf("payload = %q", f.Payload)
+	}
+}
+
+func TestFrameChecksumValidation(t *testing.T) {
+	frame := BuildFrame(srcIP, dstIP, 1, 2, []byte("x"))
+	// Corrupt the IP header.
+	bad := append([]byte(nil), frame...)
+	bad[8] ^= 0xFF // TTL
+	if _, err := ParseFrame(bad); err == nil {
+		t.Error("corrupted IP header accepted")
+	}
+	// Corrupt the UDP payload (checksum covers it).
+	bad = append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := ParseFrame(bad); err == nil {
+		t.Error("corrupted UDP payload accepted")
+	}
+	// Zero UDP checksum disables validation (allowed by RFC 768).
+	nochk := append([]byte(nil), frame...)
+	nochk[26], nochk[27] = 0, 0
+	nochk[len(nochk)-1] ^= 0x01
+	if _, err := ParseFrame(nochk); err != nil {
+		t.Errorf("zero-checksum frame rejected: %v", err)
+	}
+}
+
+func TestParseFrameErrors(t *testing.T) {
+	if _, err := ParseFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := ParseFrame(make([]byte, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+	// Non-UDP protocol.
+	h := IPv4Header{TotalLen: 20, TTL: 1, Protocol: 6, Src: srcIP, Dst: dstIP}
+	if _, err := ParseFrame(h.Marshal()); err == nil {
+		t.Error("TCP frame accepted by UDP parser")
+	}
+	// Wrong version.
+	frame := BuildFrame(srcIP, dstIP, 1, 2, nil)
+	frame[0] = 0x65
+	if _, err := ParseFrame(frame); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+	// Odd length.
+	if got := Checksum([]byte{0x12}); got != ^uint16(0x1200) {
+		t.Errorf("odd checksum = %#04x", got)
+	}
+}
+
+// Property: any payload survives a frame round trip.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, sp, dp uint16) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		frame := BuildFrame(srcIP, dstIP, sp, dp, payload)
+		got, err := ParseFrame(frame)
+		return err == nil && bytes.Equal(got.Payload, payload) &&
+			got.UDP.SrcPort == sp && got.UDP.DstPort == dp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControlPacketRoundTrip(t *testing.T) {
+	p := Packet{Command: CmdStatus, Body: []byte{1, 2, 3}}
+	got, err := ParsePacket(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != CmdStatus || !bytes.Equal(got.Body, []byte{1, 2, 3}) {
+		t.Errorf("packet = %+v", got)
+	}
+	if !IsLiquidPacket(p.Marshal()) {
+		t.Error("IsLiquidPacket false for control packet")
+	}
+	if IsLiquidPacket([]byte("GET / HTTP/1.0")) {
+		t.Error("IsLiquidPacket true for HTTP")
+	}
+	if _, err := ParsePacket([]byte{'L', 'Q'}); err == nil {
+		t.Error("short packet accepted")
+	}
+	if _, err := ParsePacket([]byte{'X', 'Y', 1, 1}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ParsePacket([]byte{'L', 'Q', 99, 1}); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestLoadChunkRoundTrip(t *testing.T) {
+	c := LoadChunk{Seq: 2, Total: 5, Addr: 0x40001000, TotalLen: 5000, Offset: 2048, Data: []byte{9, 8, 7}}
+	got, err := ParseLoadChunk(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 2 || got.Total != 5 || got.Addr != 0x40001000 ||
+		got.TotalLen != 5000 || got.Offset != 2048 || !bytes.Equal(got.Data, c.Data) {
+		t.Errorf("chunk = %+v", got)
+	}
+}
+
+func TestLoadChunkValidation(t *testing.T) {
+	if _, err := ParseLoadChunk(make([]byte, 4)); err == nil {
+		t.Error("short chunk accepted")
+	}
+	bad := LoadChunk{Seq: 5, Total: 5, Addr: 1, TotalLen: 10}
+	if _, err := ParseLoadChunk(bad.Marshal()); err == nil {
+		t.Error("seq ≥ total accepted")
+	}
+	bad = LoadChunk{Seq: 0, Total: 0, Addr: 1, TotalLen: 10}
+	if _, err := ParseLoadChunk(bad.Marshal()); err == nil {
+		t.Error("zero total accepted")
+	}
+	bad = LoadChunk{Seq: 0, Total: 1, TotalLen: 2, Offset: 0, Data: []byte{1, 2, 3}}
+	if _, err := ParseLoadChunk(bad.Marshal()); err == nil {
+		t.Error("overlong chunk accepted")
+	}
+}
+
+func TestChunkImageCoversImage(t *testing.T) {
+	image := make([]byte, 2*MaxChunkData+100)
+	for i := range image {
+		image[i] = byte(i)
+	}
+	chunks := ChunkImage(0x40001000, image)
+	if len(chunks) != 3 {
+		t.Fatalf("%d chunks", len(chunks))
+	}
+	rebuilt := make([]byte, len(image))
+	for _, c := range chunks {
+		if c.Addr != 0x40001000 || int(c.TotalLen) != len(image) || int(c.Total) != len(chunks) {
+			t.Errorf("chunk metadata %+v", c)
+		}
+		copy(rebuilt[c.Offset:], c.Data)
+	}
+	if !bytes.Equal(rebuilt, image) {
+		t.Error("chunks do not reassemble the image")
+	}
+	// Empty image still yields one (empty) chunk.
+	if got := ChunkImage(1, nil); len(got) != 1 {
+		t.Errorf("empty image → %d chunks", len(got))
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	sr := StartReq{Entry: 0x40001000, MaxCycles: 1 << 40}
+	if got, err := ParseStartReq(sr.Marshal()); err != nil || got != sr {
+		t.Errorf("StartReq: %+v, %v", got, err)
+	}
+	rr := RunReport{Status: StatusFault, Cycles: 123456789, Instructions: 42, TT: 2, FaultPC: 0x40001010}
+	if got, err := ParseRunReport(rr.Marshal()); err != nil || got != rr {
+		t.Errorf("RunReport: %+v, %v", got, err)
+	}
+	mq := MemReq{Addr: 0x40002000, Length: 16}
+	if got, err := ParseMemReq(mq.Marshal()); err != nil || got.Addr != mq.Addr || got.Length != 16 {
+		t.Errorf("MemReq: %+v, %v", got, err)
+	}
+	mr := MemResp{Status: StatusOK, Addr: 4, Data: []byte{1, 2}}
+	if got, err := ParseMemResp(mr.Marshal()); err != nil || got.Addr != 4 || !bytes.Equal(got.Data, mr.Data) {
+		t.Errorf("MemResp: %+v, %v", got, err)
+	}
+	st := StatusResp{State: 3, BootOK: true, LoadedAddr: 0x40001000, Last: rr}
+	if got, err := ParseStatusResp(st.Marshal()); err != nil || got != st {
+		t.Errorf("StatusResp: %+v, %v", got, err)
+	}
+	er := ErrorResp{Code: 7, Msg: "bad address"}
+	if got, err := ParseErrorResp(er.Marshal()); err != nil || got != er {
+		t.Errorf("ErrorResp: %+v, %v", got, err)
+	}
+}
+
+func TestTruncatedMessages(t *testing.T) {
+	if _, err := ParseStartReq(make([]byte, 3)); err == nil {
+		t.Error("short StartReq accepted")
+	}
+	if _, err := ParseRunReport(make([]byte, 5)); err == nil {
+		t.Error("short RunReport accepted")
+	}
+	if _, err := ParseMemReq(make([]byte, 2)); err == nil {
+		t.Error("short MemReq accepted")
+	}
+	if _, err := ParseMemResp(nil); err == nil {
+		t.Error("short MemResp accepted")
+	}
+	if _, err := ParseStatusResp(make([]byte, 10)); err == nil {
+		t.Error("short StatusResp accepted")
+	}
+	if _, err := ParseErrorResp(nil); err == nil {
+		t.Error("short ErrorResp accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package periph
+
+import "fmt"
+
+// GPIO is the discrete output port of the LEON system; on the FPX it
+// drives the board LEDs (Fig. 3 shows the LED block on the APB). An
+// optional OnChange callback observes writes.
+//
+// Register map (word offsets):
+//
+//	0x00  output value (r/w)
+//	0x04  direction   (r/w, kept for completeness)
+type GPIO struct {
+	value uint32
+	dir   uint32
+
+	// OnChange, when non-nil, is invoked with the new output value
+	// after every write to the value register.
+	OnChange func(uint32)
+}
+
+// Value returns the current output value.
+func (g *GPIO) Value() uint32 { return g.value }
+
+// ReadReg implements amba.Device.
+func (g *GPIO) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case 0x00:
+		return g.value, nil
+	case 0x04:
+		return g.dir, nil
+	default:
+		return 0, fmt.Errorf("periph: gpio has no register at %#x", off)
+	}
+}
+
+// WriteReg implements amba.Device.
+func (g *GPIO) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case 0x00:
+		g.value = v
+		if g.OnChange != nil {
+			g.OnChange(v)
+		}
+		return nil
+	case 0x04:
+		g.dir = v
+		return nil
+	default:
+		return fmt.Errorf("periph: gpio has no register at %#x", off)
+	}
+}

@@ -1,0 +1,90 @@
+// Package periph implements the LEON2-like APB peripherals of the
+// Liquid processor system: the interrupt controller, the timer unit
+// with prescaler, the UART ("simple serial controllers"), and the
+// discrete output port driving the FPX LEDs (§1 of the paper lists
+// these among the internal modules integrated with the core).
+//
+// Register layouts follow the LEON2 user manual shape but are
+// simplified to the subset the Liquid system exercises.
+package periph
+
+import "fmt"
+
+// IRQ numbers 1-15 map to SPARC interrupt levels; 15 is unmaskable in
+// real LEON but modelled as maskable here for simplicity.
+const NumIRQs = 15
+
+// IRQCtrl is the LEON interrupt controller: pending, mask and force
+// registers. Devices raise lines with Raise; the CPU polls Pending and
+// acknowledges with Ack.
+//
+// Register map (word offsets):
+//
+//	0x00  pending (read-only)
+//	0x04  mask (r/w)
+//	0x08  force (write: OR into pending)
+//	0x0C  clear (write: AND-NOT from pending)
+type IRQCtrl struct {
+	pending uint32
+	mask    uint32
+}
+
+// Raise asserts interrupt line irq (1-15).
+func (c *IRQCtrl) Raise(irq int) {
+	if irq >= 1 && irq <= NumIRQs {
+		c.pending |= 1 << uint(irq)
+	}
+}
+
+// Pending returns the highest-priority pending, unmasked interrupt
+// level, or 0 when none.
+func (c *IRQCtrl) Pending() int {
+	active := c.pending & c.mask
+	for irq := NumIRQs; irq >= 1; irq-- {
+		if active&(1<<uint(irq)) != 0 {
+			return irq
+		}
+	}
+	return 0
+}
+
+// Ack clears the pending bit for irq (the CPU taking the trap).
+func (c *IRQCtrl) Ack(irq int) {
+	if irq >= 1 && irq <= NumIRQs {
+		c.pending &^= 1 << uint(irq)
+	}
+}
+
+// ReadReg implements amba.Device.
+func (c *IRQCtrl) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case 0x00:
+		return c.pending, nil
+	case 0x04:
+		return c.mask, nil
+	case 0x08, 0x0C:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("periph: irqctrl has no register at %#x", off)
+	}
+}
+
+// WriteReg implements amba.Device.
+func (c *IRQCtrl) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case 0x00:
+		// pending is read-only
+		return nil
+	case 0x04:
+		c.mask = v & 0xFFFE // bit 0 unused
+		return nil
+	case 0x08:
+		c.pending |= v & 0xFFFE
+		return nil
+	case 0x0C:
+		c.pending &^= v
+		return nil
+	default:
+		return fmt.Errorf("periph: irqctrl has no register at %#x", off)
+	}
+}

@@ -1,0 +1,222 @@
+package periph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIRQPriorityAndMask(t *testing.T) {
+	c := &IRQCtrl{}
+	if c.Pending() != 0 {
+		t.Fatal("fresh controller has pending irq")
+	}
+	c.WriteReg(0x04, 0xFFFE) // unmask all
+	c.Raise(3)
+	c.Raise(9)
+	if got := c.Pending(); got != 9 {
+		t.Errorf("Pending = %d, want highest (9)", got)
+	}
+	c.Ack(9)
+	if got := c.Pending(); got != 3 {
+		t.Errorf("after Ack(9): Pending = %d, want 3", got)
+	}
+	// Masked interrupts don't surface but stay pending.
+	c.WriteReg(0x04, 0)
+	if got := c.Pending(); got != 0 {
+		t.Errorf("masked Pending = %d", got)
+	}
+	if v, _ := c.ReadReg(0x00); v&(1<<3) == 0 {
+		t.Error("pending bit lost while masked")
+	}
+	// Out-of-range lines ignored.
+	c.Raise(0)
+	c.Raise(16)
+	if v, _ := c.ReadReg(0x00); v != 1<<3 {
+		t.Errorf("pending = %#x after bogus raises", v)
+	}
+}
+
+func TestIRQForceAndClear(t *testing.T) {
+	c := &IRQCtrl{}
+	c.WriteReg(0x04, 0xFFFE)
+	c.WriteReg(0x08, 1<<5) // force
+	if c.Pending() != 5 {
+		t.Errorf("forced Pending = %d", c.Pending())
+	}
+	c.WriteReg(0x0C, 1<<5) // clear
+	if c.Pending() != 0 {
+		t.Errorf("cleared Pending = %d", c.Pending())
+	}
+	// Pending register is read-only.
+	c.WriteReg(0x00, 0xFFFF)
+	if v, _ := c.ReadReg(0x00); v != 0 {
+		t.Error("write to pending took effect")
+	}
+	if _, err := c.ReadReg(0x40); err == nil {
+		t.Error("bogus register read succeeded")
+	}
+	if err := c.WriteReg(0x40, 0); err == nil {
+		t.Error("bogus register write succeeded")
+	}
+}
+
+func TestTimerOneShot(t *testing.T) {
+	ic := &IRQCtrl{}
+	ic.WriteReg(0x04, 0xFFFE)
+	tm := NewTimer(ic, 8)
+	tm.WriteReg(0x00, 10)
+	tm.WriteReg(0x08, TimerEnable|TimerIRQEnable)
+	tm.Tick(9)
+	if v, _ := tm.ReadReg(0x00); v != 1 {
+		t.Errorf("counter = %d after 9 ticks, want 1", v)
+	}
+	if ic.Pending() != 0 {
+		t.Error("irq raised early")
+	}
+	tm.Tick(1)
+	if ic.Pending() != 8 {
+		t.Errorf("Pending = %d after underflow, want 8", ic.Pending())
+	}
+	if tm.Underflows != 1 {
+		t.Errorf("Underflows = %d", tm.Underflows)
+	}
+	// One-shot: enable bit cleared, further ticks do nothing.
+	if v, _ := tm.ReadReg(0x08); v&TimerEnable != 0 {
+		t.Error("one-shot timer still enabled after underflow")
+	}
+	tm.Tick(100)
+	if tm.Underflows != 1 {
+		t.Errorf("one-shot underflowed again: %d", tm.Underflows)
+	}
+}
+
+func TestTimerPeriodicReload(t *testing.T) {
+	tm := NewTimer(nil, 8)
+	tm.WriteReg(0x04, 4)                                 // reload
+	tm.WriteReg(0x08, TimerEnable|TimerReload|TimerLoad) // load now
+	if v, _ := tm.ReadReg(0x00); v != 4 {
+		t.Fatalf("counter = %d after load, want 4", v)
+	}
+	tm.Tick(20) // 5 ticks per period
+	if tm.Underflows != 5 {
+		t.Errorf("Underflows = %d after 20 ticks of period 4, want 5", tm.Underflows)
+	}
+	// TimerLoad bit never reads back.
+	if v, _ := tm.ReadReg(0x08); v&TimerLoad != 0 {
+		t.Error("load bit latched")
+	}
+}
+
+func TestPrescalerDividesClock(t *testing.T) {
+	tm := NewTimer(nil, 8)
+	tm.WriteReg(0x00, 1000)
+	tm.WriteReg(0x08, TimerEnable)
+	p := NewPrescaler(tm)
+	p.WriteReg(0x04, 9) // divide by 10
+	p.WriteReg(0x00, 9)
+	p.Tick(100)
+	if v, _ := tm.ReadReg(0x00); v != 990 {
+		t.Errorf("timer = %d after 100 cycles at /10, want 990", v)
+	}
+	// Partial periods accumulate correctly.
+	p.Tick(5)
+	p.Tick(5)
+	if v, _ := tm.ReadReg(0x00); v != 989 {
+		t.Errorf("timer = %d after 110 cycles at /10, want 989", v)
+	}
+}
+
+func TestPrescalerZeroReloadPassesThrough(t *testing.T) {
+	tm := NewTimer(nil, 8)
+	tm.WriteReg(0x00, 50)
+	tm.WriteReg(0x08, TimerEnable)
+	p := NewPrescaler(tm)
+	p.Tick(7)
+	if v, _ := tm.ReadReg(0x00); v != 43 {
+		t.Errorf("timer = %d, want 43", v)
+	}
+}
+
+func TestUARTTransmit(t *testing.T) {
+	var buf bytes.Buffer
+	u := NewUART(&buf, nil, 3)
+	for _, b := range []byte("ok\n") {
+		if err := u.WriteReg(0x00, uint32(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.String() != "ok\n" {
+		t.Errorf("tx = %q", buf.String())
+	}
+	if u.TxCount != 3 {
+		t.Errorf("TxCount = %d", u.TxCount)
+	}
+	// Status always reports tx ready.
+	st, _ := u.ReadReg(0x04)
+	if st&UARTTxHoldEmpty == 0 {
+		t.Error("tx not ready")
+	}
+}
+
+func TestUARTReceiveAndIRQ(t *testing.T) {
+	ic := &IRQCtrl{}
+	ic.WriteReg(0x04, 0xFFFE)
+	u := NewUART(nil, ic, 3)
+	u.WriteReg(0x08, UARTRxEnable|UARTTxEnable|UARTRxIRQ)
+	u.Feed([]byte{0x41, 0x42})
+	if ic.Pending() != 3 {
+		t.Errorf("rx irq not raised: Pending = %d", ic.Pending())
+	}
+	st, _ := u.ReadReg(0x04)
+	if st&UARTDataReady == 0 {
+		t.Fatal("data ready not set")
+	}
+	if v, _ := u.ReadReg(0x00); v != 0x41 {
+		t.Errorf("rx byte 1 = %#x", v)
+	}
+	if v, _ := u.ReadReg(0x00); v != 0x42 {
+		t.Errorf("rx byte 2 = %#x", v)
+	}
+	st, _ = u.ReadReg(0x04)
+	if st&UARTDataReady != 0 {
+		t.Error("data ready stuck after drain")
+	}
+	if v, _ := u.ReadReg(0x00); v != 0 {
+		t.Errorf("empty rx read = %#x, want 0", v)
+	}
+	// Disabled receiver drops input.
+	u.WriteReg(0x08, UARTTxEnable)
+	u.Feed([]byte{0x43})
+	if st, _ := u.ReadReg(0x04); st&UARTDataReady != 0 {
+		t.Error("disabled receiver accepted data")
+	}
+}
+
+func TestUARTLoopback(t *testing.T) {
+	u := NewUART(nil, nil, 3)
+	u.WriteReg(0x08, UARTRxEnable|UARTTxEnable|UARTLoopbback)
+	u.WriteReg(0x00, 0x55)
+	if v, _ := u.ReadReg(0x00); v != 0x55 {
+		t.Errorf("loopback = %#x", v)
+	}
+}
+
+func TestGPIO(t *testing.T) {
+	var seen []uint32
+	g := &GPIO{OnChange: func(v uint32) { seen = append(seen, v) }}
+	g.WriteReg(0x00, 0xAA)
+	g.WriteReg(0x00, 0x55)
+	if g.Value() != 0x55 {
+		t.Errorf("Value = %#x", g.Value())
+	}
+	if len(seen) != 2 || seen[0] != 0xAA || seen[1] != 0x55 {
+		t.Errorf("OnChange saw %v", seen)
+	}
+	g.WriteReg(0x04, 0xF)
+	if v, _ := g.ReadReg(0x04); v != 0xF {
+		t.Errorf("dir = %#x", v)
+	}
+	if _, err := g.ReadReg(0x10); err == nil {
+		t.Error("bogus gpio register read succeeded")
+	}
+}

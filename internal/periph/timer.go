@@ -1,0 +1,164 @@
+package periph
+
+import "fmt"
+
+// Timer control register bits.
+const (
+	TimerEnable    = 1 << 0 // count down while set
+	TimerReload    = 1 << 1 // reload from the reload register on underflow
+	TimerLoad      = 1 << 2 // write-only: load counter from reload now
+	TimerIRQEnable = 1 << 3 // raise the timer interrupt on underflow
+)
+
+// Timer is a LEON2-style down-counter behind a shared prescaler.
+//
+// Register map (word offsets):
+//
+//	0x00  counter (r/w)
+//	0x04  reload  (r/w)
+//	0x08  control (r/w: enable, reload, load, irq-enable)
+type Timer struct {
+	counter uint32
+	reload  uint32
+	ctrl    uint32
+
+	irq     int // interrupt line to raise on underflow
+	irqctrl *IRQCtrl
+
+	Underflows uint64 // diagnostic counter
+}
+
+// NewTimer returns a stopped timer wired to irqctrl line irq.
+func NewTimer(irqctrl *IRQCtrl, irq int) *Timer {
+	return &Timer{irqctrl: irqctrl, irq: irq}
+}
+
+// Tick advances the timer by n prescaler ticks.
+func (t *Timer) Tick(n uint64) {
+	if t.ctrl&TimerEnable == 0 {
+		return
+	}
+	for ; n > 0; n-- {
+		if t.counter == 0 {
+			t.underflow()
+			continue
+		}
+		t.counter--
+		if t.counter == 0 {
+			t.underflow()
+		}
+	}
+}
+
+func (t *Timer) underflow() {
+	t.Underflows++
+	if t.ctrl&TimerIRQEnable != 0 && t.irqctrl != nil {
+		t.irqctrl.Raise(t.irq)
+	}
+	if t.ctrl&TimerReload != 0 {
+		t.counter = t.reload
+	} else {
+		t.ctrl &^= TimerEnable // one-shot stops
+	}
+}
+
+// ReadReg implements amba.Device.
+func (t *Timer) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case 0x00:
+		return t.counter, nil
+	case 0x04:
+		return t.reload, nil
+	case 0x08:
+		return t.ctrl &^ TimerLoad, nil
+	default:
+		return 0, fmt.Errorf("periph: timer has no register at %#x", off)
+	}
+}
+
+// WriteReg implements amba.Device.
+func (t *Timer) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case 0x00:
+		t.counter = v
+	case 0x04:
+		t.reload = v
+	case 0x08:
+		t.ctrl = v &^ TimerLoad
+		if v&TimerLoad != 0 {
+			t.counter = t.reload
+		}
+	default:
+		return fmt.Errorf("periph: timer has no register at %#x", off)
+	}
+	return nil
+}
+
+// Prescaler divides the system clock for a set of timers, LEON2-style.
+//
+// Register map (word offsets):
+//
+//	0x00  scaler value (counts down each system cycle)
+//	0x04  scaler reload
+type Prescaler struct {
+	value  uint32
+	reload uint32
+	timers []*Timer
+}
+
+// NewPrescaler returns a prescaler that ticks the given timers. A
+// reload of 0 ticks the timers every system cycle.
+func NewPrescaler(timers ...*Timer) *Prescaler {
+	return &Prescaler{timers: timers}
+}
+
+// Tick advances the prescaler by n system clock cycles, ticking the
+// attached timers as the scaler underflows.
+func (p *Prescaler) Tick(n uint64) {
+	if p.reload == 0 {
+		for _, t := range p.timers {
+			t.Tick(n)
+		}
+		return
+	}
+	period := uint64(p.reload) + 1
+	// Cycles until the first underflow, then whole periods.
+	ticks := uint64(0)
+	if n > uint64(p.value) {
+		rem := n - uint64(p.value) - 1
+		ticks = 1 + rem/period
+		p.value = uint32(period - 1 - rem%period)
+	} else {
+		p.value -= uint32(n)
+	}
+	if ticks > 0 {
+		for _, t := range p.timers {
+			t.Tick(ticks)
+		}
+	}
+}
+
+// ReadReg implements amba.Device.
+func (p *Prescaler) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case 0x00:
+		return p.value, nil
+	case 0x04:
+		return p.reload, nil
+	default:
+		return 0, fmt.Errorf("periph: prescaler has no register at %#x", off)
+	}
+}
+
+// WriteReg implements amba.Device.
+func (p *Prescaler) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case 0x00:
+		p.value = v
+	case 0x04:
+		p.reload = v
+	default:
+		return fmt.Errorf("periph: prescaler has no register at %#x", off)
+	}
+	return nil
+}

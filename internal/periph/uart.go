@@ -1,0 +1,117 @@
+package periph
+
+import (
+	"fmt"
+	"io"
+)
+
+// UART status register bits.
+const (
+	UARTDataReady   = 1 << 0 // receive holding register has a byte
+	UARTTxShiftDone = 1 << 1
+	UARTTxHoldEmpty = 1 << 2 // transmitter can accept a byte
+)
+
+// UART control register bits.
+const (
+	UARTRxEnable  = 1 << 0
+	UARTTxEnable  = 1 << 1
+	UARTRxIRQ     = 1 << 2 // interrupt on receive
+	UARTLoopbback = 1 << 7
+)
+
+// UART is the LEON2-style serial port. Transmitted bytes go to an
+// io.Writer (typically a bytes.Buffer in tests, or stdout); received
+// bytes are injected with Feed.
+//
+// Register map (word offsets):
+//
+//	0x00  data    (read: rx holding; write: transmit)
+//	0x04  status  (read-only)
+//	0x08  control (r/w)
+//	0x0C  scaler  (r/w, baud generator — kept but not timed)
+type UART struct {
+	tx      io.Writer
+	rxQueue []byte
+	ctrl    uint32
+	scaler  uint32
+
+	irq     int
+	irqctrl *IRQCtrl
+
+	TxCount uint64
+}
+
+// NewUART returns a UART that writes transmitted bytes to w (nil
+// discards them) and raises irq on irqctrl when receive interrupts are
+// enabled.
+func NewUART(w io.Writer, irqctrl *IRQCtrl, irq int) *UART {
+	return &UART{tx: w, ctrl: UARTRxEnable | UARTTxEnable, irqctrl: irqctrl, irq: irq}
+}
+
+// Feed injects received bytes (the host side of the serial line).
+func (u *UART) Feed(p []byte) {
+	if u.ctrl&UARTRxEnable == 0 {
+		return
+	}
+	u.rxQueue = append(u.rxQueue, p...)
+	if len(p) > 0 && u.ctrl&UARTRxIRQ != 0 && u.irqctrl != nil {
+		u.irqctrl.Raise(u.irq)
+	}
+}
+
+// ReadReg implements amba.Device.
+func (u *UART) ReadReg(off uint32) (uint32, error) {
+	switch off {
+	case 0x00:
+		if len(u.rxQueue) == 0 {
+			return 0, nil
+		}
+		b := u.rxQueue[0]
+		u.rxQueue = u.rxQueue[1:]
+		return uint32(b), nil
+	case 0x04:
+		st := uint32(UARTTxShiftDone | UARTTxHoldEmpty)
+		if len(u.rxQueue) > 0 {
+			st |= UARTDataReady
+		}
+		return st, nil
+	case 0x08:
+		return u.ctrl, nil
+	case 0x0C:
+		return u.scaler, nil
+	default:
+		return 0, fmt.Errorf("periph: uart has no register at %#x", off)
+	}
+}
+
+// WriteReg implements amba.Device.
+func (u *UART) WriteReg(off uint32, v uint32) error {
+	switch off {
+	case 0x00:
+		if u.ctrl&UARTTxEnable == 0 {
+			return nil
+		}
+		u.TxCount++
+		if u.ctrl&UARTLoopbback != 0 {
+			u.rxQueue = append(u.rxQueue, byte(v))
+			return nil
+		}
+		if u.tx != nil {
+			if _, err := u.tx.Write([]byte{byte(v)}); err != nil {
+				return fmt.Errorf("periph: uart tx: %w", err)
+			}
+		}
+		return nil
+	case 0x04:
+		return nil // status read-only
+	case 0x08:
+		u.ctrl = v
+		return nil
+	case 0x0C:
+		u.scaler = v
+		return nil
+	default:
+		return fmt.Errorf("periph: uart has no register at %#x", off)
+	}
+}

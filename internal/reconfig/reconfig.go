@@ -1,0 +1,240 @@
+// Package reconfig implements the Reconfiguration Cache of Fig. 1:
+// "as features are identified for reconfiguration, instances of those
+// features are pre-generated in the user- or application-defined
+// parameter space. Each such instance requires ≈1 hour to synthesize,
+// and the results are captured in the reconfiguration cache. At
+// runtime, an application can switch between these pre-generated
+// modules to improve performance."
+package reconfig
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/synth"
+)
+
+// Stats counts cache behaviour; the hit ratio is what turns one-hour
+// synthesis runs into millisecond reconfigurations.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	SynthTime time.Duration // modelled tool time spent on misses
+	SavedTime time.Duration // modelled tool time avoided by hits
+}
+
+// Cache is an LRU store of synthesized configuration images.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	stats   Stats
+}
+
+type entry struct {
+	key string
+	img *synth.Image
+}
+
+// NewCache returns a cache holding at most capacity images (0 means
+// unbounded — the paper's cache grows with the parameter space).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Len returns the number of cached images.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns the image for key, marking it most recently used.
+func (c *Cache) Get(key string) (*synth.Image, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	img := el.Value.(*entry).img
+	c.stats.SavedTime += img.SynthTime
+	return img, true
+}
+
+// Put stores an image, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) Put(img *synth.Image) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[img.Key]; ok {
+		el.Value.(*entry).img = img
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[img.Key] = c.order.PushFront(&entry{key: img.Key, img: img})
+	if c.cap > 0 && len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Keys returns the cached configuration keys, most recent first.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Manager ties the cache to the synthesis flow: configurations are
+// synthesized on first use and served from the cache afterwards.
+type Manager struct {
+	cache *Cache
+	opts  synth.Options
+}
+
+// NewManager wraps a cache with synthesis options.
+func NewManager(cache *Cache, opts synth.Options) *Manager {
+	return &Manager{cache: cache, opts: opts}
+}
+
+// Cache returns the underlying cache.
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// GetOrSynthesize returns the image for cfg, synthesizing (≈1 modelled
+// hour) on a miss.
+func (m *Manager) GetOrSynthesize(cfg leon.Config) (*synth.Image, bool, error) {
+	key := synth.ConfigKey(cfg)
+	if img, ok := m.cache.Get(key); ok {
+		return img, true, nil
+	}
+	img, err := synth.Synthesize(cfg, m.opts)
+	if err != nil {
+		return nil, false, err
+	}
+	m.cache.mu.Lock()
+	m.cache.stats.SynthTime += img.SynthTime
+	m.cache.mu.Unlock()
+	m.cache.Put(img)
+	return img, false, nil
+}
+
+// Pregenerate synthesizes every configuration in the space up front —
+// the paper's offline population of the cache.
+func (m *Manager) Pregenerate(cfgs []leon.Config) error {
+	for _, cfg := range cfgs {
+		if _, _, err := m.GetOrSynthesize(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// persisted is the on-disk form of one image (bitstream kept verbatim;
+// the config is re-validated on load).
+type persisted struct {
+	Key       string
+	Config    leon.Config
+	Util      synth.Utilization
+	Device    string
+	SynthTime time.Duration
+	Bitstream []byte
+}
+
+// Save writes every cached image under dir, one file per entry.
+func (c *Cache) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		p := persisted{
+			Key:       e.key,
+			Config:    e.img.Config,
+			Util:      e.img.Util,
+			Device:    e.img.Device,
+			SynthTime: e.img.SynthTime,
+			Bitstream: e.img.Bitstream,
+		}
+		blob, err := json.Marshal(p)
+		if err != nil {
+			return fmt.Errorf("reconfig: %w", err)
+		}
+		name := filepath.Join(dir, sanitize(e.key)+".bit.json")
+		if err := os.WriteFile(name, blob, 0o644); err != nil {
+			return fmt.Errorf("reconfig: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load restores images previously written by Save.
+func (c *Cache) Load(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.bit.json"))
+	if err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	for _, name := range matches {
+		blob, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("reconfig: %w", err)
+		}
+		var p persisted
+		if err := json.Unmarshal(blob, &p); err != nil {
+			return fmt.Errorf("reconfig: %s: %w", name, err)
+		}
+		c.Put(&synth.Image{
+			Key:       p.Key,
+			Config:    p.Config,
+			Util:      p.Util,
+			Device:    p.Device,
+			SynthTime: p.SynthTime,
+			Bitstream: p.Bitstream,
+		})
+	}
+	return nil
+}
+
+func sanitize(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}

@@ -1,0 +1,152 @@
+package reconfig
+
+import (
+	"bytes"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/synth"
+)
+
+var testSynth = synth.Options{BitstreamBytes: 256}
+
+func cfgWithDCache(size int) leon.Config {
+	cfg := leon.DefaultConfig()
+	cfg.DCache.SizeBytes = size
+	return cfg
+}
+
+func TestGetOrSynthesizeHitAndMiss(t *testing.T) {
+	m := NewManager(NewCache(0), testSynth)
+	cfg := leon.DefaultConfig()
+	img1, hit, err := m.GetOrSynthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first request hit")
+	}
+	img2, hit, err := m.GetOrSynthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("second request missed")
+	}
+	if !bytes.Equal(img1.Bitstream, img2.Bitstream) {
+		t.Error("cached bitstream differs")
+	}
+	st := m.Cache().Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The time economics the cache exists for: a hit saves ≈1 h.
+	if st.SavedTime < st.SynthTime/2 {
+		t.Errorf("saved %v vs spent %v", st.SavedTime, st.SynthTime)
+	}
+}
+
+func TestPregenerateThenAllHits(t *testing.T) {
+	m := NewManager(NewCache(0), testSynth)
+	var cfgs []leon.Config
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		cfgs = append(cfgs, cfgWithDCache(size))
+	}
+	if err := m.Pregenerate(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache().Len() != 5 {
+		t.Fatalf("cache holds %d images", m.Cache().Len())
+	}
+	for _, cfg := range cfgs {
+		if _, hit, err := m.GetOrSynthesize(cfg); err != nil || !hit {
+			t.Errorf("pre-generated %d missed (err %v)", cfg.DCache.SizeBytes, err)
+		}
+	}
+	if got := len(m.Cache().Keys()); got != 5 {
+		t.Errorf("Keys() = %d", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	m := NewManager(c, testSynth)
+	a, b, d := cfgWithDCache(1<<10), cfgWithDCache(2<<10), cfgWithDCache(8<<10)
+	m.GetOrSynthesize(a)
+	m.GetOrSynthesize(b)
+	m.GetOrSynthesize(a) // a most recent
+	m.GetOrSynthesize(d) // evicts b
+	if _, ok := c.Get(synth.ConfigKey(a)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.Get(synth.ConfigKey(b)); ok {
+		t.Error("LRU entry survived")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := NewCache(0)
+	img, err := synth.Synthesize(leon.DefaultConfig(), testSynth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(img)
+	c.Put(img)
+	if c.Len() != 1 {
+		t.Errorf("duplicate Put grew the cache to %d", c.Len())
+	}
+}
+
+func TestSynthesisErrorPropagates(t *testing.T) {
+	m := NewManager(NewCache(0), testSynth)
+	bad := leon.DefaultConfig()
+	bad.DCache.SizeBytes = 512 << 10
+	if _, _, err := m.GetOrSynthesize(bad); err == nil {
+		t.Error("unfittable config cached")
+	}
+	if m.Cache().Len() != 0 {
+		t.Error("failed synthesis left a cache entry")
+	}
+	if err := m.Pregenerate([]leon.Config{bad}); err == nil {
+		t.Error("Pregenerate swallowed the error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(NewCache(0), testSynth)
+	cfgs := []leon.Config{cfgWithDCache(1 << 10), cfgWithDCache(4 << 10)}
+	if err := m.Pregenerate(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cache().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache(0)
+	if err := fresh.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("loaded %d images", fresh.Len())
+	}
+	for _, cfg := range cfgs {
+		img, ok := fresh.Get(synth.ConfigKey(cfg))
+		if !ok {
+			t.Fatalf("missing %s", synth.ConfigKey(cfg))
+		}
+		want, _ := synth.Synthesize(cfg, testSynth)
+		if !bytes.Equal(img.Bitstream, want.Bitstream) {
+			t.Error("persisted bitstream corrupted")
+		}
+		if img.Util != want.Util {
+			t.Errorf("persisted utilization %+v != %+v", img.Util, want.Util)
+		}
+	}
+	// Loading a directory with no entries is fine.
+	if err := NewCache(0).Load(t.TempDir()); err != nil {
+		t.Errorf("empty load: %v", err)
+	}
+}

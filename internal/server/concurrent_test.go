@@ -1,0 +1,64 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"liquidarch/internal/client"
+	"liquidarch/internal/leon"
+)
+
+// TestConcurrentClients: several clients hammer one server; the
+// reconfiguration server serializes access to the single LEON, and
+// every client must see consistent, uncorrupted responses.
+func TestConcurrentClients(t *testing.T) {
+	_, addr := startServer(t)
+	const clients = 4
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			// Each client writes its own page and reads it back.
+			base := leon.DefaultLoadAddr + uint32(id)*0x1000
+			payload := make([]byte, 512)
+			for j := range payload {
+				payload[j] = byte(id*31 + j)
+			}
+			for r := 0; r < rounds; r++ {
+				if err := c.WriteMemory(base, payload); err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.ReadMemory(base, len(payload))
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range payload {
+					if got[j] != payload[j] {
+						t.Errorf("client %d round %d: byte %d corrupted", id, r, j)
+						return
+					}
+				}
+				if _, err := c.Status(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package server implements the Reconfiguration Server of Fig. 1: the
+// network daemon that controls access to the FPX platform, sequencing
+// the loading and execution of applications. It binds a real UDP
+// socket; each datagram is re-wrapped into a synthetic IPv4/UDP frame
+// so the FPX protocol wrappers and Control Packet Processor run on the
+// exact bytes the hardware would see.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/netproto"
+)
+
+// Server serves one FPX platform over UDP. Requests are handled
+// strictly in arrival order: the LEON is a single execution resource
+// and the reconfiguration server's job is to sequence access to it.
+type Server struct {
+	platform *fpx.Platform
+	conn     *net.UDPConn
+
+	// Log, when non-nil, receives one line per handled datagram.
+	Log func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New binds a UDP socket at addr (e.g. "127.0.0.1:0") serving the
+// given platform.
+func New(platform *fpx.Platform, addr string) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{platform: platform, conn: conn}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Serve processes datagrams until Close is called. It returns nil on
+// clean shutdown.
+func (s *Server) Serve() error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("server: read: %w", err)
+		}
+		s.handle(buf[:n], peer)
+	}
+}
+
+// handle re-wraps the datagram as the raw frame the FPX would receive,
+// runs the hardware path, and relays response payloads to the peer.
+func (s *Server) handle(payload []byte, peer *net.UDPAddr) {
+	src := ipv4Of(peer.IP)
+	frame := netproto.BuildFrame(src, s.platform.IP, uint16(peer.Port), s.platform.Port, payload)
+	outs, err := s.platform.HandleFrame(frame)
+	if err != nil {
+		if s.Log != nil {
+			s.Log("drop from %v: %v", peer, err)
+		}
+		return
+	}
+	for _, raw := range outs {
+		f, err := netproto.ParseFrame(raw)
+		if err != nil {
+			continue // packet generator produced it; cannot happen
+		}
+		if _, err := s.conn.WriteToUDP(f.Payload, peer); err != nil && s.Log != nil {
+			s.Log("send to %v: %v", peer, err)
+		}
+	}
+	if s.Log != nil {
+		s.Log("%v: %d byte request, %d responses", peer, len(payload), len(outs))
+	}
+}
+
+// ipv4Of coerces an IP to 4 bytes (loopback-mapped for IPv6).
+func ipv4Of(ip net.IP) [4]byte {
+	var out [4]byte
+	if v4 := ip.To4(); v4 != nil {
+		copy(out[:], v4)
+	} else {
+		out = [4]byte{127, 0, 0, 1}
+	}
+	return out
+}
+
+// Close shuts the server down; Serve returns afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}

@@ -1,0 +1,253 @@
+// Package synth models the Synthesis component of Fig. 1: "this
+// component processes VHDL and emits FPGA layouts of the liquid
+// architecture". Real synthesis of one configuration took ≈1 hour on
+// the authors' tools (§1) and produced the device utilization of
+// Fig. 10; this package provides a calibrated area/frequency/latency
+// model of that process plus deterministic pseudo-bitstreams, so the
+// Reconfiguration Cache and Architecture Generator exercise the same
+// decisions the paper's environment faced.
+//
+// Calibration anchors (Fig. 10, Xilinx Virtex XCV2000E):
+//
+//	Logic slices  7900 / 19200  (41 %)
+//	BlockRAMs       54 %        (86 / 160)
+//	External IOBs  309
+//	Frequency       30 MHz
+//
+// The base Liquid processor system (leon.DefaultConfig) reproduces
+// those numbers; other configurations scale from them.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/leon"
+)
+
+// Device describes a synthesis target FPGA.
+type Device struct {
+	Name      string
+	Slices    int
+	BlockRAMs int // 4 Kbit blocks
+	IOBs      int
+}
+
+// XCV2000E is the FPX RAD device of the paper.
+var XCV2000E = Device{Name: "XCV2000E", Slices: 19200, BlockRAMs: 160, IOBs: 804}
+
+// XCV1000E is a smaller Virtex-E, useful for fit-failure scenarios.
+var XCV1000E = Device{Name: "XCV1000E", Slices: 12288, BlockRAMs: 96, IOBs: 660}
+
+// Utilization is a post-place-and-route resource report (Fig. 10).
+type Utilization struct {
+	Slices    int
+	BlockRAMs int
+	IOBs      int
+	FMaxMHz   float64
+}
+
+// Percent returns resource usage percentages against dev.
+func (u Utilization) Percent(dev Device) (slices, brams, iobs float64) {
+	return 100 * float64(u.Slices) / float64(dev.Slices),
+		100 * float64(u.BlockRAMs) / float64(dev.BlockRAMs),
+		100 * float64(u.IOBs) / float64(dev.IOBs)
+}
+
+// boardIOBs is fixed by the FPX pinout (network interfaces, memories).
+const boardIOBs = 309
+
+// bramBits is the capacity of one Virtex-E BlockRAM.
+const bramBits = 4096
+
+func bramsFor(bits int) int { return (bits + bramBits - 1) / bramBits }
+
+// cacheBRAMs returns BlockRAMs for a cache's data and tag arrays.
+func cacheBRAMs(c cache.Config) int {
+	data := c.SizeBytes * 8
+	// tag + valid + dirty per line; 22-bit tags cover the map.
+	tags := c.Lines() * 24
+	return bramsFor(data) + bramsFor(tags)
+}
+
+// cacheSlices returns control logic for a cache.
+func cacheSlices(c cache.Config) int {
+	s := 150 + 80*c.Assoc
+	if c.Write == cache.WriteBack {
+		s += 120
+	}
+	if c.Replacement != cache.LRU && c.Assoc > 1 {
+		s += 30
+	}
+	return s
+}
+
+// Estimate predicts post-PAR utilization for a configuration. The
+// model is additive per component with the constants calibrated so the
+// paper's base system hits Fig. 10 exactly.
+func Estimate(cfg leon.Config) Utilization {
+	cpuCfg := cfg.CPU
+	slices := 3140 // integer unit datapath and control
+	if cpuCfg.MulDiv {
+		slices += 600
+	}
+	if cpuCfg.MAC {
+		slices += 350
+	}
+	slices += (cpuCfg.NWindows - 2) * 60
+	slices += (cpuCfg.Depth() - 5) * 180 // extra pipeline registers
+	slices += cacheSlices(cfg.ICache)
+	slices += cacheSlices(cfg.DCache)
+	slices += 260                         // AHB fabric
+	slices += 640                         // APB bridge + UART + timers + irqctrl + gpio
+	slices += 880                         // layered protocol wrappers
+	slices += 700                         // CPP + leon_ctrl + cycle counter
+	slices += 480                         // FPX SDRAM controller
+	slices += 380 + 10*(cfg.BurstWords-4) // AHB↔SDRAM adapter (§3.2)
+
+	brams := bramsFor(cpuCfg.NWindows*16*32 + 8*32) // register file
+	brams += cacheBRAMs(cfg.ICache)
+	brams += cacheBRAMs(cfg.DCache)
+	brams += 8  // boot PROM
+	brams += 24 // wrapper packet buffers
+	brams += 12 // CPP FIFOs
+	brams += 12 // packet generator
+	brams += 16 // SDRAM controller line buffers
+
+	fmax := 15 + 3*float64(cpuCfg.Depth())
+	fmax -= 0.4 * doublings(cfg.DCache.SizeBytes, 4<<10)
+	fmax -= 0.4 * doublings(cfg.ICache.SizeBytes, 1<<10)
+	fmax -= 0.8 * float64(cfg.DCache.Assoc-1+cfg.ICache.Assoc-1)
+	if cpuCfg.MAC {
+		fmax -= 0.8
+	}
+	if cpuCfg.NWindows > 8 {
+		fmax -= 0.1 * float64(cpuCfg.NWindows-8)
+	}
+	if fmax < 12 {
+		fmax = 12
+	}
+
+	return Utilization{Slices: slices, BlockRAMs: brams, IOBs: boardIOBs, FMaxMHz: fmax}
+}
+
+// doublings counts log2(size/base) below or above the base (0 floor).
+func doublings(size, base int) float64 {
+	d := 0.0
+	for size > base {
+		size /= 2
+		d++
+	}
+	return d
+}
+
+// FitError reports a configuration that does not fit the device.
+type FitError struct {
+	Device Device
+	Util   Utilization
+}
+
+func (e *FitError) Error() string {
+	return fmt.Sprintf("synth: does not fit %s: %d/%d slices, %d/%d BlockRAMs",
+		e.Device.Name, e.Util.Slices, e.Device.Slices, e.Util.BlockRAMs, e.Device.BlockRAMs)
+}
+
+// Options tunes synthesis.
+type Options struct {
+	// Device is the target (default XCV2000E).
+	Device Device
+	// BitstreamBytes sizes the generated image (default the real
+	// XCV2000E bitstream length).
+	BitstreamBytes int
+	// TimeScale multiplies the modelled synthesis latency into actual
+	// sleep time (0 = don't sleep, just report). 1e-6 makes the ≈1 h
+	// synthesis take ≈3.6 ms, preserving relative costs in demos.
+	TimeScale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Device.Slices == 0 {
+		o.Device = XCV2000E
+	}
+	if o.BitstreamBytes == 0 {
+		o.BitstreamBytes = 1271512 // full XCV2000E configuration
+	}
+	return o
+}
+
+// Image is a synthesized FPGA configuration: the product the
+// Reconfiguration Cache stores and the FPX SelectMap interface loads.
+type Image struct {
+	Key       string
+	Config    leon.Config
+	Util      Utilization
+	Device    string
+	Bitstream []byte
+	// SynthTime is the modelled synthesis duration (≈1 h per point).
+	SynthTime time.Duration
+}
+
+// ConfigKey canonically identifies a configuration point; equal keys
+// mean interchangeable bitstreams.
+func ConfigKey(cfg leon.Config) string {
+	return fmt.Sprintf("w%d-md%v-mac%v-d%d-i%s-d%s-b%d-sram%d-sdram%d",
+		cfg.CPU.NWindows, cfg.CPU.MulDiv, cfg.CPU.MAC, cfg.CPU.Depth(),
+		cfg.ICache, cfg.DCache, cfg.BurstWords, cfg.SRAMSize, cfg.SDRAMSize)
+}
+
+// SynthTimeFor models the ≈1-hour tool run: it grows with design size.
+func SynthTimeFor(u Utilization) time.Duration {
+	secs := 1200 + 0.25*float64(u.Slices) + 5*float64(u.BlockRAMs)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// Synthesize runs the modelled synthesis flow: validate, estimate,
+// check fit, and emit a deterministic pseudo-bitstream.
+func Synthesize(cfg leon.Config, opts Options) (*Image, error) {
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	util := Estimate(cfg)
+	if util.Slices > opts.Device.Slices || util.BlockRAMs > opts.Device.BlockRAMs || util.IOBs > opts.Device.IOBs {
+		return nil, &FitError{Device: opts.Device, Util: util}
+	}
+	key := ConfigKey(cfg)
+	img := &Image{
+		Key:       key,
+		Config:    cfg,
+		Util:      util,
+		Device:    opts.Device.Name,
+		Bitstream: pseudoBitstream(key, opts.BitstreamBytes),
+		SynthTime: SynthTimeFor(util),
+	}
+	if opts.TimeScale > 0 {
+		time.Sleep(time.Duration(float64(img.SynthTime) * opts.TimeScale))
+	}
+	return img, nil
+}
+
+// pseudoBitstream deterministically expands a key into n bytes with a
+// SelectMap-style sync header, so identical configurations produce
+// identical images.
+func pseudoBitstream(key string, n int) []byte {
+	out := make([]byte, n)
+	// Sync word + dummy padding, as real Virtex bitstreams start.
+	header := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0x99, 0x55, 0x66}
+	copy(out, header)
+	// FNV-1a seed from the key.
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	x := h | 1
+	for i := len(header); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package synth
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/leon"
+)
+
+// TestFig10Calibration: the base Liquid processor system must
+// reproduce the paper's device utilization table exactly.
+func TestFig10Calibration(t *testing.T) {
+	u := Estimate(leon.DefaultConfig())
+	if u.Slices != 7900 {
+		t.Errorf("slices = %d, want 7900", u.Slices)
+	}
+	if u.BlockRAMs != 86 {
+		t.Errorf("BlockRAMs = %d, want 86 (54%% of 160)", u.BlockRAMs)
+	}
+	if u.IOBs != 309 {
+		t.Errorf("IOBs = %d, want 309", u.IOBs)
+	}
+	if u.FMaxMHz != 30 {
+		t.Errorf("fMax = %v, want 30 MHz", u.FMaxMHz)
+	}
+	sp, bp, ip := u.Percent(XCV2000E)
+	if sp < 41 || sp > 41.5 {
+		t.Errorf("slice%% = %.1f, want ≈41", sp)
+	}
+	if bp < 53 || bp > 55 {
+		t.Errorf("bram%% = %.1f, want ≈54", bp)
+	}
+	if ip < 38 || ip > 39 {
+		t.Errorf("iob%% = %.1f, want ≈38", ip)
+	}
+}
+
+func TestBiggerCachesCostMoreBRAM(t *testing.T) {
+	base := Estimate(leon.DefaultConfig())
+	big := leon.DefaultConfig()
+	big.DCache.SizeBytes = 16 << 10
+	u := Estimate(big)
+	if u.BlockRAMs <= base.BlockRAMs {
+		t.Errorf("16KB D$ BRAMs %d not above base %d", u.BlockRAMs, base.BlockRAMs)
+	}
+	if u.FMaxMHz >= base.FMaxMHz {
+		t.Errorf("16KB D$ fMax %v not below base %v", u.FMaxMHz, base.FMaxMHz)
+	}
+}
+
+func TestFeatureCosts(t *testing.T) {
+	base := Estimate(leon.DefaultConfig())
+
+	mac := leon.DefaultConfig()
+	mac.CPU.MAC = true
+	if u := Estimate(mac); u.Slices <= base.Slices {
+		t.Error("MAC unit is free")
+	}
+
+	deep := leon.DefaultConfig()
+	deep.CPU.PipelineDepth = 7
+	if u := Estimate(deep); u.FMaxMHz <= base.FMaxMHz {
+		t.Error("deeper pipeline does not raise fMax")
+	}
+
+	noMul := leon.DefaultConfig()
+	noMul.CPU.MulDiv = false
+	if u := Estimate(noMul); u.Slices >= base.Slices {
+		t.Error("removing mul/div does not save slices")
+	}
+
+	assoc := leon.DefaultConfig()
+	assoc.DCache.Assoc = 4
+	if u := Estimate(assoc); u.Slices <= base.Slices || u.FMaxMHz >= base.FMaxMHz {
+		t.Error("associativity is free")
+	}
+
+	wb := leon.DefaultConfig()
+	wb.DCache.Write = cache.WriteBack
+	if u := Estimate(wb); u.Slices <= base.Slices {
+		t.Error("write-back is free")
+	}
+
+	wins := leon.DefaultConfig()
+	wins.CPU.NWindows = 16
+	if u := Estimate(wins); u.Slices <= base.Slices || u.BlockRAMs <= base.BlockRAMs {
+		t.Error("extra windows are free")
+	}
+}
+
+func TestSynthesizeProducesImage(t *testing.T) {
+	cfg := leon.DefaultConfig()
+	img, err := Synthesize(cfg, Options{BitstreamBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Key != ConfigKey(cfg) || img.Device != "XCV2000E" {
+		t.Errorf("image meta: %q %q", img.Key, img.Device)
+	}
+	if len(img.Bitstream) != 4096 {
+		t.Errorf("bitstream = %d bytes", len(img.Bitstream))
+	}
+	// SelectMap-style sync header.
+	if !bytes.HasPrefix(img.Bitstream, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0x99, 0x55, 0x66}) {
+		t.Error("no sync header")
+	}
+	// ≈1 hour.
+	if h := img.SynthTime.Hours(); h < 0.5 || h > 2 {
+		t.Errorf("synthesis time = %v, want ≈1h", img.SynthTime)
+	}
+	// Determinism.
+	img2, err := Synthesize(cfg, Options{BitstreamBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img.Bitstream, img2.Bitstream) {
+		t.Error("bitstreams differ across runs")
+	}
+	// Different config, different bitstream.
+	other := cfg
+	other.DCache.SizeBytes = 8 << 10
+	img3, err := Synthesize(other, Options{BitstreamBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(img.Bitstream[8:64], img3.Bitstream[8:64]) {
+		t.Error("different configs share a bitstream body")
+	}
+	// Default bitstream length is the real device's.
+	full, err := Synthesize(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Bitstream) != 1271512 {
+		t.Errorf("default bitstream = %d bytes", len(full.Bitstream))
+	}
+}
+
+func TestFitFailure(t *testing.T) {
+	huge := leon.DefaultConfig()
+	huge.DCache.SizeBytes = 512 << 10 // 1024+ BRAMs
+	_, err := Synthesize(huge, Options{BitstreamBytes: 64})
+	var fe *FitError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want FitError", err)
+	}
+	if fe.Error() == "" {
+		t.Error("empty fit error")
+	}
+	// Small device rejects what the big one accepts.
+	mid := leon.DefaultConfig()
+	mid.DCache.SizeBytes = 32 << 10
+	if _, err := Synthesize(mid, Options{Device: XCV2000E, BitstreamBytes: 64}); err != nil {
+		t.Errorf("32KB on XCV2000E: %v", err)
+	}
+	big := leon.DefaultConfig()
+	big.DCache.SizeBytes = 64 << 10
+	big.ICache.SizeBytes = 16 << 10
+	if _, err := Synthesize(big, Options{Device: XCV1000E, BitstreamBytes: 64}); err == nil {
+		t.Error("oversized design fit XCV1000E")
+	}
+}
+
+func TestSynthesizeValidates(t *testing.T) {
+	bad := leon.DefaultConfig()
+	bad.DCache.SizeBytes = 3000
+	if _, err := Synthesize(bad, Options{}); err == nil {
+		t.Error("invalid config synthesized")
+	}
+}
+
+func TestConfigKeyDistinguishes(t *testing.T) {
+	a := leon.DefaultConfig()
+	b := leon.DefaultConfig()
+	if ConfigKey(a) != ConfigKey(b) {
+		t.Error("equal configs produce different keys")
+	}
+	b.DCache.SizeBytes = 8 << 10
+	if ConfigKey(a) == ConfigKey(b) {
+		t.Error("different configs share a key")
+	}
+	c := leon.DefaultConfig()
+	c.CPU.MAC = true
+	if ConfigKey(a) == ConfigKey(c) {
+		t.Error("MAC not in key")
+	}
+}
+
+func TestFMaxFloor(t *testing.T) {
+	cfg := leon.DefaultConfig()
+	cfg.CPU.PipelineDepth = 3
+	cfg.DCache.SizeBytes = 64 << 10
+	cfg.DCache.Assoc = 8
+	cfg.ICache.SizeBytes = 32 << 10
+	cfg.ICache.Assoc = 8
+	cfg.CPU.MAC = true
+	u := Estimate(cfg)
+	if u.FMaxMHz < 12 {
+		t.Errorf("fMax %v fell through the floor", u.FMaxMHz)
+	}
+}

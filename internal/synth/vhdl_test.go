@@ -1,0 +1,46 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"liquidarch/internal/cache"
+	"liquidarch/internal/leon"
+)
+
+func TestVHDLContainsGenerics(t *testing.T) {
+	cfg := leon.DefaultConfig()
+	cfg.CPU.MAC = true
+	cfg.DCache.SizeBytes = 8 << 10
+	cfg.DCache.Write = cache.WriteBack
+	text := VHDL(cfg)
+	for _, frag := range []string{
+		"entity liquid_processor",
+		"NWINDOWS",
+		":= 8",
+		"DCACHE_BYTES",
+		":= 8192",
+		"MAC_UNIT",
+		"DCACHE_WRITEBACK",
+		"ahb_sdram_br",
+		"leon_ctrl",
+		ConfigKey(cfg),
+		"end architecture fpx;",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("VHDL output missing %q\n%s", frag, text)
+		}
+	}
+	// Booleans render as 0/1 generics.
+	if !strings.Contains(text, "MAC_UNIT             : integer := 1") {
+		t.Errorf("MAC generic not set:\n%s", text)
+	}
+}
+
+func TestVHDLDeterministic(t *testing.T) {
+	a := VHDL(leon.DefaultConfig())
+	b := VHDL(leon.DefaultConfig())
+	if a != b {
+		t.Error("VHDL output not deterministic")
+	}
+}

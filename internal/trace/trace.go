@@ -1,0 +1,214 @@
+// Package trace implements the Trace Analyzer of Fig. 1: "execution
+// traces are analyzed to identify candidate portions of an application
+// whose performance could be improved through reconfigurability". It
+// captures instruction and data streams from the CPU's trace hooks and
+// answers the questions the Architecture Generator asks: where are the
+// hot spots, how big is the working set, and how would a different
+// cache geometry have behaved (by replaying the recorded address
+// stream through cache models, far cheaper than re-running the
+// program).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"liquidarch/internal/amba"
+	"liquidarch/internal/cache"
+	"liquidarch/internal/cpu"
+	"liquidarch/internal/isa"
+)
+
+// MemEvent is one data-memory access.
+type MemEvent struct {
+	Addr  uint32
+	Size  uint8
+	Write bool
+}
+
+// Recorder captures a program's execution behaviour. Attach it to a
+// CPU before the run and Detach after.
+type Recorder struct {
+	// MaxEvents caps the stored data stream (default 4M); further
+	// events are counted in Dropped but not stored.
+	MaxEvents int
+
+	pcHeat  map[uint32]uint64
+	mem     []MemEvent
+	opMix   map[isa.Op]uint64
+	insts   uint64
+	dropped uint64
+
+	prevExec func(uint32, isa.Inst)
+	prevMem  func(uint32, amba.Size, bool)
+	attached *cpu.CPU
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		MaxEvents: 4 << 20,
+		pcHeat:    make(map[uint32]uint64),
+		opMix:     make(map[isa.Op]uint64),
+	}
+}
+
+// Attach installs the recorder on c's trace hooks (chaining any
+// existing hooks).
+func (r *Recorder) Attach(c *cpu.CPU) {
+	r.attached = c
+	r.prevExec, r.prevMem = c.OnExec, c.OnMem
+	c.OnExec = func(pc uint32, in isa.Inst) {
+		r.insts++
+		r.pcHeat[pc]++
+		r.opMix[in.Op]++
+		if r.prevExec != nil {
+			r.prevExec(pc, in)
+		}
+	}
+	c.OnMem = func(addr uint32, size amba.Size, write bool) {
+		if len(r.mem) < r.MaxEvents {
+			r.mem = append(r.mem, MemEvent{Addr: addr, Size: uint8(size), Write: write})
+		} else {
+			r.dropped++
+		}
+		if r.prevMem != nil {
+			r.prevMem(addr, size, write)
+		}
+	}
+}
+
+// Detach removes the recorder, restoring prior hooks.
+func (r *Recorder) Detach() {
+	if r.attached == nil {
+		return
+	}
+	r.attached.OnExec = r.prevExec
+	r.attached.OnMem = r.prevMem
+	r.attached = nil
+}
+
+// Reset discards captured data.
+func (r *Recorder) Reset() {
+	r.pcHeat = make(map[uint32]uint64)
+	r.opMix = make(map[isa.Op]uint64)
+	r.mem = r.mem[:0]
+	r.insts, r.dropped = 0, 0
+}
+
+// Instructions returns the executed-instruction count.
+func (r *Recorder) Instructions() uint64 { return r.insts }
+
+// MemEvents returns the captured data stream.
+func (r *Recorder) MemEvents() []MemEvent { return r.mem }
+
+// Dropped returns how many events exceeded MaxEvents.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// OpMix returns per-operation execution counts.
+func (r *Recorder) OpMix() map[isa.Op]uint64 {
+	out := make(map[isa.Op]uint64, len(r.opMix))
+	for k, v := range r.opMix {
+		out[k] = v
+	}
+	return out
+}
+
+// HotSpot is a program counter and its execution count.
+type HotSpot struct {
+	PC    uint32 `json:"pc"`
+	Count uint64 `json:"count"`
+}
+
+// HotSpots returns the n most-executed instruction addresses,
+// descending — the candidate regions for reconfiguration.
+func (r *Recorder) HotSpots(n int) []HotSpot {
+	all := make([]HotSpot, 0, len(r.pcHeat))
+	for pc, c := range r.pcHeat {
+		all = append(all, HotSpot{PC: pc, Count: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].PC < all[j].PC
+	})
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// WorkingSet returns the number of distinct lineBytes-sized blocks the
+// data stream touched, and the total bytes they span.
+func (r *Recorder) WorkingSet(lineBytes int) (lines int, bytes int) {
+	if lineBytes <= 0 {
+		lineBytes = 32
+	}
+	seen := make(map[uint32]struct{})
+	for _, e := range r.mem {
+		seen[e.Addr/uint32(lineBytes)] = struct{}{}
+	}
+	return len(seen), len(seen) * lineBytes
+}
+
+// SweepResult is the predicted behaviour of one cache configuration on
+// the recorded stream.
+type SweepResult struct {
+	Config    cache.Config
+	Stats     cache.Stats
+	MissRatio float64
+}
+
+// SweepCaches replays the recorded data stream through each cache
+// configuration and reports the resulting miss behaviour. This is the
+// "Sim" feedback path of Fig. 1 run at trace speed.
+func (r *Recorder) SweepCaches(configs []cache.Config) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(configs))
+	for _, cfg := range configs {
+		st, err := Replay(r.mem, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace: sweep %v: %w", cfg, err)
+		}
+		out = append(out, SweepResult{Config: cfg, Stats: st, MissRatio: st.MissRatio()})
+	}
+	return out, nil
+}
+
+// sinkSlave accepts every address with fixed latency; it backs replay
+// caches so any recorded address is mappable.
+type sinkSlave struct{}
+
+func (sinkSlave) Read(addr uint32, size amba.Size) (uint32, int, error)      { return 0, 1, nil }
+func (sinkSlave) Write(addr uint32, val uint32, size amba.Size) (int, error) { return 1, nil }
+func (sinkSlave) ReadBurst(addr uint32, words []uint32) (int, error)         { return 1 + len(words), nil }
+
+// Replay runs a memory-event stream through a fresh cache of the given
+// geometry and returns its statistics.
+func Replay(events []MemEvent, cfg cache.Config) (cache.Stats, error) {
+	bus := amba.NewAHB()
+	if err := bus.Map("sink", 0, 0xFFFFFFFF, sinkSlave{}); err != nil {
+		return cache.Stats{}, err
+	}
+	c, err := cache.New(cfg, bus)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	for _, e := range events {
+		sz := amba.Size(e.Size)
+		if sz != amba.SizeByte && sz != amba.SizeHalf && sz != amba.SizeWord {
+			sz = amba.SizeWord
+		}
+		addr := e.Addr &^ (uint32(sz) - 1)
+		if e.Write {
+			if _, err := c.Write(addr, 0, sz); err != nil {
+				return cache.Stats{}, err
+			}
+		} else {
+			if _, _, err := c.Read(addr, sz); err != nil {
+				return cache.Stats{}, err
+			}
+		}
+	}
+	return c.Stats(), nil
+}
