@@ -1,0 +1,31 @@
+# Convenience targets; `make ci` runs the exact checks the CI workflow
+# runs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+ci: fmt-check vet build race

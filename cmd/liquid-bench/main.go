@@ -13,12 +13,20 @@
 //	liquid-bench -exp burst    # adapter burst-length ablation
 //	liquid-bench -exp writepolicy | -exp assoc
 //	liquid-bench -all
+//	liquid-bench -all -json out/   # also write machine-readable BENCH_<name>.json
+//
+// With -json DIR, every experiment additionally writes
+// DIR/BENCH_<name>.json containing {"figure": ..., "data": rows}, so
+// the perf trajectory tracked in this repository's BENCH files is
+// produced by the tool itself instead of being transcribed by hand.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"liquidarch/internal/bench"
 	"liquidarch/internal/cliutil"
@@ -28,63 +36,86 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate figure 8, 9 or 10")
 	exp := flag.String("exp", "", "experiment: adapter, reconfig, mac, burst, writepolicy, assoc")
 	all := flag.Bool("all", false, "run everything")
+	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files to this directory")
 	flag.Parse()
 
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			cliutil.Fatalf("liquid-bench: %v", err)
+		}
+	}
+
 	ran := false
-	run := func(name string, f func() error) {
+	run := func(name, file string, f func() (any, error)) {
 		ran = true
 		fmt.Printf("== %s ==\n", name)
-		if err := f(); err != nil {
+		data, err := f()
+		if err != nil {
 			cliutil.Fatalf("liquid-bench: %s: %v", name, err)
+		}
+		if *jsonDir != "" && data != nil {
+			doc := struct {
+				Figure string `json:"figure"`
+				Data   any    `json:"data"`
+			}{Figure: name, Data: data}
+			blob, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				cliutil.Fatalf("liquid-bench: %s: %v", name, err)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+file+".json")
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				cliutil.Fatalf("liquid-bench: %s: %v", name, err)
+			}
+			fmt.Printf("(wrote %s)\n", path)
 		}
 		fmt.Println()
 	}
 
 	if *fig == 8 || *all {
-		run("Figure 8: array-access running time vs data cache size", fig8)
+		run("Figure 8: array-access running time vs data cache size", "fig8", fig8)
 	}
 	if *fig == 9 || *all {
-		run("Figure 9: same series as CSV (cycles vs cache size)", fig9)
+		run("Figure 9: same series as CSV (cycles vs cache size)", "fig9", fig9)
 	}
 	if *fig == 10 || *all {
-		run("Figure 10: Liquid Processor System device utilization", fig10)
+		run("Figure 10: Liquid Processor System device utilization", "fig10", fig10)
 	}
 	if *exp == "adapter" || *all {
-		run("E5: AHB↔SDRAM adapter behaviour (§3.2)", adapter)
+		run("E5: AHB↔SDRAM adapter behaviour (§3.2)", "adapter", adapter)
 	}
 	if *exp == "reconfig" || *all {
-		run("E6: reconfiguration cache economics", reconfigExp)
+		run("E6: reconfiguration cache economics", "reconfig", reconfigExp)
 	}
 	if *exp == "mac" || *all {
-		run("Ablation: liquid MAC instruction", macExp)
+		run("Ablation: liquid MAC instruction", "mac", macExp)
 	}
 	if *exp == "burst" || *all {
-		run("Ablation: adapter read-burst length", burst)
+		run("Ablation: adapter read-burst length", "burst", burst)
 	}
 	if *exp == "writepolicy" || *all {
-		run("Ablation: data-cache write policy", writePolicy)
+		run("Ablation: data-cache write policy", "writepolicy", writePolicy)
 	}
 	if *exp == "assoc" || *all {
-		run("Ablation: data-cache associativity at 2 KB", assoc)
+		run("Ablation: data-cache associativity at 2 KB", "assoc", assoc)
 	}
 	if *exp == "icache" || *all {
-		run("Ablation: instruction-cache size (code-footprint kernel)", icacheExp)
+		run("Ablation: instruction-cache size (code-footprint kernel)", "icache", icacheExp)
 	}
 	if *exp == "placement" || *all {
-		run("Ablation: data placement, SRAM vs SDRAM via the §3.2 adapter", placement)
+		run("Ablation: data placement, SRAM vs SDRAM via the §3.2 adapter", "placement", placement)
 	}
 	if *exp == "pipeline" || *all {
-		run("Ablation: pipeline depth (cycles vs synthesized clock)", pipeline)
+		run("Ablation: pipeline depth (cycles vs synthesized clock)", "pipeline", pipeline)
 	}
 	if !ran {
 		cliutil.Fatalf("liquid-bench: nothing selected; use -fig, -exp or -all")
 	}
 }
 
-func fig8() error {
+func fig8() (any, error) {
 	rows, err := bench.Fig8Sweep()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"Data Cache Size", "Number of clock cycles", "D$ misses", "miss ratio", "ms @ fMax"}}
 	for _, r := range rows {
@@ -100,22 +131,22 @@ func fig8() error {
 	fmt.Println("\nshape check: no cache misses (beyond the cold fill) once the cache reaches 4KB —")
 	fmt.Printf("miss counts: 1KB=%d 2KB=%d 4KB=%d 8KB=%d 16KB=%d\n",
 		rows[0].Misses, rows[1].Misses, rows[2].Misses, rows[3].Misses, rows[4].Misses)
-	return nil
+	return rows, nil
 }
 
-func fig9() error {
+func fig9() (any, error) {
 	rows, err := bench.Fig8Sweep()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("dcache_bytes,cycles,misses")
 	for _, r := range rows {
 		fmt.Printf("%d,%d,%d\n", r.DCacheBytes, r.Cycles, r.Misses)
 	}
-	return nil
+	return rows, nil
 }
 
-func fig10() error {
+func fig10() (any, error) {
 	u, dev := bench.Fig10Report()
 	sp, bp, ip := u.Percent(dev)
 	cliutil.Table(os.Stdout, [][]string{
@@ -125,13 +156,16 @@ func fig10() error {
 		{"External IOBs", fmt.Sprintf("%d of %d", u.IOBs, dev.IOBs), fmt.Sprintf("%.0f%%", ip)},
 		{"Frequency", fmt.Sprintf("%.0f MHz", u.FMaxMHz), "NA"},
 	})
-	return nil
+	return struct {
+		Utilization any    `json:"utilization"`
+		Device      string `json:"device"`
+	}{u, dev.Name}, nil
 }
 
-func adapter() error {
+func adapter() (any, error) {
 	rows, err := bench.AdapterExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"access pattern", "words", "cycles", "handshakes"}}
 	for _, r := range rows {
@@ -139,13 +173,13 @@ func adapter() error {
 			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Handshakes)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func reconfigExp() error {
+func reconfigExp() (any, error) {
 	rows, stats, err := bench.ReconfigExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"step", "cache hit", "cost"}}
 	for _, r := range rows {
@@ -154,13 +188,16 @@ func reconfigExp() error {
 	cliutil.Table(os.Stdout, table)
 	fmt.Printf("\ncache: %d hits, %d misses; tool time spent %v, avoided %v\n",
 		stats.Hits, stats.Misses, stats.SynthTime, stats.SavedTime)
-	return nil
+	return struct {
+		Steps any `json:"steps"`
+		Cache any `json:"cache"`
+	}{rows, stats}, nil
 }
 
-func macExp() error {
+func macExp() (any, error) {
 	plain, mac, err := bench.MACExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cliutil.Table(os.Stdout, [][]string{
 		{"configuration", "cycles", "instructions"},
@@ -169,13 +206,16 @@ func macExp() error {
 	})
 	fmt.Printf("\nspeedup from the liquid ISA extension: %.2fx\n",
 		float64(plain.Cycles)/float64(mac.Cycles))
-	return nil
+	return struct {
+		Plain any `json:"base_isa"`
+		MAC   any `json:"mac_unit"`
+	}{plain, mac}, nil
 }
 
-func burst() error {
+func burst() (any, error) {
 	rows, err := bench.BurstAblation()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"burst words", "fill cycles", "handshakes"}}
 	for _, r := range rows {
@@ -183,26 +223,26 @@ func burst() error {
 			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Handshakes)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func writePolicy() error {
+func writePolicy() (any, error) {
 	rows, err := bench.WritePolicyExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"policy", "cycles"}}
 	for _, r := range rows {
 		table = append(table, []string{r.Policy, fmt.Sprintf("%d", r.Cycles)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func icacheExp() error {
+func icacheExp() (any, error) {
 	rows, err := bench.ICacheSweep()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"I$ size", "cycles", "I$ misses"}}
 	for _, r := range rows {
@@ -210,26 +250,26 @@ func icacheExp() error {
 			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Misses)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func placement() error {
+func placement() (any, error) {
 	rows, err := bench.PlacementExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"data memory", "cycles"}}
 	for _, r := range rows {
 		table = append(table, []string{r.Memory, fmt.Sprintf("%d", r.Cycles)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func pipeline() error {
+func pipeline() (any, error) {
 	rows, err := bench.PipelineExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"depth", "cycles", "fMax", "ms"}}
 	for _, r := range rows {
@@ -238,13 +278,13 @@ func pipeline() error {
 			fmt.Sprintf("%.3f", r.Millis)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }
 
-func assoc() error {
+func assoc() (any, error) {
 	rows, err := bench.AssocExperiment()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	table := [][]string{{"ways @ 2KB", "cycles", "D$ misses"}}
 	for _, r := range rows {
@@ -252,5 +292,5 @@ func assoc() error {
 			fmt.Sprintf("%d", r.Cycles), fmt.Sprintf("%d", r.Misses)})
 	}
 	cliutil.Table(os.Stdout, table)
-	return nil
+	return rows, nil
 }

@@ -5,17 +5,26 @@
 //
 // Usage:
 //
-//	liquid-server -listen 127.0.0.1:5001 [-dcache 4096 ...] [-v]
+//	liquid-server -listen 127.0.0.1:5001 [-metrics-addr 127.0.0.1:9090] [-dcache 4096 ...] [-v]
+//
+// With -metrics-addr set, an HTTP listener additionally serves
+// /metrics (Prometheus text), /statusz (JSON snapshot + recent events)
+// and /debug/pprof. The same snapshot is available in-band over UDP
+// via `liquidctl stats`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"liquidarch/internal/cliutil"
 	"liquidarch/internal/core"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
 )
@@ -23,6 +32,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("liquid-server", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:5001", "UDP address to serve")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	verbose := fs.Bool("v", false, "log each handled request")
 	uart := fs.Bool("uart", true, "print the processor's UART output to stdout")
 	cacheDir := fs.String("cachedir", "", "persist the reconfiguration cache here")
@@ -58,6 +68,22 @@ func main() {
 	}
 	if *verbose {
 		srv.Log = log.Printf
+		srv.Events().Mirror = log.Printf
+	} else {
+		srv.Events().MinLevel = eventlog.Info
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			cliutil.Fatalf("liquid-server: metrics listener: %v", err)
+		}
+		handler := metrics.NewHTTPHandler(sys.Metrics(), sys.Events())
+		go func() {
+			if err := http.Serve(ln, handler); err != nil {
+				log.Printf("liquid-server: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("liquid-server: telemetry on http://%s/metrics (also /statusz, /debug/pprof)\n", ln.Addr())
 	}
 	util := sys.ActiveImage().Util
 	fmt.Printf("liquid-server: %s on %s\n", synth.ConfigKey(cfg), srv.Addr())

@@ -11,9 +11,12 @@
 //	liquidctl -server HOST:PORT run    -c prog.c | -s prog.s  [-mac]
 //	liquidctl -server HOST:PORT reconfigure -spec '{"dcache_bytes":8192}'
 //	liquidctl -server HOST:PORT getconfig
+//	liquidctl -server HOST:PORT stats      # telemetry snapshot (JSON)
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +52,7 @@ func main() {
 	verbs := map[string]bool{
 		"status": true, "load": true, "start": true, "readmem": true,
 		"writemem": true, "run": true, "reconfigure": true,
-		"getconfig": true, "trace": true,
+		"getconfig": true, "trace": true, "stats": true,
 	}
 	args := os.Args[1:]
 	verb := ""
@@ -172,6 +175,18 @@ func main() {
 			cliutil.Fatalf("liquidctl: %v", err)
 		}
 		fmt.Println(string(blob))
+
+	case "stats":
+		blob, err := c.Stats()
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, blob, "", "  "); err != nil {
+			fmt.Println(string(blob)) // not JSON? print raw
+			return
+		}
+		fmt.Println(pretty.String())
 
 	default:
 		cliutil.Fatalf("liquidctl: unknown command %q", verb)

@@ -23,6 +23,7 @@
 //	server, client        reconfiguration server and control client (real UDP)
 //	trace, synth          trace analyzer and calibrated synthesis model
 //	reconfig, archgen     reconfiguration cache and design-space explorer
+//	metrics               telemetry registry, event log, /metrics endpoint
 //	core                  the liquid-architecture System façade
 //
 // Executables are under cmd/ (liquid-server, liquidctl, liquid-run,

@@ -11,8 +11,29 @@ import (
 	"net"
 	"time"
 
+	"liquidarch/internal/metrics"
 	"liquidarch/internal/netproto"
 )
+
+// clientMetrics count the client's view of the network: how often the
+// unreliable channel made it retransmit, give up, or wait.
+type clientMetrics struct {
+	requests *metrics.CounterVec
+	retries  *metrics.Counter
+	timeouts *metrics.Counter
+	errors   *metrics.Counter
+	rtt      *metrics.Histogram
+}
+
+func newClientMetrics(r *metrics.Registry) clientMetrics {
+	return clientMetrics{
+		requests: r.CounterVec("liquid_client_requests_total", "Requests issued, by command.", "cmd"),
+		retries:  r.Counter("liquid_client_retries_total", "Requests retransmitted after a timeout."),
+		timeouts: r.Counter("liquid_client_timeouts_total", "Read deadlines that expired waiting for a response."),
+		errors:   r.Counter("liquid_client_errors_total", "Exchanges that ended in an error (server CmdError or exhausted retries)."),
+		rtt:      r.Histogram("liquid_client_rtt_seconds", "Round-trip latency of successful exchanges.", metrics.DefSecondsBuckets),
+	}
+}
 
 // Client is a UDP control client bound to one server.
 type Client struct {
@@ -22,6 +43,9 @@ type Client struct {
 	Timeout time.Duration
 	// Retries is how many times a timed-out request is retransmitted.
 	Retries int
+
+	reg *metrics.Registry
+	m   clientMetrics
 }
 
 // Dial connects to the server at addr ("host:port").
@@ -34,8 +58,19 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	return &Client{conn: conn, Timeout: 2 * time.Second, Retries: 3}, nil
+	reg := metrics.NewRegistry()
+	return &Client{
+		conn:    conn,
+		Timeout: 2 * time.Second,
+		Retries: 3,
+		reg:     reg,
+		m:       newClientMetrics(reg),
+	}, nil
 }
+
+// Metrics returns the client-side telemetry registry (request counts,
+// retries, timeouts, round-trip latency).
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
 
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -46,19 +81,27 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 	want := pkt.Command | netproto.RespFlag
 	raw := pkt.Marshal()
 	buf := make([]byte, 64<<10)
+	c.m.requests.With(netproto.CommandName(pkt.Command)).Inc()
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.m.retries.Inc()
+		}
 		if _, err := c.conn.Write(raw); err != nil {
+			c.m.errors.Inc()
 			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
 		}
 		deadline := time.Now().Add(c.Timeout)
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				c.m.errors.Inc()
 				return netproto.Packet{}, err
 			}
 			n, err := c.conn.Read(buf)
 			if err != nil {
 				lastErr = err
+				c.m.timeouts.Inc()
 				break // timeout: retransmit
 			}
 			resp, err := netproto.ParsePacket(buf[:n])
@@ -68,11 +111,13 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 			if resp.Command == netproto.CmdError {
 				er, perr := netproto.ParseErrorResp(resp.Body)
 				if perr != nil {
+					c.m.errors.Inc()
 					return netproto.Packet{}, fmt.Errorf("client: malformed error response: %w", perr)
 				}
 				if er.Code != pkt.Command {
 					continue // stale error for an earlier request
 				}
+				c.m.errors.Inc()
 				return netproto.Packet{}, fmt.Errorf("client: server error: %s", er.Msg)
 			}
 			if resp.Command != want {
@@ -81,9 +126,11 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 			body := make([]byte, len(resp.Body))
 			copy(body, resp.Body)
 			resp.Body = body
+			c.m.rtt.ObserveSince(start)
 			return resp, nil
 		}
 	}
+	c.m.errors.Inc()
 	return netproto.Packet{}, fmt.Errorf("client: no response after %d attempts: %w", c.Retries+1, lastErr)
 }
 
@@ -199,6 +246,17 @@ func (c *Client) GetConfig() ([]byte, error) {
 // (JSON; see core.TraceReport for the schema).
 func (c *Client) TraceReport() ([]byte, error) {
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdTraceReport})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Stats pulls the server node's telemetry snapshot over the control
+// channel (JSON; the same document the HTTP /statusz endpoint serves
+// under "metrics"). Unmarshals into metrics.Snapshot.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStats})
 	if err != nil {
 		return nil, err
 	}

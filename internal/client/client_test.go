@@ -3,6 +3,7 @@ package client
 import (
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,6 +132,10 @@ func TestMatchingErrorSurfaces(t *testing.T) {
 }
 
 func TestLoadProgramChunksAndStatuses(t *testing.T) {
+	// got is written by the scripted-server goroutine and read by the
+	// test goroutine; the UDP round trip is not a synchronization
+	// point, so guard it.
+	var mu sync.Mutex
 	var got []netproto.LoadChunk
 	addr := scriptServer(t, func(req netproto.Packet) [][]byte {
 		if req.Command != netproto.CmdLoadProgram {
@@ -140,6 +145,7 @@ func TestLoadProgramChunksAndStatuses(t *testing.T) {
 		if err != nil {
 			return nil
 		}
+		mu.Lock()
 		// Deduplicate retransmissions by sequence number.
 		dup := false
 		for _, g := range got {
@@ -151,6 +157,7 @@ func TestLoadProgramChunksAndStatuses(t *testing.T) {
 			ch.Data = append([]byte(nil), ch.Data...)
 			got = append(got, ch)
 		}
+		mu.Unlock()
 		st := netproto.StatusPending
 		if int(ch.Seq) == int(ch.Total)-1 {
 			st = netproto.StatusOK
@@ -166,6 +173,8 @@ func TestLoadProgramChunksAndStatuses(t *testing.T) {
 	if err := c.LoadProgram(0x40001000, image); err != nil {
 		t.Fatal(err)
 	}
+	mu.Lock()
+	defer mu.Unlock()
 	if len(got) != 3 {
 		t.Fatalf("server saw %d chunks", len(got))
 	}

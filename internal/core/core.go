@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"liquidarch/internal/archgen"
 	"liquidarch/internal/cache"
@@ -72,6 +73,8 @@ type System struct {
 	lastPartial bool
 	loadedProg  *link.Image
 	lastTrace   *trace.Recorder
+
+	m systemMetrics
 }
 
 // New synthesizes (or loads from a fresh cache) the initial
@@ -82,7 +85,7 @@ func New(cfg leon.Config, opts Options) (*System, error) {
 		opts:    opts,
 		manager: reconfig.NewManager(reconfig.NewCache(opts.CacheCapacity), opts.Synth),
 	}
-	img, _, err := s.manager.GetOrSynthesize(cfg)
+	img, hit, err := s.manager.GetOrSynthesize(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +99,13 @@ func New(cfg leon.Config, opts Options) (*System, error) {
 		return blob
 	}
 	s.platform.TraceFn = s.traceReportJSON
+	s.instrument()
+	if !hit {
+		// Account for the initial synthesis (the registry did not
+		// exist yet when it ran).
+		s.m.synthRuns.Inc()
+		s.m.synthModel.Observe(img.SynthTime.Seconds())
+	}
 	return s, nil
 }
 
@@ -196,6 +206,7 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 		s.reconfigs++
 		s.partials++
 		s.lastHit, s.lastPartial = hit, true
+		s.observeReconfigure(hit, true, img.SynthTime)
 		return hit, nil
 	}
 	sram := append([]byte(nil), s.soc.SRAM.Raw()...)
@@ -208,6 +219,7 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 	}
 	s.reconfigs++
 	s.lastHit, s.lastPartial = hit, false
+	s.observeReconfigure(hit, false, img.SynthTime)
 	return hit, nil
 }
 
@@ -287,7 +299,10 @@ func (s *System) Run(img *link.Image, budget uint64) (leon.RunResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ctrl.Execute(img.Entry, budget)
+	start := time.Now()
+	res, err := s.ctrl.Execute(img.Entry, budget)
+	s.observeRun(res, time.Since(start), err)
+	return res, err
 }
 
 // RunWithTrace executes a loaded image with the trace analyzer
@@ -301,7 +316,9 @@ func (s *System) RunWithTrace(img *link.Image, budget uint64) (leon.RunResult, *
 	rec := trace.NewRecorder()
 	rec.Attach(s.soc.CPU)
 	defer rec.Detach()
+	start := time.Now()
 	res, err := s.ctrl.Execute(img.Entry, budget)
+	s.observeRun(res, time.Since(start), err)
 	return res, rec, err
 }
 

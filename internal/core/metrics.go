@@ -1,0 +1,105 @@
+package core
+
+import (
+	"time"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/metrics/eventlog"
+)
+
+// systemMetrics are the liquid-core instruments, registered on the
+// node's platform registry so CmdStats and /metrics cover the whole
+// stack in one snapshot.
+type systemMetrics struct {
+	runs       *metrics.Counter
+	runFaults  *metrics.Counter
+	runCycles  *metrics.Histogram
+	runWall    *metrics.Histogram
+	reconfigs  *metrics.CounterVec
+	synthRuns  *metrics.Counter
+	synthModel *metrics.Histogram
+}
+
+func newSystemMetrics(r *metrics.Registry) systemMetrics {
+	return systemMetrics{
+		runs:      r.Counter("liquid_core_runs_total", "Program executions on the liquid processor."),
+		runFaults: r.Counter("liquid_core_run_faults_total", "Executions that ended in a trap."),
+		runCycles: r.Histogram("liquid_core_run_cycles", "Hardware cycle-counter reading per run.", metrics.DefCycleBuckets),
+		runWall:   r.Histogram("liquid_core_run_wall_seconds", "Host wall time per run.", metrics.DefSecondsBuckets),
+		reconfigs: r.CounterVec("liquid_core_reconfigurations_total",
+			"Architecture swaps by kind: hit/miss (reconfiguration cache) and partial/full (swap path); each swap counts one of each pair.", "kind"),
+		synthRuns: r.Counter("liquid_core_synthesis_total", "Synthesis runs triggered by reconfiguration-cache misses."),
+		synthModel: r.Histogram("liquid_core_synthesis_modelled_seconds",
+			"Modelled tool time per synthesis run (≈1 h per configuration in the paper).", metrics.ExpBuckets(60, 2, 10)),
+	}
+}
+
+// Metrics returns the node-wide telemetry registry (owned by the FPX
+// platform; server and core both register here).
+func (s *System) Metrics() *metrics.Registry { return s.platform.Metrics() }
+
+// Events returns the node-wide structured event log.
+func (s *System) Events() *eventlog.Log { return s.platform.Events() }
+
+// instrument registers the core's instruments and snapshot-refreshed
+// gauges on the platform registry. The gauges read counters that
+// already exist on the simulated hardware (cache Stats, SDRAM
+// controller Stats, adapter Stats, reconfiguration cache Stats), so
+// the execution hot path is untouched: values are pulled only when a
+// snapshot or scrape happens.
+func (s *System) instrument() {
+	r := s.platform.Metrics()
+	s.m = newSystemMetrics(r)
+
+	// Processor caches. The SoC is rebuilt on full reconfiguration, so
+	// the closures go through the accessor every time.
+	soc := func() *leon.SoC { return s.SoC() }
+	r.GaugeFunc("liquid_dcache_hits", "Data-cache read hits (current SoC).", func() float64 { return float64(soc().DCache.Stats().Hits) })
+	r.GaugeFunc("liquid_dcache_misses", "Data-cache read misses (current SoC).", func() float64 { return float64(soc().DCache.Stats().Misses) })
+	r.GaugeFunc("liquid_dcache_fills", "Data-cache line fills, i.e. evictions plus cold fills.", func() float64 { return float64(soc().DCache.Stats().Fills) })
+	r.GaugeFunc("liquid_dcache_writebacks", "Dirty lines written back (write-back policy only).", func() float64 { return float64(soc().DCache.Stats().WriteBacks) })
+	r.GaugeFunc("liquid_icache_hits", "Instruction-cache hits (current SoC).", func() float64 { return float64(soc().ICache.Stats().Hits) })
+	r.GaugeFunc("liquid_icache_misses", "Instruction-cache misses (current SoC).", func() float64 { return float64(soc().ICache.Stats().Misses) })
+
+	// FPX SDRAM controller and the §3.2 adapter.
+	r.GaugeFunc("liquid_sdram_requests", "SDRAM controller handshakes.", func() float64 { return float64(soc().SDRAMCtrl.Stats().Requests) })
+	r.GaugeFunc("liquid_sdram_arb_switches", "SDRAM grants that moved between modules.", func() float64 { return float64(soc().SDRAMCtrl.Stats().ArbSwitch) })
+	r.GaugeFunc("liquid_sdram_rmw_cycles", "Cycles spent in the adapter's read-modify-write sequences (§3.2).", func() float64 { return float64(soc().Adapter.Stats().RMWCycles) })
+	r.GaugeFunc("liquid_sdram_wasted_words", "32-bit words fetched beyond what the AHB asked for.", func() float64 { return float64(soc().Adapter.Stats().WastedWords) })
+
+	// Reconfiguration cache economics.
+	r.GaugeFunc("liquid_reconfig_cache_entries", "Images held by the reconfiguration cache.", func() float64 { return float64(s.manager.Cache().Len()) })
+	r.GaugeFunc("liquid_reconfig_cache_hits", "Reconfiguration-cache hits.", func() float64 { return float64(s.manager.Cache().Stats().Hits) })
+	r.GaugeFunc("liquid_reconfig_cache_misses", "Reconfiguration-cache misses (synthesis runs).", func() float64 { return float64(s.manager.Cache().Stats().Misses) })
+	r.GaugeFunc("liquid_reconfig_cache_evictions", "Images evicted by the LRU bound.", func() float64 { return float64(s.manager.Cache().Stats().Evictions) })
+	r.GaugeFunc("liquid_reconfig_cache_saved_seconds", "Modelled tool time avoided by cache hits.", func() float64 { return s.manager.Cache().Stats().SavedTime.Seconds() })
+}
+
+// observeRun records one execution in the telemetry registry.
+func (s *System) observeRun(res leon.RunResult, wall time.Duration, err error) {
+	s.m.runs.Inc()
+	s.m.runCycles.Observe(float64(res.Cycles))
+	s.m.runWall.Observe(wall.Seconds())
+	if err != nil || res.Faulted {
+		s.m.runFaults.Inc()
+	}
+}
+
+// observeReconfigure records one architecture swap.
+func (s *System) observeReconfigure(hit, partial bool, synthTime time.Duration) {
+	if hit {
+		s.m.reconfigs.With("hit").Inc()
+	} else {
+		s.m.reconfigs.With("miss").Inc()
+		s.m.synthRuns.Inc()
+		s.m.synthModel.Observe(synthTime.Seconds())
+	}
+	if partial {
+		s.m.reconfigs.With("partial").Inc()
+	} else {
+		s.m.reconfigs.With("full").Inc()
+	}
+	s.platform.Events().Infof("reconfigured",
+		"hit", hit, "partial", partial, "modelled_synth", synthTime)
+}

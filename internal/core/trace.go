@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"liquidarch/internal/leon"
 	"liquidarch/internal/trace"
@@ -40,7 +41,9 @@ func (t tracedControl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, 
 	rec.MaxEvents = 1 << 20
 	rec.Attach(s.soc.CPU)
 	defer rec.Detach()
+	start := time.Now()
 	res, err := s.ctrl.Execute(entry, maxCycles)
+	s.observeRun(res, time.Since(start), err)
 	s.lastTrace = rec
 	return res, err
 }

@@ -7,9 +7,12 @@
 package fpx
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
 )
 
@@ -27,7 +30,9 @@ type LEONControl interface {
 // MaxReadLength caps a single Read Memory response.
 const MaxReadLength = 64 << 10
 
-// Stats counts platform activity.
+// Stats counts platform activity. It predates the metrics registry and
+// is kept for compatibility; the registry (Platform.Metrics) carries
+// the same counts plus per-command and error detail.
 type Stats struct {
 	FramesIn        uint64
 	FramesOut       uint64
@@ -36,6 +41,33 @@ type Stats struct {
 	ChunksReceived  uint64
 	LoadsCompleted  uint64
 	CommandsHandled uint64
+}
+
+// platformMetrics are the registry instruments behind Stats.
+type platformMetrics struct {
+	framesIn      *metrics.Counter
+	framesOut     *metrics.Counter
+	badFrames     *metrics.Counter
+	passedThrough *metrics.Counter
+	commands      *metrics.CounterVec
+	protoErrors   *metrics.CounterVec
+	chunks        *metrics.Counter
+	chunksOOO     *metrics.Counter
+	loadsDone     *metrics.Counter
+}
+
+func newPlatformMetrics(r *metrics.Registry) platformMetrics {
+	return platformMetrics{
+		framesIn:      r.Counter("liquid_fpx_frames_in_total", "Raw frames entering the protocol wrappers."),
+		framesOut:     r.Counter("liquid_fpx_frames_out_total", "Response frames emitted by the packet generator."),
+		badFrames:     r.Counter("liquid_fpx_frames_bad_total", "Frames the IPv4/UDP wrappers rejected (checksum, truncation)."),
+		passedThrough: r.Counter("liquid_fpx_frames_passthrough_total", "Non-Liquid traffic the CPP passed through untouched."),
+		commands:      r.CounterVec("liquid_fpx_commands_total", "Control commands dispatched by the CPP.", "cmd"),
+		protoErrors:   r.CounterVec("liquid_fpx_protocol_errors_total", "Commands answered with CmdError.", "cmd"),
+		chunks:        r.Counter("liquid_fpx_load_chunks_total", "Program-load chunks received."),
+		chunksOOO:     r.Counter("liquid_fpx_load_chunks_out_of_order_total", "Load chunks that arrived out of sequence order."),
+		loadsDone:     r.Counter("liquid_fpx_loads_completed_total", "Fully reassembled program loads handed to leon_ctrl."),
+	}
 }
 
 // Platform is one FPX node hosting the Liquid processor.
@@ -60,6 +92,10 @@ type Platform struct {
 	load       *loadState
 	loadedAddr uint32
 	stats      Stats
+
+	reg    *metrics.Registry
+	events *eventlog.Log
+	m      platformMetrics
 }
 
 type loadState struct {
@@ -70,10 +106,28 @@ type loadState struct {
 	count    int
 }
 
-// New builds a platform around a LEON controller.
+// New builds a platform around a LEON controller. The platform owns
+// the node's telemetry: one metrics.Registry and one structured event
+// log shared by every layer serving this node (core system, server).
 func New(ctrl LEONControl, ip [4]byte, port uint16) *Platform {
-	return &Platform{ctrl: ctrl, IP: ip, Port: port}
+	reg := metrics.NewRegistry()
+	return &Platform{
+		ctrl:   ctrl,
+		IP:     ip,
+		Port:   port,
+		reg:    reg,
+		events: eventlog.New(256),
+		m:      newPlatformMetrics(reg),
+	}
 }
+
+// Metrics returns the node's telemetry registry. Layers above and
+// below (server, core) register their instruments here so one snapshot
+// covers the whole node.
+func (p *Platform) Metrics() *metrics.Registry { return p.reg }
+
+// Events returns the node's structured event log.
+func (p *Platform) Events() *eventlog.Log { return p.events }
 
 // SetControl swaps the LEON controller behind the platform — the
 // moment after a new bitfile is loaded into the RAD and the rebuilt
@@ -97,13 +151,17 @@ func (p *Platform) LoadedAddr() uint32 { return p.loadedAddr }
 // responses (it would pass through to the switch fabric).
 func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 	p.stats.FramesIn++
+	p.m.framesIn.Inc()
 	f, err := netproto.ParseFrame(frame)
 	if err != nil {
 		p.stats.BadFrames++
+		p.m.badFrames.Inc()
+		p.events.Warnf("wrappers rejected frame", "err", err)
 		return nil, fmt.Errorf("fpx: wrappers rejected frame: %w", err)
 	}
 	if f.UDP.DstPort != p.Port || !netproto.IsLiquidPacket(f.Payload) {
 		p.stats.PassedThrough++
+		p.m.passedThrough.Inc()
 		return nil, nil
 	}
 	resps := p.HandlePayload(f.Payload)
@@ -111,6 +169,7 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 	for i, r := range resps {
 		frames[i] = netproto.BuildFrame(p.IP, f.IP.Src, p.Port, f.UDP.SrcPort, r.Marshal())
 		p.stats.FramesOut++
+		p.m.framesOut.Inc()
 	}
 	return frames, nil
 }
@@ -122,9 +181,10 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
 	pkt, err := netproto.ParsePacket(payload)
 	if err != nil {
-		return []netproto.Packet{errResp(netproto.CmdStatus, err)}
+		return []netproto.Packet{p.errResp(netproto.CmdStatus, err)}
 	}
 	p.stats.CommandsHandled++
+	p.m.commands.With(netproto.CommandName(pkt.Command)).Inc()
 	switch pkt.Command {
 	case netproto.CmdStatus:
 		return []netproto.Packet{p.status()}
@@ -142,16 +202,34 @@ func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
 		return []netproto.Packet{p.getConfig()}
 	case netproto.CmdTraceReport:
 		return []netproto.Packet{p.traceReport()}
+	case netproto.CmdStats:
+		return []netproto.Packet{p.statsReport()}
 	default:
-		return []netproto.Packet{errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
+		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
 	}
 }
 
-func errResp(cmd uint8, err error) netproto.Packet {
+// errResp formats a CmdError response, counting and logging the
+// failure.
+func (p *Platform) errResp(cmd uint8, err error) netproto.Packet {
+	p.m.protoErrors.With(netproto.CommandName(cmd)).Inc()
+	p.events.Warnf("command failed", "cmd", netproto.CommandName(cmd), "err", err)
 	return netproto.Packet{
 		Command: netproto.CmdError,
 		Body:    netproto.ErrorResp{Code: cmd, Msg: err.Error()}.Marshal(),
 	}
+}
+
+// statsReport answers CmdStats with the node-wide telemetry snapshot as
+// JSON — the in-band twin of the HTTP /statusz endpoint, so a fleet
+// controller can account for every node over the same UDP control
+// channel it already speaks.
+func (p *Platform) statsReport() netproto.Packet {
+	body, err := json.Marshal(p.reg.Snapshot())
+	if err != nil {
+		return p.errResp(netproto.CmdStats, err)
+	}
+	return netproto.Packet{Command: netproto.CmdStats | netproto.RespFlag, Body: body}
 }
 
 func (p *Platform) status() netproto.Packet {
@@ -186,9 +264,10 @@ func runReport(r leon.RunResult) netproto.RunReport {
 func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	c, err := netproto.ParseLoadChunk(body)
 	if err != nil {
-		return errResp(netproto.CmdLoadProgram, err)
+		return p.errResp(netproto.CmdLoadProgram, err)
 	}
 	p.stats.ChunksReceived++
+	p.m.chunks.Inc()
 	if p.load == nil || p.load.addr != c.Addr || p.load.total != c.Total || len(p.load.buf) != int(c.TotalLen) {
 		p.load = &loadState{
 			addr:     c.Addr,
@@ -200,6 +279,12 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	ls := p.load
 	copy(ls.buf[c.Offset:], c.Data)
 	if !ls.received[c.Seq] {
+		// A first-time chunk whose sequence number differs from the
+		// number of distinct chunks seen so far was reordered in
+		// flight (UDP guarantees neither delivery nor order, §2.6).
+		if int(c.Seq) != ls.count {
+			p.m.chunksOOO.Inc()
+		}
 		ls.received[c.Seq] = true
 		ls.count++
 	}
@@ -212,11 +297,13 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	// Complete: hand to the LEON controller.
 	if err := p.ctrl.LoadProgram(ls.addr, ls.buf); err != nil {
 		p.load = nil
-		return errResp(netproto.CmdLoadProgram, err)
+		return p.errResp(netproto.CmdLoadProgram, err)
 	}
 	p.loadedAddr = ls.addr
 	p.load = nil
 	p.stats.LoadsCompleted++
+	p.m.loadsDone.Inc()
+	p.events.Infof("program load complete", "addr", fmt.Sprintf("%#x", ls.addr), "bytes", len(ls.buf))
 	return netproto.Packet{
 		Command: netproto.CmdLoadProgram | netproto.RespFlag,
 		Body:    netproto.RunReport{Status: netproto.StatusOK}.Marshal(),
@@ -226,19 +313,19 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 func (p *Platform) start(body []byte) netproto.Packet {
 	req, err := netproto.ParseStartReq(body)
 	if err != nil {
-		return errResp(netproto.CmdStartLEON, err)
+		return p.errResp(netproto.CmdStartLEON, err)
 	}
 	entry := req.Entry
 	if entry == 0 {
 		entry = p.loadedAddr
 	}
 	if entry == 0 {
-		return errResp(netproto.CmdStartLEON, fmt.Errorf("no program loaded"))
+		return p.errResp(netproto.CmdStartLEON, fmt.Errorf("no program loaded"))
 	}
 	res, err := p.ctrl.Execute(entry, req.MaxCycles)
 	rep := runReport(res)
 	if err != nil && !res.Faulted {
-		return errResp(netproto.CmdStartLEON, err)
+		return p.errResp(netproto.CmdStartLEON, err)
 	}
 	if err != nil {
 		rep.Status = netproto.StatusFault
@@ -249,14 +336,14 @@ func (p *Platform) start(body []byte) netproto.Packet {
 func (p *Platform) readMem(body []byte) netproto.Packet {
 	req, err := netproto.ParseMemReq(body)
 	if err != nil {
-		return errResp(netproto.CmdReadMemory, err)
+		return p.errResp(netproto.CmdReadMemory, err)
 	}
 	if req.Length > MaxReadLength {
-		return errResp(netproto.CmdReadMemory, fmt.Errorf("read length %d exceeds %d", req.Length, MaxReadLength))
+		return p.errResp(netproto.CmdReadMemory, fmt.Errorf("read length %d exceeds %d", req.Length, MaxReadLength))
 	}
 	data, err := p.ctrl.ReadMemory(req.Addr, int(req.Length))
 	if err != nil {
-		return errResp(netproto.CmdReadMemory, err)
+		return p.errResp(netproto.CmdReadMemory, err)
 	}
 	resp := netproto.MemResp{Status: netproto.StatusOK, Addr: req.Addr, Data: data}
 	return netproto.Packet{Command: netproto.CmdReadMemory | netproto.RespFlag, Body: resp.Marshal()}
@@ -265,10 +352,10 @@ func (p *Platform) readMem(body []byte) netproto.Packet {
 func (p *Platform) writeMem(body []byte) netproto.Packet {
 	req, err := netproto.ParseMemReq(body)
 	if err != nil {
-		return errResp(netproto.CmdWriteMemory, err)
+		return p.errResp(netproto.CmdWriteMemory, err)
 	}
 	if err := p.ctrl.WriteMemory(req.Addr, req.Data); err != nil {
-		return errResp(netproto.CmdWriteMemory, err)
+		return p.errResp(netproto.CmdWriteMemory, err)
 	}
 	resp := netproto.MemResp{Status: netproto.StatusOK, Addr: req.Addr}
 	return netproto.Packet{Command: netproto.CmdWriteMemory | netproto.RespFlag, Body: resp.Marshal()}
@@ -276,10 +363,10 @@ func (p *Platform) writeMem(body []byte) netproto.Packet {
 
 func (p *Platform) reconfigure(body []byte) netproto.Packet {
 	if p.ReconfigureFn == nil {
-		return errResp(netproto.CmdReconfigure, fmt.Errorf("reconfiguration not wired on this platform"))
+		return p.errResp(netproto.CmdReconfigure, fmt.Errorf("reconfiguration not wired on this platform"))
 	}
 	if err := p.ReconfigureFn(body); err != nil {
-		return errResp(netproto.CmdReconfigure, err)
+		return p.errResp(netproto.CmdReconfigure, err)
 	}
 	p.loadedAddr = 0 // a new bitfile clears loaded state
 	return netproto.Packet{
@@ -290,18 +377,18 @@ func (p *Platform) reconfigure(body []byte) netproto.Packet {
 
 func (p *Platform) getConfig() netproto.Packet {
 	if p.ConfigFn == nil {
-		return errResp(netproto.CmdGetConfig, fmt.Errorf("configuration reporting not wired"))
+		return p.errResp(netproto.CmdGetConfig, fmt.Errorf("configuration reporting not wired"))
 	}
 	return netproto.Packet{Command: netproto.CmdGetConfig | netproto.RespFlag, Body: p.ConfigFn()}
 }
 
 func (p *Platform) traceReport() netproto.Packet {
 	if p.TraceFn == nil {
-		return errResp(netproto.CmdTraceReport, fmt.Errorf("trace streaming not wired on this platform"))
+		return p.errResp(netproto.CmdTraceReport, fmt.Errorf("trace streaming not wired on this platform"))
 	}
 	body, err := p.TraceFn()
 	if err != nil {
-		return errResp(netproto.CmdTraceReport, err)
+		return p.errResp(netproto.CmdTraceReport, err)
 	}
 	return netproto.Packet{Command: netproto.CmdTraceReport | netproto.RespFlag, Body: body}
 }

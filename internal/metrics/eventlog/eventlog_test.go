@@ -1,0 +1,158 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWrapAround(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Infof(fmt.Sprintf("e%d", i))
+	}
+	ev := l.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained = %d, want 3", len(ev))
+	}
+	for i, want := range []string{"e2", "e3", "e4"} {
+		if ev[i].Msg != want {
+			t.Errorf("event[%d] = %q, want %q (oldest first)", i, ev[i].Msg, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d, want 5", l.Total())
+	}
+	if l.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", l.Dropped())
+	}
+}
+
+func TestMinLevelFiltering(t *testing.T) {
+	l := New(8)
+	l.MinLevel = Warn
+	l.Debugf("nope")
+	l.Infof("nope")
+	l.Warnf("yes1")
+	l.Errorf("yes2")
+	ev := l.Events()
+	if len(ev) != 2 || ev[0].Msg != "yes1" || ev[1].Msg != "yes2" {
+		t.Errorf("events = %+v, want only warn+error", ev)
+	}
+	if l.Total() != 2 {
+		t.Errorf("filtered events counted in total: %d", l.Total())
+	}
+}
+
+func TestMirrorShim(t *testing.T) {
+	l := New(4)
+	var lines []string
+	l.Mirror = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	l.Infof("hello", "k", "v v") // value needs quoting
+	if len(lines) != 1 {
+		t.Fatalf("mirror got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "msg=hello") || !strings.Contains(lines[0], `k="v v"`) {
+		t.Errorf("mirror line = %q", lines[0])
+	}
+}
+
+func TestKVFolding(t *testing.T) {
+	l := New(4)
+	l.Infof("m", "a", 1, "b", true, "dangling")
+	ev := l.Events()[0]
+	if len(ev.Fields) != 3 {
+		t.Fatalf("fields = %+v", ev.Fields)
+	}
+	if ev.Fields[0] != (Field{"a", "1"}) || ev.Fields[1] != (Field{"b", "true"}) {
+		t.Errorf("fields = %+v", ev.Fields)
+	}
+	if ev.Fields[2] != (Field{"value", "dangling"}) {
+		t.Errorf("odd trailing value folded as %+v", ev.Fields[2])
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Debugf("x")
+	l.Infof("x")
+	l.Warnf("x")
+	l.Errorf("x", "k", "v")
+	if l.Events() != nil || l.Total() != 0 || l.Dropped() != 0 {
+		t.Error("nil log returned data")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	l := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Infof("spin", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Errorf("total = %d, want 800", l.Total())
+	}
+	if got := len(l.Events()); got != 16 {
+		t.Errorf("retained = %d, want 16", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := New(4)
+	l.Warnf("careful", "code", 7)
+	blob, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"level":"warn"`) {
+		t.Errorf("level not textual: %s", blob)
+	}
+	var got []Event
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Level != Warn || got[0].Msg != "careful" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := New(4)
+	l.Infof("one")
+	l.Errorf("two")
+	var b strings.Builder
+	if err := l.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "msg=one") || !strings.Contains(lines[1], "level=error") {
+		t.Errorf("text dump:\n%s", b.String())
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for lv, want := range map[Level]string{Debug: "debug", Info: "info", Warn: "warn", Error: "error"} {
+		if lv.String() != want {
+			t.Errorf("%d.String() = %q", lv, lv.String())
+		}
+		var back Level
+		if err := back.UnmarshalText([]byte(want)); err != nil || back != lv {
+			t.Errorf("UnmarshalText(%q) = %v, %v", want, back, err)
+		}
+	}
+	var bad Level
+	if err := bad.UnmarshalText([]byte("loud")); err == nil {
+		t.Error("unknown level did not error")
+	}
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"liquidarch/internal/metrics/eventlog"
+)
+
+// Statusz is the JSON document served at /statusz: a metric snapshot
+// plus the recent structured events.
+type Statusz struct {
+	Time    time.Time        `json:"time"`
+	Metrics Snapshot         `json:"metrics"`
+	Events  []eventlog.Event `json:"events,omitempty"`
+}
+
+// NewHTTPHandler serves the registry over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/statusz        JSON snapshot + recent event log
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// ev may be nil (no events section).
+func NewHTTPHandler(r *Registry, ev *eventlog.Log) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := Statusz{Time: time.Now(), Metrics: r.Snapshot(), Events: ev.Events()}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/metrics/eventlog"
+)
+
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_demo_total", "demo").Add(7)
+	ev := eventlog.New(8)
+	ev.Infof("hello", "k", "v")
+
+	ts := httptest.NewServer(NewHTTPHandler(r, ev))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "# TYPE http_demo_total counter") ||
+		!strings.Contains(string(body), "http_demo_total 7") {
+		t.Errorf("/metrics missing series:\n%s", body)
+	}
+}
+
+func TestHTTPStatuszEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sz_total", "demo").Inc()
+	ev := eventlog.New(8)
+	ev.Warnf("something", "code", 7)
+
+	ts := httptest.NewServer(NewHTTPHandler(r, ev))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("statusz is not JSON: %v", err)
+	}
+	if st.Metrics.Counter("sz_total") != 1 {
+		t.Errorf("statusz counters = %+v", st.Metrics.Counters)
+	}
+	if len(st.Events) != 1 || st.Events[0].Msg != "something" {
+		t.Errorf("statusz events = %+v", st.Events)
+	}
+	if st.Events[0].Level != eventlog.Warn {
+		t.Errorf("event level = %v", st.Events[0].Level)
+	}
+}
+
+func TestHTTPPprofEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewHTTPHandler(NewRegistry(), nil))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof status = %d", resp.StatusCode)
+	}
+}

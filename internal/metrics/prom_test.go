@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden locks down the text exposition format: families
+// sorted by name, HELP/TYPE headers, labelled series, cumulative
+// histogram buckets with an +Inf edge and _sum/_count series.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests handled.").Add(3)
+	vec := r.CounterVec("demo_cmds_total", "Commands by name.", "cmd")
+	vec.With("a").Inc()
+	vec.With("b").Add(2)
+	r.Gauge("demo_temp", "A settable gauge.").Set(36.6)
+	r.GaugeFunc("demo_up", "A computed gauge.", func() float64 { return 1 })
+	h := r.Histogram("demo_latency_seconds", "A histogram.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(4)
+	hv := r.HistogramVec("demo_dur", "A labelled histogram.", "op", []float64{1})
+	hv.With("read").Observe(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prom.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("prometheus output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Sanity: the format must also satisfy the basic line grammar.
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("line %q is not `series value`", line)
+		}
+	}
+}

@@ -16,6 +16,7 @@ const (
 	CmdReconfigure uint8 = 0x06 // swap in a pre-generated architecture image
 	CmdGetConfig   uint8 = 0x07 // report the active configuration
 	CmdTraceReport uint8 = 0x08 // pull the last run's instrumented trace summary
+	CmdStats       uint8 = 0x09 // pull the platform's telemetry snapshot (JSON)
 
 	// RespFlag marks a response to the command in the low bits.
 	RespFlag uint8 = 0x80
@@ -24,6 +25,36 @@ const (
 	// ErrorResp whose Code holds the original command.
 	CmdError uint8 = 0xFF
 )
+
+// CommandName returns the short label used for per-command telemetry
+// (the response flag, if set, is ignored).
+func CommandName(cmd uint8) string {
+	switch cmd &^ RespFlag {
+	case CmdStatus:
+		return "status"
+	case CmdLoadProgram:
+		return "load"
+	case CmdStartLEON:
+		return "start"
+	case CmdReadMemory:
+		return "readmem"
+	case CmdWriteMemory:
+		return "writemem"
+	case CmdReconfigure:
+		return "reconfigure"
+	case CmdGetConfig:
+		return "getconfig"
+	case CmdTraceReport:
+		return "trace"
+	case CmdStats:
+		return "stats"
+	default:
+		if cmd == CmdError {
+			return "error"
+		}
+		return "unknown"
+	}
+}
 
 // Response status codes.
 const (

@@ -11,10 +11,41 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"liquidarch/internal/fpx"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
 )
+
+// readBufBytes is the datagram receive buffer size (one UDP datagram
+// never exceeds 64 KiB).
+const readBufBytes = 64 << 10
+
+// serverMetrics are the server-side instruments, registered on the
+// platform's node-wide registry.
+type serverMetrics struct {
+	datagramsIn  *metrics.Counter
+	datagramsOut *metrics.Counter
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	drops        *metrics.CounterVec
+	sendErrors   *metrics.Counter
+	handleDur    *metrics.HistogramVec
+}
+
+func newServerMetrics(r *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		datagramsIn:  r.Counter("liquid_server_datagrams_in_total", "UDP datagrams received by the reconfiguration server."),
+		datagramsOut: r.Counter("liquid_server_datagrams_out_total", "UDP datagrams sent back to clients."),
+		bytesIn:      r.Counter("liquid_server_bytes_in_total", "Request payload bytes received."),
+		bytesOut:     r.Counter("liquid_server_bytes_out_total", "Response payload bytes sent."),
+		drops:        r.CounterVec("liquid_server_drops_total", "Requests that produced no response, by reason.", "reason"),
+		sendErrors:   r.Counter("liquid_server_send_errors_total", "Response datagrams the socket refused to send."),
+		handleDur:    r.HistogramVec("liquid_server_handled_duration_seconds", "Wall time spent handling one datagram end to end.", "cmd", metrics.DefSecondsBuckets),
+	}
+}
 
 // Server serves one FPX platform over UDP. Requests are handled
 // strictly in arrival order: the LEON is a single execution resource
@@ -23,15 +54,22 @@ type Server struct {
 	platform *fpx.Platform
 	conn     *net.UDPConn
 
-	// Log, when non-nil, receives one line per handled datagram.
+	// Log, when non-nil, receives one line per handled datagram. It is
+	// the legacy printf hook, kept as a compatibility shim over the
+	// structured event log (see Events).
 	Log func(format string, args ...any)
+
+	m      serverMetrics
+	events *eventlog.Log
+	bufs   sync.Pool
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // New binds a UDP socket at addr (e.g. "127.0.0.1:0") serving the
-// given platform.
+// given platform. Server telemetry is registered on the platform's
+// metrics registry, so one snapshot covers socket and hardware path.
 func New(platform *fpx.Platform, addr string) (*Server, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -41,19 +79,39 @@ func New(platform *fpx.Platform, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	return &Server{platform: platform, conn: conn}, nil
+	s := &Server{
+		platform: platform,
+		conn:     conn,
+		m:        newServerMetrics(platform.Metrics()),
+		events:   platform.Events(),
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, readBufBytes)
+		return &b
+	}
+	return s, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
+// Metrics returns the node-wide telemetry registry (shared with the
+// platform).
+func (s *Server) Metrics() *metrics.Registry { return s.platform.Metrics() }
+
+// Events returns the node-wide structured event log.
+func (s *Server) Events() *eventlog.Log { return s.events }
+
 // Serve processes datagrams until Close is called. It returns nil on
-// clean shutdown.
+// clean shutdown. Receive buffers come from a sync.Pool so the loop
+// stays allocation-free and ready for concurrent handling.
 func (s *Server) Serve() error {
-	buf := make([]byte, 64<<10)
 	for {
+		bufp := s.bufs.Get().(*[]byte)
+		buf := *bufp
 		n, peer, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
+			s.bufs.Put(bufp)
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
@@ -62,34 +120,62 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("server: read: %w", err)
 		}
-		s.handle(buf[:n], peer)
+		if err := s.handle(buf[:n], peer); err != nil {
+			s.events.Warnf("request dropped", "peer", peer, "err", err)
+			s.logf("drop from %v: %v", peer, err)
+		}
+		s.bufs.Put(bufp)
+	}
+}
+
+// logf feeds the legacy printf hook when installed.
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
 	}
 }
 
 // handle re-wraps the datagram as the raw frame the FPX would receive,
 // runs the hardware path, and relays response payloads to the peer.
-func (s *Server) handle(payload []byte, peer *net.UDPAddr) {
+// Every failure is returned (and counted by reason) rather than
+// silently swallowed.
+func (s *Server) handle(payload []byte, peer *net.UDPAddr) error {
+	start := time.Now()
+	s.m.datagramsIn.Inc()
+	s.m.bytesIn.Add(uint64(len(payload)))
+	cmd := "invalid"
+	if pkt, err := netproto.ParsePacket(payload); err == nil {
+		cmd = netproto.CommandName(pkt.Command)
+	}
+
 	src := ipv4Of(peer.IP)
 	frame := netproto.BuildFrame(src, s.platform.IP, uint16(peer.Port), s.platform.Port, payload)
 	outs, err := s.platform.HandleFrame(frame)
 	if err != nil {
-		if s.Log != nil {
-			s.Log("drop from %v: %v", peer, err)
-		}
-		return
+		s.m.drops.With("platform").Inc()
+		return err
 	}
 	for _, raw := range outs {
 		f, err := netproto.ParseFrame(raw)
 		if err != nil {
-			continue // packet generator produced it; cannot happen
+			// The packet generator produced this frame itself; a parse
+			// failure here is a platform bug and must be loud, not a
+			// silent continue.
+			s.m.drops.With("response_parse").Inc()
+			return fmt.Errorf("server: generated response unparseable: %w", err)
 		}
-		if _, err := s.conn.WriteToUDP(f.Payload, peer); err != nil && s.Log != nil {
-			s.Log("send to %v: %v", peer, err)
+		n, err := s.conn.WriteToUDP(f.Payload, peer)
+		if err != nil {
+			s.m.sendErrors.Inc()
+			return fmt.Errorf("server: send to %v: %w", peer, err)
 		}
+		s.m.datagramsOut.Inc()
+		s.m.bytesOut.Add(uint64(n))
 	}
-	if s.Log != nil {
-		s.Log("%v: %d byte request, %d responses", peer, len(payload), len(outs))
-	}
+	s.m.handleDur.With(cmd).ObserveSince(start)
+	s.events.Debugf("handled", "peer", peer, "cmd", cmd, "bytes", len(payload), "responses", len(outs))
+	s.logf("%v: %d byte request, %d responses", peer, len(payload), len(outs))
+	return nil
 }
 
 // ipv4Of coerces an IP to 4 bytes (loopback-mapped for IPv6).
