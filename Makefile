@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench ci
+.PHONY: all build test race vet fmt-check bench bench-smoke ci
 
 all: build
 
@@ -28,4 +28,10 @@ fmt-check:
 bench:
 	$(GO) test -bench . -benchtime 1x
 
-ci: fmt-check vet build race
+# bench-smoke runs every root-level benchmark exactly once with tests
+# disabled: a fast CI gate that the benchmark harnesses still build and
+# run (BenchmarkStepThroughput also reports allocs/op, which must be 0).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+ci: fmt-check vet build race bench-smoke

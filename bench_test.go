@@ -25,6 +25,69 @@ import (
 	"liquidarch/internal/synth"
 )
 
+// BenchmarkStepThroughput measures the simulator's core metric:
+// host-nanoseconds per simulated instruction in the steady state (warm
+// I-cache, warm predecode cache, mixed ALU/load/store/branch work).
+// It must report 0 allocs/op; the sim-MIPS metric is the simulated
+// million-instructions-per-second rate the sweep wall-clock scales
+// with.
+func BenchmarkStepThroughput(b *testing.B) {
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	obj, err := asm.AssembleAt(bench.StepKernel, leon.DefaultLoadAddr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctrl.LoadProgram(obj.Origin, obj.Code); err != nil {
+		b.Fatal(err)
+	}
+	if err := ctrl.Start(obj.Origin, 0); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the caches and the predecode state.
+	for i := 0; i < 4096; i++ {
+		if err := soc.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	startInsts := soc.CPU.Stats().Instructions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := soc.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	insts := soc.CPU.Stats().Instructions - startInsts
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs/1e6, "sim-MIPS")
+	}
+}
+
+// BenchmarkSweepParallel measures the parallel sweep runner: the whole
+// Fig. 8 data-cache sweep (compile once, five SoCs) at workers=1
+// versus one worker per logical CPU. The result tables are identical;
+// only the wall-clock changes.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, w := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", bench.Workers(w)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig8Sweep(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig8CacheSweep regenerates Fig. 8/9 (E1/E2): the Fig. 7
 // array-access program's cycle count under each data-cache size.
 func BenchmarkFig8CacheSweep(b *testing.B) {
@@ -304,16 +367,20 @@ func mustSym(b *testing.B, obj *asm.Object, name string) uint32 {
 	return v
 }
 
-// BenchmarkAblationBurstLen sweeps the adapter's read chunk (§6).
+// BenchmarkAblationBurstLen sweeps the adapter's read chunk (§6). The
+// ablation benchmarks run their sweeps with workers=1 so the wall-clock
+// number keeps meaning "cost of the serial sweep"; BenchmarkSweepParallel
+// measures the parallel speedup explicitly.
 func BenchmarkAblationBurstLen(b *testing.B) {
 	var rows []bench.BurstAblationRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.BurstAblation()
+		rows, err = bench.BurstAblation(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-bw%d", r.BurstWords))
 	}
@@ -324,11 +391,12 @@ func BenchmarkAblationWritePolicy(b *testing.B) {
 	var rows []bench.WritePolicyRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.WritePolicyExperiment()
+		rows, err = bench.WritePolicyExperiment(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		b.ReportMetric(float64(r.Cycles), r.Policy+"-cycles")
 	}
@@ -339,11 +407,12 @@ func BenchmarkAblationAssoc(b *testing.B) {
 	var rows []bench.AssocRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.AssocExperiment()
+		rows, err = bench.AssocExperiment(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-%dway", r.Assoc))
 	}
@@ -360,6 +429,7 @@ func BenchmarkMACExtension(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(plain.Cycles), "base-cycles")
 	b.ReportMetric(float64(mac.Cycles), "mac-cycles")
 	b.ReportMetric(float64(plain.Cycles)/float64(mac.Cycles), "speedup")
@@ -384,11 +454,12 @@ func BenchmarkAblationICache(b *testing.B) {
 	var rows []bench.ICacheRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.ICacheSweep()
+		rows, err = bench.ICacheSweep(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		b.ReportMetric(float64(r.Cycles), fmt.Sprintf("cycles-i%dB", r.ICacheBytes))
 	}
@@ -400,11 +471,12 @@ func BenchmarkAblationPlacement(b *testing.B) {
 	var rows []bench.PlacementRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.PlacementExperiment()
+		rows, err = bench.PlacementExperiment(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		name := "sram-cycles"
 		if r.Memory != "SRAM" {
@@ -420,11 +492,12 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	var rows []bench.PipelineRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = bench.PipelineExperiment()
+		rows, err = bench.PipelineExperiment(1)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
 	for _, r := range rows {
 		b.ReportMetric(r.Millis, fmt.Sprintf("ms-depth%d", r.Depth))
 	}

@@ -12,8 +12,15 @@
 //	liquid-bench -exp mac      # liquid ISA extension ablation
 //	liquid-bench -exp burst    # adapter burst-length ablation
 //	liquid-bench -exp writepolicy | -exp assoc
+//	liquid-bench -exp throughput  # simulator stepping speed (sim-MIPS)
 //	liquid-bench -all
+//	liquid-bench -all -workers 8   # run sweep points on 8 workers
 //	liquid-bench -all -json out/   # also write machine-readable BENCH_<name>.json
+//
+// -workers bounds the worker pool every sweep experiment runs its
+// configuration points on (0, the default, means one worker per
+// logical CPU; 1 restores the fully serial order). The result tables
+// are identical for every worker count — only the wall-clock changes.
 //
 // With -json DIR, every experiment additionally writes
 // DIR/BENCH_<name>.json containing {"figure": ..., "data": rows}, so
@@ -32,11 +39,15 @@ import (
 	"liquidarch/internal/cliutil"
 )
 
+// workers bounds the sweep worker pool; see the -workers flag.
+var workers int
+
 func main() {
 	fig := flag.Int("fig", 0, "regenerate figure 8, 9 or 10")
-	exp := flag.String("exp", "", "experiment: adapter, reconfig, mac, burst, writepolicy, assoc")
+	exp := flag.String("exp", "", "experiment: adapter, reconfig, mac, burst, writepolicy, assoc, icache, placement, pipeline, throughput")
 	all := flag.Bool("all", false, "run everything")
 	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files to this directory")
+	flag.IntVar(&workers, "workers", 0, "sweep worker pool size (0: one per logical CPU, 1: serial)")
 	flag.Parse()
 
 	if *jsonDir != "" {
@@ -107,13 +118,16 @@ func main() {
 	if *exp == "pipeline" || *all {
 		run("Ablation: pipeline depth (cycles vs synthesized clock)", "pipeline", pipeline)
 	}
+	if *exp == "throughput" || *all {
+		run("Simulator throughput: steady-state stepping speed", "throughput", throughput)
+	}
 	if !ran {
 		cliutil.Fatalf("liquid-bench: nothing selected; use -fig, -exp or -all")
 	}
 }
 
 func fig8() (any, error) {
-	rows, err := bench.Fig8Sweep()
+	rows, err := bench.Fig8Sweep(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +149,7 @@ func fig8() (any, error) {
 }
 
 func fig9() (any, error) {
-	rows, err := bench.Fig8Sweep()
+	rows, err := bench.Fig8Sweep(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +227,7 @@ func macExp() (any, error) {
 }
 
 func burst() (any, error) {
-	rows, err := bench.BurstAblation()
+	rows, err := bench.BurstAblation(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +241,7 @@ func burst() (any, error) {
 }
 
 func writePolicy() (any, error) {
-	rows, err := bench.WritePolicyExperiment()
+	rows, err := bench.WritePolicyExperiment(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +254,7 @@ func writePolicy() (any, error) {
 }
 
 func icacheExp() (any, error) {
-	rows, err := bench.ICacheSweep()
+	rows, err := bench.ICacheSweep(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +268,7 @@ func icacheExp() (any, error) {
 }
 
 func placement() (any, error) {
-	rows, err := bench.PlacementExperiment()
+	rows, err := bench.PlacementExperiment(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +281,7 @@ func placement() (any, error) {
 }
 
 func pipeline() (any, error) {
-	rows, err := bench.PipelineExperiment()
+	rows, err := bench.PipelineExperiment(workers)
 	if err != nil {
 		return nil, err
 	}
@@ -281,8 +295,22 @@ func pipeline() (any, error) {
 	return rows, nil
 }
 
+func throughput() (any, error) {
+	row, err := bench.ThroughputExperiment(0)
+	if err != nil {
+		return nil, err
+	}
+	cliutil.Table(os.Stdout, [][]string{
+		{"steps", "sim cycles", "wall secs", "ns/step", "sim-MIPS"},
+		{fmt.Sprintf("%d", row.Steps), fmt.Sprintf("%d", row.Cycles),
+			fmt.Sprintf("%.3f", row.WallSecs), fmt.Sprintf("%.2f", row.NsPerStep),
+			fmt.Sprintf("%.2f", row.SimMIPS)},
+	})
+	return row, nil
+}
+
 func assoc() (any, error) {
-	rows, err := bench.AssocExperiment()
+	rows, err := bench.AssocExperiment(workers)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,7 @@ func main() {
 	fmt.Println("sweeping data cache 1-16 KB (32 B lines, 1 KB I$) ...")
 	fmt.Println()
 
-	rows, err := bench.Fig8Sweep()
+	rows, err := bench.Fig8Sweep(0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,8 +59,11 @@ type Fig8Row struct {
 var Fig8Sizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
 
 // Fig8Sweep reproduces Fig. 8/9: it compiles the Fig. 7 program once
-// and measures its cycle count under each data-cache size.
-func Fig8Sweep() ([]Fig8Row, error) {
+// (the shared artifact) and measures its cycle count under each
+// data-cache size, each point on its own SoC. workers bounds the
+// worker pool (<= 0: one per CPU); the result table is identical for
+// every worker count.
+func Fig8Sweep(workers int) ([]Fig8Row, error) {
 	asmText, err := lcc.Compile(Fig7Source, lcc.Options{})
 	if err != nil {
 		return nil, err
@@ -69,41 +72,39 @@ func Fig8Sweep() ([]Fig8Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Fig8Row, 0, len(Fig8Sizes))
-	for _, size := range Fig8Sizes {
+	return forEachPoint(workers, Fig8Sizes, func(size int) (Fig8Row, error) {
 		cfg := leon.DefaultConfig()
 		cfg.DCache = cache.Config{SizeBytes: size, LineBytes: 32, Assoc: 1}
 		soc, err := leon.New(cfg, nil)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		ctrl := leon.NewController(soc)
 		if err := ctrl.Boot(); err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		soc.DCache.ResetStats()
 		res, err := ctrl.Execute(img.Entry, 0)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		if res.Faulted {
-			return nil, fmt.Errorf("bench: fig8 run faulted at %d bytes (tt=%#x)", size, res.TT)
+			return Fig8Row{}, fmt.Errorf("bench: fig8 run faulted at %d bytes (tt=%#x)", size, res.TT)
 		}
 		st := soc.DCache.Stats()
 		util := synth.Estimate(cfg)
-		rows = append(rows, Fig8Row{
+		return Fig8Row{
 			DCacheBytes: size,
 			Cycles:      res.Cycles,
 			Instrs:      res.Instructions,
 			Misses:      st.Misses,
 			MissRatio:   st.MissRatio(),
 			Millis:      float64(res.Cycles) / (util.FMaxMHz * 1e3),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig10Report reproduces the Fig. 10 device-utilization table for the
@@ -316,24 +317,25 @@ type BurstAblationRow struct {
 // BurstAblation drives a cache whose line fills go through the
 // AHB↔SDRAM adapter, sweeping the adapter's burst chunk. The paper's
 // choice of 4 words must beat per-word handshakes (1) and longer
-// chunks must only help marginally for 8-word (32 B) lines.
-func BurstAblation() ([]BurstAblationRow, error) {
-	var rows []BurstAblationRow
-	for _, bw := range []int{1, 2, 4, 8} {
+// chunks must only help marginally for 8-word (32 B) lines. Each chunk
+// size runs on its own adapter/bus/cache stack; workers bounds the
+// concurrency.
+func BurstAblation(workers int) ([]BurstAblationRow, error) {
+	return forEachPoint(workers, []int{1, 2, 4, 8}, func(bw int) (BurstAblationRow, error) {
 		sdramCtrl := mem.NewController(mem.NewSDRAM(1 << 20))
 		port, err := sdramCtrl.Port("leon")
 		if err != nil {
-			return nil, err
+			return BurstAblationRow{}, err
 		}
 		adapter := ahbadapter.New(port)
 		adapter.BurstWords = bw
 		bus := amba.NewAHB()
 		if err := bus.Map("sdram", 0, 1<<20, adapter); err != nil {
-			return nil, err
+			return BurstAblationRow{}, err
 		}
 		c, err := cache.New(cache.Config{SizeBytes: 1 << 10, LineBytes: 32, Assoc: 1}, bus)
 		if err != nil {
-			return nil, err
+			return BurstAblationRow{}, err
 		}
 		total := 0
 		// The Fig. 7 stride pattern: conflict misses on every access,
@@ -342,18 +344,17 @@ func BurstAblation() ([]BurstAblationRow, error) {
 			for addr := uint32(0); addr < 4096; addr += 128 {
 				_, cycles, err := c.Read(addr, amba.SizeWord)
 				if err != nil {
-					return nil, err
+					return BurstAblationRow{}, err
 				}
 				total += cycles
 			}
 		}
-		rows = append(rows, BurstAblationRow{
+		return BurstAblationRow{
 			BurstWords: bw,
 			Cycles:     total,
 			Handshakes: sdramCtrl.Stats().Requests,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ICacheRow is one point of the instruction-cache sweep: the other
@@ -381,8 +382,9 @@ func icacheKernel() string {
 }
 
 // ICacheSweep measures the kernel under instruction-cache sizes
-// 512 B - 4 KB with the data cache fixed.
-func ICacheSweep() ([]ICacheRow, error) {
+// 512 B - 4 KB with the data cache fixed, one SoC per point, workers
+// points concurrently.
+func ICacheSweep(workers int) ([]ICacheRow, error) {
 	asmText, err := lcc.Compile(icacheKernel(), lcc.Options{})
 	if err != nil {
 		return nil, err
@@ -391,29 +393,27 @@ func ICacheSweep() ([]ICacheRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ICacheRow
-	for _, size := range []int{512, 1 << 10, 2 << 10, 4 << 10} {
+	return forEachPoint(workers, []int{512, 1 << 10, 2 << 10, 4 << 10}, func(size int) (ICacheRow, error) {
 		cfg := leon.DefaultConfig()
 		cfg.ICache = cache.Config{SizeBytes: size, LineBytes: 32, Assoc: 1}
 		soc, err := leon.New(cfg, nil)
 		if err != nil {
-			return nil, err
+			return ICacheRow{}, err
 		}
 		ctrl := leon.NewController(soc)
 		if err := ctrl.Boot(); err != nil {
-			return nil, err
+			return ICacheRow{}, err
 		}
 		if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
-			return nil, err
+			return ICacheRow{}, err
 		}
 		soc.ICache.ResetStats()
 		res, err := ctrl.Execute(img.Entry, 0)
 		if err != nil || res.Faulted {
-			return nil, fmt.Errorf("bench: icache run: %v %+v", err, res)
+			return ICacheRow{}, fmt.Errorf("bench: icache run: %v %+v", err, res)
 		}
-		rows = append(rows, ICacheRow{ICacheBytes: size, Cycles: res.Cycles, Misses: soc.ICache.Stats().Misses})
-	}
-	return rows, nil
+		return ICacheRow{ICacheBytes: size, Cycles: res.Cycles, Misses: soc.ICache.Stats().Misses}, nil
+	})
 }
 
 // PlacementRow compares the same kernel with its data in SRAM versus
@@ -425,8 +425,9 @@ type PlacementRow struct {
 }
 
 // PlacementExperiment runs a pointer-based sweep kernel over a buffer
-// in SRAM and then in SDRAM.
-func PlacementExperiment() ([]PlacementRow, error) {
+// in SRAM and then in SDRAM, both placements concurrently when workers
+// allows.
+func PlacementExperiment(workers int) ([]PlacementRow, error) {
 	kernel := func(base uint32) string {
 		return fmt.Sprintf(`
 int main() {
@@ -440,24 +441,24 @@ int main() {
     return x;
 }`, base)
 	}
-	var rows []PlacementRow
-	for _, m := range []struct {
+	type placement struct {
 		name string
 		base uint32
-	}{
+	}
+	points := []placement{
 		{"SRAM", leon.SRAMBase + 0x100000},
 		{"SDRAM (via adapter)", leon.SDRAMBase + 0x1000},
-	} {
+	}
+	return forEachPoint(workers, points, func(m placement) (PlacementRow, error) {
 		res, _, err := RunOnce(leon.DefaultConfig(), kernel(m.base), lcc.Options{})
 		if err != nil {
-			return nil, err
+			return PlacementRow{}, err
 		}
 		if res.Faulted {
-			return nil, fmt.Errorf("bench: placement %s faulted (tt=%#x)", m.name, res.TT)
+			return PlacementRow{}, fmt.Errorf("bench: placement %s faulted (tt=%#x)", m.name, res.TT)
 		}
-		rows = append(rows, PlacementRow{Memory: m.name, Cycles: res.Cycles})
-	}
-	return rows, nil
+		return PlacementRow{Memory: m.name, Cycles: res.Cycles}, nil
+	})
 }
 
 // PipelineRow is one point of the pipeline-depth experiment: the
@@ -474,7 +475,7 @@ type PipelineRow struct {
 // 4-7: deeper pipelines take more cycles (taken-branch penalty) but
 // clock faster; wall-clock time decides the winner for the workload —
 // exactly the "modifiable pipeline depth" axis of §1.
-func PipelineExperiment() ([]PipelineRow, error) {
+func PipelineExperiment(workers int) ([]PipelineRow, error) {
 	src := `
 int main() {
     int i;
@@ -485,27 +486,25 @@ int main() {
     }
     return x;
 }`
-	var rows []PipelineRow
-	for _, depth := range []int{4, 5, 6, 7} {
+	return forEachPoint(workers, []int{4, 5, 6, 7}, func(depth int) (PipelineRow, error) {
 		cfg := leon.DefaultConfig()
 		cfg.CPU.PipelineDepth = depth
 		cfg.CPU.Timing = cpu.TimingForDepth(depth)
 		res, _, err := RunOnce(cfg, src, lcc.Options{})
 		if err != nil {
-			return nil, err
+			return PipelineRow{}, err
 		}
 		if res.Faulted {
-			return nil, fmt.Errorf("bench: pipeline depth %d faulted", depth)
+			return PipelineRow{}, fmt.Errorf("bench: pipeline depth %d faulted", depth)
 		}
 		fmax := synth.Estimate(cfg).FMaxMHz
-		rows = append(rows, PipelineRow{
+		return PipelineRow{
 			Depth:   depth,
 			Cycles:  res.Cycles,
 			FMaxMHz: fmax,
 			Millis:  float64(res.Cycles) / (fmax * 1e3),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // WritePolicyRow compares write-through and write-back data caches on
@@ -515,8 +514,9 @@ type WritePolicyRow struct {
 	Cycles uint64
 }
 
-// WritePolicyExperiment runs a store-heavy kernel under both policies.
-func WritePolicyExperiment() ([]WritePolicyRow, error) {
+// WritePolicyExperiment runs a store-heavy kernel under both policies,
+// concurrently when workers allows.
+func WritePolicyExperiment(workers int) ([]WritePolicyRow, error) {
 	src := `
 int buf[512];
 int main() {
@@ -527,8 +527,7 @@ int main() {
             buf[i] = buf[i] + pass;
     return buf[1];
 }`
-	var rows []WritePolicyRow
-	for _, wb := range []bool{false, true} {
+	return forEachPoint(workers, []bool{false, true}, func(wb bool) (WritePolicyRow, error) {
 		cfg := leon.DefaultConfig()
 		name := "write-through"
 		if wb {
@@ -537,14 +536,13 @@ int main() {
 		}
 		res, _, err := RunOnce(cfg, src, lcc.Options{})
 		if err != nil {
-			return nil, err
+			return WritePolicyRow{}, err
 		}
 		if res.Faulted {
-			return nil, fmt.Errorf("bench: write-policy run faulted")
+			return WritePolicyRow{}, fmt.Errorf("bench: write-policy run faulted")
 		}
-		rows = append(rows, WritePolicyRow{Policy: name, Cycles: res.Cycles})
-	}
-	return rows, nil
+		return WritePolicyRow{Policy: name, Cycles: res.Cycles}, nil
+	})
 }
 
 // AssocRow compares data-cache associativities at fixed size on the
@@ -556,8 +554,9 @@ type AssocRow struct {
 }
 
 // AssocExperiment sweeps associativity 1/2/4 at 2 KB, where the Fig. 7
-// pattern conflicts in a direct-mapped cache but fits with ways.
-func AssocExperiment() ([]AssocRow, error) {
+// pattern conflicts in a direct-mapped cache but fits with ways. The
+// kernel is compiled once; the points run concurrently up to workers.
+func AssocExperiment(workers int) ([]AssocRow, error) {
 	asmText, err := lcc.Compile(Fig7Source, lcc.Options{})
 	if err != nil {
 		return nil, err
@@ -566,27 +565,25 @@ func AssocExperiment() ([]AssocRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []AssocRow
-	for _, assoc := range []int{1, 2, 4} {
+	return forEachPoint(workers, []int{1, 2, 4}, func(assoc int) (AssocRow, error) {
 		cfg := leon.DefaultConfig()
 		cfg.DCache = cache.Config{SizeBytes: 2 << 10, LineBytes: 32, Assoc: assoc, Replacement: cache.LRU}
 		soc, err := leon.New(cfg, nil)
 		if err != nil {
-			return nil, err
+			return AssocRow{}, err
 		}
 		ctrl := leon.NewController(soc)
 		if err := ctrl.Boot(); err != nil {
-			return nil, err
+			return AssocRow{}, err
 		}
 		if err := ctrl.LoadProgram(img.Origin, img.Code); err != nil {
-			return nil, err
+			return AssocRow{}, err
 		}
 		soc.DCache.ResetStats()
 		res, err := ctrl.Execute(img.Entry, 0)
 		if err != nil || res.Faulted {
-			return nil, fmt.Errorf("bench: assoc run: %v %+v", err, res)
+			return AssocRow{}, fmt.Errorf("bench: assoc run: %v %+v", err, res)
 		}
-		rows = append(rows, AssocRow{Assoc: assoc, Cycles: res.Cycles, Misses: soc.DCache.Stats().Misses})
-	}
-	return rows, nil
+		return AssocRow{Assoc: assoc, Cycles: res.Cycles, Misses: soc.DCache.Stats().Misses}, nil
+	})
 }

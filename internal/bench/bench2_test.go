@@ -3,7 +3,7 @@ package bench
 import "testing"
 
 func TestICacheSweepShowsCodeFootprint(t *testing.T) {
-	rows, err := ICacheSweep()
+	rows, err := ICacheSweep(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestICacheSweepShowsCodeFootprint(t *testing.T) {
 }
 
 func TestPlacementSDRAMCostsMore(t *testing.T) {
-	rows, err := PlacementExperiment()
+	rows, err := PlacementExperiment(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestPlacementSDRAMCostsMore(t *testing.T) {
 }
 
 func TestPipelineExperimentTradeoff(t *testing.T) {
-	rows, err := PipelineExperiment()
+	rows, err := PipelineExperiment(1)
 	if err != nil {
 		t.Fatal(err)
 	}

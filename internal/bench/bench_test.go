@@ -10,7 +10,7 @@ import (
 // TestFig8ShapeHolds asserts the paper's central claim over the full
 // benchmark-size run: higher cycles below 4 KB, flat at and above.
 func TestFig8ShapeHolds(t *testing.T) {
-	rows, err := Fig8Sweep()
+	rows, err := Fig8Sweep(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestReconfigExperimentEconomics(t *testing.T) {
 }
 
 func TestBurstAblationMonotone(t *testing.T) {
-	rows, err := BurstAblation()
+	rows, err := BurstAblation(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestBurstAblationMonotone(t *testing.T) {
 }
 
 func TestWritePolicyExperiment(t *testing.T) {
-	rows, err := WritePolicyExperiment()
+	rows, err := WritePolicyExperiment(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestWritePolicyExperiment(t *testing.T) {
 }
 
 func TestAssocExperimentRuns(t *testing.T) {
-	rows, err := AssocExperiment()
+	rows, err := AssocExperiment(1)
 	if err != nil {
 		t.Fatal(err)
 	}

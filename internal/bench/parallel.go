@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean "one worker
+// per logical CPU" (the liquid-bench -workers flag's default).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// forEachPoint evaluates f over every point of a design-space sweep on
+// a bounded worker pool and returns the results in input order.
+//
+// Each point must be self-contained — in practice every experiment
+// builds its own SoC per point, so concurrent points share nothing but
+// the immutable compile/link artifacts captured by f's closure. The
+// pool is bounded by workers (resolved via Workers); with workers == 1
+// the sweep degenerates to the original serial loop, executing points
+// in index order on the calling goroutine's pool.
+//
+// Determinism: the result table depends only on f and points, never on
+// scheduling — results are written to the slot matching the input
+// index, and the reported error is the one from the lowest-indexed
+// failing point, so serial and parallel runs are bit-identical (the
+// determinism test in parallel_test.go holds this under -race).
+func forEachPoint[P, R any](workers int, points []P, f func(P) (R, error)) ([]R, error) {
+	n := Workers(workers)
+	if n > len(points) {
+		n = len(points)
+	}
+	results := make([]R, len(points))
+	errs := make([]error, len(points))
+	if n <= 1 {
+		for i, p := range points {
+			results[i], errs[i] = f(p)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+		return results, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = f(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

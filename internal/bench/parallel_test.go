@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestForEachPointOrder verifies results land in input order for every
+// pool size, including pools larger than the point count.
+func TestForEachPointOrder(t *testing.T) {
+	points := make([]int, 33)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := forEachPoint(workers, points, func(p int) (int, error) {
+			return p * p, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachPointError verifies the reported error is the one from
+// the lowest-indexed failing point, independent of scheduling.
+func TestForEachPointError(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	wantErr := errors.New("point 3")
+	for _, workers := range []int{1, 4} {
+		_, err := forEachPoint(workers, points, func(p int) (int, error) {
+			switch p {
+			case 3:
+				return 0, wantErr
+			case 5, 6:
+				return 0, fmt.Errorf("point %d", p)
+			}
+			return p, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+}
+
+// TestSweepDeterminism is the acceptance check for the parallel sweep
+// runner: the Fig. 8 cycle/miss table must be bit-identical whether
+// the points run serially or on a worker pool. CI runs this under
+// -race, which also proves the points share no mutable state.
+func TestSweepDeterminism(t *testing.T) {
+	serial, err := Fig8Sweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Fig8Sweep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial and parallel Fig8 tables differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

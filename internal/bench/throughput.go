@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/leon"
+)
+
+// StepKernel is a steady-state mixed kernel (ALU, load, store, taken
+// branch + delay slot) that loops forever; the throughput measurements
+// step it after the caches and predecode state have warmed up. The
+// root-level BenchmarkStepThroughput and ThroughputExperiment share it
+// so the testing.B number and the BENCH_throughput.json row describe
+// the same workload.
+const StepKernel = `
+_start:
+	set 0x40100000, %g3
+	set 0, %g1
+loop:
+	ld [%g3], %g2
+	add %g1, %g2, %g1
+	add %g1, 1, %g1
+	xor %g1, %g2, %g4
+	sub %g4, %g2, %g4
+	st %g4, [%g3 + 4]
+	and %g1, 255, %g5
+	or %g5, %g2, %g5
+	ba loop
+	nop
+`
+
+// ThroughputRow is the simulator-performance record: how fast the host
+// steps the simulated machine in the steady state.
+type ThroughputRow struct {
+	Steps     uint64  // simulated instructions measured
+	Cycles    uint64  // simulated cycles they consumed
+	WallSecs  float64 // host wall-clock for the measured window
+	NsPerStep float64 // host nanoseconds per simulated instruction
+	SimMIPS   float64 // simulated million instructions per host second
+}
+
+// ThroughputExperiment measures steady-state stepping speed: it boots a
+// default SoC, hands off into StepKernel via the controller's Start
+// path, warms the I-cache and the predecode cache, then times steps
+// simulated instructions.
+func ThroughputExperiment(steps uint64) (ThroughputRow, error) {
+	if steps == 0 {
+		steps = 2_000_000
+	}
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		return ThroughputRow{}, err
+	}
+	obj, err := asm.AssembleAt(StepKernel, leon.DefaultLoadAddr)
+	if err != nil {
+		return ThroughputRow{}, err
+	}
+	if err := ctrl.LoadProgram(obj.Origin, obj.Code); err != nil {
+		return ThroughputRow{}, err
+	}
+	if err := ctrl.Start(obj.Origin, 0); err != nil {
+		return ThroughputRow{}, err
+	}
+	for i := 0; i < 4096; i++ { // warm-up
+		if err := soc.Step(); err != nil {
+			return ThroughputRow{}, err
+		}
+	}
+	startCycles := soc.Cycles()
+	start := time.Now()
+	for i := uint64(0); i < steps; i++ {
+		if err := soc.Step(); err != nil {
+			return ThroughputRow{}, err
+		}
+	}
+	wall := time.Since(start)
+	row := ThroughputRow{
+		Steps:    steps,
+		Cycles:   soc.Cycles() - startCycles,
+		WallSecs: wall.Seconds(),
+	}
+	if s := wall.Seconds(); s > 0 {
+		row.NsPerStep = float64(wall.Nanoseconds()) / float64(steps)
+		row.SimMIPS = float64(steps) / s / 1e6
+	}
+	return row, nil
+}

@@ -12,6 +12,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -138,6 +139,20 @@ type Cache struct {
 	bus  *amba.AHB
 	base uint32 // AHB base address of the cached region's origin (0: identity)
 
+	// Precomputed index geometry: Config.Sets() divides twice per
+	// call, far too slow for something recomputed on every access of
+	// the simulation hot loop.
+	lineShift uint32 // log2(LineBytes)
+	setShift  uint32 // lineShift + log2(Sets)
+	setMask   uint32 // Sets-1
+	offMask   uint32 // LineBytes-1
+
+	// all is the contiguous backing array for every line; sets holds
+	// per-set windows into it. The instruction-fetch fast path indexes
+	// all directly (set*assoc+way) to skip one pointer chase.
+	all     []line
+	assoc   uint32
+	direct  bool // Assoc == 1: no replacement state to maintain
 	sets    [][]line
 	tick    uint64
 	rrNext  []int  // per-set round-robin pointer
@@ -154,16 +169,22 @@ func New(cfg Config, bus *amba.AHB) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{cfg: cfg, bus: bus, rnd: 0x2545F491, enabled: true}
+	c.lineShift = uint32(bits.TrailingZeros32(uint32(cfg.LineBytes)))
+	c.setShift = c.lineShift + uint32(bits.TrailingZeros32(uint32(cfg.Sets())))
+	c.setMask = uint32(cfg.Sets() - 1)
+	c.offMask = uint32(cfg.LineBytes - 1)
+	c.assoc = uint32(cfg.Assoc)
+	c.direct = cfg.Assoc == 1
+	c.all = make([]line, cfg.Lines())
 	c.sets = make([][]line, cfg.Sets())
 	c.rrNext = make([]int, cfg.Sets())
 	backing := make([]byte, cfg.SizeBytes)
+	for i := range c.all {
+		c.all[i].data = backing[:cfg.LineBytes:cfg.LineBytes]
+		backing = backing[cfg.LineBytes:]
+	}
 	for i := range c.sets {
-		ways := make([]line, cfg.Assoc)
-		for w := range ways {
-			ways[w].data = backing[:cfg.LineBytes:cfg.LineBytes]
-			backing = backing[cfg.LineBytes:]
-		}
-		c.sets[i] = ways
+		c.sets[i] = c.all[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return c, nil
 }
@@ -185,11 +206,9 @@ func (c *Cache) SetEnabled(on bool) { c.enabled = on }
 func (c *Cache) Enabled() bool { return c.enabled }
 
 func (c *Cache) index(addr uint32) (set uint32, tag uint32, off uint32) {
-	lineBits := uint(bits.TrailingZeros32(uint32(c.cfg.LineBytes)))
-	setBits := uint(bits.TrailingZeros32(uint32(c.cfg.Sets())))
-	off = addr & (uint32(c.cfg.LineBytes) - 1)
-	set = (addr >> lineBits) & (uint32(c.cfg.Sets()) - 1)
-	tag = addr >> (lineBits + setBits)
+	off = addr & c.offMask
+	set = (addr >> c.lineShift) & c.setMask
+	tag = addr >> c.setShift
 	return
 }
 
@@ -266,9 +285,7 @@ func (c *Cache) fill(addr uint32) (int, int, error) {
 }
 
 func (c *Cache) writeBackLine(set uint32, l *line) (int, error) {
-	lineBits := uint(bits.TrailingZeros32(uint32(c.cfg.LineBytes)))
-	setBits := uint(bits.TrailingZeros32(uint32(c.cfg.Sets())))
-	addr := l.tag<<(lineBits+setBits) | set<<lineBits
+	addr := l.tag<<c.setShift | set<<c.lineShift
 	cycles := 0
 	for i := 0; i < c.cfg.LineBytes; i += 4 {
 		n, err := c.bus.Write(addr+uint32(i), getBE32(l.data[i:]), amba.SizeWord)
@@ -282,13 +299,11 @@ func (c *Cache) writeBackLine(set uint32, l *line) (int, error) {
 	return cycles, nil
 }
 
-func getBE32(b []byte) uint32 {
-	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
-}
+// getBE32/putBE32 go through encoding/binary so the compiler emits a
+// single (byte-swapped) 32-bit load/store instead of four byte ops.
+func getBE32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }
 
-func putBE32(b []byte, v uint32) {
-	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
-}
+func putBE32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
 
 // Read performs a cached read of the given size. The returned cycle
 // count includes the 1-cycle hit access plus any fill traffic.
@@ -323,6 +338,53 @@ func (c *Cache) Read(addr uint32, size amba.Size) (uint32, int, error) {
 	default:
 		return word >> ((3 - addr&3) * 8) & 0xFF, cycles, nil
 	}
+}
+
+// FetchWord reads the aligned word containing addr for instruction
+// fetch. It is behaviourally identical to Read(addr, amba.SizeWord) —
+// same cycle accounting, statistics and replacement-state updates — but
+// it is a concrete method the CPU's fetch path can call without an
+// interface dispatch, and it additionally reports whether the access
+// hit a resident line of an enabled cache. The predecode layer uses
+// that flag: a predecoded instruction may be reused only against the
+// word the cache actually served.
+func (c *Cache) FetchWord(addr uint32) (word uint32, cycles int, hit bool, err error) {
+	if !c.enabled {
+		word, cycles, err = c.bus.Read(addr, amba.SizeWord)
+		return word, cycles, false, err
+	}
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.setShift
+	// Unrolled first-way probe on the flat line array: instruction
+	// caches are direct-mapped in every configuration the paper
+	// sweeps, so the common case is one compare with no LRU
+	// bookkeeping (a single way has no replacement decision to bias).
+	l0 := &c.all[set*c.assoc]
+	if l0.valid && l0.tag == tag {
+		c.stats.Hits++
+		if !c.direct {
+			c.tick++
+			l0.age = c.tick
+		}
+		return getBE32(l0.data[addr&c.offMask&^3:]), 1, true, nil
+	}
+	if !c.direct {
+		ways := c.sets[set]
+		for w := 1; w < len(ways); w++ {
+			if l := &ways[w]; l.valid && l.tag == tag {
+				c.stats.Hits++
+				c.tick++
+				l.age = c.tick
+				return getBE32(l.data[addr&c.offMask&^3:]), 1, true, nil
+			}
+		}
+	}
+	c.stats.Misses++
+	w, n, err := c.fill(addr)
+	if err != nil {
+		return 0, 1 + n, false, err
+	}
+	return getBE32(c.sets[set][w].data[addr&c.offMask&^3:]), 1 + n, false, nil
 }
 
 // Write performs a cached write of the given size and returns the bus

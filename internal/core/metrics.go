@@ -19,6 +19,16 @@ type systemMetrics struct {
 	reconfigs  *metrics.CounterVec
 	synthRuns  *metrics.Counter
 	synthModel *metrics.Histogram
+
+	// Simulator throughput: how fast the host executes simulated
+	// instructions. The gauge holds the most recent run's rate, the
+	// histogram the distribution across runs, so a /metrics scrape
+	// shows both the current speed and its spread. Every instrument
+	// in this struct is nil-safe (metrics methods no-op on nil
+	// receivers), so observeRun never needs a guard even on a System
+	// built without instrumentation.
+	simMIPS     *metrics.Gauge
+	simMIPSHist *metrics.Histogram
 }
 
 func newSystemMetrics(r *metrics.Registry) systemMetrics {
@@ -32,6 +42,10 @@ func newSystemMetrics(r *metrics.Registry) systemMetrics {
 		synthRuns: r.Counter("liquid_core_synthesis_total", "Synthesis runs triggered by reconfiguration-cache misses."),
 		synthModel: r.Histogram("liquid_core_synthesis_modelled_seconds",
 			"Modelled tool time per synthesis run (≈1 h per configuration in the paper).", metrics.ExpBuckets(60, 2, 10)),
+		simMIPS: r.Gauge("liquid_core_sim_mips",
+			"Simulated million instructions per host-second of the most recent run."),
+		simMIPSHist: r.Histogram("liquid_core_sim_mips_hist",
+			"Distribution of per-run simulated-MIPS throughput.", metrics.ExpBuckets(1, 2, 12)),
 	}
 }
 
@@ -81,6 +95,11 @@ func (s *System) observeRun(res leon.RunResult, wall time.Duration, err error) {
 	s.m.runs.Inc()
 	s.m.runCycles.Observe(float64(res.Cycles))
 	s.m.runWall.Observe(wall.Seconds())
+	if secs := wall.Seconds(); secs > 0 && res.Instructions > 0 {
+		mips := float64(res.Instructions) / secs / 1e6
+		s.m.simMIPS.Set(mips)
+		s.m.simMIPSHist.Observe(mips)
+	}
 	if err != nil || res.Faulted {
 		s.m.runFaults.Inc()
 	}

@@ -57,6 +57,15 @@ type Memory interface {
 	Write(addr uint32, val uint32, size amba.Size) (cycles int, err error)
 }
 
+// IFetcher is the fast instruction-fetch path: a concrete provider of
+// aligned word fetches that bypasses the general Memory interface (and
+// its per-size dispatch) on the Step hot loop. cache.Cache implements
+// it; hit reports whether the word came from a resident line of an
+// enabled cache. Cycle accounting must match Memory.Read exactly.
+type IFetcher interface {
+	FetchWord(addr uint32) (word uint32, cycles int, hit bool, err error)
+}
+
 // IRQSource provides external interrupt requests (the APB interrupt
 // controller).
 type IRQSource interface {
@@ -168,12 +177,43 @@ type Stats struct {
 	WindowFills  uint64 // window underflow traps
 }
 
+// Predecode-cache geometry: a direct-mapped array of decoded
+// instructions keyed by PC. 8192 entries cover 32 KB of code — larger
+// than any kernel the experiments run — at ~256 KB of host memory per
+// CPU. Entries are validated against the fetched instruction word, so
+// a collision or stale entry can never change architectural behaviour;
+// it only costs a re-decode.
+const (
+	predecodeEntries = 1 << 13
+	predecodeMask    = predecodeEntries - 1
+)
+
+// predecodeEntry caches the decode of one instruction word. tag is
+// pc+1 (PCs are word-aligned, so +1 makes the zero value invalid and
+// still distinguishes pc 0); word is the instruction word the entry
+// was decoded from, re-checked on every hit.
+type predecodeEntry struct {
+	tag  uint32
+	word uint32
+	in   isa.Inst
+}
+
 // CPU is one LEON integer unit.
 type CPU struct {
 	cfg  Config
 	imem Memory
 	dmem Memory
 	irq  IRQSource
+
+	// ifetch, when non-nil, serves instruction fetches instead of
+	// imem (same cycle accounting, no interface-dispatch tax).
+	ifetch IFetcher
+	// predecode is the decode-once/execute-many cache consulted
+	// before isa.Decode on every fetched word.
+	predecode []predecodeEntry
+	// nwin mirrors cfg.NWindows so the window arithmetic on the hot
+	// path reads a flat field.
+	nwin int
 
 	// FlushFn, when non-nil, is invoked by the FLUSH instruction
 	// (wired to both caches by the SoC); it returns bus cycles spent.
@@ -206,10 +246,31 @@ func New(cfg Config, imem, dmem Memory, irq IRQSource) (*CPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &CPU{cfg: cfg, imem: imem, dmem: dmem, irq: irq}
+	c := &CPU{cfg: cfg, imem: imem, dmem: dmem, irq: irq, nwin: cfg.NWindows}
 	c.windows = make([]uint32, cfg.NWindows*16)
+	c.predecode = make([]predecodeEntry, predecodeEntries)
 	c.Reset()
 	return c, nil
+}
+
+// SetIFetch installs (or, with nil, removes) the fast instruction-
+// fetch path and flushes the predecode cache. The SoC wires the
+// instruction cache here and re-wires it across partial
+// reconfigurations (SwapCaches).
+func (c *CPU) SetIFetch(f IFetcher) {
+	c.ifetch = f
+	c.InvalidatePredecode()
+}
+
+// InvalidatePredecode flushes the predecoded-instruction cache. The
+// SoC and leon_ctrl call it whenever instruction memory can change
+// underneath the fetch path without going through the CPU's own store
+// port: program load/handoff through the user-side SRAM port, cache
+// swaps, and the FLUSH instruction.
+func (c *CPU) InvalidatePredecode() {
+	for i := range c.predecode {
+		c.predecode[i].tag = 0
+	}
 }
 
 // Config returns the configuration the CPU was built with.
@@ -231,6 +292,7 @@ func (c *CPU) Reset() {
 	c.wim, c.tbr, c.y = 0, 0, 0
 	c.pc, c.npc = 0, 4
 	c.annul = false
+	c.InvalidatePredecode()
 }
 
 // PC returns the current program counter.
@@ -299,7 +361,7 @@ func (c *CPU) windowIndex(r isa.Reg) int {
 	case r < 24: // locals
 		return w*16 + 8 + int(r-16)
 	default: // ins = outs of next window
-		return ((w+1)%c.cfg.NWindows)*16 + int(r-24)
+		return ((w+1)%c.nwin)*16 + int(r-24)
 	}
 }
 
@@ -425,22 +487,44 @@ func (c *CPU) Step() error {
 	if c.pc&3 != 0 {
 		return c.trap(TrapAlignment)
 	}
-	word, fetchCycles, err := c.imem.Read(c.pc, amba.SizeWord)
+
+	// Instruction fetch: the fast path is a concrete call into the
+	// instruction cache; the generic Memory interface is the fallback
+	// for CPUs wired without one (unit tests, bare configurations).
+	var (
+		word        uint32
+		fetchCycles int
+		err         error
+	)
+	if c.ifetch != nil {
+		word, fetchCycles, _, err = c.ifetch.FetchWord(c.pc)
+	} else {
+		word, fetchCycles, err = c.imem.Read(c.pc, amba.SizeWord)
+	}
 	c.Cycles += uint64(fetchCycles)
 	if err != nil {
 		return c.trap(TrapIAccess)
 	}
-	in, err := isa.Decode(word)
-	if err != nil {
-		return c.trap(TrapIllegalInst)
+
+	// Decode once, execute many: the predecode entry is trusted only
+	// when it was decoded from exactly the word the fetch path just
+	// served, so stale or colliding entries cost a re-decode, never a
+	// wrong execution.
+	e := &c.predecode[(c.pc>>2)&predecodeMask]
+	if e.tag != c.pc+1 || e.word != word {
+		in, derr := isa.Decode(word)
+		if derr != nil {
+			return c.trap(TrapIllegalInst)
+		}
+		e.tag, e.word, e.in = c.pc+1, word, in
 	}
 	if c.OnExec != nil {
-		c.OnExec(c.pc, in)
+		c.OnExec(c.pc, e.in)
 	}
 	c.stats.Instructions++
 
 	nextPC, nextNPC := c.npc, c.npc+4
-	err = c.execute(in, &nextPC, &nextNPC)
+	err = c.execute(&e.in, &nextPC, &nextNPC)
 	if err != nil {
 		if errors.Is(err, errTrapped) {
 			return nil // trap already vectored
@@ -454,12 +538,17 @@ func (c *CPU) Step() error {
 // execute runs one decoded instruction. Control transfers update
 // *nextPC/*nextNPC (the delayed-branch machine). A returned errTrapped
 // means the instruction vectored through trap() and PC is already set.
-func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
-	op2 := func() uint32 {
-		if in.UseImm {
-			return uint32(in.Imm)
-		}
-		return c.Reg(in.Rs2)
+// in may point into the predecode cache; it must not be mutated.
+func (c *CPU) execute(in *isa.Inst, nextPC, nextNPC *uint32) error {
+	// The second operand (register or immediate) is computed once up
+	// front instead of through a per-instruction closure: reading a
+	// register has no side effects, and the flat branch keeps the hot
+	// loop free of closure setup.
+	var op2v uint32
+	if in.UseImm {
+		op2v = uint32(in.Imm)
+	} else {
+		op2v = c.Reg(in.Rs2)
 	}
 	t := &c.cfg.Timing
 
@@ -494,7 +583,7 @@ func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
 		return nil
 
 	case isa.OpJMPL:
-		target := c.Reg(in.Rs1) + op2()
+		target := c.Reg(in.Rs1) + op2v
 		if target&3 != 0 {
 			return c.takeTrap(TrapAlignment)
 		}
@@ -504,11 +593,11 @@ func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
 		return nil
 
 	case isa.OpRETT:
-		return c.rett(c.Reg(in.Rs1)+op2(), nextPC, nextNPC)
+		return c.rett(c.Reg(in.Rs1)+op2v, nextPC, nextNPC)
 
 	case isa.OpTicc:
 		if c.condTrue(in.Cond) {
-			n := (c.Reg(in.Rs1) + op2()) & 0x7F
+			n := (c.Reg(in.Rs1) + op2v) & 0x7F
 			return c.takeTrap(uint8(TrapSoftwareBase + n))
 		}
 		return nil
@@ -518,7 +607,7 @@ func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
 		if c.wim&(1<<uint(newCWP)) != 0 {
 			return c.takeTrap(TrapWindowOverflow)
 		}
-		res := c.Reg(in.Rs1) + op2() // computed in the old window
+		res := c.Reg(in.Rs1) + op2v // computed in the old window
 		c.psr = c.psr&^psrCWPMask | uint32(newCWP)
 		c.SetReg(in.Rd, res) // written in the new window
 		return nil
@@ -528,12 +617,16 @@ func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
 		if c.wim&(1<<uint(newCWP)) != 0 {
 			return c.takeTrap(TrapWindowUnderflow)
 		}
-		res := c.Reg(in.Rs1) + op2()
+		res := c.Reg(in.Rs1) + op2v
 		c.psr = c.psr&^psrCWPMask | uint32(newCWP)
 		c.SetReg(in.Rd, res)
 		return nil
 
 	case isa.OpFLUSH:
+		// FLUSH invalidates the fetch pipeline's predecoded state
+		// along with the caches: it is the architectural barrier
+		// self-modifying code must execute.
+		c.InvalidatePredecode()
 		if c.FlushFn != nil {
 			cycles, err := c.FlushFn()
 			c.Cycles += uint64(cycles)
@@ -556,34 +649,34 @@ func (c *CPU) execute(in isa.Inst, nextPC, nextNPC *uint32) error {
 		c.SetReg(in.Rd, c.tbr)
 		return nil
 	case isa.OpWRY:
-		c.y = c.Reg(in.Rs1) ^ op2()
+		c.y = c.Reg(in.Rs1) ^ op2v
 		return nil
 	case isa.OpWRPSR:
-		v := c.Reg(in.Rs1) ^ op2()
+		v := c.Reg(in.Rs1) ^ op2v
 		if int(v&psrCWPMask) >= c.cfg.NWindows {
 			return c.takeTrap(TrapIllegalInst)
 		}
 		c.psr = psrImplVer | v&^uint32(psrImplVer)
 		return nil
 	case isa.OpWRWIM:
-		c.wim = (c.Reg(in.Rs1) ^ op2()) & (1<<uint(c.cfg.NWindows) - 1)
+		c.wim = (c.Reg(in.Rs1) ^ op2v) & (1<<uint(c.cfg.NWindows) - 1)
 		return nil
 	case isa.OpWRTBR:
-		c.tbr = (c.Reg(in.Rs1) ^ op2()) & 0xFFFFF000
+		c.tbr = (c.Reg(in.Rs1) ^ op2v) & 0xFFFFF000
 		return nil
 
 	case isa.OpLQMAC:
 		if !c.cfg.MAC {
 			return c.takeTrap(TrapIllegalInst)
 		}
-		c.SetReg(in.Rd, c.Reg(in.Rd)+c.Reg(in.Rs1)*op2())
+		c.SetReg(in.Rd, c.Reg(in.Rd)+c.Reg(in.Rs1)*op2v)
 		return nil
 	}
 
 	if in.Op.IsLoad() || in.Op.IsStore() {
-		return c.memOp(in, op2())
+		return c.memOp(in, op2v)
 	}
-	return c.alu(in, op2())
+	return c.alu(in, op2v)
 }
 
 // takeTrap vectors through trap() and signals the Step loop.

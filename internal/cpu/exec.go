@@ -6,7 +6,7 @@ import (
 )
 
 // alu executes the arithmetic/logical/shift/multiply/divide group.
-func (c *CPU) alu(in isa.Inst, b uint32) error {
+func (c *CPU) alu(in *isa.Inst, b uint32) error {
 	a := c.Reg(in.Rs1)
 	t := &c.cfg.Timing
 
@@ -160,7 +160,7 @@ func (c *CPU) alu(in isa.Inst, b uint32) error {
 	return nil
 }
 
-func (c *CPU) logicResult(in isa.Inst, r uint32) {
+func (c *CPU) logicResult(in *isa.Inst, r uint32) {
 	switch in.Op {
 	case isa.OpANDcc, isa.OpANDNcc, isa.OpORcc, isa.OpORNcc, isa.OpXORcc, isa.OpXNORcc:
 		c.setICC(int32(r) < 0, r == 0, false, false)
@@ -193,9 +193,21 @@ func (c *CPU) setSubICCBorrow(a, b, borrowIn, r uint32) {
 	c.setICC(int32(r) < 0, r == 0, v, cy)
 }
 
+// predecodeInvalidateStore drops the predecode entry covering a
+// stored-to word, so self-modifying code that writes over an
+// instruction is re-decoded on its next fetch (the I-cache itself still
+// requires the architectural FLUSH, exactly as on the hardware). One
+// compare per store keeps the hot loop flat.
+func (c *CPU) predecodeInvalidateStore(addr uint32) {
+	e := &c.predecode[(addr>>2)&predecodeMask]
+	if e.tag == addr&^3+1 {
+		e.tag = 0
+	}
+}
+
 // memOp executes loads and stores, including the doubleword and atomic
 // forms. addrOff is the second address operand (register or immediate).
-func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
+func (c *CPU) memOp(in *isa.Inst, addrOff uint32) error {
 	addr := c.Reg(in.Rs1) + addrOff
 	t := &c.cfg.Timing
 
@@ -273,6 +285,7 @@ func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
 			return c.takeTrap(TrapDAccess)
 		}
 		c.stats.Stores++
+		c.predecodeInvalidateStore(addr)
 
 	case isa.OpSTD:
 		cy1, err := c.dmem.Write(addr, c.Reg(in.Rd), amba.SizeWord)
@@ -286,6 +299,8 @@ func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
 			return c.takeTrap(TrapDAccess)
 		}
 		c.stats.Stores += 2
+		c.predecodeInvalidateStore(addr)
+		c.predecodeInvalidateStore(addr + 4)
 
 	case isa.OpSWAP:
 		v, cy1, err := c.dmem.Read(addr, amba.SizeWord)
@@ -301,6 +316,7 @@ func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
 		c.stats.Loads++
 		c.stats.Stores++
 		c.SetReg(in.Rd, v)
+		c.predecodeInvalidateStore(addr)
 
 	case isa.OpLDSTUB:
 		v, cy1, err := c.dmem.Read(addr, amba.SizeByte)
@@ -316,6 +332,7 @@ func (c *CPU) memOp(in isa.Inst, addrOff uint32) error {
 		c.stats.Loads++
 		c.stats.Stores++
 		c.SetReg(in.Rd, v)
+		c.predecodeInvalidateStore(addr)
 	}
 	return nil
 }

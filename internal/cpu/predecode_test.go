@@ -1,0 +1,74 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"liquidarch/internal/isa"
+)
+
+// TestPredecodeStoreInvalidation overwrites an already-executed (and
+// therefore predecoded) instruction word through the CPU's own store
+// path and re-executes it: the predecode cache must serve the new
+// instruction, not the stale decode.
+func TestPredecodeStoreInvalidation(t *testing.T) {
+	const progBase = 0x1000
+	g1, g2, g3 := isa.G0+1, isa.G0+2, isa.G0+3
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(g1, 1)), // T: will be overwritten
+		enc(t, isa.Inst{Op: isa.OpST, Rd: g2, Rs1: g3, UseImm: true, Imm: 0}), // st %g2, [%g3]
+	)
+	run(t, c, 1) // executes T, populating its predecode entry
+	if got := c.Reg(g1); got != 1 {
+		t.Fatalf("first pass: %%g1 = %d, want 1", got)
+	}
+	c.SetReg(g2, enc(t, movImm(g1, 99)))
+	c.SetReg(g3, progBase)
+	run(t, c, 1) // the store overwrites T
+	c.SetPC(progBase)
+	run(t, c, 1) // re-execute T: must decode the stored word
+	if got := c.Reg(g1); got != 99 {
+		t.Fatalf("after self-modifying store: %%g1 = %d, want 99 (stale predecode entry reused)", got)
+	}
+}
+
+// TestPredecodeExternalWrite overwrites a predecoded instruction by
+// writing to memory directly — the path a controller-port poke takes,
+// which never passes through the CPU's per-store invalidation. The
+// predecode entry's word compare must still reject the stale decode,
+// because reuse is only allowed against the exact word the fetch path
+// served.
+func TestPredecodeExternalWrite(t *testing.T) {
+	const progBase = 0x1000
+	g1 := isa.G0 + 1
+	c, m := newCPU(t, DefaultConfig(), enc(t, movImm(g1, 1)))
+	run(t, c, 1)
+	if got := c.Reg(g1); got != 1 {
+		t.Fatalf("first pass: %%g1 = %d, want 1", got)
+	}
+	binary.BigEndian.PutUint32(m.data[progBase:], enc(t, movImm(g1, 55)))
+	c.SetPC(progBase)
+	run(t, c, 1)
+	if got := c.Reg(g1); got != 55 {
+		t.Fatalf("after external write: %%g1 = %d, want 55 (predecode word compare failed)", got)
+	}
+}
+
+// TestInvalidatePredecode checks the wholesale flush: after
+// InvalidatePredecode every entry is dropped and re-decoded on the
+// next fetch (execution results are unchanged, this is purely a
+// does-not-crash-and-still-correct property).
+func TestInvalidatePredecode(t *testing.T) {
+	g1 := isa.G0 + 1
+	c, _ := newCPU(t, DefaultConfig(),
+		enc(t, movImm(g1, 5)),
+		enc(t, isa.Inst{Op: isa.OpADD, Rd: g1, Rs1: g1, UseImm: true, Imm: 2}),
+	)
+	run(t, c, 2)
+	c.InvalidatePredecode()
+	c.SetPC(0x1000)
+	run(t, c, 2)
+	if got := c.Reg(g1); got != 7 {
+		t.Fatalf("%%g1 = %d, want 7", got)
+	}
+}

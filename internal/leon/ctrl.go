@@ -115,7 +115,60 @@ func (c *Controller) LoadProgram(addr uint32, image []byte) error {
 	if addr < SRAMBase || uint64(addr)+uint64(len(image)) > uint64(SRAMBase)+uint64(c.soc.Config.SRAMSize) {
 		return fmt.Errorf("leon: load [%#x,+%d) outside SRAM", addr, len(image))
 	}
+	// A fresh image may reuse addresses from the previous run; drop any
+	// instructions predecoded from the old contents. (The boot ROM's
+	// FLUSH before handoff also does this — see BootROMSource — but the
+	// load path must not rely on the program running to completion.)
+	c.soc.CPU.InvalidatePredecode()
 	return c.soc.SRAM.Poke(addr-SRAMBase, image)
+}
+
+// Start begins executing the program at entry without driving it to
+// completion: it clears the fault mailbox, publishes the start address
+// in the poll word, reconnects main memory and steps the CPU until the
+// boot ROM's poll loop picks the address up and jumps into the program.
+// On return the controller is in StateRunning with the CPU parked on
+// the program's first instruction; the caller drives it with SoC.Step
+// (the steady-state path the throughput benchmarks measure). maxCycles
+// bounds the handoff (0 means a large default).
+func (c *Controller) Start(entry uint32, maxCycles uint64) error {
+	if c.state != StateIdle && c.state != StateDone && c.state != StateFault {
+		return fmt.Errorf("leon: cannot execute in state %v", c.state)
+	}
+	if entry < MailboxEnd || entry >= SRAMBase+uint32(c.soc.Config.SRAMSize) {
+		return fmt.Errorf("leon: entry %#x outside user SRAM", entry)
+	}
+	if maxCycles == 0 {
+		maxCycles = 1 << 32
+	}
+	// Clear the fault mailbox, publish the start address, reconnect.
+	sram := c.soc.SRAM
+	for _, off := range []uint32{MailboxFaultTT, MailboxFaultPC} {
+		if err := sram.Poke32(off-SRAMBase, 0); err != nil {
+			return err
+		}
+	}
+	if err := sram.Poke32(MailboxProgAddr-SRAMBase, entry); err != nil {
+		return err
+	}
+	c.soc.sramSwitch.connected = true
+	c.state = StateRunning
+
+	limit := c.soc.CPU.Cycles + maxCycles
+	// Wait for the poll loop to pick up the address and jump into the
+	// program.
+	for c.soc.CPU.PC() != entry {
+		if c.soc.CPU.Cycles > limit {
+			c.state = StateIdle
+			c.soc.sramSwitch.connected = false
+			return fmt.Errorf("leon: program never entered: %w", ErrBudget)
+		}
+		if err := c.soc.Step(); err != nil {
+			_, err = c.errorMode(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // Execute starts the program at entry and runs it to completion: it
@@ -125,27 +178,19 @@ func (c *Controller) LoadProgram(addr uint32, image []byte) error {
 // reports the cycle count. maxCycles bounds the run (0 means a large
 // default).
 func (c *Controller) Execute(entry uint32, maxCycles uint64) (RunResult, error) {
-	if c.state != StateIdle && c.state != StateDone && c.state != StateFault {
-		return RunResult{}, fmt.Errorf("leon: cannot execute in state %v", c.state)
-	}
-	if entry < MailboxEnd || entry >= SRAMBase+uint32(c.soc.Config.SRAMSize) {
-		return RunResult{}, fmt.Errorf("leon: entry %#x outside user SRAM", entry)
-	}
 	if maxCycles == 0 {
 		maxCycles = 1 << 32
 	}
-	// Clear the fault mailbox, publish the start address, reconnect.
-	sram := c.soc.SRAM
-	for _, off := range []uint32{MailboxFaultTT, MailboxFaultPC} {
-		if err := sram.Poke32(off-SRAMBase, 0); err != nil {
-			return RunResult{}, err
+	limit := c.soc.CPU.Cycles + maxCycles
+	if err := c.Start(entry, maxCycles); err != nil {
+		if c.state == StateFault || c.state == StateReset {
+			// The CPU hit error mode during the handoff; errorMode
+			// recorded the fault in last.
+			return c.last, err
 		}
-	}
-	if err := sram.Poke32(MailboxProgAddr-SRAMBase, entry); err != nil {
 		return RunResult{}, err
 	}
-	c.soc.sramSwitch.connected = true
-	c.state = StateRunning
+	sram := c.soc.SRAM
 
 	finish := func(res RunResult) (RunResult, error) {
 		c.soc.sramSwitch.connected = false
@@ -163,19 +208,6 @@ func (c *Controller) Execute(entry uint32, maxCycles uint64) (RunResult, error) 
 		return res, nil
 	}
 
-	limit := c.soc.CPU.Cycles + maxCycles
-	// Phase 1: wait for the poll loop to pick up the address and jump
-	// into the program.
-	for c.soc.CPU.PC() != entry {
-		if c.soc.CPU.Cycles > limit {
-			c.state = StateIdle
-			c.soc.sramSwitch.connected = false
-			return RunResult{}, fmt.Errorf("leon: program never entered: %w", ErrBudget)
-		}
-		if err := c.soc.Step(); err != nil {
-			return c.errorMode(err)
-		}
-	}
 	startCycles := c.soc.CPU.Cycles
 	startInsts := c.soc.CPU.Stats().Instructions
 
@@ -255,6 +287,9 @@ func (c *Controller) WriteMemory(addr uint32, p []byte) error {
 	if addr < SRAMBase || uint64(addr)+uint64(len(p)) > uint64(SRAMBase)+uint64(c.soc.Config.SRAMSize) {
 		return fmt.Errorf("leon: write [%#x,+%d) outside SRAM", addr, len(p))
 	}
+	// Same staleness concern as LoadProgram: user-port pokes bypass the
+	// CPU's store path, so its per-store invalidation never sees them.
+	c.soc.CPU.InvalidatePredecode()
 	return c.soc.SRAM.Poke(addr-SRAMBase, p)
 }
 

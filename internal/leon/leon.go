@@ -242,6 +242,10 @@ func New(cfg Config, uartOut io.Writer) (*SoC, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Instruction fetches take the concrete fast path straight into the
+	// I-cache (the instruction side has no uncacheable windows, so the
+	// splitMem mux adds nothing but an interface dispatch).
+	s.CPU.SetIFetch(s.ICache)
 	// Cache control register (LEON2's CCR): software enable/disable
 	// and flush of both caches. Mapped late so it can reach the live
 	// cache instances even across partial reconfigurations.
@@ -298,6 +302,11 @@ func (s *SoC) SwapCaches(icfg, dcfg cache.Config) error {
 	s.ICache, s.DCache = newI, newD
 	s.imem.cached = newI
 	s.dmem.cached = newD
+	// Re-point the CPU's concrete fetch fast path at the new I-cache.
+	// SetIFetch also drops the predecoded instruction cache: the swap
+	// is a reconfiguration boundary and decoded state must not outlive
+	// the module it was fetched through.
+	s.CPU.SetIFetch(newI)
 	s.Config.ICache = icfg
 	s.Config.DCache = dcfg
 	return nil
@@ -345,6 +354,9 @@ func (c *cacheCtrl) WriteReg(off uint32, v uint32) error {
 		if _, err := c.soc.DCache.Flush(); err != nil {
 			return err
 		}
+		// A software cache flush is a barrier after code modification;
+		// drop predecoded instructions along with the cached lines.
+		c.soc.CPU.InvalidatePredecode()
 	}
 	return nil
 }
@@ -355,7 +367,10 @@ func (c *cacheCtrl) WriteReg(off uint32, v uint32) error {
 // mailbox page must also bypass the cache so the poll loop of Fig. 5
 // observes values written by the external circuitry.
 type splitMem struct {
-	cached       cpu.Memory
+	// cached is the concrete cache module (not a cpu.Memory interface):
+	// the data path is the hottest interface call in the simulator and
+	// keeping the type concrete lets the compiler devirtualize it.
+	cached       *cache.Cache
 	bus          *amba.AHB
 	alwaysCached bool // instruction path: no uncacheable windows
 }

@@ -1,0 +1,81 @@
+package leon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"liquidarch/internal/isa"
+)
+
+func readWord(t *testing.T, ctrl *Controller, addr uint32) uint32 {
+	t.Helper()
+	data, err := ctrl.ReadMemory(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.BigEndian.Uint32(data)
+}
+
+// TestLoadProgramReusesAddress runs two different programs loaded at
+// the same address back-to-back through the controller's load/handoff
+// path (the paper's UDP reload cycle). The instruction at a given
+// address changes between runs, so the second execution must not reuse
+// predecoded state from the first — LoadProgram drops it, and the boot
+// ROM's FLUSH before the jump covers the I-cache.
+func TestLoadProgramReusesAddress(t *testing.T) {
+	ctrl := buildSystem(t, DefaultConfig(), nil)
+	prog := func(v uint32) string {
+		return fmt.Sprintf(`
+_start:
+	set result, %%g1
+	set %d, %%g2
+	st %%g2, [%%g1]
+`, v) + epilogue + "result:\t.word 0\n"
+	}
+	for _, want := range []uint32{7, 42} {
+		obj := assembleProg(t, prog(want))
+		loadAndRun(t, ctrl, obj)
+		sym, ok := obj.Symbol("result")
+		if !ok {
+			t.Fatal("no result symbol")
+		}
+		if got := readWord(t, ctrl, sym); got != want {
+			t.Fatalf("result after reload = %d, want %d (stale predecoded instruction executed)", got, want)
+		}
+	}
+}
+
+// TestSelfModifyingCodeWithFlush is the architectural self-modifying
+// sequence on the full SoC: store a new instruction word over a
+// location ahead in the instruction stream, execute FLUSH (the SPARC
+// barrier, which drops both the I-cache line and the predecode
+// cache), then run through the patched location.
+func TestSelfModifyingCodeWithFlush(t *testing.T) {
+	ctrl := buildSystem(t, DefaultConfig(), nil)
+	// The patch: mov 99, %g4 replacing mov 1, %g4.
+	newInst, err := isa.Encode(isa.Inst{Op: isa.OpOR, Rd: isa.G0 + 4, Rs1: isa.G0, UseImm: true, Imm: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+_start:
+	set patch, %%g1
+	set 0x%08X, %%g2
+	st %%g2, [%%g1]
+	flush %%g1
+patch:
+	mov 1, %%g4
+	set result, %%g5
+	st %%g4, [%%g5]
+`, newInst) + epilogue + "result:\t.word 0\n"
+	obj := assembleProg(t, src)
+	loadAndRun(t, ctrl, obj)
+	sym, ok := obj.Symbol("result")
+	if !ok {
+		t.Fatal("no result symbol")
+	}
+	if got := readWord(t, ctrl, sym); got != 99 {
+		t.Fatalf("patched instruction result = %d, want 99 (FLUSH did not invalidate)", got)
+	}
+}

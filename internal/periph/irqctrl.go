@@ -8,7 +8,10 @@
 // simplified to the subset the Liquid system exercises.
 package periph
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // IRQ numbers 1-15 map to SPARC interrupt levels; 15 is unmaskable in
 // real LEON but modelled as maskable here for simplicity.
@@ -39,13 +42,15 @@ func (c *IRQCtrl) Raise(irq int) {
 // Pending returns the highest-priority pending, unmasked interrupt
 // level, or 0 when none.
 func (c *IRQCtrl) Pending() int {
+	// Called once per simulated instruction, so the common no-interrupt
+	// case must be a single mask-and-compare. Bit 0 can never be set
+	// (Raise and WriteReg both exclude it), so Len32 of a non-zero
+	// value is always >= 2 and the result always a valid level.
 	active := c.pending & c.mask
-	for irq := NumIRQs; irq >= 1; irq-- {
-		if active&(1<<uint(irq)) != 0 {
-			return irq
-		}
+	if active == 0 {
+		return 0
 	}
-	return 0
+	return bits.Len32(active) - 1
 }
 
 // Ack clears the pending bit for irq (the CPU taking the trap).

@@ -113,8 +113,18 @@ func NewPrescaler(timers ...*Timer) *Prescaler {
 }
 
 // Tick advances the prescaler by n system clock cycles, ticking the
-// attached timers as the scaler underflows.
+// attached timers as the scaler underflows. The no-underflow case is
+// kept small enough to inline into the per-instruction step loop.
 func (p *Prescaler) Tick(n uint64) {
+	if v := uint64(p.value); n <= v && p.reload != 0 {
+		p.value = uint32(v - n)
+		return
+	}
+	p.tickSlow(n)
+}
+
+// tickSlow handles prescaler bypass (reload 0) and underflow.
+func (p *Prescaler) tickSlow(n uint64) {
 	if p.reload == 0 {
 		for _, t := range p.timers {
 			t.Tick(n)
