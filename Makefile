@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke ci
+.PHONY: all build test race race-net vet fmt-check bench bench-smoke ci
 
 all: build
 
@@ -15,6 +15,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-net exercises the asynchronous control plane — the per-board
+# actor, the node's read-loop/worker handoff and the polling client —
+# under the race detector twice, to shake out scheduling-dependent
+# interleavings that a single pass can miss.
+race-net:
+	$(GO) test -race -count=2 ./internal/leon/... ./internal/fpx/... ./internal/server/... ./internal/client/...
 
 vet:
 	$(GO) vet ./...
@@ -34,4 +41,4 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race race-net bench-smoke

@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	liquid-server -listen 127.0.0.1:5001 [-metrics-addr 127.0.0.1:9090] [-dcache 4096 ...] [-v]
+//	liquid-server -listen 127.0.0.1:5001 [-boards N] [-metrics-addr 127.0.0.1:9090] [-dcache 4096 ...] [-v]
+//
+// With -boards N the node hosts N independent boards (platforms) behind
+// one UDP socket, routed by the board byte of the v2 control header
+// (board 0 keeps the wire-compatible v1 header; select a board with
+// `liquidctl -board N`). Each board executes asynchronously on its own
+// worker, so a long run on one never delays control traffic to another.
 //
 // With -metrics-addr set, an HTTP listener additionally serves
 // /metrics (Prometheus text), /statusz (JSON snapshot + recent events)
-// and /debug/pprof. The same snapshot is available in-band over UDP
-// via `liquidctl stats`.
+// and /debug/pprof. Node-wide socket/queue telemetry lives on board 0's
+// registry. The same snapshot is available in-band over UDP via
+// `liquidctl stats`.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"liquidarch/internal/cliutil"
 	"liquidarch/internal/core"
+	"liquidarch/internal/fpx"
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/server"
@@ -32,6 +40,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("liquid-server", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:5001", "UDP address to serve")
+	boards := fs.Int("boards", 1, "number of boards (platforms) this node hosts")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	verbose := fs.Bool("v", false, "log each handled request")
 	uart := fs.Bool("uart", true, "print the processor's UART output to stdout")
@@ -43,15 +52,32 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("liquid-server: %v", err)
 	}
-	opts := core.Options{Synth: synth.Options{BitstreamBytes: 65536}}
-	if *uart {
-		opts.UARTOut = os.Stdout
+	if *boards < 1 {
+		cliutil.Fatalf("liquid-server: -boards must be at least 1")
 	}
-	sys, err := core.New(cfg, opts)
-	if err != nil {
-		cliutil.Fatalf("liquid-server: %v", err)
+	// One liquid system per board, each with its own node IP (10.0.0.2,
+	// 10.0.0.3, ...) as the FPX cluster of Fig. 1 would be addressed.
+	systems := make([]*core.System, *boards)
+	platforms := make([]*fpx.Platform, *boards)
+	for i := range systems {
+		opts := core.Options{
+			Synth: synth.Options{BitstreamBytes: 65536},
+			IP:    [4]byte{10, 0, 0, byte(2 + i)},
+		}
+		if *uart && i == 0 {
+			opts.UARTOut = os.Stdout // board 0 only; others would interleave
+		}
+		sys, err := core.New(cfg, opts)
+		if err != nil {
+			cliutil.Fatalf("liquid-server: board %d: %v", i, err)
+		}
+		systems[i] = sys
+		platforms[i] = sys.Platform()
 	}
+	sys := systems[0]
 	if *cacheDir != "" {
+		// The bitfile cache belongs to board 0's manager; all boards run
+		// the same configuration, so one cache covers the node.
 		if err := sys.Manager().Cache().Load(*cacheDir); err != nil {
 			log.Printf("liquid-server: cache load: %v", err)
 		}
@@ -62,7 +88,7 @@ func main() {
 		}()
 	}
 
-	srv, err := server.New(sys.Platform(), *listen)
+	srv, err := server.NewNode(*listen, platforms...)
 	if err != nil {
 		cliutil.Fatalf("liquid-server: %v", err)
 	}
@@ -86,7 +112,7 @@ func main() {
 		fmt.Printf("liquid-server: telemetry on http://%s/metrics (also /statusz, /debug/pprof)\n", ln.Addr())
 	}
 	util := sys.ActiveImage().Util
-	fmt.Printf("liquid-server: %s on %s\n", synth.ConfigKey(cfg), srv.Addr())
+	fmt.Printf("liquid-server: %s on %s (%d board(s))\n", synth.ConfigKey(cfg), srv.Addr(), srv.Boards())
 	fmt.Printf("liquid-server: image %d slices, %d BlockRAMs, %.1f MHz\n",
 		util.Slices, util.BlockRAMs, util.FMaxMHz)
 	if err := srv.Serve(); err != nil {

@@ -5,13 +5,22 @@
 //
 //	liquidctl -server HOST:PORT status
 //	liquidctl -server HOST:PORT load   -file prog.bin [-addr 0x40001000]
-//	liquidctl -server HOST:PORT start  [-entry 0x40001000] [-budget N]
+//	liquidctl -server HOST:PORT start  [-entry 0x40001000] [-budget N] [-wait=false]
+//	liquidctl -server HOST:PORT result     # collect a started run's report
 //	liquidctl -server HOST:PORT readmem -addr 0x40001000 -len 64 [-out f]
 //	liquidctl -server HOST:PORT writemem -addr 0x40002000 -file data.bin
 //	liquidctl -server HOST:PORT run    -c prog.c | -s prog.s  [-mac]
 //	liquidctl -server HOST:PORT reconfigure -spec '{"dcache_bytes":8192}'
 //	liquidctl -server HOST:PORT getconfig
 //	liquidctl -server HOST:PORT stats      # telemetry snapshot (JSON)
+//
+// Every verb accepts -board N to address a board other than 0 on a
+// multi-board node (liquid-server -boards). start is asynchronous on
+// the wire: it acks as soon as the board begins executing, then (with
+// -wait, the default) polls until completion and prints the report;
+// with -wait=false it returns immediately and `liquidctl result`
+// collects the report later (status shows the live cycle counter in
+// the meantime).
 package main
 
 import (
@@ -39,6 +48,8 @@ func main() {
 	out := fs.String("out", "", "output file (default stdout)")
 	entry := fs.String("entry", "0", "entry address (0 = last load)")
 	budget := fs.Uint64("budget", 0, "cycle budget (0 = default)")
+	board := fs.Uint("board", 0, "board number on a multi-board node")
+	wait := fs.Bool("wait", true, "start: poll until the run completes (false = return after the ack)")
 	cSrc := fs.String("c", "", "C source to compile and run")
 	sSrc := fs.String("s", "", "assembly source to build and run")
 	mac := fs.Bool("mac", false, "allow the __mac builtin when compiling")
@@ -50,9 +61,10 @@ func main() {
 	// Accept flags before or after the verb. Only known command words
 	// are taken as the verb, so flag values are never mistaken for it.
 	verbs := map[string]bool{
-		"status": true, "load": true, "start": true, "readmem": true,
-		"writemem": true, "run": true, "reconfigure": true,
-		"getconfig": true, "trace": true, "stats": true,
+		"status": true, "load": true, "start": true, "result": true,
+		"readmem": true, "writemem": true, "run": true,
+		"reconfigure": true, "getconfig": true, "trace": true,
+		"stats": true,
 	}
 	args := os.Args[1:]
 	verb := ""
@@ -74,6 +86,10 @@ func main() {
 		cliutil.Fatalf("liquidctl: %v", err)
 	}
 	defer c.Close()
+	if *board > 255 {
+		cliutil.Fatalf("liquidctl: board %d out of range (0..255)", *board)
+	}
+	c.Board = uint8(*board)
 
 	switch verb {
 	case "status":
@@ -83,6 +99,9 @@ func main() {
 		}
 		fmt.Printf("state: %v\n", leon.State(st.State))
 		fmt.Printf("boot ok: %v\n", st.BootOK)
+		if leon.State(st.State) == leon.StateRunning {
+			fmt.Printf("run in flight: %d cycles so far\n", st.CurCycles)
+		}
 		if st.LoadedAddr != 0 {
 			fmt.Printf("loaded at: %#x\n", st.LoadedAddr)
 		}
@@ -104,7 +123,21 @@ func main() {
 
 	case "start":
 		e := parseAddrOr(*entry, 0)
+		if !*wait {
+			if err := c.StartAsync(e, *budget); err != nil {
+				cliutil.Fatalf("liquidctl: %v", err)
+			}
+			fmt.Println("started (poll with `liquidctl status`, collect with `liquidctl result`)")
+			return
+		}
 		rep, err := c.Start(e, *budget)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		printReport(rep)
+
+	case "result":
+		rep, err := c.WaitResult()
 		if err != nil {
 			cliutil.Fatalf("liquidctl: %v", err)
 		}

@@ -1,20 +1,27 @@
-// Multinode puts two Liquid processor nodes behind the FPX's four-port
-// NID switch (Fig. 2) and runs the same binary on both, each node
-// instantiated with a different microarchitecture — the "many points
-// in a configuration space" picture of §1 made physical: one chassis,
-// several liquid processors, frames routed by destination IP.
+// Multinode hosts two Liquid processor boards behind one reconfiguration
+// server — the multi-board FPX node of Fig. 2 — and drives both over
+// real UDP with the asynchronous control plane. Each board is
+// instantiated with a different microarchitecture (the "many points in
+// a configuration space" picture of §1), the same binary is loaded on
+// both with interleaved chunk streams, and both runs execute
+// concurrently: start returns immediately, status polls watch the live
+// cycle counters side by side, and the results are collected when each
+// board finishes.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
+	"liquidarch/internal/client"
 	"liquidarch/internal/core"
 	"liquidarch/internal/fpx"
 	"liquidarch/internal/lcc"
 	"liquidarch/internal/leon"
 	"liquidarch/internal/link"
-	"liquidarch/internal/netproto"
+	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
 )
 
@@ -33,39 +40,41 @@ int main() {
     return x;
 }`
 
-var hostIP = [4]byte{10, 0, 0, 1}
-
 func main() {
-	sw := fpx.NewSwitch()
-
-	// Node A: small data cache. Node B: the tuned 8 KB point.
-	nodes := map[string][4]byte{}
-	for _, n := range []struct {
+	// Two boards, two microarchitectures: a small 1 KB data cache
+	// against the tuned 8 KB point.
+	boards := []struct {
 		name   string
-		ip     [4]byte
 		dcache int
 	}{
-		{"node-a (1KB D$)", [4]byte{10, 0, 0, 2}, 1 << 10},
-		{"node-b (8KB D$)", [4]byte{10, 0, 0, 3}, 8 << 10},
-	} {
+		{"board 0 (1KB D$)", 1 << 10},
+		{"board 1 (8KB D$)", 8 << 10},
+	}
+	platforms := make([]*fpx.Platform, len(boards))
+	for i, b := range boards {
 		cfg := leon.DefaultConfig()
-		cfg.DCache.SizeBytes = n.dcache
+		cfg.DCache.SizeBytes = b.dcache
 		sys, err := core.New(cfg, core.Options{
-			IP:    n.ip,
+			IP:    [4]byte{10, 0, 0, byte(2 + i)},
 			Synth: synth.Options{BitstreamBytes: 4096},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sw.Attach(sys.Platform()); err != nil {
-			log.Fatal(err)
-		}
-		nodes[n.name] = n.ip
-		fmt.Printf("attached %s at %d.%d.%d.%d\n", n.name, n.ip[0], n.ip[1], n.ip[2], n.ip[3])
+		platforms[i] = sys.Platform()
 	}
 
-	// Build the program once; upload and run it on each node by
-	// addressing frames through the switch.
+	srv, err := server.NewNode("127.0.0.1:0", platforms...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	fmt.Printf("node: %d boards on %s\n", srv.Boards(), srv.Addr())
+
+	// Build the program once, then stream it to both boards at the same
+	// time — the chunk sequences interleave arbitrarily on the node's
+	// socket and are routed per board.
 	asmText, err := lcc.Compile(program, lcc.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -75,35 +84,64 @@ func main() {
 		log.Fatal(err)
 	}
 
-	send := func(dst [4]byte, pkt netproto.Packet) netproto.Packet {
-		frame := netproto.BuildFrame(hostIP, dst, 40000, 5001, pkt.Marshal())
-		resps, forwarded, err := sw.Route(frame)
-		if err != nil || forwarded || len(resps) != 1 {
-			log.Fatalf("route: %v forwarded=%v n=%d", err, forwarded, len(resps))
-		}
-		f, err := netproto.ParseFrame(resps[0])
+	clients := make([]*client.Client, len(boards))
+	for i := range clients {
+		c, err := client.Dial(srv.Addr().String())
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := netproto.ParsePacket(f.Payload)
-		if err != nil {
-			log.Fatal(err)
+		defer c.Close()
+		c.Board = uint8(i)
+		clients[i] = c
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			if err := c.LoadProgram(img.Origin, img.Code); err != nil {
+				log.Fatalf("%s: load: %v", boards[i].name, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	// Start both boards; each ack returns as soon as the handoff
+	// completes, so the two runs are now in flight together.
+	for i, c := range clients {
+		if err := c.StartAsync(img.Entry, 0); err != nil {
+			log.Fatalf("%s: start: %v", boards[i].name, err)
 		}
-		return out
+	}
+
+	// Watch them execute concurrently: the control plane answers status
+	// polls mid-run without disturbing either board.
+	fmt.Println()
+	for poll := 0; poll < 3; poll++ {
+		line := fmt.Sprintf("poll %d:", poll+1)
+		for i, c := range clients {
+			st, err := c.Status()
+			if err != nil {
+				log.Fatal(err)
+			}
+			line += fmt.Sprintf("  board %d %-7v %9d cycles", i, leon.State(st.State), st.CurCycles)
+		}
+		fmt.Println(line)
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	fmt.Println()
-	for name, ip := range nodes {
-		for _, ch := range netproto.ChunkImage(img.Origin, img.Code) {
-			send(ip, netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
+	for i, c := range clients {
+		rep, err := c.WaitResult()
+		if err != nil {
+			log.Fatalf("%s: result: %v", boards[i].name, err)
 		}
-		resp := send(ip, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
-		rep, err := netproto.ParseRunReport(resp.Body)
-		if err != nil || rep.Status != netproto.StatusOK {
-			log.Fatalf("%s: %v %+v", name, err, rep)
-		}
-		fmt.Printf("%-16s %10d cycles\n", name, rep.Cycles)
+		fmt.Printf("%-18s %10d cycles\n", boards[i].name, rep.Cycles)
 	}
-	st := sw.Stats()
-	fmt.Printf("\nswitch: %d frames delivered, %d forwarded\n", st.Delivered, st.Forwarded)
+
+	snap := srv.Metrics().Snapshot()
+	fmt.Printf("\nnode: %d datagrams in, %d out — both boards ran concurrently\n",
+		snap.Counter("liquid_server_datagrams_in_total"),
+		snap.Counter("liquid_server_datagrams_out_total"))
 }

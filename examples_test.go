@@ -21,7 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/cachesweep", "best wall-clock point"},
 		{"./examples/remote", "faster)"},
 		{"./examples/autotune", "speedup:"},
-		{"./examples/multinode", "frames delivered"},
+		{"./examples/multinode", "ran concurrently"},
 	}
 	for _, c := range cases {
 		c := c

@@ -35,7 +35,7 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 	}
 }
 
-// Client is a UDP control client bound to one server.
+// Client is a UDP control client bound to one server node.
 type Client struct {
 	conn *net.UDPConn
 
@@ -43,6 +43,17 @@ type Client struct {
 	Timeout time.Duration
 	// Retries is how many times a timed-out request is retransmitted.
 	Retries int
+	// Board selects the destination board on a multi-board node.
+	// Board 0 (the default) keeps the wire-compatible v1 header;
+	// other boards use the v2 header carrying the board byte.
+	Board uint8
+	// PollInterval is the delay between completion polls in
+	// WaitResult (default 2ms — well under the control plane's
+	// latency target, far above the per-request cost).
+	PollInterval time.Duration
+	// WaitTimeout bounds how long WaitResult polls before giving up
+	// (0 = 2 minutes).
+	WaitTimeout time.Duration
 
 	reg *metrics.Registry
 	m   clientMetrics
@@ -60,11 +71,12 @@ func Dial(addr string) (*Client, error) {
 	}
 	reg := metrics.NewRegistry()
 	return &Client{
-		conn:    conn,
-		Timeout: 2 * time.Second,
-		Retries: 3,
-		reg:     reg,
-		m:       newClientMetrics(reg),
+		conn:         conn,
+		Timeout:      2 * time.Second,
+		Retries:      3,
+		PollInterval: 2 * time.Millisecond,
+		reg:          reg,
+		m:            newClientMetrics(reg),
 	}, nil
 }
 
@@ -78,6 +90,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // roundTrip sends pkt and waits for a response to the same command,
 // retransmitting on timeout. A CmdError response becomes an error.
 func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
+	pkt.Board = c.Board
 	want := pkt.Command | netproto.RespFlag
 	raw := pkt.Marshal()
 	buf := make([]byte, 64<<10)
@@ -165,10 +178,85 @@ func (c *Client) LoadProgram(addr uint32, image []byte) error {
 }
 
 // Start executes the loaded program (entry 0 = last load address) and
-// returns the cycle-counter report.
+// blocks until it completes, returning the cycle-counter report. Since
+// the asynchronous control plane it is a convenience composition of
+// StartAsync + WaitResult: the board is started with one round trip,
+// then polled for completion every PollInterval. The signature and
+// observable behavior match the historical blocking call.
 func (c *Client) Start(entry uint32, maxCycles uint64) (netproto.RunReport, error) {
+	if err := c.StartAsync(entry, maxCycles); err != nil {
+		return netproto.RunReport{}, err
+	}
+	return c.WaitResult()
+}
+
+// StartAsync starts the loaded program and returns as soon as the board
+// acknowledges the handoff — the "started" ack of the asynchronous
+// control plane. Poll Status (CurCycles advances while running) and
+// collect the report with Result or WaitResult.
+func (c *Client) StartAsync(entry uint32, maxCycles uint64) error {
 	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartLEON, Body: req.Marshal()})
+	if err != nil {
+		return err
+	}
+	rep, err := netproto.ParseRunReport(resp.Body)
+	if err != nil {
+		return err
+	}
+	if rep.Status != netproto.StatusRunning && rep.Status != netproto.StatusOK {
+		return fmt.Errorf("client: start ack status %d", rep.Status)
+	}
+	return nil
+}
+
+// Result fetches the run report with a single round trip. While the run
+// is still in flight the report has Status == StatusRunning and a live
+// cycle counter; once complete it is the final report (idempotent — the
+// server keeps answering with the last result).
+func (c *Client) Result() (netproto.RunReport, error) {
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdResult})
+	if err != nil {
+		return netproto.RunReport{}, err
+	}
+	return netproto.ParseRunReport(resp.Body)
+}
+
+// WaitResult polls Result every PollInterval until the run leaves
+// StatusRunning, then returns the final report. WaitTimeout (default
+// 2 minutes) bounds the whole wait.
+func (c *Client) WaitResult() (netproto.RunReport, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	limit := c.WaitTimeout
+	if limit <= 0 {
+		limit = 2 * time.Minute
+	}
+	deadline := time.Now().Add(limit)
+	for {
+		rep, err := c.Result()
+		if err != nil {
+			return netproto.RunReport{}, err
+		}
+		if rep.Status != netproto.StatusRunning {
+			return rep, nil
+		}
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("client: run still in flight after %v", limit)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// StartSync executes the program with the blocking wire command
+// (CmdStartSync): one request, one response carrying the final report.
+// It is the v1-compatible path for short programs; prefer
+// StartAsync/WaitResult, which keeps the control channel responsive.
+func (c *Client) StartSync(entry uint32, maxCycles uint64) (netproto.RunReport, error) {
+	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartSync, Body: req.Marshal()})
 	if err != nil {
 		return netproto.RunReport{}, err
 	}

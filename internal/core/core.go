@@ -55,7 +55,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// System is one liquid-architecture FPX node.
+// System is one liquid-architecture FPX node. Execution is owned by a
+// per-board actor goroutine (leon.AsyncController): every run, load
+// and memory access is serialized through it, so the SoC is
+// goroutine-confined and the control plane (status, stats, traces)
+// stays responsive while a program runs.
 type System struct {
 	mu   sync.Mutex
 	opts Options
@@ -63,6 +67,7 @@ type System struct {
 	cfg      leon.Config
 	soc      *leon.SoC
 	ctrl     *leon.Controller
+	actrl    *leon.AsyncController
 	platform *fpx.Platform
 	manager  *reconfig.Manager
 
@@ -72,7 +77,9 @@ type System struct {
 	lastHit     bool
 	lastPartial bool
 	loadedProg  *link.Image
-	lastTrace   *trace.Recorder
+
+	traceMu   sync.Mutex
+	lastTrace *trace.Recorder
 
 	m systemMetrics
 }
@@ -110,7 +117,9 @@ func New(cfg leon.Config, opts Options) (*System, error) {
 }
 
 // instantiate builds and boots a SoC for cfg, optionally restoring
-// board-memory contents (which survive FPGA reconfiguration).
+// board-memory contents (which survive FPGA reconfiguration), and
+// spawns the board's actor (shutting down the previous one — the
+// bitfile reload kills whatever was executing).
 func (s *System) instantiate(cfg leon.Config, img *synth.Image, sram, sdram []byte) error {
 	soc, err := leon.New(cfg, s.opts.UARTOut)
 	if err != nil {
@@ -126,8 +135,29 @@ func (s *System) instantiate(cfg leon.Config, img *synth.Image, sram, sdram []by
 	if err := ctrl.Boot(); err != nil {
 		return err
 	}
+	if s.actrl != nil {
+		s.actrl.Close()
+	}
 	s.cfg, s.soc, s.ctrl, s.active = cfg, soc, ctrl, img
+	s.actrl = leon.NewAsyncController(ctrl)
 	return nil
+}
+
+// async returns the current board actor. Operations snapshot it once
+// and use that handle throughout, so a concurrent full reconfiguration
+// surfaces as ErrClosed rather than a mixed-board operation.
+func (s *System) async() *leon.AsyncController {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.actrl
+}
+
+// Close shuts down the board actor. In-flight runs are abandoned;
+// subsequent executions fail. The System is not usable afterwards.
+func (s *System) Close() {
+	if a := s.async(); a != nil {
+		a.Close()
+	}
 }
 
 // Config returns the active configuration.
@@ -148,12 +178,17 @@ func (s *System) ActiveImage() *synth.Image {
 // remote).
 func (s *System) Platform() *fpx.Platform { return s.platform }
 
-// Controller returns the leon_ctrl state machine.
+// Controller returns the leon_ctrl state machine. The controller is
+// owned by the board actor — touch it directly only when no run is in
+// flight (prefer AsyncCtrl, or AsyncCtrl().Do, otherwise).
 func (s *System) Controller() *leon.Controller {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ctrl
 }
+
+// AsyncCtrl returns the board actor driving execution for this System.
+func (s *System) AsyncCtrl() *leon.AsyncController { return s.async() }
 
 // SoC returns the current processor system.
 func (s *System) SoC() *leon.SoC {
@@ -199,8 +234,17 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.opts.DisablePartial && onlyCachesDiffer(s.cfg, cfg) {
-		if err := s.soc.SwapCaches(cfg.ICache, cfg.DCache); err != nil {
-			return hit, err
+		// Partial runtime reconfiguration: the cache-plugin swap runs
+		// on the actor goroutine, between step slices — legal even
+		// under a live processor, which is the whole point of [2].
+		var swapErr error
+		if derr := s.actrl.Do(func(c *leon.Controller) {
+			swapErr = c.SoC().SwapCaches(cfg.ICache, cfg.DCache)
+		}); derr != nil {
+			return hit, derr
+		}
+		if swapErr != nil {
+			return hit, swapErr
 		}
 		s.cfg, s.active = cfg, img
 		s.reconfigs++
@@ -209,8 +253,18 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 		s.observeReconfigure(hit, true, img.SynthTime)
 		return hit, nil
 	}
-	sram := append([]byte(nil), s.soc.SRAM.Raw()...)
-	sdram := append([]byte(nil), s.soc.SDRAM.Raw()...)
+	// A full image load resets the processor; refuse while a run is in
+	// flight (the client collects or abandons first).
+	if s.actrl.State() == leon.StateRunning {
+		return hit, fmt.Errorf("core: cannot reconfigure while a run is in flight")
+	}
+	var sram, sdram []byte
+	if derr := s.actrl.Do(func(c *leon.Controller) {
+		sram = append([]byte(nil), c.SoC().SRAM.Raw()...)
+		sdram = append([]byte(nil), c.SoC().SDRAM.Raw()...)
+	}); derr != nil {
+		return hit, derr
+	}
 	if err := s.instantiate(cfg, img, sram, sdram); err != nil {
 		return hit, err
 	}
@@ -280,45 +334,54 @@ func (s *System) BuildASM(src string) (*link.Image, error) {
 	})
 }
 
-// Load places an image in SRAM through the leon_ctrl user port.
+// Load places an image in SRAM through the leon_ctrl user port (the
+// request is served by the board actor, so it is rejected while a run
+// is in flight, like the hardware path).
 func (s *System) Load(img *link.Image) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.ctrl.LoadProgram(img.Origin, img.Code); err != nil {
+	if err := s.async().LoadProgram(img.Origin, img.Code); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.loadedProg = img
+	s.mu.Unlock()
 	return nil
 }
 
 // Run executes a loaded image and returns the cycle-counter report.
-// budget 0 means the controller default.
+// budget 0 means the controller default. The run is driven by the
+// board actor; Run blocks until it completes (use the network client's
+// StartAsync/WaitResult, or the actor directly, for the asynchronous
+// shape).
 func (s *System) Run(img *link.Image, budget uint64) (leon.RunResult, error) {
 	if err := s.Load(img); err != nil {
 		return leon.RunResult{}, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := time.Now()
-	res, err := s.ctrl.Execute(img.Entry, budget)
-	s.observeRun(res, time.Since(start), err)
-	return res, err
+	return s.async().ExecuteOpts(img.Entry, budget, leon.RunOptions{
+		After: func(c *leon.Controller, res leon.RunResult, wall time.Duration, err error) {
+			s.observeRun(res, wall, err)
+		},
+	})
 }
 
 // RunWithTrace executes a loaded image with the trace analyzer
-// attached, returning the recording for the Fig. 1 feedback loop.
+// attached, returning the recording for the Fig. 1 feedback loop. The
+// recorder is attached and detached on the actor goroutine, so it
+// observes exactly this run.
 func (s *System) RunWithTrace(img *link.Image, budget uint64) (leon.RunResult, *trace.Recorder, error) {
 	if err := s.Load(img); err != nil {
 		return leon.RunResult{}, nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec := trace.NewRecorder()
-	rec.Attach(s.soc.CPU)
-	defer rec.Detach()
-	start := time.Now()
-	res, err := s.ctrl.Execute(img.Entry, budget)
-	s.observeRun(res, time.Since(start), err)
+	var rec *trace.Recorder
+	res, err := s.async().ExecuteOpts(img.Entry, budget, leon.RunOptions{
+		Before: func(c *leon.Controller) {
+			rec = trace.NewRecorder()
+			rec.Attach(c.SoC().CPU)
+		},
+		After: func(c *leon.Controller, res leon.RunResult, wall time.Duration, err error) {
+			rec.Detach()
+			s.observeRun(res, wall, err)
+		},
+	})
 	return res, rec, err
 }
 
@@ -335,11 +398,11 @@ func (s *System) ExitValue(img *link.Image) (uint32, error) {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
 }
 
-// ReadMemory reads through the user-side memory ports.
+// ReadMemory reads through the user-side memory ports. Mid-run reads
+// are legal (the FPX SDRAM controller arbitrates the network port
+// against the processor, §2.4) and are served between step slices.
 func (s *System) ReadMemory(addr uint32, n int) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.ReadMemory(addr, n)
+	return s.async().ReadMemory(addr, n)
 }
 
 // TuneReport is the outcome of one AutoTune pass: the Fig. 1 loop of

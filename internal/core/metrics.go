@@ -66,21 +66,36 @@ func (s *System) instrument() {
 	r := s.platform.Metrics()
 	s.m = newSystemMetrics(r)
 
-	// Processor caches. The SoC is rebuilt on full reconfiguration, so
-	// the closures go through the accessor every time.
-	soc := func() *leon.SoC { return s.SoC() }
-	r.GaugeFunc("liquid_dcache_hits", "Data-cache read hits (current SoC).", func() float64 { return float64(soc().DCache.Stats().Hits) })
-	r.GaugeFunc("liquid_dcache_misses", "Data-cache read misses (current SoC).", func() float64 { return float64(soc().DCache.Stats().Misses) })
-	r.GaugeFunc("liquid_dcache_fills", "Data-cache line fills, i.e. evictions plus cold fills.", func() float64 { return float64(soc().DCache.Stats().Fills) })
-	r.GaugeFunc("liquid_dcache_writebacks", "Dirty lines written back (write-back policy only).", func() float64 { return float64(soc().DCache.Stats().WriteBacks) })
-	r.GaugeFunc("liquid_icache_hits", "Instruction-cache hits (current SoC).", func() float64 { return float64(soc().ICache.Stats().Hits) })
-	r.GaugeFunc("liquid_icache_misses", "Instruction-cache misses (current SoC).", func() float64 { return float64(soc().ICache.Stats().Misses) })
+	// Processor caches. The SoC is rebuilt on full reconfiguration and
+	// goroutine-confined to the board actor, so every read goes through
+	// one actor round trip (served between step slices while a run is
+	// in flight) — a mid-run /metrics scrape is race-free and never
+	// waits on the whole execution.
+	hw := func(read func(soc *leon.SoC) float64) func() float64 {
+		return func() float64 {
+			a := s.async()
+			if a == nil {
+				return 0
+			}
+			var v float64
+			if err := a.Do(func(c *leon.Controller) { v = read(c.SoC()) }); err != nil {
+				return 0
+			}
+			return v
+		}
+	}
+	r.GaugeFunc("liquid_dcache_hits", "Data-cache read hits (current SoC).", hw(func(soc *leon.SoC) float64 { return float64(soc.DCache.Stats().Hits) }))
+	r.GaugeFunc("liquid_dcache_misses", "Data-cache read misses (current SoC).", hw(func(soc *leon.SoC) float64 { return float64(soc.DCache.Stats().Misses) }))
+	r.GaugeFunc("liquid_dcache_fills", "Data-cache line fills, i.e. evictions plus cold fills.", hw(func(soc *leon.SoC) float64 { return float64(soc.DCache.Stats().Fills) }))
+	r.GaugeFunc("liquid_dcache_writebacks", "Dirty lines written back (write-back policy only).", hw(func(soc *leon.SoC) float64 { return float64(soc.DCache.Stats().WriteBacks) }))
+	r.GaugeFunc("liquid_icache_hits", "Instruction-cache hits (current SoC).", hw(func(soc *leon.SoC) float64 { return float64(soc.ICache.Stats().Hits) }))
+	r.GaugeFunc("liquid_icache_misses", "Instruction-cache misses (current SoC).", hw(func(soc *leon.SoC) float64 { return float64(soc.ICache.Stats().Misses) }))
 
 	// FPX SDRAM controller and the §3.2 adapter.
-	r.GaugeFunc("liquid_sdram_requests", "SDRAM controller handshakes.", func() float64 { return float64(soc().SDRAMCtrl.Stats().Requests) })
-	r.GaugeFunc("liquid_sdram_arb_switches", "SDRAM grants that moved between modules.", func() float64 { return float64(soc().SDRAMCtrl.Stats().ArbSwitch) })
-	r.GaugeFunc("liquid_sdram_rmw_cycles", "Cycles spent in the adapter's read-modify-write sequences (§3.2).", func() float64 { return float64(soc().Adapter.Stats().RMWCycles) })
-	r.GaugeFunc("liquid_sdram_wasted_words", "32-bit words fetched beyond what the AHB asked for.", func() float64 { return float64(soc().Adapter.Stats().WastedWords) })
+	r.GaugeFunc("liquid_sdram_requests", "SDRAM controller handshakes.", hw(func(soc *leon.SoC) float64 { return float64(soc.SDRAMCtrl.Stats().Requests) }))
+	r.GaugeFunc("liquid_sdram_arb_switches", "SDRAM grants that moved between modules.", hw(func(soc *leon.SoC) float64 { return float64(soc.SDRAMCtrl.Stats().ArbSwitch) }))
+	r.GaugeFunc("liquid_sdram_rmw_cycles", "Cycles spent in the adapter's read-modify-write sequences (§3.2).", hw(func(soc *leon.SoC) float64 { return float64(soc.Adapter.Stats().RMWCycles) }))
+	r.GaugeFunc("liquid_sdram_wasted_words", "32-bit words fetched beyond what the AHB asked for.", hw(func(soc *leon.SoC) float64 { return float64(soc.Adapter.Stats().WastedWords) }))
 
 	// Reconfiguration cache economics.
 	r.GaugeFunc("liquid_reconfig_cache_entries", "Images held by the reconfiguration cache.", func() float64 { return float64(s.manager.Cache().Len()) })

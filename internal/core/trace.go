@@ -10,19 +10,25 @@ import (
 )
 
 // tracedControl is the LEON control interface the FPX platform sees:
-// it delegates to the System's current controller (so reconfiguration
+// it delegates to the System's current board actor (so reconfiguration
 // is transparent) and records an instrumented trace around every
 // networked execution — the paper's "streaming of instrumented traces
-// to the Trace Analyzer" made pullable via CmdTraceReport.
+// to the Trace Analyzer" made pullable via CmdTraceReport. The trace
+// recorder is attached and detached by the run hooks ON the actor
+// goroutine, so it observes exactly the run it wraps, and the After
+// hook completes before the Done state is visible to pollers — a
+// CmdTraceReport sent right after a successful result collect always
+// sees this run's trace.
 type tracedControl struct {
 	sys *System
 }
 
-func (t tracedControl) State() leon.State          { return t.sys.Controller().State() }
-func (t tracedControl) LastResult() leon.RunResult { return t.sys.Controller().LastResult() }
+func (t tracedControl) State() leon.State          { return t.sys.async().State() }
+func (t tracedControl) Cycles() uint64             { return t.sys.async().Cycles() }
+func (t tracedControl) LastResult() leon.RunResult { return t.sys.async().LastResult() }
 
 func (t tracedControl) LoadProgram(addr uint32, image []byte) error {
-	return t.sys.Controller().LoadProgram(addr, image)
+	return t.sys.async().LoadProgram(addr, image)
 }
 
 func (t tracedControl) ReadMemory(addr uint32, n int) ([]byte, error) {
@@ -30,29 +36,49 @@ func (t tracedControl) ReadMemory(addr uint32, n int) ([]byte, error) {
 }
 
 func (t tracedControl) WriteMemory(addr uint32, p []byte) error {
-	return t.sys.Controller().WriteMemory(addr, p)
+	return t.sys.async().WriteMemory(addr, p)
+}
+
+// netRunOpts builds the per-run hooks for a networked execution:
+// attach a bounded recorder at the handoff, detach and publish it (and
+// the run telemetry) at completion.
+func (s *System) netRunOpts() leon.RunOptions {
+	var rec *trace.Recorder
+	return leon.RunOptions{
+		Before: func(c *leon.Controller) {
+			rec = trace.NewRecorder()
+			rec.MaxEvents = 1 << 20
+			rec.Attach(c.SoC().CPU)
+		},
+		After: func(c *leon.Controller, res leon.RunResult, wall time.Duration, err error) {
+			rec.Detach()
+			s.traceMu.Lock()
+			s.lastTrace = rec
+			s.traceMu.Unlock()
+			s.observeRun(res, wall, err)
+		},
+	}
+}
+
+func (t tracedControl) Start(entry uint32, maxCycles uint64) error {
+	s := t.sys
+	return s.async().StartOpts(entry, maxCycles, s.netRunOpts())
+}
+
+func (t tracedControl) CollectResult() (leon.RunResult, error) {
+	return t.sys.async().CollectResult()
 }
 
 func (t tracedControl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
 	s := t.sys
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec := trace.NewRecorder()
-	rec.MaxEvents = 1 << 20
-	rec.Attach(s.soc.CPU)
-	defer rec.Detach()
-	start := time.Now()
-	res, err := s.ctrl.Execute(entry, maxCycles)
-	s.observeRun(res, time.Since(start), err)
-	s.lastTrace = rec
-	return res, err
+	return s.async().ExecuteOpts(entry, maxCycles, s.netRunOpts())
 }
 
 // LastTrace returns the recorder from the most recent networked run
 // (nil before any).
 func (s *System) LastTrace() *trace.Recorder {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
 	return s.lastTrace
 }
 

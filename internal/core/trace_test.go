@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"testing"
+	"time"
 
 	"liquidarch/internal/lcc"
 	"liquidarch/internal/leon"
@@ -38,8 +39,27 @@ int main() {
 	}
 	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()}.Marshal())
 	rep, err := netproto.ParseRunReport(resps[0].Body)
-	if err != nil || rep.Status != netproto.StatusOK {
-		t.Fatalf("start: %v %+v", err, rep)
+	if err != nil || rep.Status != netproto.StatusRunning {
+		t.Fatalf("start ack: %v %+v", err, rep)
+	}
+	// Poll to completion and collect, as a remote client would.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdResult}.Marshal())
+		rep, err = netproto.ParseRunReport(resps[0].Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status != netproto.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rep.Status != netproto.StatusOK {
+		t.Fatalf("result: %+v", rep)
 	}
 
 	// Pull the trace summary.

@@ -2,6 +2,8 @@ package fpx
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"liquidarch/internal/leon"
 )
@@ -10,16 +12,30 @@ import (
 // paper's "Java Emulator of the H/W (for debugging)" (Fig. 4): it
 // accepts loads, pretends to execute programs in a fixed number of
 // cycles, and serves memory from a plain byte array. Control-software
-// tests run against it without building a processor.
+// tests run against it without building a processor. It implements
+// the asynchronous LEONControl shape: Start arms a pretend run that
+// stays Running for AsyncDelay of wall time before any observation
+// (State, Cycles, CollectResult) finalizes it. All methods are
+// safe for concurrent use.
 type Emulator struct {
+	mu         sync.Mutex
 	mem        map[uint32]byte
 	state      leon.State
 	last       leon.RunResult
 	loaded     uint32
 	loadedSize int
 
+	// pending is the armed run; it finalizes lazily when observed
+	// after its deadline (or eagerly by CollectResult).
+	pending  *leon.RunResult
+	deadline time.Time
+
 	// CyclesPerByte sets the pretend execution cost (default 10).
 	CyclesPerByte uint64
+	// AsyncDelay is how long a started run stays observably Running
+	// before it completes (default 0: the run finishes by the first
+	// status check — the emulator is infinitely fast hardware).
+	AsyncDelay time.Duration
 }
 
 // NewEmulator returns a booted emulator.
@@ -27,14 +43,56 @@ func NewEmulator() *Emulator {
 	return &Emulator{mem: make(map[uint32]byte), state: leon.StateIdle, CyclesPerByte: 10}
 }
 
+// settle finalizes the pending run if its deadline has passed.
+// Callers hold e.mu.
+func (e *Emulator) settle(force bool) {
+	if e.pending == nil {
+		return
+	}
+	if !force && time.Now().Before(e.deadline) {
+		return
+	}
+	e.last = *e.pending
+	if e.last.Faulted {
+		e.state = leon.StateFault
+	} else {
+		e.state = leon.StateDone
+	}
+	e.pending = nil
+}
+
 // State implements LEONControl.
-func (e *Emulator) State() leon.State { return e.state }
+func (e *Emulator) State() leon.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.settle(false)
+	return e.state
+}
+
+// Cycles implements LEONControl: the pretend cycle counter of the
+// in-flight (or last) run.
+func (e *Emulator) Cycles() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.settle(false)
+	if e.pending != nil {
+		return e.pending.Cycles
+	}
+	return e.last.Cycles
+}
 
 // LastResult implements LEONControl.
-func (e *Emulator) LastResult() leon.RunResult { return e.last }
+func (e *Emulator) LastResult() leon.RunResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.settle(false)
+	return e.last
+}
 
 // LoadProgram implements LEONControl.
 func (e *Emulator) LoadProgram(addr uint32, image []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if addr < leon.MailboxEnd {
 		return fmt.Errorf("fpx: emulator: load address %#x overlaps the mailbox", addr)
 	}
@@ -46,14 +104,17 @@ func (e *Emulator) LoadProgram(addr uint32, image []byte) error {
 	return nil
 }
 
-// Execute implements LEONControl: the emulator "runs" the program by
-// charging a deterministic cycle count proportional to its size.
-func (e *Emulator) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+// Start implements LEONControl: the §3.1 handoff ack. The run charges
+// a deterministic cycle count proportional to the image size and
+// completes AsyncDelay later.
+func (e *Emulator) Start(entry uint32, maxCycles uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.loaded == 0 {
-		return leon.RunResult{}, fmt.Errorf("fpx: emulator: nothing loaded")
+		return fmt.Errorf("fpx: emulator: nothing loaded")
 	}
 	if entry < e.loaded || entry >= e.loaded+uint32(e.loadedSize) {
-		return leon.RunResult{}, fmt.Errorf("fpx: emulator: entry %#x outside loaded image", entry)
+		return fmt.Errorf("fpx: emulator: entry %#x outside loaded image", entry)
 	}
 	res := leon.RunResult{
 		Cycles:       uint64(e.loadedSize) * e.CyclesPerByte,
@@ -63,13 +124,29 @@ func (e *Emulator) Execute(entry uint32, maxCycles uint64) (leon.RunResult, erro
 		res.Faulted = true
 		res.Cycles = maxCycles
 	}
-	e.last = res
-	if res.Faulted {
-		e.state = leon.StateFault
-	} else {
-		e.state = leon.StateDone
+	e.state = leon.StateRunning
+	e.pending = &res
+	e.deadline = time.Now().Add(e.AsyncDelay)
+	return nil
+}
+
+// CollectResult implements LEONControl: it blocks (conceptually)
+// until the run completes — the emulator just completes it.
+func (e *Emulator) CollectResult() (leon.RunResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.settle(true)
+	return e.last, nil
+}
+
+// Execute implements LEONControl: the blocking path, identical in
+// observable behavior to the historical emulator (budget overruns
+// report a faulted result with a nil error).
+func (e *Emulator) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	if err := e.Start(entry, maxCycles); err != nil {
+		return leon.RunResult{}, err
 	}
-	return res, nil
+	return e.CollectResult()
 }
 
 // ReadMemory implements LEONControl.
@@ -77,6 +154,8 @@ func (e *Emulator) ReadMemory(addr uint32, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("fpx: emulator: negative length")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]byte, n)
 	for i := range out {
 		out[i] = e.mem[addr+uint32(i)]
@@ -86,6 +165,8 @@ func (e *Emulator) ReadMemory(addr uint32, n int) ([]byte, error) {
 
 // WriteMemory implements LEONControl.
 func (e *Emulator) WriteMemory(addr uint32, p []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i, b := range p {
 		e.mem[addr+uint32(i)] = b
 	}

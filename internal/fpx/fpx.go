@@ -9,6 +9,7 @@ package fpx
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 
 	"liquidarch/internal/leon"
 	"liquidarch/internal/metrics"
@@ -17,10 +18,20 @@ import (
 )
 
 // LEONControl is what the CPP needs from the LEON controller; it is
-// satisfied by *leon.Controller and by the Emulator.
+// satisfied by *leon.Controller, *leon.AsyncController and by the
+// Emulator. The §3.1 handoff is asynchronous: Start writes the entry
+// address and returns as soon as the processor acknowledges, State and
+// Cycles are poll-safe while the run is in flight, and CollectResult
+// blocks until the run completes (for a self-driving implementation
+// like the AsyncController) or drives it to completion (for the bare
+// Controller). Execute remains the blocking convenience used by the
+// CmdStartSync compatibility path.
 type LEONControl interface {
 	State() leon.State
 	LoadProgram(addr uint32, image []byte) error
+	Start(entry uint32, maxCycles uint64) error
+	Cycles() uint64
+	CollectResult() (leon.RunResult, error)
 	Execute(entry uint32, maxCycles uint64) (leon.RunResult, error)
 	ReadMemory(addr uint32, n int) ([]byte, error)
 	WriteMemory(addr uint32, p []byte) error
@@ -32,7 +43,10 @@ const MaxReadLength = 64 << 10
 
 // Stats counts platform activity. It predates the metrics registry and
 // is kept for compatibility; the registry (Platform.Metrics) carries
-// the same counts plus per-command and error detail.
+// the same counts plus per-command and error detail. The fields are
+// mutated with atomic adds on the handle path and snapshotted with
+// atomic loads by Stats(), so reading them while boards run
+// concurrently is race-free.
 type Stats struct {
 	FramesIn        uint64
 	FramesOut       uint64
@@ -138,8 +152,20 @@ func (p *Platform) SetControl(ctrl LEONControl) {
 	p.loadedAddr = 0
 }
 
-// Stats returns a snapshot of the activity counters.
-func (p *Platform) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the activity counters, taken with
+// atomic loads so it is safe against a concurrently running handle
+// path.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		FramesIn:        atomic.LoadUint64(&p.stats.FramesIn),
+		FramesOut:       atomic.LoadUint64(&p.stats.FramesOut),
+		BadFrames:       atomic.LoadUint64(&p.stats.BadFrames),
+		PassedThrough:   atomic.LoadUint64(&p.stats.PassedThrough),
+		ChunksReceived:  atomic.LoadUint64(&p.stats.ChunksReceived),
+		LoadsCompleted:  atomic.LoadUint64(&p.stats.LoadsCompleted),
+		CommandsHandled: atomic.LoadUint64(&p.stats.CommandsHandled),
+	}
+}
 
 // LoadedAddr returns the address of the last fully reassembled load.
 func (p *Platform) LoadedAddr() uint32 { return p.loadedAddr }
@@ -150,17 +176,17 @@ func (p *Platform) LoadedAddr() uint32 { return p.loadedAddr }
 // back to the sender. Non-Liquid or wrong-port traffic produces no
 // responses (it would pass through to the switch fabric).
 func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
-	p.stats.FramesIn++
+	atomic.AddUint64(&p.stats.FramesIn, 1)
 	p.m.framesIn.Inc()
 	f, err := netproto.ParseFrame(frame)
 	if err != nil {
-		p.stats.BadFrames++
+		atomic.AddUint64(&p.stats.BadFrames, 1)
 		p.m.badFrames.Inc()
 		p.events.Warnf("wrappers rejected frame", "err", err)
 		return nil, fmt.Errorf("fpx: wrappers rejected frame: %w", err)
 	}
 	if f.UDP.DstPort != p.Port || !netproto.IsLiquidPacket(f.Payload) {
-		p.stats.PassedThrough++
+		atomic.AddUint64(&p.stats.PassedThrough, 1)
 		p.m.passedThrough.Inc()
 		return nil, nil
 	}
@@ -168,7 +194,7 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 	frames := make([][]byte, len(resps))
 	for i, r := range resps {
 		frames[i] = netproto.BuildFrame(p.IP, f.IP.Src, p.Port, f.UDP.SrcPort, r.Marshal())
-		p.stats.FramesOut++
+		atomic.AddUint64(&p.stats.FramesOut, 1)
 		p.m.framesOut.Inc()
 	}
 	return frames, nil
@@ -183,7 +209,7 @@ func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
 	if err != nil {
 		return []netproto.Packet{p.errResp(netproto.CmdStatus, err)}
 	}
-	p.stats.CommandsHandled++
+	atomic.AddUint64(&p.stats.CommandsHandled, 1)
 	p.m.commands.With(netproto.CommandName(pkt.Command)).Inc()
 	switch pkt.Command {
 	case netproto.CmdStatus:
@@ -204,6 +230,10 @@ func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
 		return []netproto.Packet{p.traceReport()}
 	case netproto.CmdStats:
 		return []netproto.Packet{p.statsReport()}
+	case netproto.CmdResult:
+		return []netproto.Packet{p.result()}
+	case netproto.CmdStartSync:
+		return []netproto.Packet{p.startSync(pkt.Body)}
 	default:
 		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
 	}
@@ -238,6 +268,7 @@ func (p *Platform) status() netproto.Packet {
 		State:      uint8(p.ctrl.State()),
 		BootOK:     p.ctrl.State() != leon.StateReset,
 		LoadedAddr: p.loadedAddr,
+		CurCycles:  p.ctrl.Cycles(),
 		Last:       runReport(last),
 	}
 	return netproto.Packet{Command: netproto.CmdStatus | netproto.RespFlag, Body: st.Marshal()}
@@ -266,7 +297,7 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	if err != nil {
 		return p.errResp(netproto.CmdLoadProgram, err)
 	}
-	p.stats.ChunksReceived++
+	atomic.AddUint64(&p.stats.ChunksReceived, 1)
 	p.m.chunks.Inc()
 	if p.load == nil || p.load.addr != c.Addr || p.load.total != c.Total || len(p.load.buf) != int(c.TotalLen) {
 		p.load = &loadState{
@@ -301,7 +332,7 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	}
 	p.loadedAddr = ls.addr
 	p.load = nil
-	p.stats.LoadsCompleted++
+	atomic.AddUint64(&p.stats.LoadsCompleted, 1)
 	p.m.loadsDone.Inc()
 	p.events.Infof("program load complete", "addr", fmt.Sprintf("%#x", ls.addr), "bytes", len(ls.buf))
 	return netproto.Packet{
@@ -310,27 +341,88 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	}
 }
 
+// start implements the paper's true §3.1 handoff: CmdStartLEON writes
+// the entry address and acks immediately with StatusRunning — the
+// "Start LEON" acknowledgement — while the run proceeds on the board.
+// The client observes completion by polling CmdStatus and fetches the
+// final RunResult with CmdResult.
 func (p *Platform) start(body []byte) netproto.Packet {
-	req, err := netproto.ParseStartReq(body)
-	if err != nil {
+	entry, maxCycles, errPkt := p.parseStart(netproto.CmdStartLEON, body)
+	if errPkt != nil {
+		return *errPkt
+	}
+	// Idempotent under retransmission: if the run is already in flight
+	// (the start ack was lost and the UDP client retried), acknowledge
+	// again instead of failing with "cannot start in state running".
+	if p.ctrl.State() == leon.StateRunning {
+		rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
+		return netproto.Packet{Command: netproto.CmdStartLEON | netproto.RespFlag, Body: rep.Marshal()}
+	}
+	if err := p.ctrl.Start(entry, maxCycles); err != nil {
 		return p.errResp(netproto.CmdStartLEON, err)
 	}
-	entry := req.Entry
-	if entry == 0 {
-		entry = p.loadedAddr
+	rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
+	return netproto.Packet{Command: netproto.CmdStartLEON | netproto.RespFlag, Body: rep.Marshal()}
+}
+
+// startSync is the blocking compatibility path (CmdStartSync): start
+// the program AND run it to completion in one round trip, answering
+// with the final RunReport exactly as the pre-async CmdStartLEON did.
+// It occupies the board's command queue for the whole run.
+func (p *Platform) startSync(body []byte) netproto.Packet {
+	entry, maxCycles, errPkt := p.parseStart(netproto.CmdStartSync, body)
+	if errPkt != nil {
+		return *errPkt
 	}
-	if entry == 0 {
-		return p.errResp(netproto.CmdStartLEON, fmt.Errorf("no program loaded"))
-	}
-	res, err := p.ctrl.Execute(entry, req.MaxCycles)
+	res, err := p.ctrl.Execute(entry, maxCycles)
 	rep := runReport(res)
 	if err != nil && !res.Faulted {
-		return p.errResp(netproto.CmdStartLEON, err)
+		return p.errResp(netproto.CmdStartSync, err)
 	}
 	if err != nil {
 		rep.Status = netproto.StatusFault
 	}
-	return netproto.Packet{Command: netproto.CmdStartLEON | netproto.RespFlag, Body: rep.Marshal()}
+	return netproto.Packet{Command: netproto.CmdStartSync | netproto.RespFlag, Body: rep.Marshal()}
+}
+
+// parseStart decodes a StartReq body and resolves the entry address
+// (0 means "address of the last load").
+func (p *Platform) parseStart(cmd uint8, body []byte) (entry uint32, maxCycles uint64, errPkt *netproto.Packet) {
+	req, err := netproto.ParseStartReq(body)
+	if err != nil {
+		pkt := p.errResp(cmd, err)
+		return 0, 0, &pkt
+	}
+	entry = req.Entry
+	if entry == 0 {
+		entry = p.loadedAddr
+	}
+	if entry == 0 {
+		pkt := p.errResp(cmd, fmt.Errorf("no program loaded"))
+		return 0, 0, &pkt
+	}
+	return entry, req.MaxCycles, nil
+}
+
+// result answers CmdResult. While the run is still in flight it
+// reports StatusRunning with the live cycle counter (the client keeps
+// polling — the handler never blocks the board's queue on execution);
+// once the run has completed it returns the final RunReport. Repeated
+// collects are idempotent, as the §2.6 UDP client may retransmit.
+func (p *Platform) result() netproto.Packet {
+	if p.ctrl.State() == leon.StateRunning {
+		rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
+		return netproto.Packet{Command: netproto.CmdResult | netproto.RespFlag, Body: rep.Marshal()}
+	}
+	res, err := p.ctrl.CollectResult()
+	rep := runReport(res)
+	if err != nil && !res.Faulted {
+		return p.errResp(netproto.CmdResult, err)
+	}
+	if err != nil {
+		rep.Status = netproto.StatusFault
+	}
+	return netproto.Packet{Command: netproto.CmdResult | netproto.RespFlag, Body: rep.Marshal()}
 }
 
 func (p *Platform) readMem(body []byte) netproto.Packet {

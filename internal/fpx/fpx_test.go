@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+	"time"
 
 	"liquidarch/internal/asm"
 	"liquidarch/internal/leon"
@@ -17,7 +18,8 @@ var (
 	hostPort = uint16(41000)
 )
 
-// newLEONPlatform builds a platform over a real booted LEON system.
+// newLEONPlatform builds a platform over a real booted LEON system,
+// wrapped in the per-board actor so async starts self-drive.
 func newLEONPlatform(t *testing.T) *Platform {
 	t.Helper()
 	soc, err := leon.New(leon.DefaultConfig(), nil)
@@ -28,7 +30,9 @@ func newLEONPlatform(t *testing.T) *Platform {
 	if err := ctrl.Boot(); err != nil {
 		t.Fatal(err)
 	}
-	return New(ctrl, fpxIP, fpxPort)
+	a := leon.NewAsyncController(ctrl)
+	t.Cleanup(a.Close)
+	return New(a, fpxIP, fpxPort)
 }
 
 // sendCmd wraps a packet in a frame, runs the hardware path, and
@@ -107,9 +111,35 @@ func TestFullRemoteSession(t *testing.T) {
 		}
 	}
 
-	// 3. Start (entry 0 = last load address).
+	// 3. Start (entry 0 = last load address): the §3.1 handoff acks
+	// immediately with "running"...
 	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
 	rep, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusRunning {
+		t.Fatalf("start ack %+v, want running", rep)
+	}
+	// ...completion is observed by polling status...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStatus})
+		st, err := netproto.ParseStatusResp(resps[0].Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leon.State(st.State) != leon.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the final report is collected with CmdResult.
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})
+	rep, err = netproto.ParseRunReport(resps[0].Body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,6 +160,38 @@ func TestFullRemoteSession(t *testing.T) {
 	}
 	if p.Stats().LoadsCompleted != 1 || p.Stats().CommandsHandled < 4 {
 		t.Errorf("stats = %+v", p.Stats())
+	}
+}
+
+// TestStartSyncCompat locks the blocking compatibility path: one
+// CmdStartSync round trip answers with the final RunReport, exactly as
+// the pre-async CmdStartLEON did.
+func TestStartSyncCompat(t *testing.T) {
+	p := newLEONPlatform(t)
+	obj := testProgram(t)
+	for _, c := range netproto.ChunkImage(obj.Origin, obj.Code) {
+		sendCmd(t, p, netproto.Packet{Command: netproto.CmdLoadProgram, Body: c.Marshal()})
+	}
+	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartSync, Body: netproto.StartReq{}.Marshal()})
+	rep, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusOK || rep.Cycles == 0 {
+		t.Fatalf("startsync report %+v", rep)
+	}
+	// Result afterwards is idempotent and matches.
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})
+	rep2, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil || rep2 != rep {
+		t.Errorf("result after startsync = %+v, %v (want %+v)", rep2, err, rep)
+	}
+	// StartSync without a load errors with its own code.
+	p2 := newLEONPlatform(t)
+	resps = sendCmd(t, p2, netproto.Packet{Command: netproto.CmdStartSync, Body: netproto.StartReq{}.Marshal()})
+	er, err := netproto.ParseErrorResp(resps[0].Body)
+	if err != nil || er.Code != netproto.CmdStartSync {
+		t.Errorf("startsync no-load error = %+v, %v", er, err)
 	}
 }
 
@@ -224,13 +286,19 @@ func TestFaultingProgramReportsStatusFault(t *testing.T) {
 	for _, c := range netproto.ChunkImage(obj.Origin, obj.Code) {
 		sendCmd(t, p, netproto.Packet{Command: netproto.CmdLoadProgram, Body: c.Marshal()})
 	}
-	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
+	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartSync, Body: netproto.StartReq{}.Marshal()})
 	rep, err := netproto.ParseRunReport(resps[0].Body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Status != netproto.StatusFault || rep.TT != 0x02 {
 		t.Errorf("report = %+v, want fault tt=2", rep)
+	}
+	// The async path reports the same fault via CmdResult.
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})
+	rep2, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil || rep2.Status != netproto.StatusFault || rep2.TT != 0x02 {
+		t.Errorf("result report = %+v, %v, want fault tt=2", rep2, err)
 	}
 }
 
@@ -294,6 +362,12 @@ func TestEmulatorBehavesLikeHardware(t *testing.T) {
 	}
 	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
 	rep, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil || rep.Status != netproto.StatusRunning {
+		t.Errorf("emulator start ack: %+v, %v", rep, err)
+	}
+	// The emulator's pretend run settles by the first observation.
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})
+	rep, err = netproto.ParseRunReport(resps[0].Body)
 	if err != nil || rep.Status != netproto.StatusOK || rep.Cycles == 0 {
 		t.Errorf("emulator run: %+v, %v", rep, err)
 	}

@@ -2,6 +2,7 @@ package fpx
 
 import (
 	"encoding/json"
+	"sync"
 	"testing"
 
 	"liquidarch/internal/leon"
@@ -61,6 +62,42 @@ func TestPlatformMetricsCounted(t *testing.T) {
 	}
 }
 
+// TestStatsRaceFree hammers the legacy Stats() snapshot while the
+// handle path runs — the fields are atomic now, so this is clean
+// under -race (boards run concurrently behind the multi-board node).
+func TestStatsRaceFree(t *testing.T) {
+	em := NewEmulator()
+	p := New(em, fpxIP, fpxPort)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = p.Stats()
+				}
+			}
+		}()
+	}
+	pkt := netproto.Packet{Command: netproto.CmdStatus}
+	frame := netproto.BuildFrame(hostIP, fpxIP, hostPort, fpxPort, pkt.Marshal())
+	for i := 0; i < 500; i++ {
+		if _, err := p.HandleFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := p.Stats().CommandsHandled; got != 500 {
+		t.Errorf("CommandsHandled = %d, want 500", got)
+	}
+}
+
 // TestStatsCommand checks CmdStats returns the registry snapshot as
 // JSON in-band.
 func TestStatsCommand(t *testing.T) {
@@ -98,6 +135,8 @@ func TestCommandName(t *testing.T) {
 		netproto.CmdGetConfig:                 "getconfig",
 		netproto.CmdTraceReport:               "trace",
 		netproto.CmdStats:                     "stats",
+		netproto.CmdResult:                    "result",
+		netproto.CmdStartSync:                 "startsync",
 		netproto.CmdStats | netproto.RespFlag: "stats", // RespFlag stripped
 		netproto.CmdError:                     "error",
 		0x42:                                  "unknown",

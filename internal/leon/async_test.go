@@ -1,0 +1,267 @@
+package leon
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+)
+
+// newAsync builds a booted SoC wrapped in an actor.
+func newAsync(t *testing.T) *AsyncController {
+	t.Helper()
+	soc, err := New(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsyncController(ctrl)
+	t.Cleanup(a.Close)
+	return a
+}
+
+// buildAt assembles src at the default load address.
+func buildAt(t *testing.T, src string) *asm.Object {
+	t.Helper()
+	obj, err := asm.AssembleAt(src, DefaultLoadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+const shortProg = `
+_start:
+	set 0xBEEF, %o0
+	set result, %g1
+	st %o0, [%g1]
+	set 0x1000, %g7
+	jmp %g7
+	nop
+result:	.word 0
+`
+
+// longProg spins ~6 cycles per iteration for count iterations, then
+// returns to the poll loop.
+const longProg = `
+_start:
+	set 2000000, %g2
+loop:
+	subcc %g2, 1, %g2
+	bne loop
+	nop
+	set 0x1000, %g7
+	jmp %g7
+	nop
+`
+
+// TestAsyncStartPollCollect exercises the §3.1 flow in its true shape:
+// start returns immediately, state/cycles are observable mid-run, and
+// the collected result matches a blocking run bit for bit.
+func TestAsyncStartPollCollect(t *testing.T) {
+	// Reference: blocking run on a fresh identical SoC.
+	soc, err := New(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewController(soc)
+	if err := ref.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	obj := buildAt(t, longProg)
+	if err := ref.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Execute(obj.Origin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := newAsync(t)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(obj.Origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The program is long enough that we observe it running.
+	sawRunning := a.State() == StateRunning
+	var lastCycles uint64
+	for i := 0; i < 100 && a.State() == StateRunning; i++ {
+		c := a.Cycles()
+		if c < lastCycles {
+			t.Fatalf("cycle counter went backwards: %d -> %d", lastCycles, c)
+		}
+		lastCycles = c
+		sawRunning = true
+		time.Sleep(time.Millisecond)
+	}
+	if !sawRunning {
+		t.Error("never observed StateRunning mid-run")
+	}
+	got, err := a.CollectResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("async result %+v != blocking result %+v", got, want)
+	}
+	if a.State() != StateDone {
+		t.Errorf("state after collect = %v", a.State())
+	}
+	// Idempotent collect (UDP clients retransmit).
+	again, err := a.CollectResult()
+	if err != nil || again != got {
+		t.Errorf("second collect = %+v, %v", again, err)
+	}
+}
+
+// TestAsyncInterleavedOps: loads and writes are rejected mid-run with
+// the controller's state error, reads are served between slices, and
+// everything is race-free under -race.
+func TestAsyncInterleavedOps(t *testing.T) {
+	a := newAsync(t)
+	obj := buildAt(t, longProg)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(obj.Origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				_ = a.State()
+				_ = a.Cycles()
+				if _, err := a.ReadMemory(DefaultLoadAddr, 16); err != nil {
+					t.Errorf("mid-run read: %v", err)
+				}
+			}
+		}()
+	}
+	// Mid-run mutations must fail cleanly while the run is in flight.
+	if a.State() == StateRunning {
+		if err := a.LoadProgram(obj.Origin, obj.Code); err == nil && a.State() == StateRunning {
+			t.Error("mid-run load accepted")
+		}
+	}
+	wg.Wait()
+	if _, err := a.CollectResult(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncBudgetFault: the budget path finalizes through the actor.
+func TestAsyncBudgetFault(t *testing.T) {
+	a := newAsync(t)
+	obj := buildAt(t, longProg)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(obj.Origin, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.CollectResult()
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want budget", err)
+	}
+	if !res.Faulted {
+		t.Errorf("result = %+v, want faulted", res)
+	}
+	if a.State() != StateFault {
+		t.Errorf("state = %v", a.State())
+	}
+	// The board recovers: a short run succeeds afterwards.
+	obj2 := buildAt(t, shortProg)
+	if err := a.LoadProgram(obj2.Origin, obj2.Code); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := a.Execute(obj2.Origin, 0)
+	if err != nil || res2.Faulted {
+		t.Fatalf("recovery run: %+v, %v", res2, err)
+	}
+}
+
+// TestAsyncRunHooks: Before/After fire on every run, including failed
+// handoffs, and After runs before the Done state is observable.
+func TestAsyncRunHooks(t *testing.T) {
+	a := newAsync(t)
+	obj := buildAt(t, shortProg)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []string
+	opts := RunOptions{
+		Before: func(c *Controller) {
+			mu.Lock()
+			events = append(events, "before")
+			mu.Unlock()
+		},
+		After: func(c *Controller, res RunResult, wall time.Duration, err error) {
+			mu.Lock()
+			events = append(events, "after")
+			mu.Unlock()
+		},
+	}
+	if _, err := a.ExecuteOpts(obj.Origin, 0, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Failed handoff (bad entry) still fires both hooks.
+	if err := a.StartOpts(0x1234, 0, opts); err == nil {
+		t.Fatal("bad entry accepted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"before", "after", "before", "after"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestAsyncCloseAbandonsRun: Close mid-run returns promptly and later
+// operations fail with ErrClosed.
+func TestAsyncCloseAbandonsRun(t *testing.T) {
+	soc, err := New(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsyncController(ctrl)
+	obj := buildAt(t, longProg)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(obj.Origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() { a.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an in-flight run")
+	}
+	if err := a.LoadProgram(obj.Origin, obj.Code); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close load err = %v", err)
+	}
+	if _, err := a.CollectResult(); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close collect err = %v", err)
+	}
+}

@@ -64,6 +64,12 @@ type Controller struct {
 	soc   *SoC
 	state State
 	last  RunResult
+
+	// In-flight run bookkeeping, armed by Start and consumed by
+	// StepRun/CollectResult. Valid only while state == StateRunning.
+	runLimit       uint64 // absolute CPU.Cycles budget for the run
+	runStartCycles uint64 // CPU.Cycles at program entry
+	runStartInsts  uint64 // instruction count at program entry
 }
 
 // NewController wraps a freshly built SoC.
@@ -128,9 +134,11 @@ func (c *Controller) LoadProgram(addr uint32, image []byte) error {
 // in the poll word, reconnects main memory and steps the CPU until the
 // boot ROM's poll loop picks the address up and jumps into the program.
 // On return the controller is in StateRunning with the CPU parked on
-// the program's first instruction; the caller drives it with SoC.Step
-// (the steady-state path the throughput benchmarks measure). maxCycles
-// bounds the handoff (0 means a large default).
+// the program's first instruction; the caller either drives the run to
+// completion with StepRun/CollectResult (the paper's §3.1 start → poll
+// → collect flow) or steps the SoC directly (the steady-state path the
+// throughput benchmarks measure). maxCycles bounds the whole run,
+// handoff included (0 means a large default).
 func (c *Controller) Start(entry uint32, maxCycles uint64) error {
 	if c.state != StateIdle && c.state != StateDone && c.state != StateFault {
 		return fmt.Errorf("leon: cannot execute in state %v", c.state)
@@ -168,7 +176,101 @@ func (c *Controller) Start(entry uint32, maxCycles uint64) error {
 			return err
 		}
 	}
+	// Arm the resumable-run bookkeeping: the reported cycle count starts
+	// at program entry (handoff cycles excluded), while the budget limit
+	// was fixed before the handoff — both exactly as the historical
+	// blocking Execute measured them.
+	c.runLimit = limit
+	c.runStartCycles = c.soc.CPU.Cycles
+	c.runStartInsts = c.soc.CPU.Stats().Instructions
 	return nil
+}
+
+// Cycles returns the hardware cycle counter as the paper's client
+// observes it: cycles consumed so far by the in-flight run, or the
+// final count of the last completed run.
+func (c *Controller) Cycles() uint64 {
+	if c.state == StateRunning {
+		return c.soc.CPU.Cycles - c.runStartCycles
+	}
+	return c.last.Cycles
+}
+
+// finishRun disconnects main memory, zeroes the poll word and records
+// the result — the external circuitry's reaction to the CPU returning
+// to the poll routine.
+func (c *Controller) finishRun(res RunResult) (RunResult, error) {
+	c.soc.sramSwitch.connected = false
+	// Zero the poll word so a reconnect without a new program does not
+	// re-run the old one.
+	if err := c.soc.SRAM.Poke32(MailboxProgAddr-SRAMBase, 0); err != nil {
+		return res, err
+	}
+	c.last = res
+	if res.Faulted {
+		c.state = StateFault
+	} else {
+		c.state = StateDone
+	}
+	return res, nil
+}
+
+// StepRun advances an in-flight run (armed by Start) by at most
+// maxSteps instructions. It returns done=false while the program is
+// still executing; once the CPU returns to the poll routine, exhausts
+// its cycle budget or freezes in error mode, it finalizes the run
+// exactly as the blocking Execute would and returns done=true with the
+// result. The slicing changes host scheduling only — the simulated
+// instruction sequence, and therefore every cycle count, is identical
+// to an unsliced run.
+func (c *Controller) StepRun(maxSteps int) (done bool, res RunResult, err error) {
+	if c.state != StateRunning {
+		return true, c.last, fmt.Errorf("leon: StepRun in state %v", c.state)
+	}
+	sram := c.soc.SRAM
+	for i := 0; i < maxSteps; i++ {
+		if c.soc.CPU.PC() == ROMPollAddr {
+			r := RunResult{
+				Cycles:       c.soc.CPU.Cycles - c.runStartCycles,
+				Instructions: c.soc.CPU.Stats().Instructions - c.runStartInsts,
+			}
+			// A bad_trap during the run lands back at the poll loop with
+			// the fault mailbox filled in.
+			if tt, merr := sram.Peek32(MailboxFaultTT - SRAMBase); merr == nil && tt != 0 {
+				r.Faulted = true
+				r.TT = uint8(tt)
+				pc, _ := sram.Peek32(MailboxFaultPC - SRAMBase)
+				r.FaultPC = pc
+			}
+			fr, ferr := c.finishRun(r)
+			return true, fr, ferr
+		}
+		if c.soc.CPU.Cycles > c.runLimit {
+			fr, _ := c.finishRun(RunResult{
+				Cycles:       c.soc.CPU.Cycles - c.runStartCycles,
+				Instructions: c.soc.CPU.Stats().Instructions - c.runStartInsts,
+				Faulted:      true,
+			})
+			return true, fr, fmt.Errorf("leon: %w after %d cycles", ErrBudget, fr.Cycles)
+		}
+		if serr := c.soc.Step(); serr != nil {
+			fr, ferr := c.errorMode(serr)
+			return true, fr, ferr
+		}
+	}
+	return false, RunResult{}, nil
+}
+
+// CollectResult drives an in-flight run to completion and returns its
+// result; when no run is in flight it returns the last result. It is
+// the blocking counterpart of the AsyncController's poll-based collect.
+func (c *Controller) CollectResult() (RunResult, error) {
+	for c.state == StateRunning {
+		if done, res, err := c.StepRun(1 << 16); done {
+			return res, err
+		}
+	}
+	return c.last, nil
 }
 
 // Execute starts the program at entry and runs it to completion: it
@@ -178,10 +280,6 @@ func (c *Controller) Start(entry uint32, maxCycles uint64) error {
 // reports the cycle count. maxCycles bounds the run (0 means a large
 // default).
 func (c *Controller) Execute(entry uint32, maxCycles uint64) (RunResult, error) {
-	if maxCycles == 0 {
-		maxCycles = 1 << 32
-	}
-	limit := c.soc.CPU.Cycles + maxCycles
 	if err := c.Start(entry, maxCycles); err != nil {
 		if c.state == StateFault || c.state == StateReset {
 			// The CPU hit error mode during the handoff; errorMode
@@ -190,54 +288,7 @@ func (c *Controller) Execute(entry uint32, maxCycles uint64) (RunResult, error) 
 		}
 		return RunResult{}, err
 	}
-	sram := c.soc.SRAM
-
-	finish := func(res RunResult) (RunResult, error) {
-		c.soc.sramSwitch.connected = false
-		// Zero the poll word so a reconnect without a new program
-		// does not re-run the old one.
-		if err := sram.Poke32(MailboxProgAddr-SRAMBase, 0); err != nil {
-			return res, err
-		}
-		c.last = res
-		if res.Faulted {
-			c.state = StateFault
-		} else {
-			c.state = StateDone
-		}
-		return res, nil
-	}
-
-	startCycles := c.soc.CPU.Cycles
-	startInsts := c.soc.CPU.Stats().Instructions
-
-	// Phase 2: run until the CPU returns to the poll routine.
-	for c.soc.CPU.PC() != ROMPollAddr {
-		if c.soc.CPU.Cycles > limit {
-			res, _ := finish(RunResult{
-				Cycles:       c.soc.CPU.Cycles - startCycles,
-				Instructions: c.soc.CPU.Stats().Instructions - startInsts,
-				Faulted:      true,
-			})
-			return res, fmt.Errorf("leon: %w after %d cycles", ErrBudget, res.Cycles)
-		}
-		if err := c.soc.Step(); err != nil {
-			return c.errorMode(err)
-		}
-	}
-	res := RunResult{
-		Cycles:       c.soc.CPU.Cycles - startCycles,
-		Instructions: c.soc.CPU.Stats().Instructions - startInsts,
-	}
-	// A bad_trap during the run lands back at the poll loop with the
-	// fault mailbox filled in.
-	if tt, err := sram.Peek32(MailboxFaultTT - SRAMBase); err == nil && tt != 0 {
-		res.Faulted = true
-		res.TT = uint8(tt)
-		pc, _ := sram.Peek32(MailboxFaultPC - SRAMBase)
-		res.FaultPC = pc
-	}
-	return finish(res)
+	return c.CollectResult()
 }
 
 // errorMode handles a CPU error-mode freeze: record it as a fault and

@@ -27,6 +27,12 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(4)
 	hv := r.HistogramVec("demo_dur", "A labelled histogram.", "op", []float64{1})
 	hv.With("read").Observe(1)
+	// The reconfiguration server's node instruments: the bounded-queue
+	// depth gauge and the drop counter with its backpressure reason.
+	drops := r.CounterVec("liquid_server_drops_total", "Requests that produced no response, by reason.", "reason")
+	drops.With("busy").Add(2)
+	drops.With("peer_addr").Inc()
+	r.GaugeFunc("liquid_server_queue_depth", "Commands queued across all board workers.", func() float64 { return 3 })
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {

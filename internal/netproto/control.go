@@ -17,6 +17,8 @@ const (
 	CmdGetConfig   uint8 = 0x07 // report the active configuration
 	CmdTraceReport uint8 = 0x08 // pull the last run's instrumented trace summary
 	CmdStats       uint8 = 0x09 // pull the platform's telemetry snapshot (JSON)
+	CmdResult      uint8 = 0x0A // collect the completed run's result (blocking runs report live state)
+	CmdStartSync   uint8 = 0x0B // compatibility path: start AND run to completion in one round trip
 
 	// RespFlag marks a response to the command in the low bits.
 	RespFlag uint8 = 0x80
@@ -48,6 +50,10 @@ func CommandName(cmd uint8) string {
 		return "trace"
 	case CmdStats:
 		return "stats"
+	case CmdResult:
+		return "result"
+	case CmdStartSync:
+		return "startsync"
 	default:
 		if cmd == CmdError {
 			return "error"
@@ -62,35 +68,59 @@ const (
 	StatusError   uint8 = 1
 	StatusFault   uint8 = 2 // program ended via a trap
 	StatusPending uint8 = 3 // more load chunks expected
+	StatusRunning uint8 = 4 // run in flight (async start acked / result not yet final)
 )
 
 // Magic and version identify Liquid control packets so the CPP can
 // route them (other traffic passes through the wrappers untouched).
 var Magic = [2]byte{'L', 'Q'}
 
-// Version is the control protocol version.
+// Version is the original (single-board) control protocol version:
+// magic(2) + version(1) + command(1).
 const Version uint8 = 1
 
-// headerLen is magic(2) + version(1) + command(1).
+// VersionBoard is the multi-board header revision: magic(2) +
+// version(1) + command(1) + board(1). Packets addressed to board 0
+// keep the v1 shape so every pre-existing client and capture stays
+// byte-identical; the extra board byte appears only when a node hosts
+// more than one platform.
+const VersionBoard uint8 = 2
+
+// headerLen is the v1 header: magic(2) + version(1) + command(1).
 const headerLen = 4
 
-// Packet is one control packet: a command code plus its body.
+// Packet is one control packet: a command code, the destination board
+// on a multi-board node (0 for the classic single-board case), and
+// the body.
 type Packet struct {
 	Command uint8
+	Board   uint8
 	Body    []byte
 }
 
-// Marshal produces the UDP payload for the packet.
+// Marshal produces the UDP payload for the packet. Board 0 marshals
+// as the wire-compatible v1 header; other boards use the v2 header
+// carrying the board byte.
 func (p Packet) Marshal() []byte {
-	out := make([]byte, headerLen+len(p.Body))
+	if p.Board == 0 {
+		out := make([]byte, headerLen+len(p.Body))
+		out[0], out[1] = Magic[0], Magic[1]
+		out[2] = Version
+		out[3] = p.Command
+		copy(out[headerLen:], p.Body)
+		return out
+	}
+	out := make([]byte, headerLen+1+len(p.Body))
 	out[0], out[1] = Magic[0], Magic[1]
-	out[2] = Version
+	out[2] = VersionBoard
 	out[3] = p.Command
-	copy(out[headerLen:], p.Body)
+	out[4] = p.Board
+	copy(out[headerLen+1:], p.Body)
 	return out
 }
 
-// ParsePacket validates the header and returns the command and body.
+// ParsePacket validates the header and returns the command, board and
+// body. Both the v1 (implicit board 0) and v2 headers are accepted.
 func ParsePacket(b []byte) (Packet, error) {
 	if len(b) < headerLen {
 		return Packet{}, fmt.Errorf("netproto: control packet truncated (%d bytes)", len(b))
@@ -98,10 +128,17 @@ func ParsePacket(b []byte) (Packet, error) {
 	if b[0] != Magic[0] || b[1] != Magic[1] {
 		return Packet{}, fmt.Errorf("netproto: bad magic %#02x%02x", b[0], b[1])
 	}
-	if b[2] != Version {
+	switch b[2] {
+	case Version:
+		return Packet{Command: b[3], Body: b[headerLen:]}, nil
+	case VersionBoard:
+		if len(b) < headerLen+1 {
+			return Packet{}, fmt.Errorf("netproto: v2 control packet truncated (%d bytes)", len(b))
+		}
+		return Packet{Command: b[3], Board: b[4], Body: b[headerLen+1:]}, nil
+	default:
 		return Packet{}, fmt.Errorf("netproto: unsupported version %d", b[2])
 	}
-	return Packet{Command: b[3], Body: b[headerLen:]}, nil
 }
 
 // IsLiquidPacket reports whether a UDP payload carries the control
@@ -306,31 +343,38 @@ func ParseMemResp(b []byte) (MemResp, error) {
 	return MemResp{Status: b[0], Addr: binary.BigEndian.Uint32(b[1:]), Data: b[5:]}, nil
 }
 
-// StatusResp answers CmdStatus: controller state plus the last run.
+// StatusResp answers CmdStatus: controller state, the live hardware
+// cycle counter (so a polling client can watch an in-flight run
+// advance, §3.1), and the last completed run.
 type StatusResp struct {
 	State      uint8 // leon.State
 	BootOK     bool
 	LoadedAddr uint32 // address of the last completed load (0 if none)
+	CurCycles  uint64 // current run-relative cycle counter (live while running)
 	Last       RunReport
 }
 
+// statusRespHeadLen is the fixed head ahead of the embedded RunReport.
+const statusRespHeadLen = 14
+
 // Marshal encodes the response body.
 func (r StatusResp) Marshal() []byte {
-	b := make([]byte, 6)
+	b := make([]byte, statusRespHeadLen)
 	b[0] = r.State
 	if r.BootOK {
 		b[1] = 1
 	}
 	binary.BigEndian.PutUint32(b[2:], r.LoadedAddr)
+	binary.BigEndian.PutUint64(b[6:], r.CurCycles)
 	return append(b, r.Last.Marshal()...)
 }
 
 // ParseStatusResp decodes the body.
 func ParseStatusResp(b []byte) (StatusResp, error) {
-	if len(b) < 6+22 {
+	if len(b) < statusRespHeadLen+22 {
 		return StatusResp{}, fmt.Errorf("netproto: status response truncated")
 	}
-	last, err := ParseRunReport(b[6:])
+	last, err := ParseRunReport(b[statusRespHeadLen:])
 	if err != nil {
 		return StatusResp{}, err
 	}
@@ -338,6 +382,7 @@ func ParseStatusResp(b []byte) (StatusResp, error) {
 		State:      b[0],
 		BootOK:     b[1] != 0,
 		LoadedAddr: binary.BigEndian.Uint32(b[2:]),
+		CurCycles:  binary.BigEndian.Uint64(b[6:]),
 		Last:       last,
 	}, nil
 }

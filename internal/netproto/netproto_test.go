@@ -126,6 +126,35 @@ func TestControlPacketRoundTrip(t *testing.T) {
 	}
 }
 
+func TestControlPacketBoardHeader(t *testing.T) {
+	// Board 0 marshals as the byte-identical v1 header.
+	p0 := Packet{Command: CmdStatus, Body: []byte{1}}
+	raw0 := p0.Marshal()
+	if raw0[2] != Version || len(raw0) != headerLen+1 {
+		t.Errorf("board-0 packet not v1: % x", raw0)
+	}
+	// Non-zero boards use the v2 header and round-trip the board byte.
+	p2 := Packet{Command: CmdStartLEON, Board: 3, Body: []byte{4, 5}}
+	raw2 := p2.Marshal()
+	if raw2[2] != VersionBoard {
+		t.Errorf("board-3 packet version = %d", raw2[2])
+	}
+	got, err := ParsePacket(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != CmdStartLEON || got.Board != 3 || !bytes.Equal(got.Body, []byte{4, 5}) {
+		t.Errorf("v2 packet = %+v", got)
+	}
+	if !IsLiquidPacket(raw2) {
+		t.Error("IsLiquidPacket false for v2 packet")
+	}
+	// A v2 header without the board byte is truncated.
+	if _, err := ParsePacket([]byte{'L', 'Q', VersionBoard, 1}); err == nil {
+		t.Error("truncated v2 packet accepted")
+	}
+}
+
 func TestLoadChunkRoundTrip(t *testing.T) {
 	c := LoadChunk{Seq: 2, Total: 5, Addr: 0x40001000, TotalLen: 5000, Offset: 2048, Data: []byte{9, 8, 7}}
 	got, err := ParseLoadChunk(c.Marshal())
@@ -198,7 +227,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	if got, err := ParseMemResp(mr.Marshal()); err != nil || got.Addr != 4 || !bytes.Equal(got.Data, mr.Data) {
 		t.Errorf("MemResp: %+v, %v", got, err)
 	}
-	st := StatusResp{State: 3, BootOK: true, LoadedAddr: 0x40001000, Last: rr}
+	st := StatusResp{State: 3, BootOK: true, LoadedAddr: 0x40001000, CurCycles: 123456789, Last: rr}
 	if got, err := ParseStatusResp(st.Marshal()); err != nil || got != st {
 		t.Errorf("StatusResp: %+v, %v", got, err)
 	}

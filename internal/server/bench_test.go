@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/client"
+)
+
+// benchIters sizes the benchmark program: ~95k loop iterations is
+// ~285k instructions ≈ 5 ms of simulated execution — longer than the
+// worst observed start-ack latency (so the first completion poll
+// reliably finds the run in flight), short against the 40 ms poll
+// interval, so a client spends most of each run waiting. That is the
+// regime the multi-board node exists for: with N boards the waits
+// overlap and aggregate throughput scales even on a single-CPU host.
+const benchIters = 95_000
+
+// benchPoll is the completion-poll interval used by the benchmark
+// clients (cranked up from the 2 ms default to make each run
+// poll-latency-dominated rather than simulation-dominated).
+const benchPoll = 40 * time.Millisecond
+
+// BenchmarkNodeConcurrentClients measures complete run round trips per
+// second (load once, then StartAsync + WaitResult per op) through a
+// node with 1 and 4 boards, 1 client per board. The 4-board aggregate
+// must comfortably exceed the 1-board figure — see BENCH_node.json.
+func BenchmarkNodeConcurrentClients(b *testing.B) {
+	for _, nBoards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("boards=%d", nBoards), func(b *testing.B) {
+			_, addr := startNode(b, nBoards)
+			obj := assembleAt(b, countProg(benchIters))
+			clients := make([]*client.Client, nBoards)
+			for i := range clients {
+				c := dial(b, addr)
+				c.Board = uint8(i)
+				c.PollInterval = benchPoll
+				if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+			}
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for i, c := range clients {
+				iters := b.N / nBoards
+				if i < b.N%nBoards {
+					iters++
+				}
+				wg.Add(1)
+				go func(c *client.Client, iters int) {
+					defer wg.Done()
+					for j := 0; j < iters; j++ {
+						if err := c.StartAsync(obj.Origin, 0); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := c.WaitResult(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c, iters)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/client"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+// spinProg loops forever; the run only ends via its cycle budget or an
+// abandoning Close. It keeps a board busy while status latency is
+// measured.
+const spinProg = `
+_start:
+	ba _start
+	nop
+`
+
+// countProg spins count iterations (~6 cycles each) then exits through
+// the poll address, so two boards running it report identical cycles.
+func countProg(count int) string {
+	return fmt.Sprintf(`
+_start:
+	set %d, %%g2
+loop:
+	subcc %%g2, 1, %%g2
+	bne loop
+	nop
+	set 0x1000, %%g7
+	jmp %%g7
+	nop
+	.space 3000
+`, count)
+}
+
+func assembleAt(t testing.TB, src string) *asm.Object {
+	t.Helper()
+	obj, err := asm.AssembleAt(src, leon.DefaultLoadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestStatusDuringLongRun is the tentpole's latency criterion: while
+// board 0 executes a long program, CmdStatus and CmdStats keep
+// answering well under the 10 ms control-plane target, and the status
+// cycle counter advances between polls.
+func TestStatusDuringLongRun(t *testing.T) {
+	_, addr := startServer(t)
+	c := dial(t, addr)
+
+	obj := assembleAt(t, spinProg)
+	if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	// Budget bounds the spin loop; the run is abandoned at cleanup long
+	// before it expires.
+	if err := c.StartAsync(obj.Origin, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+
+	// The wire latency target is 10 ms; the race detector slows the
+	// simulator and the scheduler enough that only a looser bound is
+	// meaningful there.
+	bound := 10 * time.Millisecond
+	if raceEnabled {
+		bound = 100 * time.Millisecond
+	}
+	var last uint64
+	advanced := 0
+	for i := 0; i < 30; i++ {
+		begin := time.Now()
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(begin); d > bound {
+			t.Errorf("status poll %d took %v (> %v) during run", i, d, bound)
+		}
+		if leon.State(st.State) != leon.StateRunning {
+			t.Fatalf("poll %d: state = %v, want running", i, leon.State(st.State))
+		}
+		if st.CurCycles > last {
+			advanced++
+		}
+		last = st.CurCycles
+		time.Sleep(2 * time.Millisecond)
+	}
+	if advanced < 10 {
+		t.Errorf("cycle counter advanced on only %d of 30 polls", advanced)
+	}
+
+	// CmdStats is served by the same per-board queue and must be just
+	// as prompt mid-run.
+	begin := time.Now()
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(begin); d > bound {
+		t.Errorf("stats took %v (> %v) during run", d, bound)
+	}
+	// A result poll mid-run reports the live counter, not a block.
+	rep, err := c.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusRunning || rep.Cycles == 0 {
+		t.Errorf("mid-run result = %+v", rep)
+	}
+}
+
+// TestTwoBoardsConcurrent drives two boards of one node at the same
+// time: multi-chunk loads interleave, both runs are in flight
+// simultaneously, and — the determinism criterion — identical programs
+// report bit-identical cycle counts.
+func TestTwoBoardsConcurrent(t *testing.T) {
+	_, addr := startNode(t, 2)
+
+	iters := 2_000_000
+	if raceEnabled || testing.Short() {
+		iters = 200_000
+	}
+	obj := assembleAt(t, countProg(iters))
+
+	clients := make([]*client.Client, 2)
+	for b := range clients {
+		clients[b] = dial(t, addr)
+		clients[b].Board = uint8(b)
+	}
+
+	// Interleaved multi-packet loads: both clients stream their chunked
+	// image concurrently, so board 0 and board 1 chunks mix arbitrarily
+	// on the node's socket.
+	var wg sync.WaitGroup
+	loadErrs := make([]error, 2)
+	for b, c := range clients {
+		wg.Add(1)
+		go func(b int, c *client.Client) {
+			defer wg.Done()
+			loadErrs[b] = c.LoadProgram(obj.Origin, obj.Code)
+		}(b, c)
+	}
+	wg.Wait()
+	for b, err := range loadErrs {
+		if err != nil {
+			t.Fatalf("board %d load: %v", b, err)
+		}
+	}
+
+	// Start both, then observe that both are executing at once.
+	for b, c := range clients {
+		if err := c.StartAsync(obj.Origin, 0); err != nil {
+			t.Fatalf("board %d start: %v", b, err)
+		}
+	}
+	running := 0
+	for _, c := range clients {
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leon.State(st.State) == leon.StateRunning {
+			running++
+		}
+	}
+	if running != 2 {
+		t.Errorf("%d of 2 boards observed running simultaneously", running)
+	}
+
+	reps := make([]netproto.RunReport, 2)
+	for b, c := range clients {
+		rep, err := c.WaitResult()
+		if err != nil {
+			t.Fatalf("board %d wait: %v", b, err)
+		}
+		if rep.Status != netproto.StatusOK || rep.Cycles == 0 {
+			t.Fatalf("board %d report = %+v", b, rep)
+		}
+		reps[b] = rep
+	}
+	if reps[0].Cycles != reps[1].Cycles || reps[0].Instructions != reps[1].Instructions {
+		t.Errorf("identical programs diverged: %+v vs %+v", reps[0], reps[1])
+	}
+}
+
+// TestBadBoardRejected: a board id beyond the node's platforms draws an
+// immediate CmdError from the read loop and a bad_board drop count.
+func TestBadBoardRejected(t *testing.T) {
+	srv, addr := startNode(t, 2)
+	c := dial(t, addr)
+	c.Board = 7
+	_, err := c.Status()
+	if err == nil || !strings.Contains(err.Error(), "no board 7") {
+		t.Errorf("err = %v", err)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.Counter(`liquid_server_drops_total{reason="bad_board"}`) == 0 {
+		t.Error("bad_board drop not counted")
+	}
+	// Board 1 on the same node still answers.
+	c2 := dial(t, addr)
+	c2.Board = 1
+	if _, err := c2.Status(); err != nil {
+		t.Errorf("board 1 status: %v", err)
+	}
+}
+
+// stuckCtrl blocks Execute until released, simulating a board whose
+// worker is pinned by a blocking command.
+type stuckCtrl struct {
+	*fpx.Emulator
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (sc *stuckCtrl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	sc.once.Do(func() { close(sc.entered) })
+	<-sc.release
+	return sc.Emulator.Execute(entry, maxCycles)
+}
+
+// TestBusyBackpressure: with a queue bound of 1 and a pinned worker,
+// the overflow datagram is answered with CmdError "busy" straight from
+// the read loop and counted as drops{reason="busy"} — bounded
+// backpressure instead of unbounded buffering.
+func TestBusyBackpressure(t *testing.T) {
+	sc := &stuckCtrl{
+		Emulator: fpx.NewEmulator(),
+		entered:  make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	defer close(sc.release)
+	platform := fpx.New(sc, [4]byte{10, 0, 0, 2}, 5001)
+	srv, err := newNode("127.0.0.1:0", 1, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serveNode(t, srv)
+
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Job 1: a blocking sync start pins the worker.
+	start := netproto.Packet{
+		Command: netproto.CmdStartSync,
+		Body:    netproto.StartReq{Entry: leon.DefaultLoadAddr}.Marshal(),
+	}
+	if _, err := conn.Write(start.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sc.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never reached Execute")
+	}
+	// Job 2 fills the 1-slot queue; job 3 must bounce as busy.
+	status := netproto.Packet{Command: netproto.CmdStatus}.Marshal()
+	if _, err := conn.Write(status); err != nil {
+		t.Fatal(err)
+	}
+	waitQueueDepth(t, srv, 1)
+	if _, err := conn.Write(status); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := netproto.ParsePacket(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Command != netproto.CmdError {
+		t.Fatalf("overflow reply command %#x, want CmdError", pkt.Command)
+	}
+	er, err := netproto.ParseErrorResp(pkt.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != netproto.CmdStatus || !strings.Contains(er.Msg, "busy") {
+		t.Errorf("overflow error = %+v", er)
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap.Counter(`liquid_server_drops_total{reason="busy"}`) == 0 {
+		t.Error("busy drop not counted")
+	}
+	if d := snap.Gauges["liquid_server_queue_depth"]; d != 1 {
+		t.Errorf("queue depth gauge = %v, want 1 (the queued status)", d)
+	}
+}
+
+// waitQueueDepth waits until the node's queue-depth gauge reaches want.
+func waitQueueDepth(t *testing.T, srv *Server, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if srv.Metrics().Snapshot().Gauges["liquid_server_queue_depth"] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

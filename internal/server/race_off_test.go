@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// concurrency tests scale cycle budgets and latency bounds by it.
+const raceEnabled = false

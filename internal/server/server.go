@@ -1,15 +1,25 @@
 // Package server implements the Reconfiguration Server of Fig. 1: the
-// network daemon that controls access to the FPX platform, sequencing
+// network daemon that controls access to the FPX platforms, sequencing
 // the loading and execution of applications. It binds a real UDP
 // socket; each datagram is re-wrapped into a synthetic IPv4/UDP frame
 // so the FPX protocol wrappers and Control Packet Processor run on the
 // exact bytes the hardware would see.
+//
+// A Server is a node hosting one or more boards (platforms), mirroring
+// the four-port NID switch of Fig. 2. Datagrams carry a board id in
+// the v2 control header (board 0 keeps the wire-compatible v1 header);
+// the read loop only parses the header for routing and NEVER blocks on
+// execution — each board has a bounded FIFO command queue drained by
+// its own worker goroutine, so a long run on one board cannot delay a
+// status poll on another, and a full queue applies backpressure with a
+// CmdError "busy" response instead of unbounded buffering.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -23,8 +33,12 @@ import (
 // never exceeds 64 KiB).
 const readBufBytes = 64 << 10
 
+// DefaultQueueCap is each board's command-queue bound. Beyond it the
+// server answers CmdError "busy" — the client backs off and retries.
+const DefaultQueueCap = 64
+
 // serverMetrics are the server-side instruments, registered on the
-// platform's node-wide registry.
+// node-wide registry (board 0's platform registry).
 type serverMetrics struct {
 	datagramsIn  *metrics.Counter
 	datagramsOut *metrics.Counter
@@ -47,12 +61,24 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 	}
 }
 
-// Server serves one FPX platform over UDP. Requests are handled
-// strictly in arrival order: the LEON is a single execution resource
-// and the reconfiguration server's job is to sequence access to it.
+// job is one routed datagram, owned by a board worker until processed.
+type job struct {
+	bufp    *[]byte // pooled backing array, returned after processing
+	payload []byte  // the datagram bytes within bufp
+	peer    *net.UDPAddr
+	src     [4]byte // synthetic frame source (mapped peer IPv4)
+	cmd     string  // command label for telemetry
+	start   time.Time
+}
+
+// Server serves one or more FPX platforms over UDP. Requests for the
+// same board are handled strictly in arrival order — each LEON is a
+// single execution resource and the reconfiguration server's job is to
+// sequence access to it — while different boards run concurrently.
 type Server struct {
-	platform *fpx.Platform
-	conn     *net.UDPConn
+	boards []*fpx.Platform
+	conn   *net.UDPConn
+	queues []chan job
 
 	// Log, when non-nil, receives one line per handled datagram. It is
 	// the legacy printf hook, kept as a compatibility shim over the
@@ -62,15 +88,45 @@ type Server struct {
 	m      serverMetrics
 	events *eventlog.Log
 	bufs   sync.Pool
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// New binds a UDP socket at addr (e.g. "127.0.0.1:0") serving the
-// given platform. Server telemetry is registered on the platform's
-// metrics registry, so one snapshot covers socket and hardware path.
+// New binds a UDP socket at addr (e.g. "127.0.0.1:0") serving a single
+// platform as board 0 — the historical one-board node.
 func New(platform *fpx.Platform, addr string) (*Server, error) {
+	return NewNode(addr, platform)
+}
+
+// NewNode binds a UDP socket at addr serving platforms as boards
+// 0..len-1. Node telemetry (socket counters, queue depth, drops) is
+// registered on board 0's metrics registry, so one snapshot covers the
+// whole node's network face.
+func NewNode(addr string, platforms ...*fpx.Platform) (*Server, error) {
+	return newNode(addr, DefaultQueueCap, platforms...)
+}
+
+// newNode is NewNode with a configurable per-board queue bound (small
+// bounds are used by backpressure tests).
+func newNode(addr string, queueCap int, platforms ...*fpx.Platform) (*Server, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("server: node needs at least one platform")
+	}
+	if len(platforms) > 256 {
+		return nil, fmt.Errorf("server: board id is one byte; %d platforms exceed 256", len(platforms))
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	// Every board can pin a scheduler thread with a compute-bound run;
+	// keep one spare so the UDP read loop and netpoller never wait for
+	// the runtime's ~10 ms background poll. Scheduling only — simulated
+	// timing is unaffected.
+	if n := runtime.GOMAXPROCS(0); n < len(platforms)+1 {
+		runtime.GOMAXPROCS(len(platforms) + 1)
+	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -80,77 +136,155 @@ func New(platform *fpx.Platform, addr string) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
-		platform: platform,
-		conn:     conn,
-		m:        newServerMetrics(platform.Metrics()),
-		events:   platform.Events(),
+		boards: platforms,
+		conn:   conn,
+		queues: make([]chan job, len(platforms)),
+		m:      newServerMetrics(platforms[0].Metrics()),
+		events: platforms[0].Events(),
 	}
 	s.bufs.New = func() any {
 		b := make([]byte, readBufBytes)
 		return &b
 	}
+	for i := range s.queues {
+		s.queues[i] = make(chan job, queueCap)
+	}
+	platforms[0].Metrics().GaugeFunc("liquid_server_queue_depth",
+		"Commands queued across all board workers (bounded; overflow answers busy).",
+		func() float64 {
+			total := 0
+			for _, q := range s.queues {
+				total += len(q)
+			}
+			return float64(total)
+		})
 	return s, nil
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
-// Metrics returns the node-wide telemetry registry (shared with the
-// platform).
-func (s *Server) Metrics() *metrics.Registry { return s.platform.Metrics() }
+// Boards returns how many platforms this node serves.
+func (s *Server) Boards() int { return len(s.boards) }
+
+// Metrics returns the node-wide telemetry registry (board 0's).
+func (s *Server) Metrics() *metrics.Registry { return s.boards[0].Metrics() }
 
 // Events returns the node-wide structured event log.
 func (s *Server) Events() *eventlog.Log { return s.events }
 
-// Serve processes datagrams until Close is called. It returns nil on
-// clean shutdown. Receive buffers come from a sync.Pool so the loop
-// stays allocation-free and ready for concurrent handling.
+// Serve processes datagrams until Close is called, returning nil on
+// clean shutdown. The read loop only parses the control header (for
+// board routing and telemetry labels) and enqueues; it never waits on
+// a board, so the node stays responsive while programs execute.
+// Receive buffers come from a sync.Pool and are owned by the board
+// worker until the response is sent.
 func (s *Server) Serve() error {
+	for i, p := range s.boards {
+		s.wg.Add(1)
+		go s.worker(i, p, s.queues[i])
+	}
+	var err error
 	for {
 		bufp := s.bufs.Get().(*[]byte)
 		buf := *bufp
-		n, peer, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
+		n, peer, rerr := s.conn.ReadFromUDP(buf)
+		if rerr != nil {
 			s.bufs.Put(bufp)
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed || errors.Is(err, net.ErrClosed) {
-				return nil
+			if !closed && !errors.Is(rerr, net.ErrClosed) {
+				err = fmt.Errorf("server: read: %w", rerr)
 			}
-			return fmt.Errorf("server: read: %w", err)
+			break
 		}
-		if err := s.handle(buf[:n], peer); err != nil {
-			s.events.Warnf("request dropped", "peer", peer, "err", err)
-			s.logf("drop from %v: %v", peer, err)
-		}
+		s.dispatch(bufp, buf[:n], peer)
+	}
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// dispatch routes one datagram to its board queue, applying the
+// drop/backpressure policy. It runs on the read loop and must not
+// block.
+func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
+	s.m.datagramsIn.Inc()
+	s.m.bytesIn.Add(uint64(len(payload)))
+	board := 0
+	cmd := "invalid"
+	var pktCmd uint8 = netproto.CmdStatus
+	if pkt, err := netproto.ParsePacket(payload); err == nil {
+		cmd = netproto.CommandName(pkt.Command)
+		board = int(pkt.Board)
+		pktCmd = pkt.Command
+	}
+	src, ok := ipv4Of(peer.IP)
+	if !ok {
+		// A peer address the synthetic IPv4 frame cannot carry: drop
+		// and count instead of forging a source (the old code silently
+		// coerced non-v4 peers to 127.0.0.1).
+		s.m.drops.With("peer_addr").Inc()
+		s.events.Warnf("unmappable peer address", "peer", peer)
+		s.logf("drop from %v: unmappable peer address", peer)
+		s.bufs.Put(bufp)
+		return
+	}
+	if board >= len(s.boards) {
+		s.m.drops.With("bad_board").Inc()
+		s.replyError(peer, pktCmd, fmt.Sprintf("no board %d on this node (%d boards)", board, len(s.boards)))
+		s.bufs.Put(bufp)
+		return
+	}
+	j := job{bufp: bufp, payload: payload, peer: peer, src: src, cmd: cmd, start: time.Now()}
+	select {
+	case s.queues[board] <- j:
+	default:
+		// Bounded queue full: backpressure, not buffering.
+		s.m.drops.With("busy").Inc()
+		s.replyError(peer, pktCmd, fmt.Sprintf("board %d busy (queue full)", board))
 		s.bufs.Put(bufp)
 	}
 }
 
-// logf feeds the legacy printf hook when installed.
-func (s *Server) logf(format string, args ...any) {
-	if s.Log != nil {
-		s.Log(format, args...)
+// replyError sends a CmdError straight from the read loop (for
+// failures the board worker never sees: bad board, full queue).
+func (s *Server) replyError(peer *net.UDPAddr, cmd uint8, msg string) {
+	pkt := netproto.Packet{
+		Command: netproto.CmdError,
+		Body:    netproto.ErrorResp{Code: cmd, Msg: msg}.Marshal(),
+	}
+	raw := pkt.Marshal()
+	if n, err := s.conn.WriteToUDP(raw, peer); err != nil {
+		s.m.sendErrors.Inc()
+	} else {
+		s.m.datagramsOut.Inc()
+		s.m.bytesOut.Add(uint64(n))
 	}
 }
 
-// handle re-wraps the datagram as the raw frame the FPX would receive,
-// runs the hardware path, and relays response payloads to the peer.
-// Every failure is returned (and counted by reason) rather than
-// silently swallowed.
-func (s *Server) handle(payload []byte, peer *net.UDPAddr) error {
-	start := time.Now()
-	s.m.datagramsIn.Inc()
-	s.m.bytesIn.Add(uint64(len(payload)))
-	cmd := "invalid"
-	if pkt, err := netproto.ParsePacket(payload); err == nil {
-		cmd = netproto.CommandName(pkt.Command)
+// worker drains one board's command queue in arrival order.
+func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
+	defer s.wg.Done()
+	for j := range queue {
+		if err := s.process(p, j); err != nil {
+			s.events.Warnf("request dropped", "peer", j.peer, "board", board, "err", err)
+			s.logf("drop from %v: %v", j.peer, err)
+		}
+		s.bufs.Put(j.bufp)
 	}
+}
 
-	src := ipv4Of(peer.IP)
-	frame := netproto.BuildFrame(src, s.platform.IP, uint16(peer.Port), s.platform.Port, payload)
-	outs, err := s.platform.HandleFrame(frame)
+// process re-wraps the datagram as the raw frame the FPX would
+// receive, runs the hardware path, and relays response payloads to the
+// peer. Every failure is returned (and counted by reason) rather than
+// silently swallowed.
+func (s *Server) process(p *fpx.Platform, j job) error {
+	frame := netproto.BuildFrame(j.src, p.IP, uint16(j.peer.Port), p.Port, j.payload)
+	outs, err := p.HandleFrame(frame)
 	if err != nil {
 		s.m.drops.With("platform").Inc()
 		return err
@@ -164,32 +298,43 @@ func (s *Server) handle(payload []byte, peer *net.UDPAddr) error {
 			s.m.drops.With("response_parse").Inc()
 			return fmt.Errorf("server: generated response unparseable: %w", err)
 		}
-		n, err := s.conn.WriteToUDP(f.Payload, peer)
+		n, err := s.conn.WriteToUDP(f.Payload, j.peer)
 		if err != nil {
 			s.m.sendErrors.Inc()
-			return fmt.Errorf("server: send to %v: %w", peer, err)
+			return fmt.Errorf("server: send to %v: %w", j.peer, err)
 		}
 		s.m.datagramsOut.Inc()
 		s.m.bytesOut.Add(uint64(n))
 	}
-	s.m.handleDur.With(cmd).ObserveSince(start)
-	s.events.Debugf("handled", "peer", peer, "cmd", cmd, "bytes", len(payload), "responses", len(outs))
-	s.logf("%v: %d byte request, %d responses", peer, len(payload), len(outs))
+	s.m.handleDur.With(j.cmd).ObserveSince(j.start)
+	s.events.Debugf("handled", "peer", j.peer, "cmd", j.cmd, "bytes", len(j.payload), "responses", len(outs))
+	s.logf("%v: %d byte request, %d responses", j.peer, len(j.payload), len(outs))
 	return nil
 }
 
-// ipv4Of coerces an IP to 4 bytes (loopback-mapped for IPv6).
-func ipv4Of(ip net.IP) [4]byte {
-	var out [4]byte
-	if v4 := ip.To4(); v4 != nil {
-		copy(out[:], v4)
-	} else {
-		out = [4]byte{127, 0, 0, 1}
+// logf feeds the legacy printf hook when installed.
+func (s *Server) logf(format string, args ...any) {
+	if s.Log != nil {
+		s.Log(format, args...)
 	}
-	return out
 }
 
-// Close shuts the server down; Serve returns afterwards.
+// ipv4Of maps an IP to 4 bytes for the synthetic frame source.
+// IPv4 and IPv4-mapped-IPv6 peers map exactly; anything else reports
+// false (counted as drops{peer_addr} by the caller) instead of being
+// forged into a loopback source.
+func ipv4Of(ip net.IP) ([4]byte, bool) {
+	var out [4]byte
+	v4 := ip.To4()
+	if v4 == nil {
+		return out, false
+	}
+	copy(out[:], v4)
+	return out, true
+}
+
+// Close shuts the server down; Serve returns afterwards (after the
+// board workers drain their queues).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -14,9 +15,17 @@ import (
 	"liquidarch/internal/netproto"
 )
 
-// startServer boots a LEON platform and serves it on loopback.
-func startServer(t *testing.T) (*Server, string) {
+// restoreGOMAXPROCS undoes the node's scheduler-thread bump at test
+// cleanup, so benchmarks report against a stable GOMAXPROCS.
+func restoreGOMAXPROCS(t testing.TB) {
+	prev := runtime.GOMAXPROCS(0)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// newBoard boots one LEON platform wrapped in its per-board actor.
+func newBoard(t testing.TB, ip [4]byte) *fpx.Platform {
 	t.Helper()
+	restoreGOMAXPROCS(t)
 	soc, err := leon.New(leon.DefaultConfig(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -25,11 +34,14 @@ func startServer(t *testing.T) (*Server, string) {
 	if err := ctrl.Boot(); err != nil {
 		t.Fatal(err)
 	}
-	platform := fpx.New(ctrl, [4]byte{10, 0, 0, 2}, 5001)
-	srv, err := New(platform, "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
+	actrl := leon.NewAsyncController(ctrl)
+	t.Cleanup(actrl.Close)
+	return fpx.New(actrl, ip, 5001)
+}
+
+// serveNode runs srv until test cleanup.
+func serveNode(t testing.TB, srv *Server) string {
+	t.Helper()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve() }()
 	t.Cleanup(func() {
@@ -43,10 +55,34 @@ func startServer(t *testing.T) (*Server, string) {
 			t.Error("Serve did not stop")
 		}
 	})
-	return srv, srv.Addr().String()
+	return srv.Addr().String()
 }
 
-func dial(t *testing.T, addr string) *client.Client {
+// startServer boots a LEON platform and serves it on loopback.
+func startServer(t testing.TB) (*Server, string) {
+	t.Helper()
+	srv, err := New(newBoard(t, [4]byte{10, 0, 0, 2}), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, serveNode(t, srv)
+}
+
+// startNode boots an n-board node on loopback.
+func startNode(t testing.TB, n int) (*Server, string) {
+	t.Helper()
+	boards := make([]*fpx.Platform, n)
+	for i := range boards {
+		boards[i] = newBoard(t, [4]byte{10, 0, 0, byte(2 + i)})
+	}
+	srv, err := NewNode("127.0.0.1:0", boards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, serveNode(t, srv)
+}
+
+func dial(t testing.TB, addr string) *client.Client {
 	t.Helper()
 	c, err := client.Dial(addr)
 	if err != nil {
