@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-net vet fmt-check bench bench-smoke ci
+.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke ci
 
 all: build
 
@@ -23,6 +23,39 @@ race:
 race-net:
 	$(GO) test -race -count=2 ./internal/leon/... ./internal/fpx/... ./internal/server/... ./internal/client/...
 
+# chaos runs the deterministic fault-injection suite under the race
+# detector: the injector/proxy unit tests, the seeded end-to-end storms
+# (TestControlPlaneUnderChaos / TestNodeUnderChaos: full sessions
+# through 20% loss + reorder + dup, bit-identical results required),
+# the scripted load-resumption and dedup regressions, and the client
+# retry/backoff tests.
+chaos:
+	$(GO) test -race ./internal/chaos/...
+	$(GO) test -race -run 'Chaos|Retransmit|Resume|Suppressed|Dedup|Backoff|Jitter|WaitResult|LoadError|WrongBoard|StaleSeq' \
+		./internal/server/... ./internal/client/... ./internal/fpx/...
+
+# fuzz-smoke gives each native fuzz target a few seconds on top of the
+# committed corpus (testdata/fuzz); `go test -fuzz` grows it locally.
+fuzz-smoke:
+	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParsePacket -fuzztime 5s
+	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParseLoadChunk -fuzztime 5s
+	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParseRunReport -fuzztime 5s
+
+# cover-gate fails if statement coverage of the transport packages —
+# the ones the chaos work hardens — drops below the floor.
+COVER_MIN ?= 80
+COVER_PKGS = ./internal/client ./internal/server
+
+cover-gate:
+	@set -e; for p in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=.cover.tmp $$p >/dev/null; \
+		pct=$$($(GO) tool cover -func=.cover.tmp | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		rm -f .cover.tmp; \
+		echo "coverage $$p: $$pct% (floor $(COVER_MIN)%)"; \
+		awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN{exit !(p>=m)}' || { \
+			echo "FAIL: coverage of $$p below $(COVER_MIN)%"; exit 1; }; \
+	done
+
 vet:
 	$(GO) vet ./...
 
@@ -41,4 +74,4 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: fmt-check vet build race race-net bench-smoke
+ci: fmt-check vet build race race-net chaos cover-gate bench-smoke

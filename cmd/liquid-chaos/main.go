@@ -1,0 +1,157 @@
+// liquid-chaos is a deterministic UDP fault-injection proxy for the
+// §2.6 control plane: put it between liquidctl (or any client) and a
+// liquid-server, and it drops, duplicates, reorders, delays and
+// truncates control packets at seeded rates — the Internet, bottled.
+// With a pinned -seed the injected fault sequence is reproducible, so
+// a soak failure can be replayed exactly.
+//
+// Usage:
+//
+//	liquid-chaos -listen 127.0.0.1:5002 -target 127.0.0.1:5001 \
+//	    [-seed 1] [-drop 0.2] [-dup 0.05] [-reorder 0.1] \
+//	    [-truncate 0.01] [-delay 0.05 -delay-min 1ms -delay-max 20ms] \
+//	    [-script 'up:load@3=drop,down:start=dup'] \
+//	    [-metrics-addr 127.0.0.1:9091]
+//
+// The random rates apply symmetrically to both directions unless
+// overridden per direction (-up-drop, -down-drop, and so on for every
+// fault). -script adds surgical rules on top (see internal/chaos
+// ParseScript for the grammar). With -metrics-addr the proxy exposes
+// its injection counters at /metrics and /statusz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"liquidarch/internal/chaos"
+	"liquidarch/internal/cliutil"
+	"liquidarch/internal/metrics"
+)
+
+func main() {
+	fs := flag.NewFlagSet("liquid-chaos", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:5002", "UDP address clients connect to")
+	target := fs.String("target", "127.0.0.1:5001", "liquid-server address to relay to")
+	seed := fs.Int64("seed", 1, "fault-sequence seed (pin it to replay a soak)")
+	script := fs.String("script", "", "surgical rules, e.g. 'up:load@3=drop,down:start=dup'")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and /statusz (empty = disabled)")
+
+	both := symmetricFaults(fs, "", "both directions")
+	up := symmetricFaults(fs, "up-", "client→server only (overrides the symmetric rate)")
+	down := symmetricFaults(fs, "down-", "server→client only (overrides the symmetric rate)")
+	fs.Parse(os.Args[1:])
+
+	rules, err := chaos.ParseScript(*script)
+	if err != nil {
+		cliutil.Fatalf("liquid-chaos: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := chaos.Config{
+		Seed:     *seed,
+		Up:       overlay(both.value(), up),
+		Down:     overlay(both.value(), down),
+		Script:   rules,
+		Registry: reg,
+	}
+	proxy, err := chaos.NewProxy(*listen, *target, cfg)
+	if err != nil {
+		cliutil.Fatalf("liquid-chaos: %v", err)
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			cliutil.Fatalf("liquid-chaos: metrics listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, metrics.NewHTTPHandler(reg, nil)); err != nil {
+				log.Printf("liquid-chaos: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("liquid-chaos: telemetry on http://%s/metrics\n", ln.Addr())
+	}
+	fmt.Printf("liquid-chaos: %s → %s  seed=%d  up=%+v  down=%+v  rules=%d\n",
+		proxy.Addr(), *target, *seed, cfg.Up, cfg.Down, len(rules))
+	if err := proxy.Serve(); err != nil {
+		cliutil.Fatalf("liquid-chaos: %v", err)
+	}
+}
+
+// faultFlags holds one direction's flag set; nil-valued flags fall
+// back to the symmetric rate.
+type faultFlags struct {
+	drop, dup, reorder, truncate, delay *float64
+	dmin, dmax                          *string
+	set                                 map[string]bool
+	fs                                  *flag.FlagSet
+	prefix                              string
+}
+
+// symmetricFaults registers one direction's fault-rate flags.
+func symmetricFaults(fs *flag.FlagSet, prefix, scope string) *faultFlags {
+	f := &faultFlags{fs: fs, prefix: prefix}
+	f.drop = fs.Float64(prefix+"drop", 0, "drop probability, "+scope)
+	f.dup = fs.Float64(prefix+"dup", 0, "duplicate probability, "+scope)
+	f.reorder = fs.Float64(prefix+"reorder", 0, "reorder probability, "+scope)
+	f.truncate = fs.Float64(prefix+"truncate", 0, "truncate probability, "+scope)
+	f.delay = fs.Float64(prefix+"delay", 0, "delay probability, "+scope)
+	f.dmin = fs.String(prefix+"delay-min", "1ms", "minimum injected delay, "+scope)
+	f.dmax = fs.String(prefix+"delay-max", "20ms", "maximum injected delay, "+scope)
+	return f
+}
+
+// value materializes the direction's Faults.
+func (f *faultFlags) value() chaos.Faults {
+	out := chaos.Faults{
+		Drop:     *f.drop,
+		Dup:      *f.dup,
+		Reorder:  *f.reorder,
+		Truncate: *f.truncate,
+		Delay:    *f.delay,
+	}
+	out.DelayMin = cliutil.MustDuration(*f.dmin)
+	out.DelayMax = cliutil.MustDuration(*f.dmax)
+	return out
+}
+
+// visited reports whether any flag with this prefix+name was set
+// explicitly on the command line.
+func (f *faultFlags) visited(name string) bool {
+	if f.set == nil {
+		f.set = make(map[string]bool)
+		f.fs.Visit(func(fl *flag.Flag) { f.set[fl.Name] = true })
+	}
+	return f.set[f.prefix+name]
+}
+
+// overlay starts from the symmetric rates and applies any per-direction
+// overrides that were set explicitly.
+func overlay(base chaos.Faults, dir *faultFlags) chaos.Faults {
+	out := base
+	if dir.visited("drop") {
+		out.Drop = *dir.drop
+	}
+	if dir.visited("dup") {
+		out.Dup = *dir.dup
+	}
+	if dir.visited("reorder") {
+		out.Reorder = *dir.reorder
+	}
+	if dir.visited("truncate") {
+		out.Truncate = *dir.truncate
+	}
+	if dir.visited("delay") {
+		out.Delay = *dir.delay
+	}
+	if dir.visited("delay-min") {
+		out.DelayMin = cliutil.MustDuration(*dir.dmin)
+	}
+	if dir.visited("delay-max") {
+		out.DelayMax = cliutil.MustDuration(*dir.dmax)
+	}
+	return out
+}

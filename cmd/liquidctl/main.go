@@ -15,7 +15,10 @@
 //	liquidctl -server HOST:PORT stats      # telemetry snapshot (JSON)
 //
 // Every verb accepts -board N to address a board other than 0 on a
-// multi-board node (liquid-server -boards). start is asynchronous on
+// multi-board node (liquid-server -boards), plus retry knobs for lossy
+// networks: -timeout, -max-timeout, -retries, -backoff, -jitter and
+// -wait-timeout (zero values keep the client defaults).
+// start is asynchronous on
 // the wire: it acks as soon as the board begins executing, then (with
 // -wait, the default) polls until completion and prints the report;
 // with -wait=false it returns immediately and `liquidctl result`
@@ -54,6 +57,12 @@ func main() {
 	sSrc := fs.String("s", "", "assembly source to build and run")
 	mac := fs.Bool("mac", false, "allow the __mac builtin when compiling")
 	spec := fs.String("spec", "", "JSON configuration spec for reconfigure")
+	timeout := fs.Duration("timeout", 0, "per-attempt response timeout (0 = client default)")
+	maxTimeout := fs.Duration("max-timeout", 0, "backoff cap on the per-attempt timeout (0 = client default)")
+	retries := fs.Int("retries", -1, "retransmissions per exchange after the first attempt (-1 = client default)")
+	backoff := fs.Float64("backoff", 0, "timeout growth factor between attempts (0 = client default)")
+	jitter := fs.Float64("jitter", 0, "± randomisation applied to each backoff wait (0 = client default, negative = none)")
+	waitTimeout := fs.Duration("wait-timeout", 0, "overall budget for waiting on a run result (0 = client default)")
 
 	if len(os.Args) < 2 {
 		cliutil.Fatalf("liquidctl: no command; see source header for usage")
@@ -90,6 +99,24 @@ func main() {
 		cliutil.Fatalf("liquidctl: board %d out of range (0..255)", *board)
 	}
 	c.Board = uint8(*board)
+	if *timeout > 0 {
+		c.Timeout = *timeout
+	}
+	if *maxTimeout > 0 {
+		c.MaxTimeout = *maxTimeout
+	}
+	if *retries >= 0 {
+		c.Retries = *retries
+	}
+	if *backoff > 0 {
+		c.BackoffFactor = *backoff
+	}
+	if *jitter != 0 {
+		c.Jitter = *jitter
+	}
+	if *waitTimeout > 0 {
+		c.WaitTimeout = *waitTimeout
+	}
 
 	switch verb {
 	case "status":

@@ -1,0 +1,306 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/netproto"
+)
+
+// pkt builds a marshalled control packet carrying cmd, so scripted
+// rules (which match on the command label) can see it.
+func pkt(cmd uint8, body ...byte) []byte {
+	return netproto.Packet{Command: cmd, Body: body}.Marshal()
+}
+
+// applySeq runs n packets through a fresh injector and returns a
+// compact transcript of what came out — the determinism fingerprint.
+func applySeq(t *testing.T, seed int64, f Faults, n int) string {
+	t.Helper()
+	inj := newInjector(Up, f, nil, seed, nil)
+	var out bytes.Buffer
+	for i := 0; i < n; i++ {
+		now, later := inj.apply(pkt(netproto.CmdStatus, byte(i), byte(i>>8)))
+		fmt.Fprintf(&out, "%d:", i)
+		for _, p := range now {
+			fmt.Fprintf(&out, " %x", p)
+		}
+		for _, d := range later {
+			fmt.Fprintf(&out, " delay(%v)=%x", d.after, d.payload)
+		}
+		out.WriteByte('\n')
+	}
+	if tail := inj.flush(); tail != nil {
+		fmt.Fprintf(&out, "flush %x\n", tail)
+	}
+	return out.String()
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	f := Faults{Drop: 0.2, Dup: 0.1, Reorder: 0.15, Truncate: 0.1,
+		Delay: 0.1, DelayMin: time.Millisecond, DelayMax: 5 * time.Millisecond}
+	a := applySeq(t, 42, f, 500)
+	b := applySeq(t, 42, f, 500)
+	if a != b {
+		t.Fatalf("same seed produced different fault sequences")
+	}
+	c := applySeq(t, 43, f, 500)
+	if a == c {
+		t.Fatalf("different seeds produced identical fault sequences")
+	}
+}
+
+func TestDirectionsDoNotMirror(t *testing.T) {
+	f := Faults{Drop: 0.5}
+	up := newInjector(Up, f, nil, 7, nil)
+	down := newInjector(Down, f, nil, 7, nil)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := pkt(netproto.CmdStatus)
+		un, _ := up.apply(p)
+		dn, _ := down.apply(p)
+		if (len(un) == 0) == (len(dn) == 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("up and down injectors mirrored all %d decisions", n)
+	}
+}
+
+func TestDropRateApproximate(t *testing.T) {
+	inj := newInjector(Up, Faults{Drop: 0.2}, nil, 1, nil)
+	dropped := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		now, _ := inj.apply(pkt(netproto.CmdStatus))
+		if len(now) == 0 {
+			dropped++
+		}
+	}
+	if dropped < n/10 || dropped > 3*n/10 {
+		t.Fatalf("drop rate 0.2 dropped %d/%d packets", dropped, n)
+	}
+}
+
+func TestReorderSwapsAdjacent(t *testing.T) {
+	// Reorder=1 holds the first packet; the second cannot be held
+	// (slot busy) and releases the first right behind itself.
+	inj := newInjector(Up, Faults{Reorder: 1}, nil, 1, nil)
+	p1, p2 := pkt(netproto.CmdStatus, 1), pkt(netproto.CmdStatus, 2)
+	now, _ := inj.apply(p1)
+	if len(now) != 0 {
+		t.Fatalf("first packet should be held, got %d payloads", len(now))
+	}
+	now, _ = inj.apply(p2)
+	if len(now) != 2 || !bytes.Equal(now[0], p2) || !bytes.Equal(now[1], p1) {
+		t.Fatalf("expected swapped order [p2 p1], got %x", now)
+	}
+}
+
+func TestDupDelivesTwice(t *testing.T) {
+	inj := newInjector(Up, Faults{Dup: 1}, nil, 1, nil)
+	p := pkt(netproto.CmdStatus, 9)
+	now, _ := inj.apply(p)
+	if len(now) != 2 || !bytes.Equal(now[0], p) || !bytes.Equal(now[1], p) {
+		t.Fatalf("dup=1 should deliver twice, got %x", now)
+	}
+}
+
+func TestApplyCopiesInput(t *testing.T) {
+	inj := newInjector(Up, Faults{}, nil, 1, nil)
+	buf := pkt(netproto.CmdStatus, 7)
+	now, _ := inj.apply(buf)
+	want := append([]byte(nil), buf...)
+	for i := range buf {
+		buf[i] = 0xEE // caller reuses its buffer
+	}
+	if len(now) != 1 || !bytes.Equal(now[0], want) {
+		t.Fatalf("injector aliased the caller's buffer")
+	}
+}
+
+func TestFlushReleasesHeld(t *testing.T) {
+	inj := newInjector(Up, Faults{Reorder: 1}, nil, 1, nil)
+	p := pkt(netproto.CmdStatus, 3)
+	inj.apply(p)
+	if got := inj.flush(); !bytes.Equal(got, p) {
+		t.Fatalf("flush returned %x, want held packet", got)
+	}
+	if got := inj.flush(); got != nil {
+		t.Fatalf("second flush returned %x, want nil", got)
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	if err := (Faults{Drop: 1.5}).Validate(); err == nil {
+		t.Fatalf("drop=1.5 validated")
+	}
+	if err := (Faults{Delay: 0.5, DelayMin: -time.Second}).Validate(); err == nil {
+		t.Fatalf("negative delay bound validated")
+	}
+	if err := (Faults{Drop: 0.2, Dup: 1}).Validate(); err != nil {
+		t.Fatalf("valid faults rejected: %v", err)
+	}
+}
+
+func TestScriptedRuleOverridesRandom(t *testing.T) {
+	// Random rates say drop everything; the scripted dup rule wins for
+	// its command.
+	rules, err := ParseScript("up:start=dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(Up, Faults{Drop: 1}, rules, 1, nil)
+	now, _ := inj.apply(pkt(netproto.CmdStartLEON))
+	if len(now) != 2 {
+		t.Fatalf("scripted dup should override random drop, got %d payloads", len(now))
+	}
+	now, _ = inj.apply(pkt(netproto.CmdStatus))
+	if len(now) != 0 {
+		t.Fatalf("unscripted command should still hit the random drop")
+	}
+}
+
+func TestScriptNthSemantics(t *testing.T) {
+	rules, err := ParseScript("up:load@3=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(Up, Faults{}, rules, 1, nil)
+	var survived []int
+	for i := 1; i <= 5; i++ {
+		now, _ := inj.apply(pkt(netproto.CmdLoadProgram))
+		if len(now) > 0 {
+			survived = append(survived, i)
+		}
+	}
+	want := []int{1, 2, 4, 5}
+	if fmt.Sprint(survived) != fmt.Sprint(want) {
+		t.Fatalf("@3 drop: survived %v, want %v", survived, want)
+	}
+}
+
+func TestScriptFromSemantics(t *testing.T) {
+	rules, err := ParseScript("up:load@3+=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(Up, Faults{}, rules, 1, nil)
+	var survived []int
+	for i := 1; i <= 6; i++ {
+		now, _ := inj.apply(pkt(netproto.CmdLoadProgram))
+		if len(now) > 0 {
+			survived = append(survived, i)
+		}
+	}
+	if fmt.Sprint(survived) != fmt.Sprint([]int{1, 2}) {
+		t.Fatalf("@3+ drop: survived %v, want [1 2]", survived)
+	}
+}
+
+func TestScriptDirectionIsolated(t *testing.T) {
+	rules, err := ParseScript("down:result@1=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := newInjector(Up, Faults{}, rules, 1, nil)
+	if now, _ := up.apply(pkt(netproto.CmdResult)); len(now) != 1 {
+		t.Fatalf("down rule fired in the up direction")
+	}
+	down := newInjector(Down, Faults{}, rules, 1, nil)
+	if now, _ := down.apply(pkt(netproto.CmdResult | netproto.RespFlag)); len(now) != 0 {
+		t.Fatalf("down rule missed the first result response")
+	}
+}
+
+func TestScriptTruncAndDelay(t *testing.T) {
+	rules, err := ParseScript("up:writemem=trunc:3, up:readmem=delay:40ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(Up, Faults{}, rules, 1, nil)
+	now, _ := inj.apply(pkt(netproto.CmdWriteMemory, 1, 2, 3, 4))
+	if len(now) != 1 || len(now[0]) != 3 {
+		t.Fatalf("trunc:3 kept %d bytes", len(now[0]))
+	}
+	now, later := inj.apply(pkt(netproto.CmdReadMemory))
+	if len(now) != 0 || len(later) != 1 || later[0].after != 40*time.Millisecond {
+		t.Fatalf("delay:40ms gave now=%d later=%v", len(now), later)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	for _, bad := range []string{
+		"load=drop",          // missing direction
+		"sideways:load=drop", // bad direction
+		"up:=drop",           // empty command
+		"up:load",            // missing '='
+		"up:load=explode",    // unknown action
+		"up:load@0=drop",     // occurrence < 1
+		"up:load@x=drop",     // non-numeric occurrence
+		"up:load=trunc:-1",   // negative byte count
+		"up:load=trunc:zz",   // non-numeric byte count
+		"up:load=delay:soon", // bad duration
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted", bad)
+		}
+	}
+	if rules, err := ParseScript("  "); err != nil || rules != nil {
+		t.Errorf("blank script: rules=%v err=%v", rules, err)
+	}
+	rules, err := ParseScript("up:load@3=drop, down:start=dup")
+	if err != nil || len(rules) != 2 {
+		t.Fatalf("two-rule script: rules=%v err=%v", rules, err)
+	}
+	if rules[0].Action.String() != "drop" || rules[1].Action.String() != "dup" {
+		t.Fatalf("actions %v/%v", rules[0].Action, rules[1].Action)
+	}
+}
+
+func TestNonLiquidPayloadBypassesScript(t *testing.T) {
+	rules, _ := ParseScript("up:status=drop")
+	inj := newInjector(Up, Faults{}, rules, 1, nil)
+	raw := []byte("not a control packet")
+	now, _ := inj.apply(raw)
+	if len(now) != 1 || !bytes.Equal(now[0], raw) {
+		t.Fatalf("non-Liquid payload should pass untouched")
+	}
+}
+
+func TestInjectionMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rules, _ := ParseScript("up:start=dup")
+	inj := newInjector(Up, Faults{Drop: 1}, rules, 1, reg)
+	inj.apply(pkt(netproto.CmdStatus))    // random drop
+	inj.apply(pkt(netproto.CmdStartLEON)) // scripted dup
+	snap := reg.Snapshot()
+	if got := snap.Counter(`liquid_chaos_packets_total{dir="up"}`); got != 2 {
+		t.Fatalf("packets counter = %d, want 2", got)
+	}
+	if got := snap.Counter(`liquid_chaos_injected_total{event="up_drop"}`); got != 1 {
+		t.Fatalf("drop counter = %d, want 1", got)
+	}
+	if got := snap.Counter(`liquid_chaos_injected_total{event="up_dup"}`); got != 1 {
+		t.Fatalf("dup counter = %d, want 1", got)
+	}
+}
+
+func TestDelayDurationBounds(t *testing.T) {
+	f := Faults{Delay: 1, DelayMin: 2 * time.Millisecond, DelayMax: 8 * time.Millisecond}
+	inj := newInjector(Up, f, nil, 1, nil)
+	for i := 0; i < 200; i++ {
+		_, later := inj.apply(pkt(netproto.CmdStatus))
+		if len(later) != 1 {
+			t.Fatalf("delay=1 did not delay packet %d", i)
+		}
+		if d := later[0].after; d < 2*time.Millisecond || d >= 8*time.Millisecond {
+			t.Fatalf("delay %v outside [2ms,8ms)", d)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"net"
+	"time"
+)
+
+// queued is one inbound packet awaiting delivery to a reader.
+type queued struct {
+	payload []byte
+	addr    net.Addr
+}
+
+// Conn wraps any net.PacketConn with the deterministic fault layer:
+// writes pass through the Up injector, reads through the Down
+// injector. It implements net.PacketConn, so a component built
+// against the interface can be run over a faulty transport without
+// touching its code.
+//
+// Delay on the read side is realized as a reorder-hold (the packet is
+// released after the next one), since a blocking ReadFrom cannot
+// schedule an out-of-band delivery; on the write side delayed packets
+// are written by a timer goroutine.
+type Conn struct {
+	inner net.PacketConn
+	up    *injector
+	down  *injector
+	// pending holds read-side packets the injector released beyond
+	// the one being returned (duplicates, released reorders).
+	pending []queued
+}
+
+// WrapPacketConn layers chaos over an existing PacketConn.
+func WrapPacketConn(inner net.PacketConn, cfg Config) *Conn {
+	downFaults := cfg.Down
+	if downFaults.Delay > 0 {
+		// Map read-side delay onto reorder: hold now, release after
+		// the next packet.
+		downFaults.Reorder += downFaults.Delay
+		downFaults.Delay = 0
+	}
+	return &Conn{
+		inner: inner,
+		up:    newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
+		down:  newInjector(Down, downFaults, cfg.Script, cfg.Seed, cfg.Registry),
+	}
+}
+
+// ReadFrom delivers the next surviving inbound packet.
+func (c *Conn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		if len(c.pending) > 0 {
+			q := c.pending[0]
+			c.pending = c.pending[1:]
+			n := copy(p, q.payload)
+			return n, q.addr, nil
+		}
+		buf := make([]byte, 64<<10)
+		n, addr, err := c.inner.ReadFrom(buf)
+		if err != nil {
+			return 0, addr, err
+		}
+		outs, _ := c.down.apply(buf[:n])
+		for _, o := range outs {
+			c.pending = append(c.pending, queued{payload: o, addr: addr})
+		}
+	}
+}
+
+// WriteTo sends p through the fault layer. The reported byte count is
+// len(p) whenever the packet was accepted by the layer, even if the
+// layer then dropped it — exactly what a real lossy network reports.
+func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	outs, later := c.up.apply(p)
+	for _, o := range outs {
+		if _, err := c.inner.WriteTo(o, addr); err != nil {
+			return 0, err
+		}
+	}
+	for _, d := range later {
+		d := d
+		time.AfterFunc(d.after, func() {
+			c.inner.WriteTo(d.payload, addr) //nolint:errcheck // best effort, like the network
+		})
+	}
+	return len(p), nil
+}
+
+// Close closes the underlying conn (any held reordered packet is
+// discarded, as a real path teardown would).
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// SetDeadline forwards to the underlying conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline forwards to the underlying conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the underlying conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"liquidarch/internal/netproto"
+)
+
+// udpPair returns two loopback UDP sockets that can talk to each
+// other, closed at test end.
+func udpPair(t *testing.T) (a, b net.PacketConn) {
+	t.Helper()
+	var err error
+	a, err = net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestConnPassThrough(t *testing.T) {
+	inner, peer := udpPair(t)
+	c := WrapPacketConn(inner, Config{Seed: 1})
+	msg := pkt(netproto.CmdStatus, 0xAB)
+	if n, err := c.WriteTo(msg, peer.LocalAddr()); err != nil || n != len(msg) {
+		t.Fatalf("WriteTo = %d, %v", n, err)
+	}
+	buf := make([]byte, 1024)
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := peer.ReadFrom(buf)
+	if err != nil || !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("peer read %x, %v", buf[:n], err)
+	}
+}
+
+func TestConnUpDup(t *testing.T) {
+	inner, peer := udpPair(t)
+	c := WrapPacketConn(inner, Config{Seed: 1, Up: Faults{Dup: 1}})
+	msg := pkt(netproto.CmdStartLEON)
+	if _, err := c.WriteTo(msg, peer.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	for i := 0; i < 2; i++ {
+		peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := peer.ReadFrom(buf)
+		if err != nil || !bytes.Equal(buf[:n], msg) {
+			t.Fatalf("copy %d: read %x, %v", i, buf[:n], err)
+		}
+	}
+}
+
+func TestConnUpDropReportsFullWrite(t *testing.T) {
+	inner, peer := udpPair(t)
+	c := WrapPacketConn(inner, Config{Seed: 1, Up: Faults{Drop: 1}})
+	msg := pkt(netproto.CmdStatus)
+	n, err := c.WriteTo(msg, peer.LocalAddr())
+	if err != nil || n != len(msg) {
+		t.Fatalf("dropped write reported (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 1024)
+	if n, _, err := peer.ReadFrom(buf); err == nil {
+		t.Fatalf("dropped packet arrived anyway: %x", buf[:n])
+	}
+}
+
+func TestConnDownScriptedDrop(t *testing.T) {
+	inner, peer := udpPair(t)
+	rules, err := ParseScript("down:status@1=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := WrapPacketConn(inner, Config{Seed: 1, Script: rules})
+	first := pkt(netproto.CmdStatus, 1)
+	second := pkt(netproto.CmdStatus, 2)
+	if _, err := peer.WriteTo(first, inner.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.WriteTo(second, inner.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1024)
+	n, _, err := c.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], second) {
+		t.Fatalf("read %x, want the second packet (first scripted away)", buf[:n])
+	}
+}
+
+func TestConnReadDelayBecomesReorder(t *testing.T) {
+	inner, peer := udpPair(t)
+	c := WrapPacketConn(inner, Config{Seed: 1, Down: Faults{
+		Delay: 1, DelayMin: time.Millisecond, DelayMax: 2 * time.Millisecond}})
+	p1, p2 := pkt(netproto.CmdStatus, 1), pkt(netproto.CmdStatus, 2)
+	if _, err := peer.WriteTo(p1, inner.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	// Make sure p1 is queued in the kernel before p2 so arrival order
+	// is deterministic on loopback.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := peer.WriteTo(p2, inner.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1024)
+	n, _, err := c.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], p2) {
+		t.Fatalf("first read %x, want p2 (p1 held by mapped delay)", buf[:n])
+	}
+	n, _, err = c.ReadFrom(buf)
+	if err != nil || !bytes.Equal(buf[:n], p1) {
+		t.Fatalf("second read %x, %v, want held p1", buf[:n], err)
+	}
+}
+
+func TestConnImplementsPacketConn(t *testing.T) {
+	inner, _ := udpPair(t)
+	var c net.PacketConn = WrapPacketConn(inner, Config{Seed: 1})
+	if c.LocalAddr().String() != inner.LocalAddr().String() {
+		t.Fatalf("LocalAddr %v != inner %v", c.LocalAddr(), inner.LocalAddr())
+	}
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

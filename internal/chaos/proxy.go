@@ -1,0 +1,189 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a standalone UDP chaos relay: clients send control packets
+// to the proxy's listen address, the proxy forwards them to the target
+// server through the Up injector, and relays responses back through
+// the Down injector. One proxy serves any number of concurrent
+// clients, each over its own upstream socket so the server still sees
+// one source address per client.
+//
+// This is the same layer the liquid-chaos command runs between a real
+// liquidctl and a real liquid-server; tests embed it in-process.
+type Proxy struct {
+	listen *net.UDPConn
+	target *net.UDPAddr
+	up     *injector
+	down   *injector
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// session is one client's relay state.
+type session struct {
+	peer *net.UDPAddr // the client, on the listen socket
+	out  *net.UDPConn // our socket toward the target
+}
+
+// NewProxy binds listenAddr (e.g. "127.0.0.1:0") and relays to
+// targetAddr with the configured faults.
+func NewProxy(listenAddr, targetAddr string, cfg Config) (*Proxy, error) {
+	if err := cfg.Up.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Down.Validate(); err != nil {
+		return nil, err
+	}
+	la, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen addr: %w", err)
+	}
+	ta, err := net.ResolveUDPAddr("udp", targetAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: target addr: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return &Proxy{
+		listen:   conn,
+		target:   ta,
+		up:       newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
+		down:     newInjector(Down, cfg.Down, cfg.Script, cfg.Seed, cfg.Registry),
+		sessions: make(map[string]*session),
+	}, nil
+}
+
+// Addr returns the bound listen address — point clients here.
+func (p *Proxy) Addr() *net.UDPAddr { return p.listen.LocalAddr().(*net.UDPAddr) }
+
+// Serve relays datagrams until Close, returning nil on clean shutdown.
+func (p *Proxy) Serve() error {
+	buf := make([]byte, 64<<10)
+	var err error
+	for {
+		n, peer, rerr := p.listen.ReadFromUDP(buf)
+		if rerr != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if !closed && !errors.Is(rerr, net.ErrClosed) {
+				err = fmt.Errorf("chaos: read: %w", rerr)
+			}
+			break
+		}
+		s, serr := p.sessionFor(peer)
+		if serr != nil {
+			continue // cannot relay for this peer; drop like the network would
+		}
+		outs, later := p.up.apply(buf[:n])
+		for _, o := range outs {
+			s.out.Write(o) //nolint:errcheck // lossy by design
+		}
+		p.schedule(later, func(b []byte) { s.out.Write(b) }) //nolint:errcheck
+	}
+	p.wg.Wait()
+	return err
+}
+
+// sessionFor returns (or creates) the relay session for a client.
+func (p *Proxy) sessionFor(peer *net.UDPAddr) (*session, error) {
+	key := peer.String()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("chaos: proxy closed")
+	}
+	if s, ok := p.sessions[key]; ok {
+		return s, nil
+	}
+	out, err := net.DialUDP("udp", nil, p.target)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{peer: peer, out: out}
+	p.sessions[key] = s
+	p.wg.Add(1)
+	go p.downstream(s)
+	return s, nil
+}
+
+// downstream relays one client's responses back through the Down
+// injector.
+func (p *Proxy) downstream(s *session) {
+	defer p.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := s.out.Read(buf)
+		if err != nil {
+			return
+		}
+		outs, later := p.down.apply(buf[:n])
+		for _, o := range outs {
+			p.listen.WriteToUDP(o, s.peer) //nolint:errcheck // lossy by design
+		}
+		p.schedule(later, func(b []byte) { p.listen.WriteToUDP(b, s.peer) }) //nolint:errcheck
+	}
+}
+
+// schedule delivers delayed packets via timers.
+func (p *Proxy) schedule(later []delayed, write func([]byte)) {
+	for _, d := range later {
+		d := d
+		p.wg.Add(1)
+		time.AfterFunc(d.after, func() {
+			defer p.wg.Done()
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if !closed {
+				write(d.payload)
+			}
+		})
+	}
+}
+
+// Flush releases any reorder-held packets immediately (tail of a
+// scripted exchange).
+func (p *Proxy) Flush() {
+	p.mu.Lock()
+	sessions := make([]*session, 0, len(p.sessions))
+	for _, s := range p.sessions {
+		sessions = append(sessions, s)
+	}
+	p.mu.Unlock()
+	if b := p.up.flush(); b != nil && len(sessions) > 0 {
+		sessions[0].out.Write(b) //nolint:errcheck
+	}
+	if b := p.down.flush(); b != nil && len(sessions) > 0 {
+		p.listen.WriteToUDP(b, sessions[0].peer) //nolint:errcheck
+	}
+}
+
+// Close tears the proxy down; Serve returns afterwards.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	sessions := p.sessions
+	p.sessions = make(map[string]*session)
+	p.mu.Unlock()
+	for _, s := range sessions {
+		s.out.Close()
+	}
+	return p.listen.Close()
+}

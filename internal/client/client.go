@@ -1,13 +1,30 @@
 // Package client is the control-software side of Fig. 4: it compiles
 // requests into UDP control packets, sends them to the reconfiguration
 // server (or directly to an FPX), and interprets the responses. It
-// plays the role of the paper's Java servlet UDP client, with
-// timeouts and retransmission since UDP guarantees neither delivery
-// nor order.
+// plays the role of the paper's Java servlet UDP client, hardened for
+// the transport the paper actually assumes — the open Internet, where
+// datagrams drop, duplicate, reorder and truncate:
+//
+//   - every exchange is stamped with a sequence number (v3 header)
+//     that responses echo, so duplicated or delayed responses from an
+//     earlier exchange are discarded instead of being mistaken for
+//     fresh ones;
+//   - timed-out exchanges retransmit with exponential backoff plus
+//     jitter under a bounded retry budget, and budget exhaustion
+//     surfaces as ErrBoardUnreachable with partial progress attached;
+//   - multi-packet loads resume from the server's advertised progress
+//     instead of restarting, so an interrupted load never re-sends
+//     chunks the board already holds.
+//
+// A Client is not safe for concurrent use; open one client per
+// goroutine (they are cheap — one UDP socket each).
 package client
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -15,23 +32,79 @@ import (
 	"liquidarch/internal/netproto"
 )
 
+// ErrBoardUnreachable reports that an exchange exhausted its retry
+// budget without a response. Use errors.Is to detect it; the concrete
+// *UnreachableError carries the partial statistics.
+var ErrBoardUnreachable = errors.New("board unreachable")
+
+// UnreachableError is the graceful-degradation error: the retry
+// budget ran out, and these are the partial stats of the attempt.
+type UnreachableError struct {
+	Board    uint8         // destination board
+	Cmd      string        // command label (netproto.CommandName)
+	Attempts int           // datagrams sent for this exchange
+	Elapsed  time.Duration // wall time burned before giving up
+	Last     error         // last socket/timeout error observed
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("client: board %d unreachable: %s got no response after %d attempts over %v: %v",
+		e.Board, e.Cmd, e.Attempts, e.Elapsed.Round(time.Millisecond), e.Last)
+}
+
+// Is makes errors.Is(err, ErrBoardUnreachable) true.
+func (e *UnreachableError) Is(target error) bool { return target == ErrBoardUnreachable }
+
+// Unwrap exposes the underlying socket error.
+func (e *UnreachableError) Unwrap() error { return e.Last }
+
+// LoadError is a failed multi-packet load with its partial progress:
+// how many chunks the server acknowledged before the transport gave
+// out. A follow-up LoadProgram resumes from the server's state rather
+// than re-sending acknowledged chunks.
+type LoadError struct {
+	ChunksAcked int // chunks the server confirmed
+	ChunksTotal int // chunks in the whole image
+	Err         error
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("client: load interrupted at chunk %d/%d: %v", e.ChunksAcked, e.ChunksTotal, e.Err)
+}
+
+// Unwrap exposes the transport error (so errors.Is sees
+// ErrBoardUnreachable through a LoadError).
+func (e *LoadError) Unwrap() error { return e.Err }
+
 // clientMetrics count the client's view of the network: how often the
-// unreliable channel made it retransmit, give up, or wait.
+// unreliable channel made it retransmit, back off, give up, or wait.
 type clientMetrics struct {
-	requests *metrics.CounterVec
-	retries  *metrics.Counter
-	timeouts *metrics.Counter
-	errors   *metrics.Counter
-	rtt      *metrics.Histogram
+	requests      *metrics.CounterVec
+	retries       *metrics.Counter
+	timeouts      *metrics.Counter
+	errors        *metrics.Counter
+	unreachable   *metrics.Counter
+	dupSuppressed *metrics.Counter
+	backoffs      *metrics.Counter
+	backoffDur    *metrics.Histogram
+	resumedChunks *metrics.Counter
+	resumedLoads  *metrics.Counter
+	rtt           *metrics.Histogram
 }
 
 func newClientMetrics(r *metrics.Registry) clientMetrics {
 	return clientMetrics{
-		requests: r.CounterVec("liquid_client_requests_total", "Requests issued, by command.", "cmd"),
-		retries:  r.Counter("liquid_client_retries_total", "Requests retransmitted after a timeout."),
-		timeouts: r.Counter("liquid_client_timeouts_total", "Read deadlines that expired waiting for a response."),
-		errors:   r.Counter("liquid_client_errors_total", "Exchanges that ended in an error (server CmdError or exhausted retries)."),
-		rtt:      r.Histogram("liquid_client_rtt_seconds", "Round-trip latency of successful exchanges.", metrics.DefSecondsBuckets),
+		requests:      r.CounterVec("liquid_client_requests_total", "Requests issued, by command.", "cmd"),
+		retries:       r.Counter("liquid_client_retries_total", "Requests retransmitted after a timeout."),
+		timeouts:      r.Counter("liquid_client_timeouts_total", "Read deadlines that expired waiting for a response."),
+		errors:        r.Counter("liquid_client_errors_total", "Exchanges that ended in an error (server CmdError or exhausted retries)."),
+		unreachable:   r.Counter("liquid_client_unreachable_total", "Exchanges abandoned after the retry budget (ErrBoardUnreachable)."),
+		dupSuppressed: r.Counter("liquid_client_dup_responses_total", "Responses discarded because their exchange seq was stale (duplicate or reordered)."),
+		backoffs:      r.Counter("liquid_client_backoff_total", "Retransmission waits grown by the exponential backoff."),
+		backoffDur:    r.Histogram("liquid_client_backoff_seconds", "Length of each backed-off retransmission wait.", metrics.DefSecondsBuckets),
+		resumedChunks: r.Counter("liquid_client_load_chunks_skipped_total", "Load chunks skipped because the server already held them (resume)."),
+		resumedLoads:  r.Counter("liquid_client_loads_resumed_total", "Loads that resumed from server-side progress instead of restarting."),
+		rtt:           r.Histogram("liquid_client_rtt_seconds", "Round-trip latency of successful exchanges.", metrics.DefSecondsBuckets),
 	}
 }
 
@@ -39,13 +112,23 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 type Client struct {
 	conn *net.UDPConn
 
-	// Timeout bounds each request/response exchange.
+	// Timeout bounds the FIRST attempt of each request/response
+	// exchange; subsequent retransmissions back off exponentially.
 	Timeout time.Duration
-	// Retries is how many times a timed-out request is retransmitted.
+	// MaxTimeout caps the backed-off per-attempt timeout
+	// (0 = 16× Timeout).
+	MaxTimeout time.Duration
+	// BackoffFactor is the per-retry timeout multiplier (<=1 → 2).
+	BackoffFactor float64
+	// Jitter is the ± fraction applied to each backed-off wait so a
+	// fleet of clients never retransmits in lockstep (default 0.1;
+	// negative → no jitter).
+	Jitter float64
+	// Retries is the retry budget: how many times a timed-out request
+	// is retransmitted before the exchange fails with
+	// ErrBoardUnreachable.
 	Retries int
 	// Board selects the destination board on a multi-board node.
-	// Board 0 (the default) keeps the wire-compatible v1 header;
-	// other boards use the v2 header carrying the board byte.
 	Board uint8
 	// PollInterval is the delay between completion polls in
 	// WaitResult (default 2ms — well under the control plane's
@@ -54,6 +137,9 @@ type Client struct {
 	// WaitTimeout bounds how long WaitResult polls before giving up
 	// (0 = 2 minutes).
 	WaitTimeout time.Duration
+
+	seq uint16
+	rng *rand.Rand
 
 	reg *metrics.Registry
 	m   clientMetrics
@@ -71,41 +157,103 @@ func Dial(addr string) (*Client, error) {
 	}
 	reg := metrics.NewRegistry()
 	return &Client{
-		conn:         conn,
-		Timeout:      2 * time.Second,
-		Retries:      3,
-		PollInterval: 2 * time.Millisecond,
-		reg:          reg,
-		m:            newClientMetrics(reg),
+		conn:          conn,
+		Timeout:       2 * time.Second,
+		BackoffFactor: 2,
+		Jitter:        0.1,
+		Retries:       3,
+		PollInterval:  2 * time.Millisecond,
+		rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
+		reg:           reg,
+		m:             newClientMetrics(reg),
 	}, nil
 }
 
+// SetSeed re-seeds the jitter source, pinning the retransmission
+// schedule (chaos tests pin it for reproducibility).
+func (c *Client) SetSeed(seed int64) { c.rng = rand.New(rand.NewSource(seed)) }
+
 // Metrics returns the client-side telemetry registry (request counts,
-// retries, timeouts, round-trip latency).
+// retries, backoff waits, suppressed duplicates, round-trip latency).
 func (c *Client) Metrics() *metrics.Registry { return c.reg }
 
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends pkt and waits for a response to the same command,
-// retransmitting on timeout. A CmdError response becomes an error.
+// jittered applies the ± Jitter fraction to a wait.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	j := c.Jitter
+	if j < 0 {
+		return d
+	}
+	if j == 0 {
+		j = 0.1
+	}
+	f := 1 + j*(2*c.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// roundTrip sends pkt and waits for a response to the same exchange,
+// retransmitting with exponential backoff on timeout.
 func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
+	return c.exchange(pkt, time.Time{})
+}
+
+// exchange is roundTrip bounded by an optional overall deadline (zero
+// = none): attempts stop, and per-attempt read deadlines are capped,
+// at the deadline — so a caller-level budget like WaitTimeout is
+// honored even when every poll in a streak times out.
+//
+// A CmdError response becomes an error; responses carrying a stale
+// exchange seq (duplicates, reordered strays) are counted and
+// discarded.
+func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Packet, error) {
 	pkt.Board = c.Board
+	c.seq++
+	pkt.Seq, pkt.HasSeq = c.seq, true
 	want := pkt.Command | netproto.RespFlag
 	raw := pkt.Marshal()
 	buf := make([]byte, 64<<10)
 	c.m.requests.With(netproto.CommandName(pkt.Command)).Inc()
 	start := time.Now()
+
+	wait := c.Timeout
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	maxWait := c.MaxTimeout
+	if maxWait <= 0 {
+		maxWait = 16 * wait
+	}
+	factor := c.BackoffFactor
+	if factor <= 1 {
+		factor = 2
+	}
+
+	attempts := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			c.m.retries.Inc()
+			wait = time.Duration(float64(wait) * factor)
+			if wait > maxWait {
+				wait = maxWait
+			}
+			c.m.backoffs.Inc()
+			c.m.backoffDur.Observe(wait.Seconds())
+		}
+		if !overall.IsZero() && !time.Now().Before(overall) {
+			break // caller's budget exhausted: do not start another attempt
 		}
 		if _, err := c.conn.Write(raw); err != nil {
 			c.m.errors.Inc()
 			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
 		}
-		deadline := time.Now().Add(c.Timeout)
+		attempts++
+		deadline := time.Now().Add(c.jittered(wait))
+		if !overall.IsZero() && deadline.After(overall) {
+			deadline = overall
+		}
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				c.m.errors.Inc()
@@ -120,6 +268,20 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 			resp, err := netproto.ParsePacket(buf[:n])
 			if err != nil {
 				continue // stray datagram
+			}
+			if resp.HasSeq && resp.Seq != pkt.Seq {
+				// A duplicated or delayed response from an earlier
+				// exchange: suppress it instead of mistaking it for
+				// this one's answer.
+				c.m.dupSuppressed.Inc()
+				continue
+			}
+			if resp.Board != pkt.Board {
+				// A response for another board, misdelivered by the
+				// network (or a chaotic relay): never this exchange's
+				// answer, even if the seq happens to collide.
+				c.m.dupSuppressed.Inc()
+				continue
 			}
 			if resp.Command == netproto.CmdError {
 				er, perr := netproto.ParseErrorResp(resp.Body)
@@ -144,7 +306,17 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		}
 	}
 	c.m.errors.Inc()
-	return netproto.Packet{}, fmt.Errorf("client: no response after %d attempts: %w", c.Retries+1, lastErr)
+	c.m.unreachable.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("deadline before first attempt")
+	}
+	return netproto.Packet{}, &UnreachableError{
+		Board:    c.Board,
+		Cmd:      netproto.CommandName(pkt.Command),
+		Attempts: attempts,
+		Elapsed:  time.Since(start),
+		Last:     lastErr,
+	}
 }
 
 // Status queries the controller state ("to check if LEON has started
@@ -158,21 +330,52 @@ func (c *Client) Status() (netproto.StatusResp, error) {
 }
 
 // LoadProgram uploads an image to the given SRAM address, splitting it
-// into sequence-numbered chunks and confirming each one.
+// into sequence-numbered chunks and confirming each one. Loads are
+// idempotent and resumable: every ack carries the server's reassembly
+// progress, so when a chunk the board already holds is re-sent — a
+// retransmission, or this call resuming an earlier interrupted load —
+// the server re-acks without re-applying and the client skips ahead to
+// the first chunk the board is missing. On failure the returned error
+// is a *LoadError carrying the acknowledged-chunk count.
 func (c *Client) LoadProgram(addr uint32, image []byte) error {
 	chunks := netproto.ChunkImage(addr, image)
-	for _, ch := range chunks {
+	acked := 0
+	resumed := false
+	for i := 0; i < len(chunks); {
+		ch := chunks[i]
 		resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
 		if err != nil {
-			return fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)
+			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks), Err: err}
 		}
 		rep, err := netproto.ParseRunReport(resp.Body)
 		if err != nil {
-			return fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)
+			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks),
+				Err: fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)}
 		}
 		if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
-			return fmt.Errorf("client: load chunk %d/%d: status %d", ch.Seq+1, ch.Total, rep.Status)
+			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks),
+				Err: fmt.Errorf("client: load chunk %d/%d: status %d", ch.Seq+1, ch.Total, rep.Status)}
 		}
+		received, next := netproto.LoadAckProgress(rep)
+		if acked < received {
+			acked = received
+		}
+		if rep.Status == netproto.StatusOK {
+			return nil
+		}
+		// Resume from the server's advertised progress: if the board
+		// already holds chunks beyond this one, skip straight to its
+		// first gap instead of re-sending what it has.
+		if next > i+1 && next <= len(chunks) {
+			c.m.resumedChunks.Add(uint64(next - (i + 1)))
+			if !resumed {
+				resumed = true
+				c.m.resumedLoads.Inc()
+			}
+			i = next
+			continue
+		}
+		i++
 	}
 	return nil
 }
@@ -215,7 +418,12 @@ func (c *Client) StartAsync(entry uint32, maxCycles uint64) error {
 // cycle counter; once complete it is the final report (idempotent — the
 // server keeps answering with the last result).
 func (c *Client) Result() (netproto.RunReport, error) {
-	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdResult})
+	return c.resultWithin(time.Time{})
+}
+
+// resultWithin is Result bounded by an overall deadline.
+func (c *Client) resultWithin(deadline time.Time) (netproto.RunReport, error) {
+	resp, err := c.exchange(netproto.Packet{Command: netproto.CmdResult}, deadline)
 	if err != nil {
 		return netproto.RunReport{}, err
 	}
@@ -224,8 +432,18 @@ func (c *Client) Result() (netproto.RunReport, error) {
 
 // WaitResult polls Result every PollInterval until the run leaves
 // StatusRunning, then returns the final report. WaitTimeout (default
-// 2 minutes) bounds the whole wait.
+// 2 minutes) bounds the whole wait, including poll streaks where every
+// response is lost: the per-poll retransmission schedule is capped at
+// the overall deadline, so the wait never overshoots it by a retry
+// cycle.
 func (c *Client) WaitResult() (netproto.RunReport, error) {
+	return c.WaitResultContext(context.Background())
+}
+
+// WaitResultContext is WaitResult bounded additionally by ctx: it
+// returns early with ctx.Err() when the context is canceled or its
+// deadline (if sooner than WaitTimeout) passes.
+func (c *Client) WaitResultContext(ctx context.Context) (netproto.RunReport, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 2 * time.Millisecond
@@ -235,18 +453,37 @@ func (c *Client) WaitResult() (netproto.RunReport, error) {
 		limit = 2 * time.Minute
 	}
 	deadline := time.Now().Add(limit)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
 	for {
-		rep, err := c.Result()
+		if err := ctx.Err(); err != nil {
+			return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", err)
+		}
+		rep, err := c.resultWithin(deadline)
 		if err != nil {
+			var ue *UnreachableError
+			if errors.As(err, &ue) && !time.Now().Before(deadline) {
+				return netproto.RunReport{}, fmt.Errorf("client: run still unconfirmed after %v: %w", limit, err)
+			}
 			return netproto.RunReport{}, err
 		}
 		if rep.Status != netproto.StatusRunning {
 			return rep, nil
 		}
-		if time.Now().After(deadline) {
+		remain := time.Until(deadline)
+		if remain <= 0 {
 			return rep, fmt.Errorf("client: run still in flight after %v", limit)
 		}
-		time.Sleep(interval)
+		sleep := interval
+		if sleep > remain {
+			sleep = remain
+		}
+		select {
+		case <-ctx.Done():
+			return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
+		case <-time.After(sleep):
+		}
 	}
 }
 

@@ -1,0 +1,221 @@
+package fpx
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+func TestDedupCacheRememberAndLookup(t *testing.T) {
+	d := newDedupCache()
+	k := dedupKey{src: "1.2.3.4:5", cmd: netproto.CmdStatus, seq: 9}
+	if _, ok := d.lookup(k); ok {
+		t.Fatal("empty cache claims a hit")
+	}
+	resp := []netproto.Packet{{Command: netproto.CmdStatus | netproto.RespFlag}}
+	d.remember(k, resp)
+	got, ok := d.lookup(k)
+	if !ok || len(got) != 1 || got[0].Command != resp[0].Command {
+		t.Fatalf("lookup after remember: %v %v", got, ok)
+	}
+	// Same src, different seq: a different exchange.
+	if _, ok := d.lookup(dedupKey{src: "1.2.3.4:5", cmd: netproto.CmdStatus, seq: 10}); ok {
+		t.Fatal("different seq hit the cache")
+	}
+	// Same seq, different src: a different client's exchange.
+	if _, ok := d.lookup(dedupKey{src: "9.9.9.9:1", cmd: netproto.CmdStatus, seq: 9}); ok {
+		t.Fatal("different source hit the cache")
+	}
+}
+
+func TestDedupCacheEvictsFIFO(t *testing.T) {
+	d := newDedupCache()
+	key := func(i int) dedupKey {
+		return dedupKey{src: fmt.Sprintf("10.0.0.1:%d", i), cmd: netproto.CmdStatus, seq: uint16(i)}
+	}
+	for i := 0; i < DedupWindow+1; i++ {
+		d.remember(key(i), nil)
+	}
+	if _, ok := d.lookup(key(0)); ok {
+		t.Error("oldest exchange survived a full window of newer ones")
+	}
+	if _, ok := d.lookup(key(1)); !ok {
+		t.Error("second-oldest exchange evicted too early")
+	}
+	if _, ok := d.lookup(key(DedupWindow)); !ok {
+		t.Error("newest exchange missing")
+	}
+	if len(d.m) != DedupWindow {
+		t.Errorf("cache holds %d exchanges, want %d", len(d.m), DedupWindow)
+	}
+}
+
+func TestDedupCacheUpdateInPlace(t *testing.T) {
+	d := newDedupCache()
+	k := dedupKey{src: "a", cmd: 1, seq: 1}
+	d.remember(k, []netproto.Packet{{Command: 1}})
+	d.remember(k, []netproto.Packet{{Command: 2}})
+	got, ok := d.lookup(k)
+	if !ok || got[0].Command != 2 {
+		t.Fatalf("update in place: %v %v", got, ok)
+	}
+	if len(d.m) != 1 {
+		t.Errorf("re-remember grew the cache to %d entries", len(d.m))
+	}
+}
+
+// TestRetransmitAnsweredFromCache: a v3 exchange handled twice from
+// the same source is answered from the dedup window the second time —
+// identical responses, no second dispatch.
+func TestRetransmitAnsweredFromCache(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	req := netproto.Packet{Command: netproto.CmdStatus, Seq: 5, HasSeq: true}.Marshal()
+
+	first := p.HandlePayloadFrom("1.2.3.4:100", req)
+	second := p.HandlePayloadFrom("1.2.3.4:100", req)
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatalf("responses: %d / %d", len(first), len(second))
+	}
+	if !bytes.Equal(first[0].Marshal(), second[0].Marshal()) {
+		t.Error("retransmission drew a different response than the original")
+	}
+	if !second[0].HasSeq || second[0].Seq != 5 {
+		t.Errorf("response does not echo the exchange seq: %+v", second[0])
+	}
+	snap := p.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_dup_requests_total"]; got != 1 {
+		t.Errorf("dedup re-acks = %d, want 1", got)
+	}
+
+	// The same seq from a DIFFERENT source is a fresh exchange.
+	p.HandlePayloadFrom("5.6.7.8:100", req)
+	snap = p.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_dup_requests_total"]; got != 1 {
+		t.Errorf("other-source request hit the dedup window (re-acks = %d)", got)
+	}
+}
+
+// countingCtrl counts Execute calls so a test can prove a duplicated
+// start never re-runs the program.
+type countingCtrl struct {
+	*Emulator
+	executes int
+}
+
+func (c *countingCtrl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	c.executes++
+	return c.Emulator.Execute(entry, maxCycles)
+}
+
+// TestRetransmittedWriteNotReapplied: the dedup window makes mutating
+// commands idempotent — here a duplicated start does not re-run the
+// program.
+func TestRetransmittedWriteNotReapplied(t *testing.T) {
+	em := &countingCtrl{Emulator: NewEmulator()}
+	p := New(em, [4]byte{10, 0, 0, 2}, 5001)
+	// Load a one-chunk image so start has something to run.
+	chunk := netproto.ChunkImage(leon.DefaultLoadAddr, bytes.Repeat([]byte{1}, 64))[0]
+	load := netproto.Packet{Command: netproto.CmdLoadProgram, Seq: 1, HasSeq: true, Body: chunk.Marshal()}.Marshal()
+	if resps := p.HandlePayloadFrom("src:1", load); len(resps) != 1 {
+		t.Fatalf("load responses: %d", len(resps))
+	}
+	start := netproto.Packet{Command: netproto.CmdStartSync, Seq: 2, HasSeq: true,
+		Body: netproto.StartReq{Entry: leon.DefaultLoadAddr}.Marshal()}.Marshal()
+	r1 := p.HandlePayloadFrom("src:1", start)
+	runs := em.executes
+	r2 := p.HandlePayloadFrom("src:1", start) // retransmission
+	if em.executes != runs {
+		t.Errorf("retransmitted start re-ran the program (%d → %d executes)", runs, em.executes)
+	}
+	if !bytes.Equal(r1[0].Marshal(), r2[0].Marshal()) {
+		t.Error("retransmitted start drew a different report")
+	}
+}
+
+func TestV1RequestsBypassDedup(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	req := netproto.Packet{Command: netproto.CmdStatus}.Marshal() // v1: no seq
+	p.HandlePayloadFrom("1.2.3.4:100", req)
+	p.HandlePayloadFrom("1.2.3.4:100", req)
+	snap := p.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_dup_requests_total"]; got != 0 {
+		t.Errorf("v1 requests hit the dedup window (%d re-acks)", got)
+	}
+	// Responses to v1 requests stay v1-shaped.
+	resps := p.HandlePayload(req)
+	if len(resps) != 1 || resps[0].HasSeq {
+		t.Errorf("v1 request drew a v3 response: %+v", resps)
+	}
+}
+
+// TestDuplicateChunkReackedWithProgress: a re-sent load chunk is acked
+// with the reassembly progress but never copied again.
+func TestDuplicateChunkReackedWithProgress(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	img := bytes.Repeat([]byte{7}, netproto.MaxChunkData+10) // 2 chunks
+	chunks := netproto.ChunkImage(leon.DefaultLoadAddr, img)
+
+	send := func(seq uint16, c netproto.LoadChunk) netproto.RunReport {
+		t.Helper()
+		raw := netproto.Packet{Command: netproto.CmdLoadProgram, Seq: seq, HasSeq: true, Body: c.Marshal()}.Marshal()
+		resps := p.HandlePayloadFrom("src:1", raw)
+		if len(resps) != 1 {
+			t.Fatalf("chunk %d: %d responses", c.Seq, len(resps))
+		}
+		rep, err := netproto.ParseRunReport(resps[0].Body)
+		if err != nil {
+			t.Fatalf("chunk %d ack: %v", c.Seq, err)
+		}
+		return rep
+	}
+
+	rep := send(1, chunks[0])
+	if rep.Status != netproto.StatusPending {
+		t.Fatalf("first chunk status %d", rep.Status)
+	}
+	if recv, next := netproto.LoadAckProgress(rep); recv != 1 || next != 1 {
+		t.Fatalf("first chunk progress (%d,%d), want (1,1)", recv, next)
+	}
+
+	// Re-send chunk 0 as a NEW exchange (seq 2): this models a client
+	// resuming an interrupted load, not a retransmission, so it gets
+	// past the dedup window and must be re-acked with progress.
+	rep = send(2, chunks[0])
+	if rep.Status != netproto.StatusPending {
+		t.Fatalf("dup chunk status %d", rep.Status)
+	}
+	if recv, next := netproto.LoadAckProgress(rep); recv != 1 || next != 1 {
+		t.Fatalf("dup chunk progress (%d,%d), want (1,1)", recv, next)
+	}
+
+	rep = send(3, chunks[1])
+	if rep.Status != netproto.StatusOK {
+		t.Fatalf("final chunk status %d", rep.Status)
+	}
+	if recv, next := netproto.LoadAckProgress(rep); recv != 2 || next != 2 {
+		t.Fatalf("final progress (%d,%d), want (2,2)", recv, next)
+	}
+
+	snap := p.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_load_chunks_applied_total"]; got != 2 {
+		t.Errorf("chunks applied = %d, want 2 (dup never re-applied)", got)
+	}
+	if got := snap.Counters["liquid_fpx_load_chunks_dup_total"]; got != 1 {
+		t.Errorf("dup chunks = %d, want 1", got)
+	}
+}
+
+func TestSetControlResetsDedup(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	req := netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true}.Marshal()
+	p.HandlePayloadFrom("a:1", req)
+	p.SetControl(NewEmulator())
+	p.HandlePayloadFrom("a:1", req)
+	snap := p.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_dup_requests_total"]; got != 0 {
+		t.Errorf("dedup window survived SetControl (%d re-acks)", got)
+	}
+}

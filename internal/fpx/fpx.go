@@ -67,7 +67,10 @@ type platformMetrics struct {
 	protoErrors   *metrics.CounterVec
 	chunks        *metrics.Counter
 	chunksOOO     *metrics.Counter
+	chunksApplied *metrics.Counter
+	chunksDup     *metrics.Counter
 	loadsDone     *metrics.Counter
+	dupSuppressed *metrics.Counter
 }
 
 func newPlatformMetrics(r *metrics.Registry) platformMetrics {
@@ -80,7 +83,10 @@ func newPlatformMetrics(r *metrics.Registry) platformMetrics {
 		protoErrors:   r.CounterVec("liquid_fpx_protocol_errors_total", "Commands answered with CmdError.", "cmd"),
 		chunks:        r.Counter("liquid_fpx_load_chunks_total", "Program-load chunks received."),
 		chunksOOO:     r.Counter("liquid_fpx_load_chunks_out_of_order_total", "Load chunks that arrived out of sequence order."),
+		chunksApplied: r.Counter("liquid_fpx_load_chunks_applied_total", "First-time load chunks copied into the reassembly buffer."),
+		chunksDup:     r.Counter("liquid_fpx_load_chunks_dup_total", "Retransmitted load chunks re-acked without re-applying."),
 		loadsDone:     r.Counter("liquid_fpx_loads_completed_total", "Fully reassembled program loads handed to leon_ctrl."),
+		dupSuppressed: r.Counter("liquid_fpx_dup_requests_total", "Retransmitted exchanges answered from the dedup window (re-acked, never re-applied)."),
 	}
 }
 
@@ -105,6 +111,7 @@ type Platform struct {
 
 	load       *loadState
 	loadedAddr uint32
+	dedup      *dedupCache
 	stats      Stats
 
 	reg    *metrics.Registry
@@ -129,6 +136,7 @@ func New(ctrl LEONControl, ip [4]byte, port uint16) *Platform {
 		ctrl:   ctrl,
 		IP:     ip,
 		Port:   port,
+		dedup:  newDedupCache(),
 		reg:    reg,
 		events: eventlog.New(256),
 		m:      newPlatformMetrics(reg),
@@ -150,6 +158,7 @@ func (p *Platform) SetControl(ctrl LEONControl) {
 	p.ctrl = ctrl
 	p.load = nil
 	p.loadedAddr = 0
+	p.dedup = newDedupCache()
 }
 
 // Stats returns a snapshot of the activity counters, taken with
@@ -190,7 +199,8 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 		p.m.passedThrough.Inc()
 		return nil, nil
 	}
-	resps := p.HandlePayload(f.Payload)
+	src := fmt.Sprintf("%d.%d.%d.%d:%d", f.IP.Src[0], f.IP.Src[1], f.IP.Src[2], f.IP.Src[3], f.UDP.SrcPort)
+	resps := p.HandlePayloadFrom(src, f.Payload)
 	frames := make([][]byte, len(resps))
 	for i, r := range resps {
 		frames[i] = netproto.BuildFrame(p.IP, f.IP.Src, p.Port, f.UDP.SrcPort, r.Marshal())
@@ -201,16 +211,56 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 }
 
 // HandlePayload runs the CPP dispatch on one control-packet payload
-// and returns the response packets. This is the entry point for the
-// OS-socket server, which receives payloads with the IP/UDP headers
-// already stripped by the kernel.
+// and returns the response packets, without a peer identity (exchange
+// dedup then keys on command+seq alone). Prefer HandlePayloadFrom when
+// the caller knows who sent the packet.
 func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
+	return p.HandlePayloadFrom("", payload)
+}
+
+// HandlePayloadFrom runs the CPP dispatch on one control-packet
+// payload from the peer identified by src ("ip:port"; "" when
+// unknown) and returns the response packets. This is the entry point
+// for the OS-socket server, which receives payloads with the IP/UDP
+// headers already stripped by the kernel.
+//
+// Requests carrying a v3 exchange sequence number pass through the
+// per-board dedup window: a retransmission of an exchange this board
+// already answered — the client's ack was lost or delayed — is
+// answered with the cached responses instead of being re-applied, so
+// a duplicated start never double-starts and a duplicated write never
+// double-writes. Every response echoes the request's board and seq so
+// the client can discard strays.
+func (p *Platform) HandlePayloadFrom(src string, payload []byte) []netproto.Packet {
 	pkt, err := netproto.ParsePacket(payload)
 	if err != nil {
 		return []netproto.Packet{p.errResp(netproto.CmdStatus, err)}
 	}
 	atomic.AddUint64(&p.stats.CommandsHandled, 1)
 	p.m.commands.With(netproto.CommandName(pkt.Command)).Inc()
+	var key dedupKey
+	if pkt.HasSeq {
+		key = dedupKey{src: src, cmd: pkt.Command, seq: pkt.Seq}
+		if resp, ok := p.dedup.lookup(key); ok {
+			p.m.dupSuppressed.Inc()
+			p.events.Debugf("dedup re-ack", "src", src, "cmd", netproto.CommandName(pkt.Command), "seq", pkt.Seq)
+			return resp
+		}
+	}
+	resps := p.dispatch(pkt)
+	for i := range resps {
+		resps[i].Board = pkt.Board
+		resps[i].Seq = pkt.Seq
+		resps[i].HasSeq = pkt.HasSeq
+	}
+	if pkt.HasSeq {
+		p.dedup.remember(key, resps)
+	}
+	return resps
+}
+
+// dispatch routes one parsed control packet to its handler.
+func (p *Platform) dispatch(pkt netproto.Packet) []netproto.Packet {
 	switch pkt.Command {
 	case netproto.CmdStatus:
 		return []netproto.Packet{p.status()}
@@ -288,10 +338,33 @@ func runReport(r leon.RunResult) netproto.RunReport {
 	return rep
 }
 
+// nextGap returns the lowest sequence number not yet received, or the
+// total once every chunk is in — the resume point a re-acked duplicate
+// advertises to an interrupted client.
+func (ls *loadState) nextGap() int {
+	for i, got := range ls.received {
+		if !got {
+			return i
+		}
+	}
+	return int(ls.total)
+}
+
+// loadAck formats the progress-carrying acknowledgement for a chunk.
+func loadAck(status uint8, ls *loadState) netproto.Packet {
+	return netproto.Packet{
+		Command: netproto.CmdLoadProgram | netproto.RespFlag,
+		Body:    netproto.LoadAckReport(status, ls.count, ls.nextGap()).Marshal(),
+	}
+}
+
 // loadChunk reassembles multi-packet program loads. UDP does not
-// guarantee order, so chunks carry sequence numbers (§2.6); duplicates
-// are idempotent, and a chunk for a different image restarts the
-// reassembly.
+// guarantee order, so chunks carry sequence numbers (§2.6); a
+// duplicate chunk — a retransmission, or an interrupted client
+// restarting its load — is re-acked with the current reassembly
+// progress but never re-applied, and a chunk for a different image
+// restarts the reassembly. Every ack carries (received, nextSeq) so a
+// resuming client can skip the chunks this board already holds.
 func (p *Platform) loadChunk(body []byte) netproto.Packet {
 	c, err := netproto.ParseLoadChunk(body)
 	if err != nil {
@@ -308,22 +381,24 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 		}
 	}
 	ls := p.load
-	copy(ls.buf[c.Offset:], c.Data)
-	if !ls.received[c.Seq] {
-		// A first-time chunk whose sequence number differs from the
-		// number of distinct chunks seen so far was reordered in
-		// flight (UDP guarantees neither delivery nor order, §2.6).
-		if int(c.Seq) != ls.count {
-			p.m.chunksOOO.Inc()
-		}
-		ls.received[c.Seq] = true
-		ls.count++
+	if ls.received[c.Seq] {
+		// Re-ack, never re-apply: the chunk is already in the buffer.
+		p.m.chunksDup.Inc()
+		p.events.Debugf("duplicate load chunk re-acked", "seq", c.Seq, "next", ls.nextGap())
+		return loadAck(netproto.StatusPending, ls)
 	}
+	// A first-time chunk whose sequence number differs from the number
+	// of distinct chunks seen so far was reordered in flight (UDP
+	// guarantees neither delivery nor order, §2.6).
+	if int(c.Seq) != ls.count {
+		p.m.chunksOOO.Inc()
+	}
+	copy(ls.buf[c.Offset:], c.Data)
+	ls.received[c.Seq] = true
+	ls.count++
+	p.m.chunksApplied.Inc()
 	if ls.count < int(ls.total) {
-		return netproto.Packet{
-			Command: netproto.CmdLoadProgram | netproto.RespFlag,
-			Body:    netproto.RunReport{Status: netproto.StatusPending}.Marshal(),
-		}
+		return loadAck(netproto.StatusPending, ls)
 	}
 	// Complete: hand to the LEON controller.
 	if err := p.ctrl.LoadProgram(ls.addr, ls.buf); err != nil {
@@ -331,14 +406,12 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 		return p.errResp(netproto.CmdLoadProgram, err)
 	}
 	p.loadedAddr = ls.addr
-	p.load = nil
 	atomic.AddUint64(&p.stats.LoadsCompleted, 1)
 	p.m.loadsDone.Inc()
 	p.events.Infof("program load complete", "addr", fmt.Sprintf("%#x", ls.addr), "bytes", len(ls.buf))
-	return netproto.Packet{
-		Command: netproto.CmdLoadProgram | netproto.RespFlag,
-		Body:    netproto.RunReport{Status: netproto.StatusOK}.Marshal(),
-	}
+	ack := loadAck(netproto.StatusOK, ls)
+	p.load = nil
+	return ack
 }
 
 // start implements the paper's true §3.1 handoff: CmdStartLEON writes

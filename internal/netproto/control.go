@@ -86,22 +86,50 @@ const Version uint8 = 1
 // more than one platform.
 const VersionBoard uint8 = 2
 
+// VersionSeq is the exchange-sequenced header revision: magic(2) +
+// version(1) + command(1) + board(1) + seq(2). The 16-bit sequence
+// number identifies one request/response exchange: the client stamps
+// each NEW request with a fresh seq (retransmissions of the same
+// request reuse it), and the platform echoes the seq in every response
+// it generates for that request. This is what makes the control plane
+// safe on a duplicating, reordering transport — the client discards
+// responses whose seq is not the one in flight, and the server's
+// dedup window re-acks retransmitted requests from cache instead of
+// re-applying them. v1/v2 peers keep working: packets without a seq
+// simply bypass both mechanisms.
+const VersionSeq uint8 = 3
+
 // headerLen is the v1 header: magic(2) + version(1) + command(1).
 const headerLen = 4
 
 // Packet is one control packet: a command code, the destination board
-// on a multi-board node (0 for the classic single-board case), and
-// the body.
+// on a multi-board node (0 for the classic single-board case), an
+// optional exchange sequence number, and the body.
 type Packet struct {
 	Command uint8
 	Board   uint8
-	Body    []byte
+	// Seq is the exchange sequence number carried by the v3 header;
+	// valid only when HasSeq is set. Responses echo the request's seq.
+	Seq    uint16
+	HasSeq bool
+	Body   []byte
 }
 
-// Marshal produces the UDP payload for the packet. Board 0 marshals
-// as the wire-compatible v1 header; other boards use the v2 header
-// carrying the board byte.
+// Marshal produces the UDP payload for the packet. A packet carrying
+// a sequence number marshals as the v3 header; otherwise board 0
+// marshals as the wire-compatible v1 header and other boards use the
+// v2 header carrying the board byte.
 func (p Packet) Marshal() []byte {
+	if p.HasSeq {
+		out := make([]byte, headerLen+3+len(p.Body))
+		out[0], out[1] = Magic[0], Magic[1]
+		out[2] = VersionSeq
+		out[3] = p.Command
+		out[4] = p.Board
+		binary.BigEndian.PutUint16(out[5:], p.Seq)
+		copy(out[headerLen+3:], p.Body)
+		return out
+	}
 	if p.Board == 0 {
 		out := make([]byte, headerLen+len(p.Body))
 		out[0], out[1] = Magic[0], Magic[1]
@@ -119,8 +147,9 @@ func (p Packet) Marshal() []byte {
 	return out
 }
 
-// ParsePacket validates the header and returns the command, board and
-// body. Both the v1 (implicit board 0) and v2 headers are accepted.
+// ParsePacket validates the header and returns the command, board,
+// sequence number and body. The v1 (implicit board 0), v2 (board
+// byte) and v3 (board + exchange seq) headers are all accepted.
 func ParsePacket(b []byte) (Packet, error) {
 	if len(b) < headerLen {
 		return Packet{}, fmt.Errorf("netproto: control packet truncated (%d bytes)", len(b))
@@ -136,6 +165,17 @@ func ParsePacket(b []byte) (Packet, error) {
 			return Packet{}, fmt.Errorf("netproto: v2 control packet truncated (%d bytes)", len(b))
 		}
 		return Packet{Command: b[3], Board: b[4], Body: b[headerLen+1:]}, nil
+	case VersionSeq:
+		if len(b) < headerLen+3 {
+			return Packet{}, fmt.Errorf("netproto: v3 control packet truncated (%d bytes)", len(b))
+		}
+		return Packet{
+			Command: b[3],
+			Board:   b[4],
+			Seq:     binary.BigEndian.Uint16(b[5:]),
+			HasSeq:  true,
+			Body:    b[headerLen+3:],
+		}, nil
 	default:
 		return Packet{}, fmt.Errorf("netproto: unsupported version %d", b[2])
 	}
@@ -228,6 +268,30 @@ func ChunkImage(addr uint32, image []byte) []LoadChunk {
 		})
 	}
 	return chunks
+}
+
+// Load acks reuse the RunReport body (wire-shape compatibility with
+// every pre-existing client and capture) and carry reassembly progress
+// in the report's otherwise-unused numeric fields: Cycles holds the
+// count of distinct chunks received so far and Instructions holds the
+// next missing sequence number (== Total once the image is complete).
+// A client that was interrupted mid-load reads NextSeq off the first
+// re-acked duplicate and resumes from there instead of restarting.
+
+// LoadAckReport builds a load-chunk acknowledgement carrying progress.
+func LoadAckReport(status uint8, received, nextSeq int) RunReport {
+	return RunReport{
+		Status:       status,
+		Cycles:       uint64(received),
+		Instructions: uint64(nextSeq),
+	}
+}
+
+// LoadAckProgress extracts (received, nextSeq) from a load ack. Acks
+// from a pre-progress server report (0, 0), which callers must treat
+// as "no progress information".
+func LoadAckProgress(rep RunReport) (received, nextSeq int) {
+	return int(rep.Cycles), int(rep.Instructions)
 }
 
 // StartReq asks the LEON controller to execute the loaded program.

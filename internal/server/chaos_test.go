@@ -1,0 +1,347 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/chaos"
+	"liquidarch/internal/client"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/netproto"
+)
+
+// chaosSeeds are the pinned fault-sequence seeds the CI suite replays.
+// Each seed produces one reproducible storm of drops, dups, reorders
+// and truncations; a failure under any of them can be replayed exactly
+// with `liquid-chaos -seed N`.
+var chaosSeeds = []int64{1, 7, 42}
+
+// stormFaults is the headline fault mix: 20% loss plus reordering and
+// duplication, applied independently in both directions.
+func stormFaults() chaos.Faults {
+	return chaos.Faults{Drop: 0.2, Reorder: 0.1, Dup: 0.1}
+}
+
+// chaosProxy starts a fault-injecting relay in front of addr, wired
+// for cleanup.
+func chaosProxy(t testing.TB, addr string, cfg chaos.Config) *chaos.Proxy {
+	t.Helper()
+	p, err := chaos.NewProxy("127.0.0.1:0", addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Serve() }()
+	t.Cleanup(func() {
+		p.Close()
+		if err := <-done; err != nil {
+			t.Errorf("chaos proxy: %v", err)
+		}
+	})
+	return p
+}
+
+// dialChaos dials through addr with the retry schedule tuned for a
+// stormy transport: short first timeout, generous retry budget, jitter
+// pinned to seed so the whole retransmission schedule is reproducible.
+func dialChaos(t testing.TB, addr string, seed int64) *client.Client {
+	t.Helper()
+	c := dial(t, addr)
+	c.Timeout = 100 * time.Millisecond
+	c.MaxTimeout = time.Second
+	c.Retries = 10
+	c.SetSeed(seed)
+	return c
+}
+
+// runCycle drives one full load→start→result cycle plus a load-image
+// readback, and returns everything the transport could have corrupted.
+func runCycle(t testing.TB, c *client.Client, obj *asm.Object) (netproto.RunReport, []byte) {
+	t.Helper()
+	if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep, err := c.Start(obj.Origin, 0)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	head, err := c.ReadMemory(obj.Origin, 64)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	return rep, head
+}
+
+// TestControlPlaneUnderChaos is the headline acceptance test: a full
+// load→start→result cycle completes bit-identically under 20% loss
+// plus reordering and duplication, for every pinned seed. The
+// simulator is deterministic, so any divergence from the clean-path
+// baseline is a transport-hardening bug: a lost chunk, a doubly
+// applied start, a stale result accepted.
+func TestControlPlaneUnderChaos(t *testing.T) {
+	iters := 100_000
+	if raceEnabled || testing.Short() {
+		iters = 20_000
+	}
+	obj := assembleAt(t, countProg(iters))
+
+	// Clean-path baseline.
+	_, addr := startServer(t)
+	wantRep, wantHead := runCycle(t, dial(t, addr), obj)
+	if wantRep.Status != netproto.StatusOK || wantRep.Cycles == 0 {
+		t.Fatalf("baseline report = %+v", wantRep)
+	}
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, addr := startServer(t)
+			reg := metrics.NewRegistry()
+			proxy := chaosProxy(t, addr, chaos.Config{
+				Seed:     seed,
+				Up:       stormFaults(),
+				Down:     stormFaults(),
+				Registry: reg,
+			})
+			c := dialChaos(t, proxy.Addr().String(), seed)
+			rep, head := runCycle(t, c, obj)
+			if rep != wantRep {
+				t.Errorf("report diverged under chaos:\n got %+v\nwant %+v", rep, wantRep)
+			}
+			if string(head) != string(wantHead) {
+				t.Errorf("loaded image diverged under chaos")
+			}
+			// The storm must actually have raged: injected loss and
+			// reordering, and the hardened client visibly retried.
+			snap := reg.Snapshot()
+			drops := snap.Counter(`liquid_chaos_injected_total{event="up_drop"}`) +
+				snap.Counter(`liquid_chaos_injected_total{event="down_drop"}`)
+			reorders := snap.Counter(`liquid_chaos_injected_total{event="up_reorder"}`) +
+				snap.Counter(`liquid_chaos_injected_total{event="down_reorder"}`)
+			if drops == 0 {
+				t.Error("chaos injected no drops — test proved nothing")
+			}
+			if reorders == 0 {
+				t.Error("chaos injected no reorders — test proved nothing")
+			}
+			csnap := c.Metrics().Snapshot()
+			if csnap.Counters["liquid_client_retries_total"] == 0 {
+				t.Error("client never retried under 20% loss")
+			}
+		})
+	}
+}
+
+// TestNodeUnderChaos is the deterministic soak: a 4-board node behind
+// the chaos relay, four concurrent clients each running the same
+// program on their own board, 20% loss + reorder + dup in both
+// directions. All four boards must report results bit-identical to
+// the clean baseline, for every pinned seed. Cross-session held-packet
+// releases make the relay occasionally misdeliver a datagram to the
+// wrong client, so this also soaks the seq/board response filtering.
+func TestNodeUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	const boards = 4
+	iters := 100_000
+	if raceEnabled {
+		iters = 20_000
+	}
+	obj := assembleAt(t, countProg(iters))
+
+	// Clean-path baseline on a single board.
+	_, addr := startServer(t)
+	wantRep, wantHead := runCycle(t, dial(t, addr), obj)
+
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, addr := startNode(t, boards)
+			proxy := chaosProxy(t, addr, chaos.Config{
+				Seed: seed,
+				Up:   stormFaults(),
+				Down: stormFaults(),
+			})
+
+			var wg sync.WaitGroup
+			reps := make([]netproto.RunReport, boards)
+			heads := make([][]byte, boards)
+			errs := make([]error, boards)
+			for b := 0; b < boards; b++ {
+				c := dialChaos(t, proxy.Addr().String(), seed+int64(b))
+				c.Board = uint8(b)
+				c.WaitTimeout = 60 * time.Second
+				wg.Add(1)
+				go func(b int, c *client.Client) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							errs[b] = fmt.Errorf("panic: %v", r)
+						}
+					}()
+					if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+						errs[b] = fmt.Errorf("load: %w", err)
+						return
+					}
+					rep, err := c.Start(obj.Origin, 0)
+					if err != nil {
+						errs[b] = fmt.Errorf("start: %w", err)
+						return
+					}
+					reps[b] = rep
+					heads[b], errs[b] = c.ReadMemory(obj.Origin, 64)
+				}(b, c)
+			}
+			wg.Wait()
+			for b := 0; b < boards; b++ {
+				if errs[b] != nil {
+					t.Fatalf("board %d: %v", b, errs[b])
+				}
+				if reps[b] != wantRep {
+					t.Errorf("board %d report diverged:\n got %+v\nwant %+v", b, reps[b], wantRep)
+				}
+				if string(heads[b]) != string(wantHead) {
+					t.Errorf("board %d loaded image diverged", b)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadInterruptedResumes is the resume acceptance test: a load
+// black-holed from chunk 4 onward fails with partial progress, and a
+// fresh client (a reconnect) finishes the load by resuming from the
+// server's advertised gap — never re-sending chunks the board already
+// holds. The server-side apply counter must equal the chunk total:
+// every chunk applied exactly once, across both attempts.
+func TestLoadInterruptedResumes(t *testing.T) {
+	platform := fpx.New(fpx.NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	srv, err := New(platform, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serveNode(t, srv)
+
+	rules, err := chaos.ParseScript("up:load@4+=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := chaosProxy(t, addr, chaos.Config{Seed: 1, Script: rules})
+
+	img := make([]byte, 3*netproto.MaxChunkData+500) // 4 chunks
+	for i := range img {
+		img[i] = byte(i * 7)
+	}
+	chunks := len(netproto.ChunkImage(leon.DefaultLoadAddr, img))
+
+	// Attempt 1, through the black hole: chunks 1-3 are acked, chunk 4
+	// (and every retransmission of it) vanishes.
+	c1 := dial(t, proxy.Addr().String())
+	c1.Timeout = 50 * time.Millisecond
+	c1.Retries = 2
+	c1.SetSeed(1)
+	err = c1.LoadProgram(leon.DefaultLoadAddr, img)
+	var le *client.LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("interrupted load returned %v, want *LoadError", err)
+	}
+	if le.ChunksAcked != 3 || le.ChunksTotal != chunks {
+		t.Fatalf("partial progress = %d/%d, want 3/%d", le.ChunksAcked, le.ChunksTotal, chunks)
+	}
+	if !errors.Is(err, client.ErrBoardUnreachable) {
+		t.Fatalf("LoadError does not unwrap to ErrBoardUnreachable: %v", err)
+	}
+
+	// Attempt 2, clean path: the load resumes from chunk 4.
+	c2 := dial(t, addr)
+	if err := c2.LoadProgram(leon.DefaultLoadAddr, img); err != nil {
+		t.Fatalf("resumed load: %v", err)
+	}
+
+	snap := platform.Metrics().Snapshot()
+	if got := snap.Counters["liquid_fpx_load_chunks_applied_total"]; got != uint64(chunks) {
+		t.Errorf("chunks applied = %d, want exactly %d (no chunk applied twice)", got, chunks)
+	}
+	if snap.Counters["liquid_fpx_load_chunks_dup_total"] == 0 {
+		t.Error("resume probe not counted as a duplicate chunk")
+	}
+	if snap.Counters["liquid_fpx_loads_completed_total"] != 1 {
+		t.Error("load did not complete exactly once")
+	}
+	csnap := c2.Metrics().Snapshot()
+	if csnap.Counters["liquid_client_loads_resumed_total"] != 1 {
+		t.Error("client did not count the resume")
+	}
+	if got := csnap.Counters["liquid_client_load_chunks_skipped_total"]; got != 2 {
+		t.Errorf("client skipped %d chunks, want 2 (chunks 2-3 already held)", got)
+	}
+}
+
+// TestDuplicateResponsesSuppressed: with every status ack duplicated
+// by the relay, the stray copy left in the socket buffer is discarded
+// by the next exchange's seq filter instead of being mistaken for its
+// answer.
+func TestDuplicateResponsesSuppressed(t *testing.T) {
+	platform := fpx.New(fpx.NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	srv, err := New(platform, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serveNode(t, srv)
+
+	rules, err := chaos.ParseScript("down:status=dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := chaosProxy(t, addr, chaos.Config{Seed: 1, Script: rules})
+
+	c := dial(t, proxy.Addr().String())
+	for i := 0; i < 3; i++ {
+		if _, err := c.Status(); err != nil {
+			t.Fatalf("status %d: %v", i, err)
+		}
+	}
+	snap := c.Metrics().Snapshot()
+	if snap.Counters["liquid_client_dup_responses_total"] == 0 {
+		t.Error("duplicated acks were never suppressed")
+	}
+}
+
+// TestRetransmittedStartNotReapplied: the server's dedup window must
+// re-ack a duplicated start instead of starting the board twice — a
+// double apply would re-run the program and corrupt the cycle report.
+func TestRetransmittedStartNotReapplied(t *testing.T) {
+	iters := 50_000
+	if raceEnabled || testing.Short() {
+		iters = 20_000
+	}
+	obj := assembleAt(t, countProg(iters))
+
+	srv, addr := startServer(t)
+	rules, err := chaos.ParseScript("up:start=dup, up:result=dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := chaosProxy(t, addr, chaos.Config{Seed: 1, Script: rules})
+	c := dial(t, proxy.Addr().String())
+
+	if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Start(obj.Origin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusOK || rep.Cycles == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.Counters["liquid_fpx_dup_requests_total"] == 0 {
+		t.Error("duplicated requests never hit the dedup window")
+	}
+}

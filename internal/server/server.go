@@ -216,11 +216,11 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 	s.m.bytesIn.Add(uint64(len(payload)))
 	board := 0
 	cmd := "invalid"
-	var pktCmd uint8 = netproto.CmdStatus
+	hdr := netproto.Packet{Command: netproto.CmdStatus}
 	if pkt, err := netproto.ParsePacket(payload); err == nil {
 		cmd = netproto.CommandName(pkt.Command)
 		board = int(pkt.Board)
-		pktCmd = pkt.Command
+		hdr = pkt
 	}
 	src, ok := ipv4Of(peer.IP)
 	if !ok {
@@ -235,7 +235,7 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 	}
 	if board >= len(s.boards) {
 		s.m.drops.With("bad_board").Inc()
-		s.replyError(peer, pktCmd, fmt.Sprintf("no board %d on this node (%d boards)", board, len(s.boards)))
+		s.replyError(peer, hdr, fmt.Sprintf("no board %d on this node (%d boards)", board, len(s.boards)))
 		s.bufs.Put(bufp)
 		return
 	}
@@ -245,17 +245,22 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 	default:
 		// Bounded queue full: backpressure, not buffering.
 		s.m.drops.With("busy").Inc()
-		s.replyError(peer, pktCmd, fmt.Sprintf("board %d busy (queue full)", board))
+		s.replyError(peer, hdr, fmt.Sprintf("board %d busy (queue full)", board))
 		s.bufs.Put(bufp)
 	}
 }
 
 // replyError sends a CmdError straight from the read loop (for
-// failures the board worker never sees: bad board, full queue).
-func (s *Server) replyError(peer *net.UDPAddr, cmd uint8, msg string) {
+// failures the board worker never sees: bad board, full queue). The
+// request's board and exchange seq are echoed so a sequencing client
+// attributes the error to the right request.
+func (s *Server) replyError(peer *net.UDPAddr, req netproto.Packet, msg string) {
 	pkt := netproto.Packet{
 		Command: netproto.CmdError,
-		Body:    netproto.ErrorResp{Code: cmd, Msg: msg}.Marshal(),
+		Board:   req.Board,
+		Seq:     req.Seq,
+		HasSeq:  req.HasSeq,
+		Body:    netproto.ErrorResp{Code: req.Command, Msg: msg}.Marshal(),
 	}
 	raw := pkt.Marshal()
 	if n, err := s.conn.WriteToUDP(raw, peer); err != nil {
