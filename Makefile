@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke ci
+.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke trace-smoke ci
 
 all: build
 
@@ -74,4 +74,11 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-ci: fmt-check vet build race race-net chaos cover-gate bench-smoke
+# trace-smoke runs the two-board example with end-to-end exchange
+# tracing and lets it self-validate the merged Chrome trace-event
+# export (JSON parses, every span nests inside its parent); the
+# example exits non-zero if the timeline is malformed.
+trace-smoke:
+	$(GO) run ./examples/multinode -trace-out $${TMPDIR:-/tmp}/liquidarch-trace-smoke.json
+
+ci: fmt-check vet build race race-net chaos cover-gate bench-smoke trace-smoke

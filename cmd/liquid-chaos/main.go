@@ -17,7 +17,11 @@
 // overridden per direction (-up-drop, -down-drop, and so on for every
 // fault). -script adds surgical rules on top (see internal/chaos
 // ParseScript for the grammar). With -metrics-addr the proxy exposes
-// its injection counters at /metrics and /statusz.
+// its injection counters at /metrics and /statusz, plus /debug/traces:
+// when a packet carrying a v4 trace id is hit by a fault, the proxy
+// annotates the fault into that trace (source "chaos"), so a merged
+// timeline shows exactly which datagram the network ate (-trace=false
+// disables the annotations).
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"liquidarch/internal/chaos"
 	"liquidarch/internal/cliutil"
 	"liquidarch/internal/metrics"
+	"liquidarch/internal/tracing"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 	seed := fs.Int64("seed", 1, "fault-sequence seed (pin it to replay a soak)")
 	script := fs.String("script", "", "surgical rules, e.g. 'up:load@3=drop,down:start=dup'")
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics and /statusz (empty = disabled)")
+	trace := fs.Bool("trace", true, "annotate injected faults into the traces of v4 packets they hit")
 
 	both := symmetricFaults(fs, "", "both directions")
 	up := symmetricFaults(fs, "up-", "client→server only (overrides the symmetric rate)")
@@ -51,12 +57,17 @@ func main() {
 		cliutil.Fatalf("liquid-chaos: %v", err)
 	}
 	reg := metrics.NewRegistry()
+	var col *tracing.Collector
+	if *trace {
+		col = tracing.New("chaos")
+	}
 	cfg := chaos.Config{
 		Seed:     *seed,
 		Up:       overlay(both.value(), up),
 		Down:     overlay(both.value(), down),
 		Script:   rules,
 		Registry: reg,
+		Tracer:   col,
 	}
 	proxy, err := chaos.NewProxy(*listen, *target, cfg)
 	if err != nil {
@@ -67,8 +78,12 @@ func main() {
 		if err != nil {
 			cliutil.Fatalf("liquid-chaos: metrics listener: %v", err)
 		}
+		handler := metrics.NewHTTPHandler(reg, nil)
+		if col != nil {
+			handler = tracing.NewDebugHandler(handler, nil, nil, col)
+		}
 		go func() {
-			if err := http.Serve(ln, metrics.NewHTTPHandler(reg, nil)); err != nil {
+			if err := http.Serve(ln, handler); err != nil {
 				log.Printf("liquid-chaos: metrics server: %v", err)
 			}
 		}()

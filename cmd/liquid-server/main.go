@@ -15,9 +15,16 @@
 //
 // With -metrics-addr set, an HTTP listener additionally serves
 // /metrics (Prometheus text), /statusz (JSON snapshot + recent events)
-// and /debug/pprof. Node-wide socket/queue telemetry lives on board 0's
-// registry. The same snapshot is available in-band over UDP via
-// `liquidctl stats`.
+// and /debug/pprof, plus the tracing surface: /debug/traces (Chrome
+// trace-event JSON of recent exchanges), /debug/events?n=K (newest
+// events, plain text) and /debug/flightrecord (black-box snapshot).
+// Node-wide socket/queue telemetry lives on board 0's registry. The
+// same snapshot is available in-band over UDP via `liquidctl stats`.
+//
+// Exchange tracing is on by default (-trace=false disables); the
+// flight recorder dumps the last traces + events to a timestamped
+// file in -flightrec-dir on any CmdError, on SIGQUIT, and on each
+// /debug/flightrecord hit.
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"liquidarch/internal/cliutil"
 	"liquidarch/internal/core"
@@ -35,6 +44,7 @@ import (
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
+	"liquidarch/internal/tracing"
 )
 
 func main() {
@@ -45,6 +55,8 @@ func main() {
 	verbose := fs.Bool("v", false, "log each handled request")
 	uart := fs.Bool("uart", true, "print the processor's UART output to stdout")
 	cacheDir := fs.String("cachedir", "", "persist the reconfiguration cache here")
+	trace := fs.Bool("trace", true, "record per-exchange span traces (fetch via liquidctl trace or /debug/traces)")
+	flightDir := fs.String("flightrec-dir", ".", "directory for flight-recorder dump files")
 	buildCfg := cliutil.ConfigFlags(fs)
 	fs.Parse(os.Args[1:])
 
@@ -98,18 +110,46 @@ func main() {
 	} else {
 		srv.Events().MinLevel = eventlog.Info
 	}
+	var col *tracing.Collector
+	var fr *tracing.FlightRecorder
+	if *trace {
+		col = tracing.New("server")
+		srv.EnableTracing(col)
+		fr = &tracing.FlightRecorder{
+			Collectors: []*tracing.Collector{col},
+			Events:     srv.Events(),
+			Dir:        *flightDir,
+		}
+		srv.SetFlightRecorder(fr)
+		// SIGQUIT dumps the black box (and keeps the default
+		// kill-with-stacks behavior out of the way).
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGQUIT)
+		go func() {
+			for range sigc {
+				if path, err := fr.Dump("sigquit"); err != nil {
+					log.Printf("liquid-server: flight dump: %v", err)
+				} else if path != "" {
+					log.Printf("liquid-server: flight dump written to %s", path)
+				}
+			}
+		}()
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			cliutil.Fatalf("liquid-server: metrics listener: %v", err)
 		}
 		handler := metrics.NewHTTPHandler(sys.Metrics(), sys.Events())
+		if col != nil {
+			handler = tracing.NewDebugHandler(handler, fr, srv.Events(), col)
+		}
 		go func() {
 			if err := http.Serve(ln, handler); err != nil {
 				log.Printf("liquid-server: metrics server: %v", err)
 			}
 		}()
-		fmt.Printf("liquid-server: telemetry on http://%s/metrics (also /statusz, /debug/pprof)\n", ln.Addr())
+		fmt.Printf("liquid-server: telemetry on http://%s/metrics (also /statusz, /debug/pprof, /debug/traces)\n", ln.Addr())
 	}
 	util := sys.ActiveImage().Util
 	fmt.Printf("liquid-server: %s on %s (%d board(s))\n", synth.ConfigKey(cfg), srv.Addr(), srv.Boards())

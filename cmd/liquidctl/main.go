@@ -13,11 +13,20 @@
 //	liquidctl -server HOST:PORT reconfigure -spec '{"dcache_bytes":8192}'
 //	liquidctl -server HOST:PORT getconfig
 //	liquidctl -server HOST:PORT stats      # telemetry snapshot (JSON)
+//	liquidctl -server HOST:PORT traces     # recent exchange traces (Chrome JSON)
 //
 // Every verb accepts -board N to address a board other than 0 on a
 // multi-board node (liquid-server -boards), plus retry knobs for lossy
 // networks: -timeout, -max-timeout, -retries, -backoff, -jitter and
 // -wait-timeout (zero values keep the client defaults).
+//
+// Every verb also accepts -trace: the invocation mints one 64-bit
+// trace id, stamps it on every datagram (v4 header), records the
+// client's own spans (each exchange, attempt, retry and backoff), then
+// pulls the server's spans for the same id over CmdTraces and writes
+// the merged timeline as Chrome trace-event JSON to -trace-out
+// (default liquidctl-trace.json; load it in chrome://tracing or
+// Perfetto).
 // start is asynchronous on
 // the wire: it acks as soon as the board begins executing, then (with
 // -wait, the default) polls until completion and prints the report;
@@ -40,6 +49,7 @@ import (
 	"liquidarch/internal/leon"
 	"liquidarch/internal/link"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
 )
 
 func main() {
@@ -63,6 +73,8 @@ func main() {
 	backoff := fs.Float64("backoff", 0, "timeout growth factor between attempts (0 = client default)")
 	jitter := fs.Float64("jitter", 0, "± randomisation applied to each backoff wait (0 = client default, negative = none)")
 	waitTimeout := fs.Duration("wait-timeout", 0, "overall budget for waiting on a run result (0 = client default)")
+	traceOn := fs.Bool("trace", false, "trace this invocation end-to-end and write a Chrome trace-event timeline")
+	traceOut := fs.String("trace-out", "liquidctl-trace.json", "output file for the -trace timeline")
 
 	if len(os.Args) < 2 {
 		cliutil.Fatalf("liquidctl: no command; see source header for usage")
@@ -73,7 +85,7 @@ func main() {
 		"status": true, "load": true, "start": true, "result": true,
 		"readmem": true, "writemem": true, "run": true,
 		"reconfigure": true, "getconfig": true, "trace": true,
-		"stats": true,
+		"stats": true, "traces": true,
 	}
 	args := os.Args[1:]
 	verb := ""
@@ -116,6 +128,14 @@ func main() {
 	}
 	if *waitTimeout > 0 {
 		c.WaitTimeout = *waitTimeout
+	}
+	if *traceOn {
+		col := tracing.New("client")
+		c.Tracer = col
+		c.TraceID = col.NewTraceID()
+		// The deferred write runs after the verb completes (it is
+		// skipped when a verb exits through Fatalf).
+		defer writeTraceTimeline(c, col, *traceOut)
 	}
 
 	switch verb {
@@ -236,6 +256,23 @@ func main() {
 		}
 		fmt.Println(string(blob))
 
+	case "traces":
+		tds, err := c.Traces(0)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		data, err := tracing.ChromeJSON(tds)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		if *out != "" {
+			if err := cliutil.WriteOutput(*out, data); err != nil {
+				cliutil.Fatalf("liquidctl: %v", err)
+			}
+			return
+		}
+		fmt.Println(string(data))
+
 	case "stats":
 		blob, err := c.Stats()
 		if err != nil {
@@ -251,6 +288,27 @@ func main() {
 	default:
 		cliutil.Fatalf("liquidctl: unknown command %q", verb)
 	}
+}
+
+// writeTraceTimeline pulls the server's spans for this invocation's
+// trace id, merges them with the client's own, and writes the Chrome
+// trace-event timeline.
+func writeTraceTimeline(c *client.Client, col *tracing.Collector, out string) {
+	serverSpans, err := c.Traces(c.TraceID)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: server trace fetch: %v (writing client spans only)\n", err)
+	}
+	clientSpans := col.TakeTrace(c.TraceID)
+	data, err := tracing.ChromeJSON(clientSpans, serverSpans)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: trace export: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "liquidctl: trace write: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "liquidctl: trace %016x written to %s (open in chrome://tracing)\n", c.TraceID, out)
 }
 
 func buildImage(cSrc, sSrc string, mac bool) *link.Image {

@@ -7,11 +7,18 @@
 // concurrently: start returns immediately, status polls watch the live
 // cycle counters side by side, and the results are collected when each
 // board finishes.
+//
+// Every exchange is traced end-to-end: each client mints one trace id,
+// the server's queue/handle/run spans join it, and with -trace-out the
+// merged timeline is validated and written as Chrome trace-event JSON
+// (open it in chrome://tracing to see both boards' runs side by side).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -23,6 +30,7 @@ import (
 	"liquidarch/internal/link"
 	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
+	"liquidarch/internal/tracing"
 )
 
 const program = `
@@ -41,6 +49,9 @@ int main() {
 }`
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write the merged exchange-trace timeline (Chrome JSON) here")
+	flag.Parse()
+
 	// Two boards, two microarchitectures: a small 1 KB data cache
 	// against the tuned 8 KB point.
 	boards := []struct {
@@ -68,6 +79,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	serverCol := tracing.New("server")
+	srv.EnableTracing(serverCol)
+	clientCol := tracing.New("client")
 	go srv.Serve()
 	defer srv.Close()
 	fmt.Printf("node: %d boards on %s\n", srv.Boards(), srv.Addr())
@@ -85,6 +99,7 @@ func main() {
 	}
 
 	clients := make([]*client.Client, len(boards))
+	traceIDs := make([]uint64, len(boards))
 	for i := range clients {
 		c, err := client.Dial(srv.Addr().String())
 		if err != nil {
@@ -92,6 +107,11 @@ func main() {
 		}
 		defer c.Close()
 		c.Board = uint8(i)
+		// One trace per board's session: the client's op/exchange spans
+		// and the server's queue/handle/run spans share the id.
+		c.Tracer = clientCol
+		c.TraceID = clientCol.NewTraceID()
+		traceIDs[i] = c.TraceID
 		clients[i] = c
 	}
 
@@ -144,4 +164,25 @@ func main() {
 	fmt.Printf("\nnode: %d datagrams in, %d out — both boards ran concurrently\n",
 		snap.Counter("liquid_server_datagrams_in_total"),
 		snap.Counter("liquid_server_datagrams_out_total"))
+
+	if *traceOut != "" {
+		var groups [][]tracing.TraceData
+		for _, id := range traceIDs {
+			groups = append(groups, clientCol.TakeTrace(id), serverCol.TakeTrace(id))
+		}
+		data, err := tracing.ChromeJSON(groups...)
+		if err != nil {
+			log.Fatalf("trace export: %v", err)
+		}
+		// Self-validate before writing: the JSON must parse and every
+		// child span must start within its parent.
+		n, err := tracing.ValidateChrome(data)
+		if err != nil {
+			log.Fatalf("trace validation: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d spans across %d traces written to %s\n", n, len(traceIDs), *traceOut)
+	}
 }

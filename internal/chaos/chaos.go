@@ -31,6 +31,7 @@ import (
 
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
 )
 
 // Direction labels the two halves of a control-plane path.
@@ -80,6 +81,13 @@ type Config struct {
 	Up, Down Faults
 	Script   []*Rule
 	Registry *metrics.Registry // nil → uncounted (nil-safe instruments)
+	// Tracer, when set, annotates every injected fault into the
+	// exchange trace named by the packet it hit: packets carrying a v4
+	// trace id get a zero-length "fault:<event>" span (dir and cmd
+	// attrs) in that trace, so a merged timeline shows exactly which
+	// datagram the chaos layer dropped, duplicated, delayed, reordered
+	// or truncated. Packets without a trace id are unannotated.
+	Tracer *tracing.Collector
 }
 
 // delayed is a packet scheduled for out-of-band delivery.
@@ -98,6 +106,7 @@ type injector struct {
 	script []*Rule
 	dir    Direction
 	held   []byte // reorder hold slot (nil = empty)
+	tracer *tracing.Collector
 
 	packets  *metrics.Counter
 	injected *metrics.CounterVec
@@ -121,9 +130,22 @@ func newInjector(dir Direction, f Faults, script []*Rule, seed int64, reg *metri
 	return inj
 }
 
-// count records one injected fault.
-func (inj *injector) count(event string) {
+// count records one injected fault and, when the victim packet names a
+// trace, annotates the fault into that trace. p is the payload as it
+// looked when the decision was drawn (best effort: a packet already
+// cut below the v4 header annotates nothing).
+func (inj *injector) count(event string, p []byte) {
 	inj.injected.With(inj.dir.String() + "_" + event).Inc()
+	if inj.tracer == nil {
+		return
+	}
+	pkt, err := netproto.ParsePacket(p)
+	if err != nil || !pkt.HasTrace || pkt.TraceID == 0 {
+		return
+	}
+	inj.tracer.Trace(pkt.TraceID).Event("fault:"+event,
+		tracing.A("dir", inj.dir.String()),
+		tracing.A("cmd", netproto.CommandName(pkt.Command)))
 }
 
 // apply runs the fault decision for one packet and returns the
@@ -156,25 +178,25 @@ func (inj *injector) apply(payload []byte) (now [][]byte, later []delayed) {
 func (inj *injector) applyRandom(p []byte) ([][]byte, []delayed) {
 	f := inj.f
 	if f.Drop > 0 && inj.rng.Float64() < f.Drop {
-		inj.count("drop")
+		inj.count("drop", p)
 		return nil, nil
 	}
 	if f.Truncate > 0 && inj.rng.Float64() < f.Truncate && len(p) > 0 {
 		n := inj.rng.Intn(len(p))
-		inj.count("truncate")
+		inj.count("truncate", p)
 		p = p[:n]
 	}
 	if f.Reorder > 0 && inj.rng.Float64() < f.Reorder && inj.held == nil {
-		inj.count("reorder")
+		inj.count("reorder", p)
 		inj.held = p
 		return nil, nil
 	}
 	if f.Delay > 0 && inj.rng.Float64() < f.Delay {
-		inj.count("delay")
+		inj.count("delay", p)
 		return nil, []delayed{{payload: p, after: inj.delayDur()}}
 	}
 	if f.Dup > 0 && inj.rng.Float64() < f.Dup {
-		inj.count("dup")
+		inj.count("dup", p)
 		return [][]byte{p, p}, nil
 	}
 	return [][]byte{p}, nil
@@ -184,14 +206,14 @@ func (inj *injector) applyRandom(p []byte) ([][]byte, []delayed) {
 func (inj *injector) applyAction(a Action, arg int64, p []byte) ([][]byte, []delayed) {
 	switch a {
 	case ActDrop:
-		inj.count("drop")
+		inj.count("drop", p)
 		return nil, nil
 	case ActDup:
-		inj.count("dup")
+		inj.count("dup", p)
 		return [][]byte{p, p}, nil
 	case ActReorder:
 		if inj.held == nil {
-			inj.count("reorder")
+			inj.count("reorder", p)
 			inj.held = p
 			return nil, nil
 		}
@@ -201,10 +223,10 @@ func (inj *injector) applyAction(a Action, arg int64, p []byte) ([][]byte, []del
 		if n > len(p) {
 			n = len(p)
 		}
-		inj.count("truncate")
+		inj.count("truncate", p)
 		return [][]byte{p[:n]}, nil
 	case ActDelay:
-		inj.count("delay")
+		inj.count("delay", p)
 		return nil, []delayed{{payload: p, after: time.Duration(arg)}}
 	default:
 		return [][]byte{p}, nil

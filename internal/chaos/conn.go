@@ -39,11 +39,13 @@ func WrapPacketConn(inner net.PacketConn, cfg Config) *Conn {
 		downFaults.Reorder += downFaults.Delay
 		downFaults.Delay = 0
 	}
-	return &Conn{
+	c := &Conn{
 		inner: inner,
 		up:    newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
 		down:  newInjector(Down, downFaults, cfg.Script, cfg.Seed, cfg.Registry),
 	}
+	c.up.tracer, c.down.tracer = cfg.Tracer, cfg.Tracer
+	return c
 }
 
 // ReadFrom delivers the next surviving inbound packet.

@@ -56,13 +56,15 @@ func NewProxy(listenAddr, targetAddr string, cfg Config) (*Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
-	return &Proxy{
+	px := &Proxy{
 		listen:   conn,
 		target:   ta,
 		up:       newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
 		down:     newInjector(Down, cfg.Down, cfg.Script, cfg.Seed, cfg.Registry),
 		sessions: make(map[string]*session),
-	}, nil
+	}
+	px.up.tracer, px.down.tracer = cfg.Tracer, cfg.Tracer
+	return px, nil
 }
 
 // Addr returns the bound listen address — point clients here.

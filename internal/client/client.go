@@ -22,6 +22,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -30,6 +31,7 @@ import (
 
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
 )
 
 // ErrBoardUnreachable reports that an exchange exhausted its retry
@@ -138,8 +140,21 @@ type Client struct {
 	// (0 = 2 minutes).
 	WaitTimeout time.Duration
 
+	// Tracer, when set, records one span tree per exchange: an
+	// "exchange:<cmd>" span with an "attempt" child for the first
+	// datagram and a "retry" child for every retransmission (so
+	// counting retry spans reproduces the retries metric). High-level
+	// operations (Status, LoadProgram, Start, …) wrap their exchanges
+	// in an operation span.
+	Tracer *tracing.Collector
+	// TraceID is the 64-bit trace the client's spans join and the id
+	// stamped on every outgoing packet (v4 header) so the server's
+	// spans land in the same trace. Zero disables both.
+	TraceID uint64
+
 	seq uint16
 	rng *rand.Rand
+	op  tracing.Ctx // active operation span context, if any
 
 	reg *metrics.Registry
 	m   clientMetrics
@@ -180,6 +195,40 @@ func (c *Client) Metrics() *metrics.Registry { return c.reg }
 // Close releases the socket.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// traceCtx is the client's handle on the current trace (no-op when
+// tracing is off).
+func (c *Client) traceCtx() tracing.Ctx {
+	if c.Tracer == nil || c.TraceID == 0 {
+		return tracing.Ctx{}
+	}
+	return c.Tracer.Trace(c.TraceID)
+}
+
+// beginOp opens an operation span ("status", "load", "start", …)
+// unless one is already active — nested operations (Start calling
+// WaitResult calling Result) share the outermost span.
+func (c *Client) beginOp(name string) tracing.SpanHandle {
+	if c.op.On() {
+		return tracing.SpanHandle{}
+	}
+	sp := c.traceCtx().Start(name)
+	c.op = sp.Ctx()
+	return sp
+}
+
+// endOp closes an operation span opened by beginOp.
+func (c *Client) endOp(sp tracing.SpanHandle, err error) {
+	if !sp.On() {
+		return
+	}
+	c.op = tracing.Ctx{}
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	sp.EndAttrs(tracing.A("status", status))
+}
+
 // jittered applies the ± Jitter fraction to a wait.
 func (c *Client) jittered(d time.Duration) time.Duration {
 	j := c.Jitter
@@ -211,11 +260,27 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 	pkt.Board = c.Board
 	c.seq++
 	pkt.Seq, pkt.HasSeq = c.seq, true
+	if c.TraceID != 0 {
+		pkt.TraceID, pkt.HasTrace = c.TraceID, true
+	}
 	want := pkt.Command | netproto.RespFlag
 	raw := pkt.Marshal()
 	buf := make([]byte, 64<<10)
 	c.m.requests.With(netproto.CommandName(pkt.Command)).Inc()
 	start := time.Now()
+
+	// One exchange span; each datagram is an "attempt" (first) or
+	// "retry" (retransmission) child. Fetching traces (CmdTraces) is
+	// itself never traced, so pulling a trace does not grow it.
+	var xs tracing.SpanHandle
+	if pkt.Command != netproto.CmdTraces {
+		xc := c.op
+		if !xc.On() {
+			xc = c.traceCtx()
+		}
+		xs = xc.Start("exchange:" + netproto.CommandName(pkt.Command))
+	}
+	xchild := xs.Ctx()
 
 	wait := c.Timeout
 	if wait <= 0 {
@@ -245,8 +310,18 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 		if !overall.IsZero() && !time.Now().Before(overall) {
 			break // caller's budget exhausted: do not start another attempt
 		}
+		aname := "attempt"
+		if attempt > 0 {
+			aname = "retry"
+		}
+		as := xchild.Start(aname)
+		if as.On() && attempt > 0 {
+			as = as.WithAttr("wait", wait.String())
+		}
 		if _, err := c.conn.Write(raw); err != nil {
 			c.m.errors.Inc()
+			as.EndAttrs(tracing.A("outcome", "send_error"))
+			xs.EndAttrs(tracing.A("status", "error"))
 			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
 		}
 		attempts++
@@ -257,12 +332,15 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				c.m.errors.Inc()
+				as.EndAttrs(tracing.A("outcome", "socket_error"))
+				xs.EndAttrs(tracing.A("status", "error"))
 				return netproto.Packet{}, err
 			}
 			n, err := c.conn.Read(buf)
 			if err != nil {
 				lastErr = err
 				c.m.timeouts.Inc()
+				as.EndAttrs(tracing.A("outcome", "timeout"))
 				break // timeout: retransmit
 			}
 			resp, err := netproto.ParsePacket(buf[:n])
@@ -287,12 +365,16 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 				er, perr := netproto.ParseErrorResp(resp.Body)
 				if perr != nil {
 					c.m.errors.Inc()
+					as.EndAttrs(tracing.A("outcome", "bad_error_resp"))
+					xs.EndAttrs(tracing.A("status", "error"))
 					return netproto.Packet{}, fmt.Errorf("client: malformed error response: %w", perr)
 				}
 				if er.Code != pkt.Command {
 					continue // stale error for an earlier request
 				}
 				c.m.errors.Inc()
+				as.EndAttrs(tracing.A("outcome", "server_error"))
+				xs.EndAttrs(tracing.A("status", "error"), tracing.A("error", er.Msg))
 				return netproto.Packet{}, fmt.Errorf("client: server error: %s", er.Msg)
 			}
 			if resp.Command != want {
@@ -302,6 +384,11 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 			copy(body, resp.Body)
 			resp.Body = body
 			c.m.rtt.ObserveSince(start)
+			as.EndAttrs(tracing.A("outcome", "ok"))
+			if xs.On() {
+				xs.EndAttrs(tracing.A("status", "ok"),
+					tracing.A("attempts", fmt.Sprintf("%d", attempts)))
+			}
 			return resp, nil
 		}
 	}
@@ -310,6 +397,7 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 	if lastErr == nil {
 		lastErr = fmt.Errorf("deadline before first attempt")
 	}
+	xs.EndAttrs(tracing.A("status", "unreachable"))
 	return netproto.Packet{}, &UnreachableError{
 		Board:    c.Board,
 		Cmd:      netproto.CommandName(pkt.Command),
@@ -321,7 +409,9 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 
 // Status queries the controller state ("to check if LEON has started
 // up").
-func (c *Client) Status() (netproto.StatusResp, error) {
+func (c *Client) Status() (st netproto.StatusResp, err error) {
+	op := c.beginOp("status")
+	defer func() { c.endOp(op, err) }()
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStatus})
 	if err != nil {
 		return netproto.StatusResp{}, err
@@ -337,7 +427,9 @@ func (c *Client) Status() (netproto.StatusResp, error) {
 // the server re-acks without re-applying and the client skips ahead to
 // the first chunk the board is missing. On failure the returned error
 // is a *LoadError carrying the acknowledged-chunk count.
-func (c *Client) LoadProgram(addr uint32, image []byte) error {
+func (c *Client) LoadProgram(addr uint32, image []byte) (err error) {
+	op := c.beginOp("load")
+	defer func() { c.endOp(op, err) }()
 	chunks := netproto.ChunkImage(addr, image)
 	acked := 0
 	resumed := false
@@ -397,7 +489,9 @@ func (c *Client) Start(entry uint32, maxCycles uint64) (netproto.RunReport, erro
 // acknowledges the handoff — the "started" ack of the asynchronous
 // control plane. Poll Status (CurCycles advances while running) and
 // collect the report with Result or WaitResult.
-func (c *Client) StartAsync(entry uint32, maxCycles uint64) error {
+func (c *Client) StartAsync(entry uint32, maxCycles uint64) (err error) {
+	op := c.beginOp("start")
+	defer func() { c.endOp(op, err) }()
 	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartLEON, Body: req.Marshal()})
 	if err != nil {
@@ -422,7 +516,9 @@ func (c *Client) Result() (netproto.RunReport, error) {
 }
 
 // resultWithin is Result bounded by an overall deadline.
-func (c *Client) resultWithin(deadline time.Time) (netproto.RunReport, error) {
+func (c *Client) resultWithin(deadline time.Time) (rep netproto.RunReport, err error) {
+	op := c.beginOp("result")
+	defer func() { c.endOp(op, err) }()
 	resp, err := c.exchange(netproto.Packet{Command: netproto.CmdResult}, deadline)
 	if err != nil {
 		return netproto.RunReport{}, err
@@ -443,7 +539,9 @@ func (c *Client) WaitResult() (netproto.RunReport, error) {
 // WaitResultContext is WaitResult bounded additionally by ctx: it
 // returns early with ctx.Err() when the context is canceled or its
 // deadline (if sooner than WaitTimeout) passes.
-func (c *Client) WaitResultContext(ctx context.Context) (netproto.RunReport, error) {
+func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport, err error) {
+	op := c.beginOp("wait_result")
+	defer func() { c.endOp(op, err) }()
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 2 * time.Millisecond
@@ -491,7 +589,9 @@ func (c *Client) WaitResultContext(ctx context.Context) (netproto.RunReport, err
 // (CmdStartSync): one request, one response carrying the final report.
 // It is the v1-compatible path for short programs; prefer
 // StartAsync/WaitResult, which keeps the control channel responsive.
-func (c *Client) StartSync(entry uint32, maxCycles uint64) (netproto.RunReport, error) {
+func (c *Client) StartSync(entry uint32, maxCycles uint64) (rep netproto.RunReport, err error) {
+	op := c.beginOp("start_sync")
+	defer func() { c.endOp(op, err) }()
 	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartSync, Body: req.Marshal()})
 	if err != nil {
@@ -543,7 +643,9 @@ func (c *Client) WriteMemory(addr uint32, data []byte) error {
 // Reconfigure asks the platform to swap in a different architecture
 // configuration (the liquid step). spec is the platform-defined
 // configuration description.
-func (c *Client) Reconfigure(spec []byte) error {
+func (c *Client) Reconfigure(spec []byte) (err error) {
+	op := c.beginOp("reconfigure")
+	defer func() { c.endOp(op, err) }()
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdReconfigure, Body: spec})
 	if err != nil {
 		return err
@@ -575,6 +677,32 @@ func (c *Client) TraceReport() ([]byte, error) {
 		return nil, err
 	}
 	return resp.Body, nil
+}
+
+// Traces pulls the server's exchange-trace spans over the control
+// channel (CmdTraces). id selects one trace (the server removes it
+// from its ring — fetch once and keep it); zero asks for all recently
+// completed traces. The result is JSON: an array of tracing.TraceData
+// documents, mergeable with the client's own collector output via
+// tracing.ChromeJSON. The fetch exchange itself is never traced.
+func (c *Client) Traces(id uint64) ([]tracing.TraceData, error) {
+	req := netproto.TracesReq{TraceID: id}
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdTraces, Body: req.Marshal()})
+	if err != nil {
+		return nil, err
+	}
+	tr, err := netproto.ParseTracesResp(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Status != netproto.StatusOK {
+		return nil, fmt.Errorf("client: traces status %d", tr.Status)
+	}
+	var out []tracing.TraceData
+	if err := json.Unmarshal(tr.JSON, &out); err != nil {
+		return nil, fmt.Errorf("client: traces payload: %w", err)
+	}
+	return out, nil
 }
 
 // Stats pulls the server node's telemetry snapshot over the control

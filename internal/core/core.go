@@ -25,6 +25,7 @@ import (
 	"liquidarch/internal/reconfig"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/trace"
+	"liquidarch/internal/tracing"
 )
 
 // Options configures a System beyond the processor configuration.
@@ -101,6 +102,7 @@ func New(cfg leon.Config, opts Options) (*System, error) {
 	}
 	s.platform = fpx.New(tracedControl{s}, opts.IP, opts.Port)
 	s.platform.ReconfigureFn = s.reconfigureFromSpec
+	s.platform.ReconfigureCtxFn = s.reconfigureFromSpecCtx
 	s.platform.ConfigFn = func() []byte {
 		blob, _ := json.Marshal(SpecFromConfig(s.Config()))
 		return blob
@@ -227,6 +229,33 @@ func (s *System) LastReconfigureHit() bool {
 // under the live processor, without a reset or memory copy (disable
 // with Options.DisablePartial).
 func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
+	return s.ReconfigureCtx(tracing.Ctx{}, cfg)
+}
+
+// ReconfigureCtx is Reconfigure with an exchange-trace context: the
+// whole swap becomes one "reconfigure" span annotated with the cache
+// outcome (hit|miss) and the swap path (partial|full).
+func (s *System) ReconfigureCtx(tc tracing.Ctx, cfg leon.Config) (cacheHit bool, err error) {
+	span := tc.Start("reconfigure")
+	kind := "none"
+	defer func() {
+		if !span.On() {
+			return
+		}
+		outcome := "miss"
+		if cacheHit {
+			outcome = "hit"
+		}
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		span.EndAttrs(
+			tracing.A("cache", outcome),
+			tracing.A("kind", kind),
+			tracing.A("status", status),
+		)
+	}()
 	img, hit, err := s.manager.GetOrSynthesize(cfg)
 	if err != nil {
 		return false, err
@@ -237,6 +266,7 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 		// Partial runtime reconfiguration: the cache-plugin swap runs
 		// on the actor goroutine, between step slices — legal even
 		// under a live processor, which is the whole point of [2].
+		kind = "partial"
 		var swapErr error
 		if derr := s.actrl.Do(func(c *leon.Controller) {
 			swapErr = c.SoC().SwapCaches(cfg.ICache, cfg.DCache)
@@ -255,6 +285,7 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 	}
 	// A full image load resets the processor; refuse while a run is in
 	// flight (the client collects or abandons first).
+	kind = "full"
 	if s.actrl.State() == leon.StateRunning {
 		return hit, fmt.Errorf("core: cannot reconfigure while a run is in flight")
 	}
@@ -303,6 +334,11 @@ func (s *System) LastReconfigureWasPartial() bool {
 
 // reconfigureFromSpec handles the network CmdReconfigure payload.
 func (s *System) reconfigureFromSpec(blob []byte) error {
+	return s.reconfigureFromSpecCtx(tracing.Ctx{}, blob)
+}
+
+// reconfigureFromSpecCtx is the trace-aware CmdReconfigure handler.
+func (s *System) reconfigureFromSpecCtx(tc tracing.Ctx, blob []byte) error {
 	var spec Spec
 	if err := json.Unmarshal(blob, &spec); err != nil {
 		return fmt.Errorf("core: bad reconfigure spec: %w", err)
@@ -311,7 +347,7 @@ func (s *System) reconfigureFromSpec(blob []byte) error {
 	if err != nil {
 		return err
 	}
-	_, err = s.Reconfigure(cfg)
+	_, err = s.ReconfigureCtx(tc, cfg)
 	return err
 }
 

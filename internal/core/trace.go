@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"liquidarch/internal/leon"
 	"liquidarch/internal/trace"
+	"liquidarch/internal/tracing"
 )
 
 // tracedControl is the LEON control interface the FPX platform sees:
@@ -41,10 +43,15 @@ func (t tracedControl) WriteMemory(addr uint32, p []byte) error {
 
 // netRunOpts builds the per-run hooks for a networked execution:
 // attach a bounded recorder at the handoff, detach and publish it (and
-// the run telemetry) at completion.
-func (s *System) netRunOpts() leon.RunOptions {
+// the run telemetry) at completion. tc, when enabled, wraps the whole
+// asynchronous run in a "run" span — opened here at the handoff,
+// closed by the After hook on the actor goroutine when the run
+// completes — whose child context feeds the actor's per-slice spans.
+func (s *System) netRunOpts(tc tracing.Ctx) leon.RunOptions {
 	var rec *trace.Recorder
+	runSpan := tc.Start("run")
 	return leon.RunOptions{
+		Trace: runSpan.Ctx(),
 		Before: func(c *leon.Controller) {
 			rec = trace.NewRecorder()
 			rec.MaxEvents = 1 << 20
@@ -56,13 +63,33 @@ func (s *System) netRunOpts() leon.RunOptions {
 			s.lastTrace = rec
 			s.traceMu.Unlock()
 			s.observeRun(res, wall, err)
+			if runSpan.On() {
+				status := "ok"
+				switch {
+				case res.Faulted:
+					status = "fault"
+				case err != nil:
+					status = "error"
+				}
+				runSpan.EndAttrs(
+					tracing.A("cycles", strconv.FormatUint(res.Cycles, 10)),
+					tracing.A("status", status),
+				)
+			}
 		},
 	}
 }
 
 func (t tracedControl) Start(entry uint32, maxCycles uint64) error {
 	s := t.sys
-	return s.async().StartOpts(entry, maxCycles, s.netRunOpts())
+	return s.async().StartOpts(entry, maxCycles, s.netRunOpts(tracing.Ctx{}))
+}
+
+// StartCtx is the trace-aware handoff the FPX platform uses when the
+// exchange carries a trace context (fpx.CtxStarter).
+func (t tracedControl) StartCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) error {
+	s := t.sys
+	return s.async().StartOpts(entry, maxCycles, s.netRunOpts(tc))
 }
 
 func (t tracedControl) CollectResult() (leon.RunResult, error) {
@@ -71,7 +98,13 @@ func (t tracedControl) CollectResult() (leon.RunResult, error) {
 
 func (t tracedControl) Execute(entry uint32, maxCycles uint64) (leon.RunResult, error) {
 	s := t.sys
-	return s.async().ExecuteOpts(entry, maxCycles, s.netRunOpts())
+	return s.async().ExecuteOpts(entry, maxCycles, s.netRunOpts(tracing.Ctx{}))
+}
+
+// ExecuteCtx is the trace-aware blocking path (fpx.CtxExecutor).
+func (t tracedControl) ExecuteCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) (leon.RunResult, error) {
+	s := t.sys
+	return s.async().ExecuteOpts(entry, maxCycles, s.netRunOpts(tc))
 }
 
 // LastTrace returns the recorder from the most recent networked run

@@ -9,12 +9,15 @@ package fpx
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 
 	"liquidarch/internal/leon"
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
 )
 
 // LEONControl is what the CPP needs from the LEON controller; it is
@@ -102,6 +105,11 @@ type Platform struct {
 	// ReconfigureFn, when set, implements CmdReconfigure (wired up by
 	// the core liquid system, which can rebuild the SoC).
 	ReconfigureFn func(spec []byte) error
+	// ReconfigureCtxFn is the trace-aware variant; when set it takes
+	// precedence over ReconfigureFn and receives the exchange's trace
+	// context so the reconfiguration path (cache hit/miss,
+	// partial/full rebuild) appears in the span tree.
+	ReconfigureCtxFn func(tc tracing.Ctx, spec []byte) error
 	// ConfigFn, when set, implements CmdGetConfig.
 	ConfigFn func() []byte
 	// TraceFn, when set, implements CmdTraceReport — the paper's
@@ -117,6 +125,13 @@ type Platform struct {
 	reg    *metrics.Registry
 	events *eventlog.Log
 	m      platformMetrics
+
+	// tracer, when non-nil, records one span tree per exchange. The
+	// handle path is structured so a nil tracer adds zero allocations.
+	tracer *tracing.Collector
+	// flight, when non-nil, dumps the recent traces + eventlog tail
+	// whenever this platform answers with CmdError.
+	flight *tracing.FlightRecorder
 }
 
 type loadState struct {
@@ -132,6 +147,11 @@ type loadState struct {
 // log shared by every layer serving this node (core system, server).
 func New(ctrl LEONControl, ip [4]byte, port uint16) *Platform {
 	reg := metrics.NewRegistry()
+	reg.Info("liquid_build_info",
+		"Build and protocol identity of this node (constant 1).",
+		metrics.Label{Key: "go_version", Value: runtime.Version()},
+		metrics.Label{Key: "protocol", Value: strconv.Itoa(int(netproto.VersionTrace))},
+	)
 	return &Platform{
 		ctrl:   ctrl,
 		IP:     ip,
@@ -150,6 +170,26 @@ func (p *Platform) Metrics() *metrics.Registry { return p.reg }
 
 // Events returns the node's structured event log.
 func (p *Platform) Events() *eventlog.Log { return p.events }
+
+// EnableTracing attaches a span collector to the platform's handle
+// path: every exchange records a span tree under the trace id the
+// request carried (v4 header), or under a server-assigned id for
+// v1–v3 clients. A multi-board node passes the same collector to all
+// its platforms so the node exports one merged timeline.
+func (p *Platform) EnableTracing(col *tracing.Collector) { p.tracer = col }
+
+// Tracer returns the attached span collector (nil when tracing is
+// disabled).
+func (p *Platform) Tracer() *tracing.Collector { return p.tracer }
+
+// SetFlightRecorder attaches the crash-dump flight recorder: whenever
+// this platform answers with CmdError, the recorder dumps the recent
+// completed traces plus the eventlog tail to a timestamped file
+// (rate-limited).
+func (p *Platform) SetFlightRecorder(fr *tracing.FlightRecorder) { p.flight = fr }
+
+// FlightRecorder returns the attached flight recorder (nil when none).
+func (p *Platform) FlightRecorder() *tracing.FlightRecorder { return p.flight }
 
 // SetControl swaps the LEON controller behind the platform — the
 // moment after a new bitfile is loaded into the RAD and the rebuilt
@@ -185,6 +225,16 @@ func (p *Platform) LoadedAddr() uint32 { return p.loadedAddr }
 // back to the sender. Non-Liquid or wrong-port traffic produces no
 // responses (it would pass through to the switch fabric).
 func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
+	return p.HandleFrameTraced(frame, 0)
+}
+
+// HandleFrameTraced is HandleFrame with a pre-assigned trace id for
+// requests that carry none: the OS-socket server mints the id at
+// dispatch time (so its queue-wait span and the platform's handle
+// spans land in the same trace) and passes it down here. assigned 0
+// means "no pre-assigned id" — the platform mints its own when
+// tracing is enabled.
+func (p *Platform) HandleFrameTraced(frame []byte, assigned uint64) ([][]byte, error) {
 	atomic.AddUint64(&p.stats.FramesIn, 1)
 	p.m.framesIn.Inc()
 	f, err := netproto.ParseFrame(frame)
@@ -200,7 +250,7 @@ func (p *Platform) HandleFrame(frame []byte) ([][]byte, error) {
 		return nil, nil
 	}
 	src := fmt.Sprintf("%d.%d.%d.%d:%d", f.IP.Src[0], f.IP.Src[1], f.IP.Src[2], f.IP.Src[3], f.UDP.SrcPort)
-	resps := p.HandlePayloadFrom(src, f.Payload)
+	resps := p.HandlePayloadFromTraced(src, f.Payload, assigned)
 	frames := make([][]byte, len(resps))
 	for i, r := range resps {
 		frames[i] = netproto.BuildFrame(p.IP, f.IP.Src, p.Port, f.UDP.SrcPort, r.Marshal())
@@ -232,48 +282,116 @@ func (p *Platform) HandlePayload(payload []byte) []netproto.Packet {
 // double-writes. Every response echoes the request's board and seq so
 // the client can discard strays.
 func (p *Platform) HandlePayloadFrom(src string, payload []byte) []netproto.Packet {
+	return p.HandlePayloadFromTraced(src, payload, 0)
+}
+
+// HandlePayloadFromTraced is HandlePayloadFrom with a pre-assigned
+// trace id (see HandleFrameTraced). Every added tracing step below is
+// gated on p.tracer so the disabled path stays allocation-identical to
+// the pre-tracing handle path.
+func (p *Platform) HandlePayloadFromTraced(src string, payload []byte, assigned uint64) []netproto.Packet {
 	pkt, err := netproto.ParsePacket(payload)
 	if err != nil {
-		return []netproto.Packet{p.errResp(netproto.CmdStatus, err)}
+		resps := []netproto.Packet{p.errResp(netproto.CmdStatus, err)}
+		p.flightOnError(assigned)
+		return resps
 	}
 	atomic.AddUint64(&p.stats.CommandsHandled, 1)
 	p.m.commands.With(netproto.CommandName(pkt.Command)).Inc()
+
+	// Resolve the exchange's trace and open the handle span. CmdTraces
+	// itself is never traced: fetching a trace must not grow it.
+	var (
+		hspan tracing.SpanHandle
+		hctx  tracing.Ctx
+		tid   uint64
+	)
+	if p.tracer != nil && pkt.Command != netproto.CmdTraces {
+		tid = pkt.TraceID
+		if tid == 0 {
+			tid = assigned
+		}
+		if tid == 0 {
+			tid = p.tracer.NewTraceID()
+		}
+		hspan = p.tracer.Trace(tid).Start("handle:" + netproto.CommandName(pkt.Command))
+		hctx = hspan.Ctx()
+	}
+
 	var key dedupKey
 	if pkt.HasSeq {
 		key = dedupKey{src: src, cmd: pkt.Command, seq: pkt.Seq}
 		if resp, ok := p.dedup.lookup(key); ok {
 			p.m.dupSuppressed.Inc()
 			p.events.Debugf("dedup re-ack", "src", src, "cmd", netproto.CommandName(pkt.Command), "seq", pkt.Seq)
+			if hspan.On() {
+				hspan.EndAttrs(tracing.A("board", strconv.Itoa(int(pkt.Board))), tracing.A("dedup", "hit"))
+			}
 			return resp
 		}
 	}
-	resps := p.dispatch(pkt)
+	resps := p.dispatch(pkt, hctx)
+	isErr := false
 	for i := range resps {
 		resps[i].Board = pkt.Board
 		resps[i].Seq = pkt.Seq
 		resps[i].HasSeq = pkt.HasSeq
+		resps[i].TraceID = pkt.TraceID
+		resps[i].HasTrace = pkt.HasTrace
+		if resps[i].Command == netproto.CmdError {
+			isErr = true
+		}
 	}
 	if pkt.HasSeq {
 		p.dedup.remember(key, resps)
 	}
+	if hspan.On() {
+		attr := tracing.A("ok", "true")
+		if isErr {
+			attr = tracing.A("error", "true")
+		}
+		hspan.EndAttrs(tracing.A("board", strconv.Itoa(int(pkt.Board))), attr)
+	}
+	if isErr {
+		p.flightOnError(tid)
+	}
 	return resps
 }
 
-// dispatch routes one parsed control packet to its handler.
-func (p *Platform) dispatch(pkt netproto.Packet) []netproto.Packet {
+// flightOnError finishes the erroring exchange's trace (so the dump
+// contains it) and writes a flight-recorder file. No-op without an
+// attached recorder; rate-limited by the recorder itself.
+func (p *Platform) flightOnError(traceID uint64) {
+	if p.flight == nil {
+		return
+	}
+	if traceID != 0 {
+		p.tracer.Finish(traceID)
+	}
+	if path, err := p.flight.Dump("cmd_error"); err != nil {
+		p.events.Warnf("flight dump failed", "err", err)
+	} else if path != "" {
+		p.events.Infof("flight record dumped", "path", path, "reason", "cmd_error")
+	}
+}
+
+// dispatch routes one parsed control packet to its handler. tc is the
+// exchange's trace context (disabled when tracing is off); only the
+// handlers that hand work to lower layers thread it further.
+func (p *Platform) dispatch(pkt netproto.Packet, tc tracing.Ctx) []netproto.Packet {
 	switch pkt.Command {
 	case netproto.CmdStatus:
 		return []netproto.Packet{p.status()}
 	case netproto.CmdLoadProgram:
 		return []netproto.Packet{p.loadChunk(pkt.Body)}
 	case netproto.CmdStartLEON:
-		return []netproto.Packet{p.start(pkt.Body)}
+		return []netproto.Packet{p.start(pkt.Body, tc)}
 	case netproto.CmdReadMemory:
 		return []netproto.Packet{p.readMem(pkt.Body)}
 	case netproto.CmdWriteMemory:
 		return []netproto.Packet{p.writeMem(pkt.Body)}
 	case netproto.CmdReconfigure:
-		return []netproto.Packet{p.reconfigure(pkt.Body)}
+		return []netproto.Packet{p.reconfigure(pkt.Body, tc)}
 	case netproto.CmdGetConfig:
 		return []netproto.Packet{p.getConfig()}
 	case netproto.CmdTraceReport:
@@ -283,9 +401,60 @@ func (p *Platform) dispatch(pkt netproto.Packet) []netproto.Packet {
 	case netproto.CmdResult:
 		return []netproto.Packet{p.result()}
 	case netproto.CmdStartSync:
-		return []netproto.Packet{p.startSync(pkt.Body)}
+		return []netproto.Packet{p.startSync(pkt.Body, tc)}
+	case netproto.CmdTraces:
+		return []netproto.Packet{p.tracesCmd(pkt.Body)}
 	default:
 		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
+	}
+}
+
+// CtxStarter is the optional LEONControl extension a trace-aware
+// controller implements: Start with the exchange's trace context, so
+// the asynchronous run's spans (run, slices) nest under the trace that
+// started it.
+type CtxStarter interface {
+	StartCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) error
+}
+
+// CtxExecutor is the blocking counterpart of CtxStarter for the
+// CmdStartSync compatibility path.
+type CtxExecutor interface {
+	ExecuteCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) (leon.RunResult, error)
+}
+
+// tracesCmd answers CmdTraces with completed exchange traces as JSON.
+// An 8-byte body selects (and force-completes) one trace id; an empty
+// body returns the whole completed ring. Oldest traces are dropped
+// until the JSON fits a single UDP response.
+func (p *Platform) tracesCmd(body []byte) netproto.Packet {
+	if p.tracer == nil {
+		return p.errResp(netproto.CmdTraces, fmt.Errorf("tracing not enabled on this platform"))
+	}
+	req, err := netproto.ParseTracesReq(body)
+	if err != nil {
+		return p.errResp(netproto.CmdTraces, err)
+	}
+	var tds []tracing.TraceData
+	if req.TraceID != 0 {
+		tds = p.tracer.TakeTrace(req.TraceID)
+	} else {
+		tds = p.tracer.Completed()
+	}
+	if tds == nil {
+		tds = []tracing.TraceData{}
+	}
+	data, err := json.Marshal(tds)
+	for err == nil && len(data) > netproto.MaxTracesJSON && len(tds) > 0 {
+		tds = tds[1:]
+		data, err = json.Marshal(tds)
+	}
+	if err != nil {
+		return p.errResp(netproto.CmdTraces, err)
+	}
+	return netproto.Packet{
+		Command: netproto.CmdTraces | netproto.RespFlag,
+		Body:    netproto.TracesResp{Status: netproto.StatusOK, JSON: data}.Marshal(),
 	}
 }
 
@@ -419,7 +588,7 @@ func (p *Platform) loadChunk(body []byte) netproto.Packet {
 // "Start LEON" acknowledgement — while the run proceeds on the board.
 // The client observes completion by polling CmdStatus and fetches the
 // final RunResult with CmdResult.
-func (p *Platform) start(body []byte) netproto.Packet {
+func (p *Platform) start(body []byte, tc tracing.Ctx) netproto.Packet {
 	entry, maxCycles, errPkt := p.parseStart(netproto.CmdStartLEON, body)
 	if errPkt != nil {
 		return *errPkt
@@ -431,7 +600,13 @@ func (p *Platform) start(body []byte) netproto.Packet {
 		rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
 		return netproto.Packet{Command: netproto.CmdStartLEON | netproto.RespFlag, Body: rep.Marshal()}
 	}
-	if err := p.ctrl.Start(entry, maxCycles); err != nil {
+	var err error
+	if cs, ok := p.ctrl.(CtxStarter); ok && tc.On() {
+		err = cs.StartCtx(tc, entry, maxCycles)
+	} else {
+		err = p.ctrl.Start(entry, maxCycles)
+	}
+	if err != nil {
 		return p.errResp(netproto.CmdStartLEON, err)
 	}
 	rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
@@ -442,12 +617,20 @@ func (p *Platform) start(body []byte) netproto.Packet {
 // the program AND run it to completion in one round trip, answering
 // with the final RunReport exactly as the pre-async CmdStartLEON did.
 // It occupies the board's command queue for the whole run.
-func (p *Platform) startSync(body []byte) netproto.Packet {
+func (p *Platform) startSync(body []byte, tc tracing.Ctx) netproto.Packet {
 	entry, maxCycles, errPkt := p.parseStart(netproto.CmdStartSync, body)
 	if errPkt != nil {
 		return *errPkt
 	}
-	res, err := p.ctrl.Execute(entry, maxCycles)
+	var (
+		res leon.RunResult
+		err error
+	)
+	if ce, ok := p.ctrl.(CtxExecutor); ok && tc.On() {
+		res, err = ce.ExecuteCtx(tc, entry, maxCycles)
+	} else {
+		res, err = p.ctrl.Execute(entry, maxCycles)
+	}
 	rep := runReport(res)
 	if err != nil && !res.Faulted {
 		return p.errResp(netproto.CmdStartSync, err)
@@ -526,11 +709,17 @@ func (p *Platform) writeMem(body []byte) netproto.Packet {
 	return netproto.Packet{Command: netproto.CmdWriteMemory | netproto.RespFlag, Body: resp.Marshal()}
 }
 
-func (p *Platform) reconfigure(body []byte) netproto.Packet {
-	if p.ReconfigureFn == nil {
+func (p *Platform) reconfigure(body []byte, tc tracing.Ctx) netproto.Packet {
+	if p.ReconfigureCtxFn == nil && p.ReconfigureFn == nil {
 		return p.errResp(netproto.CmdReconfigure, fmt.Errorf("reconfiguration not wired on this platform"))
 	}
-	if err := p.ReconfigureFn(body); err != nil {
+	var err error
+	if p.ReconfigureCtxFn != nil {
+		err = p.ReconfigureCtxFn(tc, body)
+	} else {
+		err = p.ReconfigureFn(body)
+	}
+	if err != nil {
 		return p.errResp(netproto.CmdReconfigure, err)
 	}
 	p.loadedAddr = 0 // a new bitfile clears loaded state

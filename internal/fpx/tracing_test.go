@@ -1,0 +1,207 @@
+package fpx
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
+)
+
+// benchPlatform is newLEONPlatform for benchmarks.
+func benchPlatform(b *testing.B) *Platform {
+	b.Helper()
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		b.Fatal(err)
+	}
+	a := leon.NewAsyncController(ctrl)
+	b.Cleanup(a.Close)
+	return New(a, fpxIP, fpxPort)
+}
+
+// TestV4TraceEcho pins the trace-context propagation contract: a v4
+// request's trace id is echoed on the response, and v1–v3 requests
+// keep getting v1–v3 responses (no trace fields).
+func TestV4TraceEcho(t *testing.T) {
+	p := newLEONPlatform(t)
+
+	resps := sendCmd(t, p, netproto.Packet{
+		Command: netproto.CmdStatus,
+		Seq:     7, HasSeq: true,
+		TraceID: 0xDEADBEEFCAFE, HasTrace: true,
+	})
+	if len(resps) != 1 {
+		t.Fatalf("%d responses", len(resps))
+	}
+	if !resps[0].HasTrace || resps[0].TraceID != 0xDEADBEEFCAFE {
+		t.Errorf("trace id not echoed: %+v", resps[0])
+	}
+	if !resps[0].HasSeq || resps[0].Seq != 7 {
+		t.Errorf("seq not echoed alongside trace: %+v", resps[0])
+	}
+
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStatus, Seq: 8, HasSeq: true})
+	if resps[0].HasTrace {
+		t.Errorf("v3 request got a v4 response: %+v", resps[0])
+	}
+}
+
+// TestTracesCommand exercises the CmdTraces fetch path: a traced
+// exchange's spans come back as JSON TraceData, and the fetch removes
+// the trace from the ring.
+func TestTracesCommand(t *testing.T) {
+	p := newLEONPlatform(t)
+	col := tracing.New("server")
+	p.EnableTracing(col)
+
+	id := col.NewTraceID()
+	sendCmd(t, p, netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true, TraceID: id, HasTrace: true})
+
+	fetch := netproto.Packet{Command: netproto.CmdTraces, Seq: 2, HasSeq: true,
+		Body: netproto.TracesReq{TraceID: id}.Marshal()}
+	resps := sendCmd(t, p, fetch)
+	tr, err := netproto.ParseTracesResp(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != netproto.StatusOK {
+		t.Fatalf("traces status %d", tr.Status)
+	}
+	var tds []tracing.TraceData
+	if err := json.Unmarshal(tr.JSON, &tds); err != nil {
+		t.Fatalf("traces payload: %v", err)
+	}
+	if len(tds) != 1 || tds[0].ID != id {
+		t.Fatalf("want 1 trace with id %#x, got %+v", id, tds)
+	}
+	found := false
+	for _, sp := range tds[0].Spans {
+		if sp.Name == "handle:status" {
+			found = true
+		}
+		if strings.HasPrefix(sp.Name, "handle:traces") {
+			t.Errorf("the traces fetch traced itself: %+v", sp)
+		}
+	}
+	if !found {
+		t.Errorf("no handle:status span in %+v", tds[0].Spans)
+	}
+
+	// The fetch removed the trace: a second fetch returns none.
+	fetch.Seq = 3
+	resps = sendCmd(t, p, fetch)
+	tr, _ = netproto.ParseTracesResp(resps[0].Body)
+	_ = json.Unmarshal(tr.JSON, &tds)
+	if len(tds) != 0 {
+		t.Errorf("trace still present after take: %+v", tds)
+	}
+}
+
+// TestFlightDumpOnCmdError verifies the crash-dump path: a command
+// that fails with CmdError finishes its trace and writes a flight
+// dump containing it.
+func TestFlightDumpOnCmdError(t *testing.T) {
+	p := newLEONPlatform(t)
+	col := tracing.New("server")
+	p.EnableTracing(col)
+	dir := t.TempDir()
+	fr := &tracing.FlightRecorder{Collectors: []*tracing.Collector{col}, Dir: dir}
+	p.SetFlightRecorder(fr)
+
+	// Start without a loaded program → CmdError.
+	id := col.NewTraceID()
+	req := netproto.StartReq{Entry: 0, MaxCycles: 10}
+	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Seq: 1, HasSeq: true,
+		TraceID: id, HasTrace: true, Body: req.Marshal()})
+	if resps[0].Command != netproto.CmdError {
+		t.Fatalf("expected CmdError, got %#x", resps[0].Command)
+	}
+	if fr.Dumps() != 1 {
+		t.Fatalf("flight dumps = %d, want 1", fr.Dumps())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("dump dir: %v entries, err %v", len(ents), err)
+	}
+	data, err := os.ReadFile(dir + "/" + ents[0].Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump tracing.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("dump not JSON: %v", err)
+	}
+	if dump.Reason != "cmd_error" {
+		t.Errorf("dump reason %q", dump.Reason)
+	}
+	found := false
+	for _, td := range dump.Traces {
+		if td.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failed exchange's trace %#x missing from dump (%d traces)", id, len(dump.Traces))
+	}
+}
+
+// TestDisabledTracingAddsZeroAllocs enforces the hot-path guarantee:
+// with no tracer attached, handling a v4 packet (trace id present)
+// allocates exactly as much as handling the same v3 packet — the
+// tracing plumbing costs nothing when it is off.
+func TestDisabledTracingAddsZeroAllocs(t *testing.T) {
+	p := newLEONPlatform(t)
+
+	v3 := netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true}.Marshal()
+	v4 := netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true,
+		TraceID: 0xABCD, HasTrace: true}.Marshal()
+
+	// Same seq every run: the dedup cache answers from memory, so the
+	// measurement isolates the parse/trace/echo plumbing.
+	base := testing.AllocsPerRun(200, func() {
+		if out := p.HandlePayloadFrom("10.0.0.1:41000", v3); len(out) != 1 {
+			t.Fatal("no response")
+		}
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		if out := p.HandlePayloadFrom("10.0.0.1:41000", v4); len(out) != 1 {
+			t.Fatal("no response")
+		}
+	})
+	if traced > base {
+		t.Errorf("disabled tracing allocates: v4=%v allocs/op, v3=%v", traced, base)
+	}
+}
+
+// BenchmarkHandleStatusV4Untraced is the benchmark-enforced view of
+// the same guarantee (run with -benchmem; allocs/op must match the v3
+// figure).
+func BenchmarkHandleStatusV4Untraced(b *testing.B) {
+	p := benchPlatform(b)
+	raw := netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true,
+		TraceID: 0xABCD, HasTrace: true}.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.HandlePayloadFrom("10.0.0.1:41000", raw)
+	}
+}
+
+// BenchmarkHandleStatusV3 is the baseline for the benchmark above.
+func BenchmarkHandleStatusV3(b *testing.B) {
+	p := benchPlatform(b)
+	raw := netproto.Packet{Command: netproto.CmdStatus, Seq: 1, HasSeq: true}.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.HandlePayloadFrom("10.0.0.1:41000", raw)
+	}
+}

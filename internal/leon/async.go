@@ -3,9 +3,12 @@ package leon
 import (
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"liquidarch/internal/tracing"
 )
 
 // ErrClosed reports an operation against a shut-down AsyncController.
@@ -30,6 +33,11 @@ const sliceSteps = 1 << 11
 type RunOptions struct {
 	Before func(c *Controller)
 	After  func(c *Controller, res RunResult, wall time.Duration, err error)
+	// Trace, when enabled, attributes the run's step slices to an
+	// exchange trace: the actor records one "slice" span per StepRun
+	// batch (the per-trace span bound caps a long run's volume). The
+	// zero Ctx disables slice recording at no cost.
+	Trace tracing.Ctx
 }
 
 // runHandle is one run's completion mailbox.
@@ -117,8 +125,12 @@ func (a *AsyncController) loop(ctrl *Controller) {
 		}
 		// A request put the controller in StateRunning: drive the run.
 		for {
+			ss := a.opts.Trace.Start("slice")
 			done, res, err := ctrl.StepRun(sliceSteps)
 			a.publish(ctrl)
+			if ss.On() {
+				ss.EndAttrs(tracing.A("cycles", strconv.FormatUint(ctrl.Cycles(), 10)))
+			}
 			if done {
 				a.finish(ctrl, res, err)
 				break
@@ -307,6 +319,18 @@ func (a *AsyncController) StartOpts(entry uint32, maxCycles uint64, opts RunOpti
 		return derr
 	}
 	return err
+}
+
+// StartCtx is the trace-aware handoff (fpx.CtxStarter): the actor's
+// per-slice spans land under tc. Platforms built on a bare actor (no
+// core.System wrapper) get run-slice visibility through this.
+func (a *AsyncController) StartCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) error {
+	return a.StartOpts(entry, maxCycles, RunOptions{Trace: tc})
+}
+
+// ExecuteCtx is the trace-aware blocking path (fpx.CtxExecutor).
+func (a *AsyncController) ExecuteCtx(tc tracing.Ctx, entry uint32, maxCycles uint64) (RunResult, error) {
+	return a.ExecuteOpts(entry, maxCycles, RunOptions{Trace: tc})
 }
 
 // CollectResult blocks until the in-flight run completes and returns

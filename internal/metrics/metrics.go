@@ -275,6 +275,7 @@ type metric struct {
 	hist    *Histogram
 	cvec    *CounterVec
 	hvec    *HistogramVec
+	info    []Label
 }
 
 // Registry holds named metric families. The zero value is not usable;
@@ -340,6 +341,26 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return &metric{gauge: &Gauge{}}
 	})
 	return m.gauge
+}
+
+// Label is one key="value" pair on an Info metric.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Info registers a constant-1 gauge whose labels carry build or
+// configuration facts — the Prometheus `*_build_info` idiom, where the
+// interesting data lives in the label values and the sample value is
+// always 1 so the series can be joined onto any other metric.
+func (r *Registry) Info(name, help string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	ls := append([]Label(nil), labels...)
+	r.register(name, help, KindGauge, func() *metric {
+		return &metric{info: ls}
+	})
 }
 
 // GaugeFunc registers a gauge whose value is computed at snapshot time
@@ -447,6 +468,8 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Gauges[m.name] = m.gauge.Value()
 		case m.gaugeFn != nil:
 			s.Gauges[m.name] = m.gaugeFn()
+		case m.info != nil:
+			s.Gauges[infoKey(m.name, m.info)] = 1
 		case m.hist != nil:
 			s.Histograms[m.name] = m.hist.snapshot()
 		case m.hvec != nil:
@@ -462,6 +485,24 @@ func (r *Registry) Snapshot() Snapshot {
 
 func labelKey(name, label, value string) string {
 	return name + `{` + label + `="` + escapeLabel(value) + `"}`
+}
+
+// infoKey renders an Info metric's full labelled series name.
+func infoKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func escapeLabel(v string) string {
@@ -504,6 +545,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
 		case m.gaugeFn != nil:
 			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+		case m.info != nil:
+			fmt.Fprintf(&b, "%s 1\n", infoKey(m.name, m.info))
 		case m.hist != nil:
 			writePromHistogram(&b, m.name, "", "", m.hist.snapshot())
 		case m.hvec != nil:

@@ -33,6 +33,10 @@ func TestPrometheusGolden(t *testing.T) {
 	drops.With("busy").Add(2)
 	drops.With("peer_addr").Inc()
 	r.GaugeFunc("liquid_server_queue_depth", "Commands queued across all board workers.", func() float64 { return 3 })
+	// An info-style constant gauge: fixed labels, value pinned to 1
+	// (fixed fake labels here so the golden file is toolchain-stable).
+	r.Info("demo_build_info", "Build metadata.",
+		Label{Key: "go_version", Value: "go1.99"}, Label{Key: "protocol", Value: "4"})
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {

@@ -19,6 +19,7 @@ const (
 	CmdStats       uint8 = 0x09 // pull the platform's telemetry snapshot (JSON)
 	CmdResult      uint8 = 0x0A // collect the completed run's result (blocking runs report live state)
 	CmdStartSync   uint8 = 0x0B // compatibility path: start AND run to completion in one round trip
+	CmdTraces      uint8 = 0x0C // pull the server-side exchange-trace spans (JSON); 8-byte body selects one trace id
 
 	// RespFlag marks a response to the command in the low bits.
 	RespFlag uint8 = 0x80
@@ -54,6 +55,8 @@ func CommandName(cmd uint8) string {
 		return "result"
 	case CmdStartSync:
 		return "startsync"
+	case CmdTraces:
+		return "traces"
 	default:
 		if cmd == CmdError {
 			return "error"
@@ -99,6 +102,19 @@ const VersionBoard uint8 = 2
 // simply bypass both mechanisms.
 const VersionSeq uint8 = 3
 
+// VersionTrace is the trace-context header revision: magic(2) +
+// version(1) + command(1) + board(1) + seq(2) + traceid(8). The 64-bit
+// trace id names the end-to-end exchange trace the packet belongs to:
+// the client mints one per logical operation and stamps every request;
+// the platform echoes it in responses and attributes its own spans
+// (queue wait, run slices, reconfiguration) to the same trace. A v4
+// packet always carries a seq (HasTrace implies HasSeq on the wire) —
+// tracing builds on the v3 exchange identity. Clients that send no
+// trace id (v1–v3) keep working: the server assigns one internally
+// when tracing is enabled, and responds with the version the request
+// used.
+const VersionTrace uint8 = 4
+
 // headerLen is the v1 header: magic(2) + version(1) + command(1).
 const headerLen = 4
 
@@ -112,14 +128,31 @@ type Packet struct {
 	// valid only when HasSeq is set. Responses echo the request's seq.
 	Seq    uint16
 	HasSeq bool
-	Body   []byte
+	// TraceID is the 64-bit exchange-trace id carried by the v4
+	// header; valid only when HasTrace is set. Responses echo the
+	// request's trace id. HasTrace forces the v4 wire shape, which
+	// always carries the seq as well.
+	TraceID  uint64
+	HasTrace bool
+	Body     []byte
 }
 
 // Marshal produces the UDP payload for the packet. A packet carrying
-// a sequence number marshals as the v3 header; otherwise board 0
-// marshals as the wire-compatible v1 header and other boards use the
-// v2 header carrying the board byte.
+// a trace id marshals as the v4 header, one carrying only a sequence
+// number as v3; otherwise board 0 marshals as the wire-compatible v1
+// header and other boards use the v2 header carrying the board byte.
 func (p Packet) Marshal() []byte {
+	if p.HasTrace {
+		out := make([]byte, headerLen+11+len(p.Body))
+		out[0], out[1] = Magic[0], Magic[1]
+		out[2] = VersionTrace
+		out[3] = p.Command
+		out[4] = p.Board
+		binary.BigEndian.PutUint16(out[5:], p.Seq)
+		binary.BigEndian.PutUint64(out[7:], p.TraceID)
+		copy(out[headerLen+11:], p.Body)
+		return out
+	}
 	if p.HasSeq {
 		out := make([]byte, headerLen+3+len(p.Body))
 		out[0], out[1] = Magic[0], Magic[1]
@@ -148,8 +181,9 @@ func (p Packet) Marshal() []byte {
 }
 
 // ParsePacket validates the header and returns the command, board,
-// sequence number and body. The v1 (implicit board 0), v2 (board
-// byte) and v3 (board + exchange seq) headers are all accepted.
+// sequence number, trace id and body. The v1 (implicit board 0), v2
+// (board byte), v3 (board + exchange seq) and v4 (board + seq + trace
+// id) headers are all accepted.
 func ParsePacket(b []byte) (Packet, error) {
 	if len(b) < headerLen {
 		return Packet{}, fmt.Errorf("netproto: control packet truncated (%d bytes)", len(b))
@@ -175,6 +209,19 @@ func ParsePacket(b []byte) (Packet, error) {
 			Seq:     binary.BigEndian.Uint16(b[5:]),
 			HasSeq:  true,
 			Body:    b[headerLen+3:],
+		}, nil
+	case VersionTrace:
+		if len(b) < headerLen+11 {
+			return Packet{}, fmt.Errorf("netproto: v4 control packet truncated (%d bytes)", len(b))
+		}
+		return Packet{
+			Command:  b[3],
+			Board:    b[4],
+			Seq:      binary.BigEndian.Uint16(b[5:]),
+			HasSeq:   true,
+			TraceID:  binary.BigEndian.Uint64(b[7:]),
+			HasTrace: true,
+			Body:     b[headerLen+11:],
 		}, nil
 	default:
 		return Packet{}, fmt.Errorf("netproto: unsupported version %d", b[2])
@@ -470,4 +517,59 @@ func ParseErrorResp(b []byte) (ErrorResp, error) {
 		return ErrorResp{}, fmt.Errorf("netproto: error response truncated")
 	}
 	return ErrorResp{Code: b[0], Msg: string(b[1:])}, nil
+}
+
+// TracesReq selects which server-side exchange traces CmdTraces
+// returns: an 8-byte big-endian trace id picks one trace (force-
+// completing it if still active); an empty body asks for every
+// completed trace in the ring.
+type TracesReq struct {
+	TraceID uint64 // 0 = all completed traces
+}
+
+// Marshal encodes the request body.
+func (r TracesReq) Marshal() []byte {
+	if r.TraceID == 0 {
+		return nil
+	}
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, r.TraceID)
+	return b
+}
+
+// ParseTracesReq decodes the body.
+func ParseTracesReq(b []byte) (TracesReq, error) {
+	switch {
+	case len(b) == 0:
+		return TracesReq{}, nil
+	case len(b) >= 8:
+		return TracesReq{TraceID: binary.BigEndian.Uint64(b)}, nil
+	default:
+		return TracesReq{}, fmt.Errorf("netproto: traces request truncated (%d bytes)", len(b))
+	}
+}
+
+// TracesResp carries exchange-trace spans rendered as JSON (a
+// tracing.TraceData array). The payload is capped by the producer so
+// the response stays inside one UDP datagram.
+type TracesResp struct {
+	Status uint8
+	JSON   []byte
+}
+
+// MaxTracesJSON bounds the JSON payload of one traces response; a
+// producer with more data truncates to whole traces under this limit.
+const MaxTracesJSON = 48 * 1024
+
+// Marshal encodes the response body.
+func (r TracesResp) Marshal() []byte {
+	return append([]byte{r.Status}, r.JSON...)
+}
+
+// ParseTracesResp decodes the body.
+func ParseTracesResp(b []byte) (TracesResp, error) {
+	if len(b) < 1 {
+		return TracesResp{}, fmt.Errorf("netproto: traces response truncated")
+	}
+	return TracesResp{Status: b[0], JSON: b[1:]}, nil
 }

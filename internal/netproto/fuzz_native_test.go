@@ -11,16 +11,22 @@ import (
 // inputs covering the v1/v2/v3 headers and the CmdResult/CmdStartSync
 // body codecs live in testdata/fuzz; `go test -fuzz` grows them.
 
-// FuzzParsePacket covers the three header revisions: v1 (implicit
-// board 0), v2 (board byte) and v3 (board + exchange seq).
+// FuzzParsePacket covers the four header revisions: v1 (implicit
+// board 0), v2 (board byte), v3 (board + exchange seq) and v4 (board
+// + seq + trace id).
 func FuzzParsePacket(f *testing.F) {
 	f.Add(Packet{Command: CmdStatus}.Marshal())
 	f.Add(Packet{Command: CmdResult, Board: 3}.Marshal())
 	f.Add(Packet{Command: CmdStartSync, Board: 2, Seq: 0xBEEF, HasSeq: true, Body: []byte{1, 2, 3}}.Marshal())
 	f.Add(Packet{Command: CmdError, Seq: 1, HasSeq: true, Body: ErrorResp{Code: CmdStatus, Msg: "x"}.Marshal()}.Marshal())
-	f.Add([]byte{'L', 'Q', 9, 9}) // unsupported version
-	f.Add([]byte{'L', 'Q', 3, 1}) // v3 header truncated
-	f.Add([]byte("not a packet")) // bad magic
+	f.Add(Packet{Command: CmdStartLEON, Board: 1, Seq: 7, HasSeq: true,
+		TraceID: 0x0123456789ABCDEF, HasTrace: true, Body: []byte{9}}.Marshal())
+	f.Add(Packet{Command: CmdTraces, HasSeq: true, TraceID: 1, HasTrace: true,
+		Body: TracesReq{TraceID: 42}.Marshal()}.Marshal())
+	f.Add([]byte{'L', 'Q', 9, 9})             // unsupported version
+	f.Add([]byte{'L', 'Q', 3, 1})             // v3 header truncated
+	f.Add([]byte{'L', 'Q', 4, 1, 0, 0, 0, 0}) // v4 header truncated
+	f.Add([]byte("not a packet"))             // bad magic
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		pkt, err := ParsePacket(raw)
 		if err != nil {
@@ -34,6 +40,7 @@ func FuzzParsePacket(f *testing.F) {
 		}
 		if again.Command != pkt.Command || again.Board != pkt.Board ||
 			again.HasSeq != pkt.HasSeq || (pkt.HasSeq && again.Seq != pkt.Seq) ||
+			again.HasTrace != pkt.HasTrace || (pkt.HasTrace && again.TraceID != pkt.TraceID) ||
 			!bytes.Equal(again.Body, pkt.Body) {
 			t.Fatalf("round trip diverged: %+v → %+v", pkt, again)
 		}

@@ -155,6 +155,65 @@ func TestControlPacketBoardHeader(t *testing.T) {
 	}
 }
 
+func TestControlPacketTraceHeader(t *testing.T) {
+	// A trace id forces the v4 header: board + seq + 64-bit trace id.
+	p := Packet{Command: CmdStartLEON, Board: 2, Seq: 0x1234, HasSeq: true,
+		TraceID: 0xDEADBEEFCAFEF00D, HasTrace: true, Body: []byte{7, 8}}
+	raw := p.Marshal()
+	if raw[2] != VersionTrace || len(raw) != headerLen+11+2 {
+		t.Fatalf("v4 packet shape: % x", raw)
+	}
+	got, err := ParsePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Command != CmdStartLEON || got.Board != 2 || !got.HasSeq || got.Seq != 0x1234 ||
+		!got.HasTrace || got.TraceID != 0xDEADBEEFCAFEF00D || !bytes.Equal(got.Body, []byte{7, 8}) {
+		t.Fatalf("v4 packet = %+v", got)
+	}
+	if !IsLiquidPacket(raw) {
+		t.Error("IsLiquidPacket false for v4 packet")
+	}
+	// Without a trace id the wire shape is unchanged from before v4:
+	// HasSeq alone still yields the v3 header, board alone v2, plain v1.
+	if raw := (Packet{Command: CmdStatus, Seq: 9, HasSeq: true}).Marshal(); raw[2] != VersionSeq {
+		t.Errorf("HasSeq-only packet version = %d, want v3", raw[2])
+	}
+	if raw := (Packet{Command: CmdStatus, Board: 1}).Marshal(); raw[2] != VersionBoard {
+		t.Errorf("board-only packet version = %d, want v2", raw[2])
+	}
+	if raw := (Packet{Command: CmdStatus}).Marshal(); raw[2] != Version {
+		t.Errorf("plain packet version = %d, want v1", raw[2])
+	}
+	// A v4 header shorter than 15 bytes is truncated.
+	if _, err := ParsePacket([]byte{'L', 'Q', VersionTrace, 1, 0, 0, 1, 0, 0, 0, 0}); err == nil {
+		t.Error("truncated v4 packet accepted")
+	}
+}
+
+func TestTracesBodyRoundTrip(t *testing.T) {
+	// Empty request = all traces.
+	req, err := ParseTracesReq(nil)
+	if err != nil || req.TraceID != 0 {
+		t.Fatalf("empty traces req = %+v, %v", req, err)
+	}
+	req2, err := ParseTracesReq(TracesReq{TraceID: 0xABCD}.Marshal())
+	if err != nil || req2.TraceID != 0xABCD {
+		t.Fatalf("traces req = %+v, %v", req2, err)
+	}
+	if _, err := ParseTracesReq([]byte{1, 2, 3}); err == nil {
+		t.Error("short traces req accepted")
+	}
+	resp := TracesResp{Status: StatusOK, JSON: []byte(`[{"id":1}]`)}
+	got, err := ParseTracesResp(resp.Marshal())
+	if err != nil || got.Status != StatusOK || !bytes.Equal(got.JSON, resp.JSON) {
+		t.Fatalf("traces resp = %+v, %v", got, err)
+	}
+	if _, err := ParseTracesResp(nil); err == nil {
+		t.Error("empty traces resp accepted")
+	}
+}
+
 func TestLoadChunkRoundTrip(t *testing.T) {
 	c := LoadChunk{Seq: 2, Total: 5, Addr: 0x40001000, TotalLen: 5000, Offset: 2048, Data: []byte{9, 8, 7}}
 	got, err := ParseLoadChunk(c.Marshal())

@@ -16,10 +16,13 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/tracing"
 )
 
 // readBufBytes is the datagram receive buffer size (one UDP datagram
@@ -69,6 +73,13 @@ type job struct {
 	src     [4]byte // synthetic frame source (mapped peer IPv4)
 	cmd     string  // command label for telemetry
 	start   time.Time
+	// qspan covers the time from dispatch to worker pickup (the
+	// queue-wait hop of the exchange trace); zero when tracing is off.
+	qspan tracing.SpanHandle
+	// traceID is the exchange's resolved trace id — the one the packet
+	// carried, or a server-assigned id for v1–v3 clients — passed down
+	// so the platform's spans land in the same trace.
+	traceID uint64
 }
 
 // Server serves one or more FPX platforms over UDP. Requests for the
@@ -87,6 +98,7 @@ type Server struct {
 
 	m      serverMetrics
 	events *eventlog.Log
+	tracer *tracing.Collector
 	bufs   sync.Pool
 	wg     sync.WaitGroup
 
@@ -161,6 +173,31 @@ func newNode(addr string, queueCap int, platforms ...*fpx.Platform) (*Server, er
 	return s, nil
 }
 
+// EnableTracing attaches one span collector to the whole node: the
+// read loop records a queue-wait span per routed datagram and every
+// board platform records its handle spans into the same collector, so
+// one export shows the full server-side timeline of an exchange.
+// Requests that carry no trace id (v1–v3 clients) get a server-
+// assigned one at dispatch time. Call before Serve.
+func (s *Server) EnableTracing(col *tracing.Collector) {
+	s.tracer = col
+	for _, p := range s.boards {
+		p.EnableTracing(col)
+	}
+}
+
+// Tracer returns the node's span collector (nil when tracing is
+// disabled).
+func (s *Server) Tracer() *tracing.Collector { return s.tracer }
+
+// SetFlightRecorder attaches a flight recorder to every board
+// platform (CmdError responses trigger a dump).
+func (s *Server) SetFlightRecorder(fr *tracing.FlightRecorder) {
+	for _, p := range s.boards {
+		p.SetFlightRecorder(fr)
+	}
+}
+
 // Addr returns the bound address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
@@ -222,6 +259,22 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 		board = int(pkt.Board)
 		hdr = pkt
 	}
+	// Resolve the exchange's trace and open the queue-wait span. The
+	// span is handed to the board worker inside the job and ended at
+	// pickup, so its duration IS the queue wait; requests dropped on
+	// the read loop end it here with the drop reason.
+	var (
+		qspan tracing.SpanHandle
+		tid   uint64
+	)
+	if s.tracer != nil {
+		tid = hdr.TraceID
+		if tid == 0 {
+			tid = s.tracer.NewTraceID()
+		}
+		qspan = s.tracer.Trace(tid).Start("queue").
+			WithAttr("cmd", cmd).WithAttr("board", strconv.Itoa(board))
+	}
 	src, ok := ipv4Of(peer.IP)
 	if !ok {
 		// A peer address the synthetic IPv4 frame cannot carry: drop
@@ -231,15 +284,17 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 		s.events.Warnf("unmappable peer address", "peer", peer)
 		s.logf("drop from %v: unmappable peer address", peer)
 		s.bufs.Put(bufp)
+		qspan.WithAttr("drop", "peer_addr").End()
 		return
 	}
 	if board >= len(s.boards) {
 		s.m.drops.With("bad_board").Inc()
 		s.replyError(peer, hdr, fmt.Sprintf("no board %d on this node (%d boards)", board, len(s.boards)))
 		s.bufs.Put(bufp)
+		qspan.WithAttr("drop", "bad_board").End()
 		return
 	}
-	j := job{bufp: bufp, payload: payload, peer: peer, src: src, cmd: cmd, start: time.Now()}
+	j := job{bufp: bufp, payload: payload, peer: peer, src: src, cmd: cmd, start: time.Now(), qspan: qspan, traceID: tid}
 	select {
 	case s.queues[board] <- j:
 	default:
@@ -247,6 +302,7 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 		s.m.drops.With("busy").Inc()
 		s.replyError(peer, hdr, fmt.Sprintf("board %d busy (queue full)", board))
 		s.bufs.Put(bufp)
+		qspan.WithAttr("drop", "busy").End()
 	}
 }
 
@@ -271,16 +327,24 @@ func (s *Server) replyError(peer *net.UDPAddr, req netproto.Packet, msg string) 
 	}
 }
 
-// worker drains one board's command queue in arrival order.
+// worker drains one board's command queue in arrival order. The
+// goroutine carries pprof labels (board=N, plus cmd=... around each
+// job) so CPU profiles from /debug/pprof attribute time per board and
+// per command.
 func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 	defer s.wg.Done()
-	for j := range queue {
-		if err := s.process(p, j); err != nil {
-			s.events.Warnf("request dropped", "peer", j.peer, "board", board, "err", err)
-			s.logf("drop from %v: %v", j.peer, err)
+	pprof.Do(context.Background(), pprof.Labels("board", strconv.Itoa(board)), func(ctx context.Context) {
+		for j := range queue {
+			j.qspan.End() // queue wait is over; processing begins
+			pprof.Do(ctx, pprof.Labels("cmd", j.cmd), func(context.Context) {
+				if err := s.process(p, j); err != nil {
+					s.events.Warnf("request dropped", "peer", j.peer, "board", board, "err", err)
+					s.logf("drop from %v: %v", j.peer, err)
+				}
+			})
+			s.bufs.Put(j.bufp)
 		}
-		s.bufs.Put(j.bufp)
-	}
+	})
 }
 
 // process re-wraps the datagram as the raw frame the FPX would
@@ -289,7 +353,7 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 // silently swallowed.
 func (s *Server) process(p *fpx.Platform, j job) error {
 	frame := netproto.BuildFrame(j.src, p.IP, uint16(j.peer.Port), p.Port, j.payload)
-	outs, err := p.HandleFrame(frame)
+	outs, err := p.HandleFrameTraced(frame, j.traceID)
 	if err != nil {
 		s.m.drops.With("platform").Inc()
 		return err

@@ -1,0 +1,154 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON array
+// (chrome://tracing / Perfetto "JSON Array Format"). We emit complete
+// events (ph "X") for spans and metadata events (ph "M") to name the
+// per-source processes.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders completed traces from one or more sources as
+// Chrome trace-event JSON. Each distinct span Source becomes its own
+// Chrome process (pid) so a merged client+server+chaos export shows
+// the hops side by side on one time axis.
+func ChromeJSON(traces ...[]TraceData) ([]byte, error) {
+	var all []Span
+	for _, ts := range traces {
+		for _, td := range ts {
+			all = append(all, td.Spans...)
+		}
+	}
+	// Stable ordering: by start time, then id — makes the output
+	// deterministic and keeps parents before children (a child never
+	// starts before its parent).
+	sort.SliceStable(all, func(i, j int) bool {
+		if !all[i].Start.Equal(all[j].Start) {
+			return all[i].Start.Before(all[j].Start)
+		}
+		return all[i].ID < all[j].ID
+	})
+
+	pids := map[string]int{}
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	pidOf := func(source string) int {
+		if source == "" {
+			source = "unknown"
+		}
+		if pid, ok := pids[source]; ok {
+			return pid
+		}
+		pid := len(pids) + 1
+		pids[source] = pid
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]string{"name": source},
+		})
+		return pid
+	}
+
+	for _, sp := range all {
+		// Span ids are only unique within one collector, and a merged
+		// export intentionally mixes sources in one trace — namespace
+		// the references by source (parent links never cross sources).
+		src := sp.Source
+		if src == "" {
+			src = "unknown"
+		}
+		args := map[string]string{
+			"trace": fmt.Sprintf("%016x", sp.Trace),
+			"span":  src + ":" + strconv.FormatUint(sp.ID, 10),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = src + ":" + strconv.FormatUint(sp.Parent, 10)
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.UnixNano()) / 1e3,
+			Dur:  float64(sp.Dur) / float64(time.Microsecond),
+			Pid:  pidOf(sp.Source),
+			Tid:  1,
+			Args: args,
+		}
+		if ev.Dur <= 0 {
+			// Chrome drops zero-duration complete events; give
+			// instantaneous events a visible sliver.
+			ev.Dur = 0.001
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// ValidateChrome checks that data parses as Chrome trace-event JSON
+// and that every span nests inside its parent in time (child start no
+// earlier than parent start, within a small clock-read epsilon). It
+// returns the number of X (span) events on success.
+func ValidateChrome(data []byte) (int, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("chrome trace: %w", err)
+	}
+	const epsUS = 50.0 // clock reads on different goroutines
+	type key struct {
+		trace string
+		span  string
+	}
+	starts := map[key]float64{}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		starts[key{ev.Args["trace"], ev.Args["span"]}] = ev.Ts
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		parent := ev.Args["parent"]
+		if parent == "" {
+			continue
+		}
+		pts, ok := starts[key{ev.Args["trace"], parent}]
+		if !ok {
+			// Parent span may live in a source that was not merged
+			// into this export (e.g. client-only dump); not an error.
+			continue
+		}
+		if ev.Ts+epsUS < pts {
+			return 0, fmt.Errorf("chrome trace: span %q (ts=%.1f) starts before its parent span %s (ts=%.1f)",
+				ev.Name, ev.Ts, parent, pts)
+		}
+	}
+	if spans == 0 {
+		return 0, fmt.Errorf("chrome trace: no span events")
+	}
+	return spans, nil
+}

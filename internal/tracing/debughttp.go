@@ -1,0 +1,87 @@
+package tracing
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"liquidarch/internal/metrics/eventlog"
+)
+
+// NewDebugHandler layers the exchange-tracing debug endpoints over an
+// existing handler (typically the metrics mux), so one -metrics-addr
+// listener serves both:
+//
+//	/debug/traces         all completed traces as Chrome trace-event
+//	                      JSON (load in chrome://tracing or Perfetto)
+//	/debug/traces?id=HEX  one trace by hex id, removed from the ring
+//	/debug/events?n=K     newest-first tail of the event log, one
+//	                      logfmt line per event (default 100)
+//	/debug/flightrecord   flight-recorder snapshot as JSON; also
+//	                      writes a dump file (path in X-Flight-Dump)
+//
+// Every other path falls through to next; a nil next serves 404 there.
+// fr and ev may be nil (the endpoints degrade to empty documents).
+func NewDebugHandler(next http.Handler, fr *FlightRecorder, ev *eventlog.Log, cols ...*Collector) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		var groups [][]TraceData
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex): "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			for _, c := range cols {
+				groups = append(groups, c.TakeTrace(id))
+			}
+		} else {
+			for _, c := range cols {
+				groups = append(groups, c.Completed())
+			}
+		}
+		data, err := ChromeJSON(groups...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n (want positive integer)", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		evs := ev.Events() // oldest first; nil log → none
+		for i := len(evs) - 1; i >= 0 && len(evs)-1-i < n; i-- {
+			fmt.Fprintln(w, evs[i].String())
+		}
+	})
+
+	mux.HandleFunc("/debug/flightrecord", func(w http.ResponseWriter, _ *http.Request) {
+		data, err := fr.SnapshotJSON("http")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if path, err := fr.Dump("http"); err == nil && path != "" {
+			w.Header().Set("X-Flight-Dump", path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	})
+
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}

@@ -1,0 +1,150 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/metrics/eventlog"
+)
+
+func TestDebugHandlerTraces(t *testing.T) {
+	col := New("server")
+	id := col.NewTraceID()
+	sp := col.Trace(id).Start("handle:start")
+	sp.Ctx().Start("run").End()
+	sp.End()
+	col.Finish(id)
+
+	h := NewDebugHandler(nil, nil, nil, col)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	n, err := ValidateChrome(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("invalid Chrome JSON: %v", err)
+	}
+	if n < 2 {
+		t.Fatalf("want >=2 spans, got %d", n)
+	}
+}
+
+func TestDebugHandlerTraceByID(t *testing.T) {
+	col := New("server")
+	id := col.NewTraceID()
+	col.Trace(id).Start("handle:status").End()
+	col.Finish(id)
+
+	h := NewDebugHandler(nil, nil, nil, col)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id=zz", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+hexID(id), nil))
+	if n, err := ValidateChrome(rec.Body.Bytes()); err != nil || n != 1 {
+		t.Fatalf("fetch by id: %d spans, err %v", n, err)
+	}
+
+	// TakeTrace semantics: the fetch removed it from the ring.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?id="+hexID(id), nil))
+	if n, _ := ValidateChrome(rec.Body.Bytes()); n != 0 {
+		t.Fatalf("trace still present after take: %d spans", n)
+	}
+}
+
+func hexID(id uint64) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, 0, 16)
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, digits[(id>>uint(shift))&0xf])
+	}
+	return string(b)
+}
+
+func TestDebugHandlerEvents(t *testing.T) {
+	ev := eventlog.New(16)
+	ev.Infof("first", "k", "1")
+	ev.Infof("second", "k", "2")
+	ev.Warnf("third", "k", "3")
+
+	h := NewDebugHandler(nil, nil, ev)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/events status %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d: %q", len(lines), lines)
+	}
+	// Newest first.
+	if !strings.Contains(lines[0], "third") || !strings.Contains(lines[2], "first") {
+		t.Fatalf("events not newest-first: %q", lines)
+	}
+
+	// n=1 keeps only the newest.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=1", nil))
+	lines = strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "third") {
+		t.Fatalf("n=1: got %q", lines)
+	}
+
+	// Bad n rejected.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad n: status %d, want 400", rec.Code)
+	}
+}
+
+func TestDebugHandlerFlightRecord(t *testing.T) {
+	col := New("server")
+	id := col.NewTraceID()
+	col.Trace(id).Start("handle:start").End()
+	col.Finish(id)
+	ev := eventlog.New(8)
+	ev.Errorf("board fault", "board", "1")
+	fr := &FlightRecorder{Collectors: []*Collector{col}, Events: ev, Dir: t.TempDir()}
+
+	h := NewDebugHandler(nil, fr, ev, col)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrecord", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/flightrecord status %d", rec.Code)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(dump.Traces) != 1 || len(dump.Events) != 1 {
+		t.Fatalf("dump traces=%d events=%d, want 1/1", len(dump.Traces), len(dump.Events))
+	}
+	if rec.Header().Get("X-Flight-Dump") == "" {
+		t.Fatalf("no dump file written")
+	}
+}
+
+func TestDebugHandlerFallthrough(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := NewDebugHandler(next, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("fallthrough status %d", rec.Code)
+	}
+}

@@ -1,0 +1,140 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"liquidarch/internal/metrics/eventlog"
+)
+
+// FlightRecorder pairs the collector's completed-trace ring with the
+// eventlog tail: the "what just happened" black box. Snapshot renders
+// the combined state; Dump writes it to a timestamped file. Dumps are
+// rate-limited so a CmdError storm produces one file, not hundreds.
+//
+// A nil *FlightRecorder is a valid disabled recorder.
+type FlightRecorder struct {
+	// Collectors whose completed traces enter the dump (typically the
+	// node's single shared collector; tests merge several).
+	Collectors []*Collector
+	// Events, when non-nil, contributes its tail to the dump.
+	Events *eventlog.Log
+	// Dir is where Dump writes files ("." when empty).
+	Dir string
+	// MinInterval rate-limits Dump (default 2s; Snapshot is never
+	// limited).
+	MinInterval time.Duration
+	// MaxEvents bounds the eventlog tail in a snapshot (default 256).
+	MaxEvents int
+
+	mu       sync.Mutex
+	lastDump time.Time
+	dumps    uint64
+}
+
+// FlightDump is the JSON document a flight-recorder snapshot produces.
+type FlightDump struct {
+	Time   time.Time        `json:"time"`
+	Reason string           `json:"reason"`
+	Traces []TraceData      `json:"traces"`
+	Events []eventlog.Event `json:"events,omitempty"`
+}
+
+// Snapshot harvests idle traces and returns the current flight state.
+func (fr *FlightRecorder) Snapshot(reason string) FlightDump {
+	if fr == nil {
+		return FlightDump{Time: time.Now(), Reason: reason}
+	}
+	d := FlightDump{Time: time.Now(), Reason: reason}
+	for _, c := range fr.Collectors {
+		d.Traces = append(d.Traces, c.Completed()...)
+	}
+	if fr.Events != nil {
+		evs := fr.Events.Events()
+		maxEv := fr.MaxEvents
+		if maxEv <= 0 {
+			maxEv = 256
+		}
+		if len(evs) > maxEv {
+			evs = evs[len(evs)-maxEv:]
+		}
+		d.Events = evs
+	}
+	return d
+}
+
+// SnapshotJSON renders Snapshot as indented JSON.
+func (fr *FlightRecorder) SnapshotJSON(reason string) ([]byte, error) {
+	return json.MarshalIndent(fr.Snapshot(reason), "", "  ")
+}
+
+// Dump writes a snapshot to a timestamped file in Dir and returns its
+// path. Returns ("", nil) when rate-limited or when the recorder is
+// nil.
+func (fr *FlightRecorder) Dump(reason string) (string, error) {
+	if fr == nil {
+		return "", nil
+	}
+	fr.mu.Lock()
+	min := fr.MinInterval
+	if min <= 0 {
+		min = 2 * time.Second
+	}
+	now := time.Now()
+	if !fr.lastDump.IsZero() && now.Sub(fr.lastDump) < min {
+		fr.mu.Unlock()
+		return "", nil
+	}
+	fr.lastDump = now
+	fr.dumps++
+	n := fr.dumps
+	fr.mu.Unlock()
+
+	data, err := fr.SnapshotJSON(reason)
+	if err != nil {
+		return "", err
+	}
+	dir := fr.Dir
+	if dir == "" {
+		dir = "."
+	}
+	name := fmt.Sprintf("flightrec-%s-%d-%s.json",
+		now.Format("20060102T150405.000"), n, sanitizeReason(reason))
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Dumps returns how many dump files the recorder has written.
+func (fr *FlightRecorder) Dumps() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.dumps
+}
+
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "manual"
+	}
+	out := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason) && len(out) < 24; i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
