@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke trace-smoke ci
+.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke load-smoke trace-smoke ci
 
 all: build
 
@@ -31,7 +31,7 @@ race-net:
 # retry/backoff tests.
 chaos:
 	$(GO) test -race ./internal/chaos/...
-	$(GO) test -race -run 'Chaos|Retransmit|Resume|Suppressed|Dedup|Backoff|Jitter|WaitResult|LoadError|WrongBoard|StaleSeq' \
+	$(GO) test -race -run 'Chaos|Retransmit|Resume|Suppressed|Dedup|Backoff|Jitter|WaitResult|WaitHold|HeldWait|LoadError|WrongBoard|StaleSeq|Windowed' \
 		./internal/server/... ./internal/client/... ./internal/fpx/...
 
 # fuzz-smoke gives each native fuzz target a few seconds on top of the
@@ -74,6 +74,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
+# load-smoke runs the pipelined-control-plane benchmarks once
+# (BenchmarkLoadThroughput window=1 vs window=16, and the single-board
+# leg of BenchmarkNodeConcurrentClients) with the gates armed: the
+# windowed load must cost at least 2x fewer implied round trips than
+# stop-and-wait, and single-board runs/s must stay above half the
+# checked-in BENCH_load.json baseline. The freshly measured figures are
+# re-emitted to BENCH_load.json (commit the refresh when the numbers
+# move for a real reason).
+load-smoke:
+	LIQUID_LOAD_GATE=1 LIQUID_LOAD_JSON=$(CURDIR)/BENCH_load.json \
+		$(GO) test -run '^$$' -bench 'BenchmarkLoadThroughput|BenchmarkNodeConcurrentClients/boards=1$$' \
+		-benchtime 1x -v ./internal/server/
+
 # trace-smoke runs the two-board example with end-to-end exchange
 # tracing and lets it self-validate the merged Chrome trace-event
 # export (JSON parses, every span nests inside its parent); the
@@ -81,4 +94,4 @@ bench-smoke:
 trace-smoke:
 	$(GO) run ./examples/multinode -trace-out $${TMPDIR:-/tmp}/liquidarch-trace-smoke.json
 
-ci: fmt-check vet build race race-net chaos cover-gate bench-smoke trace-smoke
+ci: fmt-check vet build race race-net chaos cover-gate bench-smoke load-smoke trace-smoke

@@ -18,7 +18,11 @@
 // Every verb accepts -board N to address a board other than 0 on a
 // multi-board node (liquid-server -boards), plus retry knobs for lossy
 // networks: -timeout, -max-timeout, -retries, -backoff, -jitter and
-// -wait-timeout (zero values keep the client defaults).
+// -wait-timeout (zero values keep the client defaults). Loads keep a
+// sliding window of chunks in flight (-window, default 16; 1 restores
+// stop-and-wait), and result waits are parked on the server for
+// -wait-hold (default 500ms) so completion is reported at network
+// latency; negative -wait-hold falls back to pure polling.
 //
 // Every verb also accepts -trace: the invocation mints one 64-bit
 // trace id, stamps it on every datagram (v4 header), records the
@@ -73,6 +77,8 @@ func main() {
 	backoff := fs.Float64("backoff", 0, "timeout growth factor between attempts (0 = client default)")
 	jitter := fs.Float64("jitter", 0, "± randomisation applied to each backoff wait (0 = client default, negative = none)")
 	waitTimeout := fs.Duration("wait-timeout", 0, "overall budget for waiting on a run result (0 = client default)")
+	window := fs.Int("window", 0, "load chunks kept in flight (0 = client default, 1 = stop-and-wait)")
+	waitHold := fs.Duration("wait-hold", 0, "server-side hold per result wait (0 = client default, negative = poll only)")
 	traceOn := fs.Bool("trace", false, "trace this invocation end-to-end and write a Chrome trace-event timeline")
 	traceOut := fs.String("trace-out", "liquidctl-trace.json", "output file for the -trace timeline")
 
@@ -128,6 +134,12 @@ func main() {
 	}
 	if *waitTimeout > 0 {
 		c.WaitTimeout = *waitTimeout
+	}
+	if *window > 0 {
+		c.Window = *window
+	}
+	if *waitHold != 0 {
+		c.WaitHold = *waitHold
 	}
 	if *traceOn {
 		col := tracing.New("client")

@@ -59,7 +59,8 @@ type Rule struct {
 //
 // where dir is up|down, cmd is a control command label ("status",
 // "load", "start", "readmem", "writemem", "reconfigure", "getconfig",
-// "trace", "stats", "result", "startsync", "error"), @n selects the
+// "trace", "stats", "result", "startsync", "wait", "error"), @n
+// selects the
 // nth matching packet (append + for "nth onward"; omit for every),
 // and action is drop | dup | reorder | trunc:BYTES | delay:DURATION.
 //

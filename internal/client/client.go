@@ -34,6 +34,18 @@ import (
 	"liquidarch/internal/tracing"
 )
 
+// DefaultWindow is the sliding-window depth LoadProgram keeps in
+// flight when Client.Window is zero: enough to fill a
+// continental-RTT pipe with 1 KiB chunks without overrunning the
+// server's per-board queue.
+const DefaultWindow = 16
+
+// DefaultWaitHold is the server-side hold WaitResult requests per
+// CmdWaitResult exchange when Client.WaitHold is zero. Long enough
+// that short runs complete within one exchange, short enough that a
+// lost reply is retransmitted promptly.
+const DefaultWaitHold = 500 * time.Millisecond
+
 // ErrBoardUnreachable reports that an exchange exhausted its retry
 // budget without a response. Use errors.Is to detect it; the concrete
 // *UnreachableError carries the partial statistics.
@@ -62,21 +74,41 @@ func (e *UnreachableError) Unwrap() error { return e.Last }
 
 // LoadError is a failed multi-packet load with its partial progress:
 // how many chunks the server acknowledged before the transport gave
-// out. A follow-up LoadProgram resumes from the server's state rather
-// than re-sending acknowledged chunks.
+// out, plus the in-flight window state at the moment of failure so a
+// windowed load reports its resume position as precisely as
+// stop-and-wait did. A follow-up LoadProgram resumes from the
+// server's state rather than re-sending acknowledged chunks.
 type LoadError struct {
-	ChunksAcked int // chunks the server confirmed
+	ChunksAcked int // chunks the server confirmed holding
 	ChunksTotal int // chunks in the whole image
+	HighestAck  int // cumulative ack floor: every chunk below it is held
+	Outstanding int // chunks sent but unacknowledged when the load died
+	Window      int // sliding-window depth the load was using
 	Err         error
 }
 
 func (e *LoadError) Error() string {
-	return fmt.Sprintf("client: load interrupted at chunk %d/%d: %v", e.ChunksAcked, e.ChunksTotal, e.Err)
+	return fmt.Sprintf("client: load interrupted at chunk %d/%d (window %d, %d in flight, highest ack %d): %v",
+		e.ChunksAcked, e.ChunksTotal, e.Window, e.Outstanding, e.HighestAck, e.Err)
 }
 
 // Unwrap exposes the transport error (so errors.Is sees
 // ErrBoardUnreachable through a LoadError).
 func (e *LoadError) Unwrap() error { return e.Err }
+
+// ServerError is a CmdError response matched to this exchange: the
+// server handled the request and refused it. Cmd is the request
+// command the error answers, so callers can react to specific
+// rejections (WaitResult falls back to polling when an old server
+// rejects CmdWaitResult as unknown).
+type ServerError struct {
+	Cmd uint8
+	Msg string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error: %s", e.Msg)
+}
 
 // clientMetrics count the client's view of the network: how often the
 // unreliable channel made it retransmit, back off, give up, or wait.
@@ -91,6 +123,9 @@ type clientMetrics struct {
 	backoffDur    *metrics.Histogram
 	resumedChunks *metrics.Counter
 	resumedLoads  *metrics.Counter
+	chunkResends  *metrics.Counter
+	waitHolds     *metrics.Counter
+	waitFallback  *metrics.Counter
 	rtt           *metrics.Histogram
 }
 
@@ -106,6 +141,9 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 		backoffDur:    r.Histogram("liquid_client_backoff_seconds", "Length of each backed-off retransmission wait.", metrics.DefSecondsBuckets),
 		resumedChunks: r.Counter("liquid_client_load_chunks_skipped_total", "Load chunks skipped because the server already held them (resume)."),
 		resumedLoads:  r.Counter("liquid_client_loads_resumed_total", "Loads that resumed from server-side progress instead of restarting."),
+		chunkResends:  r.Counter("liquid_client_load_chunk_resends_total", "Load chunk datagrams retransmitted by the sliding window after a silent round."),
+		waitHolds:     r.Counter("liquid_client_wait_holds_total", "Server-held result waits issued (CmdWaitResult exchanges)."),
+		waitFallback:  r.Counter("liquid_client_wait_fallback_total", "WaitResult downgrades to the poll loop because the server rejected CmdWaitResult."),
 		rtt:           r.Histogram("liquid_client_rtt_seconds", "Round-trip latency of successful exchanges.", metrics.DefSecondsBuckets),
 	}
 }
@@ -134,11 +172,22 @@ type Client struct {
 	Board uint8
 	// PollInterval is the delay between completion polls in
 	// WaitResult (default 2ms — well under the control plane's
-	// latency target, far above the per-request cost).
+	// latency target, far above the per-request cost). Since the
+	// server-held wait it is the fallback pace, used only when the
+	// server does not support CmdWaitResult or WaitHold is negative.
 	PollInterval time.Duration
 	// WaitTimeout bounds how long WaitResult polls before giving up
 	// (0 = 2 minutes).
 	WaitTimeout time.Duration
+	// Window is the sliding-window depth LoadProgram keeps in flight
+	// (0 = DefaultWindow, 1 = stop-and-wait).
+	Window int
+	// WaitHold is the server-side hold WaitResult requests per
+	// CmdWaitResult exchange: the server parks the exchange up to this
+	// long and answers the instant the run completes. 0 = the
+	// DefaultWaitHold; negative disables the held wait entirely and
+	// polls at PollInterval like the pre-v5 client.
+	WaitHold time.Duration
 
 	// Tracer, when set, records one span tree per exchange: an
 	// "exchange:<cmd>" span with an "attempt" child for the first
@@ -155,6 +204,11 @@ type Client struct {
 	seq uint16
 	rng *rand.Rand
 	op  tracing.Ctx // active operation span context, if any
+
+	// noServerWait latches after the server rejects CmdWaitResult as
+	// unknown (a pre-v5 node): every later WaitResult goes straight to
+	// the poll loop instead of re-probing per wait.
+	noServerWait bool
 
 	reg *metrics.Registry
 	m   clientMetrics
@@ -257,6 +311,16 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 // exchange seq (duplicates, reordered strays) are counted and
 // discarded.
 func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Packet, error) {
+	return c.exchangeCtx(context.Background(), pkt, overall, 0)
+}
+
+// exchangeCtx is exchange with two extensions the server-held wait
+// needs: extraWait stretches every attempt's read deadline beyond the
+// backoff schedule (a parked CmdWaitResult legitimately answers up to
+// the hold late, which must not read as loss), and a canceled ctx
+// interrupts even a blocked read by expiring the socket's read
+// deadline from the context's watcher goroutine.
+func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall time.Time, extraWait time.Duration) (netproto.Packet, error) {
 	pkt.Board = c.Board
 	c.seq++
 	pkt.Seq, pkt.HasSeq = c.seq, true
@@ -295,9 +359,23 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 		factor = 2
 	}
 
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			// Unblock an in-flight Read: a deadline in the past makes it
+			// return a timeout error immediately, and the loop below
+			// notices ctx.Err() before retransmitting.
+			c.conn.SetReadDeadline(time.Now())
+		})
+		defer stop()
+	}
+
 	attempts := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			xs.EndAttrs(tracing.A("status", "canceled"))
+			return netproto.Packet{}, fmt.Errorf("client: exchange canceled: %w", err)
+		}
 		if attempt > 0 {
 			c.m.retries.Inc()
 			wait = time.Duration(float64(wait) * factor)
@@ -325,7 +403,7 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
 		}
 		attempts++
-		deadline := time.Now().Add(c.jittered(wait))
+		deadline := time.Now().Add(c.jittered(wait) + extraWait)
 		if !overall.IsZero() && deadline.After(overall) {
 			deadline = overall
 		}
@@ -375,7 +453,7 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 				c.m.errors.Inc()
 				as.EndAttrs(tracing.A("outcome", "server_error"))
 				xs.EndAttrs(tracing.A("status", "error"), tracing.A("error", er.Msg))
-				return netproto.Packet{}, fmt.Errorf("client: server error: %s", er.Msg)
+				return netproto.Packet{}, &ServerError{Cmd: pkt.Command, Msg: er.Msg}
 			}
 			if resp.Command != want {
 				continue // stale response from a retransmitted earlier request
@@ -420,56 +498,315 @@ func (c *Client) Status() (st netproto.StatusResp, err error) {
 }
 
 // LoadProgram uploads an image to the given SRAM address, splitting it
-// into sequence-numbered chunks and confirming each one. Loads are
-// idempotent and resumable: every ack carries the server's reassembly
-// progress, so when a chunk the board already holds is re-sent — a
-// retransmission, or this call resuming an earlier interrupted load —
-// the server re-acks without re-applying and the client skips ahead to
-// the first chunk the board is missing. On failure the returned error
-// is a *LoadError carrying the acknowledged-chunk count.
+// into sequence-numbered chunks and keeping a sliding window of them
+// (Window, default 16) in flight, so a load costs ~chunks/window round
+// trips instead of one per chunk. Loads are idempotent and resumable:
+// every ack carries the server's reassembly progress, so when a chunk
+// the board already holds is re-sent — a retransmission, or this call
+// resuming an earlier interrupted load — the server re-acks without
+// re-applying and the window skips ahead to the first chunk the board
+// is missing. A silent round (no ack within the backed-off timeout)
+// triggers a go-back resend of everything outstanding above the
+// cumulative ack floor, byte-identical to the originals so the
+// server's dedup window recognizes the retransmissions. On failure the
+// returned error is a *LoadError carrying the acknowledged-chunk count
+// and the in-flight window state.
 func (c *Client) LoadProgram(addr uint32, image []byte) (err error) {
 	op := c.beginOp("load")
 	defer func() { c.endOp(op, err) }()
-	chunks := netproto.ChunkImage(addr, image)
-	acked := 0
-	resumed := false
-	for i := 0; i < len(chunks); {
-		ch := chunks[i]
-		resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
-		if err != nil {
-			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks), Err: err}
+	window := c.Window
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return c.loadWindowed(netproto.ChunkImage(addr, image), window)
+}
+
+// loadWindowed pumps the chunk sequence through the sliding window.
+// The first chunk travels alone (a probe): if the server holds
+// progress from an interrupted load, its dup-ack reveals the real
+// resume point before the window sprays chunks the board already has.
+func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
+	n := len(chunks)
+	if n == 0 {
+		return nil
+	}
+
+	var (
+		seqs     = make([]uint16, n)    // exchange seq pinned at first send
+		raws     = make([][]byte, n)    // exact datagram bytes (resends are identical)
+		sentAt   = make([]time.Time, n) // last transmission time, for RTT
+		assigned = make([]bool, n)      // sent at least once
+		ackedCh  = make([]bool, n)      // acknowledged (directly or by cumulative ack)
+		chspan   = make([]tracing.SpanHandle, n)
+		pend     = map[uint16]int{} // outstanding exchange seq → chunk index
+		base     = 0                // every chunk below base is held by the server
+		next     = 0                // lowest chunk not yet considered for sending
+		acked    = 0                // highest received count the server advertised
+		resumed  = false
+		firstAck = false
+		attempts = 0
+		start    = time.Now()
+		lastErr  error
+	)
+
+	fail := func(cause error) error {
+		for i, sp := range chspan {
+			if sp.On() && !ackedCh[i] {
+				sp.EndAttrs(tracing.A("status", "error"))
+			}
 		}
-		rep, err := netproto.ParseRunReport(resp.Body)
-		if err != nil {
-			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks),
-				Err: fmt.Errorf("client: load chunk %d/%d: %w", ch.Seq+1, ch.Total, err)}
+		return &LoadError{
+			ChunksAcked: acked, ChunksTotal: n,
+			HighestAck: base, Outstanding: len(pend), Window: window,
+			Err: cause,
 		}
-		if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
-			return &LoadError{ChunksAcked: acked, ChunksTotal: len(chunks),
-				Err: fmt.Errorf("client: load chunk %d/%d: status %d", ch.Seq+1, ch.Total, rep.Status)}
+	}
+
+	send := func(i int) error {
+		if !assigned[i] {
+			c.seq++
+			seqs[i] = c.seq
+			pkt := netproto.Packet{
+				Command: netproto.CmdLoadProgram,
+				Board:   c.Board,
+				Seq:     c.seq, HasSeq: true,
+				Body: chunks[i].Marshal(),
+			}
+			if c.TraceID != 0 {
+				pkt.TraceID, pkt.HasTrace = c.TraceID, true
+			}
+			raws[i] = pkt.Marshal()
+			assigned[i] = true
+			pend[seqs[i]] = i
+			c.m.requests.With("load").Inc()
+			xc := c.op
+			if !xc.On() {
+				xc = c.traceCtx()
+			}
+			if xc.On() {
+				chspan[i] = xc.Start("exchange:load").WithAttr("chunk", fmt.Sprintf("%d/%d", i+1, n))
+			}
+			chspan[i].Ctx().Start("attempt").End()
+		} else {
+			c.m.retries.Inc()
+			c.m.chunkResends.Inc()
+			chspan[i].Ctx().Start("retry").End()
 		}
-		received, next := netproto.LoadAckProgress(rep)
-		if acked < received {
-			acked = received
+		if _, werr := c.conn.Write(raws[i]); werr != nil {
+			c.m.errors.Inc()
+			return fmt.Errorf("client: send: %w", werr)
 		}
-		if rep.Status == netproto.StatusOK {
+		sentAt[i] = time.Now()
+		attempts++
+		return nil
+	}
+
+	// advance lifts the cumulative floor to the max of the server's
+	// advertised next-needed chunk and the locally-acked contiguous
+	// prefix (pre-progress servers advertise nothing), retiring
+	// outstanding exchanges below it and skipping never-sent chunks
+	// the server already holds (resume).
+	advance := func(serverNext int) {
+		nb := base
+		if serverNext > nb {
+			nb = serverNext
+		}
+		if nb > n {
+			nb = n
+		}
+		for nb < n && ackedCh[nb] {
+			nb++
+		}
+		if nb <= base {
+			return
+		}
+		for i := base; i < nb; i++ {
+			switch {
+			case !assigned[i]:
+				c.m.resumedChunks.Inc()
+				if !resumed {
+					resumed = true
+					c.m.resumedLoads.Inc()
+				}
+			case !ackedCh[i]:
+				delete(pend, seqs[i])
+				ackedCh[i] = true
+				if chspan[i].On() {
+					chspan[i].EndAttrs(tracing.A("status", "ok"), tracing.A("ack", "cumulative"))
+				}
+			}
+		}
+		base = nb
+		if next < base {
+			next = base
+		}
+	}
+
+	wait := c.Timeout
+	if wait <= 0 {
+		wait = 2 * time.Second
+	}
+	maxWait := c.MaxTimeout
+	if maxWait <= 0 {
+		maxWait = 16 * wait
+	}
+	factor := c.BackoffFactor
+	if factor <= 1 {
+		factor = 2
+	}
+	consec := 0 // consecutive silent rounds; bounded by Retries
+	buf := make([]byte, 64<<10)
+
+	for {
+		// Top up the window (a single probe until the first ack).
+		cw := window
+		if !firstAck {
+			cw = 1
+		}
+		for next < n && len(pend) < cw {
+			if next < base || ackedCh[next] {
+				next++
+				continue
+			}
+			if err := send(next); err != nil {
+				return fail(err)
+			}
+			next++
+		}
+		if base >= n {
 			return nil
 		}
-		// Resume from the server's advertised progress: if the board
-		// already holds chunks beyond this one, skip straight to its
-		// first gap instead of re-sending what it has.
-		if next > i+1 && next <= len(chunks) {
-			c.m.resumedChunks.Add(uint64(next - (i + 1)))
-			if !resumed {
-				resumed = true
-				c.m.resumedLoads.Inc()
+
+		// Wait for one acknowledgment (strays don't reset the clock).
+		deadline := time.Now().Add(c.jittered(wait))
+		timedOut := false
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				c.m.errors.Inc()
+				return fail(err)
 			}
-			i = next
-			continue
+			nr, rerr := c.conn.Read(buf)
+			if rerr != nil {
+				lastErr = rerr
+				c.m.timeouts.Inc()
+				timedOut = true
+				break
+			}
+			resp, perr := netproto.ParsePacket(buf[:nr])
+			if perr != nil {
+				continue // stray datagram
+			}
+			if resp.Board != c.Board {
+				c.m.dupSuppressed.Inc()
+				continue
+			}
+			idx := -1
+			if resp.HasSeq {
+				j, ok := pend[resp.Seq]
+				if !ok {
+					// An ack for a chunk already retired (a duplicated
+					// or reordered response), or a stray from an earlier
+					// exchange: suppress.
+					c.m.dupSuppressed.Inc()
+					continue
+				}
+				idx = j
+			}
+			if resp.Command == netproto.CmdError {
+				er, eperr := netproto.ParseErrorResp(resp.Body)
+				if eperr != nil {
+					c.m.errors.Inc()
+					return fail(fmt.Errorf("client: malformed error response: %w", eperr))
+				}
+				if er.Code != netproto.CmdLoadProgram {
+					continue // stale error for an earlier request
+				}
+				c.m.errors.Inc()
+				return fail(&ServerError{Cmd: netproto.CmdLoadProgram, Msg: er.Msg})
+			}
+			if resp.Command != netproto.CmdLoadProgram|netproto.RespFlag {
+				continue // stale response from an earlier exchange
+			}
+			if idx < 0 {
+				// A pre-seq server's bare ack credits the oldest
+				// outstanding chunk — acks arrive in send order there.
+				for _, j := range pend {
+					if idx < 0 || j < idx {
+						idx = j
+					}
+				}
+				if idx < 0 {
+					c.m.dupSuppressed.Inc()
+					continue
+				}
+			}
+			rep, rperr := netproto.ParseRunReport(resp.Body)
+			if rperr != nil {
+				return fail(fmt.Errorf("client: load chunk %d/%d: %w", idx+1, n, rperr))
+			}
+			if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
+				return fail(fmt.Errorf("client: load chunk %d/%d: status %d", idx+1, n, rep.Status))
+			}
+			c.m.rtt.ObserveSince(sentAt[idx])
+			delete(pend, seqs[idx])
+			ackedCh[idx] = true
+			if chspan[idx].On() {
+				chspan[idx].EndAttrs(tracing.A("status", "ok"))
+			}
+			received, serverNext := netproto.LoadAckProgress(rep)
+			if received > acked {
+				acked = received
+			}
+			firstAck = true
+			consec = 0
+			wait = c.Timeout
+			if wait <= 0 {
+				wait = 2 * time.Second
+			}
+			advance(serverNext)
+			if rep.Status == netproto.StatusOK {
+				// The server confirmed the complete image (the OK ack is
+				// only ever sent for the chunk that finishes reassembly).
+				for i, sp := range chspan {
+					if sp.On() && !ackedCh[i] {
+						sp.EndAttrs(tracing.A("status", "ok"))
+					}
+				}
+				return nil
+			}
+			break
 		}
-		i++
+
+		if timedOut {
+			consec++
+			if consec > c.Retries {
+				c.m.errors.Inc()
+				c.m.unreachable.Inc()
+				return fail(&UnreachableError{
+					Board:    c.Board,
+					Cmd:      netproto.CommandName(netproto.CmdLoadProgram),
+					Attempts: attempts,
+					Elapsed:  time.Since(start),
+					Last:     lastErr,
+				})
+			}
+			// Back off the next round's clock, then go back from the
+			// cumulative ack floor: resend everything outstanding.
+			wait = time.Duration(float64(wait) * factor)
+			if wait > maxWait {
+				wait = maxWait
+			}
+			c.m.backoffs.Inc()
+			c.m.backoffDur.Observe(wait.Seconds())
+			for i := base; i < next; i++ {
+				if assigned[i] && !ackedCh[i] {
+					if err := send(i); err != nil {
+						return fail(err)
+					}
+				}
+			}
+		}
 	}
-	return nil
 }
 
 // Start executes the loaded program (entry 0 = last load address) and
@@ -526,19 +863,25 @@ func (c *Client) resultWithin(deadline time.Time) (rep netproto.RunReport, err e
 	return netproto.ParseRunReport(resp.Body)
 }
 
-// WaitResult polls Result every PollInterval until the run leaves
-// StatusRunning, then returns the final report. WaitTimeout (default
-// 2 minutes) bounds the whole wait, including poll streaks where every
-// response is lost: the per-poll retransmission schedule is capped at
-// the overall deadline, so the wait never overshoots it by a retry
-// cycle.
+// WaitResult waits for the run to leave StatusRunning and returns the
+// final report. Against a v5 server it uses the server-held wait:
+// each CmdWaitResult exchange asks the server to park the reply up to
+// WaitHold and answer the instant the run completes, so completion
+// latency is one network trip rather than a poll interval. When the
+// server rejects CmdWaitResult as unknown (a pre-v5 node) the client
+// falls back — permanently, for this client — to polling Result every
+// PollInterval. WaitTimeout (default 2 minutes) bounds the whole
+// wait, including streaks where every exchange is lost: the
+// retransmission schedule is capped at the overall deadline, so the
+// wait never overshoots it by a retry cycle.
 func (c *Client) WaitResult() (netproto.RunReport, error) {
 	return c.WaitResultContext(context.Background())
 }
 
 // WaitResultContext is WaitResult bounded additionally by ctx: it
 // returns early with ctx.Err() when the context is canceled or its
-// deadline (if sooner than WaitTimeout) passes.
+// deadline (if sooner than WaitTimeout) passes. Cancellation
+// interrupts even a server-held exchange mid-read.
 func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport, err error) {
 	op := c.beginOp("wait_result")
 	defer func() { c.endOp(op, err) }()
@@ -550,6 +893,10 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 	if limit <= 0 {
 		limit = 2 * time.Minute
 	}
+	hold := c.WaitHold
+	if hold == 0 {
+		hold = DefaultWaitHold
+	}
 	deadline := time.Now().Add(limit)
 	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
 		deadline = cd
@@ -558,13 +905,45 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		if err := ctx.Err(); err != nil {
 			return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", err)
 		}
-		rep, err := c.resultWithin(deadline)
-		if err != nil {
-			var ue *UnreachableError
-			if errors.As(err, &ue) && !time.Now().Before(deadline) {
-				return netproto.RunReport{}, fmt.Errorf("client: run still unconfirmed after %v: %w", limit, err)
+		useHold := hold > 0 && !c.noServerWait
+		var (
+			rep  netproto.RunReport
+			rerr error
+			held time.Duration
+		)
+		if useHold {
+			h := hold
+			if remain := time.Until(deadline); remain < h {
+				h = remain // never ask the server to outlast our own budget
 			}
-			return netproto.RunReport{}, err
+			if h < time.Millisecond {
+				h = time.Millisecond
+			}
+			before := time.Now()
+			rep, rerr = c.waitHeld(ctx, h, deadline)
+			held = time.Since(before)
+			if rerr != nil {
+				var se *ServerError
+				if errors.As(rerr, &se) && se.Cmd == netproto.CmdWaitResult {
+					// This server predates CmdWaitResult: downgrade to the
+					// poll loop and stop probing.
+					c.noServerWait = true
+					c.m.waitFallback.Inc()
+					continue
+				}
+			}
+		} else {
+			rep, rerr = c.resultWithin(deadline)
+		}
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
+			}
+			var ue *UnreachableError
+			if errors.As(rerr, &ue) && !time.Now().Before(deadline) {
+				return netproto.RunReport{}, fmt.Errorf("client: run still unconfirmed after %v: %w", limit, rerr)
+			}
+			return netproto.RunReport{}, rerr
 		}
 		if rep.Status != netproto.StatusRunning {
 			return rep, nil
@@ -572,6 +951,11 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return rep, fmt.Errorf("client: run still in flight after %v", limit)
+		}
+		if useHold && held >= interval {
+			// The server held the exchange and the run outlasted the
+			// hold: re-issue immediately; the exchange itself paced us.
+			continue
 		}
 		sleep := interval
 		if sleep > remain {
@@ -583,6 +967,19 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		case <-time.After(sleep):
 		}
 	}
+}
+
+// waitHeld issues one server-held result exchange: the server may
+// delay the reply up to h, so every read deadline is stretched by h
+// beyond the normal retransmission schedule.
+func (c *Client) waitHeld(ctx context.Context, h time.Duration, overall time.Time) (netproto.RunReport, error) {
+	c.m.waitHolds.Inc()
+	req := netproto.WaitResultReq{HoldMs: uint32(h / time.Millisecond)}
+	resp, err := c.exchangeCtx(ctx, netproto.Packet{Command: netproto.CmdWaitResult, Body: req.Marshal()}, overall, h)
+	if err != nil {
+		return netproto.RunReport{}, err
+	}
+	return netproto.ParseRunReport(resp.Body)
 }
 
 // StartSync executes the program with the blocking wire command

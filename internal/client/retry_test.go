@@ -223,7 +223,13 @@ func TestWaitResultHonorsWaitTimeout(t *testing.T) {
 }
 
 func TestWaitResultContextCancel(t *testing.T) {
+	// A pre-v5 server: CmdWaitResult is unknown, so the client falls
+	// back to polling CmdResult.
 	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command == netproto.CmdWaitResult {
+			return []netproto.Packet{{Command: netproto.CmdError,
+				Body: netproto.ErrorResp{Code: req.Command, Msg: "unknown command"}.Marshal()}}
+		}
 		if req.Command != netproto.CmdResult {
 			return nil
 		}
@@ -248,6 +254,10 @@ func TestWaitResultContextCancel(t *testing.T) {
 
 func TestWaitResultContextDeadline(t *testing.T) {
 	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command == netproto.CmdWaitResult {
+			return []netproto.Packet{{Command: netproto.CmdError,
+				Body: netproto.ErrorResp{Code: req.Command, Msg: "unknown command"}.Marshal()}}
+		}
 		if req.Command != netproto.CmdResult {
 			return nil
 		}
@@ -272,6 +282,10 @@ func TestWaitResultPollsUntilDone(t *testing.T) {
 	var mu sync.Mutex
 	polls := 0
 	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command == netproto.CmdWaitResult {
+			return []netproto.Packet{{Command: netproto.CmdError,
+				Body: netproto.ErrorResp{Code: req.Command, Msg: "unknown command"}.Marshal()}}
+		}
 		if req.Command != netproto.CmdResult {
 			return nil
 		}
@@ -297,6 +311,15 @@ func TestWaitResultPollsUntilDone(t *testing.T) {
 	defer mu.Unlock()
 	if polls < 4 {
 		t.Errorf("server saw %d polls, want >= 4", polls)
+	}
+	// The held wait was tried exactly once: after the server rejected
+	// CmdWaitResult the client downgraded for the connection's lifetime.
+	snap := c.Metrics().Snapshot()
+	if got := snap.Counters["liquid_client_wait_fallback_total"]; got != 1 {
+		t.Errorf("wait fallbacks = %d, want exactly 1 (downgrade is sticky)", got)
+	}
+	if got := snap.Counter(`liquid_client_requests_total{cmd="wait"}`); got != 1 {
+		t.Errorf("requests{wait} = %d, want 1", got)
 	}
 }
 
@@ -324,6 +347,17 @@ func TestLoadErrorCarriesPartialProgress(t *testing.T) {
 	}
 	if le.ChunksAcked != 2 || le.ChunksTotal != 4 {
 		t.Errorf("progress = %d/%d, want 2/4", le.ChunksAcked, le.ChunksTotal)
+	}
+	// Window forensics: the ack floor sits at chunk 2, and the two
+	// unacked chunks (2 and 3) were in flight when the board went dark.
+	if le.HighestAck != 2 {
+		t.Errorf("highest ack = %d, want 2", le.HighestAck)
+	}
+	if le.Outstanding != 2 {
+		t.Errorf("outstanding = %d, want 2 (chunks 2 and 3 in flight)", le.Outstanding)
+	}
+	if le.Window != DefaultWindow {
+		t.Errorf("window = %d, want the default %d", le.Window, DefaultWindow)
 	}
 	if !errors.Is(err, ErrBoardUnreachable) {
 		t.Errorf("LoadError should unwrap to ErrBoardUnreachable: %v", err)

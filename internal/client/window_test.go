@@ -1,0 +1,214 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/netproto"
+)
+
+// loadAck builds the standard load response packet.
+func loadAck(status uint8, applied, next int) []netproto.Packet {
+	return []netproto.Packet{{
+		Command: netproto.CmdLoadProgram | netproto.RespFlag,
+		Body:    netproto.LoadAckReport(status, applied, next).Marshal(),
+	}}
+}
+
+// TestWindowedLoadPipelines proves the window actually pipelines on
+// the wire: after the probe chunk is acked, the server withholds all
+// acks and must observe 16 distinct un-acked chunk datagrams — a full
+// default window in flight at once — before it releases a single
+// cumulative ack. The load must then finish with zero retransmissions
+// and exactly one datagram per chunk.
+func TestWindowedLoadPipelines(t *testing.T) {
+	const chunks = 20
+	var mu sync.Mutex
+	var held []uint16 // chunk seqs received while acks were withheld
+	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command != netproto.CmdLoadProgram {
+			return nil
+		}
+		ch, err := netproto.ParseLoadChunk(req.Body)
+		if err != nil {
+			return nil
+		}
+		switch {
+		case ch.Seq == 0:
+			// Ack the probe: the client may now open the window.
+			return loadAck(netproto.StatusPending, 1, 1)
+		case ch.Seq <= 16:
+			mu.Lock()
+			defer mu.Unlock()
+			held = append(held, ch.Seq)
+			if len(held) < 16 {
+				return nil // withhold: force the client to keep pipelining
+			}
+			// 16 distinct chunks in flight: one cumulative ack retires
+			// them all.
+			return loadAck(netproto.StatusPending, 17, 17)
+		case int(ch.Seq) == chunks-1:
+			return loadAck(netproto.StatusOK, chunks, chunks)
+		default:
+			return loadAck(netproto.StatusPending, int(ch.Seq)+1, int(ch.Seq)+1)
+		}
+	})
+
+	c := dialFast(t, addr)
+	image := make([]byte, (chunks-1)*netproto.MaxChunkData+100)
+	if err := c.LoadProgram(0x40001000, image); err != nil {
+		t.Fatalf("windowed load: %v", err)
+	}
+
+	mu.Lock()
+	got := append([]uint16(nil), held...)
+	mu.Unlock()
+	if len(got) != 16 {
+		t.Fatalf("server saw %d un-acked chunks, want a full window of 16: %v", len(got), got)
+	}
+	distinct := map[uint16]bool{}
+	for _, s := range got {
+		if s < 1 || s > 16 {
+			t.Errorf("unexpected chunk %d while window was held", s)
+		}
+		distinct[s] = true
+	}
+	if len(distinct) != 16 {
+		t.Errorf("held chunks contain duplicates (%d distinct of 16): the window retransmitted instead of pipelining", len(distinct))
+	}
+
+	snap := c.Metrics().Snapshot()
+	if got := snap.Counters["liquid_client_retries_total"]; got != 0 {
+		t.Errorf("retries = %d, want 0 (no ack was ever late enough to time out)", got)
+	}
+	if got := snap.Counters["liquid_client_load_chunk_resends_total"]; got != 0 {
+		t.Errorf("chunk resends = %d, want 0", got)
+	}
+	if got := snap.Counter(`liquid_client_requests_total{cmd="load"}`); got != chunks {
+		t.Errorf("requests{load} = %d, want %d (one datagram per chunk)", got, chunks)
+	}
+}
+
+// TestWindowOneIsStopAndWait: Window=1 must degrade to the classic
+// one-chunk-at-a-time discipline — the server never sees chunk n+1
+// before it has acked chunk n.
+func TestWindowOneIsStopAndWait(t *testing.T) {
+	const chunks = 6
+	var mu sync.Mutex
+	var order []uint16
+	violated := false
+	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command != netproto.CmdLoadProgram {
+			return nil
+		}
+		ch, err := netproto.ParseLoadChunk(req.Body)
+		if err != nil {
+			return nil
+		}
+		mu.Lock()
+		if len(order) > 0 && ch.Seq != order[len(order)-1]+1 {
+			violated = true
+		}
+		order = append(order, ch.Seq)
+		mu.Unlock()
+		status := uint8(netproto.StatusPending)
+		if int(ch.Seq) == chunks-1 {
+			status = netproto.StatusOK
+		}
+		return loadAck(status, int(ch.Seq)+1, int(ch.Seq)+1)
+	})
+	c := dialFast(t, addr)
+	c.Window = 1
+	image := make([]byte, (chunks-1)*netproto.MaxChunkData+100)
+	if err := c.LoadProgram(0x40001000, image); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if violated {
+		t.Errorf("Window=1 sent a chunk before the previous ack: %v", order)
+	}
+	if len(order) != chunks {
+		t.Errorf("server saw %d chunks, want %d", len(order), chunks)
+	}
+}
+
+// TestWindowedLoadGoBackResends: with one mid-window ack black-holed
+// forever, the window must notice the silent round, fall back to the
+// unacked chunk, and resend it — and the resend must be visible in
+// both the resend counter and the retry counter.
+func TestWindowedLoadGoBackResends(t *testing.T) {
+	const chunks = 6
+	var mu sync.Mutex
+	drops := 0
+	received := make([]bool, chunks)
+	count := 0
+	nextGap := func() int {
+		for i, r := range received {
+			if !r {
+				return i
+			}
+		}
+		return chunks
+	}
+	addr := seqServer(t, func(req netproto.Packet) []netproto.Packet {
+		if req.Command != netproto.CmdLoadProgram {
+			return nil
+		}
+		ch, err := netproto.ParseLoadChunk(req.Body)
+		if err != nil {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if ch.Seq == 3 && drops == 0 {
+			drops++
+			return nil // swallow chunk 3 once; its retransmission is held
+		}
+		// Real reassembly discipline: out-of-order chunks are buffered,
+		// the ack advertises (held count, lowest gap).
+		if !received[ch.Seq] {
+			received[ch.Seq] = true
+			count++
+		}
+		status := uint8(netproto.StatusPending)
+		if count == chunks {
+			status = netproto.StatusOK
+		}
+		return loadAck(status, count, nextGap())
+	})
+	c := dialFast(t, addr)
+	c.Timeout = 60 * time.Millisecond
+	image := make([]byte, (chunks-1)*netproto.MaxChunkData+100)
+	if err := c.LoadProgram(0x40001000, image); err != nil {
+		t.Fatalf("load with one dropped chunk: %v", err)
+	}
+	snap := c.Metrics().Snapshot()
+	if got := snap.Counters["liquid_client_load_chunk_resends_total"]; got == 0 {
+		t.Error("dropped chunk never resent")
+	}
+	resends := snap.Counters["liquid_client_load_chunk_resends_total"]
+	if retries := snap.Counters["liquid_client_retries_total"]; retries != resends {
+		t.Errorf("retries (%d) != chunk resends (%d)", retries, resends)
+	}
+}
+
+// TestLoadErrorMessageForensics: the one-line error string carries the
+// whole picture — progress, window depth, in-flight count and the ack
+// floor — so a stuck load is diagnosable from a single log line.
+func TestLoadErrorMessageForensics(t *testing.T) {
+	e := &LoadError{
+		ChunksAcked: 7, ChunksTotal: 32,
+		HighestAck: 7, Outstanding: 9, Window: 16,
+		Err: errors.New("boom"),
+	}
+	msg := e.Error()
+	for _, want := range []string{"7/32", "window 16", "9 in flight", "highest ack 7", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("LoadError message %q missing %q", msg, want)
+		}
+	}
+}

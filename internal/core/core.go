@@ -82,6 +82,16 @@ type System struct {
 	traceMu   sync.Mutex
 	lastTrace *trace.Recorder
 
+	// runDoneHook is the completion callback the FPX platform installed
+	// (via tracedControl); kept so instantiate can re-arm it on the
+	// fresh actor after a full reconfiguration. It lives under its own
+	// mutex because the platform re-installs the hook from SetControl
+	// while reconfiguration already holds s.mu (hookMu is always inner
+	// to s.mu, never the reverse).
+	hookMu      sync.Mutex
+	hookTarget  *leon.AsyncController
+	runDoneHook func()
+
 	m systemMetrics
 }
 
@@ -142,7 +152,25 @@ func (s *System) instantiate(cfg leon.Config, img *synth.Image, sram, sdram []by
 	}
 	s.cfg, s.soc, s.ctrl, s.active = cfg, soc, ctrl, img
 	s.actrl = leon.NewAsyncController(ctrl)
+	s.hookMu.Lock()
+	s.hookTarget = s.actrl
+	if s.runDoneHook != nil {
+		s.actrl.SetRunDoneHook(s.runDoneHook)
+	}
+	s.hookMu.Unlock()
 	return nil
+}
+
+// setRunDoneHook records fn and installs it on the current board
+// actor. It must not touch s.mu: the platform calls it (through
+// tracedControl) from SetControl while reconfiguration holds s.mu.
+func (s *System) setRunDoneHook(fn func()) {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	s.runDoneHook = fn
+	if s.hookTarget != nil {
+		s.hookTarget.SetRunDoneHook(fn)
+	}
 }
 
 // async returns the current board actor. Operations snapshot it once

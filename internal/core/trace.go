@@ -29,6 +29,12 @@ func (t tracedControl) State() leon.State          { return t.sys.async().State(
 func (t tracedControl) Cycles() uint64             { return t.sys.async().Cycles() }
 func (t tracedControl) LastResult() leon.RunResult { return t.sys.async().LastResult() }
 
+// SetRunDoneHook makes tracedControl an fpx.RunDoneNotifier, so a
+// server mounted on this platform can park CmdWaitResult exchanges.
+// The System re-installs the hook on every fresh board actor a full
+// reconfiguration spawns.
+func (t tracedControl) SetRunDoneHook(fn func()) { t.sys.setRunDoneHook(fn) }
+
 func (t tracedControl) LoadProgram(addr uint32, image []byte) error {
 	return t.sys.async().LoadProgram(addr, image)
 }

@@ -121,6 +121,7 @@ type Platform struct {
 	loadedAddr uint32
 	dedup      *dedupCache
 	stats      Stats
+	runDone    func() // completion hook, re-installed across SetControl
 
 	reg    *metrics.Registry
 	events *eventlog.Log
@@ -199,6 +200,39 @@ func (p *Platform) SetControl(ctrl LEONControl) {
 	p.load = nil
 	p.loadedAddr = 0
 	p.dedup = newDedupCache()
+	// Keep the completion hook across the swap: the server's waiter
+	// registry must still be woken by runs on the rebuilt processor.
+	if p.runDone != nil {
+		if n, ok := ctrl.(RunDoneNotifier); ok {
+			n.SetRunDoneHook(p.runDone)
+		}
+	}
+}
+
+// Control returns the LEON controller currently behind the platform.
+// The server's worker uses it to decide whether a CmdWaitResult
+// exchange can be parked (the board must be observably running).
+func (p *Platform) Control() LEONControl { return p.ctrl }
+
+// RunDoneNotifier is the optional LEONControl extension a controller
+// implements to support server-held result waits: fn is invoked every
+// time a run completes. *leon.AsyncController implements it.
+type RunDoneNotifier interface {
+	SetRunDoneHook(fn func())
+}
+
+// SetRunDoneHook asks the platform's controller to invoke fn whenever
+// a run completes, and reports whether the controller supports
+// completion notification. The hook survives SetControl: it is
+// re-installed on the replacement controller (when that controller is
+// a notifier too). fn must not block.
+func (p *Platform) SetRunDoneHook(fn func()) bool {
+	p.runDone = fn
+	if n, ok := p.ctrl.(RunDoneNotifier); ok {
+		n.SetRunDoneHook(fn)
+		return true
+	}
+	return false
 }
 
 // Stats returns a snapshot of the activity counters, taken with
@@ -404,6 +438,8 @@ func (p *Platform) dispatch(pkt netproto.Packet, tc tracing.Ctx) []netproto.Pack
 		return []netproto.Packet{p.startSync(pkt.Body, tc)}
 	case netproto.CmdTraces:
 		return []netproto.Packet{p.tracesCmd(pkt.Body)}
+	case netproto.CmdWaitResult:
+		return []netproto.Packet{p.waitResult()}
 	default:
 		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
 	}
@@ -666,19 +702,39 @@ func (p *Platform) parseStart(cmd uint8, body []byte) (entry uint32, maxCycles u
 // once the run has completed it returns the final RunReport. Repeated
 // collects are idempotent, as the §2.6 UDP client may retransmit.
 func (p *Platform) result() netproto.Packet {
+	return p.resultPacket(netproto.CmdResult)
+}
+
+// waitResult answers CmdWaitResult with the same report CmdResult
+// produces. The holding itself happens a layer above: the server's
+// board worker parks the exchange while the run is in flight and
+// replays it through this handler at wake time, so by the time the
+// dispatch runs the answer is final (or the hold expired and the
+// StatusRunning reply tells the client to ask again). A platform
+// driven without a parking server — tests feeding HandlePayload
+// directly — simply answers immediately, which is the HoldMs=0
+// behavior.
+func (p *Platform) waitResult() netproto.Packet {
+	return p.resultPacket(netproto.CmdWaitResult)
+}
+
+// resultPacket is the shared CmdResult/CmdWaitResult body: live
+// StatusRunning while in flight, the final (idempotent) RunReport
+// afterwards.
+func (p *Platform) resultPacket(cmd uint8) netproto.Packet {
 	if p.ctrl.State() == leon.StateRunning {
 		rep := netproto.RunReport{Status: netproto.StatusRunning, Cycles: p.ctrl.Cycles()}
-		return netproto.Packet{Command: netproto.CmdResult | netproto.RespFlag, Body: rep.Marshal()}
+		return netproto.Packet{Command: cmd | netproto.RespFlag, Body: rep.Marshal()}
 	}
 	res, err := p.ctrl.CollectResult()
 	rep := runReport(res)
 	if err != nil && !res.Faulted {
-		return p.errResp(netproto.CmdResult, err)
+		return p.errResp(cmd, err)
 	}
 	if err != nil {
 		rep.Status = netproto.StatusFault
 	}
-	return netproto.Packet{Command: netproto.CmdResult | netproto.RespFlag, Body: rep.Marshal()}
+	return netproto.Packet{Command: cmd | netproto.RespFlag, Body: rep.Marshal()}
 }
 
 func (p *Platform) readMem(body []byte) netproto.Packet {

@@ -1,0 +1,150 @@
+package fpx
+
+import (
+	"testing"
+	"time"
+
+	"liquidarch/internal/asm"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+// spinProgram burns ~3M cycles before returning — long enough for the
+// direct-path CmdWaitResult below (sent microseconds after the start
+// ack) to observe the run in flight, short enough to finish promptly
+// under the race detector.
+func spinProgram(t *testing.T) *asm.Object {
+	t.Helper()
+	obj, err := asm.AssembleAt(`
+_start:
+	set 500000, %g2
+loop:
+	subcc %g2, 1, %g2
+	bne loop
+	nop
+	set 0x1000, %g7
+	jmp %g7
+	nop
+`, leon.DefaultLoadAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// loadVia pushes a full image through the hardware path chunk by
+// chunk.
+func loadVia(t *testing.T, p *Platform, obj *asm.Object) {
+	t.Helper()
+	for _, ch := range netproto.ChunkImage(obj.Origin, obj.Code) {
+		resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()})
+		rep, err := netproto.ParseRunReport(resps[0].Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
+			t.Fatalf("load ack status %d", rep.Status)
+		}
+	}
+}
+
+// TestWaitResultCommand: on the direct hardware path (no server in
+// front, so nothing can park the exchange) CmdWaitResult degrades to
+// exactly CmdResult semantics — "running" while the run is in flight,
+// and a final report identical to CmdResult's once it completes.
+func TestWaitResultCommand(t *testing.T) {
+	p := newLEONPlatform(t)
+	obj := spinProgram(t)
+	loadVia(t, p, obj)
+
+	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
+	rep, err := netproto.ParseRunReport(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusRunning {
+		t.Fatalf("start ack %+v, want running", rep)
+	}
+
+	// Mid-run, the wait answers "running" like a result poll would.
+	resps = sendCmd(t, p, netproto.Packet{
+		Command: netproto.CmdWaitResult,
+		Body:    netproto.WaitResultReq{HoldMs: 500}.Marshal(),
+	})
+	rep, err = netproto.ParseRunReport(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != netproto.StatusRunning {
+		t.Fatalf("mid-run wait = %+v, want running", rep)
+	}
+	if resps[0].Command != netproto.CmdWaitResult|netproto.RespFlag {
+		t.Fatalf("wait answered with command %#x", resps[0].Command)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for p.Control().State() == leon.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("run never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	waitResps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdWaitResult, Body: netproto.WaitResultReq{HoldMs: 500}.Marshal()})
+	resResps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})
+	waitRep, err := netproto.ParseRunReport(waitResps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRep, err := netproto.ParseRunReport(resResps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitRep != resRep {
+		t.Errorf("wait report %+v != result report %+v", waitRep, resRep)
+	}
+	if waitRep.Status != netproto.StatusOK || waitRep.Cycles == 0 {
+		t.Errorf("final wait report %+v", waitRep)
+	}
+}
+
+// TestRunDoneHookPlumbing: the platform exposes the controller's
+// completion hook when (and only when) the controller supports it, and
+// keeps it installed across a SetControl board swap.
+func TestRunDoneHookPlumbing(t *testing.T) {
+	// The emulator has no async run loop, so there is nothing to hook.
+	if ok := New(NewEmulator(), fpxIP, fpxPort).SetRunDoneHook(func() {}); ok {
+		t.Error("emulator platform claimed run-done hook support")
+	}
+
+	p := newLEONPlatform(t)
+	fired := make(chan struct{}, 4)
+	if ok := p.SetRunDoneHook(func() { fired <- struct{}{} }); !ok {
+		t.Fatal("async-controller platform rejected the run-done hook")
+	}
+
+	// Swap in a rebuilt board: the hook must survive the swap.
+	soc, err := leon.New(leon.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := leon.NewController(soc)
+	if err := ctrl.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	swapped := leon.NewAsyncController(ctrl)
+	t.Cleanup(swapped.Close)
+	p.SetControl(swapped)
+
+	obj := testProgram(t)
+	loadVia(t, p, obj)
+	resps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
+	if rep, err := netproto.ParseRunReport(resps[0].Body); err != nil || rep.Status != netproto.StatusRunning {
+		t.Fatalf("start ack %+v, %v", resps[0], err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run-done hook never fired after SetControl swap")
+	}
+}

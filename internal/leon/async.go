@@ -75,6 +75,7 @@ type AsyncController struct {
 	mu      sync.Mutex
 	run     *runHandle // current or most recent run (nil before the first)
 	lastRes RunResult  // mirror of ctrl.LastResult(), refreshed at publish points
+	runDone func()     // completion hook, invoked on the actor goroutine
 
 	// Actor-local run context (touched only on the actor goroutine).
 	wallStart time.Time
@@ -199,6 +200,26 @@ func (a *AsyncController) finish(ctrl *Controller, res RunResult, err error) {
 	h.res, h.err = res, err
 	a.publish(ctrl)
 	close(h.done)
+	// The completion hook fires last: by the time a woken waiter looks,
+	// State reads Done/Fault and CollectResult returns without blocking.
+	a.mu.Lock()
+	done := a.runDone
+	a.mu.Unlock()
+	if done != nil {
+		done()
+	}
+}
+
+// SetRunDoneHook registers fn to be invoked — on the actor goroutine,
+// after the result is published and the run handle closed — every time
+// a run completes. The reconfiguration server uses it to wake parked
+// CmdWaitResult exchanges the instant the board finishes instead of
+// making clients poll. fn must not block (the server's hook is a
+// non-blocking channel send); nil clears the hook.
+func (a *AsyncController) SetRunDoneHook(fn func()) {
+	a.mu.Lock()
+	a.runDone = fn
+	a.mu.Unlock()
 }
 
 // Do runs fn on the actor goroutine, serialized against the in-flight

@@ -1,0 +1,68 @@
+package leon
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAsyncRunDoneHook: the completion hook fires exactly once per
+// run, strictly after the run's result is published — a waiter woken
+// by the hook must observe the final state and collectable result, not
+// a still-running actor.
+func TestAsyncRunDoneHook(t *testing.T) {
+	a := newAsync(t)
+	obj := buildAt(t, shortProg)
+	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+
+	type seen struct {
+		state  State
+		cycles uint64
+	}
+	fired := make(chan seen, 4)
+	a.SetRunDoneHook(func() {
+		fired <- seen{state: a.State(), cycles: a.Cycles()}
+	})
+
+	if err := a.Start(obj.Origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got seen
+	select {
+	case got = <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run-done hook never fired")
+	}
+	if got.state == StateRunning {
+		t.Errorf("hook observed state %v: fired before the run finished", got.state)
+	}
+	if got.cycles == 0 {
+		t.Error("hook observed zero cycles: result not yet published")
+	}
+	res, err := a.CollectResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != got.cycles {
+		t.Errorf("hook saw %d cycles, collect saw %d", got.cycles, res.Cycles)
+	}
+	select {
+	case extra := <-fired:
+		t.Errorf("hook fired again without a new run: %+v", extra)
+	default:
+	}
+
+	// A second run fires the hook again.
+	if err := a.Start(obj.Origin, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hook did not fire for the second run")
+	}
+	if _, err := a.CollectResult(); err != nil {
+		t.Fatal(err)
+	}
+}

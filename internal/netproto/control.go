@@ -20,6 +20,7 @@ const (
 	CmdResult      uint8 = 0x0A // collect the completed run's result (blocking runs report live state)
 	CmdStartSync   uint8 = 0x0B // compatibility path: start AND run to completion in one round trip
 	CmdTraces      uint8 = 0x0C // pull the server-side exchange-trace spans (JSON); 8-byte body selects one trace id
+	CmdWaitResult  uint8 = 0x0D // long-poll result: the server holds the exchange (bounded) and answers the instant the run completes
 
 	// RespFlag marks a response to the command in the low bits.
 	RespFlag uint8 = 0x80
@@ -57,6 +58,8 @@ func CommandName(cmd uint8) string {
 		return "startsync"
 	case CmdTraces:
 		return "traces"
+	case CmdWaitResult:
+		return "wait"
 	default:
 		if cmd == CmdError {
 			return "error"
@@ -399,6 +402,41 @@ func ParseRunReport(b []byte) (RunReport, error) {
 		TT:           b[17],
 		FaultPC:      binary.BigEndian.Uint32(b[18:]),
 	}, nil
+}
+
+// WaitResultReq is the body of CmdWaitResult, the server-held result
+// wait of the pipelined control plane: instead of polling CmdResult
+// every couple of milliseconds, the client asks the server to hold the
+// exchange open for up to HoldMs milliseconds and answer — with the
+// same RunReport body CmdResult uses — the instant the board's run
+// completes. A server whose board is not running, whose hold budget
+// expires, or whose waiter table is full answers immediately
+// (StatusRunning while in flight), and the client falls back to
+// polling. HoldMs 0 means "answer immediately" (equivalent to
+// CmdResult). The command reuses the v1–v4 headers unchanged; servers
+// predating command-set revision 5 answer CmdError "unknown command",
+// which clients treat as "poll instead".
+type WaitResultReq struct {
+	HoldMs uint32
+}
+
+// Marshal encodes the request body.
+func (r WaitResultReq) Marshal() []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, r.HoldMs)
+	return b
+}
+
+// ParseWaitResultReq decodes the body. An empty body means HoldMs 0 —
+// answer immediately — so a bare CmdWaitResult behaves like CmdResult.
+func ParseWaitResultReq(b []byte) (WaitResultReq, error) {
+	if len(b) == 0 {
+		return WaitResultReq{}, nil
+	}
+	if len(b) < 4 {
+		return WaitResultReq{}, fmt.Errorf("netproto: wait-result request truncated (%d bytes)", len(b))
+	}
+	return WaitResultReq{HoldMs: binary.BigEndian.Uint32(b)}, nil
 }
 
 // MemReq addresses a memory read or write ("Memory address (4B) where

@@ -1,0 +1,34 @@
+package netproto
+
+import "testing"
+
+func TestWaitResultReqRoundTrip(t *testing.T) {
+	req := WaitResultReq{HoldMs: 1500}
+	got, err := ParseWaitResultReq(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Errorf("round trip = %+v, want %+v", got, req)
+	}
+
+	// An empty body is the degenerate hold: a plain result poll.
+	got, err = ParseWaitResultReq(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HoldMs != 0 {
+		t.Errorf("empty body HoldMs = %d, want 0", got.HoldMs)
+	}
+
+	// A truncated body is a framing error, not a zero hold.
+	if _, err := ParseWaitResultReq([]byte{1, 2}); err == nil {
+		t.Error("truncated WaitResultReq accepted")
+	}
+}
+
+func TestWaitCommandName(t *testing.T) {
+	if got := CommandName(CmdWaitResult); got != "wait" {
+		t.Errorf("CommandName(CmdWaitResult) = %q, want \"wait\"", got)
+	}
+}

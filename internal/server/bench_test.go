@@ -4,29 +4,27 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-	"time"
 
 	"liquidarch/internal/client"
 )
 
 // benchIters sizes the benchmark program: ~95k loop iterations is
 // ~285k instructions ≈ 5 ms of simulated execution — longer than the
-// worst observed start-ack latency (so the first completion poll
-// reliably finds the run in flight), short against the 40 ms poll
-// interval, so a client spends most of each run waiting. That is the
-// regime the multi-board node exists for: with N boards the waits
-// overlap and aggregate throughput scales even on a single-CPU host.
+// worst observed start-ack latency (so a completion wait reliably
+// finds the run in flight), so the figure measures how fast the
+// control plane turns a finished run around. With the server-held
+// wait the client learns of completion at network latency, and the
+// regime is program-bound rather than poll-bound.
 const benchIters = 95_000
-
-// benchPoll is the completion-poll interval used by the benchmark
-// clients (cranked up from the 2 ms default to make each run
-// poll-latency-dominated rather than simulation-dominated).
-const benchPoll = 40 * time.Millisecond
 
 // BenchmarkNodeConcurrentClients measures complete run round trips per
 // second (load once, then StartAsync + WaitResult per op) through a
-// node with 1 and 4 boards, 1 client per board. The 4-board aggregate
-// must comfortably exceed the 1-board figure — see BENCH_node.json.
+// node with 1 and 4 boards, 1 client per board, with the stock client
+// defaults — the documented configuration, not a detuned poll. With
+// the server-held wait each client drives its board back-to-back, so
+// the figure is simulation-bound: on a single-CPU host one board
+// already saturates the simulator and the 4-board aggregate holds
+// steady instead of scaling — see BENCH_node.json.
 func BenchmarkNodeConcurrentClients(b *testing.B) {
 	for _, nBoards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("boards=%d", nBoards), func(b *testing.B) {
@@ -36,7 +34,6 @@ func BenchmarkNodeConcurrentClients(b *testing.B) {
 			for i := range clients {
 				c := dial(b, addr)
 				c.Board = uint8(i)
-				c.PollInterval = benchPoll
 				if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
 					b.Fatal(err)
 				}
@@ -67,7 +64,11 @@ func BenchmarkNodeConcurrentClients(b *testing.B) {
 			}
 			wg.Wait()
 			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+			runsPerSec := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(runsPerSec, "runs/s")
+			if nBoards == 1 {
+				gateAndEmitLoadBench(b, runsPerSec)
+			}
 		})
 	}
 }

@@ -24,9 +24,11 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"liquidarch/internal/fpx"
+	"liquidarch/internal/leon"
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
@@ -41,6 +43,17 @@ const readBufBytes = 64 << 10
 // server answers CmdError "busy" — the client backs off and retries.
 const DefaultQueueCap = 64
 
+// maxParkedPerBoard bounds how many CmdWaitResult exchanges one board
+// worker will hold at once; beyond it waits are answered immediately
+// (StatusRunning), degrading to the client's poll loop instead of
+// buffering unboundedly.
+const maxParkedPerBoard = 64
+
+// maxHoldMs caps the server-side hold a client may request, so a
+// forged HoldMs cannot pin worker state for minutes. A client wanting
+// a longer wait simply re-issues the command.
+const maxHoldMs = 10_000
+
 // serverMetrics are the server-side instruments, registered on the
 // node-wide registry (board 0's platform registry).
 type serverMetrics struct {
@@ -51,6 +64,8 @@ type serverMetrics struct {
 	drops        *metrics.CounterVec
 	sendErrors   *metrics.Counter
 	handleDur    *metrics.HistogramVec
+	parked       *metrics.Counter
+	wakeups      *metrics.CounterVec
 }
 
 func newServerMetrics(r *metrics.Registry) serverMetrics {
@@ -62,6 +77,8 @@ func newServerMetrics(r *metrics.Registry) serverMetrics {
 		drops:        r.CounterVec("liquid_server_drops_total", "Requests that produced no response, by reason.", "reason"),
 		sendErrors:   r.Counter("liquid_server_send_errors_total", "Response datagrams the socket refused to send."),
 		handleDur:    r.HistogramVec("liquid_server_handled_duration_seconds", "Wall time spent handling one datagram end to end.", "cmd", metrics.DefSecondsBuckets),
+		parked:       r.Counter("liquid_server_waits_parked_total", "CmdWaitResult exchanges parked on a board worker until run completion or hold expiry."),
+		wakeups:      r.CounterVec("liquid_server_wait_wakeups_total", "Parked wait releases, by reason (done, expired, shutdown).", "reason"),
 	}
 }
 
@@ -96,11 +113,12 @@ type Server struct {
 	// structured event log (see Events).
 	Log func(format string, args ...any)
 
-	m      serverMetrics
-	events *eventlog.Log
-	tracer *tracing.Collector
-	bufs   sync.Pool
-	wg     sync.WaitGroup
+	m       serverMetrics
+	events  *eventlog.Log
+	tracer  *tracing.Collector
+	bufs    sync.Pool
+	wg      sync.WaitGroup
+	waiters atomic.Int64 // CmdWaitResult exchanges currently parked, node-wide
 
 	mu     sync.Mutex
 	closed bool
@@ -170,6 +188,9 @@ func newNode(addr string, queueCap int, platforms ...*fpx.Platform) (*Server, er
 			}
 			return float64(total)
 		})
+	platforms[0].Metrics().GaugeFunc("liquid_server_wait_waiters",
+		"CmdWaitResult exchanges currently parked across all board workers.",
+		func() float64 { return float64(s.waiters.Load()) })
 	return s, nil
 }
 
@@ -327,15 +348,35 @@ func (s *Server) replyError(peer *net.UDPAddr, req netproto.Packet, msg string) 
 	}
 }
 
+// parkedWait is one CmdWaitResult exchange held by a board worker
+// until the run completes, the hold expires, or the node shuts down.
+// Entries are owned by the worker goroutine — no locking.
+type parkedWait struct {
+	j        job
+	key      string // peer|seq identity for retransmit suppression ("" when the request carried no seq)
+	deadline time.Time
+	span     tracing.SpanHandle
+}
+
 // worker drains one board's command queue in arrival order. The
 // goroutine carries pprof labels (board=N, plus cmd=... around each
 // job) so CPU profiles from /debug/pprof attribute time per board and
 // per command.
+//
+// Beyond plain draining, the worker is the board's waiter registry:
+// a CmdWaitResult that arrives while the board is running is parked
+// (bounded count, bounded hold) instead of answered, and replayed
+// through the normal handler the instant the AsyncController's
+// completion hook fires — so a waiting client learns of completion at
+// network latency rather than at its poll interval. Parking keeps the
+// dedup guarantees intact because the exchange is processed exactly
+// once, on this goroutine, at release time; a retransmit of a
+// currently-parked exchange is dropped silently (the parked original
+// will answer with the same seq).
 func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 	defer s.wg.Done()
 	pprof.Do(context.Background(), pprof.Labels("board", strconv.Itoa(board)), func(ctx context.Context) {
-		for j := range queue {
-			j.qspan.End() // queue wait is over; processing begins
+		runJob := func(j job) {
 			pprof.Do(ctx, pprof.Labels("cmd", j.cmd), func(context.Context) {
 				if err := s.process(p, j); err != nil {
 					s.events.Warnf("request dropped", "peer", j.peer, "board", board, "err", err)
@@ -344,7 +385,158 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 			})
 			s.bufs.Put(j.bufp)
 		}
+
+		// wake carries at most one token: the completion hook runs on the
+		// board's actor goroutine and must never block, and one token is
+		// enough — the worker releases every parked waiter per token.
+		wake := make(chan struct{}, 1)
+		canPark := p.SetRunDoneHook(func() {
+			select {
+			case wake <- struct{}{}:
+			default:
+			}
+		})
+
+		var parked []parkedWait
+		release := func(i int, reason string) {
+			e := parked[i]
+			parked = append(parked[:i], parked[i+1:]...)
+			s.waiters.Add(-1)
+			s.m.wakeups.With(reason).Inc()
+			e.span.WithAttr("wake", reason).End()
+			runJob(e.j)
+		}
+
+		for {
+			// Arm a deadline only while something is parked.
+			var (
+				timer  *time.Timer
+				timerC <-chan time.Time
+			)
+			if len(parked) > 0 {
+				earliest := parked[0].deadline
+				for _, e := range parked[1:] {
+					if e.deadline.Before(earliest) {
+						earliest = e.deadline
+					}
+				}
+				timer = time.NewTimer(time.Until(earliest))
+				timerC = timer.C
+			}
+
+			select {
+			case j, ok := <-queue:
+				if timer != nil {
+					timer.Stop()
+				}
+				if !ok {
+					for len(parked) > 0 {
+						release(0, "shutdown")
+					}
+					return
+				}
+				j.qspan.End() // queue wait is over; processing begins
+				if pw, keep := s.tryPark(p, j, canPark, parked, wake); keep {
+					parked = append(parked, pw)
+					continue
+				} else if pw.key == dupSentinel {
+					// Retransmit of a currently-parked exchange: the parked
+					// original will answer; this copy is dropped.
+					s.bufs.Put(j.bufp)
+					continue
+				}
+				runJob(j)
+
+			case <-wake:
+				if timer != nil {
+					timer.Stop()
+				}
+				// Run complete: every parked waiter gets its (now final)
+				// answer, in park order.
+				for len(parked) > 0 {
+					release(0, "done")
+				}
+
+			case <-timerC:
+				now := time.Now()
+				for i := 0; i < len(parked); {
+					if !parked[i].deadline.After(now) {
+						// Hold expired mid-run: the handler answers
+						// StatusRunning and the client re-issues the wait.
+						release(i, "expired")
+					} else {
+						i++
+					}
+				}
+			}
+		}
 	})
+}
+
+// dupSentinel marks a tryPark result meaning "drop this job: it is a
+// retransmit of an exchange already parked".
+const dupSentinel = "\x00dup"
+
+// tryPark decides whether job j should be parked. It returns
+// (entry, true) to park, (zero, false) to process normally, or
+// (entry with key==dupSentinel, false) when j duplicates a parked
+// exchange and must be dropped.
+func (s *Server) tryPark(p *fpx.Platform, j job, canPark bool, parked []parkedWait, wake chan struct{}) (parkedWait, bool) {
+	if !canPark {
+		return parkedWait{}, false
+	}
+	pkt, err := netproto.ParsePacket(j.payload)
+	if err != nil || pkt.Command != netproto.CmdWaitResult {
+		return parkedWait{}, false
+	}
+	key := ""
+	if pkt.HasSeq {
+		key = j.peer.String() + "|" + strconv.Itoa(int(pkt.Seq))
+		for _, e := range parked {
+			if e.key == key {
+				s.m.drops.With("parked_dup").Inc()
+				s.events.Debugf("parked wait retransmit dropped", "peer", j.peer, "seq", pkt.Seq)
+				return parkedWait{key: dupSentinel}, false
+			}
+		}
+	}
+	req, rerr := netproto.ParseWaitResultReq(pkt.Body)
+	if rerr != nil || req.HoldMs == 0 {
+		return parkedWait{}, false
+	}
+	holdMs := req.HoldMs
+	if holdMs > maxHoldMs {
+		holdMs = maxHoldMs
+	}
+	if len(parked) >= maxParkedPerBoard {
+		return parkedWait{}, false
+	}
+	if len(parked) == 0 {
+		// Drain any stale wake token from a previous run BEFORE checking
+		// the state: drain-then-check cannot lose a wakeup (a run that
+		// finishes after the drain re-sends the token), while
+		// check-then-drain could eat the very token this waiter needs.
+		select {
+		case <-wake:
+		default:
+		}
+	}
+	if p.Control().State() != leon.StateRunning {
+		return parkedWait{}, false // answer immediately: result is already final
+	}
+	var span tracing.SpanHandle
+	if s.tracer != nil {
+		span = s.tracer.Trace(j.traceID).Start("park").
+			WithAttr("cmd", j.cmd).WithAttr("board", strconv.Itoa(int(pkt.Board)))
+	}
+	s.m.parked.Inc()
+	s.waiters.Add(1)
+	return parkedWait{
+		j:        j,
+		key:      key,
+		deadline: time.Now().Add(time.Duration(holdMs) * time.Millisecond),
+		span:     span,
+	}, true
 }
 
 // process re-wraps the datagram as the raw frame the FPX would
