@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke load-smoke trace-smoke ci
+.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke load-smoke reconfig-smoke trace-smoke ci
 
 all: build
 
@@ -40,11 +40,12 @@ fuzz-smoke:
 	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParsePacket -fuzztime 5s
 	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParseLoadChunk -fuzztime 5s
 	$(GO) test ./internal/netproto/ -run '^$$' -fuzz FuzzParseRunReport -fuzztime 5s
+	$(GO) test ./internal/reconfig/ -run '^$$' -fuzz FuzzImageCodec -fuzztime 5s
 
 # cover-gate fails if statement coverage of the transport packages —
 # the ones the chaos work hardens — drops below the floor.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/client ./internal/server
+COVER_PKGS = ./internal/client ./internal/server ./internal/reconfig
 
 cover-gate:
 	@set -e; for p in $(COVER_PKGS); do \
@@ -87,6 +88,18 @@ load-smoke:
 		$(GO) test -run '^$$' -bench 'BenchmarkLoadThroughput|BenchmarkNodeConcurrentClients/boards=1$$' \
 		-benchtime 1x -v ./internal/server/
 
+# reconfig-smoke runs the cold/warm reconfiguration-service benchmark
+# once with the gate armed: a restarted node must serve a three-pass
+# sweep over a pregenerated configuration space at a ≥90% hit ratio
+# with exactly one new synthesis (the novel point). The measured
+# figures — hit ratio, modelled tool hours saved, wall time — are
+# re-emitted to BENCH_reconfig.json (commit the refresh when the
+# numbers move for a real reason).
+reconfig-smoke:
+	LIQUID_RECONFIG_GATE=1 LIQUID_RECONFIG_JSON=$(CURDIR)/BENCH_reconfig.json \
+		$(GO) test -run '^$$' -bench 'BenchmarkReconfigColdWarm' \
+		-benchtime 1x -v ./internal/reconfig/
+
 # trace-smoke runs the two-board example with end-to-end exchange
 # tracing and lets it self-validate the merged Chrome trace-event
 # export (JSON parses, every span nests inside its parent); the
@@ -94,4 +107,4 @@ load-smoke:
 trace-smoke:
 	$(GO) run ./examples/multinode -trace-out $${TMPDIR:-/tmp}/liquidarch-trace-smoke.json
 
-ci: fmt-check vet build race race-net chaos cover-gate bench-smoke load-smoke trace-smoke
+ci: fmt-check vet build race race-net chaos cover-gate bench-smoke load-smoke reconfig-smoke trace-smoke

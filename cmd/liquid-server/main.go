@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	liquid-server -listen 127.0.0.1:5001 [-boards N] [-metrics-addr 127.0.0.1:9090] [-dcache 4096 ...] [-v]
+//	liquid-server -listen 127.0.0.1:5001 [-boards N] [-cache-dir DIR] [-metrics-addr 127.0.0.1:9090] [-dcache 4096 ...] [-v]
 //
 // With -boards N the node hosts N independent boards (platforms) behind
 // one UDP socket, routed by the board byte of the v2 control header
 // (board 0 keeps the wire-compatible v1 header; select a board with
 // `liquidctl -board N`). Each board executes asynchronously on its own
 // worker, so a long run on one never delays control traffic to another.
+// All boards share one reconfiguration manager: concurrent reconfigure
+// requests for the same configuration coalesce onto a single synthesis
+// (bounded by -synth-workers), and with -cache-dir the bitfile cache is
+// backed by a persistent content-addressed store — every synthesis is
+// written through, and a restarted server warm-loads the directory so
+// previously visited configurations swap in milliseconds instead of
+// the modelled tool hours.
 //
 // With -metrics-addr set, an HTTP listener additionally serves
 // /metrics (Prometheus text), /statusz (JSON snapshot + recent events)
@@ -42,6 +49,7 @@ import (
 	"liquidarch/internal/fpx"
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
+	"liquidarch/internal/reconfig"
 	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/tracing"
@@ -54,7 +62,9 @@ func main() {
 	metricsAddr := fs.String("metrics-addr", "", "HTTP address for /metrics, /statusz and pprof (empty = disabled)")
 	verbose := fs.Bool("v", false, "log each handled request")
 	uart := fs.Bool("uart", true, "print the processor's UART output to stdout")
-	cacheDir := fs.String("cachedir", "", "persist the reconfiguration cache here")
+	cacheDir := fs.String("cache-dir", "", "back the reconfiguration cache with a persistent store in this directory")
+	cacheDirOld := fs.String("cachedir", "", "deprecated alias for -cache-dir")
+	synthWorkers := fs.Int("synth-workers", 0, "bound on concurrent synthesis jobs (0 = GOMAXPROCS)")
 	trace := fs.Bool("trace", true, "record per-exchange span traces (fetch via liquidctl trace or /debug/traces)")
 	flightDir := fs.String("flightrec-dir", ".", "directory for flight-recorder dump files")
 	buildCfg := cliutil.ConfigFlags(fs)
@@ -67,14 +77,31 @@ func main() {
 	if *boards < 1 {
 		cliutil.Fatalf("liquid-server: -boards must be at least 1")
 	}
+	if *cacheDir == "" {
+		*cacheDir = *cacheDirOld
+	}
+	// One reconfiguration manager serves the whole node: every board's
+	// requests dedup onto its synthesis pool, and one cache (optionally
+	// backed by -cache-dir's write-through persistent store) covers all
+	// of them.
+	mgr := reconfig.NewManagerWorkers(
+		reconfig.NewCache(0), synth.Options{BitstreamBytes: 65536}, *synthWorkers)
+	if *cacheDir != "" {
+		if err := mgr.Cache().SetDir(*cacheDir); err != nil {
+			cliutil.Fatalf("liquid-server: %v", err)
+		}
+		if err := mgr.Cache().Load(*cacheDir); err != nil {
+			log.Printf("liquid-server: cache load: %v", err)
+		}
+	}
 	// One liquid system per board, each with its own node IP (10.0.0.2,
 	// 10.0.0.3, ...) as the FPX cluster of Fig. 1 would be addressed.
 	systems := make([]*core.System, *boards)
 	platforms := make([]*fpx.Platform, *boards)
 	for i := range systems {
 		opts := core.Options{
-			Synth: synth.Options{BitstreamBytes: 65536},
-			IP:    [4]byte{10, 0, 0, byte(2 + i)},
+			Manager: mgr,
+			IP:      [4]byte{10, 0, 0, byte(2 + i)},
 		}
 		if *uart && i == 0 {
 			opts.UARTOut = os.Stdout // board 0 only; others would interleave
@@ -87,18 +114,6 @@ func main() {
 		platforms[i] = sys.Platform()
 	}
 	sys := systems[0]
-	if *cacheDir != "" {
-		// The bitfile cache belongs to board 0's manager; all boards run
-		// the same configuration, so one cache covers the node.
-		if err := sys.Manager().Cache().Load(*cacheDir); err != nil {
-			log.Printf("liquid-server: cache load: %v", err)
-		}
-		defer func() {
-			if err := sys.Manager().Cache().Save(*cacheDir); err != nil {
-				log.Printf("liquid-server: cache save: %v", err)
-			}
-		}()
-	}
 
 	srv, err := server.NewNode(*listen, platforms...)
 	if err != nil {
@@ -153,6 +168,11 @@ func main() {
 	}
 	util := sys.ActiveImage().Util
 	fmt.Printf("liquid-server: %s on %s (%d board(s))\n", synth.ConfigKey(cfg), srv.Addr(), srv.Boards())
+	if *cacheDir != "" {
+		cs := mgr.Cache().Stats()
+		fmt.Printf("liquid-server: cache store %s (%d image(s) warm-loaded, %d skipped)\n",
+			*cacheDir, cs.PersistLoaded, cs.PersistSkipped)
+	}
 	fmt.Printf("liquid-server: image %d slices, %d BlockRAMs, %.1f MHz\n",
 		util.Slices, util.BlockRAMs, util.FMaxMHz)
 	if err := srv.Serve(); err != nil {

@@ -10,7 +10,9 @@
 //	liquidctl -server HOST:PORT readmem -addr 0x40001000 -len 64 [-out f]
 //	liquidctl -server HOST:PORT writemem -addr 0x40002000 -file data.bin
 //	liquidctl -server HOST:PORT run    -c prog.c | -s prog.s  [-mac]
-//	liquidctl -server HOST:PORT reconfigure -spec '{"dcache_bytes":8192}'
+//	liquidctl -server HOST:PORT reconfig -spec '{"dcache_bytes":8192}' [-wait=false]
+//	liquidctl -server HOST:PORT reconfig               # poll reconfiguration status
+//	liquidctl -server HOST:PORT prewarm -spec '[{"dcache_bytes":2048},{"dcache_bytes":8192}]'
 //	liquidctl -server HOST:PORT getconfig
 //	liquidctl -server HOST:PORT stats      # telemetry snapshot (JSON)
 //	liquidctl -server HOST:PORT traces     # recent exchange traces (Chrome JSON)
@@ -37,10 +39,21 @@
 // with -wait=false it returns immediately and `liquidctl result`
 // collects the report later (status shows the live cycle counter in
 // the meantime).
+//
+// reconfig is asynchronous the same way: the server acks with the
+// ticket state the instant the request is registered (a cache hit
+// applies inside the ack), then (with -wait, the default) the client
+// waits — held on the server where supported — and prints the final
+// state; with -wait=false it returns after the ack and a later bare
+// `liquidctl reconfig` (no -spec) polls the state. reconfigure is the
+// legacy blocking spelling of `reconfig -wait`. prewarm queues a list
+// of configurations on the server's synthesis pool without swapping
+// any of them, populating the bitfile cache ahead of use.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,7 +103,8 @@ func main() {
 	verbs := map[string]bool{
 		"status": true, "load": true, "start": true, "result": true,
 		"readmem": true, "writemem": true, "run": true,
-		"reconfigure": true, "getconfig": true, "trace": true,
+		"reconfigure": true, "reconfig": true, "prewarm": true,
+		"getconfig": true, "trace": true,
 		"stats": true, "traces": true,
 	}
 	args := os.Args[1:]
@@ -254,6 +268,56 @@ func main() {
 		}
 		fmt.Println("reconfigured")
 
+	case "reconfig":
+		if *spec == "" {
+			// No spec: poll the state of the reconfiguration in flight
+			// (or the last one's outcome).
+			st, err := c.ReconfigStatus()
+			if err != nil {
+				cliutil.Fatalf("liquidctl: %v", err)
+			}
+			printReconfigStatus(st)
+			return
+		}
+		st, err := c.ReconfigureAsync([]byte(*spec))
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		printReconfigStatus(st)
+		if st.Terminal() || !*wait {
+			if !st.Terminal() {
+				fmt.Println("(poll with `liquidctl reconfig`, or wait with `liquidctl reconfig -spec ... -wait`)")
+			}
+			return
+		}
+		final, err := c.WaitReconfigure(context.Background())
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		printReconfigStatus(final)
+		if final.State != netproto.ReconfigApplied {
+			os.Exit(1)
+		}
+
+	case "prewarm":
+		if *spec == "" {
+			cliutil.Fatalf("liquidctl: prewarm needs -spec with a JSON array of configuration specs")
+		}
+		var specs []json.RawMessage
+		if err := json.Unmarshal([]byte(*spec), &specs); err != nil {
+			// A single bare spec object is accepted too.
+			var one json.RawMessage
+			if err2 := json.Unmarshal([]byte(*spec), &one); err2 != nil {
+				cliutil.Fatalf("liquidctl: prewarm spec: %v", err)
+			}
+			specs = []json.RawMessage{one}
+		}
+		queued, err := c.Prewarm(specs)
+		if err != nil {
+			cliutil.Fatalf("liquidctl: %v", err)
+		}
+		fmt.Printf("prewarm: %d configuration(s) queued on the synthesis pool\n", queued)
+
 	case "getconfig":
 		blob, err := c.GetConfig()
 		if err != nil {
@@ -349,6 +413,27 @@ func buildImage(cSrc, sSrc string, mac bool) *link.Image {
 		cliutil.Fatalf("liquidctl: %v", err)
 	}
 	return img
+}
+
+// printReconfigStatus renders one rev-6 reconfiguration status line.
+func printReconfigStatus(st netproto.ReconfigStatusResp) {
+	switch {
+	case st.State == netproto.ReconfigNone:
+		fmt.Println("reconfig: none in flight")
+	case st.State == netproto.ReconfigFailed:
+		fmt.Printf("reconfig: FAILED: %s\n", st.Msg)
+	case st.State == netproto.ReconfigApplied:
+		how := "synthesized"
+		if st.CacheHit {
+			how = "cache hit"
+		}
+		if st.Partial {
+			how += ", partial swap"
+		}
+		fmt.Printf("reconfig: applied (%s)\n", how)
+	default:
+		fmt.Printf("reconfig: %s\n", netproto.ReconfigStateName(st.State))
+	}
 }
 
 func printReport(rep netproto.RunReport) {

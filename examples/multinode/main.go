@@ -12,9 +12,18 @@
 // the server's queue/handle/run spans join it, and with -trace-out the
 // merged timeline is validated and written as Chrome trace-event JSON
 // (open it in chrome://tracing to see both boards' runs side by side).
+//
+// The boards share one reconfiguration manager, so the session also
+// shows reconfiguration as a service: two further configurations are
+// prewarmed onto the synthesis pool before the runs start, and after
+// the results are in, board 0 is reconfigured to one of the prewarmed
+// points — an immediate cache hit, no modelled tool hours — and reruns
+// the same program on its new microarchitecture.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,10 +37,21 @@ import (
 	"liquidarch/internal/lcc"
 	"liquidarch/internal/leon"
 	"liquidarch/internal/link"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/reconfig"
 	"liquidarch/internal/server"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/tracing"
 )
+
+// mustSpec marshals one reconfigure spec.
+func mustSpec(s core.Spec) json.RawMessage {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return blob
+}
 
 const program = `
 int count[1024];
@@ -61,13 +81,16 @@ func main() {
 		{"board 0 (1KB D$)", 1 << 10},
 		{"board 1 (8KB D$)", 8 << 10},
 	}
+	// One reconfiguration manager serves both boards: requests dedup
+	// onto its synthesis pool and share one bitfile cache.
+	mgr := reconfig.NewManager(reconfig.NewCache(0), synth.Options{BitstreamBytes: 4096})
 	platforms := make([]*fpx.Platform, len(boards))
 	for i, b := range boards {
 		cfg := leon.DefaultConfig()
 		cfg.DCache.SizeBytes = b.dcache
 		sys, err := core.New(cfg, core.Options{
-			IP:    [4]byte{10, 0, 0, byte(2 + i)},
-			Synth: synth.Options{BitstreamBytes: 4096},
+			IP:      [4]byte{10, 0, 0, byte(2 + i)},
+			Manager: mgr,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -115,6 +138,19 @@ func main() {
 		clients[i] = c
 	}
 
+	// Prewarm two more configuration points on the shared synthesis
+	// pool before any board needs them: the later reconfigure will be a
+	// millisecond cache hit instead of a modelled tool-hour miss.
+	prewarm := []json.RawMessage{
+		mustSpec(core.Spec{DCacheBytes: 2 << 10}),
+		mustSpec(core.Spec{DCacheBytes: 16 << 10}),
+	}
+	queued, err := clients[0].Prewarm(prewarm)
+	if err != nil {
+		log.Fatalf("prewarm: %v", err)
+	}
+	fmt.Printf("prewarm: %d configurations queued on the synthesis pool\n", queued)
+
 	var wg sync.WaitGroup
 	for i, c := range clients {
 		wg.Add(1)
@@ -152,13 +188,46 @@ func main() {
 	}
 
 	fmt.Println()
+	var firstCycles uint64
 	for i, c := range clients {
 		rep, err := c.WaitResult()
 		if err != nil {
 			log.Fatalf("%s: result: %v", boards[i].name, err)
 		}
+		if i == 0 {
+			firstCycles = rep.Cycles
+		}
 		fmt.Printf("%-18s %10d cycles\n", boards[i].name, rep.Cycles)
 	}
+
+	// Mid-session reconfiguration: swap board 0 from its 1 KB D$ to the
+	// prewarmed 16 KB point. The synthesis already ran on the pool, so
+	// the swap is a cache hit and applies inside the ack; then the same
+	// program (still loaded — partial swaps keep the memories) reruns on
+	// the new microarchitecture.
+	fmt.Println()
+	st, err := clients[0].ReconfigureAsync(mustSpec(core.Spec{DCacheBytes: 16 << 10}))
+	if err != nil {
+		log.Fatalf("board 0: reconfigure: %v", err)
+	}
+	if !st.Terminal() {
+		if st, err = clients[0].WaitReconfigure(context.Background()); err != nil {
+			log.Fatalf("board 0: reconfigure wait: %v", err)
+		}
+	}
+	if st.State != netproto.ReconfigApplied {
+		log.Fatalf("board 0: reconfigure ended %+v", st)
+	}
+	fmt.Printf("board 0 reconfigured to 16KB D$ (cache hit: %v, partial: %v)\n", st.CacheHit, st.Partial)
+	rep, err := clients[0].Start(img.Entry, 0)
+	if err != nil {
+		log.Fatalf("board 0: rerun: %v", err)
+	}
+	fmt.Printf("%-18s %10d cycles (was %d at 1KB)\n", "board 0 (16KB D$)", rep.Cycles, firstCycles)
+
+	ms := mgr.Stats()
+	fmt.Printf("\nsynthesis service: %d runs, %d coalesced, %d images cached\n",
+		ms.SynthRuns, ms.Coalesced, mgr.Cache().Len())
 
 	snap := srv.Metrics().Snapshot()
 	fmt.Printf("\nnode: %d datagrams in, %d out — both boards ran concurrently\n",

@@ -209,6 +209,10 @@ type Client struct {
 	// unknown (a pre-v5 node): every later WaitResult goes straight to
 	// the poll loop instead of re-probing per wait.
 	noServerWait bool
+	// noReconfigWait is the rev-6 twin: latched after the server
+	// rejects CmdWaitReconfig as unknown, downgrading WaitReconfigure
+	// to CmdReconfigStatus polling for the life of this client.
+	noReconfigWait bool
 
 	reg *metrics.Registry
 	m   clientMetrics
@@ -1038,23 +1042,203 @@ func (c *Client) WriteMemory(addr uint32, data []byte) error {
 }
 
 // Reconfigure asks the platform to swap in a different architecture
-// configuration (the liquid step). spec is the platform-defined
-// configuration description.
+// configuration (the liquid step) and blocks until the swap lands.
+// spec is the platform-defined configuration description. Since
+// protocol rev 6 it is a composition of ReconfigureAsync +
+// WaitReconfigure; against a pre-rev-6 server the ack itself carries
+// the outcome and no wait is issued, so the observable behavior
+// matches the historical blocking call either way.
 func (c *Client) Reconfigure(spec []byte) (err error) {
+	op := c.beginOp("reconfigure")
+	defer func() { c.endOp(op, err) }()
+	st, err := c.ReconfigureAsync(spec)
+	if err != nil {
+		return err
+	}
+	if !st.Terminal() {
+		if st, err = c.WaitReconfigure(context.Background()); err != nil {
+			return err
+		}
+	}
+	if st.State != netproto.ReconfigApplied {
+		if st.Msg != "" {
+			return fmt.Errorf("client: reconfigure failed: %s", st.Msg)
+		}
+		return fmt.Errorf("client: reconfigure ended %s", netproto.ReconfigStateName(st.State))
+	}
+	return nil
+}
+
+// ReconfigureAsync sends one CmdReconfigure exchange and returns the
+// server's immediate ack as a ticket status: Applied for a cache hit
+// on an idle board (the millisecond path), Queued/Synthesizing when
+// the modelled tool run proceeds in the background (follow up with
+// ReconfigStatus or WaitReconfigure). A pre-rev-6 server blocks
+// through the whole swap and its ack maps onto the terminal states, so
+// callers need not know which protocol generation answered.
+func (c *Client) ReconfigureAsync(spec []byte) (st netproto.ReconfigStatusResp, err error) {
 	op := c.beginOp("reconfigure")
 	defer func() { c.endOp(op, err) }()
 	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdReconfigure, Body: spec})
 	if err != nil {
-		return err
+		return netproto.ReconfigStatusResp{}, err
 	}
 	rep, err := netproto.ParseRunReport(resp.Body)
 	if err != nil {
-		return err
+		return netproto.ReconfigStatusResp{}, err
 	}
-	if rep.Status != netproto.StatusOK {
-		return fmt.Errorf("client: reconfigure status %d", rep.Status)
+	return netproto.ReconfigAckInfo(rep), nil
+}
+
+// Prewarm asks the node to pre-synthesize the given configuration
+// specs into its reconfiguration cache without swapping any of them
+// in, returning how many tickets the server queued. Synthesis
+// proceeds on the server's shared worker pool; later Reconfigure
+// calls to these points become cache hits. A pre-rev-6 server does
+// not understand prewarm bodies and reports 0 queued.
+func (c *Client) Prewarm(specs []json.RawMessage) (queued uint32, err error) {
+	op := c.beginOp("prewarm")
+	defer func() { c.endOp(op, err) }()
+	body, err := json.Marshal(struct {
+		Prewarm []json.RawMessage `json:"prewarm"`
+	}{specs})
+	if err != nil {
+		return 0, fmt.Errorf("client: prewarm spec: %w", err)
 	}
-	return nil
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdReconfigure, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	rep, err := netproto.ParseRunReport(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return netproto.ReconfigAckInfo(rep).Queued, nil
+}
+
+// ReconfigStatus polls the board's asynchronous reconfiguration state
+// with a single round trip (rev 6; older servers reject it as
+// unknown). The poll also pumps: an image whose synthesis completed
+// while the board was busy is swapped in by this very exchange.
+func (c *Client) ReconfigStatus() (netproto.ReconfigStatusResp, error) {
+	return c.reconfigStatusWithin(time.Time{})
+}
+
+func (c *Client) reconfigStatusWithin(deadline time.Time) (st netproto.ReconfigStatusResp, err error) {
+	op := c.beginOp("reconfig_status")
+	defer func() { c.endOp(op, err) }()
+	resp, err := c.exchange(netproto.Packet{Command: netproto.CmdReconfigStatus}, deadline)
+	if err != nil {
+		return netproto.ReconfigStatusResp{}, err
+	}
+	return netproto.ParseReconfigStatusResp(resp.Body)
+}
+
+// WaitReconfigure blocks until the asynchronous reconfiguration
+// reaches a terminal state and returns it. Like WaitResult it prefers
+// the server-held wait — each CmdWaitReconfig exchange parks on the
+// board worker up to WaitHold and answers the instant the swap lands —
+// and downgrades permanently to CmdReconfigStatus polling when the
+// server rejects the command as unknown. WaitTimeout bounds the whole
+// wait; ctx cancels it early, interrupting even a held exchange.
+func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatusResp, err error) {
+	op := c.beginOp("wait_reconfig")
+	defer func() { c.endOp(op, err) }()
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	limit := c.WaitTimeout
+	if limit <= 0 {
+		limit = 2 * time.Minute
+	}
+	hold := c.WaitHold
+	if hold == 0 {
+		hold = DefaultWaitHold
+	}
+	deadline := time.Now().Add(limit)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", err)
+		}
+		useHold := hold > 0 && !c.noReconfigWait
+		var (
+			rst  netproto.ReconfigStatusResp
+			rerr error
+			held time.Duration
+		)
+		if useHold {
+			h := hold
+			if remain := time.Until(deadline); remain < h {
+				h = remain // never ask the server to outlast our own budget
+			}
+			if h < time.Millisecond {
+				h = time.Millisecond
+			}
+			before := time.Now()
+			rst, rerr = c.waitReconfigHeld(ctx, h, deadline)
+			held = time.Since(before)
+			if rerr != nil {
+				var se *ServerError
+				if errors.As(rerr, &se) && se.Cmd == netproto.CmdWaitReconfig {
+					// This server predates CmdWaitReconfig: downgrade to
+					// the status-poll loop and stop probing.
+					c.noReconfigWait = true
+					c.m.waitFallback.Inc()
+					continue
+				}
+			}
+		} else {
+			rst, rerr = c.reconfigStatusWithin(deadline)
+		}
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
+			}
+			var ue *UnreachableError
+			if errors.As(rerr, &ue) && !time.Now().Before(deadline) {
+				return netproto.ReconfigStatusResp{}, fmt.Errorf("client: reconfiguration still unconfirmed after %v: %w", limit, rerr)
+			}
+			return netproto.ReconfigStatusResp{}, rerr
+		}
+		if rst.Terminal() || rst.State == netproto.ReconfigNone {
+			return rst, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return rst, fmt.Errorf("client: reconfiguration still in flight after %v", limit)
+		}
+		if useHold && held >= interval {
+			// The server held the exchange and the swap outlasted the
+			// hold: re-issue immediately; the exchange itself paced us.
+			continue
+		}
+		sleep := interval
+		if sleep > remain {
+			sleep = remain
+		}
+		select {
+		case <-ctx.Done():
+			return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
+		case <-time.After(sleep):
+		}
+	}
+}
+
+// waitReconfigHeld issues one server-held reconfiguration wait; the
+// server may delay the reply up to h, so every read deadline is
+// stretched by h beyond the normal retransmission schedule.
+func (c *Client) waitReconfigHeld(ctx context.Context, h time.Duration, overall time.Time) (netproto.ReconfigStatusResp, error) {
+	c.m.waitHolds.Inc()
+	req := netproto.WaitReconfigReq{HoldMs: uint32(h / time.Millisecond)}
+	resp, err := c.exchangeCtx(ctx, netproto.Packet{Command: netproto.CmdWaitReconfig, Body: req.Marshal()}, overall, h)
+	if err != nil {
+		return netproto.ReconfigStatusResp{}, err
+	}
+	return netproto.ParseReconfigStatusResp(resp.Body)
 }
 
 // GetConfig fetches the platform's active configuration description.

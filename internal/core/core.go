@@ -10,8 +10,10 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"liquidarch/internal/lcc"
 	"liquidarch/internal/leon"
 	"liquidarch/internal/link"
+	"liquidarch/internal/netproto"
 	"liquidarch/internal/reconfig"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/trace"
@@ -36,6 +39,19 @@ type Options struct {
 	Synth synth.Options
 	// CacheCapacity bounds the reconfiguration cache (0 = unbounded).
 	CacheCapacity int
+	// CacheDir, when set, backs the reconfiguration cache with a
+	// persistent content-addressed store: previously synthesized
+	// images are warm-loaded at startup and every new synthesis is
+	// written through, so a restarted node keeps its hour-equivalents
+	// of tool time.
+	CacheDir string
+	// SynthWorkers bounds the synthesis pool (0 = GOMAXPROCS).
+	SynthWorkers int
+	// Manager, when set, is a shared reconfiguration manager: every
+	// board of a multi-board node passes the same one, so their
+	// requests dedup onto one synthesis pool and one cache.
+	// CacheCapacity, CacheDir and SynthWorkers are then ignored.
+	Manager *reconfig.Manager
 	// DisablePartial forces every reconfiguration through a full
 	// image load even when only the cache modules changed (ablation
 	// of the partial-runtime-reconfiguration path of [2]).
@@ -79,6 +95,12 @@ type System struct {
 	lastPartial bool
 	loadedProg  *link.Image
 
+	// pending is the one asynchronous reconfiguration this board can
+	// have in flight; lastReconfig records the most recent terminal
+	// outcome for status polls after completion. Both under s.mu.
+	pending      *pendingReconfig
+	lastReconfig netproto.ReconfigStatusResp
+
 	traceMu   sync.Mutex
 	lastTrace *trace.Recorder
 
@@ -95,13 +117,27 @@ type System struct {
 	m systemMetrics
 }
 
-// New synthesizes (or loads from a fresh cache) the initial
-// configuration, instantiates the processor system and boots it.
+// New synthesizes (or loads from a fresh or persistent cache) the
+// initial configuration, instantiates the processor system and boots
+// it.
 func New(cfg leon.Config, opts Options) (*System, error) {
 	opts = opts.withDefaults()
-	s := &System{
-		opts:    opts,
-		manager: reconfig.NewManager(reconfig.NewCache(opts.CacheCapacity), opts.Synth),
+	s := &System{opts: opts, manager: opts.Manager}
+	if s.manager == nil {
+		s.manager = reconfig.NewManagerWorkers(
+			reconfig.NewCache(opts.CacheCapacity), opts.Synth, opts.SynthWorkers)
+	}
+	s.platform = fpx.New(tracedControl{s}, opts.IP, opts.Port)
+	s.manager.Cache().SetLog(s.platform.Events())
+	if opts.Manager == nil && opts.CacheDir != "" {
+		// Persistent store: write-through from now on, then warm-load
+		// whatever a previous life of this node synthesized.
+		if err := s.manager.Cache().SetDir(opts.CacheDir); err != nil {
+			return nil, err
+		}
+		if err := s.manager.Cache().Load(opts.CacheDir); err != nil {
+			return nil, err
+		}
 	}
 	img, hit, err := s.manager.GetOrSynthesize(cfg)
 	if err != nil {
@@ -110,9 +146,10 @@ func New(cfg leon.Config, opts Options) (*System, error) {
 	if err := s.instantiate(cfg, img, nil, nil); err != nil {
 		return nil, err
 	}
-	s.platform = fpx.New(tracedControl{s}, opts.IP, opts.Port)
 	s.platform.ReconfigureFn = s.reconfigureFromSpec
 	s.platform.ReconfigureCtxFn = s.reconfigureFromSpecCtx
+	s.platform.ReconfigAsyncFn = s.reconfigAsyncFromSpec
+	s.platform.ReconfigStatusFn = s.ReconfigureStatus
 	s.platform.ConfigFn = func() []byte {
 		blob, _ := json.Marshal(SpecFromConfig(s.Config()))
 		return blob
@@ -262,7 +299,8 @@ func (s *System) Reconfigure(cfg leon.Config) (cacheHit bool, err error) {
 
 // ReconfigureCtx is Reconfigure with an exchange-trace context: the
 // whole swap becomes one "reconfigure" span annotated with the cache
-// outcome (hit|miss) and the swap path (partial|full).
+// outcome (hit|miss) and the swap path (partial|full), with the wait
+// for the synthesis service recorded as a "synthesize" child span.
 func (s *System) ReconfigureCtx(tc tracing.Ctx, cfg leon.Config) (cacheHit bool, err error) {
 	span := tc.Start("reconfigure")
 	kind := "none"
@@ -284,56 +322,104 @@ func (s *System) ReconfigureCtx(tc tracing.Ctx, cfg leon.Config) (cacheHit bool,
 			tracing.A("status", status),
 		)
 	}()
-	img, hit, err := s.manager.GetOrSynthesize(cfg)
+	t, coalesced := s.manager.Acquire(cfg)
+	img, hit, err := s.waitTicket(span.Ctx(), t, coalesced)
 	if err != nil {
 		return false, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	partial, err := s.applyLocked(cfg, img, hit, !hit && !coalesced)
+	if partial {
+		kind = "partial"
+	} else {
+		kind = "full"
+	}
+	return hit, err
+}
+
+// waitTicket blocks until a synthesis ticket completes, wrapping a
+// non-hit wait in a "synthesize" child span (attributed with whether
+// this caller coalesced onto another request's in-flight job).
+func (s *System) waitTicket(tc tracing.Ctx, t *reconfig.Ticket, coalesced bool) (*synth.Image, bool, error) {
+	if !t.CacheHit() {
+		ss := tc.Start("synthesize")
+		<-t.Done()
+		if ss.On() {
+			_, err := t.Image()
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			ss.EndAttrs(
+				tracing.A("coalesced", strconv.FormatBool(coalesced)),
+				tracing.A("status", status),
+			)
+		}
+	}
+	<-t.Done()
+	img, err := t.Image()
+	if err != nil {
+		return nil, false, err
+	}
+	return img, t.CacheHit(), nil
+}
+
+// errRunInFlight defers a full swap: the bitfile reload would kill the
+// in-flight run, so the caller parks (async path) or fails (blocking
+// path, preserving the pre-rev-6 contract).
+var errRunInFlight = errors.New("core: cannot reconfigure while a run is in flight")
+
+// applyLocked swaps the board to cfg/img with s.mu held: a partial
+// (cache-plugin) swap when only the caches differ — legal under a live
+// processor — otherwise a full rebuild, which requires an idle board.
+// synthesized records whether this request paid the modelled tool run
+// itself (false for cache hits and for requests that coalesced onto
+// another caller's synthesis).
+func (s *System) applyLocked(cfg leon.Config, img *synth.Image, hit, synthesized bool) (partial bool, err error) {
 	if !s.opts.DisablePartial && onlyCachesDiffer(s.cfg, cfg) {
 		// Partial runtime reconfiguration: the cache-plugin swap runs
 		// on the actor goroutine, between step slices — legal even
 		// under a live processor, which is the whole point of [2].
-		kind = "partial"
 		var swapErr error
 		if derr := s.actrl.Do(func(c *leon.Controller) {
 			swapErr = c.SoC().SwapCaches(cfg.ICache, cfg.DCache)
 		}); derr != nil {
-			return hit, derr
+			return true, derr
 		}
 		if swapErr != nil {
-			return hit, swapErr
+			return true, swapErr
 		}
 		s.cfg, s.active = cfg, img
 		s.reconfigs++
 		s.partials++
 		s.lastHit, s.lastPartial = hit, true
-		s.observeReconfigure(hit, true, img.SynthTime)
-		return hit, nil
+		s.observeReconfigure(hit, true, synthesized, img.SynthTime)
+		return true, nil
 	}
 	// A full image load resets the processor; refuse while a run is in
-	// flight (the client collects or abandons first).
-	kind = "full"
+	// flight (the client collects or abandons first — or the async
+	// path parks on errRunInFlight and swaps at run completion).
 	if s.actrl.State() == leon.StateRunning {
-		return hit, fmt.Errorf("core: cannot reconfigure while a run is in flight")
+		return false, errRunInFlight
 	}
 	var sram, sdram []byte
 	if derr := s.actrl.Do(func(c *leon.Controller) {
 		sram = append([]byte(nil), c.SoC().SRAM.Raw()...)
 		sdram = append([]byte(nil), c.SoC().SDRAM.Raw()...)
 	}); derr != nil {
-		return hit, derr
+		return false, derr
 	}
 	if err := s.instantiate(cfg, img, sram, sdram); err != nil {
-		return hit, err
+		return false, err
 	}
 	if s.platform != nil {
 		s.platform.SetControl(tracedControl{s})
 	}
 	s.reconfigs++
 	s.lastHit, s.lastPartial = hit, false
-	s.observeReconfigure(hit, false, img.SynthTime)
-	return hit, nil
+	s.observeReconfigure(hit, false, synthesized, img.SynthTime)
+	return false, nil
 }
 
 // onlyCachesDiffer reports whether a↦b changes nothing outside the

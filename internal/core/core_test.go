@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"liquidarch/internal/archgen"
 	"liquidarch/internal/cache"
@@ -192,12 +193,28 @@ func TestNetworkReconfigure(t *testing.T) {
 		t.Errorf("reported D$ = %d", spec.DCacheBytes)
 	}
 
-	// Reconfigure to 8 KB over the wire.
+	// Reconfigure to 8 KB over the wire. Since rev 6 the ack is
+	// immediate — a miss reports its ticket state in the spare fields —
+	// and the client follows up with CmdReconfigStatus until terminal.
 	blob, _ := json.Marshal(Spec{DCacheBytes: 8 << 10})
 	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdReconfigure, Body: blob}.Marshal())
 	rep, err := netproto.ParseRunReport(resps[0].Body)
-	if err != nil || rep.Status != netproto.StatusOK {
-		t.Fatalf("reconfigure: %v %+v", err, rep)
+	if err != nil {
+		t.Fatalf("reconfigure ack: %v", err)
+	}
+	st := netproto.ReconfigAckInfo(rep)
+	for i := 0; !st.Terminal(); i++ {
+		if i > 10000 {
+			t.Fatalf("reconfigure never reached a terminal state: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+		resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdReconfigStatus}.Marshal())
+		if st, err = netproto.ParseReconfigStatusResp(resps[0].Body); err != nil {
+			t.Fatalf("reconfig status: %v", err)
+		}
+	}
+	if st.State != netproto.ReconfigApplied {
+		t.Fatalf("reconfigure failed: %+v", st)
 	}
 	if got := s.Config().DCache.SizeBytes; got != 8<<10 {
 		t.Errorf("D$ after network reconfigure = %d", got)

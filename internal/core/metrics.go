@@ -103,6 +103,26 @@ func (s *System) instrument() {
 	r.GaugeFunc("liquid_reconfig_cache_misses", "Reconfiguration-cache misses (synthesis runs).", func() float64 { return float64(s.manager.Cache().Stats().Misses) })
 	r.GaugeFunc("liquid_reconfig_cache_evictions", "Images evicted by the LRU bound.", func() float64 { return float64(s.manager.Cache().Stats().Evictions) })
 	r.GaugeFunc("liquid_reconfig_cache_saved_seconds", "Modelled tool time avoided by cache hits.", func() float64 { return s.manager.Cache().Stats().SavedTime.Seconds() })
+
+	// Synthesis service: the shared deduplicating worker pool and the
+	// persistent content-addressed store behind it. Like the hardware
+	// gauges these pull counters the service already keeps, so nothing
+	// is added to the synthesis path itself.
+	r.GaugeFunc("liquid_reconfig_queue_depth", "Synthesis tickets waiting for a pool slot.", func() float64 { return float64(s.manager.Stats().QueueDepth) })
+	r.GaugeFunc("liquid_reconfig_inflight", "Synthesis runs currently executing.", func() float64 { return float64(s.manager.Stats().Inflight) })
+	r.GaugeFunc("liquid_reconfig_coalesced", "Acquisitions that joined an in-flight synthesis instead of starting one.", func() float64 { return float64(s.manager.Stats().Coalesced) })
+	r.GaugeFunc("liquid_reconfig_synth_runs", "Synthesis runs the shared pool has executed.", func() float64 { return float64(s.manager.Stats().SynthRuns) })
+	r.GaugeFunc("liquid_reconfig_pool_utilization", "Fraction of synthesis workers busy (0–1).", func() float64 {
+		st := s.manager.Stats()
+		if st.Workers == 0 {
+			return 0
+		}
+		return float64(st.Inflight) / float64(st.Workers)
+	})
+	r.GaugeFunc("liquid_reconfig_persist_hits", "Cache hits served by images warm-loaded from the on-disk store.", func() float64 { return float64(s.manager.Cache().Stats().PersistHits) })
+	r.GaugeFunc("liquid_reconfig_persist_loaded", "Images warm-loaded from the on-disk store.", func() float64 { return float64(s.manager.Cache().Stats().PersistLoaded) })
+	r.GaugeFunc("liquid_reconfig_persist_skipped", "On-disk entries skipped as corrupt or mismatched.", func() float64 { return float64(s.manager.Cache().Stats().PersistSkipped) })
+	r.GaugeFunc("liquid_reconfig_persist_writes", "Images written through to the on-disk store.", func() float64 { return float64(s.manager.Cache().Stats().PersistWrites) })
 }
 
 // observeRun records one execution in the telemetry registry.
@@ -120,12 +140,17 @@ func (s *System) observeRun(res leon.RunResult, wall time.Duration, err error) {
 	}
 }
 
-// observeReconfigure records one architecture swap.
-func (s *System) observeReconfigure(hit, partial bool, synthTime time.Duration) {
+// observeReconfigure records one architecture swap. synthesized is
+// true only when this swap's miss ran its own synthesis — a caller
+// that coalesced onto another board's in-flight job still counts a
+// miss, but the synthesis run itself is counted once, by the owner.
+func (s *System) observeReconfigure(hit, partial, synthesized bool, synthTime time.Duration) {
 	if hit {
 		s.m.reconfigs.With("hit").Inc()
 	} else {
 		s.m.reconfigs.With("miss").Inc()
+	}
+	if synthesized {
 		s.m.synthRuns.Inc()
 		s.m.synthModel.Observe(synthTime.Seconds())
 	}

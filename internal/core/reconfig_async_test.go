@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/reconfig"
+	"liquidarch/internal/synth"
+)
+
+// slowSynth keeps the modelled ≈1 h visible for tens of milliseconds
+// of real time, so tests can observe the non-terminal ticket states.
+var slowSynth = synth.Options{BitstreamBytes: 256, TimeScale: 1e-5}
+
+func cfg8K() leon.Config {
+	cfg := leon.DefaultConfig()
+	cfg.DCache.SizeBytes = 8 << 10
+	return cfg
+}
+
+// TestReconfigureAsyncLifecycle: a miss acks non-terminally, the
+// status polls pump it to Applied, and the configuration lands.
+func TestReconfigureAsyncLifecycle(t *testing.T) {
+	s, err := New(leon.DefaultConfig(), Options{Synth: slowSynth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st, err := s.ReconfigureAsync(cfg8K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Terminal() {
+		t.Fatalf("miss acked terminally: %+v", st)
+	}
+	// Re-requesting the same configuration is idempotent.
+	again, err := s.ReconfigureAsync(cfg8K())
+	if err != nil {
+		t.Fatalf("idempotent re-request: %v (%+v)", err, again)
+	}
+	// A different configuration while one is in flight is refused.
+	other := leon.DefaultConfig()
+	other.DCache.SizeBytes = 16 << 10
+	if _, err := s.ReconfigureAsync(other); err == nil {
+		t.Error("conflicting reconfigure not refused")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.WaitReconfigure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != netproto.ReconfigApplied || final.CacheHit {
+		t.Fatalf("final state %+v, want applied miss", final)
+	}
+	if got := s.Config().DCache.SizeBytes; got != 8<<10 {
+		t.Errorf("D$ after async reconfigure = %d", got)
+	}
+	// The terminal outcome stays visible to later polls.
+	if st := s.ReconfigureStatus(); st.State != netproto.ReconfigApplied {
+		t.Errorf("post-completion status %+v", st)
+	}
+
+	// A second swap to the now-cached configuration applies inside the
+	// ack — the millisecond path.
+	if _, err := s.ReconfigureAsync(leon.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.WaitReconfigure(ctx); err != nil || st.State != netproto.ReconfigApplied {
+		t.Fatalf("swap back: %v %+v", err, st)
+	}
+	st, err = s.ReconfigureAsync(cfg8K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != netproto.ReconfigApplied || !st.CacheHit {
+		t.Errorf("cached reconfigure acked %+v, want immediate applied hit", st)
+	}
+}
+
+// TestReconfigureAsyncDedup is the tentpole's dedup proof at the core
+// layer: N boards sharing one reconfiguration manager all request the
+// same configuration concurrently, and exactly one synthesis runs.
+func TestReconfigureAsyncDedup(t *testing.T) {
+	const boards = 8
+	m := reconfig.NewManagerWorkers(reconfig.NewCache(0), slowSynth, 4)
+	// Warm the shared cache with the boot configuration so New does
+	// not count synthesis runs of its own.
+	if err := m.Pregenerate([]leon.Config{leon.DefaultConfig()}); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Stats().SynthRuns
+
+	systems := make([]*System, boards)
+	for i := range systems {
+		s, err := New(leon.DefaultConfig(), Options{Synth: slowSynth, Manager: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		systems[i] = s
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, boards)
+	for i, s := range systems {
+		wg.Add(1)
+		go func(i int, s *System) {
+			defer wg.Done()
+			<-start
+			if _, err := s.ReconfigureAsync(cfg8K()); err != nil {
+				errs[i] = err
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			st, err := s.WaitReconfigure(ctx)
+			if err != nil {
+				errs[i] = err
+			} else if st.State != netproto.ReconfigApplied {
+				t.Errorf("board %d finished %+v", i, st)
+			}
+		}(i, s)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("board %d: %v", i, err)
+		}
+	}
+	ms := m.Stats()
+	if got := ms.SynthRuns - base; got != 1 {
+		t.Errorf("synthesis ran %d times for %d concurrent boards, want exactly 1", got, boards)
+	}
+	for i, s := range systems {
+		if got := s.Config().DCache.SizeBytes; got != 8<<10 {
+			t.Errorf("board %d D$ = %d after dedup swap", i, got)
+		}
+	}
+}
+
+// TestPersistentCacheRestart is the tentpole's persistence proof: a
+// restarted System backed by the same -cache-dir serves every prior
+// configuration as a hit — zero new synthesis — with bit-identical
+// images.
+func TestPersistentCacheRestart(t *testing.T) {
+	dir := t.TempDir()
+	fast := synth.Options{BitstreamBytes: 256}
+
+	s1, err := New(leon.DefaultConfig(), Options{Synth: fast, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Reconfigure(cfg8K()); err != nil {
+		t.Fatal(err)
+	}
+	firstBits := append([]byte(nil), s1.ActiveImage().Bitstream...)
+	firstRuns := s1.Manager().Stats().SynthRuns
+	if firstRuns != 2 { // boot config + 8 KB point
+		t.Fatalf("first life ran %d syntheses", firstRuns)
+	}
+	s1.Close()
+
+	s2, err := New(leon.DefaultConfig(), Options{Synth: fast, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	hit, err := s2.Reconfigure(cfg8K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("restarted node missed on a persisted configuration")
+	}
+	if got := s2.Manager().Stats().SynthRuns; got != 0 {
+		t.Errorf("restarted node ran %d syntheses, want 0", got)
+	}
+	cs := s2.Manager().Cache().Stats()
+	if cs.PersistLoaded != 2 || cs.PersistHits < 2 {
+		t.Errorf("persist stats loaded=%d hits=%d, want 2 loaded and ≥2 hits", cs.PersistLoaded, cs.PersistHits)
+	}
+	if !bytesEqual(s2.ActiveImage().Bitstream, firstBits) {
+		t.Error("warm-loaded bitstream differs from the one synthesized in the first life")
+	}
+
+	// Bit-identical behaviour, not just bit-identical images: the same
+	// program produces the same run report on the restarted node.
+	img1, err := s2.BuildASM("main:\n\tretl\n\tmov 7, %o0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s2.Run(img1, 0)
+	if err != nil || res.Faulted {
+		t.Fatalf("run on warm-loaded config: %v %+v", err, res)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -110,6 +110,17 @@ type Platform struct {
 	// context so the reconfiguration path (cache hit/miss,
 	// partial/full rebuild) appears in the span tree.
 	ReconfigureCtxFn func(tc tracing.Ctx, spec []byte) error
+	// ReconfigAsyncFn is the rev-6 non-blocking CmdReconfigure handler;
+	// when set it takes precedence over both blocking variants. It
+	// returns the ticket status the ack compresses into RunReport spare
+	// fields instead of holding the board through synthesis.
+	ReconfigAsyncFn func(tc tracing.Ctx, spec []byte) (netproto.ReconfigStatusResp, error)
+	// ReconfigStatusFn answers CmdReconfigStatus and CmdWaitReconfig.
+	// Calling it also pumps: a synthesis that completed while the board
+	// was busy is swapped in here, on the dispatching goroutine — the
+	// board worker when a server mounts this platform, which is the
+	// goroutine SoC mutation is confined to.
+	ReconfigStatusFn func() netproto.ReconfigStatusResp
 	// ConfigFn, when set, implements CmdGetConfig.
 	ConfigFn func() []byte
 	// TraceFn, when set, implements CmdTraceReport — the paper's
@@ -122,6 +133,11 @@ type Platform struct {
 	dedup      *dedupCache
 	stats      Stats
 	runDone    func() // completion hook, re-installed across SetControl
+	// reconfigWake, when set, is invoked (from the core's ticket
+	// watcher goroutine) whenever an asynchronous reconfiguration
+	// finishes synthesis — the server's cue to pump the swap and wake
+	// parked CmdWaitReconfig exchanges. Must not block.
+	reconfigWake func()
 
 	reg    *metrics.Registry
 	events *eventlog.Log
@@ -233,6 +249,41 @@ func (p *Platform) SetRunDoneHook(fn func()) bool {
 		return true
 	}
 	return false
+}
+
+// SetReconfigWakeHook asks the platform to invoke fn whenever an
+// asynchronous reconfiguration finishes its synthesis, and reports
+// whether this platform supports asynchronous reconfiguration at all
+// (the core wired ReconfigStatusFn). fn must not block; it typically
+// just signals the server's board worker, which then pumps the swap by
+// dispatching through ReconfigStatusFn on its own goroutine.
+func (p *Platform) SetReconfigWakeHook(fn func()) bool {
+	p.reconfigWake = fn
+	return p.ReconfigStatusFn != nil
+}
+
+// NotifyReconfig fires the reconfigure wake hook, reporting whether
+// one was installed. The core's ticket watcher calls it on synthesis
+// completion; when it returns false (no server mounted) the watcher
+// pumps the swap itself.
+func (p *Platform) NotifyReconfig() bool {
+	if p.reconfigWake == nil {
+		return false
+	}
+	p.reconfigWake()
+	return true
+}
+
+// ReconfigInFlight reports whether an asynchronous reconfiguration is
+// still non-terminal — the condition under which the server may park a
+// CmdWaitReconfig exchange. It polls through ReconfigStatusFn, so the
+// check itself pumps any swap that is ready to land.
+func (p *Platform) ReconfigInFlight() bool {
+	if p.ReconfigStatusFn == nil {
+		return false
+	}
+	st := p.ReconfigStatusFn()
+	return st.State != netproto.ReconfigNone && !st.Terminal()
 }
 
 // Stats returns a snapshot of the activity counters, taken with
@@ -440,6 +491,10 @@ func (p *Platform) dispatch(pkt netproto.Packet, tc tracing.Ctx) []netproto.Pack
 		return []netproto.Packet{p.tracesCmd(pkt.Body)}
 	case netproto.CmdWaitResult:
 		return []netproto.Packet{p.waitResult()}
+	case netproto.CmdReconfigStatus:
+		return []netproto.Packet{p.reconfigStatus(netproto.CmdReconfigStatus)}
+	case netproto.CmdWaitReconfig:
+		return []netproto.Packet{p.reconfigStatus(netproto.CmdWaitReconfig)}
 	default:
 		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
 	}
@@ -766,6 +821,24 @@ func (p *Platform) writeMem(body []byte) netproto.Packet {
 }
 
 func (p *Platform) reconfigure(body []byte, tc tracing.Ctx) netproto.Packet {
+	if p.ReconfigAsyncFn != nil {
+		st, err := p.ReconfigAsyncFn(tc, body)
+		if err != nil {
+			return p.errResp(netproto.CmdReconfigure, err)
+		}
+		if st.State == netproto.ReconfigApplied {
+			// The swap already happened inside the ack (cache hit on an
+			// idle board) — a new bitfile clears loaded state. Deferred
+			// swaps do NOT clear it: the SRAM/SDRAM contents are copied
+			// across, and a later ack must not clobber loads made while
+			// synthesis was still running.
+			p.loadedAddr = 0
+		}
+		return netproto.Packet{
+			Command: netproto.CmdReconfigure | netproto.RespFlag,
+			Body:    netproto.ReconfigAckReport(st).Marshal(),
+		}
+	}
 	if p.ReconfigureCtxFn == nil && p.ReconfigureFn == nil {
 		return p.errResp(netproto.CmdReconfigure, fmt.Errorf("reconfiguration not wired on this platform"))
 	}
@@ -783,6 +856,23 @@ func (p *Platform) reconfigure(body []byte, tc tracing.Ctx) netproto.Packet {
 		Command: netproto.CmdReconfigure | netproto.RespFlag,
 		Body:    netproto.RunReport{Status: netproto.StatusOK}.Marshal(),
 	}
+}
+
+// reconfigStatus answers CmdReconfigStatus and CmdWaitReconfig. Both
+// report (and pump) through ReconfigStatusFn; the hold semantics of
+// CmdWaitReconfig live a layer above, in the server's board worker,
+// which parks the exchange while the reconfiguration is in flight and
+// replays it through this handler at wake time — exactly the
+// CmdWaitResult arrangement.
+func (p *Platform) reconfigStatus(cmd uint8) netproto.Packet {
+	if p.ReconfigStatusFn == nil {
+		return p.errResp(cmd, fmt.Errorf("asynchronous reconfiguration not wired on this platform"))
+	}
+	// Deliberately no loadedAddr clearing here: Applied is sticky in
+	// the status (it reports the last terminal outcome), so a late poll
+	// must not clobber loads made after the swap. The swap copies the
+	// memories across anyway, so the loaded image survives it.
+	return netproto.Packet{Command: cmd | netproto.RespFlag, Body: p.ReconfigStatusFn().Marshal()}
 }
 
 func (p *Platform) getConfig() netproto.Packet {

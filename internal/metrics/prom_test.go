@@ -33,6 +33,12 @@ func TestPrometheusGolden(t *testing.T) {
 	drops.With("busy").Add(2)
 	drops.With("peer_addr").Inc()
 	r.GaugeFunc("liquid_server_queue_depth", "Commands queued across all board workers.", func() float64 { return 3 })
+	// The reconfiguration service's instruments: synthesis-pool gauges
+	// and the persistent-store counters.
+	r.GaugeFunc("liquid_reconfig_queue_depth", "Tickets waiting for a synthesis-pool slot.", func() float64 { return 2 })
+	r.GaugeFunc("liquid_reconfig_inflight", "Tickets currently synthesizing.", func() float64 { return 1 })
+	r.GaugeFunc("liquid_reconfig_coalesced", "Requests deduplicated onto an in-flight synthesis.", func() float64 { return 7 })
+	r.GaugeFunc("liquid_reconfig_persist_loaded", "Images warm-loaded from the persistent store.", func() float64 { return 4 })
 	// An info-style constant gauge: fixed labels, value pinned to 1
 	// (fixed fake labels here so the golden file is toolchain-stable).
 	r.Info("demo_build_info", "Build metadata.",

@@ -22,6 +22,13 @@ const (
 	CmdTraces      uint8 = 0x0C // pull the server-side exchange-trace spans (JSON); 8-byte body selects one trace id
 	CmdWaitResult  uint8 = 0x0D // long-poll result: the server holds the exchange (bounded) and answers the instant the run completes
 
+	// Command-set revision 6: the non-blocking reconfigure protocol.
+	// CmdReconfigure now acks immediately with a ticket state packed in
+	// the RunReport spare fields (see ReconfigAckReport); these two
+	// commands observe the in-flight synthesis.
+	CmdReconfigStatus uint8 = 0x0E // poll the board's reconfiguration ticket (ReconfigStatusResp)
+	CmdWaitReconfig   uint8 = 0x0F // long-poll reconfigure: the server holds the exchange (bounded) and answers when the swap lands
+
 	// RespFlag marks a response to the command in the low bits.
 	RespFlag uint8 = 0x80
 
@@ -60,6 +67,10 @@ func CommandName(cmd uint8) string {
 		return "traces"
 	case CmdWaitResult:
 		return "wait"
+	case CmdReconfigStatus:
+		return "reconfigstatus"
+	case CmdWaitReconfig:
+		return "waitreconfig"
 	default:
 		if cmd == CmdError {
 			return "error"

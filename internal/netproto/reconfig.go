@@ -1,0 +1,174 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Command-set revision 6 turns CmdReconfigure into a non-blocking
+// protocol: the server acks a reconfigure request immediately with the
+// state of its synthesis ticket, CmdReconfigStatus polls that ticket,
+// and CmdWaitReconfig parks the exchange server-side (like
+// CmdWaitResult) until the swap lands or the hold expires. All three
+// ride the unchanged v1–v4 headers; servers predating rev 6 block on
+// CmdReconfigure and answer CmdError "unknown command" to the two new
+// commands, which clients treat as "this server already finished the
+// work inside the ack" / "poll instead".
+
+// Reconfiguration ticket states on the wire, in lifecycle order.
+const (
+	ReconfigNone         uint8 = 0 // no reconfiguration in flight or recorded
+	ReconfigQueued       uint8 = 1 // ticket waiting for a synthesis-pool slot
+	ReconfigSynthesizing uint8 = 2 // modelled tool run in progress
+	ReconfigSwapping     uint8 = 3 // image ready; swap deferred until the board is idle
+	ReconfigApplied      uint8 = 4 // configuration active on the board
+	ReconfigFailed       uint8 = 5 // synthesis or swap failed (Msg says why)
+)
+
+// ReconfigStateName names a wire state for telemetry and CLI output.
+func ReconfigStateName(s uint8) string {
+	switch s {
+	case ReconfigNone:
+		return "none"
+	case ReconfigQueued:
+		return "queued"
+	case ReconfigSynthesizing:
+		return "synthesizing"
+	case ReconfigSwapping:
+		return "swapping"
+	case ReconfigApplied:
+		return "applied"
+	case ReconfigFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Flag bits carried alongside the state.
+const (
+	reconfigFlagHit     uint8 = 1 << 0 // image came from the reconfiguration cache
+	reconfigFlagPartial uint8 = 1 << 1 // applied as a partial (cache-only) swap
+)
+
+// ReconfigStatusResp answers CmdReconfigStatus and CmdWaitReconfig,
+// and is the payload the CmdReconfigure ack compresses into RunReport
+// spare fields (ReconfigAckReport).
+type ReconfigStatusResp struct {
+	Status   uint8 // StatusOK, or StatusError when State is Failed
+	State    uint8 // Reconfig* lifecycle state
+	CacheHit bool  // served from the cache, no synthesis
+	Partial  bool  // applied as a partial reconfiguration
+	// Queued is the number of tickets a prewarm request accepted (0
+	// for single-configuration reconfigures).
+	Queued uint32
+	Msg    string // failure detail when State is ReconfigFailed
+}
+
+// reconfigStatusHeadLen is the fixed part ahead of the message.
+const reconfigStatusHeadLen = 7
+
+// Marshal encodes the response body.
+func (r ReconfigStatusResp) Marshal() []byte {
+	b := make([]byte, reconfigStatusHeadLen, reconfigStatusHeadLen+len(r.Msg))
+	b[0] = r.Status
+	b[1] = r.State
+	b[2] = r.flags()
+	binary.BigEndian.PutUint32(b[3:], r.Queued)
+	return append(b, r.Msg...)
+}
+
+func (r ReconfigStatusResp) flags() uint8 {
+	var f uint8
+	if r.CacheHit {
+		f |= reconfigFlagHit
+	}
+	if r.Partial {
+		f |= reconfigFlagPartial
+	}
+	return f
+}
+
+// ParseReconfigStatusResp decodes the body.
+func ParseReconfigStatusResp(b []byte) (ReconfigStatusResp, error) {
+	if len(b) < reconfigStatusHeadLen {
+		return ReconfigStatusResp{}, fmt.Errorf("netproto: reconfig status truncated (%d bytes)", len(b))
+	}
+	return ReconfigStatusResp{
+		Status:   b[0],
+		State:    b[1],
+		CacheHit: b[2]&reconfigFlagHit != 0,
+		Partial:  b[2]&reconfigFlagPartial != 0,
+		Queued:   binary.BigEndian.Uint32(b[3:]),
+		Msg:      string(b[reconfigStatusHeadLen:]),
+	}, nil
+}
+
+// The CmdReconfigure ack keeps the RunReport wire shape every v1–v5
+// client parses, and packs the rev-6 ticket state into the report's
+// otherwise-unused fields (the same spare-field scheme load acks use):
+// Cycles holds the Reconfig* state, Instructions the prewarm queue
+// count, and TT the hit/partial flags. A pre-rev-6 server that blocked
+// through the whole swap reports plain StatusOK with zeroed spares —
+// ReconfigAckInfo maps that to ReconfigApplied, so new clients read
+// old acks correctly, and old clients see StatusOK from new servers
+// exactly when the swap already happened inside the ack (the cached
+// path — the common case the old blocking protocol optimized).
+
+// ReconfigAckReport compresses a ticket status into the RunReport-
+// shaped CmdReconfigure ack.
+func ReconfigAckReport(st ReconfigStatusResp) RunReport {
+	status := StatusRunning
+	switch st.State {
+	case ReconfigApplied, ReconfigNone:
+		status = StatusOK
+	case ReconfigFailed:
+		status = StatusError
+	}
+	return RunReport{
+		Status:       status,
+		Cycles:       uint64(st.State),
+		Instructions: uint64(st.Queued),
+		TT:           st.flags(),
+	}
+}
+
+// ReconfigAckInfo recovers the ticket status from a CmdReconfigure
+// ack, mapping pre-rev-6 blocking acks (no state in the spares) onto
+// the terminal states.
+func ReconfigAckInfo(rep RunReport) ReconfigStatusResp {
+	st := ReconfigStatusResp{
+		Status:   rep.Status,
+		State:    uint8(rep.Cycles),
+		CacheHit: rep.TT&reconfigFlagHit != 0,
+		Partial:  rep.TT&reconfigFlagPartial != 0,
+		Queued:   uint32(rep.Instructions),
+	}
+	if st.State == ReconfigNone {
+		// Blocking server: the ack itself is the outcome.
+		if rep.Status == StatusOK {
+			st.State = ReconfigApplied
+		} else {
+			st.State = ReconfigFailed
+		}
+	}
+	return st
+}
+
+// Terminal reports whether the state is final (Applied or Failed).
+func (r ReconfigStatusResp) Terminal() bool {
+	return r.State == ReconfigApplied || r.State == ReconfigFailed
+}
+
+// WaitReconfigReq is the body of CmdWaitReconfig; it reuses the
+// CmdWaitResult hold semantics (HoldMs 0 = answer immediately).
+type WaitReconfigReq = WaitResultReq
+
+// ParseWaitReconfigReq decodes the body (empty = HoldMs 0).
+func ParseWaitReconfigReq(b []byte) (WaitReconfigReq, error) {
+	r, err := ParseWaitResultReq(b)
+	if err != nil {
+		return WaitReconfigReq{}, fmt.Errorf("netproto: wait-reconfig request: %w", err)
+	}
+	return r, nil
+}

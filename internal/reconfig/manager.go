@@ -1,0 +1,226 @@
+package reconfig
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/synth"
+)
+
+// TicketState is the lifecycle of one synthesis request.
+type TicketState int32
+
+// Ticket lifecycle, in order. A cache hit jumps straight to Ready.
+const (
+	TicketQueued TicketState = iota
+	TicketSynthesizing
+	TicketReady
+	TicketFailed
+)
+
+func (s TicketState) String() string {
+	switch s {
+	case TicketQueued:
+		return "queued"
+	case TicketSynthesizing:
+		return "synthesizing"
+	case TicketReady:
+		return "ready"
+	case TicketFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Ticket is a handle on one (possibly shared) synthesis job. Every
+// concurrent Acquire for the same configuration key returns the same
+// ticket; callers poll State or select on Done, then read Image.
+type Ticket struct {
+	key   string
+	cfg   leon.Config
+	state atomic.Int32
+	done  chan struct{}
+	hit   bool // served straight from the cache, no synthesis
+	img   *synth.Image
+	err   error
+}
+
+// Key returns the canonical configuration key the ticket covers.
+func (t *Ticket) Key() string { return t.key }
+
+// State returns the current lifecycle state (safe to poll).
+func (t *Ticket) State() TicketState { return TicketState(t.state.Load()) }
+
+// Done is closed when the ticket reaches Ready or Failed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// CacheHit reports whether the image was served from the cache with no
+// synthesis at all.
+func (t *Ticket) CacheHit() bool { return t.hit }
+
+// Image returns the synthesized image (or the synthesis error). Only
+// valid after Done is closed.
+func (t *Ticket) Image() (*synth.Image, error) { return t.img, t.err }
+
+// Manager ties the cache to the synthesis flow as an asynchronous
+// service: configurations are synthesized on first use by a bounded
+// worker pool, concurrent requests for the same key coalesce onto one
+// in-flight ticket (singleflight), and results are served from the
+// cache afterwards.
+type Manager struct {
+	cache   *Cache
+	opts    synth.Options
+	workers int
+
+	mu        sync.Mutex
+	inflight  map[string]*Ticket
+	sem       chan struct{} // bounded synthesis pool
+	synthRuns uint64        // actual synth.Synthesize invocations
+	coalesced uint64        // Acquires that joined an in-flight ticket
+	queued    int           // tickets waiting for a pool slot
+	running   int           // tickets inside synth.Synthesize
+}
+
+// ManagerStats snapshots the synthesis-service counters.
+type ManagerStats struct {
+	SynthRuns  uint64 // actual synthesis invocations
+	Coalesced  uint64 // requests deduplicated onto an in-flight job
+	QueueDepth int    // tickets waiting for a pool slot
+	Inflight   int    // tickets currently synthesizing
+	Workers    int    // pool size
+}
+
+// NewManager wraps a cache with synthesis options; the synthesis pool
+// is sized to the machine (GOMAXPROCS).
+func NewManager(cache *Cache, opts synth.Options) *Manager {
+	return NewManagerWorkers(cache, opts, 0)
+}
+
+// NewManagerWorkers wraps a cache with an explicit synthesis-pool
+// size (n <= 0 picks GOMAXPROCS) — the same bounded-pool shape as
+// bench.forEachPoint, shared by every caller of this manager.
+func NewManagerWorkers(cache *Cache, opts synth.Options, n int) *Manager {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{
+		cache:    cache,
+		opts:     opts,
+		workers:  n,
+		inflight: make(map[string]*Ticket),
+		sem:      make(chan struct{}, n),
+	}
+}
+
+// Cache returns the underlying cache.
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Stats snapshots the service counters (cache counters live on
+// Cache().Stats()).
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManagerStats{
+		SynthRuns:  m.synthRuns,
+		Coalesced:  m.coalesced,
+		QueueDepth: m.queued,
+		Inflight:   m.running,
+		Workers:    m.workers,
+	}
+}
+
+// Acquire returns a ticket for cfg without blocking on synthesis. The
+// second result reports whether the caller coalesced onto an already
+// in-flight job for the same key. A cached configuration returns an
+// already-Ready ticket; otherwise the ticket is queued on the pool and
+// the caller watches Done (or polls State).
+func (m *Manager) Acquire(cfg leon.Config) (*Ticket, bool) {
+	key := synth.ConfigKey(cfg)
+	m.mu.Lock()
+	if t, ok := m.inflight[key]; ok {
+		m.coalesced++
+		m.mu.Unlock()
+		return t, true
+	}
+	if img, ok := m.cache.Get(key); ok {
+		m.mu.Unlock()
+		t := &Ticket{key: key, cfg: cfg, done: make(chan struct{}), hit: true, img: img}
+		t.state.Store(int32(TicketReady))
+		close(t.done)
+		return t, false
+	}
+	t := &Ticket{key: key, cfg: cfg, done: make(chan struct{})}
+	m.inflight[key] = t
+	m.queued++
+	m.mu.Unlock()
+	go m.synthesize(t)
+	return t, false
+}
+
+// synthesize runs one ticket through the bounded pool.
+func (m *Manager) synthesize(t *Ticket) {
+	m.sem <- struct{}{}
+	defer func() { <-m.sem }()
+
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.synthRuns++
+	m.mu.Unlock()
+	t.state.Store(int32(TicketSynthesizing))
+
+	img, err := synth.Synthesize(t.cfg, m.opts)
+
+	if err == nil {
+		m.cache.addSynthesized(img)
+		t.img = img
+	} else {
+		t.err = err
+	}
+	m.mu.Lock()
+	delete(m.inflight, t.key)
+	m.running--
+	m.mu.Unlock()
+	if err != nil {
+		t.state.Store(int32(TicketFailed))
+	} else {
+		t.state.Store(int32(TicketReady))
+	}
+	close(t.done)
+}
+
+// GetOrSynthesize returns the image for cfg, synthesizing (≈1 modelled
+// hour) on a miss. Concurrent callers for the same configuration share
+// one synthesis; the hit result is true only when the image came
+// straight from the cache.
+func (m *Manager) GetOrSynthesize(cfg leon.Config) (*synth.Image, bool, error) {
+	t, _ := m.Acquire(cfg)
+	<-t.Done()
+	img, err := t.Image()
+	if err != nil {
+		return nil, false, err
+	}
+	return img, t.CacheHit(), nil
+}
+
+// Pregenerate synthesizes every configuration in the space up front —
+// the paper's offline population of the cache — in parallel across the
+// bounded pool. Like bench.forEachPoint, it waits for every point and
+// returns the error of the lowest-index failing configuration.
+func (m *Manager) Pregenerate(cfgs []leon.Config) error {
+	tickets := make([]*Ticket, len(cfgs))
+	for i, cfg := range cfgs {
+		tickets[i], _ = m.Acquire(cfg)
+	}
+	var firstErr error
+	for _, t := range tickets {
+		<-t.Done()
+		if _, err := t.Image(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,184 @@
+package reconfig
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/synth"
+)
+
+// slowSynth makes the modelled ≈1 h synthesis take real milliseconds,
+// so in-flight states are observable.
+var slowSynth = synth.Options{BitstreamBytes: 256, TimeScale: 1e-5} // ≈36 ms per point
+
+// TestSingleflightDedup is the double-synthesis regression: 16
+// goroutines missing on the same key must coalesce onto exactly one
+// synth.Synthesize call, with the modelled tool time counted once.
+// Run under -race this also pins the old unsynchronized stats update.
+func TestSingleflightDedup(t *testing.T) {
+	m := NewManager(NewCache(0), slowSynth)
+	cfg := leon.DefaultConfig()
+
+	const callers = 16
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	imgs := make([]*synth.Image, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			img, _, err := m.GetOrSynthesize(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			imgs[i] = img
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	ms := m.Stats()
+	if ms.SynthRuns != 1 {
+		t.Fatalf("16 concurrent callers ran %d syntheses, want exactly 1", ms.SynthRuns)
+	}
+	cs := m.Cache().Stats()
+	if got := ms.Coalesced + cs.Hits; got != callers-1 {
+		t.Errorf("coalesced(%d) + hits(%d) = %d, want %d", ms.Coalesced, cs.Hits, got, callers-1)
+	}
+	want, _ := synth.Synthesize(cfg, synth.Options{BitstreamBytes: 256})
+	if cs.SynthTime != want.SynthTime {
+		t.Errorf("SynthTime counted %v, one synthesis is %v", cs.SynthTime, want.SynthTime)
+	}
+	for i, img := range imgs {
+		if img == nil || img.Key != want.Key {
+			t.Fatalf("caller %d got image %v", i, img)
+		}
+	}
+	if ms.QueueDepth != 0 || ms.Inflight != 0 {
+		t.Errorf("idle manager reports queue=%d inflight=%d", ms.QueueDepth, ms.Inflight)
+	}
+}
+
+// TestTicketLifecycle drives one miss through Queued/Synthesizing →
+// Ready and checks the non-blocking surface: Acquire returns before
+// synthesis finishes, State is pollable, Done closes once.
+func TestTicketLifecycle(t *testing.T) {
+	m := NewManagerWorkers(NewCache(0), slowSynth, 2)
+	cfg := leon.DefaultConfig()
+
+	tk, coalesced := m.Acquire(cfg)
+	if coalesced {
+		t.Fatal("first Acquire coalesced")
+	}
+	if s := tk.State(); s == TicketReady || s == TicketFailed {
+		t.Fatalf("ticket terminal (%v) before synthesis could run", s)
+	}
+	// A second Acquire while in flight shares the ticket.
+	tk2, coalesced := m.Acquire(cfg)
+	if !coalesced || tk2 != tk {
+		t.Fatalf("concurrent Acquire did not coalesce (ticket %p vs %p)", tk2, tk)
+	}
+	select {
+	case <-tk.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("ticket never completed")
+	}
+	if tk.State() != TicketReady {
+		t.Fatalf("state %v after Done", tk.State())
+	}
+	img, err := tk.Image()
+	if err != nil || img == nil {
+		t.Fatalf("Image() = %v, %v", img, err)
+	}
+	if tk.CacheHit() {
+		t.Error("fresh synthesis flagged as cache hit")
+	}
+
+	// Now cached: Acquire is immediately Ready and marked a hit.
+	tk3, _ := m.Acquire(cfg)
+	select {
+	case <-tk3.Done():
+	default:
+		t.Fatal("cached Acquire not immediately done")
+	}
+	if tk3.State() != TicketReady || !tk3.CacheHit() {
+		t.Errorf("cached ticket: state %v hit %v", tk3.State(), tk3.CacheHit())
+	}
+}
+
+// TestTicketFailure: an unfittable configuration fails its ticket and
+// is not cached, and the failure does not wedge the inflight table.
+func TestTicketFailure(t *testing.T) {
+	m := NewManager(NewCache(0), synth.Options{BitstreamBytes: 256})
+	bad := leon.DefaultConfig()
+	bad.DCache.SizeBytes = 512 << 10
+	tk, _ := m.Acquire(bad)
+	<-tk.Done()
+	if tk.State() != TicketFailed {
+		t.Fatalf("state %v for unfittable config", tk.State())
+	}
+	if _, err := tk.Image(); err == nil {
+		t.Fatal("failed ticket returned no error")
+	}
+	if m.Cache().Len() != 0 {
+		t.Error("failed synthesis left a cache entry")
+	}
+	// The key is retryable: a new Acquire gets a fresh ticket.
+	tk2, coalesced := m.Acquire(bad)
+	if coalesced || tk2 == tk {
+		t.Error("failed ticket was reused")
+	}
+	<-tk2.Done()
+}
+
+// TestPregenerateParallel: distinct keys synthesize in parallel across
+// the pool — the warmup of 6 points must take ~the wall time of
+// ceil(6/3) points, not 6 serial points.
+func TestPregenerateParallel(t *testing.T) {
+	m := NewManagerWorkers(NewCache(0), slowSynth, 3)
+	var cfgs []leon.Config
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		cfg := leon.DefaultConfig()
+		cfg.DCache.SizeBytes = size
+		cfgs = append(cfgs, cfg)
+	}
+	one, _ := synth.Synthesize(cfgs[0], synth.Options{BitstreamBytes: 16})
+	perPoint := time.Duration(float64(one.SynthTime) * slowSynth.TimeScale)
+
+	begin := time.Now()
+	if err := m.Pregenerate(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(begin)
+	if m.Cache().Len() != len(cfgs) {
+		t.Fatalf("cache holds %d of %d images", m.Cache().Len(), len(cfgs))
+	}
+	if st := m.Stats(); st.SynthRuns != uint64(len(cfgs)) {
+		t.Errorf("%d syntheses for %d distinct configs", st.SynthRuns, len(cfgs))
+	}
+	// Serial would be ≥ 6 points; allow generous scheduling slack but
+	// require better than 5x one point (3-wide pool needs ~2x).
+	if wall > 5*perPoint {
+		t.Errorf("Pregenerate of 6 points on 3 workers took %v (one point ≈ %v): not parallel", wall, perPoint)
+	}
+}
+
+// TestPregenerateLowestIndexError mirrors bench.forEachPoint: every
+// point completes, the first (lowest-index) failure is returned.
+func TestPregenerateLowestIndexError(t *testing.T) {
+	m := NewManager(NewCache(0), synth.Options{BitstreamBytes: 64})
+	good := leon.DefaultConfig()
+	bad := leon.DefaultConfig()
+	bad.DCache.SizeBytes = 512 << 10
+	err := m.Pregenerate([]leon.Config{good, bad})
+	if err == nil {
+		t.Fatal("Pregenerate swallowed the failure")
+	}
+	if m.Cache().Len() != 1 {
+		t.Errorf("good point not cached alongside the failure (len %d)", m.Cache().Len())
+	}
+}

@@ -1,0 +1,290 @@
+package reconfig
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"liquidarch/internal/synth"
+)
+
+// The persistent store is content-addressed: every image lives in one
+// file named by the FNV-64a hash of its configuration key, written
+// atomically (temp file + rename) in a checksummed binary format. A
+// restarted server warm-loads the directory and keeps its
+// hour-equivalents of synthesis; a corrupt or mismatched file is
+// skipped and counted, never fatal.
+
+// imageExt is the store's file extension (liquid image).
+const imageExt = ".lqi"
+
+// imageMagic heads every persisted image.
+var imageMagic = [4]byte{'L', 'Q', 'I', '1'}
+
+// maxImageField bounds the variable-length fields an untrusted file
+// can claim, so a corrupt length prefix cannot force a huge alloc.
+const maxImageField = 64 << 20
+
+// imageFileName returns the content-addressed file name for key.
+func imageFileName(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%016x%s", h.Sum64(), imageExt)
+}
+
+// encodeImage serializes an image into the persistent format:
+//
+//	magic "LQI1"
+//	u32 len + key
+//	u32 len + config JSON
+//	u32 slices, u32 brams, u32 iobs, u64 fmax (IEEE-754 bits)
+//	u32 len + device name
+//	u64 synth time (ns)
+//	u32 len + bitstream
+//	u64 FNV-64a checksum of everything above
+func encodeImage(img *synth.Image) ([]byte, error) {
+	cfgJSON, err := json.Marshal(img.Config)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: encode %s: %w", img.Key, err)
+	}
+	n := 4 + 4 + len(img.Key) + 4 + len(cfgJSON) + 4 + 4 + 4 + 8 +
+		4 + len(img.Device) + 8 + 4 + len(img.Bitstream) + 8
+	out := make([]byte, 0, n)
+	out = append(out, imageMagic[:]...)
+	out = appendBytes(out, []byte(img.Key))
+	out = appendBytes(out, cfgJSON)
+	out = binary.BigEndian.AppendUint32(out, uint32(img.Util.Slices))
+	out = binary.BigEndian.AppendUint32(out, uint32(img.Util.BlockRAMs))
+	out = binary.BigEndian.AppendUint32(out, uint32(img.Util.IOBs))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(img.Util.FMaxMHz))
+	out = appendBytes(out, []byte(img.Device))
+	out = binary.BigEndian.AppendUint64(out, uint64(img.SynthTime))
+	out = appendBytes(out, img.Bitstream)
+	h := fnv.New64a()
+	h.Write(out)
+	out = binary.BigEndian.AppendUint64(out, h.Sum64())
+	return out, nil
+}
+
+func appendBytes(out, b []byte) []byte {
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+	return append(out, b...)
+}
+
+// decodeImage parses and checksums a persisted image. It rejects
+// truncated, oversized, or bit-flipped files; it does not check that
+// the key matches the config (Load does, with the store's context).
+func decodeImage(blob []byte) (*synth.Image, error) {
+	if len(blob) < len(imageMagic)+8 {
+		return nil, fmt.Errorf("reconfig: image truncated (%d bytes)", len(blob))
+	}
+	if [4]byte(blob[:4]) != imageMagic {
+		return nil, fmt.Errorf("reconfig: bad image magic %q", blob[:4])
+	}
+	body, sumBytes := blob[:len(blob)-8], blob[len(blob)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := binary.BigEndian.Uint64(sumBytes), h.Sum64(); got != want {
+		return nil, fmt.Errorf("reconfig: image checksum mismatch (%016x != %016x)", got, want)
+	}
+	p := body[4:]
+	next := func() ([]byte, error) {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("reconfig: image field truncated")
+		}
+		n := binary.BigEndian.Uint32(p)
+		p = p[4:]
+		if n > maxImageField || int(n) > len(p) {
+			return nil, fmt.Errorf("reconfig: image field length %d out of range", n)
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, nil
+	}
+	key, err := next()
+	if err != nil {
+		return nil, err
+	}
+	cfgJSON, err := next()
+	if err != nil {
+		return nil, err
+	}
+	img := &synth.Image{Key: string(key)}
+	if err := json.Unmarshal(cfgJSON, &img.Config); err != nil {
+		return nil, fmt.Errorf("reconfig: image config: %w", err)
+	}
+	if len(p) < 4+4+4+8 {
+		return nil, fmt.Errorf("reconfig: image utilization truncated")
+	}
+	img.Util = synth.Utilization{
+		Slices:    int(binary.BigEndian.Uint32(p)),
+		BlockRAMs: int(binary.BigEndian.Uint32(p[4:])),
+		IOBs:      int(binary.BigEndian.Uint32(p[8:])),
+		FMaxMHz:   math.Float64frombits(binary.BigEndian.Uint64(p[12:])),
+	}
+	p = p[20:]
+	dev, err := next()
+	if err != nil {
+		return nil, err
+	}
+	img.Device = string(dev)
+	if len(p) < 8 {
+		return nil, fmt.Errorf("reconfig: image synth time truncated")
+	}
+	img.SynthTime = time.Duration(binary.BigEndian.Uint64(p))
+	p = p[8:]
+	bit, err := next()
+	if err != nil {
+		return nil, err
+	}
+	img.Bitstream = bit
+	if len(p) != 0 {
+		return nil, fmt.Errorf("reconfig: %d trailing bytes after image", len(p))
+	}
+	return img, nil
+}
+
+// SetDir points the cache at a persistent store directory: every
+// future Put writes through, and entries already cached are flushed so
+// the directory immediately reflects the cache.
+func (c *Cache) SetDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	c.mu.Lock()
+	c.dir = dir
+	imgs := make([]*synth.Image, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		imgs = append(imgs, el.Value.(*entry).img)
+	}
+	c.mu.Unlock()
+	for _, img := range imgs {
+		c.persist(dir, img)
+	}
+	return nil
+}
+
+// Dir returns the persistent store directory ("" when in-memory only).
+func (c *Cache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// persist writes one image into dir atomically (temp file in the same
+// directory, then rename). Failures are counted and logged, never
+// propagated: the in-memory cache keeps serving.
+func (c *Cache) persist(dir string, img *synth.Image) {
+	err := writeImageFile(dir, img)
+	c.mu.Lock()
+	log := c.log
+	if err != nil {
+		c.stats.PersistErrors++
+	} else {
+		c.stats.PersistWrites++
+	}
+	c.mu.Unlock()
+	if err != nil {
+		log.Warnf("reconfig persist failed", "key", img.Key, "err", err.Error())
+	} else {
+		log.Debugf("reconfig persisted", "key", img.Key, "file", imageFileName(img.Key))
+	}
+}
+
+func writeImageFile(dir string, img *synth.Image) error {
+	blob, err := encodeImage(img)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".lqi-*")
+	if err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, imageFileName(img.Key))); err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	return nil
+}
+
+// Save writes every cached image under dir, one file per entry (the
+// same format the write-through store uses).
+func (c *Cache) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	c.mu.Lock()
+	imgs := make([]*synth.Image, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		imgs = append(imgs, el.Value.(*entry).img)
+	}
+	c.mu.Unlock()
+	for _, img := range imgs {
+		if err := writeImageFile(dir, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores images previously written by Save or the write-through
+// store. One corrupt, truncated, or key-mismatched file never aborts
+// the warm-load: it is skipped, counted in Stats.PersistSkipped, and
+// logged. Only directory-level errors are returned.
+func (c *Cache) Load(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+imageExt))
+	if err != nil {
+		return fmt.Errorf("reconfig: %w", err)
+	}
+	c.mu.Lock()
+	log := c.log
+	c.mu.Unlock()
+	for _, name := range matches {
+		img, err := loadImageFile(name)
+		if err != nil {
+			c.mu.Lock()
+			c.stats.PersistSkipped++
+			c.mu.Unlock()
+			log.Warnf("reconfig store entry skipped", "file", filepath.Base(name), "err", err.Error())
+			continue
+		}
+		c.mu.Lock()
+		c.stats.PersistLoaded++
+		c.putLocked(img, true)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// loadImageFile reads and fully validates one store entry: checksummed
+// decode, key↔config agreement, and content-addressed name agreement.
+func loadImageFile(name string) (*synth.Image, error) {
+	blob, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("reconfig: %w", err)
+	}
+	img, err := decodeImage(blob)
+	if err != nil {
+		return nil, err
+	}
+	if got := synth.ConfigKey(img.Config); got != img.Key {
+		return nil, fmt.Errorf("reconfig: key mismatch: file says %q, config is %q", img.Key, got)
+	}
+	if want := imageFileName(img.Key); filepath.Base(name) != want {
+		return nil, fmt.Errorf("reconfig: misfiled image: %s holds key %q (expect %s)",
+			filepath.Base(name), img.Key, want)
+	}
+	return img, nil
+}

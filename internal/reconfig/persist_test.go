@@ -1,0 +1,225 @@
+package reconfig
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics/eventlog"
+	"liquidarch/internal/synth"
+)
+
+// TestImageCodecRoundTrip: decode(encode(img)) reproduces the image
+// exactly, for a couple of distinct configurations.
+func TestImageCodecRoundTrip(t *testing.T) {
+	for _, size := range []int{1 << 10, 16 << 10} {
+		img, err := synth.Synthesize(cfgWithDCache(size), testSynth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := encodeImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeImage(blob)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded image: %v", err)
+		}
+		if !reflect.DeepEqual(got, img) {
+			t.Errorf("round trip mutated the image:\n got %+v\nwant %+v", got, img)
+		}
+	}
+}
+
+// TestLoadSkipsCorruptEntries is the hardening regression: one
+// truncated file and one bit-flipped file in the store must not abort
+// the warm-load — they are skipped, counted, and logged, and every
+// healthy entry still loads.
+func TestLoadSkipsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(NewCache(0), testSynth)
+	cfgs := []leon.Config{cfgWithDCache(1 << 10), cfgWithDCache(2 << 10),
+		cfgWithDCache(4 << 10), cfgWithDCache(8 << 10)}
+	if err := m.Pregenerate(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cache().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"+imageExt))
+	if len(names) != 4 {
+		t.Fatalf("store holds %d files", len(names))
+	}
+
+	// Truncate the first entry mid-file.
+	blob, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(names[0], blob[:len(blob)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit deep inside the second entry's bitstream.
+	blob, err = os.ReadFile(names[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-16] ^= 0x40
+	if err := os.WriteFile(names[1], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewCache(0)
+	log := eventlog.New(64)
+	fresh.SetLog(log)
+	if err := fresh.Load(dir); err != nil {
+		t.Fatalf("Load aborted on corrupt entries: %v", err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("loaded %d entries, want the 2 healthy ones", fresh.Len())
+	}
+	st := fresh.Stats()
+	if st.PersistLoaded != 2 || st.PersistSkipped != 2 {
+		t.Errorf("stats loaded=%d skipped=%d, want 2/2", st.PersistLoaded, st.PersistSkipped)
+	}
+	var warned int
+	for _, e := range log.Events() {
+		if e.Level == eventlog.Warn && strings.Contains(e.Msg, "skipped") {
+			warned++
+		}
+	}
+	if warned != 2 {
+		t.Errorf("event log recorded %d skip warnings, want 2", warned)
+	}
+}
+
+// TestLoadRejectsMisfiledAndMismatched: an entry renamed to the wrong
+// content address, or re-keyed for a different config, is skipped.
+func TestLoadRejectsMisfiledAndMismatched(t *testing.T) {
+	dir := t.TempDir()
+	img, err := synth.Synthesize(cfgWithDCache(1<<10), testSynth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeImageFile(dir, img); err != nil {
+		t.Fatal(err)
+	}
+	// Misfiled: valid contents under another key's address.
+	orig := filepath.Join(dir, imageFileName(img.Key))
+	misfiled := filepath.Join(dir, imageFileName("some-other-key"))
+	blob, _ := os.ReadFile(orig)
+	if err := os.WriteFile(misfiled, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Key-mismatched: the key field claims a different configuration
+	// (re-encoded so the checksum is valid — only the key lies).
+	lying := *img
+	lying.Key = synth.ConfigKey(cfgWithDCache(8 << 10))
+	lieBlob, err := encodeImage(&lying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, imageFileName(lying.Key)), lieBlob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(0)
+	if err := c.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("loaded %d entries, want only the honest one", c.Len())
+	}
+	if st := c.Stats(); st.PersistSkipped != 2 {
+		t.Errorf("PersistSkipped = %d, want 2", st.PersistSkipped)
+	}
+	if _, ok := c.Get(img.Key); !ok {
+		t.Error("honest entry missing after load")
+	}
+}
+
+// TestWriteThroughAndWarmLoad: with SetDir, every synthesis lands on
+// disk immediately (atomic rename, no temp litter), and a fresh cache
+// warm-loads it with PersistHits accounting on later hits.
+func TestWriteThroughAndWarmLoad(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c, testSynth)
+	cfg := cfgWithDCache(4 << 10)
+	img, _, err := m.GetOrSynthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(names) != 1 || filepath.Base(names[0]) != imageFileName(img.Key) {
+		t.Fatalf("store contents after write-through: %v", names)
+	}
+	if st := c.Stats(); st.PersistWrites != 1 || st.PersistErrors != 0 {
+		t.Errorf("writes=%d errors=%d", st.PersistWrites, st.PersistErrors)
+	}
+
+	fresh := NewCache(0)
+	if err := fresh.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := fresh.Get(img.Key)
+	if !ok || !bytes.Equal(got.Bitstream, img.Bitstream) {
+		t.Fatal("warm-loaded bitstream differs")
+	}
+	if st := fresh.Stats(); st.PersistHits != 1 {
+		t.Errorf("PersistHits = %d after a hit on a disk-loaded entry", st.PersistHits)
+	}
+
+	// SetDir on a cache that already holds entries flushes them.
+	dir2 := t.TempDir()
+	if err := fresh.SetDir(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, imageFileName(img.Key))); err != nil {
+		t.Errorf("SetDir did not flush existing entries: %v", err)
+	}
+}
+
+// FuzzImageCodec fuzzes the persisted-image decoder: arbitrary bytes
+// must never panic, and anything that decodes must re-encode and
+// decode to the same image (key/config/bitstream invariants hold).
+func FuzzImageCodec(f *testing.F) {
+	for _, size := range []int{1 << 10, 8 << 10} {
+		img, err := synth.Synthesize(cfgWithDCache(size), testSynth)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := encodeImage(img)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte("LQI1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := decodeImage(data)
+		if err != nil {
+			return
+		}
+		blob, err := encodeImage(img)
+		if err != nil {
+			t.Fatalf("decoded image does not re-encode: %v", err)
+		}
+		again, err := decodeImage(blob)
+		if err != nil {
+			t.Fatalf("re-encoded image does not decode: %v", err)
+		}
+		if again.Key != img.Key || !bytes.Equal(again.Bitstream, img.Bitstream) ||
+			!reflect.DeepEqual(again.Config, img.Config) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", again, img)
+		}
+	})
+}

@@ -5,19 +5,21 @@
 // and the results are captured in the reconfiguration cache. At
 // runtime, an application can switch between these pre-generated
 // modules to improve performance."
+//
+// The cache is an in-memory LRU layered over an optional persistent
+// content-addressed store (one checksummed file per image, written
+// atomically), and the Manager in front of it is an asynchronous
+// synthesis service: a singleflight ticket table coalesces concurrent
+// requests for the same configuration onto one in-flight job while a
+// bounded worker pool synthesizes distinct configurations in parallel.
 package reconfig
 
 import (
 	"container/list"
-	"encoding/json"
-	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 	"time"
 
-	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/synth"
 )
 
@@ -29,20 +31,31 @@ type Stats struct {
 	Evictions uint64
 	SynthTime time.Duration // modelled tool time spent on misses
 	SavedTime time.Duration // modelled tool time avoided by hits
+
+	// Persistence counters (all zero when no store directory is set).
+	PersistHits    uint64 // hits served by images warm-loaded from disk
+	PersistLoaded  uint64 // images restored by Load
+	PersistSkipped uint64 // corrupt or mismatched files skipped by Load
+	PersistWrites  uint64 // images written through to the store
+	PersistErrors  uint64 // write-through failures (cache still serves)
 }
 
-// Cache is an LRU store of synthesized configuration images.
+// Cache is an LRU store of synthesized configuration images, with an
+// optional write-through persistent directory store behind it.
 type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
 	stats   Stats
+	dir     string // "" = in-memory only
+	log     *eventlog.Log
 }
 
 type entry struct {
-	key string
-	img *synth.Image
+	key      string
+	img      *synth.Image
+	fromDisk bool // warm-loaded from the persistent store
 }
 
 // NewCache returns a cache holding at most capacity images (0 means
@@ -53,6 +66,14 @@ func NewCache(capacity int) *Cache {
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
 	}
+}
+
+// SetLog attaches a structured event log (nil is fine; the cache then
+// logs nowhere).
+func (c *Cache) SetLog(l *eventlog.Log) {
+	c.mu.Lock()
+	c.log = l
+	c.mu.Unlock()
 }
 
 // Len returns the number of cached images.
@@ -80,22 +101,51 @@ func (c *Cache) Get(key string) (*synth.Image, bool) {
 	}
 	c.order.MoveToFront(el)
 	c.stats.Hits++
-	img := el.Value.(*entry).img
-	c.stats.SavedTime += img.SynthTime
-	return img, true
+	e := el.Value.(*entry)
+	if e.fromDisk {
+		c.stats.PersistHits++
+	}
+	c.stats.SavedTime += e.img.SynthTime
+	return e.img, true
 }
 
 // Put stores an image, evicting the least recently used entry when
-// over capacity.
+// over capacity, and writes it through to the persistent store when
+// one is configured.
 func (c *Cache) Put(img *synth.Image) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	dir := c.dir
+	c.putLocked(img, false)
+	c.mu.Unlock()
+	if dir != "" {
+		c.persist(dir, img)
+	}
+}
+
+// addSynthesized records a fresh synthesis result: the modelled tool
+// time and the image land under one critical section so concurrent
+// misses cannot double-count.
+func (c *Cache) addSynthesized(img *synth.Image) {
+	c.mu.Lock()
+	dir := c.dir
+	c.stats.SynthTime += img.SynthTime
+	c.putLocked(img, false)
+	c.mu.Unlock()
+	if dir != "" {
+		c.persist(dir, img)
+	}
+}
+
+// putLocked inserts or refreshes an entry; callers hold c.mu.
+func (c *Cache) putLocked(img *synth.Image, fromDisk bool) {
 	if el, ok := c.entries[img.Key]; ok {
-		el.Value.(*entry).img = img
+		e := el.Value.(*entry)
+		e.img = img
+		e.fromDisk = fromDisk
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[img.Key] = c.order.PushFront(&entry{key: img.Key, img: img})
+	c.entries[img.Key] = c.order.PushFront(&entry{key: img.Key, img: img, fromDisk: fromDisk})
 	if c.cap > 0 && len(c.entries) > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -113,128 +163,4 @@ func (c *Cache) Keys() []string {
 		out = append(out, el.Value.(*entry).key)
 	}
 	return out
-}
-
-// Manager ties the cache to the synthesis flow: configurations are
-// synthesized on first use and served from the cache afterwards.
-type Manager struct {
-	cache *Cache
-	opts  synth.Options
-}
-
-// NewManager wraps a cache with synthesis options.
-func NewManager(cache *Cache, opts synth.Options) *Manager {
-	return &Manager{cache: cache, opts: opts}
-}
-
-// Cache returns the underlying cache.
-func (m *Manager) Cache() *Cache { return m.cache }
-
-// GetOrSynthesize returns the image for cfg, synthesizing (≈1 modelled
-// hour) on a miss.
-func (m *Manager) GetOrSynthesize(cfg leon.Config) (*synth.Image, bool, error) {
-	key := synth.ConfigKey(cfg)
-	if img, ok := m.cache.Get(key); ok {
-		return img, true, nil
-	}
-	img, err := synth.Synthesize(cfg, m.opts)
-	if err != nil {
-		return nil, false, err
-	}
-	m.cache.mu.Lock()
-	m.cache.stats.SynthTime += img.SynthTime
-	m.cache.mu.Unlock()
-	m.cache.Put(img)
-	return img, false, nil
-}
-
-// Pregenerate synthesizes every configuration in the space up front —
-// the paper's offline population of the cache.
-func (m *Manager) Pregenerate(cfgs []leon.Config) error {
-	for _, cfg := range cfgs {
-		if _, _, err := m.GetOrSynthesize(cfg); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// persisted is the on-disk form of one image (bitstream kept verbatim;
-// the config is re-validated on load).
-type persisted struct {
-	Key       string
-	Config    leon.Config
-	Util      synth.Utilization
-	Device    string
-	SynthTime time.Duration
-	Bitstream []byte
-}
-
-// Save writes every cached image under dir, one file per entry.
-func (c *Cache) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("reconfig: %w", err)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
-		p := persisted{
-			Key:       e.key,
-			Config:    e.img.Config,
-			Util:      e.img.Util,
-			Device:    e.img.Device,
-			SynthTime: e.img.SynthTime,
-			Bitstream: e.img.Bitstream,
-		}
-		blob, err := json.Marshal(p)
-		if err != nil {
-			return fmt.Errorf("reconfig: %w", err)
-		}
-		name := filepath.Join(dir, sanitize(e.key)+".bit.json")
-		if err := os.WriteFile(name, blob, 0o644); err != nil {
-			return fmt.Errorf("reconfig: %w", err)
-		}
-	}
-	return nil
-}
-
-// Load restores images previously written by Save.
-func (c *Cache) Load(dir string) error {
-	matches, err := filepath.Glob(filepath.Join(dir, "*.bit.json"))
-	if err != nil {
-		return fmt.Errorf("reconfig: %w", err)
-	}
-	for _, name := range matches {
-		blob, err := os.ReadFile(name)
-		if err != nil {
-			return fmt.Errorf("reconfig: %w", err)
-		}
-		var p persisted
-		if err := json.Unmarshal(blob, &p); err != nil {
-			return fmt.Errorf("reconfig: %s: %w", name, err)
-		}
-		c.Put(&synth.Image{
-			Key:       p.Key,
-			Config:    p.Config,
-			Util:      p.Util,
-			Device:    p.Device,
-			SynthTime: p.SynthTime,
-			Bitstream: p.Bitstream,
-		})
-	}
-	return nil
-}
-
-func sanitize(key string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
-			return r
-		case r >= 'A' && r <= 'Z':
-			return r
-		default:
-			return '_'
-		}
-	}, key)
 }

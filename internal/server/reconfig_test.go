@@ -1,0 +1,280 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"liquidarch/internal/client"
+	"liquidarch/internal/core"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/metrics"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/reconfig"
+	"liquidarch/internal/synth"
+)
+
+// reconfigSynth keeps the modelled ≈1 h synthesis observable for tens
+// of milliseconds of real time, so polls can catch the in-flight
+// states over the wire.
+var reconfigSynth = synth.Options{BitstreamBytes: 256, TimeScale: 1e-5}
+
+// startSystemNode boots n core-backed boards sharing one
+// reconfiguration manager (the multi-board dedup arrangement) and
+// serves them on loopback. The boot configuration is pre-generated so
+// New never counts synthesis runs of its own.
+func startSystemNode(t testing.TB, n int, opts synth.Options) (*Server, string, []*core.System, *reconfig.Manager) {
+	t.Helper()
+	restoreGOMAXPROCS(t)
+	m := reconfig.NewManagerWorkers(reconfig.NewCache(0), opts, 4)
+	if err := m.Pregenerate([]leon.Config{leon.DefaultConfig()}); err != nil {
+		t.Fatal(err)
+	}
+	systems := make([]*core.System, n)
+	plats := make([]*fpx.Platform, n)
+	for i := range systems {
+		s, err := core.New(leon.DefaultConfig(), core.Options{
+			Synth:   opts,
+			Manager: m,
+			IP:      [4]byte{10, 0, 0, byte(2 + i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		systems[i] = s
+		plats[i] = s.Platform()
+	}
+	srv, err := NewNode("127.0.0.1:0", plats...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, serveNode(t, srv), systems, m
+}
+
+// specFor is the JSON reconfigure spec selecting a D-cache size.
+func specFor(sizeBytes int) []byte {
+	blob, _ := json.Marshal(core.Spec{DCacheBytes: sizeBytes})
+	return blob
+}
+
+// TestReconfigureDedupOverWire is the tentpole's network-facing dedup
+// proof: N clients concurrently reconfigure N boards of one node to
+// the same configuration, and the shared synthesis service runs
+// exactly once.
+func TestReconfigureDedupOverWire(t *testing.T) {
+	const boards = 4
+	_, addr, _, m := startSystemNode(t, boards, reconfigSynth)
+	base := m.Stats().SynthRuns
+
+	var wg sync.WaitGroup
+	errs := make([]error, boards)
+	for i := 0; i < boards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			c.Board = uint8(i)
+			if err := c.Reconfigure(specFor(8 << 10)); err != nil {
+				errs[i] = fmt.Errorf("board %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if got := m.Stats().SynthRuns - base; got != 1 {
+		t.Errorf("synthesis ran %d times for %d concurrent boards, want exactly 1", got, boards)
+	}
+}
+
+// TestReconfigStatusLatencyDuringSynthesis: while a synthesis is in
+// flight, CmdStatus and CmdReconfigStatus keep answering well under
+// the control-plane latency target — the board's queue is NOT held
+// through the modelled hour.
+func TestReconfigStatusLatencyDuringSynthesis(t *testing.T) {
+	slow := synth.Options{BitstreamBytes: 256, TimeScale: 3e-5} // ≈108 ms per point
+	_, addr, _, _ := startSystemNode(t, 1, slow)
+	c := dial(t, addr)
+
+	st, err := c.ReconfigureAsync(specFor(8 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Terminal() {
+		t.Fatalf("miss acked terminally: %+v", st)
+	}
+
+	bound := 10 * time.Millisecond
+	if raceEnabled {
+		bound = 100 * time.Millisecond
+	}
+	sawInFlight := false
+	for i := 0; i < 20; i++ {
+		t0 := time.Now()
+		if _, err := c.Status(); err != nil {
+			t.Fatalf("status poll %d: %v", i, err)
+		}
+		if d := time.Since(t0); d > bound {
+			t.Errorf("CmdStatus poll %d took %v during synthesis (bound %v)", i, d, bound)
+		}
+		t0 = time.Now()
+		rst, err := c.ReconfigStatus()
+		if err != nil {
+			t.Fatalf("reconfig status poll %d: %v", i, err)
+		}
+		if d := time.Since(t0); d > bound {
+			t.Errorf("CmdReconfigStatus poll %d took %v during synthesis (bound %v)", i, d, bound)
+		}
+		if !rst.Terminal() {
+			sawInFlight = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawInFlight {
+		t.Error("never observed an in-flight state; synthesis too fast for the poll loop")
+	}
+	if st, err := c.WaitReconfigure(context.Background()); err != nil || st.State != netproto.ReconfigApplied {
+		t.Fatalf("final wait: %v %+v", err, st)
+	}
+}
+
+// TestWaitReconfigureHeld: the server parks a CmdWaitReconfig exchange
+// and answers the instant the swap lands — the client needs exactly
+// one held exchange, not a poll loop.
+func TestWaitReconfigureHeld(t *testing.T) {
+	_, addr, _, _ := startSystemNode(t, 1, reconfigSynth)
+	c := dial(t, addr)
+
+	st, err := c.ReconfigureAsync(specFor(8 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Terminal() {
+		t.Fatalf("miss acked terminally: %+v", st)
+	}
+	final, err := c.WaitReconfigure(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != netproto.ReconfigApplied || final.CacheHit {
+		t.Fatalf("held wait returned %+v", final)
+	}
+
+	// A second reconfigure to the now-cached point applies in the ack.
+	st, err = c.ReconfigureAsync(specFor(4 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != netproto.ReconfigApplied || !st.CacheHit {
+		t.Fatalf("cached reconfigure acked %+v, want immediate applied hit", st)
+	}
+}
+
+// TestReconfigureDeferredBehindRun: a full swap requested while a
+// program runs parks as ReconfigSwapping and lands when the run
+// completes, without killing the run.
+func TestReconfigureDeferredBehindRun(t *testing.T) {
+	_, addr, systems, _ := startSystemNode(t, 1, synth.Options{BitstreamBytes: 256})
+	c := dial(t, addr)
+
+	obj := assembleAt(t, spinProg)
+	if err := c.LoadProgram(obj.Origin, obj.Code); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StartAsync(obj.Origin, 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap to a configuration differing beyond the caches (SDRAM burst)
+	// so the partial path cannot serve it: the swap must defer.
+	spec, _ := json.Marshal(core.Spec{DCacheBytes: 8 << 10, BurstWords: 8})
+	st, err := c.ReconfigureAsync(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Terminal() {
+		t.Fatalf("swap applied under a live run: %+v", st)
+	}
+
+	// The run completes on its cycle budget; the deferred swap then
+	// lands via the run-done pump.
+	if rep, err := c.WaitResult(); err != nil || rep.Status == netproto.StatusRunning {
+		t.Fatalf("run: %v %+v", err, rep)
+	}
+	final, err := c.WaitReconfigure(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != netproto.ReconfigApplied {
+		t.Fatalf("deferred swap ended %+v", final)
+	}
+	if got := systems[0].Config().DCache.SizeBytes; got != 8<<10 {
+		t.Errorf("D$ after deferred swap = %d", got)
+	}
+}
+
+// TestPrewarmOverWire: one prewarm request queues a sweep on the
+// synthesis pool; subsequent reconfigures to those points are hits.
+func TestPrewarmOverWire(t *testing.T) {
+	_, addr, _, m := startSystemNode(t, 1, synth.Options{BitstreamBytes: 256})
+	c := dial(t, addr)
+
+	specs := []json.RawMessage{
+		json.RawMessage(specFor(2 << 10)),
+		json.RawMessage(specFor(8 << 10)),
+	}
+	queued, err := c.Prewarm(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued != 2 {
+		t.Errorf("prewarm queued %d, want 2", queued)
+	}
+	// Wait for the pool to drain, then both points must hit.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Cache().Len() < 3 { // boot config + 2 prewarmed
+		if time.Now().After(deadline) {
+			t.Fatalf("prewarm never completed: %d cached", m.Cache().Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, spec := range specs {
+		st, err := c.ReconfigureAsync([]byte(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != netproto.ReconfigApplied || !st.CacheHit {
+			t.Fatalf("post-prewarm reconfigure acked %+v, want immediate hit", st)
+		}
+	}
+
+	// The reconfiguration service's gauges travel in the same CmdStats
+	// snapshot every other instrument uses.
+	blob, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("stats is not a metrics snapshot: %v\n%s", err, blob)
+	}
+	if got := snap.Gauges["liquid_reconfig_synth_runs"]; got < 3 {
+		t.Errorf("liquid_reconfig_synth_runs = %v over the wire, want >= 3 (boot + 2 prewarmed)", got)
+	}
+	if got := snap.Gauges["liquid_reconfig_cache_entries"]; got < 3 {
+		t.Errorf("liquid_reconfig_cache_entries = %v over the wire, want >= 3", got)
+	}
+}

@@ -43,11 +43,18 @@ const readBufBytes = 64 << 10
 // server answers CmdError "busy" — the client backs off and retries.
 const DefaultQueueCap = 64
 
-// maxParkedPerBoard bounds how many CmdWaitResult exchanges one board
-// worker will hold at once; beyond it waits are answered immediately
-// (StatusRunning), degrading to the client's poll loop instead of
-// buffering unboundedly.
+// maxParkedPerBoard bounds how many CmdWaitResult/CmdWaitReconfig
+// exchanges one board worker will hold at once; beyond it waits are
+// answered immediately (StatusRunning / the live ticket state),
+// degrading to the client's poll loop instead of buffering
+// unboundedly.
 const maxParkedPerBoard = 64
+
+// Parked-exchange kinds: what completion event releases the wait.
+const (
+	waitKindResult   = "result"   // CmdWaitResult, released on run completion
+	waitKindReconfig = "reconfig" // CmdWaitReconfig, released when the swap lands
+)
 
 // maxHoldMs caps the server-side hold a client may request, so a
 // forged HoldMs cannot pin worker state for minutes. A client wanting
@@ -348,11 +355,13 @@ func (s *Server) replyError(peer *net.UDPAddr, req netproto.Packet, msg string) 
 	}
 }
 
-// parkedWait is one CmdWaitResult exchange held by a board worker
-// until the run completes, the hold expires, or the node shuts down.
-// Entries are owned by the worker goroutine — no locking.
+// parkedWait is one CmdWaitResult or CmdWaitReconfig exchange held by
+// a board worker until its completion event fires, the hold expires,
+// or the node shuts down. Entries are owned by the worker goroutine —
+// no locking.
 type parkedWait struct {
 	j        job
+	kind     string // waitKindResult or waitKindReconfig
 	key      string // peer|seq identity for retransmit suppression ("" when the request carried no seq)
 	deadline time.Time
 	span     tracing.SpanHandle
@@ -396,6 +405,17 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 			default:
 			}
 		})
+		// rwake is the reconfiguration twin: the core's ticket watcher
+		// signals it when an asynchronous synthesis completes, and the
+		// worker pumps the swap HERE — this goroutine is the one SoC
+		// mutation is confined to — before releasing reconfig waiters.
+		rwake := make(chan struct{}, 1)
+		canParkReconfig := p.SetReconfigWakeHook(func() {
+			select {
+			case rwake <- struct{}{}:
+			default:
+			}
+		})
 
 		var parked []parkedWait
 		release := func(i int, reason string) {
@@ -405,6 +425,15 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 			s.m.wakeups.With(reason).Inc()
 			e.span.WithAttr("wake", reason).End()
 			runJob(e.j)
+		}
+		releaseKind := func(kind, reason string) {
+			for i := 0; i < len(parked); {
+				if parked[i].kind == kind {
+					release(i, reason)
+				} else {
+					i++
+				}
+			}
 		}
 
 		for {
@@ -436,7 +465,7 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 					return
 				}
 				j.qspan.End() // queue wait is over; processing begins
-				if pw, keep := s.tryPark(p, j, canPark, parked, wake); keep {
+				if pw, keep := s.tryPark(p, j, canPark, canParkReconfig, parked, wake, rwake); keep {
 					parked = append(parked, pw)
 					continue
 				} else if pw.key == dupSentinel {
@@ -451,10 +480,25 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 				if timer != nil {
 					timer.Stop()
 				}
-				// Run complete: every parked waiter gets its (now final)
-				// answer, in park order.
-				for len(parked) > 0 {
-					release(0, "done")
+				// Run complete: every parked result waiter gets its (now
+				// final) answer, in park order — and a full swap that was
+				// deferred behind this run can land now (ReconfigInFlight
+				// pumps through ReconfigStatusFn on this goroutine).
+				releaseKind(waitKindResult, "done")
+				if !p.ReconfigInFlight() {
+					releaseKind(waitKindReconfig, "done")
+				}
+
+			case <-rwake:
+				if timer != nil {
+					timer.Stop()
+				}
+				// Synthesis complete: pump the swap on this goroutine and,
+				// once the reconfiguration is terminal, answer its waiters.
+				// Still-in-flight means the swap is deferred behind a run
+				// (ReconfigSwapping) — the run-done wake will retry.
+				if !p.ReconfigInFlight() {
+					releaseKind(waitKindReconfig, "done")
 				}
 
 			case <-timerC:
@@ -481,12 +525,24 @@ const dupSentinel = "\x00dup"
 // (entry, true) to park, (zero, false) to process normally, or
 // (entry with key==dupSentinel, false) when j duplicates a parked
 // exchange and must be dropped.
-func (s *Server) tryPark(p *fpx.Platform, j job, canPark bool, parked []parkedWait, wake chan struct{}) (parkedWait, bool) {
-	if !canPark {
+func (s *Server) tryPark(p *fpx.Platform, j job, canPark, canParkReconfig bool, parked []parkedWait, wake, rwake chan struct{}) (parkedWait, bool) {
+	pkt, err := netproto.ParsePacket(j.payload)
+	if err != nil {
 		return parkedWait{}, false
 	}
-	pkt, err := netproto.ParsePacket(j.payload)
-	if err != nil || pkt.Command != netproto.CmdWaitResult {
+	var kind string
+	switch pkt.Command {
+	case netproto.CmdWaitResult:
+		if !canPark {
+			return parkedWait{}, false
+		}
+		kind = waitKindResult
+	case netproto.CmdWaitReconfig:
+		if !canParkReconfig {
+			return parkedWait{}, false
+		}
+		kind = waitKindReconfig
+	default:
 		return parkedWait{}, false
 	}
 	key := ""
@@ -511,18 +567,34 @@ func (s *Server) tryPark(p *fpx.Platform, j job, canPark bool, parked []parkedWa
 	if len(parked) >= maxParkedPerBoard {
 		return parkedWait{}, false
 	}
-	if len(parked) == 0 {
-		// Drain any stale wake token from a previous run BEFORE checking
-		// the state: drain-then-check cannot lose a wakeup (a run that
-		// finishes after the drain re-sends the token), while
+	kindParked := 0
+	for _, e := range parked {
+		if e.kind == kind {
+			kindParked++
+		}
+	}
+	if kindParked == 0 {
+		// Drain any stale wake token from a previous completion BEFORE
+		// checking the state: drain-then-check cannot lose a wakeup (a
+		// completion after the drain re-sends the token), while
 		// check-then-drain could eat the very token this waiter needs.
+		ch := wake
+		if kind == waitKindReconfig {
+			ch = rwake
+		}
 		select {
-		case <-wake:
+		case <-ch:
 		default:
 		}
 	}
-	if p.Control().State() != leon.StateRunning {
-		return parkedWait{}, false // answer immediately: result is already final
+	if kind == waitKindResult {
+		if p.Control().State() != leon.StateRunning {
+			return parkedWait{}, false // answer immediately: result is already final
+		}
+	} else if !p.ReconfigInFlight() {
+		// Already terminal (the check pumps any ready swap first):
+		// answer immediately through the normal handler.
+		return parkedWait{}, false
 	}
 	var span tracing.SpanHandle
 	if s.tracer != nil {
@@ -533,6 +605,7 @@ func (s *Server) tryPark(p *fpx.Platform, j job, canPark bool, parked []parkedWa
 	s.waiters.Add(1)
 	return parkedWait{
 		j:        j,
+		kind:     kind,
 		key:      key,
 		deadline: time.Now().Add(time.Duration(holdMs) * time.Millisecond),
 		span:     span,
