@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke load-smoke reconfig-smoke trace-smoke ci
+.PHONY: all build test race race-net chaos fuzz-smoke cover-gate vet fmt-check bench bench-smoke load-smoke reconfig-smoke trace-smoke sim-smoke time-lint ci
 
 all: build
 
@@ -45,7 +45,8 @@ fuzz-smoke:
 # cover-gate fails if statement coverage of the transport packages —
 # the ones the chaos work hardens — drops below the floor.
 COVER_MIN ?= 80
-COVER_PKGS = ./internal/client ./internal/server ./internal/reconfig
+COVER_PKGS = ./internal/client ./internal/server ./internal/reconfig \
+	./internal/sim ./internal/leon ./internal/fpx
 
 cover-gate:
 	@set -e; for p in $(COVER_PKGS); do \
@@ -107,4 +108,31 @@ reconfig-smoke:
 trace-smoke:
 	$(GO) run ./examples/multinode -trace-out $${TMPDIR:-/tmp}/liquidarch-trace-smoke.json
 
-ci: fmt-check vet build race race-net chaos cover-gate bench-smoke load-smoke reconfig-smoke trace-smoke
+# sim-smoke is the deterministic-simulation gate: the model-based
+# cluster runner must match the sequential reference model over 100
+# pinned seeds (randomized op mixes, wire revs v1..v6, lossy links),
+# and the planted dedup bug must be caught with a replayable seed.
+# LIQUID_SIM_SEEDS raises the sweep; the nightly workflow runs 400.
+SIM_SEEDS ?= 100
+sim-smoke:
+	LIQUID_SIM_SEEDS=$(SIM_SEEDS) $(GO) test -count=1 \
+		-run 'TestModelSmoke|TestModelCatchesDedupBug' ./internal/sim/modeltest/
+	$(GO) test -count=1 -run 'Sim|Compat' ./internal/server/
+
+# time-lint rejects new direct wall-clock calls in non-test
+# control-plane code: every timeout, backoff, and delay must go
+# through the injected sim.Clock so the deterministic simulation can
+# virtualize it. internal/sim itself (the clock's home) and test files
+# are exempt; time.Time/time.Duration *types* are fine — only calls
+# that read or wait on the real clock are flagged.
+TIME_LINT_PKGS = internal/client internal/server internal/chaos \
+	internal/fpx internal/leon internal/core internal/reconfig internal/synth
+time-lint:
+	@out=$$(grep -rnE 'time\.(Now|Sleep|After|AfterFunc|NewTimer|NewTicker|Since|Until|Tick)\(' \
+		$(TIME_LINT_PKGS) --include='*.go' | grep -v '_test\.go' || true); \
+	if [ -n "$$out" ]; then \
+		echo "direct wall-clock use in control-plane code (inject sim.Clock instead):"; \
+		echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race race-net chaos cover-gate bench-smoke load-smoke reconfig-smoke trace-smoke sim-smoke time-lint

@@ -31,6 +31,7 @@ import (
 
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/sim"
 	"liquidarch/internal/tracing"
 )
 
@@ -88,6 +89,10 @@ type Config struct {
 	// datagram the chaos layer dropped, duplicated, delayed, reordered
 	// or truncated. Packets without a trace id are unannotated.
 	Tracer *tracing.Collector
+	// Clock schedules delayed-fault delivery (nil = real time); a
+	// simulated fabric passes its virtual clock so injected delays
+	// ride the virtual timeline.
+	Clock sim.Clock
 }
 
 // delayed is a packet scheduled for out-of-band delivery.

@@ -3,6 +3,8 @@ package chaos
 import (
 	"net"
 	"time"
+
+	"liquidarch/internal/sim"
 )
 
 // queued is one inbound packet awaiting delivery to a reader.
@@ -25,6 +27,7 @@ type Conn struct {
 	inner net.PacketConn
 	up    *injector
 	down  *injector
+	clk   sim.Clock
 	// pending holds read-side packets the injector released beyond
 	// the one being returned (duplicates, released reorders).
 	pending []queued
@@ -43,6 +46,7 @@ func WrapPacketConn(inner net.PacketConn, cfg Config) *Conn {
 		inner: inner,
 		up:    newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
 		down:  newInjector(Down, downFaults, cfg.Script, cfg.Seed, cfg.Registry),
+		clk:   sim.Or(cfg.Clock),
 	}
 	c.up.tracer, c.down.tracer = cfg.Tracer, cfg.Tracer
 	return c
@@ -81,7 +85,7 @@ func (c *Conn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	}
 	for _, d := range later {
 		d := d
-		time.AfterFunc(d.after, func() {
+		c.clk.AfterFunc(d.after, func() {
 			c.inner.WriteTo(d.payload, addr) //nolint:errcheck // best effort, like the network
 		})
 	}

@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
+
+	"liquidarch/internal/sim"
 )
 
 // Proxy is a standalone UDP chaos relay: clients send control packets
@@ -22,6 +23,7 @@ type Proxy struct {
 	target *net.UDPAddr
 	up     *injector
 	down   *injector
+	clk    sim.Clock
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -61,6 +63,7 @@ func NewProxy(listenAddr, targetAddr string, cfg Config) (*Proxy, error) {
 		target:   ta,
 		up:       newInjector(Up, cfg.Up, cfg.Script, cfg.Seed, cfg.Registry),
 		down:     newInjector(Down, cfg.Down, cfg.Script, cfg.Seed, cfg.Registry),
+		clk:      sim.Or(cfg.Clock),
 		sessions: make(map[string]*session),
 	}
 	px.up.tracer, px.down.tracer = cfg.Tracer, cfg.Tracer
@@ -144,7 +147,7 @@ func (p *Proxy) schedule(later []delayed, write func([]byte)) {
 	for _, d := range later {
 		d := d
 		p.wg.Add(1)
-		time.AfterFunc(d.after, func() {
+		p.clk.AfterFunc(d.after, func() {
 			defer p.wg.Done()
 			p.mu.Lock()
 			closed := p.closed

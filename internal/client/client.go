@@ -31,6 +31,7 @@ import (
 
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/sim"
 	"liquidarch/internal/tracing"
 )
 
@@ -148,9 +149,21 @@ func newClientMetrics(r *metrics.Registry) clientMetrics {
 	}
 }
 
+// Conn is the connected-datagram transport a Client drives: one
+// remote endpoint, datagram-preserving reads. *net.UDPConn satisfies
+// it for real networks; sim.Conn satisfies it for deterministic
+// simulation.
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
 // Client is a UDP control client bound to one server node.
 type Client struct {
-	conn *net.UDPConn
+	conn Conn
+	clk  sim.Clock
 
 	// Timeout bounds the FIRST attempt of each request/response
 	// exchange; subsequent retransmissions back off exponentially.
@@ -188,6 +201,16 @@ type Client struct {
 	// DefaultWaitHold; negative disables the held wait entirely and
 	// polls at PollInterval like the pre-v5 client.
 	WaitHold time.Duration
+	// WireRev pins the client to a historical protocol generation
+	// (0 = latest). It controls both the header shape and the command
+	// vocabulary: rev 1 emits the v1 header (no board byte — Board must
+	// be 0), rev 2 adds the board byte, rev<3 sends no exchange seq and
+	// loads stop-and-wait, rev<4 stamps no trace id, rev<5 never issues
+	// CmdWaitResult (polls instead), rev<6 never issues
+	// CmdWaitReconfig/CmdReconfigStatus holds. Compatibility tests pin
+	// it to drive every client generation against every server
+	// generation.
+	WireRev uint8
 
 	// Tracer, when set, records one span tree per exchange: an
 	// "exchange:<cmd>" span with an "attempt" child for the first
@@ -228,18 +251,36 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	return New(conn, nil), nil
+}
+
+// New builds a client over an already-connected transport, pacing
+// every timeout, backoff and poll on clk (nil = real time). Simulated
+// clusters pass a sim.Conn and the world's virtual clock; Dial is New
+// over a real UDP socket and the real clock.
+func New(conn Conn, clk sim.Clock) *Client {
+	c := sim.Or(clk)
 	reg := metrics.NewRegistry()
 	return &Client{
 		conn:          conn,
+		clk:           c,
 		Timeout:       2 * time.Second,
 		BackoffFactor: 2,
 		Jitter:        0.1,
 		Retries:       3,
 		PollInterval:  2 * time.Millisecond,
-		rng:           rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:           rand.New(rand.NewSource(sim.Real.Now().UnixNano())),
 		reg:           reg,
 		m:             newClientMetrics(reg),
-	}, nil
+	}
+}
+
+// wireRev resolves the pinned protocol generation (0 = latest).
+func (c *Client) wireRev() uint8 {
+	if c.WireRev == 0 {
+		return 6
+	}
+	return c.WireRev
 }
 
 // SetSeed re-seeds the jitter source, pinning the retransmission
@@ -325,17 +366,20 @@ func (c *Client) exchange(pkt netproto.Packet, overall time.Time) (netproto.Pack
 // interrupts even a blocked read by expiring the socket's read
 // deadline from the context's watcher goroutine.
 func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall time.Time, extraWait time.Duration) (netproto.Packet, error) {
+	rev := c.wireRev()
 	pkt.Board = c.Board
 	c.seq++
-	pkt.Seq, pkt.HasSeq = c.seq, true
-	if c.TraceID != 0 {
+	if rev >= 3 {
+		pkt.Seq, pkt.HasSeq = c.seq, true
+	}
+	if c.TraceID != 0 && rev >= 4 {
 		pkt.TraceID, pkt.HasTrace = c.TraceID, true
 	}
 	want := pkt.Command | netproto.RespFlag
 	raw := pkt.Marshal()
 	buf := make([]byte, 64<<10)
 	c.m.requests.With(netproto.CommandName(pkt.Command)).Inc()
-	start := time.Now()
+	start := c.clk.Now()
 
 	// One exchange span; each datagram is an "attempt" (first) or
 	// "retry" (retransmission) child. Fetching traces (CmdTraces) is
@@ -368,7 +412,7 @@ func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall t
 			// Unblock an in-flight Read: a deadline in the past makes it
 			// return a timeout error immediately, and the loop below
 			// notices ctx.Err() before retransmitting.
-			c.conn.SetReadDeadline(time.Now())
+			c.conn.SetReadDeadline(c.clk.Now())
 		})
 		defer stop()
 	}
@@ -389,7 +433,7 @@ func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall t
 			c.m.backoffs.Inc()
 			c.m.backoffDur.Observe(wait.Seconds())
 		}
-		if !overall.IsZero() && !time.Now().Before(overall) {
+		if !overall.IsZero() && !c.clk.Now().Before(overall) {
 			break // caller's budget exhausted: do not start another attempt
 		}
 		aname := "attempt"
@@ -407,7 +451,7 @@ func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall t
 			return netproto.Packet{}, fmt.Errorf("client: send: %w", err)
 		}
 		attempts++
-		deadline := time.Now().Add(c.jittered(wait) + extraWait)
+		deadline := c.clk.Now().Add(c.jittered(wait) + extraWait)
 		if !overall.IsZero() && deadline.After(overall) {
 			deadline = overall
 		}
@@ -465,7 +509,7 @@ func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall t
 			body := make([]byte, len(resp.Body))
 			copy(body, resp.Body)
 			resp.Body = body
-			c.m.rtt.ObserveSince(start)
+			c.m.rtt.Observe(c.clk.Since(start).Seconds())
 			as.EndAttrs(tracing.A("outcome", "ok"))
 			if xs.On() {
 				xs.EndAttrs(tracing.A("status", "ok"),
@@ -484,7 +528,7 @@ func (c *Client) exchangeCtx(ctx context.Context, pkt netproto.Packet, overall t
 		Board:    c.Board,
 		Cmd:      netproto.CommandName(pkt.Command),
 		Attempts: attempts,
-		Elapsed:  time.Since(start),
+		Elapsed:  c.clk.Since(start),
 		Last:     lastErr,
 	}
 }
@@ -522,6 +566,11 @@ func (c *Client) LoadProgram(addr uint32, image []byte) (err error) {
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	if c.wireRev() < 3 {
+		// No exchange seqs on the wire means acks cannot be matched to
+		// chunks: load stop-and-wait, like the pre-v3 client did.
+		window = 1
+	}
 	return c.loadWindowed(netproto.ChunkImage(addr, image), window)
 }
 
@@ -549,7 +598,7 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 		resumed  = false
 		firstAck = false
 		attempts = 0
-		start    = time.Now()
+		start    = c.clk.Now()
 		lastErr  error
 	)
 
@@ -566,6 +615,8 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 		}
 	}
 
+	rev := c.wireRev()
+
 	send := func(i int) error {
 		if !assigned[i] {
 			c.seq++
@@ -573,10 +624,12 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 			pkt := netproto.Packet{
 				Command: netproto.CmdLoadProgram,
 				Board:   c.Board,
-				Seq:     c.seq, HasSeq: true,
-				Body: chunks[i].Marshal(),
+				Body:    chunks[i].Marshal(),
 			}
-			if c.TraceID != 0 {
+			if rev >= 3 {
+				pkt.Seq, pkt.HasSeq = c.seq, true
+			}
+			if c.TraceID != 0 && rev >= 4 {
 				pkt.TraceID, pkt.HasTrace = c.TraceID, true
 			}
 			raws[i] = pkt.Marshal()
@@ -600,7 +653,7 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 			c.m.errors.Inc()
 			return fmt.Errorf("client: send: %w", werr)
 		}
-		sentAt[i] = time.Now()
+		sentAt[i] = c.clk.Now()
 		attempts++
 		return nil
 	}
@@ -682,7 +735,7 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 		}
 
 		// Wait for one acknowledgment (strays don't reset the clock).
-		deadline := time.Now().Add(c.jittered(wait))
+		deadline := c.clk.Now().Add(c.jittered(wait))
 		timedOut := false
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
@@ -751,7 +804,7 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 			if rep.Status != netproto.StatusOK && rep.Status != netproto.StatusPending {
 				return fail(fmt.Errorf("client: load chunk %d/%d: status %d", idx+1, n, rep.Status))
 			}
-			c.m.rtt.ObserveSince(sentAt[idx])
+			c.m.rtt.Observe(c.clk.Since(sentAt[idx]).Seconds())
 			delete(pend, seqs[idx])
 			ackedCh[idx] = true
 			if chspan[idx].On() {
@@ -790,7 +843,7 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 					Board:    c.Board,
 					Cmd:      netproto.CommandName(netproto.CmdLoadProgram),
 					Attempts: attempts,
-					Elapsed:  time.Since(start),
+					Elapsed:  c.clk.Since(start),
 					Last:     lastErr,
 				})
 			}
@@ -820,25 +873,39 @@ func (c *Client) loadWindowed(chunks []netproto.LoadChunk, window int) error {
 // then polled for completion every PollInterval. The signature and
 // observable behavior match the historical blocking call.
 func (c *Client) Start(entry uint32, maxCycles uint64) (netproto.RunReport, error) {
-	if err := c.StartAsync(entry, maxCycles); err != nil {
+	rep, err := c.startAck(entry, maxCycles)
+	if err != nil {
 		return netproto.RunReport{}, err
 	}
+	if rep.Status != netproto.StatusRunning {
+		// A pre-async (rev<2) server blocks through the run inside
+		// CmdStartLEON: the ack IS the final report, and polling a
+		// server that old for a result it never stores would fail.
+		return rep, nil
+	}
 	return c.WaitResult()
+}
+
+// startAck issues the CmdStartLEON exchange and returns the raw ack
+// report: StatusRunning from an asynchronous server, the final report
+// from a blocking pre-async one.
+func (c *Client) startAck(entry uint32, maxCycles uint64) (rep netproto.RunReport, err error) {
+	op := c.beginOp("start")
+	defer func() { c.endOp(op, err) }()
+	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
+	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartLEON, Body: req.Marshal()})
+	if err != nil {
+		return netproto.RunReport{}, err
+	}
+	return netproto.ParseRunReport(resp.Body)
 }
 
 // StartAsync starts the loaded program and returns as soon as the board
 // acknowledges the handoff — the "started" ack of the asynchronous
 // control plane. Poll Status (CurCycles advances while running) and
 // collect the report with Result or WaitResult.
-func (c *Client) StartAsync(entry uint32, maxCycles uint64) (err error) {
-	op := c.beginOp("start")
-	defer func() { c.endOp(op, err) }()
-	req := netproto.StartReq{Entry: entry, MaxCycles: maxCycles}
-	resp, err := c.roundTrip(netproto.Packet{Command: netproto.CmdStartLEON, Body: req.Marshal()})
-	if err != nil {
-		return err
-	}
-	rep, err := netproto.ParseRunReport(resp.Body)
+func (c *Client) StartAsync(entry uint32, maxCycles uint64) error {
+	rep, err := c.startAck(entry, maxCycles)
 	if err != nil {
 		return err
 	}
@@ -901,7 +968,7 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 	if hold == 0 {
 		hold = DefaultWaitHold
 	}
-	deadline := time.Now().Add(limit)
+	deadline := c.clk.Now().Add(limit)
 	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
 		deadline = cd
 	}
@@ -909,7 +976,7 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		if err := ctx.Err(); err != nil {
 			return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", err)
 		}
-		useHold := hold > 0 && !c.noServerWait
+		useHold := hold > 0 && !c.noServerWait && c.wireRev() >= 5
 		var (
 			rep  netproto.RunReport
 			rerr error
@@ -917,15 +984,15 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		)
 		if useHold {
 			h := hold
-			if remain := time.Until(deadline); remain < h {
+			if remain := c.clk.Until(deadline); remain < h {
 				h = remain // never ask the server to outlast our own budget
 			}
 			if h < time.Millisecond {
 				h = time.Millisecond
 			}
-			before := time.Now()
+			before := c.clk.Now()
 			rep, rerr = c.waitHeld(ctx, h, deadline)
-			held = time.Since(before)
+			held = c.clk.Since(before)
 			if rerr != nil {
 				var se *ServerError
 				if errors.As(rerr, &se) && se.Cmd == netproto.CmdWaitResult {
@@ -944,7 +1011,7 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 				return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
 			}
 			var ue *UnreachableError
-			if errors.As(rerr, &ue) && !time.Now().Before(deadline) {
+			if errors.As(rerr, &ue) && !c.clk.Now().Before(deadline) {
 				return netproto.RunReport{}, fmt.Errorf("client: run still unconfirmed after %v: %w", limit, rerr)
 			}
 			return netproto.RunReport{}, rerr
@@ -952,7 +1019,7 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		if rep.Status != netproto.StatusRunning {
 			return rep, nil
 		}
-		remain := time.Until(deadline)
+		remain := c.clk.Until(deadline)
 		if remain <= 0 {
 			return rep, fmt.Errorf("client: run still in flight after %v", limit)
 		}
@@ -968,7 +1035,7 @@ func (c *Client) WaitResultContext(ctx context.Context) (rep netproto.RunReport,
 		select {
 		case <-ctx.Done():
 			return netproto.RunReport{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
-		case <-time.After(sleep):
+		case <-c.clk.After(sleep):
 		}
 	}
 }
@@ -1156,7 +1223,7 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 	if hold == 0 {
 		hold = DefaultWaitHold
 	}
-	deadline := time.Now().Add(limit)
+	deadline := c.clk.Now().Add(limit)
 	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
 		deadline = cd
 	}
@@ -1164,7 +1231,7 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 		if err := ctx.Err(); err != nil {
 			return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", err)
 		}
-		useHold := hold > 0 && !c.noReconfigWait
+		useHold := hold > 0 && !c.noReconfigWait && c.wireRev() >= 6
 		var (
 			rst  netproto.ReconfigStatusResp
 			rerr error
@@ -1172,15 +1239,15 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 		)
 		if useHold {
 			h := hold
-			if remain := time.Until(deadline); remain < h {
+			if remain := c.clk.Until(deadline); remain < h {
 				h = remain // never ask the server to outlast our own budget
 			}
 			if h < time.Millisecond {
 				h = time.Millisecond
 			}
-			before := time.Now()
+			before := c.clk.Now()
 			rst, rerr = c.waitReconfigHeld(ctx, h, deadline)
-			held = time.Since(before)
+			held = c.clk.Since(before)
 			if rerr != nil {
 				var se *ServerError
 				if errors.As(rerr, &se) && se.Cmd == netproto.CmdWaitReconfig {
@@ -1199,7 +1266,7 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 				return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
 			}
 			var ue *UnreachableError
-			if errors.As(rerr, &ue) && !time.Now().Before(deadline) {
+			if errors.As(rerr, &ue) && !c.clk.Now().Before(deadline) {
 				return netproto.ReconfigStatusResp{}, fmt.Errorf("client: reconfiguration still unconfirmed after %v: %w", limit, rerr)
 			}
 			return netproto.ReconfigStatusResp{}, rerr
@@ -1207,7 +1274,7 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 		if rst.Terminal() || rst.State == netproto.ReconfigNone {
 			return rst, nil
 		}
-		remain := time.Until(deadline)
+		remain := c.clk.Until(deadline)
 		if remain <= 0 {
 			return rst, fmt.Errorf("client: reconfiguration still in flight after %v", limit)
 		}
@@ -1223,7 +1290,7 @@ func (c *Client) WaitReconfigure(ctx context.Context) (st netproto.ReconfigStatu
 		select {
 		case <-ctx.Done():
 			return netproto.ReconfigStatusResp{}, fmt.Errorf("client: wait canceled: %w", ctx.Err())
-		case <-time.After(sleep):
+		case <-c.clk.After(sleep):
 		}
 	}
 }

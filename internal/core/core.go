@@ -26,6 +26,7 @@ import (
 	"liquidarch/internal/link"
 	"liquidarch/internal/netproto"
 	"liquidarch/internal/reconfig"
+	"liquidarch/internal/sim"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/trace"
 	"liquidarch/internal/tracing"
@@ -60,6 +61,11 @@ type Options struct {
 	// 10.0.0.2:5001).
 	IP   [4]byte
 	Port uint16
+	// Clock is the system's time source (nil = real time). Simulated
+	// nodes inject a virtual clock; it paces run wall-duration
+	// measurement, reconfiguration waits and the modelled synthesis
+	// delay.
+	Clock sim.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +128,9 @@ type System struct {
 // it.
 func New(cfg leon.Config, opts Options) (*System, error) {
 	opts = opts.withDefaults()
+	if opts.Synth.Clock == nil {
+		opts.Synth.Clock = opts.Clock
+	}
 	s := &System{opts: opts, manager: opts.Manager}
 	if s.manager == nil {
 		s.manager = reconfig.NewManagerWorkers(
@@ -189,6 +198,7 @@ func (s *System) instantiate(cfg leon.Config, img *synth.Image, sram, sdram []by
 	}
 	s.cfg, s.soc, s.ctrl, s.active = cfg, soc, ctrl, img
 	s.actrl = leon.NewAsyncController(ctrl)
+	s.actrl.SetClock(s.opts.Clock)
 	s.hookMu.Lock()
 	s.hookTarget = s.actrl
 	if s.runDoneHook != nil {

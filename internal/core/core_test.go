@@ -196,6 +196,18 @@ func TestNetworkReconfigure(t *testing.T) {
 	// Reconfigure to 8 KB over the wire. Since rev 6 the ack is
 	// immediate — a miss reports its ticket state in the spare fields —
 	// and the client follows up with CmdReconfigStatus until terminal.
+	// Synthesis completion is signaled through the reconfigure wake
+	// hook (this test plays the server's role); each wake is answered
+	// with one status poll, which also pumps the swap.
+	wake := make(chan struct{}, 1)
+	if !p.SetReconfigWakeHook(func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}) {
+		t.Fatal("platform does not support asynchronous reconfiguration")
+	}
 	blob, _ := json.Marshal(Spec{DCacheBytes: 8 << 10})
 	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdReconfigure, Body: blob}.Marshal())
 	rep, err := netproto.ParseRunReport(resps[0].Body)
@@ -204,10 +216,15 @@ func TestNetworkReconfigure(t *testing.T) {
 	}
 	st := netproto.ReconfigAckInfo(rep)
 	for i := 0; !st.Terminal(); i++ {
-		if i > 10000 {
+		if i > 100 {
 			t.Fatalf("reconfigure never reached a terminal state: %+v", st)
 		}
-		time.Sleep(time.Millisecond)
+		select {
+		case <-wake:
+		case <-time.After(100 * time.Millisecond):
+			// Fallback pump: the wake fires on synthesis completion; a
+			// swap deferred past that point lands on a later poll.
+		}
 		resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdReconfigStatus}.Marshal())
 		if st, err = netproto.ParseReconfigStatusResp(resps[0].Body); err != nil {
 			t.Fatalf("reconfig status: %v", err)

@@ -9,6 +9,7 @@ import (
 	"liquidarch/internal/leon"
 	"liquidarch/internal/netproto"
 	"liquidarch/internal/reconfig"
+	"liquidarch/internal/sim"
 	"liquidarch/internal/synth"
 	"liquidarch/internal/tracing"
 )
@@ -203,11 +204,10 @@ func (s *System) WaitReconfigure(ctx context.Context) (netproto.ReconfigStatusRe
 	if st.Terminal() || st.State == netproto.ReconfigNone {
 		return st, nil
 	}
-	tick := time.NewTicker(time.Millisecond)
-	defer tick.Stop()
+	clk := sim.Or(s.opts.Clock)
 	for {
 		select {
-		case <-tick.C:
+		case <-clk.After(time.Millisecond):
 			if st := s.ReconfigureStatus(); st.Terminal() || st.State == netproto.ReconfigNone {
 				return st, nil
 			}

@@ -37,26 +37,27 @@ int main() {
 	for _, ch := range netproto.ChunkImage(img.Origin, img.Code) {
 		p.HandlePayload(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()}.Marshal())
 	}
+	done := make(chan struct{})
+	if !p.SetRunDoneHook(func() { close(done) }) {
+		t.Fatal("controller does not support the run-done hook")
+	}
 	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()}.Marshal())
 	rep, err := netproto.ParseRunReport(resps[0].Body)
 	if err != nil || rep.Status != netproto.StatusRunning {
 		t.Fatalf("start ack: %v %+v", err, rep)
 	}
-	// Poll to completion and collect, as a remote client would.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdResult}.Marshal())
-		rep, err = netproto.ParseRunReport(resps[0].Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if rep.Status != netproto.StatusRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("run never completed")
-		}
-		time.Sleep(time.Millisecond)
+	// Completion is signaled through the run-done hook — no sleep
+	// polling — then the report is collected with one CmdResult, as a
+	// remote client would.
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never completed")
+	}
+	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdResult}.Marshal())
+	rep, err = netproto.ParseRunReport(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if rep.Status != netproto.StatusOK {
 		t.Fatalf("result: %+v", rep)

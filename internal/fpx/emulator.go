@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"liquidarch/internal/leon"
+	"liquidarch/internal/sim"
 )
 
 // Emulator stands in for the FPX hardware, playing the role of the
@@ -26,9 +27,11 @@ type Emulator struct {
 	loadedSize int
 
 	// pending is the armed run; it finalizes lazily when observed
-	// after its deadline (or eagerly by CollectResult).
+	// after its deadline (or eagerly by CollectResult), and eagerly
+	// when the completion timer fires so run-done hooks work.
 	pending  *leon.RunResult
 	deadline time.Time
+	runDone  func()
 
 	// CyclesPerByte sets the pretend execution cost (default 10).
 	CyclesPerByte uint64
@@ -36,6 +39,10 @@ type Emulator struct {
 	// before it completes (default 0: the run finishes by the first
 	// status check — the emulator is infinitely fast hardware).
 	AsyncDelay time.Duration
+	// Clock paces AsyncDelay (nil = real time). Simulated nodes set
+	// the virtual clock so pretend runs complete on the virtual
+	// timeline.
+	Clock sim.Clock
 }
 
 // NewEmulator returns a booted emulator.
@@ -43,14 +50,18 @@ func NewEmulator() *Emulator {
 	return &Emulator{mem: make(map[uint32]byte), state: leon.StateIdle, CyclesPerByte: 10}
 }
 
-// settle finalizes the pending run if its deadline has passed.
-// Callers hold e.mu.
-func (e *Emulator) settle(force bool) {
+// clock returns the configured pacing clock. Callers hold e.mu.
+func (e *Emulator) clock() sim.Clock { return sim.Or(e.Clock) }
+
+// settle finalizes the pending run if its deadline has passed,
+// reporting whether a run just completed. Callers hold e.mu; the
+// run-done hook (non-blocking by contract) fires under the lock.
+func (e *Emulator) settle(force bool) bool {
 	if e.pending == nil {
-		return
+		return false
 	}
-	if !force && time.Now().Before(e.deadline) {
-		return
+	if !force && e.clock().Now().Before(e.deadline) {
+		return false
 	}
 	e.last = *e.pending
 	if e.last.Faulted {
@@ -59,6 +70,20 @@ func (e *Emulator) settle(force bool) {
 		e.state = leon.StateDone
 	}
 	e.pending = nil
+	if e.runDone != nil {
+		e.runDone()
+	}
+	return true
+}
+
+// SetRunDoneHook registers fn to fire every time a pretend run
+// completes (nil clears it). fn must not block. With the hook armed
+// and AsyncDelay > 0, completion is driven by a clock timer, so
+// server-held waits wake without an observation forcing settlement.
+func (e *Emulator) SetRunDoneHook(fn func()) {
+	e.mu.Lock()
+	e.runDone = fn
+	e.mu.Unlock()
 }
 
 // State implements LEONControl.
@@ -126,7 +151,17 @@ func (e *Emulator) Start(entry uint32, maxCycles uint64) error {
 	}
 	e.state = leon.StateRunning
 	e.pending = &res
-	e.deadline = time.Now().Add(e.AsyncDelay)
+	e.deadline = e.clock().Now().Add(e.AsyncDelay)
+	if e.AsyncDelay > 0 {
+		// Complete on the timeline, not just on observation: a stale
+		// timer from an earlier run is harmless (settle(false) no-ops
+		// while the newer run's deadline is still ahead).
+		e.clock().AfterFunc(e.AsyncDelay, func() {
+			e.mu.Lock()
+			e.settle(false)
+			e.mu.Unlock()
+		})
+	}
 	return nil
 }
 

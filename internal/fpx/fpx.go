@@ -128,6 +128,18 @@ type Platform struct {
 	// the network, summarized.
 	TraceFn func() ([]byte, error)
 
+	// CommandRev caps the command-set revision this platform answers
+	// (0 = latest). Lower revs restore era semantics for
+	// compatibility testing: commands that did not exist yet are
+	// rejected as unknown, rev<2 blocks inside CmdStartLEON (the
+	// pre-async control plane), rev<3 has no dedup window, rev<6
+	// reconfigures synchronously. Set before serving traffic.
+	CommandRev uint8
+	// DedupDisabled skips the at-most-once dedup window entirely — a
+	// deliberate protocol-bug knob so the model-based simulation
+	// tests can prove that a missing dedup re-ack is caught.
+	DedupDisabled bool
+
 	load       *loadState
 	loadedAddr uint32
 	dedup      *dedupCache
@@ -404,7 +416,8 @@ func (p *Platform) HandlePayloadFromTraced(src string, payload []byte, assigned 
 	}
 
 	var key dedupKey
-	if pkt.HasSeq {
+	useDedup := pkt.HasSeq && p.CmdRev() >= 3 && !p.DedupDisabled
+	if useDedup {
 		key = dedupKey{src: src, cmd: pkt.Command, seq: pkt.Seq}
 		if resp, ok := p.dedup.lookup(key); ok {
 			p.m.dupSuppressed.Inc()
@@ -427,7 +440,7 @@ func (p *Platform) HandlePayloadFromTraced(src string, payload []byte, assigned 
 			isErr = true
 		}
 	}
-	if pkt.HasSeq {
+	if useDedup {
 		p.dedup.remember(key, resps)
 	}
 	if hspan.On() {
@@ -464,6 +477,17 @@ func (p *Platform) flightOnError(traceID uint64) {
 // exchange's trace context (disabled when tracing is off); only the
 // handlers that hand work to lower layers thread it further.
 func (p *Platform) dispatch(pkt netproto.Packet, tc tracing.Ctx) []netproto.Packet {
+	rev := p.CmdRev()
+	if minCmdRev(pkt.Command) > rev {
+		// This command did not exist at the emulated revision; answer
+		// exactly like an unrouted opcode so clients downgrade.
+		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
+	}
+	if pkt.Command == netproto.CmdStartLEON && rev < 2 {
+		// Pre-async era: the start exchange blocks until the run
+		// completes and the ack is the final report.
+		return []netproto.Packet{p.startSyncAs(netproto.CmdStartLEON, pkt.Body, tc)}
+	}
 	switch pkt.Command {
 	case netproto.CmdStatus:
 		return []netproto.Packet{p.status()}
@@ -497,6 +521,35 @@ func (p *Platform) dispatch(pkt netproto.Packet, tc tracing.Ctx) []netproto.Pack
 		return []netproto.Packet{p.reconfigStatus(netproto.CmdWaitReconfig)}
 	default:
 		return []netproto.Packet{p.errResp(pkt.Command, fmt.Errorf("unknown command %#02x", pkt.Command))}
+	}
+}
+
+// LatestCommandRev is the newest command-set revision this platform
+// implements: rev 6, asynchronous reconfiguration.
+const LatestCommandRev = 6
+
+// CmdRev resolves the emulated command-set revision (0 = latest).
+func (p *Platform) CmdRev() uint8 {
+	if p.CommandRev == 0 {
+		return LatestCommandRev
+	}
+	return p.CommandRev
+}
+
+// minCmdRev maps each command to the command-set revision that
+// introduced it (rev 1 for the original blocking control plane).
+func minCmdRev(cmd uint8) uint8 {
+	switch cmd {
+	case netproto.CmdResult, netproto.CmdStartSync:
+		return 2 // asynchronous control plane
+	case netproto.CmdTraces:
+		return 4 // exchange tracing
+	case netproto.CmdWaitResult:
+		return 5 // server-held result wait
+	case netproto.CmdReconfigStatus, netproto.CmdWaitReconfig:
+		return 6 // reconfiguration as a service
+	default:
+		return 1
 	}
 }
 
@@ -709,7 +762,14 @@ func (p *Platform) start(body []byte, tc tracing.Ctx) netproto.Packet {
 // with the final RunReport exactly as the pre-async CmdStartLEON did.
 // It occupies the board's command queue for the whole run.
 func (p *Platform) startSync(body []byte, tc tracing.Ctx) netproto.Packet {
-	entry, maxCycles, errPkt := p.parseStart(netproto.CmdStartSync, body)
+	return p.startSyncAs(netproto.CmdStartSync, body, tc)
+}
+
+// startSyncAs is the blocking start body shared by CmdStartSync and
+// the rev-1 era CmdStartLEON (which blocked before the asynchronous
+// control plane existed).
+func (p *Platform) startSyncAs(cmd uint8, body []byte, tc tracing.Ctx) netproto.Packet {
+	entry, maxCycles, errPkt := p.parseStart(cmd, body)
 	if errPkt != nil {
 		return *errPkt
 	}
@@ -724,12 +784,12 @@ func (p *Platform) startSync(body []byte, tc tracing.Ctx) netproto.Packet {
 	}
 	rep := runReport(res)
 	if err != nil && !res.Faulted {
-		return p.errResp(netproto.CmdStartSync, err)
+		return p.errResp(cmd, err)
 	}
 	if err != nil {
 		rep.Status = netproto.StatusFault
 	}
-	return netproto.Packet{Command: netproto.CmdStartSync | netproto.RespFlag, Body: rep.Marshal()}
+	return netproto.Packet{Command: cmd | netproto.RespFlag, Body: rep.Marshal()}
 }
 
 // parseStart decodes a StartReq body and resolves the entry address
@@ -821,7 +881,7 @@ func (p *Platform) writeMem(body []byte) netproto.Packet {
 }
 
 func (p *Platform) reconfigure(body []byte, tc tracing.Ctx) netproto.Packet {
-	if p.ReconfigAsyncFn != nil {
+	if p.ReconfigAsyncFn != nil && p.CmdRev() >= 6 {
 		st, err := p.ReconfigAsyncFn(tc, body)
 		if err != nil {
 			return p.errResp(netproto.CmdReconfigure, err)

@@ -113,6 +113,10 @@ func TestFullRemoteSession(t *testing.T) {
 
 	// 3. Start (entry 0 = last load address): the §3.1 handoff acks
 	// immediately with "running"...
+	done := make(chan struct{})
+	if !p.SetRunDoneHook(func() { close(done) }) {
+		t.Fatal("controller does not support the run-done hook")
+	}
 	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStartLEON, Body: netproto.StartReq{}.Marshal()})
 	rep, err := netproto.ParseRunReport(resps[0].Body)
 	if err != nil {
@@ -121,21 +125,20 @@ func TestFullRemoteSession(t *testing.T) {
 	if rep.Status != netproto.StatusRunning {
 		t.Fatalf("start ack %+v, want running", rep)
 	}
-	// ...completion is observed by polling status...
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStatus})
-		st, err := netproto.ParseStatusResp(resps[0].Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if leon.State(st.State) != leon.StateRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("run never completed")
-		}
-		time.Sleep(time.Millisecond)
+	// ...completion is signaled by the run-done hook (no sleep
+	// polling) and confirmed with one CmdStatus exchange...
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never completed")
+	}
+	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdStatus})
+	st, err = netproto.ParseStatusResp(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leon.State(st.State) == leon.StateRunning {
+		t.Fatal("status still running after the run-done hook fired")
 	}
 	// ...and the final report is collected with CmdResult.
 	resps = sendCmd(t, p, netproto.Packet{Command: netproto.CmdResult})

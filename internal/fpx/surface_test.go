@@ -1,0 +1,109 @@
+package fpx
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+)
+
+// TestEmulatorWriteMemory: bytes written through the control surface
+// read back identically (the emulator's memory is a plain byte array).
+func TestEmulatorWriteMemory(t *testing.T) {
+	em := NewEmulator()
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if err := em.WriteMemory(leon.DefaultLoadAddr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ReadMemory(leon.DefaultLoadAddr, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %x, want %x", got, data)
+	}
+}
+
+// TestPlatformAccessors covers the observability plumbing a node wires
+// at boot: the event log always exists, tracing and flight recording
+// are nil until attached, and LoadedAddr tracks the last full load.
+func TestPlatformAccessors(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	if p.Events() == nil {
+		t.Error("platform has no event log")
+	}
+	if p.Tracer() != nil {
+		t.Error("tracer attached before EnableTracing")
+	}
+	if p.FlightRecorder() != nil {
+		t.Error("flight recorder attached before SetFlightRecorder")
+	}
+	if p.LoadedAddr() != 0 {
+		t.Errorf("LoadedAddr = %#x before any load", p.LoadedAddr())
+	}
+	img := make([]byte, 64)
+	for _, ch := range netproto.ChunkImage(leon.DefaultLoadAddr, img) {
+		p.HandlePayload(netproto.Packet{Command: netproto.CmdLoadProgram, Body: ch.Marshal()}.Marshal())
+	}
+	if p.LoadedAddr() != leon.DefaultLoadAddr {
+		t.Errorf("LoadedAddr = %#x after load, want %#x", p.LoadedAddr(), leon.DefaultLoadAddr)
+	}
+}
+
+// TestUnwiredReconfigSurface: a platform without the core's
+// reconfiguration functions rejects the rev-6 conversation cleanly and
+// reports itself hold-incapable to the server layer.
+func TestUnwiredReconfigSurface(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	if p.NotifyReconfig() {
+		t.Error("NotifyReconfig fired with no hook installed")
+	}
+	fired := false
+	if p.SetReconfigWakeHook(func() { fired = true }) {
+		t.Error("emulator platform claims asynchronous reconfiguration support")
+	}
+	if !p.NotifyReconfig() || !fired {
+		t.Error("installed wake hook did not fire")
+	}
+	if p.ReconfigInFlight() {
+		t.Error("unwired platform reports a reconfiguration in flight")
+	}
+	for _, cmd := range []uint8{netproto.CmdReconfigStatus, netproto.CmdWaitReconfig, netproto.CmdGetConfig, netproto.CmdTraceReport} {
+		resps := p.HandlePayload(netproto.Packet{Command: cmd}.Marshal())
+		if len(resps) != 1 || resps[0].Command != netproto.CmdError {
+			t.Errorf("unwired %s answered %+v, want CmdError", netproto.CommandName(cmd), resps)
+		}
+	}
+}
+
+// TestCommandRevRejectsNewerCommands: an emulated older command set
+// rejects commands from later protocol generations as unknown, and
+// CmdRev resolves 0 to the latest revision.
+func TestCommandRevRejectsNewerCommands(t *testing.T) {
+	p := New(NewEmulator(), [4]byte{10, 0, 0, 2}, 5001)
+	if p.CmdRev() != LatestCommandRev {
+		t.Errorf("CmdRev() = %d with CommandRev unset, want %d", p.CmdRev(), LatestCommandRev)
+	}
+	p.CommandRev = 4
+	if p.CmdRev() != 4 {
+		t.Errorf("CmdRev() = %d, want 4", p.CmdRev())
+	}
+	resps := p.HandlePayload(netproto.Packet{Command: netproto.CmdWaitResult, Body: netproto.WaitResultReq{HoldMs: 1}.Marshal()}.Marshal())
+	if len(resps) != 1 || resps[0].Command != netproto.CmdError {
+		t.Fatalf("rev-4 platform answered CmdWaitResult with %+v, want CmdError", resps)
+	}
+	er, err := netproto.ParseErrorResp(resps[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Msg, "unknown command") {
+		t.Errorf("rejection message %q does not read as an unknown command", er.Msg)
+	}
+	// A rev-4 command still works on the rev-4 platform.
+	resps = p.HandlePayload(netproto.Packet{Command: netproto.CmdStatus}.Marshal())
+	if len(resps) != 1 || resps[0].Command != netproto.CmdStatus|netproto.RespFlag {
+		t.Errorf("rev-4 platform rejected CmdStatus: %+v", resps)
+	}
+}

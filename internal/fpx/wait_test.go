@@ -82,12 +82,19 @@ func TestWaitResultCommand(t *testing.T) {
 		t.Fatalf("wait answered with command %#x", resps[0].Command)
 	}
 
-	deadline := time.Now().Add(30 * time.Second)
-	for p.Control().State() == leon.StateRunning {
-		if time.Now().After(deadline) {
+	// Completion is signaled through the run-done hook, not discovered
+	// by sleep-polling. The hook is armed mid-run; if the run already
+	// finished by the time we look, the state check skips the wait.
+	done := make(chan struct{})
+	if !p.SetRunDoneHook(func() { close(done) }) {
+		t.Fatal("controller does not support the run-done hook")
+	}
+	if p.Control().State() == leon.StateRunning {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
 			t.Fatal("run never completed")
 		}
-		time.Sleep(time.Millisecond)
 	}
 
 	waitResps := sendCmd(t, p, netproto.Packet{Command: netproto.CmdWaitResult, Body: netproto.WaitResultReq{HoldMs: 500}.Marshal()})
@@ -112,9 +119,21 @@ func TestWaitResultCommand(t *testing.T) {
 // completion hook when (and only when) the controller supports it, and
 // keeps it installed across a SetControl board swap.
 func TestRunDoneHookPlumbing(t *testing.T) {
-	// The emulator has no async run loop, so there is nothing to hook.
-	if ok := New(NewEmulator(), fpxIP, fpxPort).SetRunDoneHook(func() {}); ok {
-		t.Error("emulator platform claimed run-done hook support")
+	// The emulator completes pretend runs on its pacing clock, so it
+	// supports the hook too (simulated nodes park waits against it).
+	emu := NewEmulator()
+	emuFired := 0
+	if ok := New(emu, fpxIP, fpxPort).SetRunDoneHook(func() { emuFired++ }); !ok {
+		t.Error("emulator platform rejected the run-done hook")
+	}
+	if err := emu.LoadProgram(leon.MailboxEnd, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := emu.Execute(leon.MailboxEnd, 0); err != nil {
+		t.Fatal(err)
+	}
+	if emuFired != 1 {
+		t.Errorf("emulator run-done hook fired %d times, want 1", emuFired)
 	}
 
 	p := newLEONPlatform(t)

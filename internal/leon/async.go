@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"liquidarch/internal/sim"
 	"liquidarch/internal/tracing"
 )
 
@@ -76,6 +77,7 @@ type AsyncController struct {
 	run     *runHandle // current or most recent run (nil before the first)
 	lastRes RunResult  // mirror of ctrl.LastResult(), refreshed at publish points
 	runDone func()     // completion hook, invoked on the actor goroutine
+	clk     sim.Clock  // wall-duration source (nil = sim.Real)
 
 	// Actor-local run context (touched only on the actor goroutine).
 	wallStart time.Time
@@ -191,7 +193,7 @@ func (a *AsyncController) publish(ctrl *Controller) {
 // published and the handle's done channel closed.
 func (a *AsyncController) finish(ctrl *Controller, res RunResult, err error) {
 	if a.opts.After != nil {
-		a.opts.After(ctrl, res, time.Since(a.wallStart), err)
+		a.opts.After(ctrl, res, a.clock().Since(a.wallStart), err)
 	}
 	a.opts = RunOptions{}
 	a.mu.Lock()
@@ -220,6 +222,21 @@ func (a *AsyncController) SetRunDoneHook(fn func()) {
 	a.mu.Lock()
 	a.runDone = fn
 	a.mu.Unlock()
+}
+
+// SetClock injects the time source used for run wall-duration
+// measurement (nil restores the real clock). Simulated nodes set the
+// virtual clock here so run timing is deterministic.
+func (a *AsyncController) SetClock(c sim.Clock) {
+	a.mu.Lock()
+	a.clk = c
+	a.mu.Unlock()
+}
+
+func (a *AsyncController) clock() sim.Clock {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return sim.Or(a.clk)
 }
 
 // Do runs fn on the actor goroutine, serialized against the in-flight
@@ -313,7 +330,7 @@ func (a *AsyncController) StartOpts(entry uint32, maxCycles uint64, opts RunOpti
 		if opts.Before != nil {
 			opts.Before(c)
 		}
-		start := time.Now()
+		start := a.clock().Now()
 		err = c.Start(entry, maxCycles)
 		a.publish(c)
 		if err != nil {
@@ -325,7 +342,7 @@ func (a *AsyncController) StartOpts(entry uint32, maxCycles uint64, opts RunOpti
 				if st := c.State(); st == StateFault || st == StateReset {
 					res = c.LastResult()
 				}
-				opts.After(c, res, time.Since(start), err)
+				opts.After(c, res, a.clock().Since(start), err)
 			}
 			return
 		}

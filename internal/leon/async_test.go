@@ -86,20 +86,33 @@ func TestAsyncStartPollCollect(t *testing.T) {
 	if err := a.LoadProgram(obj.Origin, obj.Code); err != nil {
 		t.Fatal(err)
 	}
+	// Completion is signaled through the run-done hook, so the
+	// mid-run sampling loop below ends the instant the run finishes
+	// instead of discovering it by sleeping.
+	done := make(chan struct{})
+	a.SetRunDoneHook(func() { close(done) })
 	if err := a.Start(obj.Origin, 0); err != nil {
 		t.Fatal(err)
 	}
 	// The program is long enough that we observe it running.
 	sawRunning := a.State() == StateRunning
 	var lastCycles uint64
-	for i := 0; i < 100 && a.State() == StateRunning; i++ {
-		c := a.Cycles()
-		if c < lastCycles {
-			t.Fatalf("cycle counter went backwards: %d -> %d", lastCycles, c)
+sampling:
+	for {
+		select {
+		case <-done:
+			break sampling
+		case <-time.After(time.Millisecond):
+			if a.State() != StateRunning {
+				break sampling
+			}
+			c := a.Cycles()
+			if c < lastCycles {
+				t.Fatalf("cycle counter went backwards: %d -> %d", lastCycles, c)
+			}
+			lastCycles = c
+			sawRunning = true
 		}
-		lastCycles = c
-		sawRunning = true
-		time.Sleep(time.Millisecond)
 	}
 	if !sawRunning {
 		t.Error("never observed StateRunning mid-run")

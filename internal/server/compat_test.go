@@ -1,0 +1,210 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"liquidarch/internal/core"
+	"liquidarch/internal/fpx"
+	"liquidarch/internal/leon"
+	"liquidarch/internal/netproto"
+	"liquidarch/internal/sim"
+	"liquidarch/internal/synth"
+)
+
+// TestCompatMatrix runs every client wire revision v1..v6 against
+// every server command revision v1..v6 — 36 cells on the simulated
+// fabric. Each cell drives two full load→start→result cycles plus a
+// readback, asserting the final report is identical everywhere and
+// that the negotiated downgrades take the documented shape:
+//
+//   - rs < 2: CmdStartLEON blocks; the ack IS the final report, so the
+//     client issues zero CmdResult polls and zero held waits.
+//   - rc < 5 (against rs ≥ 2): the client resolves runs by CmdResult
+//     polling, never putting CmdWaitResult on the wire.
+//   - rc ≥ 5, rs < 5: the client probes CmdWaitResult exactly once,
+//     the server rejects it as unknown, and the downgrade to polling is
+//     sticky — the second run issues no further probes.
+//   - rc ≥ 5, rs ≥ 5: runs resolve through server-held waits with zero
+//     CmdResult polls; the server visibly parks the exchanges.
+//
+// A pre-v5 server must never park a wait, whatever the client speaks.
+func TestCompatMatrix(t *testing.T) {
+	img := make([]byte, 2*netproto.MaxChunkData+100) // 3 chunks
+	for i := range img {
+		img[i] = byte(i*31 + 5)
+	}
+	for rs := uint8(1); rs <= fpx.LatestCommandRev; rs++ {
+		for rc := uint8(1); rc <= 6; rc++ {
+			rs, rc := rs, rc
+			t.Run(fmt.Sprintf("server=v%d/client=v%d", rs, rc), func(t *testing.T) {
+				t.Parallel()
+				compatCell(t, rc, rs, img)
+			})
+		}
+	}
+}
+
+func compatCell(t *testing.T, rc, rs uint8, img []byte) {
+	w := sim.NewWorld(int64(rs)<<8 | int64(rc))
+	t.Cleanup(w.Close)
+
+	// Emulated hardware on the virtual clock: every run stays Running
+	// for exactly 30 ms of virtual time and reports a cycle count that
+	// is a pure function of the image — identical across all 36 cells.
+	em := fpx.NewEmulator()
+	em.AsyncDelay = 30 * time.Millisecond
+	em.Clock = w.Clock
+	plat := fpx.New(em, [4]byte{10, 0, 0, 2}, 5001)
+	plat.CommandRev = rs
+
+	pc, err := w.Net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewNodeConn(pc, w.Clock, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveNode(t, srv)
+
+	c, _ := dialSim(t, w, pc.LocalAddr(), int64(rs)*100+int64(rc), cleanLink())
+	c.WireRev = rc
+
+	wantCycles := uint64(len(img)) * 10 // emulator: CyclesPerByte * image
+	for cycle := 0; cycle < 2; cycle++ {
+		if err := c.LoadProgram(leon.DefaultLoadAddr, img); err != nil {
+			t.Fatalf("cycle %d load: %v", cycle, err)
+		}
+		rep, err := c.Start(leon.DefaultLoadAddr, 0)
+		if err != nil {
+			t.Fatalf("cycle %d start: %v", cycle, err)
+		}
+		if rep.Status != netproto.StatusOK || rep.Cycles != wantCycles {
+			t.Fatalf("cycle %d report = %+v, want OK with %d cycles", cycle, rep, wantCycles)
+		}
+	}
+	head, err := c.ReadMemory(leon.DefaultLoadAddr, 64)
+	if err != nil {
+		t.Fatalf("readback: %v", err)
+	}
+	if !bytes.Equal(head, img[:64]) {
+		t.Error("loaded image diverged across the compat pairing")
+	}
+
+	csnap := c.Metrics().Snapshot()
+	resultPolls := csnap.Counter(`liquid_client_requests_total{cmd="result"}`)
+	waitReqs := csnap.Counter(`liquid_client_requests_total{cmd="wait"}`)
+	holds := csnap.Counters["liquid_client_wait_holds_total"]
+	fallback := csnap.Counters["liquid_client_wait_fallback_total"]
+	parked := srv.Metrics().Snapshot().Counters["liquid_server_waits_parked_total"]
+
+	switch {
+	case rs < 2:
+		// Sync-start downgrade: the start ack carried the final report.
+		if resultPolls != 0 || waitReqs != 0 {
+			t.Errorf("blocking-start server still saw polls=%d waits=%d", resultPolls, waitReqs)
+		}
+	case rc < 5:
+		// Poll-era client: CmdWaitResult must never hit the wire.
+		if waitReqs != 0 || holds != 0 {
+			t.Errorf("pre-v5 client issued waits=%d holds=%d", waitReqs, holds)
+		}
+		if resultPolls == 0 {
+			t.Error("poll-era client resolved two runs without a single CmdResult")
+		}
+	case rs < 5:
+		// Modern client, pre-hold server: one rejected probe, then a
+		// sticky downgrade to polling.
+		if fallback == 0 {
+			t.Error("client never recorded the wait downgrade")
+		}
+		if waitReqs != 1 {
+			t.Errorf("wait probes = %d, want exactly 1 (downgrade must be sticky)", waitReqs)
+		}
+		if resultPolls == 0 {
+			t.Error("downgraded client never polled CmdResult")
+		}
+	default:
+		// Held-wait era on both ends: no polling at all.
+		if holds == 0 {
+			t.Error("v5+ pairing never used a held wait")
+		}
+		if fallback != 0 {
+			t.Errorf("v5+ pairing recorded %d spurious downgrades", fallback)
+		}
+		if resultPolls != 0 {
+			t.Errorf("held-wait era still issued %d CmdResult polls", resultPolls)
+		}
+	}
+	if rs < 5 && parked != 0 {
+		t.Errorf("pre-v5 server parked %d waits", parked)
+	}
+	if rc >= 5 && rs >= 5 && parked == 0 {
+		t.Error("v5+ pairing parked no waits server-side")
+	}
+}
+
+// TestCompatReconfigureAcrossServerRevs: a rev-6 client's Reconfigure
+// lands against every server generation. Pre-rev-6 servers block
+// through the whole swap and the ack carries the outcome; a rev-6
+// server acks immediately and the client follows the asynchronous
+// conversation to its terminal state. Either way the board's active
+// configuration must reflect the requested spec afterwards.
+func TestCompatReconfigureAcrossServerRevs(t *testing.T) {
+	for rs := uint8(1); rs <= fpx.LatestCommandRev; rs++ {
+		rs := rs
+		t.Run(fmt.Sprintf("server=v%d", rs), func(t *testing.T) {
+			t.Parallel()
+			w := sim.NewWorld(int64(rs))
+			t.Cleanup(w.Close)
+
+			// A core-backed board: reconfiguration is wired, and the
+			// modelled ≈1 h synthesis collapses to ~3.6 ms of clock time.
+			opts := synth.Options{BitstreamBytes: 256, TimeScale: 1e-6, Clock: w.Clock}
+			sys, err := core.New(leon.DefaultConfig(), core.Options{
+				Synth: opts,
+				IP:    [4]byte{10, 0, 0, 2},
+				Clock: w.Clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(sys.Close)
+			plat := sys.Platform()
+			plat.CommandRev = rs
+
+			pc, err := w.Net.Listen("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := NewNodeConn(pc, w.Clock, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serveNode(t, srv)
+
+			c, _ := dialSim(t, w, pc.LocalAddr(), int64(rs), cleanLink())
+			c.WireRev = 6
+
+			spec, err := json.Marshal(core.Spec{DCacheBytes: 8 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Reconfigure(spec); err != nil {
+				t.Fatalf("reconfigure against v%d server: %v", rs, err)
+			}
+			blob, err := c.GetConfig()
+			if err != nil {
+				t.Fatalf("get config: %v", err)
+			}
+			if !strings.Contains(string(blob), "8192") {
+				t.Errorf("active config does not reflect the 8 KiB D-cache: %s", blob)
+			}
+		})
+	}
+}

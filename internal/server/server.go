@@ -32,6 +32,7 @@ import (
 	"liquidarch/internal/metrics"
 	"liquidarch/internal/metrics/eventlog"
 	"liquidarch/internal/netproto"
+	"liquidarch/internal/sim"
 	"liquidarch/internal/tracing"
 )
 
@@ -112,7 +113,8 @@ type job struct {
 // sequence access to it — while different boards run concurrently.
 type Server struct {
 	boards []*fpx.Platform
-	conn   *net.UDPConn
+	conn   net.PacketConn
+	clk    sim.Clock
 	queues []chan job
 
 	// Log, when non-nil, receives one line per handled datagram. It is
@@ -148,6 +150,26 @@ func NewNode(addr string, platforms ...*fpx.Platform) (*Server, error) {
 // newNode is NewNode with a configurable per-board queue bound (small
 // bounds are used by backpressure tests).
 func newNode(addr string, queueCap int, platforms ...*fpx.Platform) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return newNodeConn(conn, nil, queueCap, platforms...)
+}
+
+// NewNodeConn builds a node over an existing packet transport with an
+// injected clock (nil = real time) — the entry point the deterministic
+// simulation fabric uses. The conn's reads must yield *net.UDPAddr
+// peers (sim.Network and real UDP sockets both do).
+func NewNodeConn(conn net.PacketConn, clk sim.Clock, platforms ...*fpx.Platform) (*Server, error) {
+	return newNodeConn(conn, clk, DefaultQueueCap, platforms...)
+}
+
+func newNodeConn(conn net.PacketConn, clk sim.Clock, queueCap int, platforms ...*fpx.Platform) (*Server, error) {
 	if len(platforms) == 0 {
 		return nil, fmt.Errorf("server: node needs at least one platform")
 	}
@@ -164,17 +186,10 @@ func newNode(addr string, queueCap int, platforms ...*fpx.Platform) (*Server, er
 	if n := runtime.GOMAXPROCS(0); n < len(platforms)+1 {
 		runtime.GOMAXPROCS(len(platforms) + 1)
 	}
-	ua, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
-	}
-	conn, err := net.ListenUDP("udp", ua)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
-	}
 	s := &Server{
 		boards: platforms,
 		conn:   conn,
+		clk:    sim.Or(clk),
 		queues: make([]chan job, len(platforms)),
 		m:      newServerMetrics(platforms[0].Metrics()),
 		events: platforms[0].Events(),
@@ -253,7 +268,7 @@ func (s *Server) Serve() error {
 	for {
 		bufp := s.bufs.Get().(*[]byte)
 		buf := *bufp
-		n, peer, rerr := s.conn.ReadFromUDP(buf)
+		n, addr, rerr := s.conn.ReadFrom(buf)
 		if rerr != nil {
 			s.bufs.Put(bufp)
 			s.mu.Lock()
@@ -263,6 +278,15 @@ func (s *Server) Serve() error {
 				err = fmt.Errorf("server: read: %w", rerr)
 			}
 			break
+		}
+		peer, ok := addr.(*net.UDPAddr)
+		if !ok {
+			// A transport that does not speak UDP addressing cannot be
+			// mapped into the synthetic frame source.
+			s.m.drops.With("peer_addr").Inc()
+			s.events.Warnf("non-UDP peer address", "peer", addr)
+			s.bufs.Put(bufp)
+			continue
 		}
 		s.dispatch(bufp, buf[:n], peer)
 	}
@@ -322,7 +346,7 @@ func (s *Server) dispatch(bufp *[]byte, payload []byte, peer *net.UDPAddr) {
 		qspan.WithAttr("drop", "bad_board").End()
 		return
 	}
-	j := job{bufp: bufp, payload: payload, peer: peer, src: src, cmd: cmd, start: time.Now(), qspan: qspan, traceID: tid}
+	j := job{bufp: bufp, payload: payload, peer: peer, src: src, cmd: cmd, start: s.clk.Now(), qspan: qspan, traceID: tid}
 	select {
 	case s.queues[board] <- j:
 	default:
@@ -347,7 +371,7 @@ func (s *Server) replyError(peer *net.UDPAddr, req netproto.Packet, msg string) 
 		Body:    netproto.ErrorResp{Code: req.Command, Msg: msg}.Marshal(),
 	}
 	raw := pkt.Marshal()
-	if n, err := s.conn.WriteToUDP(raw, peer); err != nil {
+	if n, err := s.conn.WriteTo(raw, peer); err != nil {
 		s.m.sendErrors.Inc()
 	} else {
 		s.m.datagramsOut.Inc()
@@ -439,7 +463,7 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 		for {
 			// Arm a deadline only while something is parked.
 			var (
-				timer  *time.Timer
+				timer  *sim.Timer
 				timerC <-chan time.Time
 			)
 			if len(parked) > 0 {
@@ -449,7 +473,7 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 						earliest = e.deadline
 					}
 				}
-				timer = time.NewTimer(time.Until(earliest))
+				timer = s.clk.NewTimer(s.clk.Until(earliest))
 				timerC = timer.C
 			}
 
@@ -502,7 +526,7 @@ func (s *Server) worker(board int, p *fpx.Platform, queue chan job) {
 				}
 
 			case <-timerC:
-				now := time.Now()
+				now := s.clk.Now()
 				for i := 0; i < len(parked); {
 					if !parked[i].deadline.After(now) {
 						// Hold expired mid-run: the handler answers
@@ -533,12 +557,14 @@ func (s *Server) tryPark(p *fpx.Platform, j job, canPark, canParkReconfig bool, 
 	var kind string
 	switch pkt.Command {
 	case netproto.CmdWaitResult:
-		if !canPark {
+		// A platform emulating a pre-rev-5 command set rejects the
+		// command outright — never park what dispatch will refuse.
+		if !canPark || p.CmdRev() < 5 {
 			return parkedWait{}, false
 		}
 		kind = waitKindResult
 	case netproto.CmdWaitReconfig:
-		if !canParkReconfig {
+		if !canParkReconfig || p.CmdRev() < 6 {
 			return parkedWait{}, false
 		}
 		kind = waitKindReconfig
@@ -607,7 +633,7 @@ func (s *Server) tryPark(p *fpx.Platform, j job, canPark, canParkReconfig bool, 
 		j:        j,
 		kind:     kind,
 		key:      key,
-		deadline: time.Now().Add(time.Duration(holdMs) * time.Millisecond),
+		deadline: s.clk.Now().Add(time.Duration(holdMs) * time.Millisecond),
 		span:     span,
 	}, true
 }
@@ -632,7 +658,7 @@ func (s *Server) process(p *fpx.Platform, j job) error {
 			s.m.drops.With("response_parse").Inc()
 			return fmt.Errorf("server: generated response unparseable: %w", err)
 		}
-		n, err := s.conn.WriteToUDP(f.Payload, j.peer)
+		n, err := s.conn.WriteTo(f.Payload, j.peer)
 		if err != nil {
 			s.m.sendErrors.Inc()
 			return fmt.Errorf("server: send to %v: %w", j.peer, err)
@@ -640,7 +666,7 @@ func (s *Server) process(p *fpx.Platform, j job) error {
 		s.m.datagramsOut.Inc()
 		s.m.bytesOut.Add(uint64(n))
 	}
-	s.m.handleDur.With(j.cmd).ObserveSince(j.start)
+	s.m.handleDur.With(j.cmd).Observe(s.clk.Since(j.start).Seconds())
 	s.events.Debugf("handled", "peer", j.peer, "cmd", j.cmd, "bytes", len(j.payload), "responses", len(outs))
 	s.logf("%v: %d byte request, %d responses", j.peer, len(j.payload), len(outs))
 	return nil

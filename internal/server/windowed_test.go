@@ -41,7 +41,7 @@ func TestWindowedLoadUnderLoss(t *testing.T) {
 		t.Fatal("baseline load did not faithfully store the image")
 	}
 
-	for _, seed := range chaosSeeds {
+	for _, seed := range smokeSeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			_, addr := startServer(t)
 			reg := metrics.NewRegistry()

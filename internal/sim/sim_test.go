@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvanceFiresInOrder(t *testing.T) {
+	c := NewVirtualClock()
+	var order []int
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, 4) }) // tie: registration order
+	c.Advance(25 * time.Millisecond)
+	want := []int{1, 2, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	c.Advance(10 * time.Millisecond)
+	if len(order) != 4 || order[3] != 3 {
+		t.Fatalf("after second advance fired %v", order)
+	}
+	if got := c.Since(virtualEpoch); got != 35*time.Millisecond {
+		t.Fatalf("virtual now = %v, want 35ms", got)
+	}
+}
+
+func TestVirtualClockTimerStopReset(t *testing.T) {
+	c := NewVirtualClock()
+	tm := c.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	c.Advance(20 * time.Millisecond)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	tm.Reset(5 * time.Millisecond)
+	c.Advance(5 * time.Millisecond)
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire returned true")
+	}
+}
+
+func TestVirtualClockAfterAndSleepUnderStepper(t *testing.T) {
+	c := NewVirtualClock().Start()
+	defer c.Stop()
+	start := c.Now()
+	done := make(chan time.Duration, 1)
+	go func() {
+		c.Sleep(50 * time.Millisecond)
+		done <- c.Since(start)
+	}()
+	select {
+	case d := <-done:
+		if d != 50*time.Millisecond {
+			t.Fatalf("virtual sleep took %v, want exactly 50ms", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stepper never advanced past the sleep")
+	}
+	select {
+	case now := <-c.After(10 * time.Millisecond):
+		if got := now.Sub(start); got != 60*time.Millisecond {
+			t.Fatalf("After fired at +%v, want +60ms", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestNetworkDeliversAndTimesOut(t *testing.T) {
+	w := NewWorld(1)
+	defer w.Close()
+	srv, err := w.Net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := w.Net.Dial(srv.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, from, err := srv.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("got %q", buf[:n])
+	}
+	if _, err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetReadDeadline(w.Clock.Now().Add(time.Second))
+	n, err = cli.Read(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("read %q err %v", buf[:n], err)
+	}
+	// No more traffic: the deadline must fire on virtual time.
+	cli.SetReadDeadline(w.Clock.Now().Add(20 * time.Millisecond))
+	_, err = cli.Read(buf)
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+}
+
+func TestNetworkLatencyRidesVirtualClock(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	srv, _ := w.Net.Listen("")
+	cli, _ := w.Net.Dial(srv.LocalAddr())
+	w.Net.SetLink(cli.LocalAddr(), srv.LocalAddr(), LinkParams{Latency: 5 * time.Millisecond})
+	start := w.Clock.Now()
+	cli.Write([]byte("x"))
+	buf := make([]byte, 8)
+	if _, _, err := srv.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Clock.Since(start); d != 5*time.Millisecond {
+		t.Fatalf("delivery at +%v, want +5ms", d)
+	}
+}
+
+// faultTrace runs a fixed unidirectional burst through a lossy fabric
+// and returns the delivered payload sequence plus the link stats.
+func faultTrace(t *testing.T, seed int64) ([]string, LinkStats) {
+	t.Helper()
+	w := NewWorld(seed)
+	defer w.Close()
+	srv, _ := w.Net.Listen("")
+	cli, _ := w.Net.Dial(srv.LocalAddr())
+	lp := LinkParams{Drop: 0.3, Dup: 0.2, Reorder: 0.2, Latency: time.Millisecond}
+	w.Net.SetLink(cli.LocalAddr(), srv.LocalAddr(), lp)
+	for i := 0; i < 64; i++ {
+		cli.Write([]byte{byte(i)})
+	}
+	var got []string
+	buf := make([]byte, 8)
+	for {
+		srv.SetReadDeadline(w.Clock.Now().Add(100 * time.Millisecond))
+		n, _, err := srv.ReadFrom(buf)
+		if err != nil {
+			break
+		}
+		got = append(got, string(bytes.Clone(buf[:n])))
+	}
+	return got, w.Net.LinkStats(cli.LocalAddr(), srv.LocalAddr())
+}
+
+func TestNetworkFaultsDeterministicAcrossRuns(t *testing.T) {
+	a, sa := faultTrace(t, 42)
+	b, sb := faultTrace(t, 42)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+	if sa.Dropped == 0 || sa.Duped == 0 || sa.Reordered == 0 {
+		t.Fatalf("fault schedule inert: %+v", sa)
+	}
+	c, _ := faultTrace(t, 43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestPacketConnCloseUnblocksReader(t *testing.T) {
+	w := NewWorld(3)
+	defer w.Close()
+	srv, _ := w.Net.Listen("")
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, _, err := srv.ReadFrom(buf)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // real: let the reader block
+	srv.Close()
+	select {
+	case err := <-errc:
+		if err != net.ErrClosed {
+			t.Fatalf("want net.ErrClosed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock ReadFrom")
+	}
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// VirtualClock is a deterministic Clock. Time stands still while any
+// goroutine is doing work; a background stepper advances it to the
+// earliest pending event only once the world has been quiescent for a
+// couple of polling grains (no clock or network activity observed).
+// Firing events (timer expiries, packet deliveries, sleep wakeups)
+// counts as activity, so cascades settle before the next step.
+//
+// The epoch is fixed so that virtual timestamps are reproducible
+// across runs of the same seed.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    uint64
+
+	// activity is bumped by every observable interaction with the
+	// clock or the attached Network; the stepper only advances time
+	// after it has seen the counter hold still.
+	activity atomic.Uint64
+
+	stepping atomic.Bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// virtualEpoch is the fixed starting instant of every VirtualClock.
+var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+type event struct {
+	when     time.Time
+	seq      uint64 // registration order; ties fire in this order
+	fire     func(now time.Time)
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// NewVirtualClock returns a stopped virtual clock at the fixed epoch.
+// Call Start to launch the quiescence stepper (tests that drive time
+// by hand use Advance instead).
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: virtualEpoch}
+}
+
+// touch records activity, delaying the next quiescence step.
+func (c *VirtualClock) touch() { c.activity.Add(1) }
+
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *VirtualClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+func (c *VirtualClock) Until(t time.Time) time.Duration { return t.Sub(c.Now()) }
+
+// schedule registers fn to run when virtual time reaches now+d.
+// Non-positive delays fire synchronously.
+func (c *VirtualClock) schedule(d time.Duration, fire func(now time.Time)) *event {
+	if d <= 0 {
+		c.touch()
+		fire(c.Now())
+		return nil
+	}
+	c.mu.Lock()
+	c.seq++
+	ev := &event{when: c.now.Add(d), seq: c.seq, fire: fire}
+	heap.Push(&c.events, ev)
+	c.mu.Unlock()
+	c.touch()
+	return ev
+}
+
+// cancel marks ev dead; it reports whether ev had not yet fired.
+func (c *VirtualClock) cancel(ev *event) bool {
+	if ev == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch()
+	if ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		c.touch()
+		return
+	}
+	done := make(chan struct{})
+	c.schedule(d, func(time.Time) { close(done) })
+	<-done
+}
+
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.schedule(d, func(now time.Time) { ch <- now })
+	return ch
+}
+
+func (c *VirtualClock) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	var mu sync.Mutex
+	var ev *event
+	arm := func(d time.Duration) {
+		ev = c.schedule(d, func(now time.Time) {
+			select {
+			case ch <- now:
+			default:
+			}
+		})
+	}
+	mu.Lock()
+	arm(d)
+	mu.Unlock()
+	return &Timer{
+		C: ch,
+		stop: func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return c.cancel(ev)
+		},
+		reset: func(d time.Duration) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			active := c.cancel(ev)
+			arm(d)
+			return active
+		},
+	}
+}
+
+func (c *VirtualClock) AfterFunc(d time.Duration, fn func()) *Timer {
+	var mu sync.Mutex
+	var ev *event
+	arm := func(d time.Duration) {
+		ev = c.schedule(d, func(time.Time) { fn() })
+	}
+	mu.Lock()
+	arm(d)
+	mu.Unlock()
+	return &Timer{
+		C: nil,
+		stop: func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return c.cancel(ev)
+		},
+		reset: func(d time.Duration) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			active := c.cancel(ev)
+			arm(d)
+			return active
+		},
+	}
+}
+
+// Advance moves virtual time forward by d, firing every due event in
+// (when, registration) order. It is the manual alternative to the
+// stepper for tests that own the timeline.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	c.advanceLocked(target)
+	c.now = target
+	c.mu.Unlock()
+	c.touch()
+}
+
+// advanceLocked fires all events with when <= target, releasing the
+// lock around each fire so callbacks can re-enter the clock.
+func (c *VirtualClock) advanceLocked(target time.Time) {
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.canceled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.when.After(target) {
+			return
+		}
+		heap.Pop(&c.events)
+		next.index = -1
+		if c.now.Before(next.when) {
+			c.now = next.when
+		}
+		now := c.now
+		c.mu.Unlock()
+		next.fire(now)
+		c.mu.Lock()
+	}
+}
+
+// step advances time to the earliest pending event and fires every
+// event at that instant. It reports whether anything fired.
+func (c *VirtualClock) step() bool {
+	c.mu.Lock()
+	// Skip over canceled heads.
+	for len(c.events) > 0 && c.events[0].canceled {
+		heap.Pop(&c.events)
+	}
+	if len(c.events) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	target := c.events[0].when
+	c.advanceLocked(target)
+	c.mu.Unlock()
+	c.touch()
+	return true
+}
+
+// Start launches the quiescence stepper: a real-time poller that
+// advances the virtual clock to the next event once the activity
+// counter has held still for idleChecks consecutive grains.
+func (c *VirtualClock) Start() *VirtualClock {
+	if !c.stepping.CompareAndSwap(false, true) {
+		return c
+	}
+	c.stopCh = make(chan struct{})
+	c.doneCh = make(chan struct{})
+	go c.run()
+	return c
+}
+
+// grain is the real-time polling interval of the stepper; idleChecks
+// is how many consecutive unchanged-activity observations count as
+// quiescence. Both trade determinism-confidence against wall speed.
+const (
+	grain      = 100 * time.Microsecond
+	idleChecks = 2
+)
+
+func (c *VirtualClock) run() {
+	defer close(c.doneCh)
+	idle := 0
+	last := c.activity.Load()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+		// Let runnable goroutines proceed before sampling.
+		for i := 0; i < 4; i++ {
+			runtime.Gosched()
+		}
+		time.Sleep(grain)
+		cur := c.activity.Load()
+		if cur != last {
+			last = cur
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < idleChecks {
+			continue
+		}
+		idle = 0
+		if c.step() {
+			last = c.activity.Load()
+		}
+	}
+}
+
+// Stop halts the stepper. Pending events remain registered; Start may
+// be called again.
+func (c *VirtualClock) Stop() {
+	if !c.stepping.CompareAndSwap(true, false) {
+		return
+	}
+	close(c.stopCh)
+	<-c.doneCh
+}

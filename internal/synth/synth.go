@@ -24,6 +24,7 @@ import (
 
 	"liquidarch/internal/cache"
 	"liquidarch/internal/leon"
+	"liquidarch/internal/sim"
 )
 
 // Device describes a synthesis target FPGA.
@@ -164,6 +165,10 @@ type Options struct {
 	// sleep time (0 = don't sleep, just report). 1e-6 makes the ≈1 h
 	// synthesis take ≈3.6 ms, preserving relative costs in demos.
 	TimeScale float64
+	// Clock paces the TimeScale sleep (nil = real time); simulated
+	// nodes inject the virtual clock so modelled tool time advances
+	// on the virtual timeline.
+	Clock sim.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -223,7 +228,7 @@ func Synthesize(cfg leon.Config, opts Options) (*Image, error) {
 		SynthTime: SynthTimeFor(util),
 	}
 	if opts.TimeScale > 0 {
-		time.Sleep(time.Duration(float64(img.SynthTime) * opts.TimeScale))
+		sim.Or(opts.Clock).Sleep(time.Duration(float64(img.SynthTime) * opts.TimeScale))
 	}
 	return img, nil
 }
