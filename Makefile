@@ -71,10 +71,14 @@ bench:
 	$(GO) test -bench . -benchtime 1x
 
 # bench-smoke runs every root-level benchmark exactly once with tests
-# disabled: a fast CI gate that the benchmark harnesses still build and
-# run (BenchmarkStepThroughput also reports allocs/op, which must be 0).
+# disabled, with the throughput gate armed: the steady-state stepping
+# loop must allocate nothing and its measured ns/step must stay within
+# 10% of the checked-in BENCH_throughput.json baseline. The freshly
+# measured figure is re-emitted to BENCH_throughput.json (commit the
+# refresh when the number moves for a real reason).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	LIQUID_BENCH_GATE=1 LIQUID_BENCH_JSON=$(CURDIR)/BENCH_throughput.json \
+		$(GO) test -run '^$$' -bench . -benchtime 1x -v .
 
 # load-smoke runs the pipelined-control-plane benchmarks once
 # (BenchmarkLoadThroughput window=1 vs window=16, and the single-board
@@ -116,7 +120,7 @@ trace-smoke:
 SIM_SEEDS ?= 100
 sim-smoke:
 	LIQUID_SIM_SEEDS=$(SIM_SEEDS) $(GO) test -count=1 \
-		-run 'TestModelSmoke|TestModelCatchesDedupBug' ./internal/sim/modeltest/
+		-run 'TestModelSmoke|TestModelReconfigIdleMix|TestModelCatchesDedupBug' ./internal/sim/modeltest/
 	$(GO) test -count=1 -run 'Sim|Compat' ./internal/server/
 
 # time-lint rejects new direct wall-clock calls in non-test

@@ -6,7 +6,9 @@
 package liquidarch
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"liquidarch/internal/ahbadapter"
@@ -27,48 +29,96 @@ import (
 
 // BenchmarkStepThroughput measures the simulator's core metric:
 // host-nanoseconds per simulated instruction in the steady state (warm
-// I-cache, warm predecode cache, mixed ALU/load/store/branch work).
-// It must report 0 allocs/op; the sim-MIPS metric is the simulated
-// million-instructions-per-second rate the sweep wall-clock scales
-// with.
+// I-cache, warm predecode cache, mixed ALU/load/store/branch work)
+// through the superblock dispatcher. It must report 0 allocs/op; the
+// sim-MIPS metric is the simulated million-instructions-per-second
+// rate the sweep wall-clock scales with. When the smoke gate is armed
+// (`make bench-smoke`) it also enforces the BENCH_throughput.json
+// regression bar and rewrites the JSON with the figures just measured.
 func BenchmarkStepThroughput(b *testing.B) {
-	soc, err := leon.New(leon.DefaultConfig(), nil)
+	soc, err := bench.ThroughputSoC(0)
 	if err != nil {
 		b.Fatal(err)
-	}
-	ctrl := leon.NewController(soc)
-	if err := ctrl.Boot(); err != nil {
-		b.Fatal(err)
-	}
-	obj, err := asm.AssembleAt(bench.StepKernel, leon.DefaultLoadAddr)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := ctrl.LoadProgram(obj.Origin, obj.Code); err != nil {
-		b.Fatal(err)
-	}
-	if err := ctrl.Start(obj.Origin, 0); err != nil {
-		b.Fatal(err)
-	}
-	// Warm the caches and the predecode state.
-	for i := 0; i < 4096; i++ {
-		if err := soc.Step(); err != nil {
-			b.Fatal(err)
-		}
 	}
 	startInsts := soc.CPU.Stats().Instructions
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := soc.Step(); err != nil {
-			b.Fatal(err)
-		}
+	if _, err := bench.StepSteady(soc, uint64(b.N)); err != nil {
+		b.Fatal(err)
 	}
 	b.StopTimer()
 	insts := soc.CPU.Stats().Instructions - startInsts
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(insts)/secs/1e6, "sim-MIPS")
 	}
+	gateAndEmitThroughput(b)
+}
+
+// benchThroughputJSON is the on-disk shape of BENCH_throughput.json.
+type benchThroughputJSON struct {
+	Figure string              `json:"figure"`
+	Data   bench.ThroughputRow `json:"data"`
+}
+
+// gateAndEmitThroughput is the bench-smoke regression gate. When
+// LIQUID_BENCH_GATE=1 (set by `make bench-smoke`) it retimes the
+// 2M-step throughput experiment with internal timing — `-benchtime 1x`
+// makes b.N useless for gating — and fails the run if ns/step
+// regressed more than 10% over the checked-in BENCH_throughput.json,
+// or if the block-dispatch path allocates at all. When
+// LIQUID_BENCH_JSON names a path it rewrites that file with the
+// figures just measured, keeping the checked-in baseline a tool
+// artifact rather than a transcription.
+func gateAndEmitThroughput(b *testing.B) {
+	if os.Getenv("LIQUID_BENCH_GATE") == "" {
+		return
+	}
+	soc, err := bench.ThroughputSoC(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(64, func() {
+		if _, err := bench.StepSteady(soc, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("bench gate: block-dispatch path allocates (%.1f allocs per 4096-step batch); must be 0", allocs)
+	}
+	row, err := bench.ThroughputExperiment(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := os.Getenv("LIQUID_BENCH_BASELINE")
+	if path == "" {
+		path = "BENCH_throughput.json"
+	}
+	if raw, err := os.ReadFile(path); err != nil {
+		b.Logf("bench gate: no baseline at %s (%v); skipping ns/step gate", path, err)
+	} else {
+		var base benchThroughputJSON
+		if err := json.Unmarshal(raw, &base); err != nil {
+			b.Fatalf("bench gate: parse %s: %v", path, err)
+		}
+		if ceiling := base.Data.NsPerStep * 1.10; row.NsPerStep > ceiling {
+			b.Fatalf("bench gate: %.2f ns/step exceeds ceiling %.2f (checked-in %.2f +10%%)",
+				row.NsPerStep, ceiling, base.Data.NsPerStep)
+		}
+		b.Logf("bench gate: %.2f ns/step (%.2f sim-MIPS) within ceiling %.2f, 0 allocs",
+			row.NsPerStep, row.SimMIPS, base.Data.NsPerStep*1.10)
+	}
+	out := os.Getenv("LIQUID_BENCH_JSON")
+	if out == "" {
+		return
+	}
+	doc := benchThroughputJSON{Figure: "Simulator throughput: steady-state stepping speed", Data: row}
+	raw, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		b.Fatalf("bench gate: write %s: %v", out, err)
+	}
+	b.Logf("bench gate: wrote %s", out)
 }
 
 // BenchmarkSweepParallel measures the parallel sweep runner: the whole
@@ -318,7 +368,13 @@ func BenchmarkProtocolLoad(b *testing.B) {
 	if err := ctrl.Boot(); err != nil {
 		b.Fatal(err)
 	}
-	platform := fpx.New(ctrl, [4]byte{10, 0, 0, 2}, 5001)
+	// The asynchronous control plane needs an actor driving the run:
+	// CmdStartLEON only performs the handoff, and the result wait polls
+	// until the board finishes. A bare Controller behind the platform
+	// would report StatusRunning forever.
+	actrl := leon.NewAsyncController(ctrl)
+	defer actrl.Close()
+	platform := fpx.New(actrl, [4]byte{10, 0, 0, 2}, 5001)
 	srv, err := server.New(platform, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

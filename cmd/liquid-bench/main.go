@@ -16,11 +16,18 @@
 //	liquid-bench -all
 //	liquid-bench -all -workers 8   # run sweep points on 8 workers
 //	liquid-bench -all -json out/   # also write machine-readable BENCH_<name>.json
+//	liquid-bench -exp throughput -quantum 256  # cap the event horizon
 //
 // -workers bounds the worker pool every sweep experiment runs its
 // configuration points on (0, the default, means one worker per
 // logical CPU; 1 restores the fully serial order). The result tables
 // are identical for every worker count — only the wall-clock changes.
+//
+// -quantum caps the event-horizon batch of the throughput experiment
+// at N simulated cycles (0, the default, lets the peripheral deadline
+// alone bound each batch). Results are bit-identical for every
+// quantum — only stepping speed changes — so the flag exists to
+// measure how much of the superblock win survives short horizons.
 //
 // With -json DIR, every experiment additionally writes
 // DIR/BENCH_<name>.json containing {"figure": ..., "data": rows}, so
@@ -42,12 +49,17 @@ import (
 // workers bounds the sweep worker pool; see the -workers flag.
 var workers int
 
+// quantum caps the throughput experiment's event-horizon batch in
+// simulated cycles; see the -quantum flag.
+var quantum uint64
+
 func main() {
 	fig := flag.Int("fig", 0, "regenerate figure 8, 9 or 10")
 	exp := flag.String("exp", "", "experiment: adapter, reconfig, mac, burst, writepolicy, assoc, icache, placement, pipeline, throughput")
 	all := flag.Bool("all", false, "run everything")
 	jsonDir := flag.String("json", "", "also write BENCH_<name>.json files to this directory")
 	flag.IntVar(&workers, "workers", 0, "sweep worker pool size (0: one per logical CPU, 1: serial)")
+	flag.Uint64Var(&quantum, "quantum", 0, "cap event-horizon batches at N simulated cycles (0: uncapped)")
 	flag.Parse()
 
 	if *jsonDir != "" {
@@ -296,7 +308,7 @@ func pipeline() (any, error) {
 }
 
 func throughput() (any, error) {
-	row, err := bench.ThroughputExperiment(0)
+	row, err := bench.ThroughputExperimentQuantum(0, quantum)
 	if err != nil {
 		return nil, err
 	}

@@ -164,7 +164,7 @@ func (b *AHB) Stats() Stats { return b.stats }
 func (b *AHB) ResetStats() { b.stats = Stats{} }
 
 func checkAlign(addr uint32, size Size) error {
-	if addr%uint32(size) != 0 {
+	if addr&(uint32(size)-1) != 0 { // sizes are powers of two
 		return &AlignmentError{Addr: addr, Size: size}
 	}
 	return nil

@@ -40,43 +40,74 @@ type ThroughputRow struct {
 	SimMIPS   float64 // simulated million instructions per host second
 }
 
-// ThroughputExperiment measures steady-state stepping speed: it boots a
-// default SoC, hands off into StepKernel via the controller's Start
-// path, warms the I-cache and the predecode cache, then times steps
-// simulated instructions.
-func ThroughputExperiment(steps uint64) (ThroughputRow, error) {
-	if steps == 0 {
-		steps = 2_000_000
-	}
-	soc, err := leon.New(leon.DefaultConfig(), nil)
+// ThroughputSoC boots a default SoC (honoring the event-horizon
+// quantum cap, 0 = uncapped), hands off into StepKernel and warms the
+// caches, the predecode state and the superblock dispatcher, leaving
+// the machine ready for steady-state stepping.
+func ThroughputSoC(quantum uint64) (*leon.SoC, error) {
+	soc, err := leon.NewWithOptions(leon.DefaultConfig(), nil, leon.Options{Quantum: quantum})
 	if err != nil {
-		return ThroughputRow{}, err
+		return nil, err
 	}
 	ctrl := leon.NewController(soc)
 	if err := ctrl.Boot(); err != nil {
-		return ThroughputRow{}, err
+		return nil, err
 	}
 	obj, err := asm.AssembleAt(StepKernel, leon.DefaultLoadAddr)
 	if err != nil {
-		return ThroughputRow{}, err
+		return nil, err
 	}
 	if err := ctrl.LoadProgram(obj.Origin, obj.Code); err != nil {
-		return ThroughputRow{}, err
+		return nil, err
 	}
 	if err := ctrl.Start(obj.Origin, 0); err != nil {
-		return ThroughputRow{}, err
+		return nil, err
 	}
-	for i := 0; i < 4096; i++ { // warm-up
-		if err := soc.Step(); err != nil {
-			return ThroughputRow{}, err
+	if _, err := StepSteady(soc, 4096); err != nil { // warm-up
+		return nil, err
+	}
+	return soc, nil
+}
+
+// StepSteady advances the kernel by exactly steps instructions through
+// the superblock dispatcher — the steady-state inner loop both the
+// testing.B benchmark and ThroughputExperiment time. The kernel loops
+// forever, so neither the poll address nor a cycle cap can cut a batch
+// short.
+func StepSteady(soc *leon.SoC, steps uint64) (uint64, error) {
+	done := uint64(0)
+	for done < steps {
+		n, err := soc.StepN(int(steps-done), ^uint64(0), leon.ROMPollAddr)
+		if err != nil {
+			return done, err
 		}
+		done += uint64(n)
+	}
+	return done, nil
+}
+
+// ThroughputExperiment measures steady-state stepping speed: it boots a
+// default SoC, hands off into StepKernel via the controller's Start
+// path, warms the I-cache and the predecode cache, then times steps
+// simulated instructions through the superblock dispatcher.
+func ThroughputExperiment(steps uint64) (ThroughputRow, error) {
+	return ThroughputExperimentQuantum(steps, 0)
+}
+
+// ThroughputExperimentQuantum is ThroughputExperiment with a cap on
+// the event-horizon batch (liquid-bench -quantum); 0 means uncapped.
+func ThroughputExperimentQuantum(steps, quantum uint64) (ThroughputRow, error) {
+	if steps == 0 {
+		steps = 2_000_000
+	}
+	soc, err := ThroughputSoC(quantum)
+	if err != nil {
+		return ThroughputRow{}, err
 	}
 	startCycles := soc.Cycles()
 	start := time.Now()
-	for i := uint64(0); i < steps; i++ {
-		if err := soc.Step(); err != nil {
-			return ThroughputRow{}, err
-		}
+	if _, err := StepSteady(soc, steps); err != nil {
+		return ThroughputRow{}, err
 	}
 	wall := time.Since(start)
 	row := ThroughputRow{

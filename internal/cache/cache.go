@@ -311,6 +311,18 @@ func (c *Cache) Read(addr uint32, size amba.Size) (uint32, int, error) {
 	if !c.enabled {
 		return c.bus.Read(addr, size)
 	}
+	// Direct-mapped hit fast path: same accounting as the general
+	// path below (Hits++, tick/age update, 1 cycle) without the
+	// two-level set/way indexing.
+	if c.direct {
+		l := &c.all[(addr>>c.lineShift)&c.setMask]
+		if l.valid && l.tag == addr>>c.setShift {
+			c.stats.Hits++
+			c.tick++
+			l.age = c.tick
+			return extract(getBE32(l.data[addr&c.offMask&^3:]), addr, size), 1, nil
+		}
+	}
 	set, tag, off := c.index(addr)
 	w := c.lookup(set, tag)
 	cycles := 1
@@ -329,14 +341,19 @@ func (c *Cache) Read(addr uint32, size amba.Size) (uint32, int, error) {
 		c.sets[set][w].age = c.tick
 	}
 	l := &c.sets[set][w]
-	word := getBE32(l.data[off&^3:])
+	return extract(getBE32(l.data[off&^3:]), addr, size), cycles, nil
+}
+
+// extract narrows an aligned big-endian word to the addressed byte,
+// halfword or word.
+func extract(word, addr uint32, size amba.Size) uint32 {
 	switch size {
 	case amba.SizeWord:
-		return word, cycles, nil
+		return word
 	case amba.SizeHalf:
-		return word >> ((2 - addr&2) * 8) & 0xFFFF, cycles, nil
+		return word >> ((2 - addr&2) * 8) & 0xFFFF
 	default:
-		return word >> ((3 - addr&3) * 8) & 0xFF, cycles, nil
+		return word >> ((3 - addr&3) * 8) & 0xFF
 	}
 }
 
@@ -387,10 +404,61 @@ func (c *Cache) FetchWord(addr uint32) (word uint32, cycles int, hit bool, err e
 	return getBE32(c.sets[set][w].data[addr&c.offMask&^3:]), 1 + n, false, nil
 }
 
+// PeekLine returns the resident line containing addr for the
+// superblock dispatcher, or ok=false when the fast path does not apply.
+// It succeeds only for an enabled, direct-mapped cache with the line
+// resident, because in exactly that regime FetchWord's per-word hit is
+// pure: 1 cycle, one Hits count, and — direct-mapped — no LRU tick or
+// age update. The caller executes straight-line instructions out of the
+// returned line and settles the per-word accounting with AddFetchHits;
+// any other configuration (miss, disabled, associative) must go through
+// FetchWord so fills, stats and replacement state stay exact.
+//
+// The returned slice aliases the live line storage: it is valid only
+// until the next cache operation and must not be written through.
+func (c *Cache) PeekLine(addr uint32) ([]byte, bool) {
+	if !c.enabled || !c.direct {
+		return nil, false
+	}
+	l := &c.all[(addr>>c.lineShift)&c.setMask]
+	if !l.valid || l.tag != addr>>c.setShift {
+		return nil, false
+	}
+	return l.data, true
+}
+
+// AddFetchHits credits n instruction fetches served out of a line
+// obtained with PeekLine — the bulk form of FetchWord's per-hit
+// Hits++ so cache statistics stay identical under block dispatch.
+func (c *Cache) AddFetchHits(n uint64) { c.stats.Hits += n }
+
+// FetchCounts returns the running read hit and miss counters. The spin
+// fast-forward probe brackets a loop iteration with it: a zero miss
+// delta proves every fetch in the iteration was a pure resident hit,
+// so replaying the iteration cannot change cache state.
+func (c *Cache) FetchCounts() (hits, misses uint64) {
+	return c.stats.Hits, c.stats.Misses
+}
+
 // Write performs a cached write of the given size and returns the bus
 // cycles consumed.
 func (c *Cache) Write(addr uint32, val uint32, size amba.Size) (int, error) {
 	if !c.enabled {
+		return c.bus.Write(addr, val, size)
+	}
+	// Direct-mapped write-through fast path: identical accounting to
+	// the general path below (write-hit/miss stats, tick/age on hit,
+	// no write allocate, always through to the bus).
+	if c.direct && c.cfg.Write != WriteBack {
+		l := &c.all[(addr>>c.lineShift)&c.setMask]
+		if l.valid && l.tag == addr>>c.setShift {
+			c.stats.WriteHits++
+			c.mergeWrite(l, addr&c.offMask, addr, val, size)
+			c.tick++
+			l.age = c.tick
+		} else {
+			c.stats.WriteMiss++
+		}
 		return c.bus.Write(addr, val, size)
 	}
 	set, tag, off := c.index(addr)
@@ -431,10 +499,12 @@ func (c *Cache) Write(addr uint32, val uint32, size amba.Size) (int, error) {
 }
 
 func (c *Cache) mergeWrite(l *line, off, addr, val uint32, size amba.Size) {
+	if size == amba.SizeWord {
+		putBE32(l.data[off&^3:], val) // full word: no read-merge needed
+		return
+	}
 	word := getBE32(l.data[off&^3:])
 	switch size {
-	case amba.SizeWord:
-		word = val
 	case amba.SizeHalf:
 		shift := (2 - addr&2) * 8
 		word = word&^(0xFFFF<<shift) | val&0xFFFF<<shift

@@ -66,6 +66,33 @@ type IFetcher interface {
 	FetchWord(addr uint32) (word uint32, cycles int, hit bool, err error)
 }
 
+// LineFetcher extends IFetcher with the superblock dispatch surface:
+// PeekLine exposes a resident instruction-cache line when (and only
+// when) per-word fetches from it are pure 1-cycle hits with no
+// replacement-state side effects, and AddFetchHits settles the bulk hit
+// accounting afterwards. cache.Cache implements it; StepN falls back to
+// the single-step interpreter when the fetch path doesn't.
+type LineFetcher interface {
+	IFetcher
+	PeekLine(addr uint32) ([]byte, bool)
+	AddFetchHits(n uint64)
+	FetchCounts() (hits, misses uint64)
+}
+
+// Memory-event bits reported through EventFlags. The memory system (the
+// SoC's cached/uncached mux) sets them as the CPU's own loads and
+// stores land; the superblock dispatcher consumes them.
+const (
+	// MemEventDevice: a device (APB) access happened. Device accesses
+	// can raise or mask interrupts and re-arm timers, so the dispatcher
+	// ends the block and the SoC recomputes its event horizon.
+	MemEventDevice uint32 = 1 << 0
+	// MemEventCached: a cached data access happened. Cache state
+	// (ages, fills, dirtiness) is not captured by the spin fingerprint,
+	// so iterations touching the data cache never fast-forward.
+	MemEventCached uint32 = 1 << 1
+)
+
 // IRQSource provides external interrupt requests (the APB interrupt
 // controller).
 type IRQSource interface {
@@ -191,11 +218,46 @@ const (
 // predecodeEntry caches the decode of one instruction word. tag is
 // pc+1 (PCs are word-aligned, so +1 makes the zero value invalid and
 // still distinguishes pc 0); word is the instruction word the entry
-// was decoded from, re-checked on every hit.
+// was decoded from, re-checked on every hit. kind is the superblock
+// classification of the opcode, valid whenever tag+word match.
 type predecodeEntry struct {
 	tag  uint32
 	word uint32
+	kind uint8
+	cls  isa.Class // in.Op.Class(), cached so execute skips the table lookup
 	in   isa.Inst
+}
+
+// Superblock kinds. A kindFast instruction is straight-line: executed
+// without trapping it always sets pc,npc = npc,npc+4 and never annuls,
+// so a block of them can be dispatched back to back with the
+// npc==pc+4 invariant intact. kindCTI instructions are delay-slot
+// control transfers (CALL/Bicc/JMPL) that touch neither the PSR nor
+// instruction memory: the dispatcher keeps going long enough to
+// execute the delay slot in-block, then returns to the block-entry
+// path (whose interrupt probe and spin bookkeeping run at the branch
+// target). kindStop instructions force an immediate return to the
+// block-entry path: RETT and WRPSR can unmask interrupts, Ticc and
+// UNIMP trap deliberately, and FLUSH invalidates the very line being
+// dispatched.
+const (
+	kindFast uint8 = iota
+	kindCTI
+	kindStop
+)
+
+// classify assigns the superblock kind for an opcode. Instructions
+// that *may* trap (SAVE/RESTORE window checks, loads/stores,
+// mul/div without hardware) stay kindFast: a trap surfaces as
+// errTrapped from execute and ends the block dynamically.
+func classify(op isa.Op) uint8 {
+	switch op {
+	case isa.OpCALL, isa.OpBicc, isa.OpJMPL:
+		return kindCTI
+	case isa.OpRETT, isa.OpTicc, isa.OpUNIMP, isa.OpWRPSR, isa.OpFLUSH:
+		return kindStop
+	}
+	return kindFast
 }
 
 // CPU is one LEON integer unit.
@@ -208,6 +270,9 @@ type CPU struct {
 	// ifetch, when non-nil, serves instruction fetches instead of
 	// imem (same cycle accounting, no interface-dispatch tax).
 	ifetch IFetcher
+	// lfetch is ifetch when it also supports line peeking; nil
+	// otherwise. StepN's superblock dispatch requires it.
+	lfetch LineFetcher
 	// predecode is the decode-once/execute-many cache consulted
 	// before isa.Decode on every fetched word.
 	predecode []predecodeEntry
@@ -233,6 +298,22 @@ type CPU struct {
 	// counter the paper's state machine implements reads this).
 	Cycles uint64
 
+	// MemEvents accumulates MemEvent* bits as the memory system
+	// observes this CPU's accesses. The superblock dispatcher clears
+	// and consumes it; the single-step path ignores it.
+	MemEvents uint32
+
+	// instStart is Cycles at the start of the instruction currently
+	// executing. The SoC's lazy peripheral settling reads it (through
+	// InstBoundary) so a device access made *during* an instruction
+	// sees peripheral time advanced only through the previous
+	// instruction — exactly the per-step tick placement.
+	instStart uint64
+
+	// Spin fast-forward scratch (see superblock.go). Preallocated so
+	// the probe allocates nothing on the dispatch path.
+	spin spinState
+
 	stats Stats
 
 	// Trace hooks; nil hooks cost nothing.
@@ -249,6 +330,7 @@ func New(cfg Config, imem, dmem Memory, irq IRQSource) (*CPU, error) {
 	c := &CPU{cfg: cfg, imem: imem, dmem: dmem, irq: irq, nwin: cfg.NWindows}
 	c.windows = make([]uint32, cfg.NWindows*16)
 	c.predecode = make([]predecodeEntry, predecodeEntries)
+	c.spin.windows = make([]uint32, cfg.NWindows*16)
 	c.Reset()
 	return c, nil
 }
@@ -259,8 +341,13 @@ func New(cfg Config, imem, dmem Memory, irq IRQSource) (*CPU, error) {
 // reconfigurations (SwapCaches).
 func (c *CPU) SetIFetch(f IFetcher) {
 	c.ifetch = f
+	c.lfetch, _ = f.(LineFetcher)
 	c.InvalidatePredecode()
 }
+
+// InstBoundary returns the cycle count at the start of the instruction
+// currently executing (equal to Cycles between instructions).
+func (c *CPU) InstBoundary() uint64 { return c.instStart }
 
 // InvalidatePredecode flushes the predecoded-instruction cache. The
 // SoC and leon_ctrl call it whenever instruction memory can change
@@ -271,6 +358,7 @@ func (c *CPU) InvalidatePredecode() {
 	for i := range c.predecode {
 		c.predecode[i].tag = 0
 	}
+	c.spin.reset()
 }
 
 // Config returns the configuration the CPU was built with.
@@ -466,6 +554,7 @@ var errTrapped = errors.New("cpu: instruction trapped")
 // advances the cycle counter. It returns nil normally and an *ErrorMode
 // when the processor would freeze.
 func (c *CPU) Step() error {
+	c.instStart = c.Cycles
 	// External interrupts are sampled between instructions.
 	if c.irq != nil && c.psr&PSRET != 0 {
 		if lvl := c.irq.Pending(); lvl == 15 || (lvl > 0 && lvl > c.pil()) {
@@ -516,7 +605,7 @@ func (c *CPU) Step() error {
 		if derr != nil {
 			return c.trap(TrapIllegalInst)
 		}
-		e.tag, e.word, e.in = c.pc+1, word, in
+		e.tag, e.word, e.kind, e.cls, e.in = c.pc+1, word, classify(in.Op), in.Op.Class(), in
 	}
 	if c.OnExec != nil {
 		c.OnExec(c.pc, e.in)
@@ -524,7 +613,7 @@ func (c *CPU) Step() error {
 	c.stats.Instructions++
 
 	nextPC, nextNPC := c.npc, c.npc+4
-	err = c.execute(&e.in, &nextPC, &nextNPC)
+	err = c.execute(e, &nextPC, &nextNPC)
 	if err != nil {
 		if errors.Is(err, errTrapped) {
 			return nil // trap already vectored
@@ -538,8 +627,9 @@ func (c *CPU) Step() error {
 // execute runs one decoded instruction. Control transfers update
 // *nextPC/*nextNPC (the delayed-branch machine). A returned errTrapped
 // means the instruction vectored through trap() and PC is already set.
-// in may point into the predecode cache; it must not be mutated.
-func (c *CPU) execute(in *isa.Inst, nextPC, nextNPC *uint32) error {
+// e points into the predecode cache; it must not be mutated.
+func (c *CPU) execute(e *predecodeEntry, nextPC, nextNPC *uint32) error {
+	in := &e.in
 	// The second operand (register or immediate) is computed once up
 	// front instead of through a per-instruction closure: reading a
 	// register has no side effects, and the flat branch keeps the hot
@@ -673,7 +763,8 @@ func (c *CPU) execute(in *isa.Inst, nextPC, nextNPC *uint32) error {
 		return nil
 	}
 
-	if in.Op.IsLoad() || in.Op.IsStore() {
+	switch e.cls {
+	case isa.ClassLoad, isa.ClassStore:
 		return c.memOp(in, op2v)
 	}
 	return c.alu(in, op2v)

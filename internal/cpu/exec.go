@@ -228,7 +228,7 @@ func (c *CPU) memOp(in *isa.Inst, addrOff uint32) error {
 	default:
 		size = amba.SizeByte
 	}
-	if addr%uint32(size) != 0 {
+	if addr&(uint32(size)-1) != 0 { // sizes are powers of two
 		return c.takeTrap(TrapAlignment)
 	}
 	if c.OnMem != nil {

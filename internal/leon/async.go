@@ -22,15 +22,23 @@ var ErrClosed = errors.New("leon: async controller closed")
 // sized to a few hundred microseconds at the simulator's steady-state
 // step rate — well inside the 10 ms latency target, while the
 // per-slice channel poll and yield stay invisible next to the stepping
-// itself.
-const sliceSteps = 1 << 11
+// itself. Superblock dispatch dropped the per-step cost well below the
+// old interpreter's, so the slice grew with it: a StepRun slice is now
+// a run of event-horizon batches (SoC.StepN) whose size derives from
+// the peripheral deadline, and 2^14 steps of block dispatch still
+// complete in a few hundred microseconds.
+const sliceSteps = 1 << 14
 
 // RunOptions decorate one run. Both hooks are invoked on the actor
 // goroutine, so they may touch the SoC without synchronization: Before
-// immediately ahead of the §3.1 handoff (attach a trace recorder
-// here), After exactly once when the run completes, exhausts its
-// budget, hits error mode — or when the handoff itself fails (so a
-// recorder attached in Before is always detached).
+// immediately after the §3.1 handoff, ahead of the first step slice
+// (attach a trace recorder here — the handoff's ROM poll wait is not
+// part of the run, and keeping per-instruction hooks off the CPU while
+// it waits lets the poll loop fast-forward instead of being emulated
+// one instruction at a time), After exactly once when the run
+// completes, exhausts its budget, hits error mode — or when the
+// handoff itself fails (Before fires first even then, so a recorder
+// attached in Before is always detached).
 type RunOptions struct {
 	Before func(c *Controller)
 	After  func(c *Controller, res RunResult, wall time.Duration, err error)
@@ -327,12 +335,12 @@ func (a *AsyncController) Start(entry uint32, maxCycles uint64) error {
 func (a *AsyncController) StartOpts(entry uint32, maxCycles uint64, opts RunOptions) error {
 	err := ErrClosed
 	derr := a.Do(func(c *Controller) {
-		if opts.Before != nil {
-			opts.Before(c)
-		}
 		start := a.clock().Now()
 		err = c.Start(entry, maxCycles)
 		a.publish(c)
+		if opts.Before != nil {
+			opts.Before(c)
+		}
 		if err != nil {
 			// Handoff failed: no run is in flight. Fire After anyway so
 			// anything attached in Before is torn down and the failure

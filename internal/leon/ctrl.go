@@ -164,14 +164,18 @@ func (c *Controller) Start(entry uint32, maxCycles uint64) error {
 
 	limit := c.soc.CPU.Cycles + maxCycles
 	// Wait for the poll loop to pick up the address and jump into the
-	// program.
+	// program. The wait runs in event-horizon batches with entry as the
+	// stop address (cycleCap limit+1 ⇔ the historical Cycles > limit
+	// pre-step check), so a machine that never picks it up — parked in
+	// any side-effect-free spin — fast-forwards to the budget instead
+	// of being emulated one instruction at a time.
 	for c.soc.CPU.PC() != entry {
 		if c.soc.CPU.Cycles > limit {
 			c.state = StateIdle
 			c.soc.sramSwitch.connected = false
 			return fmt.Errorf("leon: program never entered: %w", ErrBudget)
 		}
-		if err := c.soc.Step(); err != nil {
+		if _, err := c.soc.StepN(1<<20, limit+1, entry); err != nil {
 			_, err = c.errorMode(err)
 			return err
 		}
@@ -228,7 +232,17 @@ func (c *Controller) StepRun(maxSteps int) (done bool, res RunResult, err error)
 		return true, c.last, fmt.Errorf("leon: StepRun in state %v", c.state)
 	}
 	sram := c.soc.SRAM
-	for i := 0; i < maxSteps; i++ {
+	// The run advances in event-horizon batches (SoC.StepN) instead of
+	// one instruction at a time. StepN stops at exactly the boundaries
+	// the per-step loop tested between instructions — PC on the poll
+	// routine, the cycle counter past the budget (cycleCap runLimit+1
+	// ⇔ the historical Cycles > runLimit pre-step check), a device
+	// access moving the horizon — so the checks below fire at the same
+	// instruction, in the same order, as they always did.
+	for steps := 0; ; {
+		if steps >= maxSteps {
+			return false, RunResult{}, nil
+		}
 		if c.soc.CPU.PC() == ROMPollAddr {
 			r := RunResult{
 				Cycles:       c.soc.CPU.Cycles - c.runStartCycles,
@@ -253,12 +267,13 @@ func (c *Controller) StepRun(maxSteps int) (done bool, res RunResult, err error)
 			})
 			return true, fr, fmt.Errorf("leon: %w after %d cycles", ErrBudget, fr.Cycles)
 		}
-		if serr := c.soc.Step(); serr != nil {
+		n, serr := c.soc.StepN(maxSteps-steps, c.runLimit+1, ROMPollAddr)
+		steps += n
+		if serr != nil {
 			fr, ferr := c.errorMode(serr)
 			return true, fr, ferr
 		}
 	}
-	return false, RunResult{}, nil
 }
 
 // CollectResult drives an in-flight run to completion and returns its

@@ -143,8 +143,28 @@ type SoC struct {
 	ROM     *ROM
 	BootMap map[string]uint32 // boot ROM symbol table
 
+	// Quantum caps the event-horizon batch in CPU cycles (0 =
+	// uncapped): StepN never runs the CPU more than Quantum cycles
+	// past a settle point before settling peripherals again. Execution
+	// is bit-identical at any quantum — the cap exists so horizon-
+	// related divergences can be bisected (liquid-bench -quantum).
+	Quantum uint64
+
 	sramSwitch *sramSwitch
 	imem, dmem *splitMem
+
+	// settled is the CPU cycle count already delivered to the
+	// prescaler. Between a settle point and the next event horizon the
+	// peripherals intentionally lag the CPU; Settle pays the debt.
+	settled uint64
+}
+
+// Options adjust how the simulator schedules work without changing the
+// modelled hardware; any setting produces bit-identical execution.
+type Options struct {
+	// Quantum caps the event-horizon batch in CPU cycles (0 =
+	// uncapped). See SoC.Quantum.
+	Quantum uint64
 }
 
 // New builds and boots a Liquid processor system. UART transmit output
@@ -152,10 +172,15 @@ type SoC struct {
 // boot ROM's poll loop with main memory disconnected, exactly the §3.1
 // idle state.
 func New(cfg Config, uartOut io.Writer) (*SoC, error) {
+	return NewWithOptions(cfg, uartOut, Options{})
+}
+
+// NewWithOptions is New with simulator scheduling options.
+func NewWithOptions(cfg Config, uartOut io.Writer, opts Options) (*SoC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &SoC{Config: cfg}
+	s := &SoC{Config: cfg, Quantum: opts.Quantum}
 
 	// Peripherals.
 	s.IRQCtrl = &periph.IRQCtrl{}
@@ -235,8 +260,8 @@ func New(cfg Config, uartOut io.Writer) (*SoC, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dcache: %w", err)
 	}
-	s.imem = &splitMem{cached: s.ICache, bus: s.Bus, alwaysCached: true}
-	s.dmem = &splitMem{cached: s.DCache, bus: s.Bus}
+	s.imem = &splitMem{soc: s, cached: s.ICache, bus: s.Bus, alwaysCached: true}
+	s.dmem = &splitMem{soc: s, cached: s.DCache, bus: s.Bus}
 
 	s.CPU, err = cpu.New(cfg.CPU, s.imem, s.dmem, s.IRQCtrl)
 	if err != nil {
@@ -266,10 +291,79 @@ func New(cfg Config, uartOut io.Writer) (*SoC, error) {
 // Step executes one CPU instruction and ticks the peripheral clock by
 // the cycles it consumed.
 func (s *SoC) Step() error {
-	before := s.CPU.Cycles
 	err := s.CPU.Step()
-	s.Prescaler.Tick(s.CPU.Cycles - before)
+	s.Settle()
 	return err
+}
+
+// Settle delivers all CPU cycles not yet ticked into the prescaler.
+// After Settle the peripherals have observed exactly CPU.Cycles cycles
+// — the invariant the per-step interpreter maintained after every
+// instruction, now restored only at batch boundaries and device
+// accesses.
+func (s *SoC) Settle() {
+	if d := s.CPU.Cycles - s.settled; d > 0 {
+		s.settled = s.CPU.Cycles
+		s.Prescaler.Tick(d)
+	}
+}
+
+// settleDevice is called by the data path just before a device (APB)
+// access: peripheral time owed up to the *start* of the current
+// instruction is delivered, so the device sees registers exactly as
+// the per-step interpreter would have left them (ticks land at
+// instruction boundaries, never mid-instruction). The device event bit
+// also ends the CPU's current batch, because the access may have
+// re-armed a timer or raised an interrupt and moved the horizon.
+func (s *SoC) settleDevice() {
+	s.CPU.MemEvents |= cpu.MemEventDevice
+	if b := s.CPU.InstBoundary(); b > s.settled {
+		d := b - s.settled
+		s.settled = b
+		s.Prescaler.Tick(d)
+	}
+}
+
+// StepN executes up to maxSteps instructions in event-horizon batches:
+// inside a batch the CPU dispatches superblocks with no per-step
+// interrupt probe or prescaler tick, and the batch never extends past
+// the next peripheral event (timer underflow deadline), the cycle cap,
+// or the quantum. At every batch boundary peripherals settle in bulk,
+// which fires exactly the underflows (and interrupt raises) the
+// per-step interpreter would have fired, at the same instruction
+// boundaries — execution is bit-identical to calling Step in a loop.
+// It stops early when the program counter reaches stopPC or the cycle
+// counter reaches cycleCap (both checked between instructions), and
+// returns the number of instructions executed.
+func (s *SoC) StepN(maxSteps int, cycleCap uint64, stopPC uint32) (int, error) {
+	steps := 0
+	for steps < maxSteps {
+		s.Settle()
+		if s.CPU.Cycles >= cycleCap || s.CPU.PC() == stopPC {
+			break
+		}
+		// The horizon: no peripheral-visible event can occur before
+		// this cycle count, so the CPU needs no interrupt probe or
+		// prescaler tick inside it.
+		limit := cycleCap
+		if d := s.Prescaler.NextEventCycles(); d != periph.NoEvent {
+			if dl := s.CPU.Cycles + d; dl < limit {
+				limit = dl
+			}
+		}
+		if s.Quantum > 0 {
+			if q := s.CPU.Cycles + s.Quantum; q < limit {
+				limit = q
+			}
+		}
+		n, err := s.CPU.StepN(maxSteps-steps, limit, stopPC)
+		steps += n
+		s.Settle()
+		if err != nil {
+			return steps, err
+		}
+	}
+	return steps, nil
 }
 
 // Cycles returns the hardware cycle counter.
@@ -367,6 +461,7 @@ func (c *cacheCtrl) WriteReg(off uint32, v uint32) error {
 // mailbox page must also bypass the cache so the poll loop of Fig. 5
 // observes values written by the external circuitry.
 type splitMem struct {
+	soc *SoC
 	// cached is the concrete cache module (not a cpu.Memory interface):
 	// the data path is the hottest interface call in the simulator and
 	// keeping the type concrete lets the compiler devirtualize it.
@@ -380,17 +475,33 @@ func uncacheable(addr uint32) bool {
 		addr >= MailboxProgAddr && addr < MailboxEnd
 }
 
+func device(addr uint32) bool {
+	return addr >= APBBase && addr < APBBase+APBSize
+}
+
 func (m *splitMem) Read(addr uint32, size amba.Size) (uint32, int, error) {
-	if !m.alwaysCached && uncacheable(addr) {
+	if m.alwaysCached {
+		// Instruction path: never a device, never a data event.
+		return m.cached.Read(addr, size)
+	}
+	if uncacheable(addr) {
+		if device(addr) {
+			m.soc.settleDevice()
+		}
 		return m.bus.Read(addr, size)
 	}
+	m.soc.CPU.MemEvents |= cpu.MemEventCached
 	return m.cached.Read(addr, size)
 }
 
 func (m *splitMem) Write(addr uint32, val uint32, size amba.Size) (int, error) {
 	if uncacheable(addr) {
+		if device(addr) {
+			m.soc.settleDevice()
+		}
 		return m.bus.Write(addr, val, size)
 	}
+	m.soc.CPU.MemEvents |= cpu.MemEventCached
 	return m.cached.Write(addr, val, size)
 }
 

@@ -50,6 +50,20 @@ func (t *Timer) Tick(n uint64) {
 	}
 }
 
+// ticksToUnderflow returns how many prescaler ticks away the next
+// underflow is, or 0 when the timer is stopped and can never underflow.
+// It mirrors Tick exactly: a zero counter underflows on the next tick
+// (the "continue" branch), a counter of C underflows on tick C.
+func (t *Timer) ticksToUnderflow() uint64 {
+	if t.ctrl&TimerEnable == 0 {
+		return 0
+	}
+	if t.counter == 0 {
+		return 1
+	}
+	return uint64(t.counter)
+}
+
 func (t *Timer) underflow() {
 	t.Underflows++
 	if t.ctrl&TimerIRQEnable != 0 && t.irqctrl != nil {
@@ -146,6 +160,38 @@ func (p *Prescaler) tickSlow(n uint64) {
 			t.Tick(ticks)
 		}
 	}
+}
+
+// NoEvent is the NextEventCycles return when no attached timer can
+// underflow: no amount of ticking changes peripheral-visible state.
+const NoEvent = ^uint64(0)
+
+// NextEventCycles returns how many system clock cycles away the next
+// attached-timer underflow is, or NoEvent when every timer is stopped.
+// It is the event-horizon computation of the batched stepping loop: a
+// fully settled prescaler (no pending ticks) is guaranteed to produce
+// no underflow — no IRQ raise, no reload, no one-shot stop — for that
+// many cycles, so the simulator may run the CPU that far and settle the
+// ticks in bulk afterwards. Counter *values* still drift inside the
+// window; readers must settle first (the SoC's APB hook does).
+func (p *Prescaler) NextEventCycles() uint64 {
+	minTicks := uint64(0)
+	for _, t := range p.timers {
+		if n := t.ticksToUnderflow(); n != 0 && (minTicks == 0 || n < minTicks) {
+			minTicks = n
+		}
+	}
+	if minTicks == 0 {
+		return NoEvent
+	}
+	if p.reload == 0 {
+		// Prescaler bypass: one tick per system cycle.
+		return minTicks
+	}
+	// The first tick lands after value+1 cycles (Tick underflows when
+	// n > value), each subsequent one a full period later.
+	period := uint64(p.reload) + 1
+	return uint64(p.value) + 1 + (minTicks-1)*period
 }
 
 // ReadReg implements amba.Device.

@@ -46,6 +46,26 @@ func TestModelSmoke(t *testing.T) {
 	}
 }
 
+// TestModelReconfigIdleMix sweeps pinned seeds over the
+// reconfiguration-plus-idle op mix on rev-6 clients across lossy
+// links: budget-length poll-loop idles (fast-forwarded by the
+// simulator, but every virtual cycle must read back as simulated
+// time in the run reports) interleaved with cache reconfigurations
+// and enough runs and reads to keep memory and configuration state
+// moving. Every observable must match the sequential reference.
+func TestModelReconfigIdleMix(t *testing.T) {
+	n := smokeSeeds(t)/2 + 1
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			if err := Run(Config{Seed: seed, WireRev: 6, IdleMix: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestModelReplay re-executes one seed printed by a failing run.
 func TestModelReplay(t *testing.T) {
 	if *seedFlag == 0 {

@@ -80,6 +80,12 @@ type Config struct {
 	// control-plane traffic with no board compute, so the virtual-time
 	// schedule (and with it a caught divergence) replays exactly.
 	LoadHeavy bool
+	// IdleMix skews the op mix to reconfigurations and long poll-loop
+	// idles: programs that spin on a never-written mailbox word until
+	// the cycle budget expires. The simulator fast-forwards those spins,
+	// so the mix is cheap in wall time while every fast-forwarded cycle
+	// must still surface as simulated time in the run reports.
+	IdleMix bool
 }
 
 // Divergence is a model-reference mismatch: the simulated cluster
@@ -128,6 +134,30 @@ loop:
 // above the largest generated image.
 const resultAddr = leon.DefaultLoadAddr + 0x10000
 
+// pollSrc is the long-idle workload: the boot ROM's Fig. 5 poll
+// pattern relocated into user code, spinning on an uncacheable
+// mailbox word that stays zero for the whole run (the fault trap
+// type, cleared at start) until the cycle budget expires. The spin is
+// side-effect-free over uncached memory, so the simulator
+// fast-forwards it — but the budget fault and the reported cycle
+// count must land exactly where per-step emulation lands them.
+const pollSrc = `
+_start:
+	set %#x, %%g1
+poll:
+	ld [%%g1], %%g2
+	tst %%g2
+	be poll
+	nop
+	set 0x1000, %%g7
+	jmp %%g7
+	nop
+`
+
+// pollFlagAddr is the watched word: the mailbox fault-TT slot, which
+// Start zeroes and only a fault would write.
+const pollFlagAddr = leon.MailboxFaultTT
+
 // dataBase is where random data images land (they double as runnable
 // garbage: starting one is a legal, deterministic fault case).
 const dataBase = leon.DefaultLoadAddr + 0x4000
@@ -135,6 +165,7 @@ const dataBase = leon.DefaultLoadAddr + 0x4000
 var (
 	progOnce sync.Once
 	progs    []*asm.Object
+	pollProg *asm.Object
 	progErr  error
 )
 
@@ -155,6 +186,7 @@ func programs() ([]*asm.Object, error) {
 			}
 			progs = append(progs, obj)
 		}
+		pollProg, progErr = asm.AssembleAt(fmt.Sprintf(pollSrc, pollFlagAddr), leon.DefaultLoadAddr)
 	})
 	return progs, progErr
 }
@@ -393,12 +425,19 @@ func (h *harness) step(i int) *Divergence {
 	kind := h.rng.Intn(10)
 	if h.loadHeavy() {
 		kind = []int{3, 3, 3, 3, 3, 3, 7, 7, 7, 6}[kind]
+	} else if h.cfg.IdleMix {
+		// Reconfigurations interleaved with budget-length poll-loop
+		// idles (kind 10) and enough runs/reads to keep memory moving.
+		kind = []int{10, 10, 10, 9, 9, 9, 0, 7, 6, 10}[kind]
 	}
 	var (
 		op        string
 		got, want string
 	)
 	switch {
+	case kind == 10: // long poll-loop idle to budget exhaustion
+		op = fmt.Sprintf("idle-poll board=%d", board)
+		got, want = h.opIdlePoll(board)
 	case kind < 3: // canned program: load + start + wait
 		ps, _ := programs()
 		prog := ps[h.rng.Intn(len(ps))]
@@ -481,6 +520,36 @@ func (h *harness) opLoad(board int, addr uint32, img []byte) (got, want string) 
 		}
 	}
 	want = obsErr(refErr)
+	return got, want
+}
+
+// opIdlePoll loads the never-satisfied poll loop and runs it into its
+// cycle budget on both sides. The spin is fast-forwarded, so the op is
+// cheap in wall time, but the budget fault and the reported cycle
+// count — which must include every fast-forwarded cycle as simulated
+// time — have to match the reference exactly.
+func (h *harness) opIdlePoll(board int) (got, want string) {
+	if _, err := programs(); err != nil {
+		return obsErr(err), "ok"
+	}
+	if g, w := h.opLoad(board, pollProg.Origin, pollProg.Code); g != w {
+		return "load:" + g, "load:" + w
+	}
+	// The reported count excludes the short ROM handoff, so it lands
+	// just under the budget — but never far under, unless the idle
+	// spin's virtual cycles were skipped instead of forwarded.
+	const cycleFloor = runBudget - 1000
+	rep, err := h.cli.Start(0, runBudget)
+	switch {
+	case err != nil:
+		got = obsErr(err)
+	case rep.Cycles < cycleFloor:
+		// Fast-forwarded cycles must read back as simulated time.
+		got = fmt.Sprintf("error: idle run reported %d cycles, below its %d budget", rep.Cycles, runBudget)
+	default:
+		got = fmt.Sprintf("%+v", rep)
+	}
+	want = h.refRun(board)
 	return got, want
 }
 
